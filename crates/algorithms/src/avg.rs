@@ -1,0 +1,531 @@
+//! The randomized AVG algorithm (Algorithms 2 and 4 of the paper).
+//!
+//! AVG first solves the LP relaxation (see [`crate::factors`]) and then builds
+//! the SAVG k-Configuration by repeated **Co-display Subgroup Formation
+//! (CSF)**: it samples a set of *focal parameters* — a focal item `c`, a focal
+//! slot `s`, and a grouping threshold `α` — and co-displays `c` at `s` to every
+//! *eligible* user whose utility factor `x*_{u,s}^c` reaches `α`.  Dependent
+//! rounding through a shared threshold is what aligns friends on common items
+//! and yields the expected 4-approximation (Theorem 4); repeating the whole
+//! rounding and keeping the best run gives a `(4+ε)`-approximation with high
+//! probability (Corollary 4.1).
+//!
+//! Two sampling schemes are provided:
+//!
+//! * [`SamplingScheme::Plain`] — uniform `(c, s, α)` sampling as in
+//!   Algorithm 2 (idle iterations possible);
+//! * [`SamplingScheme::Advanced`] — the §4.4 scheme: `(c, s)` drawn
+//!   proportionally to the current maximum eligible factor `x̄*_s^c` and `α`
+//!   uniform in `(0, x̄*_s^c]`, so every iteration assigns at least one unit
+//!   (Observation 3 shows the conditional outcome distribution is unchanged).
+//!
+//! The SVGIC-ST variant caps every target subgroup at `M` members (taking the
+//! highest-factor eligible users first) and *locks* the `(c, s)` pair once the
+//! cap is reached, exactly as described in §4.4.
+
+use crate::factors::{solve_relaxation, LpBackend, RelaxationOptions, UtilityFactors};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use svgic_core::utility::{total_utility, total_utility_st};
+use svgic_core::{Configuration, PartialConfiguration, StParams, SvgicInstance};
+
+/// Focal-parameter sampling scheme.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SamplingScheme {
+    /// Uniform `(c, s, α)` sampling (Algorithm 2); iterations whose target
+    /// subgroup is empty are idle.
+    Plain,
+    /// Advanced sampling of §4.4 driven by the maximum eligible factors.
+    Advanced,
+}
+
+/// Configuration of an AVG run.
+#[derive(Clone, Debug)]
+pub struct AvgConfig {
+    /// LP relaxation backend.
+    pub relaxation: RelaxationOptions,
+    /// Sampling scheme.
+    pub sampling: SamplingScheme,
+    /// Number of independent rounding repetitions; the best configuration is
+    /// kept (Corollary 4.1).  Must be ≥ 1.
+    pub repetitions: usize,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+    /// Safety valve for [`SamplingScheme::Plain`]: after this many consecutive
+    /// idle iterations the run falls back to advanced sampling for the rest of
+    /// the construction.
+    pub max_idle_iterations: usize,
+}
+
+impl Default for AvgConfig {
+    fn default() -> Self {
+        Self {
+            relaxation: RelaxationOptions::default(),
+            sampling: SamplingScheme::Advanced,
+            repetitions: 1,
+            seed: 0x5EED_AB0,
+            max_idle_iterations: 10_000,
+        }
+    }
+}
+
+impl AvgConfig {
+    /// Convenience constructor selecting a backend and seed.
+    pub fn with_backend(backend: LpBackend, seed: u64) -> Self {
+        Self {
+            relaxation: RelaxationOptions {
+                backend,
+                ..Default::default()
+            },
+            seed,
+            ..Default::default()
+        }
+    }
+}
+
+/// Result of an AVG (or AVG-D) run.
+#[derive(Clone, Debug)]
+pub struct AvgSolution {
+    /// The constructed SAVG k-Configuration.
+    pub configuration: Configuration,
+    /// Its total SAVG utility (SVGIC objective; for ST runs the ST objective).
+    pub utility: f64,
+    /// Upper bound from the fractional relaxation (true utility scale); only a
+    /// genuine upper bound when an exact LP backend was used.
+    pub relaxation_bound: f64,
+    /// Number of CSF iterations over all repetitions.
+    pub iterations: usize,
+    /// Number of rounding repetitions performed.
+    pub repetitions: usize,
+}
+
+/// Solves SVGIC with AVG.
+pub fn solve_avg(instance: &SvgicInstance, config: &AvgConfig) -> AvgSolution {
+    solve_avg_impl(instance, None, config)
+}
+
+/// Solves SVGIC-ST with the extended AVG (subgroup-size locking); the returned
+/// utility is the SVGIC-ST objective.
+pub fn solve_avg_st(instance: &SvgicInstance, st: &StParams, config: &AvgConfig) -> AvgSolution {
+    solve_avg_impl(instance, Some(*st), config)
+}
+
+/// Runs the CSF rounding on externally supplied factors (used by ablations and
+/// by the dynamic-scenario extension which reuses stale factors).
+pub fn round_with_factors<R: Rng + ?Sized>(
+    instance: &SvgicInstance,
+    factors: &UtilityFactors,
+    st: Option<&StParams>,
+    sampling: SamplingScheme,
+    max_idle_iterations: usize,
+    rng: &mut R,
+) -> (Configuration, usize) {
+    let mut state = CsfState::new(instance, factors, st.copied());
+    let mut iterations = 0usize;
+    let mut idle = 0usize;
+    let mut scheme = sampling;
+    while !state.partial.is_complete() {
+        iterations += 1;
+        let progressed = match scheme {
+            SamplingScheme::Plain => state.plain_iteration(rng),
+            SamplingScheme::Advanced => state.advanced_iteration(rng),
+        };
+        if progressed {
+            idle = 0;
+        } else {
+            idle += 1;
+            if idle >= max_idle_iterations {
+                // Plain sampling can stall when almost all factors are tiny;
+                // Observation 3 guarantees switching to advanced sampling does
+                // not change the conditional outcome distribution.
+                scheme = SamplingScheme::Advanced;
+                idle = 0;
+            }
+        }
+        // Absolute safety valve: complete greedily if sampling cannot finish
+        // (e.g. every remaining factor is zero).
+        if iterations > 50 * state.total_units + max_idle_iterations {
+            state.complete_greedily();
+            break;
+        }
+    }
+    (state.partial.into_configuration(), iterations)
+}
+
+fn solve_avg_impl(
+    instance: &SvgicInstance,
+    st: Option<StParams>,
+    config: &AvgConfig,
+) -> AvgSolution {
+    assert!(config.repetitions >= 1, "at least one repetition required");
+    let factors = solve_relaxation(instance, &config.relaxation);
+    let bound = factors.utility_upper_bound(instance);
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut best: Option<(Configuration, f64)> = None;
+    let mut iterations = 0usize;
+    for _ in 0..config.repetitions {
+        let (cfg, iters) = round_with_factors(
+            instance,
+            &factors,
+            st.as_ref(),
+            config.sampling,
+            config.max_idle_iterations,
+            &mut rng,
+        );
+        iterations += iters;
+        let utility = match &st {
+            Some(st) => total_utility_st(instance, st, &cfg),
+            None => total_utility(instance, &cfg),
+        };
+        if best.as_ref().map_or(true, |(_, u)| utility > *u) {
+            best = Some((cfg, utility));
+        }
+    }
+    let (configuration, utility) = best.expect("at least one repetition ran");
+    AvgSolution {
+        configuration,
+        utility,
+        relaxation_bound: bound,
+        iterations,
+        repetitions: config.repetitions,
+    }
+}
+
+/// Internal state of the CSF rounding loop.
+struct CsfState<'a> {
+    instance: &'a SvgicInstance,
+    factors: &'a UtilityFactors,
+    st: Option<StParams>,
+    partial: PartialConfiguration,
+    /// `x̄*_s^c`: maximum per-slot factor over users still eligible for (c, s);
+    /// kept lazily and refreshed for dirty columns.
+    max_factor: Vec<f64>,
+    dirty: Vec<bool>,
+    /// Locked `(c, s)` pairs (SVGIC-ST size cap reached).
+    locked: Vec<bool>,
+    total_units: usize,
+    n: usize,
+    m: usize,
+    k: usize,
+}
+
+impl<'a> CsfState<'a> {
+    fn new(instance: &'a SvgicInstance, factors: &'a UtilityFactors, st: Option<StParams>) -> Self {
+        let n = instance.num_users();
+        let m = instance.num_items();
+        let k = instance.num_slots();
+        let mut state = Self {
+            instance,
+            factors,
+            st,
+            partial: PartialConfiguration::empty(n, k),
+            max_factor: vec![0.0; m * k],
+            dirty: vec![true; m * k],
+            locked: vec![false; m * k],
+            total_units: n * k,
+            n,
+            m,
+            k,
+        };
+        state.refresh_dirty();
+        state
+    }
+
+    #[inline]
+    fn col(&self, c: usize, s: usize) -> usize {
+        c * self.k + s
+    }
+
+    fn refresh_dirty(&mut self) {
+        for c in 0..self.m {
+            for s in 0..self.k {
+                let col = self.col(c, s);
+                if !self.dirty[col] {
+                    continue;
+                }
+                self.dirty[col] = false;
+                if self.locked[col] {
+                    self.max_factor[col] = 0.0;
+                    continue;
+                }
+                let mut best: f64 = 0.0;
+                for u in 0..self.n {
+                    if self.partial.eligible(u, c, s) {
+                        best = best.max(self.factors.per_slot(u, s, c));
+                    }
+                }
+                self.max_factor[col] = best;
+            }
+        }
+    }
+
+    /// Marks all columns affected by assigning item `c` at slot `s` to `users`.
+    fn mark_dirty_after_assign(&mut self, c: usize, s: usize) {
+        // Slot s: every item column changes (those users are no longer eligible
+        // for anything at slot s).
+        for item in 0..self.m {
+            let col = self.col(item, s);
+            self.dirty[col] = true;
+        }
+        // Item c: the assigned users are no longer eligible for c at any slot.
+        for slot in 0..self.k {
+            let col = self.col(c, slot);
+            self.dirty[col] = true;
+        }
+    }
+
+    /// Performs CSF for the given focal parameters; returns the number of users
+    /// assigned.
+    fn csf(&mut self, c: usize, s: usize, alpha: f64) -> usize {
+        if self.locked[self.col(c, s)] {
+            return 0;
+        }
+        // Collect eligible users meeting the threshold.
+        let mut chosen: Vec<(f64, usize)> = (0..self.n)
+            .filter(|&u| self.partial.eligible(u, c, s))
+            .map(|u| (self.factors.per_slot(u, s, c), u))
+            .filter(|&(x, _)| x >= alpha && x > 0.0)
+            .collect();
+        if chosen.is_empty() {
+            return 0;
+        }
+        if let Some(st) = &self.st {
+            // Highest factors first; cap the subgroup at M minus what is
+            // already displayed (c, s) from earlier iterations.
+            chosen.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+            let current = self.partial.subgroup_size(c, s);
+            let capacity = st.max_subgroup.saturating_sub(current);
+            if chosen.len() >= capacity {
+                chosen.truncate(capacity);
+                // Lock the pair: no further users may be added to (c, s).
+                let col = self.col(c, s);
+                self.locked[col] = true;
+                self.dirty[col] = true;
+            }
+        }
+        let assigned = chosen.len();
+        for (_, u) in chosen {
+            self.partial.assign(u, s, c);
+        }
+        if assigned > 0 {
+            self.mark_dirty_after_assign(c, s);
+        }
+        assigned
+    }
+
+    /// One iteration of plain uniform sampling (Algorithm 2); returns whether
+    /// any user was assigned.
+    fn plain_iteration<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
+        let c = rng.gen_range(0..self.m);
+        let s = rng.gen_range(0..self.k);
+        let alpha: f64 = rng.gen::<f64>();
+        self.csf(c, s, alpha) > 0
+    }
+
+    /// One iteration of advanced sampling (§4.4); returns whether any user was
+    /// assigned.
+    fn advanced_iteration<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
+        self.refresh_dirty();
+        let total: f64 = self.max_factor.iter().sum();
+        if total <= f64::EPSILON {
+            // No fractional mass left on eligible units: finish greedily.
+            self.complete_greedily();
+            return true;
+        }
+        // Sample (c, s) proportionally to x̄*_s^c.
+        let mut target = rng.gen::<f64>() * total;
+        let mut chosen_col = self.max_factor.len() - 1;
+        for (col, &w) in self.max_factor.iter().enumerate() {
+            target -= w;
+            if target <= 0.0 && w > 0.0 {
+                chosen_col = col;
+                break;
+            }
+        }
+        let c = chosen_col / self.k;
+        let s = chosen_col % self.k;
+        let ceiling = self.max_factor[chosen_col];
+        if ceiling <= 0.0 {
+            return false;
+        }
+        let alpha = rng.gen::<f64>() * ceiling;
+        self.csf(c, s, alpha.max(f64::MIN_POSITIVE)) > 0
+    }
+
+    /// Assigns every remaining display unit its best eligible item (highest
+    /// factor, ties by preference), respecting the ST cap.  Used as the final
+    /// fallback when no fractional mass remains.
+    fn complete_greedily(&mut self) {
+        for u in 0..self.n {
+            for s in 0..self.k {
+                if self.partial.get(u, s).is_some() {
+                    continue;
+                }
+                let mut best: Option<(f64, f64, usize)> = None;
+                for c in 0..self.m {
+                    if !self.partial.eligible(u, c, s) {
+                        continue;
+                    }
+                    if let Some(st) = &self.st {
+                        if self.partial.subgroup_size(c, s) >= st.max_subgroup {
+                            continue;
+                        }
+                    }
+                    let key = (
+                        self.factors.per_slot(u, s, c),
+                        self.instance.preference(u, c),
+                        c,
+                    );
+                    if best.map_or(true, |(bf, bp, bc)| {
+                        key.0 > bf || (key.0 == bf && (key.1 > bp || (key.1 == bp && c < bc)))
+                    }) {
+                        best = Some(key);
+                    }
+                }
+                let c = match best {
+                    Some((_, _, c)) => c,
+                    None => {
+                        // Every item respecting both the no-duplication
+                        // constraint and the ST cap is exhausted (only possible
+                        // when the instance barely admits a feasible
+                        // configuration); fall back to the least-loaded item
+                        // that still respects no-duplication.
+                        (0..self.m)
+                            .filter(|&c| self.partial.eligible(u, c, s))
+                            .min_by_key(|&c| (self.partial.subgroup_size(c, s), c))
+                            .expect("k <= m guarantees an item without duplication")
+                    }
+                };
+                self.partial.assign(u, s, c);
+                self.mark_dirty_after_assign(c, s);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svgic_core::example::running_example;
+    use svgic_core::utility::unweighted_total_utility;
+
+    fn default_config(seed: u64) -> AvgConfig {
+        AvgConfig {
+            relaxation: RelaxationOptions {
+                backend: LpBackend::ExactSimplex,
+                ..Default::default()
+            },
+            seed,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn avg_produces_valid_configurations() {
+        let inst = running_example();
+        for seed in 0..10 {
+            let sol = solve_avg(&inst, &default_config(seed));
+            assert!(sol.configuration.is_valid(inst.num_items()));
+            assert!(sol.utility > 0.0);
+            assert!(sol.utility <= sol.relaxation_bound + 1e-6);
+        }
+    }
+
+    #[test]
+    fn avg_beats_a_quarter_of_the_optimum_on_the_running_example() {
+        // Theorem 4 gives a 4-approximation in expectation; on the running
+        // example (optimum 10.35 unweighted) even single runs comfortably beat
+        // the bound.
+        let inst = running_example();
+        for seed in 0..20 {
+            let sol = solve_avg(&inst, &default_config(seed));
+            let unweighted = unweighted_total_utility(&inst, &sol.configuration);
+            assert!(
+                unweighted >= 10.35 / 4.0 - 1e-9,
+                "seed {seed}: {unweighted} below OPT/4"
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_avg_is_at_least_as_good_as_single_run() {
+        let inst = running_example();
+        let single = solve_avg(&inst, &default_config(7));
+        let repeated = solve_avg(
+            &inst,
+            &AvgConfig {
+                repetitions: 8,
+                ..default_config(7)
+            },
+        );
+        assert!(repeated.utility >= single.utility - 1e-9);
+        assert_eq!(repeated.repetitions, 8);
+    }
+
+    #[test]
+    fn plain_and_advanced_sampling_both_terminate() {
+        let inst = running_example();
+        for sampling in [SamplingScheme::Plain, SamplingScheme::Advanced] {
+            let sol = solve_avg(
+                &inst,
+                &AvgConfig {
+                    sampling,
+                    max_idle_iterations: 200,
+                    ..default_config(3)
+                },
+            );
+            assert!(sol.configuration.is_valid(inst.num_items()));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let inst = running_example();
+        let a = solve_avg(&inst, &default_config(42));
+        let b = solve_avg(&inst, &default_config(42));
+        assert_eq!(a.configuration, b.configuration);
+        assert_eq!(a.utility, b.utility);
+    }
+
+    #[test]
+    fn structured_backend_also_works() {
+        let inst = running_example();
+        let sol = solve_avg(
+            &inst,
+            &AvgConfig {
+                relaxation: RelaxationOptions {
+                    backend: LpBackend::Structured,
+                    ..Default::default()
+                },
+                ..default_config(5)
+            },
+        );
+        assert!(sol.configuration.is_valid(inst.num_items()));
+        assert!(unweighted_total_utility(&inst, &sol.configuration) >= 10.35 / 4.0);
+    }
+
+    #[test]
+    fn st_variant_respects_the_subgroup_cap() {
+        let inst = running_example();
+        for m_cap in 1..=4 {
+            let st = StParams::new(0.5, m_cap);
+            let sol = solve_avg_st(&inst, &st, &default_config(9));
+            assert!(sol.configuration.is_valid(inst.num_items()));
+            assert!(
+                st.is_feasible(&sol.configuration),
+                "cap {m_cap} violated: max subgroup {}",
+                sol.configuration.max_subgroup_size()
+            );
+        }
+    }
+
+    #[test]
+    fn st_utility_accounts_for_teleportation() {
+        let inst = running_example();
+        let st = StParams::new(0.5, 4);
+        let sol = solve_avg_st(&inst, &st, &default_config(2));
+        let direct_only = total_utility(&inst, &sol.configuration);
+        assert!(sol.utility >= direct_only - 1e-9);
+    }
+}

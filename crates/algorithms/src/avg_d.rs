@@ -1,0 +1,374 @@
+//! The derandomized AVG-D algorithm (Algorithm 3, Theorem 5 of the paper).
+//!
+//! Instead of sampling focal parameters, AVG-D evaluates every candidate pivot
+//! `(c, s, α = x*_{u,s}^c)` and selects the one maximising
+//!
+//! ```text
+//! f(c, s, α) = ALG(S_tar(c, s, α)) + r · OPT_LP(S_fut(c, s, α))
+//! ```
+//!
+//! where `S_tar` is the target subgroup that Co-display Subgroup Formation
+//! would assign, `ALG` is the (scaled) SAVG utility gained right now, and
+//! `OPT_LP(S_fut)` is the expected future utility of the display units that
+//! remain unassigned, evaluated on the fractional solution.  With `r = ¼` the
+//! method-of-conditional-expectations argument of Theorem 5 yields a
+//! deterministic 4-approximation; the knob `r` is exposed because Fig. 12 of
+//! the paper studies its sensitivity (small `r` degenerates towards the group
+//! approach, large `r` towards the personalized approach).
+
+use crate::factors::{solve_relaxation, RelaxationOptions, UtilityFactors};
+use svgic_core::utility::{total_utility, total_utility_st};
+use svgic_core::{Configuration, PartialConfiguration, StParams, SvgicInstance};
+
+use crate::avg::AvgSolution;
+
+/// Configuration of an AVG-D run.
+#[derive(Clone, Debug)]
+pub struct AvgDConfig {
+    /// LP relaxation backend options.
+    pub relaxation: RelaxationOptions,
+    /// Balancing ratio `r` between the immediate gain and the expected future
+    /// gain; the theoretical guarantee uses `r = 0.25`.
+    pub balancing_ratio: f64,
+}
+
+impl Default for AvgDConfig {
+    fn default() -> Self {
+        Self {
+            relaxation: RelaxationOptions::default(),
+            balancing_ratio: 0.25,
+        }
+    }
+}
+
+impl AvgDConfig {
+    /// Constructor with an explicit balancing ratio.
+    pub fn with_ratio(balancing_ratio: f64) -> Self {
+        Self {
+            balancing_ratio,
+            ..Default::default()
+        }
+    }
+}
+
+/// Solves SVGIC with the deterministic AVG-D.
+pub fn solve_avg_d(instance: &SvgicInstance, config: &AvgDConfig) -> AvgSolution {
+    solve_avg_d_impl(instance, None, config)
+}
+
+/// Solves SVGIC-ST with the deterministic AVG-D (subgroup-size locking).
+pub fn solve_avg_d_st(
+    instance: &SvgicInstance,
+    st: &StParams,
+    config: &AvgDConfig,
+) -> AvgSolution {
+    solve_avg_d_impl(instance, Some(*st), config)
+}
+
+fn solve_avg_d_impl(
+    instance: &SvgicInstance,
+    st: Option<StParams>,
+    config: &AvgDConfig,
+) -> AvgSolution {
+    let factors = solve_relaxation(instance, &config.relaxation);
+    let bound = factors.utility_upper_bound(instance);
+    let (configuration, iterations) =
+        deterministic_rounding(instance, &factors, st.as_ref(), config.balancing_ratio);
+    let utility = match &st {
+        Some(st) => total_utility_st(instance, st, &configuration),
+        None => total_utility(instance, &configuration),
+    };
+    AvgSolution {
+        configuration,
+        utility,
+        relaxation_bound: bound,
+        iterations,
+        repetitions: 1,
+    }
+}
+
+/// Deterministic pivot selection (DPS) + CSF loop.  Public so ablations and
+/// the dynamic extension can reuse stale factors.
+pub fn deterministic_rounding(
+    instance: &SvgicInstance,
+    factors: &UtilityFactors,
+    st: Option<&StParams>,
+    r: f64,
+) -> (Configuration, usize) {
+    let n = instance.num_users();
+    let m = instance.num_items();
+    let k = instance.num_slots();
+    let lambda = instance.lambda();
+    // Scaled preference used by the analysis (p' = (1-λ)/λ p for λ > 0,
+    // otherwise raw preference).
+    let scaled_pref = |u: usize, c: usize| -> f64 {
+        if lambda > 0.0 {
+            instance.scaled_preference(u, c)
+        } else {
+            instance.preference(u, c)
+        }
+    };
+
+    let mut partial = PartialConfiguration::empty(n, k);
+    let mut locked = vec![false; m * k];
+    let col = |c: usize, s: usize| c * k + s;
+
+    // Per-unit fractional contribution to OPT_LP (identical across slots):
+    //   unit_lp(u) = Σ_c p'(u,c) · x*_{u,s}^c.
+    let unit_lp: Vec<f64> = (0..n)
+        .map(|u| {
+            (0..m)
+                .map(|c| scaled_pref(u, c) * factors.per_slot(u, 0, c))
+                .sum()
+        })
+        .collect();
+    // Per-pair fractional contribution at one slot:
+    //   pair_lp(p) = Σ_c w_e^c · min(x*_{u,s}^c, x*_{v,s}^c).
+    let pairs = instance.friend_pairs();
+    let pair_lp: Vec<f64> = pairs
+        .iter()
+        .enumerate()
+        .map(|(p, pair)| {
+            (0..m)
+                .map(|c| instance.pair_weight(p, c) * factors.pair_per_slot(pair.u, pair.v, 0, c))
+                .sum()
+        })
+        .collect();
+    // Adjacency of pairs per user for fast updates.
+    let mut pairs_of_user: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (p, pair) in pairs.iter().enumerate() {
+        pairs_of_user[pair.u].push(p);
+        pairs_of_user[pair.v].push(p);
+    }
+
+    // OPT_LP(S_cur) is maintained incrementally: it is the sum over unassigned
+    // units of unit_lp plus, for every slot, the sum of pair_lp over pairs
+    // whose *both* endpoints are unassigned at that slot.
+    let mut unit_open = vec![vec![true; k]; n]; // unit_open[u][s]
+    let mut open_units_per_user = vec![k; n];
+    let mut current_lp: f64 = unit_lp.iter().map(|&v| v * k as f64).sum::<f64>()
+        + pair_lp.iter().map(|&v| v * k as f64).sum::<f64>();
+
+    let mut iterations = 0usize;
+    while !partial.is_complete() {
+        iterations += 1;
+        // ---- Deterministic pivot selection --------------------------------
+        // For every (c, s), sort eligible users by factor and evaluate every
+        // prefix (each prefix corresponds to a threshold α = factor of its
+        // last member).  f = ALG(S_tar) + r · (OPT_LP(S_cur) − removed).
+        let mut best: Option<(f64, usize, usize, Vec<usize>)> = None; // (f, c, s, members)
+        for c in 0..m {
+            for s in 0..k {
+                if locked[col(c, s)] {
+                    continue;
+                }
+                let mut eligible: Vec<(f64, usize)> = (0..n)
+                    .filter(|&u| partial.eligible(u, c, s))
+                    .map(|u| (factors.per_slot(u, s, c), u))
+                    .collect();
+                if eligible.is_empty() {
+                    continue;
+                }
+                eligible.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+                let cap = st
+                    .map(|st| st.max_subgroup.saturating_sub(partial.subgroup_size(c, s)))
+                    .unwrap_or(usize::MAX);
+                if cap == 0 {
+                    continue;
+                }
+                let mut members: Vec<usize> = Vec::new();
+                let mut alg = 0.0;
+                let mut removed = 0.0;
+                for &(factor, u) in eligible.iter().take(cap.min(eligible.len())) {
+                    if factor <= 0.0 && !members.is_empty() {
+                        break;
+                    }
+                    // Incremental ALG: preference plus social with members already in.
+                    alg += scaled_pref(u, c);
+                    for &p in &pairs_of_user[u] {
+                        let other = if pairs[p].u == u { pairs[p].v } else { pairs[p].u };
+                        if members.contains(&other) {
+                            alg += instance.pair_weight(p, c);
+                        }
+                    }
+                    // Incremental removal of (u, s) from S_fut.
+                    removed += unit_lp[u];
+                    for &p in &pairs_of_user[u] {
+                        let other = if pairs[p].u == u { pairs[p].v } else { pairs[p].u };
+                        // The pair term at slot s disappears when the first of
+                        // the two endpoints leaves S_cur at s.
+                        let other_open = unit_open[other][s] && !members.contains(&other);
+                        if unit_open[u][s] && other_open {
+                            removed += pair_lp[p];
+                        }
+                    }
+                    members.push(u);
+                    let f = alg + r * (current_lp - removed);
+                    if best
+                        .as_ref()
+                        .map_or(true, |(bf, _, _, _)| f > *bf + 1e-12)
+                    {
+                        best = Some((f, c, s, members.clone()));
+                    }
+                    if factor <= 0.0 {
+                        break;
+                    }
+                }
+            }
+        }
+
+        let Some((_, c, s, members)) = best else {
+            // No eligible pivot with positive contribution: finish greedily by
+            // giving every open unit its best remaining item.
+            complete_greedily(instance, factors, st, &mut partial);
+            break;
+        };
+        // ---- Apply CSF with the selected pivot -----------------------------
+        for &u in &members {
+            // Update OPT_LP bookkeeping before marking the unit closed.
+            current_lp -= unit_lp[u];
+            for &p in &pairs_of_user[u] {
+                let other = if pairs[p].u == u { pairs[p].v } else { pairs[p].u };
+                if unit_open[u][s] && unit_open[other][s] {
+                    current_lp -= pair_lp[p];
+                }
+                // Avoid double-subtracting when both endpoints are in `members`:
+                // once u is marked closed below, the other endpoint's pass will
+                // see unit_open[u][s] == false.
+            }
+            unit_open[u][s] = false;
+            open_units_per_user[u] -= 1;
+            partial.assign(u, s, c);
+        }
+        if let Some(st) = st {
+            if partial.subgroup_size(c, s) >= st.max_subgroup {
+                locked[col(c, s)] = true;
+            }
+        }
+    }
+    if !partial.is_complete() {
+        complete_greedily(instance, factors, st, &mut partial);
+    }
+    (partial.into_configuration(), iterations)
+}
+
+fn complete_greedily(
+    instance: &SvgicInstance,
+    factors: &UtilityFactors,
+    st: Option<&StParams>,
+    partial: &mut PartialConfiguration,
+) {
+    let n = instance.num_users();
+    let m = instance.num_items();
+    let k = instance.num_slots();
+    for u in 0..n {
+        for s in 0..k {
+            if partial.get(u, s).is_some() {
+                continue;
+            }
+            let mut best: Option<(f64, f64, usize)> = None;
+            for c in 0..m {
+                if !partial.eligible(u, c, s) {
+                    continue;
+                }
+                if let Some(st) = st {
+                    if partial.subgroup_size(c, s) >= st.max_subgroup {
+                        continue;
+                    }
+                }
+                let key = (factors.per_slot(u, s, c), instance.preference(u, c), c);
+                if best.map_or(true, |(bf, bp, bc)| {
+                    key.0 > bf || (key.0 == bf && (key.1 > bp || (key.1 == bp && c < bc)))
+                }) {
+                    best = Some(key);
+                }
+            }
+            let (_, _, c) = best.expect("an eligible item always exists");
+            partial.assign(u, s, c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factors::LpBackend;
+    use svgic_core::example::running_example;
+    use svgic_core::utility::unweighted_total_utility;
+
+    fn exact_config(r: f64) -> AvgDConfig {
+        AvgDConfig {
+            relaxation: RelaxationOptions {
+                backend: LpBackend::ExactSimplex,
+                ..Default::default()
+            },
+            balancing_ratio: r,
+        }
+    }
+
+    #[test]
+    fn avg_d_is_deterministic_and_valid() {
+        let inst = running_example();
+        let a = solve_avg_d(&inst, &exact_config(0.25));
+        let b = solve_avg_d(&inst, &exact_config(0.25));
+        assert_eq!(a.configuration, b.configuration);
+        assert!(a.configuration.is_valid(inst.num_items()));
+        assert!(a.utility <= a.relaxation_bound + 1e-6);
+    }
+
+    #[test]
+    fn avg_d_is_near_optimal_on_the_running_example() {
+        // The paper reports 9.85 / 10.35 ≈ 95% for AVG-D on this instance; our
+        // implementation must at least stay within the 4-approximation and in
+        // practice lands well above 85% of the optimum.
+        let inst = running_example();
+        let sol = solve_avg_d(&inst, &exact_config(0.25));
+        let unweighted = unweighted_total_utility(&inst, &sol.configuration);
+        assert!(
+            unweighted >= 0.85 * 10.35,
+            "AVG-D reached only {unweighted} (optimum 10.35)"
+        );
+    }
+
+    #[test]
+    fn small_r_tends_towards_the_group_approach() {
+        let inst = running_example();
+        let grouped = solve_avg_d(&inst, &exact_config(0.01));
+        // With r ≈ 0 the first pivot grabs every eligible user, so slot
+        // subgroup counts collapse (mostly one subgroup per slot).
+        let avg_subgroups: f64 = (0..3)
+            .map(|s| grouped.configuration.num_subgroups_at_slot(s) as f64)
+            .sum::<f64>()
+            / 3.0;
+        let personalized = solve_avg_d(&inst, &exact_config(10.0));
+        let avg_subgroups_personalized: f64 = (0..3)
+            .map(|s| personalized.configuration.num_subgroups_at_slot(s) as f64)
+            .sum::<f64>()
+            / 3.0;
+        assert!(
+            avg_subgroups <= avg_subgroups_personalized + 1e-9,
+            "r=0.01 gives {avg_subgroups} subgroups/slot, r=10 gives {avg_subgroups_personalized}"
+        );
+    }
+
+    #[test]
+    fn avg_d_st_respects_cap() {
+        let inst = running_example();
+        for cap in 1..=3 {
+            let st = StParams::new(0.5, cap);
+            let sol = solve_avg_d_st(&inst, &st, &exact_config(0.25));
+            assert!(sol.configuration.is_valid(inst.num_items()));
+            assert!(st.is_feasible(&sol.configuration), "cap {cap} violated");
+        }
+    }
+
+    #[test]
+    fn avg_d_beats_the_approximation_bound() {
+        let inst = running_example();
+        for r in [0.1, 0.25, 0.5, 1.0] {
+            let sol = solve_avg_d(&inst, &exact_config(r));
+            let unweighted = unweighted_total_utility(&inst, &sol.configuration);
+            assert!(unweighted >= 10.35 / 4.0, "r = {r}: {unweighted}");
+        }
+    }
+}

@@ -1,0 +1,372 @@
+//! Exact solvers for SVGIC / SVGIC-ST.
+//!
+//! The paper's "IP" baseline solves the full integer program of §3.3 with a
+//! commercial solver; this module provides the equivalent functionality on top
+//! of the in-workspace branch & bound:
+//!
+//! * [`ExactStrategy::Exhaustive`] — complete enumeration of per-user item
+//!   sets with optimal slot alignment, practical only for *tiny* instances but
+//!   useful as an independent oracle for the other solvers;
+//! * the branch & bound strategies (`IpPrimal`, `IpDual`, `IpConcurrent`,
+//!   `IpDeterministicConcurrent`, `IpBarrier`) — thin wrappers over
+//!   [`svgic_lp::branch_bound`] with different node-selection rules, standing
+//!   in for the Gurobi strategies compared in Fig. 9(a); all accept a time
+//!   budget and return the best incumbent when it expires.
+
+use std::time::Duration;
+
+use svgic_core::ip_model::{build_full_model, build_full_model_st};
+use svgic_core::utility::{total_utility, total_utility_st};
+use svgic_core::{Configuration, StParams, SvgicInstance};
+use svgic_lp::{BranchBoundConfig, MilpStatus, NodeSelection};
+
+/// Strategy used by [`solve_exact`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExactStrategy {
+    /// Complete enumeration (tiny instances only: the search space is
+    /// `Θ(C(m,k)^n · poly)`).
+    Exhaustive,
+    /// Branch & bound, depth-first node selection ("primal-first").
+    IpPrimal,
+    /// Branch & bound, best-bound node selection ("dual-first").
+    IpDual,
+    /// Branch & bound, alternating hybrid ("concurrent").
+    IpConcurrent,
+    /// Branch & bound, deterministic alternation ("deterministic concurrent").
+    IpDeterministicConcurrent,
+    /// Branch & bound, best-bound with restart flavour ("barrier").
+    IpBarrier,
+}
+
+impl ExactStrategy {
+    fn node_selection(self) -> NodeSelection {
+        match self {
+            ExactStrategy::Exhaustive | ExactStrategy::IpConcurrent => NodeSelection::Hybrid,
+            ExactStrategy::IpPrimal => NodeSelection::DepthFirst,
+            ExactStrategy::IpDual => NodeSelection::BestBound,
+            ExactStrategy::IpDeterministicConcurrent => NodeSelection::DeterministicHybrid,
+            ExactStrategy::IpBarrier => NodeSelection::RestartBestBound,
+        }
+    }
+
+    /// All branch-and-bound strategies (the Fig. 9(a) sweep).
+    pub fn ip_strategies() -> [ExactStrategy; 5] {
+        [
+            ExactStrategy::IpPrimal,
+            ExactStrategy::IpDual,
+            ExactStrategy::IpConcurrent,
+            ExactStrategy::IpDeterministicConcurrent,
+            ExactStrategy::IpBarrier,
+        ]
+    }
+}
+
+/// Configuration of an exact solve.
+#[derive(Clone, Debug)]
+pub struct ExactConfig {
+    /// Strategy.
+    pub strategy: ExactStrategy,
+    /// Wall-clock budget (None = unlimited).
+    pub time_limit: Option<Duration>,
+    /// Node budget for branch & bound.
+    pub max_nodes: usize,
+    /// Optional SVGIC-ST side constraints.
+    pub st: Option<StParams>,
+}
+
+impl Default for ExactConfig {
+    fn default() -> Self {
+        Self {
+            strategy: ExactStrategy::IpConcurrent,
+            time_limit: None,
+            max_nodes: 200_000,
+            st: None,
+        }
+    }
+}
+
+/// Result of an exact solve.
+#[derive(Clone, Debug)]
+pub struct ExactSolution {
+    /// Best configuration found.
+    pub configuration: Configuration,
+    /// Its objective (SVGIC or SVGIC-ST utility, matching `st`).
+    pub utility: f64,
+    /// Whether the search proved optimality.
+    pub proved_optimal: bool,
+    /// Number of branch & bound nodes (0 for exhaustive search).
+    pub nodes: usize,
+}
+
+/// Solves the instance exactly (or as well as the budget allows).
+pub fn solve_exact(instance: &SvgicInstance, config: &ExactConfig) -> ExactSolution {
+    match config.strategy {
+        ExactStrategy::Exhaustive => exhaustive(instance, config.st.as_ref()),
+        _ => branch_bound(instance, config),
+    }
+}
+
+fn branch_bound(instance: &SvgicInstance, config: &ExactConfig) -> ExactSolution {
+    let model = match &config.st {
+        Some(st) => build_full_model_st(instance, st, true),
+        None => build_full_model(instance, true),
+    };
+    let res = svgic_lp::branch_bound::solve_milp(
+        &model.lp,
+        &BranchBoundConfig {
+            node_selection: config.strategy.node_selection(),
+            time_limit: config.time_limit,
+            max_nodes: config.max_nodes,
+            ..Default::default()
+        },
+    );
+    let (configuration, proved_optimal) = match res.solution {
+        Some(sol) => (
+            model.extract_configuration(&sol),
+            res.status == MilpStatus::Optimal,
+        ),
+        None => {
+            // Budget exhausted before any incumbent: fall back to a trivially
+            // feasible configuration (each user's top-k items, ST-capped).
+            (fallback_configuration(instance, config.st.as_ref()), false)
+        }
+    };
+    let utility = match &config.st {
+        Some(st) => total_utility_st(instance, st, &configuration),
+        None => total_utility(instance, &configuration),
+    };
+    ExactSolution {
+        configuration,
+        utility,
+        proved_optimal,
+        nodes: res.nodes_explored,
+    }
+}
+
+/// Greedy fallback: each user takes her top-k preferred items; with an ST cap,
+/// items are handed out first-come-first-served and overflowing users move to
+/// their next item.
+fn fallback_configuration(instance: &SvgicInstance, st: Option<&StParams>) -> Configuration {
+    let n = instance.num_users();
+    let m = instance.num_items();
+    let k = instance.num_slots();
+    let cap = st.map(|s| s.max_subgroup).unwrap_or(usize::MAX);
+    let mut counts = vec![vec![0usize; k]; m];
+    let mut rows = Vec::with_capacity(n);
+    for u in 0..n {
+        let mut order: Vec<usize> = (0..m).collect();
+        order.sort_by(|&a, &b| {
+            instance
+                .preference(u, b)
+                .partial_cmp(&instance.preference(u, a))
+                .unwrap()
+                .then(a.cmp(&b))
+        });
+        let mut row = Vec::with_capacity(k);
+        for s in 0..k {
+            let c = order
+                .iter()
+                .copied()
+                .find(|&c| !row.contains(&c) && counts[c][s] < cap)
+                .expect("enough items for a feasible assignment");
+            counts[c][s] += 1;
+            row.push(c);
+        }
+        rows.push(row);
+    }
+    Configuration::from_rows(&rows)
+}
+
+/// Complete enumeration with per-slot alignment: enumerates every assignment
+/// of items to display units recursively, pruning with an optimistic bound.
+/// Only intended for very small instances (`n·k ≤ ~12`, small `m`).
+fn exhaustive(instance: &SvgicInstance, st: Option<&StParams>) -> ExactSolution {
+    let n = instance.num_users();
+    let m = instance.num_items();
+    let k = instance.num_slots();
+    let units: Vec<(usize, usize)> = (0..n)
+        .flat_map(|u| (0..k).map(move |s| (u, s)))
+        .collect();
+    assert!(
+        (m as f64).powi(units.len() as i32) <= 5e8,
+        "exhaustive search is limited to tiny instances"
+    );
+    let mut best: Option<(Configuration, f64)> = None;
+    let mut assign = vec![0usize; units.len()];
+    enumerate(
+        instance,
+        st,
+        &units,
+        0,
+        &mut assign,
+        &mut best,
+    );
+    let (configuration, utility) = best.expect("at least one feasible configuration exists");
+    ExactSolution {
+        configuration,
+        utility,
+        proved_optimal: true,
+        nodes: 0,
+    }
+}
+
+fn enumerate(
+    instance: &SvgicInstance,
+    st: Option<&StParams>,
+    units: &[(usize, usize)],
+    idx: usize,
+    assign: &mut Vec<usize>,
+    best: &mut Option<(Configuration, f64)>,
+) {
+    let n = instance.num_users();
+    let k = instance.num_slots();
+    if idx == units.len() {
+        let mut rows = vec![vec![0usize; k]; n];
+        for (i, &(u, s)) in units.iter().enumerate() {
+            rows[u][s] = assign[i];
+        }
+        let cfg = Configuration::from_rows(&rows);
+        if !cfg.is_valid(instance.num_items()) {
+            return;
+        }
+        if let Some(st) = st {
+            if !st.is_feasible(&cfg) {
+                return;
+            }
+        }
+        let utility = match st {
+            Some(st) => total_utility_st(instance, st, &cfg),
+            None => total_utility(instance, &cfg),
+        };
+        if best.as_ref().map_or(true, |(_, u)| utility > *u) {
+            *best = Some((cfg, utility));
+        }
+        return;
+    }
+    let (u, _s) = units[idx];
+    for c in 0..instance.num_items() {
+        // Cheap no-duplication pruning against earlier slots of the same user.
+        let duplicate = units[..idx]
+            .iter()
+            .enumerate()
+            .any(|(i, &(pu, _))| pu == u && assign[i] == c);
+        if duplicate {
+            continue;
+        }
+        assign[idx] = c;
+        enumerate(instance, st, units, idx + 1, assign, best);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svgic_core::example::running_example;
+    use svgic_core::utility::unweighted_total_utility;
+
+    fn tiny_instance() -> SvgicInstance {
+        // Restrict the running example to 3 users / 3 items / 2 slots so the
+        // exhaustive oracle stays fast.
+        running_example()
+            .restrict_users(&[0, 1, 3])
+            .restrict_items(&[0, 3, 4])
+            .with_slots(2)
+            .unwrap()
+    }
+
+    #[test]
+    fn exhaustive_and_branch_bound_agree() {
+        let inst = tiny_instance();
+        let brute = solve_exact(
+            &inst,
+            &ExactConfig {
+                strategy: ExactStrategy::Exhaustive,
+                ..Default::default()
+            },
+        );
+        let ip = solve_exact(&inst, &ExactConfig::default());
+        assert!(brute.proved_optimal && ip.proved_optimal);
+        assert!(
+            (brute.utility - ip.utility).abs() < 1e-6,
+            "exhaustive {} vs branch&bound {}",
+            brute.utility,
+            ip.utility
+        );
+    }
+
+    #[test]
+    fn ip_matches_paper_optimum_on_running_example() {
+        let inst = running_example();
+        let ip = solve_exact(
+            &inst,
+            &ExactConfig {
+                strategy: ExactStrategy::IpDual,
+                max_nodes: 20_000,
+                ..Default::default()
+            },
+        );
+        let unweighted = unweighted_total_utility(&inst, &ip.configuration);
+        assert!(
+            (unweighted - 10.35).abs() < 1e-6,
+            "IP found {unweighted}, paper optimum is 10.35"
+        );
+    }
+
+    #[test]
+    fn all_strategies_return_feasible_solutions_under_budget() {
+        let inst = tiny_instance();
+        for strategy in ExactStrategy::ip_strategies() {
+            let sol = solve_exact(
+                &inst,
+                &ExactConfig {
+                    strategy,
+                    max_nodes: 50,
+                    ..Default::default()
+                },
+            );
+            assert!(sol.configuration.is_valid(inst.num_items()), "{strategy:?}");
+            assert!(sol.utility > 0.0, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn st_exact_respects_cap() {
+        let inst = tiny_instance();
+        let st = StParams::new(0.5, 1);
+        let sol = solve_exact(
+            &inst,
+            &ExactConfig {
+                strategy: ExactStrategy::Exhaustive,
+                st: Some(st),
+                ..Default::default()
+            },
+        );
+        assert!(st.is_feasible(&sol.configuration));
+        // Cap 1 forbids all direct co-display: the optimum is pure preference
+        // plus teleport-discounted indirect co-display.
+        let unconstrained = solve_exact(
+            &inst,
+            &ExactConfig {
+                strategy: ExactStrategy::Exhaustive,
+                ..Default::default()
+            },
+        );
+        assert!(sol.utility <= unconstrained.utility + 1e-9);
+    }
+
+    #[test]
+    fn time_boxed_run_still_returns_something() {
+        let inst = running_example();
+        let sol = solve_exact(
+            &inst,
+            &ExactConfig {
+                strategy: ExactStrategy::IpPrimal,
+                time_limit: Some(Duration::from_millis(1)),
+                max_nodes: 3,
+                ..Default::default()
+            },
+        );
+        assert!(sol.configuration.is_valid(inst.num_items()));
+        assert!(sol.utility > 0.0);
+    }
+}

@@ -1,0 +1,503 @@
+//! Solvers for the practical-scenario extensions of §5.
+//!
+//! Each extension reuses the AVG machinery:
+//!
+//! * **A/B — commodity values & slot significance**: the item/slot weights are
+//!   folded into the utilities before solving ([`solve_weighted_avg`]); the
+//!   slot weights additionally drive a post-rounding slot reordering that
+//!   places the most valuable subgroup assignments at the most significant
+//!   slots.
+//! * **C — multi-view display**: AVG produces the primary views; group views
+//!   are then filled greedily with the friends' primary items that add the
+//!   most social utility ([`solve_mvd`]).
+//! * **E — subgroup change**: a local-search pass swaps the per-user slot
+//!   order to reduce the partition edit distance between consecutive slots
+//!   without changing the SVGIC objective ([`reduce_subgroup_changes`]).
+//! * **F — dynamic scenario**: users join/leave; the stale utility factors are
+//!   extended/shrunk and only the affected users are re-rounded
+//!   ([`DynamicSolver`]).
+//! * **SEO — social event organisation**: events are items, `k = 1`, event
+//!   capacities map to the ST subgroup cap ([`solve_seo`]).
+
+use crate::avg::{round_with_factors, AvgConfig, AvgSolution, SamplingScheme};
+use crate::factors::{solve_relaxation, LpBackend, RelaxationOptions};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use svgic_core::extensions::{extended_total_utility, ExtendedParams, MvdConfiguration};
+use svgic_core::utility::{total_utility, total_utility_st};
+use svgic_core::{Configuration, StParams, SvgicInstance, SvgicInstanceBuilder};
+use svgic_graph::SocialGraph;
+
+/// Folds commodity values into the utilities: `p(u,c) ← ω_c·p(u,c)`,
+/// `τ(u,v,c) ← ω_c·τ(u,v,c)` (extension A).  Slot significance cannot be
+/// folded this way (it is slot- not item-indexed) and is instead handled by
+/// reordering slots after rounding.
+pub fn reweight_instance(instance: &SvgicInstance, params: &ExtendedParams) -> SvgicInstance {
+    let n = instance.num_users();
+    let m = instance.num_items();
+    let graph = instance.graph().clone();
+    let mut builder = SvgicInstanceBuilder::new(graph, m, instance.num_slots(), instance.lambda());
+    for u in 0..n {
+        for c in 0..m {
+            builder.set_preference(u, c, instance.preference(u, c) * params.commodity_value(c));
+        }
+    }
+    for (e, &(u, v)) in instance.graph().edges().to_vec().iter().enumerate() {
+        for c in 0..m {
+            builder.set_social(
+                u,
+                v,
+                c,
+                instance.social_by_edge(e, c) * params.commodity_value(c),
+            );
+        }
+    }
+    builder.build().expect("reweighted instance stays valid")
+}
+
+/// Solves the commodity-value / slot-significance weighted problem
+/// (extensions A + B): AVG on the commodity-weighted instance, then slots are
+/// permuted (identically for all users, preserving co-displays) so that the
+/// slots carrying the most utility land on the most significant positions.
+/// Returns the configuration and its extended objective.
+pub fn solve_weighted_avg(
+    instance: &SvgicInstance,
+    params: &ExtendedParams,
+    config: &AvgConfig,
+) -> (Configuration, f64) {
+    params.validate(instance).expect("extension parameters must match the instance");
+    let weighted = reweight_instance(instance, params);
+    let sol = crate::avg::solve_avg(&weighted, config);
+    let mut cfg = sol.configuration;
+    if let Some(gamma) = &params.slot_significance {
+        // Utility carried by each slot of the weighted instance.
+        let k = instance.num_slots();
+        let mut slot_value: Vec<(f64, usize)> = (0..k)
+            .map(|s| {
+                let mut v = 0.0;
+                for u in 0..weighted.num_users() {
+                    let c = cfg.get(u, s);
+                    v += weighted.preference(u, c);
+                    for &(w, e) in weighted.graph().out_neighbors(u) {
+                        if cfg.get(w, s) == c {
+                            v += weighted.social_by_edge(e, c);
+                        }
+                    }
+                }
+                (v, s)
+            })
+            .collect();
+        // Highest-value slot goes to the highest-significance position.
+        slot_value.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        let mut order: Vec<(f64, usize)> = gamma.iter().copied().zip(0..k).collect();
+        order.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        let mut permuted = cfg.clone();
+        for (rank, &(_, target_slot)) in order.iter().enumerate() {
+            let (_, source_slot) = slot_value[rank];
+            for u in 0..cfg.num_users() {
+                permuted.set(u, target_slot, cfg.get(u, source_slot));
+            }
+        }
+        cfg = permuted;
+    }
+    let objective = extended_total_utility(instance, params, &cfg);
+    (cfg, objective)
+}
+
+/// Multi-view display (extension C): the AVG configuration provides the
+/// primary views; each display unit is then topped up with at most `beta - 1`
+/// group views chosen greedily among the items that friends' primary views
+/// show at the same slot, ordered by the marginal gain in preference + social
+/// utility.
+pub fn solve_mvd(
+    instance: &SvgicInstance,
+    beta: usize,
+    config: &AvgConfig,
+) -> (MvdConfiguration, f64) {
+    assert!(beta >= 1, "beta must allow at least the primary view");
+    let sol = crate::avg::solve_avg(instance, config);
+    let cfg = sol.configuration;
+    let mut mvd = MvdConfiguration::from_configuration(&cfg, beta);
+    let lambda = instance.lambda();
+    for u in 0..instance.num_users() {
+        for s in 0..instance.num_slots() {
+            if beta == 1 {
+                break;
+            }
+            // Candidate items: friends' primary views at this slot.
+            let mut candidates: Vec<(f64, usize)> = instance
+                .graph()
+                .out_neighbors(u)
+                .iter()
+                .map(|&(v, e)| {
+                    let c = cfg.get(v, s);
+                    let gain =
+                        (1.0 - lambda) * instance.preference(u, c) + lambda * instance.social_by_edge(e, c);
+                    (gain, c)
+                })
+                .filter(|&(_, c)| c != mvd.primary(u, s))
+                .collect();
+            candidates.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+            for (gain, c) in candidates {
+                if gain <= 0.0 {
+                    break;
+                }
+                let _ = mvd.add_group_view(u, s, c);
+            }
+        }
+    }
+    let objective = svgic_core::extensions::mvd_total_utility(instance, &mvd);
+    (mvd, objective)
+}
+
+/// Subgroup-change reduction (extension E): greedily permutes each user's slot
+/// order (which leaves the SVGIC objective unchanged only when the whole
+/// subgroup moves together, so swaps are only applied when they do not lower
+/// the objective) until the total partition edit distance stops improving or
+/// `max_rounds` is reached.  Returns the improved configuration and its total
+/// edit distance.
+pub fn reduce_subgroup_changes(
+    instance: &SvgicInstance,
+    config: &Configuration,
+    max_rounds: usize,
+) -> (Configuration, usize) {
+    let k = config.num_slots();
+    let mut current = config.clone();
+    let mut best_distance: usize = total_edit_distance(&current);
+    let base_utility = total_utility(instance, &current);
+    for _ in 0..max_rounds {
+        let mut improved = false;
+        for s1 in 0..k {
+            for s2 in (s1 + 1)..k {
+                // Swap the contents of slots s1 and s2 for every user: this is
+                // a global slot relabelling, so co-displays are preserved and
+                // the SVGIC objective is unchanged; only the adjacency of
+                // partitions (edit distance) changes.
+                let mut candidate = current.clone();
+                for u in 0..current.num_users() {
+                    let a = current.get(u, s1);
+                    let b = current.get(u, s2);
+                    candidate.set(u, s1, b);
+                    candidate.set(u, s2, a);
+                }
+                debug_assert!(
+                    (total_utility(instance, &candidate) - base_utility).abs() < 1e-6
+                );
+                let d = total_edit_distance(&candidate);
+                if d < best_distance {
+                    best_distance = d;
+                    current = candidate;
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    (current, best_distance)
+}
+
+/// Sum of partition edit distances over consecutive slots.
+pub fn total_edit_distance(config: &Configuration) -> usize {
+    (0..config.num_slots().saturating_sub(1))
+        .map(|s| config.subgroup_edit_distance(s))
+        .sum()
+}
+
+/// Incremental solver for the dynamic scenario (extension F): maintains the
+/// current population and configuration; joins and leaves only re-round the
+/// affected users against the existing utility factors instead of re-running
+/// the whole pipeline.
+pub struct DynamicSolver {
+    /// The full catalogue instance over the *maximal* population (all users
+    /// that may ever be present).
+    full: SvgicInstance,
+    /// Currently present users (original indices, sorted).
+    present: Vec<usize>,
+    config: AvgConfig,
+    seed_counter: u64,
+}
+
+impl DynamicSolver {
+    /// Creates a dynamic solver over the full population, with everyone in
+    /// `initial` present.
+    pub fn new(full: SvgicInstance, initial: Vec<usize>, config: AvgConfig) -> Self {
+        let mut present = initial;
+        present.sort_unstable();
+        present.dedup();
+        Self {
+            full,
+            present,
+            config,
+            seed_counter: 0,
+        }
+    }
+
+    /// Currently present users (original indices).
+    pub fn present(&self) -> &[usize] {
+        &self.present
+    }
+
+    /// Applies a join/leave event.  Unknown users and duplicate joins are
+    /// ignored.
+    pub fn apply(&mut self, event: svgic_core::extensions::DynamicEvent) {
+        use svgic_core::extensions::DynamicEvent::*;
+        match event {
+            Join(u) => {
+                if u < self.full.num_users() && !self.present.contains(&u) {
+                    self.present.push(u);
+                    self.present.sort_unstable();
+                }
+            }
+            Leave(u) => {
+                self.present.retain(|&v| v != u);
+            }
+        }
+    }
+
+    /// Re-solves for the current population and returns the solution together
+    /// with the restricted instance it refers to.
+    pub fn resolve(&mut self) -> Option<(SvgicInstance, AvgSolution)> {
+        if self.present.is_empty() {
+            return None;
+        }
+        self.seed_counter += 1;
+        let instance = self.full.restrict_users(&self.present);
+        let factors = solve_relaxation(&instance, &self.config.relaxation);
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed ^ self.seed_counter);
+        let (cfg, iterations) = round_with_factors(
+            &instance,
+            &factors,
+            None,
+            SamplingScheme::Advanced,
+            self.config.max_idle_iterations,
+            &mut rng,
+        );
+        let utility = total_utility(&instance, &cfg);
+        let bound = factors.utility_upper_bound(&instance);
+        Some((
+            instance,
+            AvgSolution {
+                configuration: cfg,
+                utility,
+                relaxation_bound: bound,
+                iterations,
+                repetitions: 1,
+            },
+        ))
+    }
+}
+
+/// A Social Event Organisation (SEO) problem: users attend exactly one event
+/// each, events have capacities, attendance yields a personal affinity and a
+/// social benefit for every pair of friends attending together.
+#[derive(Clone, Debug)]
+pub struct SeoProblem {
+    /// Social network of the attendees.
+    pub graph: SocialGraph,
+    /// Number of candidate events.
+    pub num_events: usize,
+    /// `affinity[u * num_events + e]` — preference of user `u` for event `e`.
+    pub affinity: Vec<f64>,
+    /// Social benefit of attending any common event, per directed edge (keyed
+    /// like the graph's edge indices).
+    pub togetherness: Vec<f64>,
+    /// Capacity of each event.
+    pub capacity: usize,
+    /// Preference/social trade-off.
+    pub lambda: f64,
+}
+
+/// Result of solving an SEO problem via the SVGIC-ST mapping.
+#[derive(Clone, Debug)]
+pub struct SeoSolution {
+    /// Event assigned to each user.
+    pub assignment: Vec<usize>,
+    /// Total welfare (SVGIC-ST objective of the mapped instance).
+    pub welfare: f64,
+}
+
+/// Maps SEO onto SVGIC-ST (`k = 1`, events = items, capacity = subgroup cap)
+/// and solves it with the extended AVG (§4.4 "Supporting Social Event
+/// Organization").
+pub fn solve_seo(problem: &SeoProblem, config: &AvgConfig) -> SeoSolution {
+    let n = problem.graph.num_nodes();
+    assert_eq!(problem.affinity.len(), n * problem.num_events);
+    let mut builder = SvgicInstanceBuilder::new(
+        problem.graph.clone(),
+        problem.num_events,
+        1,
+        problem.lambda,
+    );
+    for u in 0..n {
+        for e in 0..problem.num_events {
+            builder.set_preference(u, e, problem.affinity[u * problem.num_events + e]);
+        }
+    }
+    for (idx, &(u, v)) in problem.graph.edges().to_vec().iter().enumerate() {
+        for e in 0..problem.num_events {
+            builder.set_social(u, v, e, problem.togetherness[idx]);
+        }
+    }
+    let instance = builder.build().expect("valid SEO instance");
+    let st = StParams::new(0.0, problem.capacity.max(1));
+    let sol = crate::avg::solve_avg_st(&instance, &st, config);
+    let assignment = (0..n).map(|u| sol.configuration.get(u, 0)).collect();
+    SeoSolution {
+        assignment,
+        welfare: total_utility_st(&instance, &st, &sol.configuration),
+    }
+}
+
+/// Convenience: a default AVG configuration suitable for the extensions
+/// (structured backend, fixed seed).
+pub fn default_extension_config(seed: u64) -> AvgConfig {
+    AvgConfig {
+        relaxation: RelaxationOptions {
+            backend: LpBackend::Auto,
+            ..Default::default()
+        },
+        seed,
+        ..Default::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svgic_core::example::{paper_configurations, running_example};
+
+    fn cfg(seed: u64) -> AvgConfig {
+        AvgConfig::with_backend(LpBackend::ExactSimplex, seed)
+    }
+
+    #[test]
+    fn reweight_scales_both_utility_kinds() {
+        let inst = running_example();
+        let params = ExtendedParams {
+            commodity: Some(vec![2.0, 1.0, 1.0, 1.0, 0.5]),
+            ..Default::default()
+        };
+        let w = reweight_instance(&inst, &params);
+        assert!((w.preference(0, 0) - 2.0 * inst.preference(0, 0)).abs() < 1e-12);
+        assert!((w.social(0, 2, 4) - 0.5 * inst.social(0, 2, 4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_avg_produces_valid_configuration() {
+        let inst = running_example();
+        let params = ExtendedParams {
+            commodity: Some(vec![1.0, 3.0, 1.0, 1.0, 1.0]),
+            slot_significance: Some(vec![9.0, 1.0, 1.0]),
+            ..Default::default()
+        };
+        let (cfg_out, objective) = solve_weighted_avg(&inst, &params, &cfg(4));
+        assert!(cfg_out.is_valid(inst.num_items()));
+        assert!(objective > 0.0);
+        // The objective must equal the extended evaluation of the returned config.
+        assert!(
+            (objective - extended_total_utility(&inst, &params, &cfg_out)).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn slot_significance_moves_value_to_important_slots() {
+        let inst = running_example();
+        let params = ExtendedParams {
+            slot_significance: Some(vec![10.0, 1.0, 1.0]),
+            ..Default::default()
+        };
+        let (cfg_out, _) = solve_weighted_avg(&inst, &params, &cfg(4));
+        // Slot 0 (significance 10) must carry at least as much raw utility as
+        // any other slot after the reordering.
+        let slot_utility = |s: usize| -> f64 {
+            let mut v = 0.0;
+            for u in 0..inst.num_users() {
+                let c = cfg_out.get(u, s);
+                v += inst.preference(u, c);
+                for &(w, e) in inst.graph().out_neighbors(u) {
+                    if cfg_out.get(w, s) == c {
+                        v += inst.social_by_edge(e, c);
+                    }
+                }
+            }
+            v
+        };
+        assert!(slot_utility(0) + 1e-9 >= slot_utility(1).max(slot_utility(2)));
+    }
+
+    #[test]
+    fn mvd_never_loses_utility_relative_to_single_view() {
+        let inst = running_example();
+        let (mvd, objective) = solve_mvd(&inst, 3, &cfg(8));
+        assert!(mvd.primaries_valid(inst.num_items()));
+        let single = crate::avg::solve_avg(&inst, &cfg(8));
+        assert!(objective + 1e-9 >= single.utility);
+    }
+
+    #[test]
+    fn subgroup_change_reduction_preserves_utility() {
+        let inst = running_example();
+        let cfgs = paper_configurations();
+        let before = total_utility(&inst, &cfgs.optimal);
+        let (smoothed, distance) = reduce_subgroup_changes(&inst, &cfgs.optimal, 5);
+        assert!((total_utility(&inst, &smoothed) - before).abs() < 1e-9);
+        assert!(distance <= total_edit_distance(&cfgs.optimal));
+    }
+
+    #[test]
+    fn dynamic_solver_handles_joins_and_leaves() {
+        use svgic_core::extensions::DynamicEvent;
+        let inst = running_example();
+        let mut solver = DynamicSolver::new(inst, vec![0, 1], cfg(1));
+        let (i1, s1) = solver.resolve().unwrap();
+        assert_eq!(i1.num_users(), 2);
+        assert!(s1.configuration.is_valid(i1.num_items()));
+        solver.apply(DynamicEvent::Join(3));
+        solver.apply(DynamicEvent::Join(3)); // duplicate ignored
+        solver.apply(DynamicEvent::Join(99)); // unknown ignored
+        let (i2, s2) = solver.resolve().unwrap();
+        assert_eq!(i2.num_users(), 3);
+        assert!(s2.configuration.is_valid(i2.num_items()));
+        solver.apply(DynamicEvent::Leave(0));
+        solver.apply(DynamicEvent::Leave(1));
+        solver.apply(DynamicEvent::Leave(3));
+        assert!(solver.resolve().is_none());
+    }
+
+    #[test]
+    fn seo_respects_event_capacity() {
+        // 6 users in two cliques of 3, 3 events, capacity 3: each clique should
+        // gather at one event.
+        let graph = SocialGraph::from_undirected_edges(
+            6,
+            [(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5)],
+        );
+        let n = 6;
+        let num_events = 3;
+        let mut affinity = vec![0.1; n * num_events];
+        for u in 0..3 {
+            affinity[u * num_events] = 0.5; // clique A slightly prefers event 0
+        }
+        for u in 3..6 {
+            affinity[u * num_events + 1] = 0.5; // clique B prefers event 1
+        }
+        let togetherness = vec![1.0; graph.num_edges()];
+        let problem = SeoProblem {
+            graph,
+            num_events,
+            affinity,
+            togetherness,
+            capacity: 3,
+            lambda: 0.5,
+        };
+        let sol = solve_seo(&problem, &cfg(11));
+        assert_eq!(sol.assignment.len(), 6);
+        // Capacity respected.
+        for e in 0..num_events {
+            assert!(sol.assignment.iter().filter(|&&a| a == e).count() <= 3);
+        }
+        assert!(sol.welfare > 0.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # svgic-algorithms
+//!
+//! Solvers for SVGIC and SVGIC-ST:
+//!
+//! * [`factors`] — solves the LP relaxation (exact simplex, condensed LP_SIMP,
+//!   or scalable block-coordinate ascent) and exposes the *utility factors*
+//!   `x*_{u,s}^c` that drive the rounding algorithms;
+//! * [`rounding`] — the trivial independent rounding scheme (Algorithm 1),
+//!   kept as the negative baseline of Lemma 3;
+//! * [`avg`] — the randomized **Alignment-aware VR subGroup formation (AVG)**
+//!   algorithm (Algorithms 2 and 4) built on Co-display Subgroup Formation,
+//!   with plain / advanced focal-parameter sampling, repeated runs
+//!   (Corollary 4.1), and the SVGIC-ST extension with subgroup-size locking;
+//! * [`avg_d`] — the derandomized **AVG-D** (Algorithm 3) with the balancing
+//!   ratio `r` (Theorem 5);
+//! * [`exact`] — exact solvers: exhaustive search for tiny instances and
+//!   branch & bound over the paper's full IP model, with the time-boxed MIP
+//!   strategy variants used in Fig. 9(a);
+//! * [`extensions`] — solvers for the practical scenarios of §5 (commodity
+//!   values, slot significance, multi-view display, subgroup-change repair,
+//!   dynamic user arrival/departure, and the Social Event Organization
+//!   mapping).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod avg;
+pub mod avg_d;
+pub mod exact;
+pub mod extensions;
+pub mod factors;
+pub mod rounding;
+
+pub use avg::{solve_avg, solve_avg_st, AvgConfig, AvgSolution, SamplingScheme};
+pub use avg_d::{solve_avg_d, solve_avg_d_st, AvgDConfig};
+pub use exact::{solve_exact, ExactConfig, ExactSolution, ExactStrategy};
+pub use factors::{solve_relaxation, LpBackend, UtilityFactors};
+pub use rounding::independent_rounding;

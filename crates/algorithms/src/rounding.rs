@@ -1,0 +1,134 @@
+//! The trivial independent rounding scheme (Algorithm 1 of the paper).
+//!
+//! Every display unit `(u, s)` independently draws an item with probability
+//! proportional to the utility factors `x*_{u,s}^c`.  Lemma 3 shows this can
+//! lose a factor `Θ(m)` of the optimum because friends rarely land on the same
+//! item, and the raw scheme does not even respect the no-duplication
+//! constraint — the implementation therefore offers a repaired variant that
+//! redraws duplicates, which is what the experiments use when this baseline is
+//! reported.
+
+use crate::factors::UtilityFactors;
+use rand::Rng;
+use svgic_core::{Configuration, SvgicInstance};
+
+/// Samples one item for every display unit independently with probability
+/// proportional to the per-slot utility factors; duplicate draws for a user
+/// are repaired by redrawing among the not-yet-used items (falling back to the
+/// highest-factor unused item so the result is always a valid configuration).
+pub fn independent_rounding<R: Rng + ?Sized>(
+    instance: &SvgicInstance,
+    factors: &UtilityFactors,
+    rng: &mut R,
+) -> Configuration {
+    let n = instance.num_users();
+    let m = instance.num_items();
+    let k = instance.num_slots();
+    let mut rows: Vec<Vec<usize>> = Vec::with_capacity(n);
+    for u in 0..n {
+        let mut used = vec![false; m];
+        let mut row = Vec::with_capacity(k);
+        for s in 0..k {
+            let mut weights: Vec<f64> = (0..m)
+                .map(|c| if used[c] { 0.0 } else { factors.per_slot(u, s, c).max(0.0) })
+                .collect();
+            let total: f64 = weights.iter().sum();
+            let chosen = if total <= f64::EPSILON {
+                // No fractional mass left on unused items: fall back to the
+                // highest-preference unused item.
+                (0..m)
+                    .filter(|&c| !used[c])
+                    .max_by(|&a, &b| {
+                        instance
+                            .preference(u, a)
+                            .partial_cmp(&instance.preference(u, b))
+                            .unwrap()
+                            .then(b.cmp(&a))
+                    })
+                    .expect("k <= m guarantees an unused item")
+            } else {
+                let mut target = rng.gen::<f64>() * total;
+                let mut chosen = m - 1;
+                for (c, w) in weights.iter_mut().enumerate() {
+                    target -= *w;
+                    if target <= 0.0 && *w > 0.0 {
+                        chosen = c;
+                        break;
+                    }
+                }
+                if used[chosen] {
+                    // Extremely unlikely numerical edge; pick any unused item.
+                    chosen = (0..m).find(|&c| !used[c]).unwrap();
+                }
+                chosen
+            };
+            used[chosen] = true;
+            row.push(chosen);
+        }
+        rows.push(row);
+    }
+    Configuration::from_rows(&rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factors::{solve_relaxation_with, LpBackend};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use svgic_core::example::running_example;
+    use svgic_core::utility::total_utility;
+
+    #[test]
+    fn always_produces_valid_configurations() {
+        let inst = running_example();
+        let factors = solve_relaxation_with(&inst, LpBackend::ExactSimplex);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..25 {
+            let cfg = independent_rounding(&inst, &factors, &mut rng);
+            assert!(cfg.is_valid(inst.num_items()));
+            assert!(total_utility(&inst, &cfg) > 0.0);
+        }
+    }
+
+    #[test]
+    fn is_typically_worse_than_the_lp_bound() {
+        let inst = running_example();
+        let factors = solve_relaxation_with(&inst, LpBackend::ExactSimplex);
+        let bound = factors.utility_upper_bound(&inst);
+        let mut rng = StdRng::seed_from_u64(11);
+        let avg: f64 = (0..40)
+            .map(|_| total_utility(&inst, &independent_rounding(&inst, &factors, &mut rng)))
+            .sum::<f64>()
+            / 40.0;
+        assert!(avg <= bound + 1e-9);
+    }
+
+    #[test]
+    fn indifference_instance_rarely_aligns_views() {
+        // The Lemma 3 instance: uniform factors mean friends rarely share an
+        // item, so the expected social utility is far below the optimum
+        // (co-displaying everything to everyone).
+        use svgic_core::SvgicInstanceBuilder;
+        use svgic_graph::generate::complete_graph;
+        let m = 12;
+        let graph = complete_graph(4);
+        let mut b = SvgicInstanceBuilder::new(graph, m, 2, 1.0);
+        b.fill_social(|_, _, _| 1.0);
+        let inst = b.build().unwrap();
+        let aggregate = vec![inst.num_slots() as f64 / m as f64; 4 * m];
+        let factors = UtilityFactors::from_aggregate(&inst, aggregate, 0.0, LpBackend::Structured);
+        let mut rng = StdRng::seed_from_u64(5);
+        let runs = 60;
+        let avg_utility: f64 = (0..runs)
+            .map(|_| total_utility(&inst, &independent_rounding(&inst, &factors, &mut rng)))
+            .sum::<f64>()
+            / runs as f64;
+        // Optimal co-display utility: every ordered friend pair (12 of them)
+        // on both slots = 24.  Independent rounding should stay well below half.
+        assert!(
+            avg_utility < 12.0,
+            "independent rounding unexpectedly aligned views: {avg_utility}"
+        );
+    }
+}

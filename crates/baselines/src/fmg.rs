@@ -1,0 +1,93 @@
+//! FMG — fairness-aware group recommendation (the "group approach" of §1).
+//!
+//! The whole shopping group is treated as one unit: a single bundle of `k`
+//! items is selected and displayed identically (same items, same slots) to
+//! every user.  Items are chosen greedily by the group-aggregate SAVG utility
+//! of co-displaying the item to everyone, with a fairness term (the minimum
+//! per-user gain) as a tie-breaking secondary objective, mirroring the
+//! package-to-group fairness criterion of the original FMG baseline.
+
+use svgic_core::{Configuration, SvgicInstance};
+
+/// Runs the FMG baseline.
+pub fn solve_fmg(instance: &SvgicInstance) -> Configuration {
+    let n = instance.num_users();
+    let m = instance.num_items();
+    let k = instance.num_slots();
+    let lambda = instance.lambda();
+
+    // Aggregate value of co-displaying item c to the whole group, plus the
+    // minimum per-user gain used as the fairness tie-breaker.
+    let mut scored: Vec<(f64, f64, usize)> = (0..m)
+        .map(|c| {
+            let mut per_user = vec![0.0f64; n];
+            for u in 0..n {
+                per_user[u] += (1.0 - lambda) * instance.preference(u, c);
+            }
+            for (p, pair) in instance.friend_pairs().iter().enumerate() {
+                let w = instance.pair_weight(p, c);
+                // Split the pair weight between the endpoints for the fairness
+                // view; the aggregate sum is unaffected.
+                per_user[pair.u] += lambda * w / 2.0;
+                per_user[pair.v] += lambda * w / 2.0;
+            }
+            let total: f64 = per_user.iter().sum();
+            let fairness = per_user.iter().cloned().fold(f64::INFINITY, f64::min);
+            (total, fairness, c)
+        })
+        .collect();
+    scored.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .unwrap()
+            .then(b.1.partial_cmp(&a.1).unwrap())
+            .then(a.2.cmp(&b.2))
+    });
+    let bundle: Vec<usize> = scored.into_iter().take(k).map(|(_, _, c)| c).collect();
+    let rows = vec![bundle; n];
+    Configuration::from_rows(&rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svgic_core::example::running_example;
+    use svgic_core::utility::unweighted_total_utility;
+
+    #[test]
+    fn fmg_displays_the_same_bundle_to_everyone() {
+        let inst = running_example();
+        let cfg = solve_fmg(&inst);
+        assert!(cfg.is_valid(inst.num_items()));
+        for s in 0..inst.num_slots() {
+            assert_eq!(cfg.num_subgroups_at_slot(s), 1);
+        }
+        for u in 1..inst.num_users() {
+            assert_eq!(cfg.items_of(u), cfg.items_of(0));
+        }
+    }
+
+    #[test]
+    fn fmg_matches_the_paper_group_value_on_the_running_example() {
+        // The paper's group approach reaches a total unweighted utility of
+        // 8.35.  The aggregate scores are c5 = 3.35, c1 = 2.6 and then a tie
+        // between c2 and c4 at 2.4 — the paper breaks the tie towards c2, our
+        // fairness tie-break towards c4, and both choices land on exactly 8.35.
+        let inst = running_example();
+        let cfg = solve_fmg(&inst);
+        let value = unweighted_total_utility(&inst, &cfg);
+        assert!((value - 8.35).abs() < 1e-9, "FMG reached {value}");
+        let mut items = cfg.items_of(0).to_vec();
+        items.sort_unstable();
+        assert!(items.contains(&0) && items.contains(&4), "bundle {items:?}");
+        assert!(items.contains(&1) || items.contains(&3), "bundle {items:?}");
+    }
+
+    #[test]
+    fn fmg_is_invariant_to_user_order() {
+        let inst = running_example();
+        let cfg = solve_fmg(&inst);
+        let permuted = inst.restrict_users(&[0, 1, 2, 3]);
+        let cfg2 = solve_fmg(&permuted);
+        assert_eq!(cfg.items_of(0), cfg2.items_of(0));
+    }
+}

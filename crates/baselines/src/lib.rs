@@ -1,0 +1,119 @@
+//! # svgic-baselines
+//!
+//! The recommendation baselines the paper evaluates AVG / AVG-D against
+//! (§1 and §6.1):
+//!
+//! * [`per`] — **PER**: personalized top-k retrieval per user (the
+//!   personalized approach; ignores social utility entirely).
+//! * [`fmg`] — **FMG**: fairness-aware group recommendation; one bundled
+//!   k-item set displayed identically to the entire shopping group (the group
+//!   approach).
+//! * [`sdp`] — **SDP**: socially tight subgroups are extracted first (densest
+//!   subgroup peeling) and each subgroup gets its own bundled item set (the
+//!   subgroup-by-friendship approach).
+//! * [`grf`] — **GRF**: users are clustered by *preference similarity*
+//!   (k-means) and each cluster gets its own bundled item set (the
+//!   subgroup-by-preference approach).
+//! * [`subgroup`] — the simple two-way subgroup-by-friendship /
+//!   subgroup-by-preference splits used by the paper's running example
+//!   (Table 9), plus a generic "items-for-a-fixed-partition" helper.
+//! * [`prepartition`] — the "-P" wrapper of §6.8: for SVGIC-ST, the user set
+//!   is pre-partitioned into ⌈N/M⌉ balanced subgroups before any baseline
+//!   runs, which is how the paper makes the baselines (other than PER)
+//!   approach feasibility under the subgroup-size cap.
+//!
+//! All baselines return ordinary [`svgic_core::Configuration`]s so the metrics
+//! and experiment layers treat them uniformly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fmg;
+pub mod grf;
+pub mod per;
+pub mod prepartition;
+pub mod sdp;
+pub mod subgroup;
+
+pub use fmg::solve_fmg;
+pub use grf::{solve_grf, GrfConfig};
+pub use per::solve_per;
+pub use prepartition::{solve_prepartitioned, PrePartitionMode};
+pub use sdp::{solve_sdp, SdpConfig};
+pub use subgroup::{
+    configuration_for_partition, solve_subgroup_by_friendship, solve_subgroup_by_preference,
+};
+
+/// Identifier of every method compared in the experiments (solvers plus
+/// baselines), used by the experiment harness to produce the paper's tables.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Randomized AVG (this paper).
+    Avg,
+    /// Deterministic AVG-D (this paper).
+    AvgD,
+    /// Personalized top-k.
+    Per,
+    /// Fairness-aware group recommendation (group approach).
+    Fmg,
+    /// Social-aware diverse selection (subgroup-by-friendship approach).
+    Sdp,
+    /// Group recommendation & formation (subgroup-by-preference approach).
+    Grf,
+    /// Exact integer program.
+    Ip,
+}
+
+impl Method {
+    /// Display name used in tables (matches the paper's labels).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Method::Avg => "AVG",
+            Method::AvgD => "AVG-D",
+            Method::Per => "PER",
+            Method::Fmg => "FMG",
+            Method::Sdp => "SDP",
+            Method::Grf => "GRF",
+            Method::Ip => "IP",
+        }
+    }
+
+    /// All methods in the paper's usual reporting order.
+    pub fn all() -> [Method; 7] {
+        [
+            Method::Avg,
+            Method::AvgD,
+            Method::Per,
+            Method::Fmg,
+            Method::Sdp,
+            Method::Grf,
+            Method::Ip,
+        ]
+    }
+
+    /// The polynomial-time methods (everything except the exact IP).
+    pub fn polynomial() -> [Method; 6] {
+        [
+            Method::Avg,
+            Method::AvgD,
+            Method::Per,
+            Method::Fmg,
+            Method::Sdp,
+            Method::Grf,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn method_labels_are_unique() {
+        let labels: std::collections::HashSet<_> =
+            Method::all().iter().map(|m| m.label()).collect();
+        assert_eq!(labels.len(), Method::all().len());
+        assert_eq!(Method::Avg.label(), "AVG");
+        assert_eq!(Method::polynomial().len(), 6);
+    }
+}

@@ -1,0 +1,128 @@
+//! The "-P" pre-partitioning wrapper for SVGIC-ST (§6.8 of the paper).
+//!
+//! None of the baselines is aware of the subgroup-size cap `M`.  The paper
+//! therefore evaluates each of them in two flavours: "-NP" (run as-is, may
+//! violate the cap) and "-P" (the user set is first split into ⌈N/M⌉ balanced
+//! subgroups and the baseline is run independently on every part, then the
+//! partial configurations are stitched back together).  Pre-partitioning
+//! drastically reduces — but, as the paper observes, does not always
+//! eliminate — the violations, because two different parts may still pick the
+//! same popular item at the same slot.
+
+use crate::{fmg::solve_fmg, grf::solve_grf, per::solve_per, sdp::solve_sdp, GrfConfig, Method, SdpConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use svgic_core::{Configuration, StParams, SvgicInstance};
+use svgic_graph::community::balanced_partition;
+
+/// Whether a baseline is run with or without pre-partitioning.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PrePartitionMode {
+    /// Run the baseline on the whole group ("-NP").
+    None,
+    /// Pre-partition into ⌈N/M⌉ balanced subgroups first ("-P").
+    Balanced,
+}
+
+/// Runs a baseline method for SVGIC-ST, optionally with the "-P" balanced
+/// pre-partitioning.  `Method::Avg`, `Method::AvgD` and `Method::Ip` are not
+/// handled here (they have dedicated ST-aware solvers).
+pub fn solve_prepartitioned(
+    instance: &SvgicInstance,
+    st: &StParams,
+    method: Method,
+    mode: PrePartitionMode,
+    seed: u64,
+) -> Configuration {
+    match mode {
+        PrePartitionMode::None => run_baseline(instance, method, seed),
+        PrePartitionMode::Balanced => {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let group_size = st.max_subgroup.min(instance.num_users().max(1));
+            let partition = balanced_partition(instance.graph(), group_size, &mut rng);
+            let n = instance.num_users();
+            let k = instance.num_slots();
+            let mut rows = vec![vec![0usize; k]; n];
+            for group in &partition.groups {
+                let sub = instance.restrict_users(group);
+                let cfg = run_baseline(&sub, method, seed);
+                for (local, &original) in group.iter().enumerate() {
+                    rows[original] = cfg.items_of(local).to_vec();
+                }
+            }
+            Configuration::from_rows(&rows)
+        }
+    }
+}
+
+fn run_baseline(instance: &SvgicInstance, method: Method, seed: u64) -> Configuration {
+    match method {
+        Method::Per => solve_per(instance),
+        Method::Fmg => solve_fmg(instance),
+        Method::Sdp => solve_sdp(instance, &SdpConfig::default()),
+        Method::Grf => solve_grf(
+            instance,
+            &GrfConfig {
+                seed,
+                ..Default::default()
+            },
+        ),
+        other => panic!("solve_prepartitioned only handles baselines, got {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svgic_core::example::running_example;
+
+    #[test]
+    fn prepartitioning_reduces_or_preserves_violations() {
+        let inst = running_example();
+        let st = StParams::new(0.5, 2);
+        for method in [Method::Fmg, Method::Sdp, Method::Grf, Method::Per] {
+            let np = solve_prepartitioned(&inst, &st, method, PrePartitionMode::None, 1);
+            let p = solve_prepartitioned(&inst, &st, method, PrePartitionMode::Balanced, 1);
+            assert!(np.is_valid(inst.num_items()));
+            assert!(p.is_valid(inst.num_items()));
+            assert!(
+                st.total_violation(&p) <= st.total_violation(&np),
+                "{method:?}: -P has {} violations vs -NP {}",
+                st.total_violation(&p),
+                st.total_violation(&np)
+            );
+        }
+    }
+
+    #[test]
+    fn fmg_np_violates_small_caps_on_the_running_example() {
+        // FMG shows the same bundle to everyone: with M = 2 and n = 4 each slot
+        // has a subgroup of 4, i.e. 2 excess users per slot.
+        let inst = running_example();
+        let st = StParams::new(0.5, 2);
+        let cfg = solve_prepartitioned(&inst, &st, Method::Fmg, PrePartitionMode::None, 1);
+        assert_eq!(st.total_violation(&cfg), 2 * inst.num_slots());
+        assert!(!st.is_feasible(&cfg));
+    }
+
+    #[test]
+    fn per_is_unaffected_by_prepartitioning_values() {
+        // PER never co-displays intentionally, so both variants give the same
+        // per-user item sets.
+        let inst = running_example();
+        let st = StParams::new(0.5, 2);
+        let np = solve_prepartitioned(&inst, &st, Method::Per, PrePartitionMode::None, 1);
+        let p = solve_prepartitioned(&inst, &st, Method::Per, PrePartitionMode::Balanced, 1);
+        for u in 0..inst.num_users() {
+            assert_eq!(np.items_of(u), p.items_of(u));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "only handles baselines")]
+    fn rejects_non_baseline_methods() {
+        let inst = running_example();
+        let st = StParams::new(0.5, 2);
+        let _ = solve_prepartitioned(&inst, &st, Method::Avg, PrePartitionMode::None, 1);
+    }
+}

@@ -1,0 +1,217 @@
+//! Fixed-partition subgroup baselines.
+//!
+//! Given any *static* partition of the shopping group, every subgroup receives
+//! its own bundled `k`-item set chosen by the group-aggregate criterion
+//! restricted to the subgroup (the same rule FMG applies to the whole group).
+//! This is the building block shared by the SDP / GRF baselines and by the two
+//! simple two-way splits used in the running example of the paper
+//! (subgroup-by-friendship and subgroup-by-preference, Table 9).
+
+use svgic_core::{Configuration, SvgicInstance};
+use svgic_graph::cluster::{kmeans, KMeansConfig};
+use svgic_graph::community::Partition;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// For every group of `partition`, greedily selects the `k` items with the
+/// highest subgroup-aggregate SAVG utility and displays them (in that order)
+/// to all its members.
+pub fn configuration_for_partition(
+    instance: &SvgicInstance,
+    partition: &Partition,
+) -> Configuration {
+    let n = instance.num_users();
+    let m = instance.num_items();
+    let k = instance.num_slots();
+    let lambda = instance.lambda();
+    let mut rows = vec![Vec::new(); n];
+    for group in &partition.groups {
+        let member_set: std::collections::HashSet<usize> = group.iter().copied().collect();
+        let mut scored: Vec<(f64, usize)> = (0..m)
+            .map(|c| {
+                let mut total = 0.0;
+                for &u in group {
+                    total += (1.0 - lambda) * instance.preference(u, c);
+                }
+                for (p, pair) in instance.friend_pairs().iter().enumerate() {
+                    if member_set.contains(&pair.u) && member_set.contains(&pair.v) {
+                        total += lambda * instance.pair_weight(p, c);
+                    }
+                }
+                (total, c)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        let bundle: Vec<usize> = scored.into_iter().take(k).map(|(_, c)| c).collect();
+        for &u in group {
+            rows[u] = bundle.clone();
+        }
+    }
+    Configuration::from_rows(&rows)
+}
+
+/// The running example's subgroup-by-friendship baseline: the group is split
+/// into two equally sized halves maximising internal friendships (exact search
+/// over balanced bipartitions for small groups, greedy swap refinement
+/// otherwise), and each half gets its own bundle.
+pub fn solve_subgroup_by_friendship(instance: &SvgicInstance) -> Configuration {
+    let n = instance.num_users();
+    let assignment = balanced_bipartition_by_edges(instance);
+    let partition = Partition::from_assignment(&assignment);
+    let _ = n;
+    configuration_for_partition(instance, &partition)
+}
+
+/// The running example's subgroup-by-preference baseline: the group is split
+/// into two clusters by k-means on the preference vectors, and each cluster
+/// gets its own bundle.
+pub fn solve_subgroup_by_preference(instance: &SvgicInstance) -> Configuration {
+    let n = instance.num_users();
+    let points: Vec<Vec<f64>> = (0..n)
+        .map(|u| instance.preference_row(u).to_vec())
+        .collect();
+    // k-means is sensitive to its initial centroids; restart a few times and
+    // keep the clustering with the lowest within-cluster variance.
+    let mut rng = ChaCha8Rng::seed_from_u64(0xB1A5);
+    let mut best: Option<svgic_graph::cluster::KMeansResult> = None;
+    for _ in 0..8 {
+        let result = kmeans(
+            &points,
+            &KMeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        if best.as_ref().map_or(true, |b| result.inertia < b.inertia) {
+            best = Some(result);
+        }
+    }
+    let partition = Partition::from_assignment(&best.expect("at least one restart").assignment);
+    configuration_for_partition(instance, &partition)
+}
+
+/// Splits the users into two halves of (nearly) equal size maximising the
+/// number of internal friendships.  Exhaustive for `n ≤ 16`, greedy
+/// swap-improvement otherwise.
+fn balanced_bipartition_by_edges(instance: &SvgicInstance) -> Vec<usize> {
+    let n = instance.num_users();
+    let pairs: Vec<(usize, usize)> = instance
+        .friend_pairs()
+        .iter()
+        .map(|p| (p.u, p.v))
+        .collect();
+    let internal = |assignment: &[usize]| -> usize {
+        pairs
+            .iter()
+            .filter(|&&(u, v)| assignment[u] == assignment[v])
+            .count()
+    };
+    let half = n / 2;
+    if n <= 16 {
+        // Enumerate subsets of size ⌊n/2⌋ containing user 0 (w.l.o.g.).
+        let mut best: Option<(usize, Vec<usize>)> = None;
+        for mask in 0u32..(1 << n) {
+            if (mask.count_ones() as usize) != half || (mask & 1) == 0 {
+                continue;
+            }
+            let assignment: Vec<usize> = (0..n)
+                .map(|u| if (mask >> u) & 1 == 1 { 0 } else { 1 })
+                .collect();
+            let score = internal(&assignment);
+            if best.as_ref().map_or(true, |(b, _)| score > *b) {
+                best = Some((score, assignment));
+            }
+        }
+        best.map(|(_, a)| a)
+            .unwrap_or_else(|| (0..n).map(|u| u % 2).collect())
+    } else {
+        // Greedy: start from an arbitrary balanced split, repeatedly swap the
+        // pair of users (one from each side) that most improves the count.
+        let mut assignment: Vec<usize> = (0..n).map(|u| if u < half { 0 } else { 1 }).collect();
+        let mut current = internal(&assignment);
+        loop {
+            let mut best_swap: Option<(usize, usize, usize)> = None;
+            for a in 0..n {
+                for b in 0..n {
+                    if assignment[a] == 0 && assignment[b] == 1 {
+                        let mut candidate = assignment.clone();
+                        candidate.swap(a, b);
+                        let score = internal(&candidate);
+                        if score > current
+                            && best_swap.as_ref().map_or(true, |&(s, _, _)| score > s)
+                        {
+                            best_swap = Some((score, a, b));
+                        }
+                    }
+                }
+            }
+            match best_swap {
+                Some((score, a, b)) => {
+                    assignment.swap(a, b);
+                    current = score;
+                }
+                None => break,
+            }
+        }
+        assignment
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svgic_core::example::{running_example, users};
+    use svgic_core::utility::unweighted_total_utility;
+    use svgic_graph::community::Partition;
+
+    #[test]
+    fn partition_bundles_are_shared_within_groups() {
+        let inst = running_example();
+        let partition = Partition::from_assignment(&[0, 1, 1, 0]);
+        let cfg = configuration_for_partition(&inst, &partition);
+        assert!(cfg.is_valid(inst.num_items()));
+        assert_eq!(cfg.items_of(0), cfg.items_of(3));
+        assert_eq!(cfg.items_of(1), cfg.items_of(2));
+    }
+
+    #[test]
+    fn by_friendship_matches_the_paper_split_and_value() {
+        let inst = running_example();
+        let cfg = solve_subgroup_by_friendship(&inst);
+        // The paper splits into {Alice, Dave} and {Bob, Charlie} and reports a
+        // total unweighted utility of 8.4.
+        assert_eq!(cfg.items_of(users::ALICE), cfg.items_of(users::DAVE));
+        assert_eq!(cfg.items_of(users::BOB), cfg.items_of(users::CHARLIE));
+        let value = unweighted_total_utility(&inst, &cfg);
+        assert!((value - 8.4).abs() < 1e-9, "by-friendship reached {value}");
+    }
+
+    #[test]
+    fn by_preference_matches_the_paper_split_and_value() {
+        let inst = running_example();
+        let cfg = solve_subgroup_by_preference(&inst);
+        // The paper clusters {Alice, Bob} and {Charlie, Dave} and reports 8.7.
+        assert_eq!(cfg.items_of(users::ALICE), cfg.items_of(users::BOB));
+        assert_eq!(cfg.items_of(users::CHARLIE), cfg.items_of(users::DAVE));
+        let value = unweighted_total_utility(&inst, &cfg);
+        assert!((value - 8.7).abs() < 1e-9, "by-preference reached {value}");
+    }
+
+    #[test]
+    fn singleton_partition_degenerates_to_personalized_preference_order() {
+        let inst = running_example();
+        let partition = Partition::from_assignment(&[0, 1, 2, 3]);
+        let cfg = configuration_for_partition(&inst, &partition);
+        let per = crate::per::solve_per(&inst);
+        // With λ = ½ and singleton groups the per-group score is a scaled
+        // preference, so the bundles coincide with PER's.
+        for u in 0..inst.num_users() {
+            let mut a = cfg.items_of(u).to_vec();
+            let mut b = per.items_of(u).to_vec();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+}

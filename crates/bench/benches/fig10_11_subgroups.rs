@@ -1,0 +1,38 @@
+//! Fig. 10 / Fig. 11 bench target: subgroup metrics, regret CDFs and the
+//! ego-network case study; Criterion measures the metric computation itself
+//! (it is part of the evaluation loop at large n).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use svgic_algorithms::avg::{solve_avg, AvgConfig};
+use svgic_bench::{bench_scale, print_report};
+use svgic_datasets::{DatasetProfile, InstanceSpec};
+use svgic_experiments::fig_subgroup;
+use svgic_metrics::{regret_ratios, subgroup_metrics};
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    print_report(&fig_subgroup::fig10(scale));
+    print_report(&fig_subgroup::fig11(scale));
+
+    let mut rng = StdRng::seed_from_u64(10);
+    let inst = InstanceSpec {
+        num_users: 30,
+        num_items: 50,
+        num_slots: 5,
+        ..InstanceSpec::small(DatasetProfile::YelpLike)
+    }
+    .build(&mut rng);
+    let cfg = solve_avg(&inst, &AvgConfig::default()).configuration;
+    let mut group = c.benchmark_group("fig10_metrics");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("subgroup_metrics", |b| b.iter(|| subgroup_metrics(&inst, &cfg)));
+    group.bench_function("regret_ratios", |b| b.iter(|| regret_ratios(&inst, &cfg)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

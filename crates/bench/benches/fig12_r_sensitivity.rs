@@ -1,0 +1,37 @@
+//! Fig. 12 bench target: AVG-D sensitivity to the balancing ratio `r`
+//! (utility, runtime, subgroup density / Intra%), with Criterion measuring
+//! AVG-D at the extreme and recommended `r` values.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use svgic_algorithms::avg_d::{solve_avg_d, AvgDConfig};
+use svgic_bench::{bench_scale, print_report};
+use svgic_datasets::{DatasetProfile, InstanceSpec};
+use svgic_experiments::fig_ablation;
+
+fn bench(c: &mut Criterion) {
+    print_report(&fig_ablation::fig12(bench_scale()));
+
+    let mut rng = StdRng::seed_from_u64(12);
+    let inst = InstanceSpec {
+        num_users: 12,
+        num_items: 24,
+        num_slots: 4,
+        ..InstanceSpec::small(DatasetProfile::TimikLike)
+    }
+    .build(&mut rng);
+    let mut group = c.benchmark_group("fig12_avg_d_vs_r");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for r in [0.05f64, 0.25, 1.0] {
+        group.bench_with_input(BenchmarkId::new("AVG-D", format!("r={r}")), &r, |b, &r| {
+            b.iter(|| solve_avg_d(&inst, &AvgDConfig::with_ratio(r)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Fig. 13 / Fig. 14 / Fig. 15 bench target: SVGIC-ST size-constraint
+//! violations and utility vs the cap `M`, with Criterion measuring the
+//! ST-aware AVG under a tight and a loose cap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use svgic_algorithms::avg::{solve_avg_st, AvgConfig};
+use svgic_bench::{bench_scale, print_report};
+use svgic_core::StParams;
+use svgic_datasets::{DatasetProfile, InstanceSpec};
+use svgic_experiments::fig_st;
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    print_report(&fig_st::fig13(scale));
+    print_report(&fig_st::fig14_15(scale));
+
+    let mut rng = StdRng::seed_from_u64(13);
+    let inst = InstanceSpec {
+        num_users: 20,
+        num_items: 40,
+        num_slots: 4,
+        ..InstanceSpec::small(DatasetProfile::TimikLike)
+    }
+    .build(&mut rng);
+    let mut group = c.benchmark_group("fig13_15_avg_st");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for cap in [3usize, 10] {
+        let st = StParams::new(0.5, cap);
+        group.bench_with_input(BenchmarkId::new("AVG-ST", format!("M={cap}")), &st, |b, st| {
+            b.iter(|| solve_avg_st(&inst, st, &AvgConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Fig. 16 bench target: the simulated hTC VIVE user study — prints the
+//! utility / satisfaction / correlation panels and measures the study
+//! simulation plus one AVG solve on the study population.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use svgic_algorithms::avg::{solve_avg, AvgConfig};
+use svgic_bench::{bench_scale, print_report};
+use svgic_datasets::{simulate_user_study, UserStudyConfig};
+use svgic_experiments::fig_user_study;
+
+fn bench(c: &mut Criterion) {
+    print_report(&fig_user_study::fig16(bench_scale()));
+
+    let mut group = c.benchmark_group("fig16_user_study");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("simulate 44 participants + AVG", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(16);
+            let study = simulate_user_study(&UserStudyConfig::default(), &mut rng);
+            solve_avg(&study.instance, &AvgConfig::default())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Fig. 3 bench target: prints the utility / runtime sweeps vs n, m, k on
+//! small datasets (panels (a)–(f)) and measures AVG / AVG-D / IP with
+//! Criterion on a representative small instance (the figure's time panels).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use svgic_algorithms::avg::{solve_avg, AvgConfig};
+use svgic_algorithms::avg_d::{solve_avg_d, AvgDConfig};
+use svgic_algorithms::exact::{solve_exact, ExactConfig, ExactStrategy};
+use svgic_bench::{bench_scale, print_report};
+use svgic_datasets::{DatasetProfile, InstanceSpec};
+use svgic_experiments::fig_small;
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    print_report(&fig_small::fig3(scale));
+
+    let mut rng = StdRng::seed_from_u64(3);
+    let instance = InstanceSpec {
+        num_users: 8,
+        num_items: 12,
+        num_slots: 3,
+        ..InstanceSpec::small(DatasetProfile::TimikLike)
+    }
+    .build(&mut rng);
+
+    let mut group = c.benchmark_group("fig3_small_time");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("AVG", |b| b.iter(|| solve_avg(&instance, &AvgConfig::default())));
+    group.bench_function("AVG-D", |b| {
+        b.iter(|| solve_avg_d(&instance, &AvgDConfig::default()))
+    });
+    group.bench_function("IP (node-limited)", |b| {
+        b.iter(|| {
+            solve_exact(
+                &instance,
+                &ExactConfig {
+                    strategy: ExactStrategy::IpDual,
+                    max_nodes: 200,
+                    ..Default::default()
+                },
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

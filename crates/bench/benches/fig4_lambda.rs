@@ -1,0 +1,38 @@
+//! Fig. 4 bench target: prints the Personal%/Social% split across λ and
+//! measures how λ affects AVG's end-to-end latency.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use svgic_algorithms::avg::{solve_avg, AvgConfig};
+use svgic_bench::{bench_scale, print_report};
+use svgic_datasets::{DatasetProfile, InstanceSpec};
+use svgic_experiments::fig_small;
+
+fn bench(c: &mut Criterion) {
+    print_report(&fig_small::fig4(bench_scale()));
+
+    let mut rng = StdRng::seed_from_u64(4);
+    let base = InstanceSpec {
+        num_users: 10,
+        num_items: 16,
+        num_slots: 3,
+        ..InstanceSpec::small(DatasetProfile::TimikLike)
+    }
+    .build(&mut rng);
+
+    let mut group = c.benchmark_group("fig4_lambda");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for lambda in [0.33, 0.5, 0.67] {
+        let inst = base.with_lambda(lambda).unwrap();
+        group.bench_function(format!("AVG lambda={lambda}"), |b| {
+            b.iter(|| solve_avg(&inst, &AvgConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Fig. 5 / Fig. 6 / Fig. 7 bench target: prints the larger-scale quality
+//! sweeps (n sweep, dataset families, input utility models) and measures AVG
+//! on the largest instance of the sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use svgic_algorithms::avg::{solve_avg, AvgConfig};
+use svgic_bench::{bench_scale, print_report};
+use svgic_datasets::{DatasetProfile, InstanceSpec};
+use svgic_experiments::fig_large;
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    print_report(&fig_large::fig5(scale));
+    print_report(&fig_large::fig6(scale));
+    print_report(&fig_large::fig7(scale));
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let inst = InstanceSpec {
+        num_users: 30,
+        num_items: 60,
+        num_slots: 5,
+        ..InstanceSpec::small(DatasetProfile::TimikLike)
+    }
+    .build(&mut rng);
+    let mut group = c.benchmark_group("fig5_quality");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("AVG n=30 m=60 k=5", |b| {
+        b.iter(|| solve_avg(&inst, &AvgConfig::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Fig. 8 bench target: execution-time scalability of AVG on Yelp-like data —
+//! the figure's y-axis *is* runtime, so this target both prints the harness
+//! table and measures the solver with Criterion across the `n` sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use svgic_algorithms::avg::{solve_avg, AvgConfig};
+use svgic_baselines::{solve_grf, solve_per, GrfConfig};
+use svgic_bench::{bench_scale, print_report};
+use svgic_datasets::{DatasetProfile, InstanceSpec};
+use svgic_experiments::fig_large;
+
+fn bench(c: &mut Criterion) {
+    print_report(&fig_large::fig8(bench_scale()));
+
+    let mut group = c.benchmark_group("fig8_time_vs_n");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n in [10usize, 20, 30] {
+        let mut rng = StdRng::seed_from_u64(8 + n as u64);
+        let inst = InstanceSpec {
+            num_users: n,
+            num_items: 50,
+            num_slots: 5,
+            ..InstanceSpec::small(DatasetProfile::YelpLike)
+        }
+        .build(&mut rng);
+        group.bench_with_input(BenchmarkId::new("AVG", n), &inst, |b, inst| {
+            b.iter(|| solve_avg(inst, &AvgConfig::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("PER", n), &inst, |b, inst| {
+            b.iter(|| solve_per(inst))
+        });
+        group.bench_with_input(BenchmarkId::new("GRF", n), &inst, |b, inst| {
+            b.iter(|| solve_grf(inst, &GrfConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Fig. 9 bench target: (a) time-boxed exact MIP strategies vs AVG-D and
+//! (b) the effect of the advanced LP transformation / focal sampling, plus a
+//! Criterion comparison of the LP backends themselves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use svgic_algorithms::factors::{solve_relaxation_with, LpBackend};
+use svgic_bench::{bench_scale, print_report};
+use svgic_datasets::{DatasetProfile, InstanceSpec};
+use svgic_experiments::fig_ablation;
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    print_report(&fig_ablation::fig9a(scale));
+    print_report(&fig_ablation::fig9b(scale));
+
+    let mut rng = StdRng::seed_from_u64(9);
+    let inst = InstanceSpec {
+        num_users: 12,
+        num_items: 20,
+        num_slots: 3,
+        ..InstanceSpec::small(DatasetProfile::TimikLike)
+    }
+    .build(&mut rng);
+    let mut group = c.benchmark_group("fig9_lp_backends");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("LP_SIMP (exact simplex)", |b| {
+        b.iter(|| solve_relaxation_with(&inst, LpBackend::ExactSimplex))
+    });
+    group.bench_function("LP_SVGIC (no transformation)", |b| {
+        b.iter(|| solve_relaxation_with(&inst, LpBackend::FullLpSvgic))
+    });
+    group.bench_function("structured coordinate ascent", |b| {
+        b.iter(|| solve_relaxation_with(&inst, LpBackend::Structured))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

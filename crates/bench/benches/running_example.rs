@@ -1,0 +1,38 @@
+//! Bench target for the running example (Tables 1, 6–9 of the paper):
+//! prints the golden comparison table and measures the end-to-end latency of
+//! AVG, AVG-D and the exact IP on the 4-user instance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use svgic_algorithms::avg::{solve_avg, AvgConfig};
+use svgic_algorithms::avg_d::{solve_avg_d, AvgDConfig};
+use svgic_algorithms::exact::{solve_exact, ExactConfig};
+use svgic_bench::print_report;
+use svgic_core::example::running_example;
+use svgic_experiments::fig_small::running_example_table;
+use svgic_experiments::FigureReport;
+
+fn bench(c: &mut Criterion) {
+    // Print the paper-shaped table once.
+    let mut report = FigureReport::new("running-example", "Tables 1, 6-9 of the paper");
+    report.tables.push(running_example_table());
+    print_report(&report);
+
+    let instance = running_example();
+    let mut group = c.benchmark_group("running_example");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("AVG", |b| {
+        b.iter(|| solve_avg(&instance, &AvgConfig::default()))
+    });
+    group.bench_function("AVG-D", |b| {
+        b.iter(|| solve_avg_d(&instance, &AvgDConfig::default()))
+    });
+    group.bench_function("IP", |b| {
+        b.iter(|| solve_exact(&instance, &ExactConfig::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! # svgic-bench
+//!
+//! Criterion benchmark harness.  Each bench target under `benches/` regenerates
+//! one figure/table family of the paper (see `DESIGN.md` for the full index):
+//! it prints the same rows/series the paper reports and, where the figure's
+//! y-axis is execution time, additionally measures the solver with Criterion.
+//!
+//! The library part only hosts small shared helpers so the bench targets stay
+//! declarative.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use svgic_experiments::{ExperimentScale, FigureReport};
+
+/// Scale used by the bench targets: `SVGIC_BENCH_SMOKE=1` switches to the tiny
+/// smoke sizes (useful in CI), otherwise the default experiment scale is used.
+pub fn bench_scale() -> ExperimentScale {
+    if std::env::var("SVGIC_BENCH_SMOKE").is_ok() {
+        ExperimentScale::Smoke
+    } else {
+        ExperimentScale::Default
+    }
+}
+
+/// Prints a figure report to stdout with a separating banner so the series are
+/// easy to locate in `cargo bench` output.
+pub fn print_report(report: &FigureReport) {
+    println!("\n================ {} ================", report.id);
+    println!("{}", report.render());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_env_switch() {
+        // The default (no env var in the test environment unless set) must be
+        // one of the two valid scales.
+        let scale = bench_scale();
+        assert!(matches!(
+            scale,
+            ExperimentScale::Smoke | ExperimentScale::Default
+        ));
+    }
+}

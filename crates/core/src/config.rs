@@ -1,0 +1,384 @@
+//! SAVG k-Configurations (Definition 1 of the paper).
+//!
+//! A configuration maps every `(user, slot)` pair to an item, subject to the
+//! **no-duplication constraint**: the `k` items displayed to a user are
+//! pairwise distinct.  [`PartialConfiguration`] is the work-in-progress form
+//! used by the rounding algorithms (AVG, AVG-D), where some display units are
+//! still unassigned (`NULL` in the paper's pseudocode).
+
+use crate::{ItemIdx, SlotIdx, UserIdx};
+use std::collections::HashMap;
+
+/// A complete SAVG k-Configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Configuration {
+    n: usize,
+    k: usize,
+    /// `assign[u * k + s]` is the item displayed to user `u` at slot `s`.
+    assign: Vec<ItemIdx>,
+}
+
+impl Configuration {
+    /// Creates a configuration from a flat assignment vector of length `n·k`
+    /// (`assign[u*k + s]` = item of user `u` at slot `s`).
+    ///
+    /// # Panics
+    /// Panics if the length does not equal `n·k`.
+    pub fn from_flat(n: usize, k: usize, assign: Vec<ItemIdx>) -> Self {
+        assert_eq!(assign.len(), n * k, "assignment must have n*k entries");
+        Self { n, k, assign }
+    }
+
+    /// Creates a configuration from per-user item lists (each of length `k`).
+    pub fn from_rows(rows: &[Vec<ItemIdx>]) -> Self {
+        let n = rows.len();
+        let k = rows.first().map(Vec::len).unwrap_or(0);
+        assert!(rows.iter().all(|r| r.len() == k), "ragged rows");
+        let mut assign = Vec::with_capacity(n * k);
+        for r in rows {
+            assign.extend_from_slice(r);
+        }
+        Self { n, k, assign }
+    }
+
+    /// Number of users.
+    pub fn num_users(&self) -> usize {
+        self.n
+    }
+
+    /// Number of slots.
+    pub fn num_slots(&self) -> usize {
+        self.k
+    }
+
+    /// Item displayed to user `u` at slot `s` (`A(u, s)`).
+    #[inline]
+    pub fn get(&self, u: UserIdx, s: SlotIdx) -> ItemIdx {
+        self.assign[u * self.k + s]
+    }
+
+    /// Overwrites the item displayed to user `u` at slot `s`.
+    pub fn set(&mut self, u: UserIdx, s: SlotIdx, c: ItemIdx) {
+        self.assign[u * self.k + s] = c;
+    }
+
+    /// The `k` items displayed to user `u` (`A(u, :)`), in slot order.
+    pub fn items_of(&self, u: UserIdx) -> &[ItemIdx] {
+        &self.assign[u * self.k..(u + 1) * self.k]
+    }
+
+    /// True if item `c` is displayed to `u` at some slot.
+    pub fn displays(&self, u: UserIdx, c: ItemIdx) -> bool {
+        self.items_of(u).contains(&c)
+    }
+
+    /// The slot at which `c` is displayed to `u`, if any.
+    pub fn slot_of(&self, u: UserIdx, c: ItemIdx) -> Option<SlotIdx> {
+        self.items_of(u).iter().position(|&x| x == c)
+    }
+
+    /// Checks the no-duplication constraint and that all items are `< m`.
+    pub fn is_valid(&self, m: usize) -> bool {
+        for u in 0..self.n {
+            let items = self.items_of(u);
+            if items.iter().any(|&c| c >= m) {
+                return false;
+            }
+            for i in 0..items.len() {
+                for j in (i + 1)..items.len() {
+                    if items[i] == items[j] {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// The partition of users induced at slot `s`: users displayed the same
+    /// item form one subgroup (Definition 1 / Definition 2 of the paper).
+    /// Returns `(item, members)` pairs with members sorted ascending, ordered
+    /// by item index.
+    pub fn subgroups_at_slot(&self, s: SlotIdx) -> Vec<(ItemIdx, Vec<UserIdx>)> {
+        let mut by_item: HashMap<ItemIdx, Vec<UserIdx>> = HashMap::new();
+        for u in 0..self.n {
+            by_item.entry(self.get(u, s)).or_default().push(u);
+        }
+        let mut groups: Vec<_> = by_item.into_iter().collect();
+        for (_, members) in &mut groups {
+            members.sort_unstable();
+        }
+        groups.sort_by_key(|&(c, _)| c);
+        groups
+    }
+
+    /// Number of subgroups at slot `s` (`N_p(s)` in the paper).
+    pub fn num_subgroups_at_slot(&self, s: SlotIdx) -> usize {
+        self.subgroups_at_slot(s).len()
+    }
+
+    /// Direct co-displays of the user pair `(u, v)`: all `(slot, item)` with
+    /// `A(u, s) = A(v, s)` (the relation `u ↔_s^c v`).
+    pub fn co_displays(&self, u: UserIdx, v: UserIdx) -> Vec<(SlotIdx, ItemIdx)> {
+        (0..self.k)
+            .filter_map(|s| {
+                let c = self.get(u, s);
+                (c == self.get(v, s)).then_some((s, c))
+            })
+            .collect()
+    }
+
+    /// Indirect co-displays of the user pair `(u, v)` (Definition 4): items
+    /// displayed to both users but at *different* slots.  Returns
+    /// `(item, slot of u, slot of v)` triples.
+    pub fn indirect_co_displays(&self, u: UserIdx, v: UserIdx) -> Vec<(ItemIdx, SlotIdx, SlotIdx)> {
+        let mut out = Vec::new();
+        for (su, &c) in self.items_of(u).iter().enumerate() {
+            if let Some(sv) = self.slot_of(v, c) {
+                if sv != su {
+                    out.push((c, su, sv));
+                }
+            }
+        }
+        out
+    }
+
+    /// True if `u` shares at least one direct co-display with `v`.
+    pub fn shares_view(&self, u: UserIdx, v: UserIdx) -> bool {
+        (0..self.k).any(|s| self.get(u, s) == self.get(v, s))
+    }
+
+    /// Size of the largest per-slot subgroup over all slots (used to check the
+    /// SVGIC-ST size constraint `M`).
+    pub fn max_subgroup_size(&self) -> usize {
+        (0..self.k)
+            .map(|s| {
+                self.subgroups_at_slot(s)
+                    .into_iter()
+                    .map(|(_, members)| members.len())
+                    .max()
+                    .unwrap_or(0)
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Edit distance between the subgroup partitions of consecutive slots
+    /// `s` and `s + 1` (extension E of §5): number of friendless... more
+    /// precisely, the number of user pairs that share a subgroup at slot `s`
+    /// but not at slot `s + 1`, or vice versa.
+    pub fn subgroup_edit_distance(&self, s: SlotIdx) -> usize {
+        assert!(s + 1 < self.k, "needs a successor slot");
+        let mut count = 0usize;
+        for u in 0..self.n {
+            for v in (u + 1)..self.n {
+                let together_s = self.get(u, s) == self.get(v, s);
+                let together_next = self.get(u, s + 1) == self.get(v, s + 1);
+                if together_s != together_next {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+}
+
+/// A partially built SAVG k-Configuration (display units may be unassigned).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartialConfiguration {
+    n: usize,
+    k: usize,
+    assign: Vec<Option<ItemIdx>>,
+    unassigned: usize,
+}
+
+impl PartialConfiguration {
+    /// Creates an all-unassigned partial configuration.
+    pub fn empty(n: usize, k: usize) -> Self {
+        Self {
+            n,
+            k,
+            assign: vec![None; n * k],
+            unassigned: n * k,
+        }
+    }
+
+    /// Number of users.
+    pub fn num_users(&self) -> usize {
+        self.n
+    }
+
+    /// Number of slots.
+    pub fn num_slots(&self) -> usize {
+        self.k
+    }
+
+    /// Item assigned to `(u, s)` if any.
+    #[inline]
+    pub fn get(&self, u: UserIdx, s: SlotIdx) -> Option<ItemIdx> {
+        self.assign[u * self.k + s]
+    }
+
+    /// Number of display units still unassigned.
+    pub fn unassigned_units(&self) -> usize {
+        self.unassigned
+    }
+
+    /// True when every display unit has an item.
+    pub fn is_complete(&self) -> bool {
+        self.unassigned == 0
+    }
+
+    /// Assigns item `c` to `(u, s)`.
+    ///
+    /// # Panics
+    /// Panics if the unit is already assigned (the rounding algorithms only
+    /// ever assign eligible units).
+    pub fn assign(&mut self, u: UserIdx, s: SlotIdx, c: ItemIdx) {
+        let cell = &mut self.assign[u * self.k + s];
+        assert!(cell.is_none(), "display unit ({u}, {s}) already assigned");
+        *cell = Some(c);
+        self.unassigned -= 1;
+    }
+
+    /// Eligibility check of the CSF rounding (§4.2): user `u` is *eligible for
+    /// `(c, s)`* iff slot `s` of `u` is unassigned and `c` is not displayed to
+    /// `u` at any other slot.
+    pub fn eligible(&self, u: UserIdx, c: ItemIdx, s: SlotIdx) -> bool {
+        if self.get(u, s).is_some() {
+            return false;
+        }
+        !(0..self.k).any(|t| t != s && self.get(u, t) == Some(c))
+    }
+
+    /// List of `(user, slot)` display units still unassigned.
+    pub fn unassigned_units_list(&self) -> Vec<(UserIdx, SlotIdx)> {
+        let mut out = Vec::with_capacity(self.unassigned);
+        for u in 0..self.n {
+            for s in 0..self.k {
+                if self.get(u, s).is_none() {
+                    out.push((u, s));
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of users currently displayed item `c` at slot `s` (needed for
+    /// the SVGIC-ST subgroup size cap).
+    pub fn subgroup_size(&self, c: ItemIdx, s: SlotIdx) -> usize {
+        (0..self.n).filter(|&u| self.get(u, s) == Some(c)).count()
+    }
+
+    /// Converts into a complete [`Configuration`].
+    ///
+    /// # Panics
+    /// Panics if any unit is still unassigned.
+    pub fn into_configuration(self) -> Configuration {
+        assert!(self.is_complete(), "configuration still has unassigned units");
+        Configuration::from_flat(
+            self.n,
+            self.k,
+            self.assign.into_iter().map(Option::unwrap).collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example_config() -> Configuration {
+        // 3 users, 2 slots.
+        Configuration::from_rows(&[vec![0, 1], vec![0, 2], vec![1, 2]])
+    }
+
+    #[test]
+    fn accessors_and_validity() {
+        let c = example_config();
+        assert_eq!(c.num_users(), 3);
+        assert_eq!(c.num_slots(), 2);
+        assert_eq!(c.get(1, 1), 2);
+        assert_eq!(c.items_of(2), &[1, 2]);
+        assert!(c.is_valid(3));
+        assert!(!c.is_valid(2)); // item 2 out of range
+        let dup = Configuration::from_rows(&[vec![1, 1]]);
+        assert!(!dup.is_valid(3));
+    }
+
+    #[test]
+    fn subgroups_per_slot() {
+        let c = example_config();
+        let slot0 = c.subgroups_at_slot(0);
+        assert_eq!(slot0, vec![(0, vec![0, 1]), (1, vec![2])]);
+        assert_eq!(c.num_subgroups_at_slot(1), 2);
+        assert_eq!(c.max_subgroup_size(), 2);
+    }
+
+    #[test]
+    fn co_display_relations() {
+        let c = example_config();
+        assert_eq!(c.co_displays(0, 1), vec![(0, 0)]);
+        assert!(c.shares_view(0, 1));
+        assert!(!c.shares_view(0, 2));
+        // User 0 sees item 1 at slot 1; user 2 sees item 1 at slot 0 => indirect.
+        assert_eq!(c.indirect_co_displays(0, 2), vec![(1, 1, 0)]);
+        // Direct co-display is not reported as indirect.
+        assert!(c.indirect_co_displays(0, 1).is_empty());
+    }
+
+    #[test]
+    fn subgroup_edit_distance_counts_changes() {
+        // Pair (0,1) is together at slot 0 but separate at slot 1, and pair
+        // (1,2) is separate at slot 0 but together at slot 1 => distance 2.
+        let c = example_config();
+        assert_eq!(c.subgroup_edit_distance(0), 2);
+        let stable = Configuration::from_rows(&[vec![0, 1], vec![0, 1]]);
+        assert_eq!(stable.subgroup_edit_distance(0), 0);
+    }
+
+    #[test]
+    fn slot_of_and_displays() {
+        let c = example_config();
+        assert_eq!(c.slot_of(1, 2), Some(1));
+        assert_eq!(c.slot_of(1, 1), None);
+        assert!(c.displays(0, 1));
+        assert!(!c.displays(1, 1));
+    }
+
+    #[test]
+    fn partial_configuration_lifecycle() {
+        let mut p = PartialConfiguration::empty(2, 2);
+        assert!(!p.is_complete());
+        assert_eq!(p.unassigned_units(), 4);
+        assert!(p.eligible(0, 5, 0));
+        p.assign(0, 0, 5);
+        assert!(!p.eligible(0, 5, 1), "item 5 already shown to user 0");
+        assert!(!p.eligible(0, 7, 0), "slot 0 already filled");
+        assert!(p.eligible(0, 7, 1));
+        assert_eq!(p.subgroup_size(5, 0), 1);
+        assert_eq!(p.unassigned_units_list(), vec![(0, 1), (1, 0), (1, 1)]);
+        p.assign(0, 1, 7);
+        p.assign(1, 0, 5);
+        p.assign(1, 1, 6);
+        assert!(p.is_complete());
+        let c = p.into_configuration();
+        assert_eq!(c.get(1, 1), 6);
+        assert!(c.is_valid(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "already assigned")]
+    fn double_assignment_panics() {
+        let mut p = PartialConfiguration::empty(1, 1);
+        p.assign(0, 0, 1);
+        p.assign(0, 0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unassigned units")]
+    fn incomplete_into_configuration_panics() {
+        let p = PartialConfiguration::empty(1, 2);
+        let _ = p.into_configuration();
+    }
+}

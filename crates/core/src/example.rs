@@ -1,0 +1,266 @@
+//! The paper's running example (Figure 1, Example 1/2, Tables 1 and 6–9).
+//!
+//! Four shoppers — Alice, Bob, Charlie and Dave — browse a VR store of digital
+//! photography with five items (tripod, DSLR camera, portable storage device,
+//! memory card, self-portrait camera) and three display slots.  The preference
+//! and social utility values of Table 1 are encoded verbatim, and the
+//! configurations of Tables 7–9 plus the optimal configuration of Figure 1(b)
+//! are provided as golden fixtures: with `λ = ½` and the paper's
+//! "scaled up by 2" convention their total utilities are
+//! `10.35 / 9.75 / 9.85 / 8.25 / 8.35 / 8.4 / 8.7`.
+
+use crate::config::Configuration;
+use crate::instance::{SvgicInstance, SvgicInstanceBuilder};
+use svgic_graph::SocialGraph;
+
+/// User indices of the running example.
+pub mod users {
+    /// Alice.
+    pub const ALICE: usize = 0;
+    /// Bob.
+    pub const BOB: usize = 1;
+    /// Charlie.
+    pub const CHARLIE: usize = 2;
+    /// Dave.
+    pub const DAVE: usize = 3;
+}
+
+/// Item indices of the running example (`c1 … c5` of the paper).
+pub mod items {
+    /// `c1`: tripod.
+    pub const TRIPOD: usize = 0;
+    /// `c2`: DSLR camera.
+    pub const DSLR: usize = 1;
+    /// `c3`: portable storage device.
+    pub const PSD: usize = 2;
+    /// `c4`: memory card.
+    pub const MEMORY_CARD: usize = 3;
+    /// `c5`: self-portrait camera.
+    pub const SP_CAMERA: usize = 4;
+}
+
+/// Builds the running-example instance with `λ = ½` (the value used by the
+/// worked AVG/AVG-D examples; Example 2 uses `λ = 0.4`, which callers can get
+/// via [`SvgicInstance::with_lambda`]).
+pub fn running_example() -> SvgicInstance {
+    use items::*;
+    use users::*;
+    // Directed friendships implied by the τ columns of Table 1:
+    // A↔B, A↔C, A↔D, B↔C (D is only friends with A).
+    let graph = SocialGraph::from_edges(
+        4,
+        [
+            (ALICE, BOB),
+            (ALICE, CHARLIE),
+            (ALICE, DAVE),
+            (BOB, ALICE),
+            (BOB, CHARLIE),
+            (CHARLIE, ALICE),
+            (CHARLIE, BOB),
+            (DAVE, ALICE),
+        ],
+    );
+    let mut b = SvgicInstanceBuilder::new(graph, 5, 3, 0.5);
+
+    // Preference utilities p(u, c) — Table 1, first four columns.
+    let prefs: [(usize, [f64; 4]); 5] = [
+        (TRIPOD, [0.8, 0.7, 0.0, 0.1]),
+        (DSLR, [0.85, 1.0, 0.15, 0.0]),
+        (PSD, [0.1, 0.15, 0.7, 0.3]),
+        (MEMORY_CARD, [0.05, 0.2, 0.6, 1.0]),
+        (SP_CAMERA, [1.0, 0.1, 0.1, 0.95]),
+    ];
+    for (c, row) in prefs {
+        for (u, &p) in row.iter().enumerate() {
+            b.set_preference(u, c, p);
+        }
+    }
+
+    // Social utilities τ(u, v, c) — Table 1, remaining columns.
+    // Column order: (A,B), (A,C), (A,D), (B,A), (B,C), (C,A), (C,B), (D,A).
+    let edges = [
+        (ALICE, BOB),
+        (ALICE, CHARLIE),
+        (ALICE, DAVE),
+        (BOB, ALICE),
+        (BOB, CHARLIE),
+        (CHARLIE, ALICE),
+        (CHARLIE, BOB),
+        (DAVE, ALICE),
+    ];
+    let taus: [(usize, [f64; 8]); 5] = [
+        (TRIPOD, [0.2, 0.0, 0.2, 0.2, 0.0, 0.0, 0.1, 0.3]),
+        (DSLR, [0.05, 0.05, 0.05, 0.05, 0.05, 0.05, 0.05, 0.05]),
+        (PSD, [0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.05]),
+        (MEMORY_CARD, [0.0, 0.0, 0.05, 0.05, 0.2, 0.05, 0.2, 0.0]),
+        (SP_CAMERA, [0.05, 0.3, 0.2, 0.05, 0.0, 0.3, 0.05, 0.25]),
+    ];
+    for (c, row) in taus {
+        for (idx, &(u, v)) in edges.iter().enumerate() {
+            assert!(b.set_social(u, v, c, row[idx]));
+        }
+    }
+
+    b.with_item_labels(vec![
+        "tripod".into(),
+        "DSLR camera".into(),
+        "PSD".into(),
+        "memory card".into(),
+        "SP camera".into(),
+    ])
+    .build()
+    .expect("running example is a valid instance")
+}
+
+/// The configurations the paper reports for the running example.
+#[derive(Clone, Debug)]
+pub struct PaperConfigurations {
+    /// The optimal SAVG 3-Configuration of Figure 1(b) (utility 10.35).
+    pub optimal: Configuration,
+    /// The configuration returned by randomized AVG in Example 4 / Table 7
+    /// (utility 9.75).
+    pub avg: Configuration,
+    /// The configuration returned by AVG-D in Example 5 / Table 8 (9.85).
+    pub avg_d: Configuration,
+    /// The personalized (top-k) baseline of Table 9 (8.25).
+    pub personalized: Configuration,
+    /// The group baseline of Table 9 (8.35).
+    pub group: Configuration,
+    /// The subgroup-by-friendship baseline of Table 9 (8.4).
+    pub by_friendship: Configuration,
+    /// The subgroup-by-preference baseline of Table 9 (8.7).
+    pub by_preference: Configuration,
+}
+
+/// Builds all paper-reported configurations for the running example.
+pub fn paper_configurations() -> PaperConfigurations {
+    use items::*;
+    // Rows ordered Alice, Bob, Charlie, Dave; columns are slots 1..3.
+    PaperConfigurations {
+        optimal: Configuration::from_rows(&[
+            vec![SP_CAMERA, TRIPOD, DSLR],
+            vec![DSLR, TRIPOD, MEMORY_CARD],
+            vec![SP_CAMERA, PSD, MEMORY_CARD],
+            vec![SP_CAMERA, TRIPOD, MEMORY_CARD],
+        ]),
+        avg: Configuration::from_rows(&[
+            vec![SP_CAMERA, DSLR, TRIPOD],
+            vec![DSLR, MEMORY_CARD, TRIPOD],
+            vec![PSD, MEMORY_CARD, SP_CAMERA],
+            vec![SP_CAMERA, MEMORY_CARD, TRIPOD],
+        ]),
+        avg_d: Configuration::from_rows(&[
+            vec![SP_CAMERA, TRIPOD, DSLR],
+            vec![SP_CAMERA, TRIPOD, DSLR],
+            vec![SP_CAMERA, PSD, DSLR],
+            vec![SP_CAMERA, TRIPOD, MEMORY_CARD],
+        ]),
+        personalized: Configuration::from_rows(&[
+            vec![SP_CAMERA, DSLR, TRIPOD],
+            vec![DSLR, TRIPOD, MEMORY_CARD],
+            vec![PSD, MEMORY_CARD, DSLR],
+            vec![MEMORY_CARD, SP_CAMERA, PSD],
+        ]),
+        group: Configuration::from_rows(&[
+            vec![SP_CAMERA, TRIPOD, DSLR],
+            vec![SP_CAMERA, TRIPOD, DSLR],
+            vec![SP_CAMERA, TRIPOD, DSLR],
+            vec![SP_CAMERA, TRIPOD, DSLR],
+        ]),
+        by_friendship: Configuration::from_rows(&[
+            vec![SP_CAMERA, TRIPOD, MEMORY_CARD],
+            vec![DSLR, MEMORY_CARD, PSD],
+            vec![DSLR, MEMORY_CARD, PSD],
+            vec![SP_CAMERA, TRIPOD, MEMORY_CARD],
+        ]),
+        by_preference: Configuration::from_rows(&[
+            vec![DSLR, TRIPOD, SP_CAMERA],
+            vec![DSLR, TRIPOD, SP_CAMERA],
+            vec![MEMORY_CARD, SP_CAMERA, PSD],
+            vec![MEMORY_CARD, SP_CAMERA, PSD],
+        ]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::utility::{total_utility, unweighted_total_utility};
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn table1_values_are_encoded() {
+        let inst = running_example();
+        assert_eq!(inst.num_users(), 4);
+        assert_eq!(inst.num_items(), 5);
+        assert_eq!(inst.num_slots(), 3);
+        assert!(close(inst.preference(users::ALICE, items::SP_CAMERA), 1.0));
+        assert!(close(inst.preference(users::DAVE, items::MEMORY_CARD), 1.0));
+        assert!(close(inst.social(users::ALICE, users::CHARLIE, items::SP_CAMERA), 0.3));
+        assert!(close(inst.social(users::DAVE, users::ALICE, items::TRIPOD), 0.3));
+        // Dave and Bob are not friends.
+        assert_eq!(inst.social(users::DAVE, users::BOB, items::TRIPOD), 0.0);
+        assert_eq!(inst.friend_pairs().len(), 4);
+    }
+
+    #[test]
+    fn golden_total_utilities_match_the_paper() {
+        let inst = running_example();
+        let cfgs = paper_configurations();
+        // λ = ½, "scaled up by 2" convention of §4.
+        assert!(close(unweighted_total_utility(&inst, &cfgs.optimal), 10.35));
+        assert!(close(unweighted_total_utility(&inst, &cfgs.avg), 9.75));
+        assert!(close(unweighted_total_utility(&inst, &cfgs.avg_d), 9.85));
+        assert!(close(unweighted_total_utility(&inst, &cfgs.personalized), 8.25));
+        assert!(close(unweighted_total_utility(&inst, &cfgs.group), 8.35));
+        assert!(close(unweighted_total_utility(&inst, &cfgs.by_friendship), 8.4));
+        assert!(close(unweighted_total_utility(&inst, &cfgs.by_preference), 8.7));
+    }
+
+    #[test]
+    fn weighted_utility_is_half_the_unweighted_at_lambda_half() {
+        let inst = running_example();
+        let cfgs = paper_configurations();
+        for cfg in [&cfgs.optimal, &cfgs.avg, &cfgs.group] {
+            assert!(close(
+                total_utility(&inst, cfg) * 2.0,
+                unweighted_total_utility(&inst, cfg)
+            ));
+        }
+    }
+
+    #[test]
+    fn all_paper_configurations_are_valid() {
+        let inst = running_example();
+        let cfgs = paper_configurations();
+        for cfg in [
+            &cfgs.optimal,
+            &cfgs.avg,
+            &cfgs.avg_d,
+            &cfgs.personalized,
+            &cfgs.group,
+            &cfgs.by_friendship,
+            &cfgs.by_preference,
+        ] {
+            assert!(cfg.is_valid(inst.num_items()));
+            assert_eq!(cfg.num_users(), 4);
+            assert_eq!(cfg.num_slots(), 3);
+        }
+    }
+
+    #[test]
+    fn group_configuration_forms_a_single_subgroup_per_slot() {
+        let cfgs = paper_configurations();
+        for s in 0..3 {
+            assert_eq!(cfgs.group.num_subgroups_at_slot(s), 1);
+        }
+        // The SAVG optimum mixes subgroup sizes across slots.
+        let sizes: Vec<usize> = (0..3)
+            .map(|s| cfgs.optimal.num_subgroups_at_slot(s))
+            .collect();
+        assert_eq!(sizes, vec![2, 2, 2]);
+    }
+}

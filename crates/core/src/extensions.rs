@@ -1,0 +1,408 @@
+//! Practical-scenario extensions of SVGIC (§5 of the paper).
+//!
+//! The extensions keep the base [`SvgicInstance`] unchanged and layer extra
+//! parameters on top:
+//!
+//! * **A — commodity values**: every item carries a price/profit weight `ω_c`;
+//!   the retailer maximises the commodity-weighted SAVG utility.
+//! * **B — layout slot significance**: every slot carries a significance
+//!   weight `γ_s` (centre shelves matter more than aisle ends).
+//! * **C — multi-view display (MVD)**: each display unit may hold up to `β`
+//!   items (one primary view plus group views).
+//! * **D — generalised (group-wise) social benefits**: the social utility of a
+//!   user depends on the *maximal* subgroup co-viewing the item, through a
+//!   concave size-scaling function rather than a pairwise sum.
+//! * **E — subgroup change**: a cap on the partition edit distance between
+//!   consecutive slots.
+//! * **F — dynamic scenario**: users join/leave over time (handled in the
+//!   algorithms crate via incremental re-rounding; here we only provide the
+//!   event type).
+//!
+//! The evaluation helpers in this module compute the extended objectives for a
+//! given configuration; the corresponding solvers live in `svgic-algorithms`.
+
+use crate::config::Configuration;
+use crate::instance::SvgicInstance;
+use crate::{ItemIdx, SlotIdx, UserIdx};
+
+/// Extension parameters A/B/E of §5 that re-weight the objective.
+#[derive(Clone, Debug)]
+pub struct ExtendedParams {
+    /// Commodity value `ω_c` per item (defaults to all ones).
+    pub commodity: Option<Vec<f64>>,
+    /// Slot significance `γ_s` per slot (defaults to all ones).
+    pub slot_significance: Option<Vec<f64>>,
+    /// Maximum allowed partition edit distance between consecutive slots
+    /// (`None` = unconstrained).
+    pub max_subgroup_change: Option<usize>,
+}
+
+impl Default for ExtendedParams {
+    fn default() -> Self {
+        Self {
+            commodity: None,
+            slot_significance: None,
+            max_subgroup_change: None,
+        }
+    }
+}
+
+impl ExtendedParams {
+    /// Commodity value of item `c`.
+    pub fn commodity_value(&self, c: ItemIdx) -> f64 {
+        self.commodity.as_ref().map_or(1.0, |v| v[c])
+    }
+
+    /// Significance of slot `s`.
+    pub fn slot_weight(&self, s: SlotIdx) -> f64 {
+        self.slot_significance.as_ref().map_or(1.0, |v| v[s])
+    }
+
+    /// Validates the parameter dimensions against an instance.
+    pub fn validate(&self, instance: &SvgicInstance) -> Result<(), String> {
+        if let Some(c) = &self.commodity {
+            if c.len() != instance.num_items() {
+                return Err(format!(
+                    "commodity values have length {} but the instance has {} items",
+                    c.len(),
+                    instance.num_items()
+                ));
+            }
+            if c.iter().any(|&v| !v.is_finite() || v < 0.0) {
+                return Err("commodity values must be non-negative and finite".into());
+            }
+        }
+        if let Some(g) = &self.slot_significance {
+            if g.len() != instance.num_slots() {
+                return Err(format!(
+                    "slot significances have length {} but the instance has {} slots",
+                    g.len(),
+                    instance.num_slots()
+                ));
+            }
+            if g.iter().any(|&v| !v.is_finite() || v < 0.0) {
+                return Err("slot significances must be non-negative and finite".into());
+            }
+        }
+        Ok(())
+    }
+
+    /// True when the configuration obeys the subgroup-change cap (extension E).
+    pub fn satisfies_subgroup_change(&self, config: &Configuration) -> bool {
+        match self.max_subgroup_change {
+            None => true,
+            Some(cap) => (0..config.num_slots().saturating_sub(1))
+                .all(|s| config.subgroup_edit_distance(s) <= cap),
+        }
+    }
+}
+
+/// Extended SVGIC objective with commodity values and slot significance
+/// (extensions A + B): every display unit `(u, s)` showing item `c`
+/// contributes `ω_c · γ_s · [(1−λ)p(u,c) + λ Σ_{v co-displayed at s} τ(u,v,c)]`.
+pub fn extended_total_utility(
+    instance: &SvgicInstance,
+    params: &ExtendedParams,
+    config: &Configuration,
+) -> f64 {
+    let lambda = instance.lambda();
+    let mut total = 0.0;
+    for u in 0..instance.num_users() {
+        for (s, &c) in config.items_of(u).iter().enumerate() {
+            let mut social = 0.0;
+            for &(v, e) in instance.graph().out_neighbors(u) {
+                if config.get(v, s) == c {
+                    social += instance.social_by_edge(e, c);
+                }
+            }
+            let base = (1.0 - lambda) * instance.preference(u, c) + lambda * social;
+            total += params.commodity_value(c) * params.slot_weight(s) * base;
+        }
+    }
+    total
+}
+
+/// Multi-view display configuration (extension C): every display unit holds an
+/// ordered list of at most `β` items, the first being the primary view.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MvdConfiguration {
+    n: usize,
+    k: usize,
+    /// Maximum number of views per unit.
+    pub beta: usize,
+    views: Vec<Vec<ItemIdx>>,
+}
+
+impl MvdConfiguration {
+    /// Creates an MVD configuration from per-unit view lists
+    /// (`views[u * k + s]`, first entry = primary view).
+    pub fn new(n: usize, k: usize, beta: usize, views: Vec<Vec<ItemIdx>>) -> Self {
+        assert_eq!(views.len(), n * k, "one view list per display unit");
+        assert!(
+            views.iter().all(|v| !v.is_empty() && v.len() <= beta),
+            "every unit needs 1..=beta views"
+        );
+        Self { n, k, beta, views }
+    }
+
+    /// Lifts a plain configuration into a single-view MVD configuration.
+    pub fn from_configuration(config: &Configuration, beta: usize) -> Self {
+        let n = config.num_users();
+        let k = config.num_slots();
+        let mut views = Vec::with_capacity(n * k);
+        for u in 0..n {
+            for s in 0..k {
+                views.push(vec![config.get(u, s)]);
+            }
+        }
+        Self::new(n, k, beta.max(1), views)
+    }
+
+    /// Views of user `u` at slot `s` (first = primary).
+    pub fn views(&self, u: UserIdx, s: SlotIdx) -> &[ItemIdx] {
+        &self.views[u * self.k + s]
+    }
+
+    /// Primary view of user `u` at slot `s`.
+    pub fn primary(&self, u: UserIdx, s: SlotIdx) -> ItemIdx {
+        self.views[u * self.k + s][0]
+    }
+
+    /// Adds a group view; returns `false` (and leaves the unit unchanged) if
+    /// the unit is full or already contains the item.
+    pub fn add_group_view(&mut self, u: UserIdx, s: SlotIdx, c: ItemIdx) -> bool {
+        let unit = &mut self.views[u * self.k + s];
+        if unit.len() >= self.beta || unit.contains(&c) {
+            return false;
+        }
+        unit.push(c);
+        true
+    }
+
+    /// True if `c` is visible (in any view) to `u` at slot `s`.
+    pub fn can_see(&self, u: UserIdx, s: SlotIdx, c: ItemIdx) -> bool {
+        self.views(u, s).contains(&c)
+    }
+
+    /// The primary views no-duplication check (primary items must be distinct
+    /// per user, mirroring constraint (14)).
+    pub fn primaries_valid(&self, m: usize) -> bool {
+        for u in 0..self.n {
+            let mut seen = std::collections::HashSet::new();
+            for s in 0..self.k {
+                let c = self.primary(u, s);
+                if c >= m || !seen.insert(c) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// MVD objective (extension C): a user gains preference utility for every
+/// visible item and social utility with every friend that can see the same
+/// item at the same slot (through any view).
+pub fn mvd_total_utility(instance: &SvgicInstance, mvd: &MvdConfiguration) -> f64 {
+    let lambda = instance.lambda();
+    let mut total = 0.0;
+    for u in 0..instance.num_users() {
+        for s in 0..instance.num_slots() {
+            for &c in mvd.views(u, s) {
+                let mut social = 0.0;
+                for &(v, e) in instance.graph().out_neighbors(u) {
+                    if mvd.can_see(v, s, c) {
+                        social += instance.social_by_edge(e, c);
+                    }
+                }
+                total += (1.0 - lambda) * instance.preference(u, c) + lambda * social;
+            }
+        }
+    }
+    total
+}
+
+/// Group-wise social benefit model (extension D): the social utility user `u`
+/// obtains from co-viewing item `c` with the maximal subgroup `V` is
+/// `scale(|V|) · Σ_{v ∈ V, (u,v) ∈ E} τ(u, v, c)`, where `scale` is a concave
+/// function of the subgroup size (pairwise SVGIC is `scale ≡ 1`).
+#[derive(Clone, Copy, Debug)]
+pub enum GroupScaling {
+    /// Plain pairwise aggregation (`scale ≡ 1`), the base SVGIC model.
+    Pairwise,
+    /// Diminishing returns: `scale(g) = 1 / sqrt(g - 1)` for `g ≥ 2`.
+    DiminishingSqrt,
+    /// Saturating: `scale(g) = min(1, cap / (g - 1))` for `g ≥ 2`.
+    Saturating {
+        /// Number of co-viewers after which additional members add nothing.
+        cap: usize,
+    },
+}
+
+impl GroupScaling {
+    fn factor(&self, group_size: usize) -> f64 {
+        if group_size < 2 {
+            return 0.0;
+        }
+        match self {
+            GroupScaling::Pairwise => 1.0,
+            GroupScaling::DiminishingSqrt => 1.0 / ((group_size - 1) as f64).sqrt(),
+            GroupScaling::Saturating { cap } => {
+                (*cap as f64 / (group_size - 1) as f64).min(1.0)
+            }
+        }
+    }
+}
+
+/// Total utility under the group-wise social model (extension D).
+pub fn groupwise_total_utility(
+    instance: &SvgicInstance,
+    scaling: GroupScaling,
+    config: &Configuration,
+) -> f64 {
+    let lambda = instance.lambda();
+    let mut total = 0.0;
+    for s in 0..config.num_slots() {
+        for (c, members) in config.subgroups_at_slot(s) {
+            let factor = scaling.factor(members.len());
+            for &u in &members {
+                let mut social = 0.0;
+                for &(v, e) in instance.graph().out_neighbors(u) {
+                    if members.binary_search(&v).is_ok() {
+                        social += instance.social_by_edge(e, c);
+                    }
+                }
+                total +=
+                    (1.0 - lambda) * instance.preference(u, c) + lambda * factor * social;
+            }
+        }
+    }
+    total
+}
+
+/// A dynamic-scenario event (extension F).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DynamicEvent {
+    /// A user (by original index into the full population) joins the store.
+    Join(UserIdx),
+    /// A currently present user leaves the store.
+    Leave(UserIdx),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::example::{paper_configurations, running_example};
+    use crate::utility::total_utility;
+
+    #[test]
+    fn default_params_reduce_to_plain_objective() {
+        let inst = running_example();
+        let cfg = paper_configurations().optimal;
+        let params = ExtendedParams::default();
+        assert!(
+            (extended_total_utility(&inst, &params, &cfg) - total_utility(&inst, &cfg)).abs()
+                < 1e-9
+        );
+        assert!(params.validate(&inst).is_ok());
+        assert!(params.satisfies_subgroup_change(&cfg));
+    }
+
+    #[test]
+    fn commodity_values_reweight_items() {
+        let inst = running_example();
+        let cfg = paper_configurations().group;
+        // Doubling every commodity value doubles the objective.
+        let params = ExtendedParams {
+            commodity: Some(vec![2.0; 5]),
+            ..Default::default()
+        };
+        assert!(
+            (extended_total_utility(&inst, &params, &cfg) - 2.0 * total_utility(&inst, &cfg))
+                .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn slot_significance_reweights_slots() {
+        let inst = running_example();
+        let cfg = paper_configurations().group;
+        let params = ExtendedParams {
+            slot_significance: Some(vec![1.0, 0.0, 0.0]),
+            ..Default::default()
+        };
+        let only_slot0 = extended_total_utility(&inst, &params, &cfg);
+        assert!(only_slot0 > 0.0);
+        assert!(only_slot0 < total_utility(&inst, &cfg));
+    }
+
+    #[test]
+    fn validation_rejects_bad_dimensions() {
+        let inst = running_example();
+        let bad = ExtendedParams {
+            commodity: Some(vec![1.0; 3]),
+            ..Default::default()
+        };
+        assert!(bad.validate(&inst).is_err());
+        let bad2 = ExtendedParams {
+            slot_significance: Some(vec![-1.0, 1.0, 1.0]),
+            ..Default::default()
+        };
+        assert!(bad2.validate(&inst).is_err());
+    }
+
+    #[test]
+    fn subgroup_change_cap() {
+        let cfgs = paper_configurations();
+        let relaxed = ExtendedParams {
+            max_subgroup_change: Some(100),
+            ..Default::default()
+        };
+        assert!(relaxed.satisfies_subgroup_change(&cfgs.optimal));
+        let strict = ExtendedParams {
+            max_subgroup_change: Some(0),
+            ..Default::default()
+        };
+        // The group configuration never changes subgroups; the optimum does.
+        assert!(strict.satisfies_subgroup_change(&cfgs.group));
+        assert!(!strict.satisfies_subgroup_change(&cfgs.optimal));
+    }
+
+    #[test]
+    fn mvd_extends_single_view() {
+        let inst = running_example();
+        let cfg = paper_configurations().personalized;
+        let mut mvd = MvdConfiguration::from_configuration(&cfg, 2);
+        assert!(mvd.primaries_valid(inst.num_items()));
+        let single_view = mvd_total_utility(&inst, &mvd);
+        assert!((single_view - total_utility(&inst, &cfg)).abs() < 1e-9);
+        // Give Alice a group view of the SP camera at slot 1 where Dave's
+        // primary is the SP camera: both preference and social utility rise.
+        assert!(mvd.add_group_view(0, 1, crate::example::items::SP_CAMERA));
+        assert!(!mvd.add_group_view(0, 1, crate::example::items::TRIPOD), "unit full at beta = 2");
+        let multi_view = mvd_total_utility(&inst, &mvd);
+        assert!(multi_view > single_view);
+        assert!(mvd.can_see(0, 1, crate::example::items::SP_CAMERA));
+    }
+
+    #[test]
+    fn groupwise_scaling_orders_as_expected() {
+        let inst = running_example();
+        let cfg = paper_configurations().group;
+        let pairwise = groupwise_total_utility(&inst, GroupScaling::Pairwise, &cfg);
+        assert!((pairwise - total_utility(&inst, &cfg)).abs() < 1e-9);
+        let diminishing = groupwise_total_utility(&inst, GroupScaling::DiminishingSqrt, &cfg);
+        assert!(diminishing <= pairwise + 1e-12);
+        let saturating = groupwise_total_utility(&inst, GroupScaling::Saturating { cap: 1 }, &cfg);
+        assert!(saturating <= pairwise + 1e-12);
+        let generous = groupwise_total_utility(&inst, GroupScaling::Saturating { cap: 10 }, &cfg);
+        assert!((generous - pairwise).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=beta")]
+    fn mvd_rejects_oversized_units() {
+        let _ = MvdConfiguration::new(1, 1, 1, vec![vec![0, 1]]);
+    }
+}

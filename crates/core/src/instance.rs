@@ -1,0 +1,603 @@
+//! The SVGIC problem instance (§3.1 of the paper).
+//!
+//! An instance bundles the directed social network `G = (V, E)`, the universal
+//! item set `C` (represented by indices `0..m`), the preference utilities
+//! `p(u, c) ≥ 0`, the social utilities `τ(u, v, c) ≥ 0` keyed by directed
+//! edge, the trade-off weight `λ ∈ [0, 1]`, and the number of display slots
+//! `k`.  Preferences are stored densely (`n × m`), social utilities densely
+//! per directed edge (`|E| × m`); the dataset layer prunes the item universe
+//! to a candidate set before building an instance when `m` is large.
+
+use crate::{ItemIdx, UserIdx};
+use svgic_graph::{EdgeIdx, SocialGraph};
+
+/// An undirected friend pair together with the directed edges realising it.
+///
+/// The co-display analysis of the paper iterates over friend *pairs*: when `u`
+/// and `v` are co-displayed item `c`, the pair contributes
+/// `τ(u, v, c) + τ(v, u, c)` to the (unweighted) social utility, where a
+/// missing direction contributes zero.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FriendPair {
+    /// Smaller endpoint.
+    pub u: UserIdx,
+    /// Larger endpoint.
+    pub v: UserIdx,
+    /// Directed edge indices `(u → v)` and/or `(v → u)` present in the graph.
+    pub edges: Vec<EdgeIdx>,
+}
+
+/// Errors produced while building or validating an instance.
+#[derive(Clone, Debug, PartialEq)]
+pub enum InstanceError {
+    /// `λ` must lie in `[0, 1]`.
+    InvalidLambda(f64),
+    /// `k` must satisfy `1 ≤ k ≤ m` (each user sees `k` distinct items).
+    InvalidSlotCount {
+        /// Requested number of slots.
+        k: usize,
+        /// Number of items available.
+        m: usize,
+    },
+    /// A preference or social utility was negative or not finite.
+    InvalidUtility {
+        /// Description of the offending entry.
+        what: String,
+    },
+    /// The preference matrix has the wrong number of entries.
+    DimensionMismatch {
+        /// Expected number of entries.
+        expected: usize,
+        /// Provided number of entries.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for InstanceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InstanceError::InvalidLambda(l) => write!(f, "lambda {l} outside [0, 1]"),
+            InstanceError::InvalidSlotCount { k, m } => {
+                write!(f, "k = {k} must satisfy 1 <= k <= m = {m}")
+            }
+            InstanceError::InvalidUtility { what } => write!(f, "invalid utility value: {what}"),
+            InstanceError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected} entries, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InstanceError {}
+
+/// A complete SVGIC problem instance.
+#[derive(Clone, Debug)]
+pub struct SvgicInstance {
+    graph: SocialGraph,
+    n_items: usize,
+    k: usize,
+    lambda: f64,
+    /// Dense `n × m` preference utilities, row-major by user.
+    pref: Vec<f64>,
+    /// Dense `|E| × m` social utilities, row-major by directed edge index.
+    tau: Vec<f64>,
+    /// Cached undirected friend pairs.
+    pairs: Vec<FriendPair>,
+    /// Optional human-readable item labels (used by examples / case studies).
+    item_labels: Option<Vec<String>>,
+}
+
+impl SvgicInstance {
+    /// Number of users `n`.
+    pub fn num_users(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    /// Number of items `m` in the universal item set.
+    pub fn num_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// Number of display slots `k`.
+    pub fn num_slots(&self) -> usize {
+        self.k
+    }
+
+    /// The preference/social trade-off weight `λ`.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// The social network.
+    pub fn graph(&self) -> &SocialGraph {
+        &self.graph
+    }
+
+    /// Cached undirected friend pairs.
+    pub fn friend_pairs(&self) -> &[FriendPair] {
+        &self.pairs
+    }
+
+    /// Preference utility `p(u, c)`.
+    #[inline]
+    pub fn preference(&self, u: UserIdx, c: ItemIdx) -> f64 {
+        self.pref[u * self.n_items + c]
+    }
+
+    /// Scaled preference `p'(u, c) = (1 - λ)/λ · p(u, c)` used by the AVG
+    /// reduction to the `λ = 1/2` case (§4.4).  Requires `λ > 0`.
+    #[inline]
+    pub fn scaled_preference(&self, u: UserIdx, c: ItemIdx) -> f64 {
+        debug_assert!(self.lambda > 0.0, "scaled preference undefined for lambda = 0");
+        (1.0 - self.lambda) / self.lambda * self.preference(u, c)
+    }
+
+    /// Social utility `τ(u, v, c)` of the *directed* edge `(u, v)`; zero when
+    /// the edge is absent.
+    #[inline]
+    pub fn social(&self, u: UserIdx, v: UserIdx, c: ItemIdx) -> f64 {
+        match self.graph.edge_index(u, v) {
+            Some(e) => self.social_by_edge(e, c),
+            None => 0.0,
+        }
+    }
+
+    /// Social utility of directed edge `e` on item `c`.
+    #[inline]
+    pub fn social_by_edge(&self, e: EdgeIdx, c: ItemIdx) -> f64 {
+        self.tau[e * self.n_items + c]
+    }
+
+    /// Pairwise co-display weight `w_e^c = τ(u, v, c) + τ(v, u, c)` of friend
+    /// pair index `p` on item `c` (notation of §4 of the paper).
+    #[inline]
+    pub fn pair_weight(&self, pair: usize, c: ItemIdx) -> f64 {
+        self.pairs[pair]
+            .edges
+            .iter()
+            .map(|&e| self.social_by_edge(e, c))
+            .sum()
+    }
+
+    /// Sum of social utilities `Σ_{v : (u,v) ∈ E} τ(u, v, c)` user `u` would
+    /// collect on item `c` if *every* friend were co-displayed `c` — the upper
+    /// bound `w̄` used in the regret-ratio metric (§6.5).
+    pub fn max_social(&self, u: UserIdx, c: ItemIdx) -> f64 {
+        self.graph
+            .out_neighbors(u)
+            .iter()
+            .map(|&(_, e)| self.social_by_edge(e, c))
+            .sum()
+    }
+
+    /// Row of preference utilities of user `u` (length `m`).
+    pub fn preference_row(&self, u: UserIdx) -> &[f64] {
+        &self.pref[u * self.n_items..(u + 1) * self.n_items]
+    }
+
+    /// Optional item labels.
+    pub fn item_labels(&self) -> Option<&[String]> {
+        self.item_labels.as_deref()
+    }
+
+    /// Label of item `c`, falling back to `item-{c}`.
+    pub fn item_label(&self, c: ItemIdx) -> String {
+        self.item_labels
+            .as_ref()
+            .and_then(|l| l.get(c).cloned())
+            .unwrap_or_else(|| format!("item-{c}"))
+    }
+
+    /// Returns a copy of this instance with a different `λ` (utilities reused).
+    pub fn with_lambda(&self, lambda: f64) -> Result<Self, InstanceError> {
+        if !(0.0..=1.0).contains(&lambda) || !lambda.is_finite() {
+            return Err(InstanceError::InvalidLambda(lambda));
+        }
+        let mut copy = self.clone();
+        copy.lambda = lambda;
+        Ok(copy)
+    }
+
+    /// Returns a copy of this instance with a different number of slots.
+    pub fn with_slots(&self, k: usize) -> Result<Self, InstanceError> {
+        if k == 0 || k > self.n_items {
+            return Err(InstanceError::InvalidSlotCount { k, m: self.n_items });
+        }
+        let mut copy = self.clone();
+        copy.k = k;
+        Ok(copy)
+    }
+
+    /// Restricts the instance to the sub-population `users` (in ascending
+    /// original index order), keeping all items.  Used when sweeping the size
+    /// of the shopping group (Figs. 3(a), 5, 8(a)).
+    pub fn restrict_users(&self, users: &[UserIdx]) -> Self {
+        let (sub, mapping) = self.graph.induced_subgraph(users);
+        let n_items = self.n_items;
+        let mut pref = Vec::with_capacity(mapping.len() * n_items);
+        for &old in &mapping {
+            pref.extend_from_slice(self.preference_row(old));
+        }
+        let mut tau = vec![0.0; sub.num_edges() * n_items];
+        for (new_e, &(nu, nv)) in sub.edges().iter().enumerate() {
+            let (ou, ov) = (mapping[nu], mapping[nv]);
+            if let Some(old_e) = self.graph.edge_index(ou, ov) {
+                for c in 0..n_items {
+                    tau[new_e * n_items + c] = self.social_by_edge(old_e, c);
+                }
+            }
+        }
+        let pairs = build_pairs(&sub);
+        Self {
+            graph: sub,
+            n_items,
+            k: self.k,
+            lambda: self.lambda,
+            pref,
+            tau,
+            pairs,
+            item_labels: self.item_labels.clone(),
+        }
+    }
+
+    /// Restricts the instance to the item subset `items` (keeping their order
+    /// as the new item indices).  Used when sweeping `m` (Figs. 3(c), 8(b)).
+    pub fn restrict_items(&self, items: &[ItemIdx]) -> Self {
+        let n = self.num_users();
+        let m_new = items.len();
+        assert!(m_new >= self.k, "cannot keep fewer items than slots");
+        let mut pref = Vec::with_capacity(n * m_new);
+        for u in 0..n {
+            for &c in items {
+                pref.push(self.preference(u, c));
+            }
+        }
+        let mut tau = Vec::with_capacity(self.graph.num_edges() * m_new);
+        for e in 0..self.graph.num_edges() {
+            for &c in items {
+                tau.push(self.social_by_edge(e, c));
+            }
+        }
+        let labels = self
+            .item_labels
+            .as_ref()
+            .map(|l| items.iter().map(|&c| l[c].clone()).collect());
+        Self {
+            graph: self.graph.clone(),
+            n_items: m_new,
+            k: self.k,
+            lambda: self.lambda,
+            pref,
+            tau,
+            pairs: self.pairs.clone(),
+            item_labels: labels,
+        }
+    }
+
+    /// Candidate-item pruning: keeps the union of every user's `per_user_top`
+    /// highest-preference items and the `global_top` items with the highest
+    /// aggregate score `Σ_u p(u, c) + Σ_e τ_e(c)`, returning the pruned
+    /// instance and the kept original item indices.
+    ///
+    /// The paper observes (Fig. 3(c)) that the objective barely changes once
+    /// the top-100 items are included; this is the mechanism that keeps the
+    /// LP tractable at `m = 10000`.
+    pub fn prune_items(&self, per_user_top: usize, global_top: usize) -> (Self, Vec<ItemIdx>) {
+        let m = self.n_items;
+        let n = self.num_users();
+        let mut keep = vec![false; m];
+        for u in 0..n {
+            let mut idx: Vec<ItemIdx> = (0..m).collect();
+            idx.sort_by(|&a, &b| {
+                self.preference(u, b)
+                    .partial_cmp(&self.preference(u, a))
+                    .unwrap()
+                    .then(a.cmp(&b))
+            });
+            for &c in idx.iter().take(per_user_top) {
+                keep[c] = true;
+            }
+        }
+        let mut aggregate: Vec<(f64, ItemIdx)> = (0..m)
+            .map(|c| {
+                let pref_sum: f64 = (0..n).map(|u| self.preference(u, c)).sum();
+                let tau_sum: f64 = (0..self.graph.num_edges())
+                    .map(|e| self.social_by_edge(e, c))
+                    .sum();
+                (pref_sum + tau_sum, c)
+            })
+            .collect();
+        aggregate.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        for &(_, c) in aggregate.iter().take(global_top) {
+            keep[c] = true;
+        }
+        let mut kept: Vec<ItemIdx> = (0..m).filter(|&c| keep[c]).collect();
+        // Never prune below k items.
+        if kept.len() < self.k {
+            for c in 0..m {
+                if !keep[c] {
+                    kept.push(c);
+                    if kept.len() >= self.k {
+                        break;
+                    }
+                }
+            }
+            kept.sort_unstable();
+        }
+        (self.restrict_items(&kept), kept)
+    }
+}
+
+fn build_pairs(graph: &SocialGraph) -> Vec<FriendPair> {
+    graph
+        .friend_pairs()
+        .into_iter()
+        .map(|(u, v, edges)| FriendPair { u, v, edges })
+        .collect()
+}
+
+/// Builder for [`SvgicInstance`].
+#[derive(Clone, Debug)]
+pub struct SvgicInstanceBuilder {
+    graph: SocialGraph,
+    n_items: usize,
+    k: usize,
+    lambda: f64,
+    pref: Vec<f64>,
+    tau: Vec<f64>,
+    item_labels: Option<Vec<String>>,
+}
+
+impl SvgicInstanceBuilder {
+    /// Starts building an instance over `graph` with `n_items` items, `k`
+    /// slots and weight `lambda`; all utilities default to zero.
+    pub fn new(graph: SocialGraph, n_items: usize, k: usize, lambda: f64) -> Self {
+        let n = graph.num_nodes();
+        let e = graph.num_edges();
+        Self {
+            graph,
+            n_items,
+            k,
+            lambda,
+            pref: vec![0.0; n * n_items],
+            tau: vec![0.0; e * n_items],
+            item_labels: None,
+        }
+    }
+
+    /// Sets the preference utility `p(u, c)`.
+    pub fn set_preference(&mut self, u: UserIdx, c: ItemIdx, value: f64) -> &mut Self {
+        self.pref[u * self.n_items + c] = value;
+        self
+    }
+
+    /// Sets the whole preference matrix (row-major `n × m`).
+    pub fn with_preference_matrix(mut self, pref: Vec<f64>) -> Result<Self, InstanceError> {
+        let expected = self.graph.num_nodes() * self.n_items;
+        if pref.len() != expected {
+            return Err(InstanceError::DimensionMismatch {
+                expected,
+                got: pref.len(),
+            });
+        }
+        self.pref = pref;
+        Ok(self)
+    }
+
+    /// Sets the social utility `τ(u, v, c)`; ignored (returns `false`) when the
+    /// directed edge `(u, v)` does not exist.
+    pub fn set_social(&mut self, u: UserIdx, v: UserIdx, c: ItemIdx, value: f64) -> bool {
+        match self.graph.edge_index(u, v) {
+            Some(e) => {
+                self.tau[e * self.n_items + c] = value;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Fills preferences from a closure `p(u, c)`.
+    pub fn fill_preferences(&mut self, f: impl Fn(UserIdx, ItemIdx) -> f64) -> &mut Self {
+        for u in 0..self.graph.num_nodes() {
+            for c in 0..self.n_items {
+                self.pref[u * self.n_items + c] = f(u, c);
+            }
+        }
+        self
+    }
+
+    /// Fills social utilities from a closure `τ(u, v, c)` over existing edges.
+    pub fn fill_social(&mut self, f: impl Fn(UserIdx, UserIdx, ItemIdx) -> f64) -> &mut Self {
+        for (e, &(u, v)) in self.graph.edges().to_vec().iter().enumerate() {
+            for c in 0..self.n_items {
+                self.tau[e * self.n_items + c] = f(u, v, c);
+            }
+        }
+        self
+    }
+
+    /// Attaches human-readable item labels.
+    pub fn with_item_labels(mut self, labels: Vec<String>) -> Self {
+        self.item_labels = Some(labels);
+        self
+    }
+
+    /// Validates and builds the instance.
+    pub fn build(self) -> Result<SvgicInstance, InstanceError> {
+        if !(0.0..=1.0).contains(&self.lambda) || !self.lambda.is_finite() {
+            return Err(InstanceError::InvalidLambda(self.lambda));
+        }
+        if self.k == 0 || self.k > self.n_items {
+            return Err(InstanceError::InvalidSlotCount {
+                k: self.k,
+                m: self.n_items,
+            });
+        }
+        for (i, &p) in self.pref.iter().enumerate() {
+            if !p.is_finite() || p < 0.0 {
+                return Err(InstanceError::InvalidUtility {
+                    what: format!("preference entry {i} = {p}"),
+                });
+            }
+        }
+        for (i, &t) in self.tau.iter().enumerate() {
+            if !t.is_finite() || t < 0.0 {
+                return Err(InstanceError::InvalidUtility {
+                    what: format!("social entry {i} = {t}"),
+                });
+            }
+        }
+        let pairs = build_pairs(&self.graph);
+        Ok(SvgicInstance {
+            graph: self.graph,
+            n_items: self.n_items,
+            k: self.k,
+            lambda: self.lambda,
+            pref: self.pref,
+            tau: self.tau,
+            pairs,
+            item_labels: self.item_labels,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_instance() -> SvgicInstance {
+        // 3 users in a path 0 - 1 - 2, 4 items, k = 2.
+        let graph = SocialGraph::from_undirected_edges(3, [(0, 1), (1, 2)]);
+        let mut b = SvgicInstanceBuilder::new(graph, 4, 2, 0.5);
+        b.fill_preferences(|u, c| (u + 1) as f64 * 0.1 + c as f64 * 0.01);
+        b.fill_social(|u, v, c| 0.01 * (u + v + c) as f64);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_and_accessors() {
+        let inst = tiny_instance();
+        assert_eq!(inst.num_users(), 3);
+        assert_eq!(inst.num_items(), 4);
+        assert_eq!(inst.num_slots(), 2);
+        assert_eq!(inst.lambda(), 0.5);
+        assert!((inst.preference(1, 2) - (0.2 + 0.02)).abs() < 1e-12);
+        assert!((inst.social(0, 1, 3) - 0.04).abs() < 1e-12);
+        assert_eq!(inst.social(0, 2, 0), 0.0); // not friends
+        assert_eq!(inst.friend_pairs().len(), 2);
+    }
+
+    #[test]
+    fn pair_weight_sums_both_directions() {
+        let inst = tiny_instance();
+        let pair01 = inst
+            .friend_pairs()
+            .iter()
+            .position(|p| p.u == 0 && p.v == 1)
+            .unwrap();
+        let expected = inst.social(0, 1, 2) + inst.social(1, 0, 2);
+        assert!((inst.pair_weight(pair01, 2) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_social_sums_all_out_neighbors() {
+        let inst = tiny_instance();
+        // User 1 has out-edges to 0 and 2.
+        let expected = inst.social(1, 0, 1) + inst.social(1, 2, 1);
+        assert!((inst.max_social(1, 1) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_preference_matches_formula() {
+        let graph = SocialGraph::from_undirected_edges(2, [(0, 1)]);
+        let mut b = SvgicInstanceBuilder::new(graph, 2, 1, 0.25);
+        b.set_preference(0, 0, 0.8);
+        let inst = b.build().unwrap();
+        assert!((inst.scaled_preference(0, 0) - 3.0 * 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_validation_errors() {
+        let g = SocialGraph::new(2);
+        assert!(matches!(
+            SvgicInstanceBuilder::new(g.clone(), 3, 1, 1.5).build(),
+            Err(InstanceError::InvalidLambda(_))
+        ));
+        assert!(matches!(
+            SvgicInstanceBuilder::new(g.clone(), 3, 5, 0.5).build(),
+            Err(InstanceError::InvalidSlotCount { .. })
+        ));
+        assert!(matches!(
+            SvgicInstanceBuilder::new(g.clone(), 3, 0, 0.5).build(),
+            Err(InstanceError::InvalidSlotCount { .. })
+        ));
+        let mut b = SvgicInstanceBuilder::new(g.clone(), 3, 1, 0.5);
+        b.set_preference(0, 0, -1.0);
+        assert!(matches!(b.build(), Err(InstanceError::InvalidUtility { .. })));
+        assert!(matches!(
+            SvgicInstanceBuilder::new(g, 3, 1, 0.5).with_preference_matrix(vec![0.0; 5]),
+            Err(InstanceError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn with_lambda_and_slots() {
+        let inst = tiny_instance();
+        let inst2 = inst.with_lambda(0.9).unwrap();
+        assert_eq!(inst2.lambda(), 0.9);
+        assert!(inst.with_lambda(-0.1).is_err());
+        let inst3 = inst.with_slots(4).unwrap();
+        assert_eq!(inst3.num_slots(), 4);
+        assert!(inst.with_slots(5).is_err());
+        assert!(inst.with_slots(0).is_err());
+    }
+
+    #[test]
+    fn restrict_users_keeps_utilities() {
+        let inst = tiny_instance();
+        let sub = inst.restrict_users(&[1, 2]);
+        assert_eq!(sub.num_users(), 2);
+        assert_eq!(sub.num_items(), 4);
+        // Old user 1 is new user 0; old user 2 is new user 1.
+        assert!((sub.preference(0, 3) - inst.preference(1, 3)).abs() < 1e-12);
+        assert!((sub.social(0, 1, 2) - inst.social(1, 2, 2)).abs() < 1e-12);
+        assert_eq!(sub.friend_pairs().len(), 1);
+    }
+
+    #[test]
+    fn restrict_items_remaps_columns() {
+        let inst = tiny_instance();
+        let sub = inst.restrict_items(&[3, 1]);
+        assert_eq!(sub.num_items(), 2);
+        assert!((sub.preference(2, 0) - inst.preference(2, 3)).abs() < 1e-12);
+        assert!((sub.social(1, 2, 1) - inst.social(1, 2, 1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prune_items_keeps_top_preferences() {
+        let graph = SocialGraph::from_undirected_edges(2, [(0, 1)]);
+        let mut b = SvgicInstanceBuilder::new(graph, 6, 2, 0.5);
+        // User 0 loves items 4 and 5; user 1 loves items 0 and 1.
+        b.set_preference(0, 4, 0.9);
+        b.set_preference(0, 5, 0.8);
+        b.set_preference(1, 0, 0.9);
+        b.set_preference(1, 1, 0.8);
+        let inst = b.build().unwrap();
+        let (pruned, kept) = inst.prune_items(2, 0);
+        assert_eq!(kept, vec![0, 1, 4, 5]);
+        assert_eq!(pruned.num_items(), 4);
+        assert!((pruned.preference(0, 2) - 0.9).abs() < 1e-12); // old item 4
+    }
+
+    #[test]
+    fn item_labels_roundtrip() {
+        let graph = SocialGraph::new(1);
+        let inst = SvgicInstanceBuilder::new(graph, 2, 1, 0.5)
+            .with_item_labels(vec!["tripod".into(), "camera".into()])
+            .build()
+            .unwrap();
+        assert_eq!(inst.item_label(1), "camera");
+        let no_labels = tiny_instance();
+        assert_eq!(no_labels.item_label(3), "item-3");
+    }
+}

@@ -1,0 +1,56 @@
+//! # svgic-core
+//!
+//! Problem model for **Social-aware VR Group-Item Configuration (SVGIC)** and
+//! its extension **SVGIC-ST**, reproducing the formulation of Ko et al.
+//! (VLDB 2020).
+//!
+//! The crate defines:
+//!
+//! * [`SvgicInstance`] — the problem input: a directed social network, a
+//!   universal item set, preference utilities `p(u, c)`, social utilities
+//!   `τ(u, v, c)`, the preference/social trade-off weight `λ`, and the number
+//!   of display slots `k` (§3.1 of the paper);
+//! * [`Configuration`] — an SAVG k-Configuration `A : V × [k] → C` obeying the
+//!   no-duplication constraint (Definition 1), plus the partial configuration
+//!   used while rounding;
+//! * [`utility`] — the SAVG utility (Definition 3), its SVGIC-ST extension
+//!   with indirect co-display and teleportation discount (Definition 5), the
+//!   personal/social split, per-user utilities and regret bounds used by the
+//!   evaluation section;
+//! * [`st`] — the SVGIC-ST side constraints (subgroup size cap `M`,
+//!   teleportation discount `d_tel`);
+//! * [`ip_model`] — builders for the paper's IP model (constraints (1)–(10)),
+//!   its LP relaxation LP_SVGIC, the condensed LP_SIMP of §4.4, and the
+//!   structured min-coupling form consumed by the large-scale LP backend;
+//! * [`reductions`] — the gap-preserving hardness reductions of §3.3
+//!   (MAX-E3SAT → SVGIC, Max-K3P → SVGIC, Densest-k-Subgraph → SVGIC-ST),
+//!   usable as constructive test oracles;
+//! * [`example`] — the paper's running example (Tables 1 and 6–9), used as a
+//!   golden fixture throughout the workspace;
+//! * [`extensions`] — the practical-scenario parameters of §5 (commodity
+//!   values, slot significance, multi-view display, group-wise social
+//!   benefits, subgroup-change limits).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod example;
+pub mod extensions;
+pub mod instance;
+pub mod ip_model;
+pub mod reductions;
+pub mod st;
+pub mod utility;
+
+pub use config::{Configuration, PartialConfiguration};
+pub use instance::{FriendPair, InstanceError, SvgicInstance, SvgicInstanceBuilder};
+pub use st::StParams;
+pub use utility::{UtilityBreakdown, UtilitySplit};
+
+/// Index of a user (vertex of the social network).
+pub type UserIdx = usize;
+/// Index of an item in the universal item set `C`.
+pub type ItemIdx = usize;
+/// Index of a display slot, in `0..k`.
+pub type SlotIdx = usize;

@@ -1,0 +1,546 @@
+//! Hardness-reduction constructions of §3.3, usable as constructive oracles.
+//!
+//! Three reductions are implemented exactly as described in the paper:
+//!
+//! * **MAX-E3SAT → SVGIC** (Lemma 2): a CNF formula with exactly three
+//!   literals per clause is turned into an SVGIC instance with `k = λ = 1`
+//!   such that a truth assignment satisfying `x` clauses yields an SVGIC
+//!   solution of value `2x + 6·m_cla`.
+//! * **Max-K3P → SVGIC** (APX-hardness): edges and triangles of a graph become
+//!   items; an edge/triangle packing of `x` edges yields an SVGIC solution of
+//!   value `x`.
+//! * **Densest-k-Subgraph → SVGIC-ST** (Theorem 3): a DkS solution with `x`
+//!   induced edges yields an SVGIC-ST solution of value `x` under the subgroup
+//!   cap `M = k̂`.
+//!
+//! Besides demonstrating the constructions, each reduction ships a
+//! `configuration_from_*` helper that maps a witness of the source problem to
+//! the corresponding SVGIC configuration, which the tests use to verify the
+//! value correspondences claimed in the proofs.
+
+use crate::config::Configuration;
+use crate::instance::{SvgicInstance, SvgicInstanceBuilder};
+use crate::st::StParams;
+use svgic_graph::SocialGraph;
+
+// ---------------------------------------------------------------------------
+// MAX-E3SAT → SVGIC
+// ---------------------------------------------------------------------------
+
+/// A literal of a 3-CNF formula: variable index plus polarity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Literal {
+    /// Boolean variable index.
+    pub var: usize,
+    /// True if the literal is negated.
+    pub negated: bool,
+}
+
+impl Literal {
+    /// Positive literal of variable `var`.
+    pub fn pos(var: usize) -> Self {
+        Self {
+            var,
+            negated: false,
+        }
+    }
+    /// Negative literal of variable `var`.
+    pub fn neg(var: usize) -> Self {
+        Self { var, negated: true }
+    }
+    /// Evaluates the literal under an assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        assignment[self.var] ^ self.negated
+    }
+}
+
+/// A clause with exactly three literals.
+pub type Clause = [Literal; 3];
+
+/// A MAX-E3SAT formula.
+#[derive(Clone, Debug, Default)]
+pub struct E3SatFormula {
+    /// Number of Boolean variables.
+    pub num_vars: usize,
+    /// Clauses, each with exactly three literals.
+    pub clauses: Vec<Clause>,
+}
+
+impl E3SatFormula {
+    /// Number of clauses satisfied by an assignment.
+    pub fn satisfied(&self, assignment: &[bool]) -> usize {
+        self.clauses
+            .iter()
+            .filter(|cl| cl.iter().any(|l| l.eval(assignment)))
+            .count()
+    }
+}
+
+/// The SVGIC instance produced from a MAX-E3SAT formula, with the vertex/item
+/// maps needed to translate witnesses.
+#[derive(Clone, Debug)]
+pub struct E3SatReduction {
+    /// The constructed SVGIC instance (`k = λ = 1`).
+    pub instance: SvgicInstance,
+    /// Index of the clause vertex `u_j`.
+    pub clause_vertex: Vec<usize>,
+    /// `literal_vertex[j][t]` = vertex `v_{j,t}` of literal `t` of clause `j`.
+    pub literal_vertex: Vec<[usize; 3]>,
+    /// `literal_vertex_neg[j][t]` = vertex `v'_{j,t}`.
+    pub literal_vertex_neg: Vec<[usize; 3]>,
+    /// Index of the variable vertex `w_i`.
+    pub variable_vertex: Vec<usize>,
+    /// Item `c_{j,t}` of the edge `(u_j, v_{j,t})`.
+    pub clause_item: Vec<[usize; 3]>,
+    /// Item `c'_{j,t}` of the edge `(u_j, v'_{j,t})`.
+    pub clause_item_neg: Vec<[usize; 3]>,
+    /// Item `c_i` of variable `i` (assign when the variable is FALSE).
+    pub variable_item: Vec<usize>,
+    /// Item `c'_i` of variable `i` (assign when the variable is TRUE).
+    pub variable_item_neg: Vec<usize>,
+}
+
+/// Builds the gap-preserving reduction of Lemma 2.
+pub fn reduce_e3sat(formula: &E3SatFormula) -> E3SatReduction {
+    let nvar = formula.num_vars;
+    let mcla = formula.clauses.len();
+    let n_vertices = nvar + 7 * mcla;
+
+    // Vertex layout: clause vertices, then literal vertices (v, v') per clause,
+    // then variable vertices.
+    let clause_vertex: Vec<usize> = (0..mcla).collect();
+    let mut literal_vertex = vec![[0usize; 3]; mcla];
+    let mut literal_vertex_neg = vec![[0usize; 3]; mcla];
+    let mut next = mcla;
+    for j in 0..mcla {
+        for t in 0..3 {
+            literal_vertex[j][t] = next;
+            literal_vertex_neg[j][t] = next + 1;
+            next += 2;
+        }
+    }
+    let variable_vertex: Vec<usize> = (0..nvar).map(|i| next + i).collect();
+    debug_assert_eq!(next + nvar, n_vertices);
+
+    // Item layout: c_{j,t}, c'_{j,t} per clause literal, then c_i, c'_i per variable.
+    let mut clause_item = vec![[0usize; 3]; mcla];
+    let mut clause_item_neg = vec![[0usize; 3]; mcla];
+    let mut item = 0usize;
+    for j in 0..mcla {
+        for t in 0..3 {
+            clause_item[j][t] = item;
+            clause_item_neg[j][t] = item + 1;
+            item += 2;
+        }
+    }
+    let variable_item: Vec<usize> = (0..nvar).map(|i| item + 2 * i).collect();
+    let variable_item_neg: Vec<usize> = (0..nvar).map(|i| item + 2 * i + 1).collect();
+    let n_items = item + 2 * nvar;
+
+    // Edges: clause vertex to the literal vertex matching the TRUE assignment
+    // of the literal, and variable vertex to both v and v' of every occurrence.
+    let mut graph = SocialGraph::new(n_vertices);
+    let mut socials: Vec<(usize, usize, usize)> = Vec::new(); // (u, v, item) with τ = 1 both ways
+    for (j, clause) in formula.clauses.iter().enumerate() {
+        for (t, lit) in clause.iter().enumerate() {
+            // Edge (u_j, v_{j,t}) for positive literals, (u_j, v'_{j,t}) for negated.
+            let (lit_vertex, lit_item) = if !lit.negated {
+                (literal_vertex[j][t], clause_item[j][t])
+            } else {
+                (literal_vertex_neg[j][t], clause_item_neg[j][t])
+            };
+            graph.add_edge(clause_vertex[j], lit_vertex);
+            graph.add_edge(lit_vertex, clause_vertex[j]);
+            socials.push((clause_vertex[j], lit_vertex, lit_item));
+            // Edges (w_i, v_{j,t}) and (w_i, v'_{j,t}): every occurrence of
+            // variable a_i forms a P3 centred at w_i, with τ = 1 on
+            // (w_i, v_{j,t}) via item c_i and on (w_i, v'_{j,t}) via item
+            // c'_i, so that exactly one of the two edges can be realised
+            // (w_i displays a single item because k = 1).
+            let w = variable_vertex[lit.var];
+            graph.add_edge(w, literal_vertex[j][t]);
+            graph.add_edge(literal_vertex[j][t], w);
+            graph.add_edge(w, literal_vertex_neg[j][t]);
+            graph.add_edge(literal_vertex_neg[j][t], w);
+            socials.push((w, literal_vertex[j][t], variable_item[lit.var]));
+            socials.push((w, literal_vertex_neg[j][t], variable_item_neg[lit.var]));
+        }
+    }
+
+    let mut builder = SvgicInstanceBuilder::new(graph, n_items.max(1), 1, 1.0);
+    for (u, v, c) in socials {
+        builder.set_social(u, v, c, 1.0);
+        builder.set_social(v, u, c, 1.0);
+    }
+    let instance = builder.build().expect("reduction instance is valid");
+
+    E3SatReduction {
+        instance,
+        clause_vertex,
+        literal_vertex,
+        literal_vertex_neg,
+        variable_vertex,
+        clause_item,
+        clause_item_neg,
+        variable_item,
+        variable_item_neg,
+    }
+}
+
+impl E3SatReduction {
+    /// Builds the SVGIC configuration corresponding to a truth assignment,
+    /// following the constructive proof of the sufficient condition of
+    /// Lemma 2.  Its unweighted utility is `2·(#satisfied) + 6·(#clauses)`
+    /// when every clause of the formula appears with its variables.
+    pub fn configuration_from_assignment(
+        &self,
+        formula: &E3SatFormula,
+        assignment: &[bool],
+    ) -> Configuration {
+        let n = self.instance.num_users();
+        let mut assign: Vec<Option<usize>> = vec![None; n];
+
+        // Variable vertices: w_i shows c'_i when TRUE, c_i when FALSE.
+        for (i, &w) in self.variable_vertex.iter().enumerate() {
+            assign[w] = Some(if assignment[i] {
+                self.variable_item_neg[i]
+            } else {
+                self.variable_item[i]
+            });
+        }
+        for (j, clause) in formula.clauses.iter().enumerate() {
+            // Satisfied clause: u_j co-displays the first TRUE literal's item
+            // with the matching literal vertex.
+            if let Some(tj) = (0..3).find(|&t| clause[t].eval(assignment)) {
+                let lit = clause[tj];
+                if !lit.negated {
+                    assign[self.clause_vertex[j]] = Some(self.clause_item[j][tj]);
+                    assign[self.literal_vertex[j][tj]] = Some(self.clause_item[j][tj]);
+                } else {
+                    assign[self.clause_vertex[j]] = Some(self.clause_item_neg[j][tj]);
+                    assign[self.literal_vertex_neg[j][tj]] = Some(self.clause_item_neg[j][tj]);
+                }
+            }
+            // Every occurrence of variable a_i realises exactly one edge of its
+            // P3: the v'-side on c'_i when a_i is TRUE (matching w_i's item),
+            // the v-side on c_i when a_i is FALSE.
+            for (t, lit) in clause.iter().enumerate() {
+                let v_pos = self.literal_vertex[j][t];
+                let v_neg = self.literal_vertex_neg[j][t];
+                if assignment[lit.var] {
+                    if assign[v_neg].is_none() {
+                        assign[v_neg] = Some(self.variable_item_neg[lit.var]);
+                    }
+                } else if assign[v_pos].is_none() {
+                    assign[v_pos] = Some(self.variable_item[lit.var]);
+                }
+                // The remaining vertex of the pair gets its own clause item,
+                // which carries no utility unless u_j also displays it.
+                if assign[v_pos].is_none() {
+                    assign[v_pos] = Some(self.clause_item[j][t]);
+                }
+                if assign[v_neg].is_none() {
+                    assign[v_neg] = Some(self.clause_item_neg[j][t]);
+                }
+            }
+        }
+        // Unsatisfied clauses' u_j (and anything untouched) may show anything;
+        // use the first item.
+        let flat: Vec<usize> = assign.into_iter().map(|a| a.unwrap_or(0)).collect();
+        Configuration::from_flat(n, 1, flat)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Max-K3P → SVGIC
+// ---------------------------------------------------------------------------
+
+/// The SVGIC instance produced from a Max-K3P (edge/triangle packing) input.
+#[derive(Clone, Debug)]
+pub struct K3PReduction {
+    /// The constructed SVGIC instance (`k = λ = 1`).
+    pub instance: SvgicInstance,
+    /// One item per undirected edge of the source graph, in
+    /// `SocialGraph::friend_pairs` order.
+    pub edge_item: Vec<usize>,
+    /// One item per triangle, in `SocialGraph::triangles` order.
+    pub triangle_item: Vec<usize>,
+    /// The source graph's friend pairs (for mapping witnesses).
+    pub source_pairs: Vec<(usize, usize)>,
+    /// The source graph's triangles.
+    pub source_triangles: Vec<(usize, usize, usize)>,
+}
+
+/// Builds the APX-hardness reduction from Max-K3P (§3.3, second proof of
+/// Theorem 2): each edge and each triangle of the input graph becomes an item
+/// with social utility ½ on its member pairs.
+pub fn reduce_k3p(source: &SocialGraph) -> K3PReduction {
+    let pairs: Vec<(usize, usize)> = source
+        .friend_pairs()
+        .into_iter()
+        .map(|(u, v, _)| (u, v))
+        .collect();
+    let triangles = source.triangles();
+    let n_items = (pairs.len() + triangles.len()).max(1);
+    // The SVGIC graph mirrors the source graph (both directions).
+    let graph = SocialGraph::from_undirected_edges(source.num_nodes(), pairs.iter().copied());
+    let mut builder = SvgicInstanceBuilder::new(graph, n_items, 1, 1.0);
+    let edge_item: Vec<usize> = (0..pairs.len()).collect();
+    let triangle_item: Vec<usize> = (0..triangles.len()).map(|i| pairs.len() + i).collect();
+    for (idx, &(u, v)) in pairs.iter().enumerate() {
+        builder.set_social(u, v, edge_item[idx], 0.5);
+        builder.set_social(v, u, edge_item[idx], 0.5);
+    }
+    for (idx, &(a, b, c)) in triangles.iter().enumerate() {
+        for &(x, y) in &[(a, b), (a, c), (b, c)] {
+            builder.set_social(x, y, triangle_item[idx], 0.5);
+            builder.set_social(y, x, triangle_item[idx], 0.5);
+        }
+    }
+    K3PReduction {
+        instance: builder.build().expect("valid reduction"),
+        edge_item,
+        triangle_item,
+        source_pairs: pairs,
+        source_triangles: triangles,
+    }
+}
+
+impl K3PReduction {
+    /// Builds the SVGIC configuration corresponding to a packing given as a
+    /// list of disjoint edges (indices into `source_pairs`) and triangles
+    /// (indices into `source_triangles`); its utility equals the number of
+    /// packed edges (each triangle counts 3).
+    pub fn configuration_from_packing(
+        &self,
+        edges: &[usize],
+        triangles: &[usize],
+    ) -> Configuration {
+        let n = self.instance.num_users();
+        // Unused vertices get a harmless unique-ish item: reuse item 0 when no
+        // better option exists; since λ = 1 and p ≡ 0 only co-displays matter,
+        // but we must avoid accidentally co-displaying a utility-carrying item,
+        // so unmatched vertices take an item carrying no τ on their pairs —
+        // item 0 only carries utility on its own edge's endpoints, so route
+        // unmatched vertices to an item they are not part of.
+        let mut assign: Vec<Option<usize>> = vec![None; n];
+        for &e in edges {
+            let (u, v) = self.source_pairs[e];
+            assign[u] = Some(self.edge_item[e]);
+            assign[v] = Some(self.edge_item[e]);
+        }
+        for &t in triangles {
+            let (a, b, c) = self.source_triangles[t];
+            for &x in &[a, b, c] {
+                assign[x] = Some(self.triangle_item[t]);
+            }
+        }
+        // Fill unmatched vertices with an item whose τ they do not share: pick
+        // any item not incident to the vertex (exists whenever there are ≥ 2
+        // pairs; otherwise fall back to item 0 which is harmless for isolated
+        // vertices).
+        let flat: Vec<usize> = assign
+            .into_iter()
+            .enumerate()
+            .map(|(v, a)| {
+                a.unwrap_or_else(|| {
+                    self.source_pairs
+                        .iter()
+                        .position(|&(x, y)| x != v && y != v)
+                        .map(|idx| self.edge_item[idx])
+                        .unwrap_or(0)
+                })
+            })
+            .collect();
+        Configuration::from_flat(n, 1, flat)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Densest-k-Subgraph → SVGIC-ST
+// ---------------------------------------------------------------------------
+
+/// The SVGIC-ST instance produced from a Densest-k̂-Subgraph input.
+#[derive(Clone, Debug)]
+pub struct DksReduction {
+    /// The constructed instance (`k = 1`, `λ = 1`).
+    pub instance: SvgicInstance,
+    /// The ST parameters (subgroup cap `M = k̂`).
+    pub st: StParams,
+    /// Number of padding singleton vertices added so that `k̂` divides `n`.
+    pub padding: usize,
+    /// The subgraph size `k̂`.
+    pub k_hat: usize,
+}
+
+/// Builds the Theorem 3 reduction: only item 0 carries social utility (½ per
+/// direction on every source edge); the cap forces subgroups of size exactly
+/// `k̂`, so the best subgroup on item 0 is a densest `k̂`-subgraph.
+pub fn reduce_dks(source: &SocialGraph, k_hat: usize) -> DksReduction {
+    assert!(k_hat >= 1, "k_hat must be positive");
+    let n0 = source.num_nodes();
+    let padding = (k_hat - (n0 % k_hat)) % k_hat;
+    let n = n0 + padding;
+    let m = (n / k_hat).max(1);
+    let pairs: Vec<(usize, usize)> = source
+        .friend_pairs()
+        .into_iter()
+        .map(|(u, v, _)| (u, v))
+        .collect();
+    let graph = SocialGraph::from_undirected_edges(n, pairs.iter().copied());
+    let mut builder = SvgicInstanceBuilder::new(graph, m, 1, 1.0);
+    for &(u, v) in &pairs {
+        builder.set_social(u, v, 0, 0.5);
+        builder.set_social(v, u, 0, 0.5);
+    }
+    DksReduction {
+        instance: builder.build().expect("valid reduction"),
+        st: StParams::new(0.0, k_hat),
+        padding,
+        k_hat,
+    }
+}
+
+impl DksReduction {
+    /// Builds the SVGIC-ST configuration corresponding to a chosen `k̂`-vertex
+    /// subgraph: its members view item 0, all other vertices are partitioned
+    /// into balanced groups over the remaining items.  The utility equals the
+    /// number of edges induced by `subgraph`.
+    pub fn configuration_from_subgraph(&self, subgraph: &[usize]) -> Configuration {
+        assert!(subgraph.len() <= self.k_hat, "subgraph larger than k_hat");
+        let n = self.instance.num_users();
+        let m = self.instance.num_items();
+        let chosen: std::collections::HashSet<usize> = subgraph.iter().copied().collect();
+        let mut assign = vec![0usize; n];
+        let mut bucket = 1usize;
+        let mut filled = 0usize;
+        for v in 0..n {
+            if chosen.contains(&v) {
+                assign[v] = 0;
+            } else {
+                if filled == self.k_hat {
+                    bucket += 1;
+                    filled = 0;
+                }
+                assign[v] = bucket.min(m - 1);
+                filled += 1;
+            }
+        }
+        Configuration::from_flat(n, 1, assign)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::utility::{total_utility, total_utility_st, unweighted_total_utility};
+    use svgic_graph::generate::complete_graph;
+
+    fn small_formula() -> E3SatFormula {
+        // φ = (a1 ∨ ¬a3 ∨ a4) ∧ (¬a2 ∨ a3 ∨ ¬a4)  — the paper's Figure 2.
+        E3SatFormula {
+            num_vars: 4,
+            clauses: vec![
+                [Literal::pos(0), Literal::neg(2), Literal::pos(3)],
+                [Literal::neg(1), Literal::pos(2), Literal::neg(3)],
+            ],
+        }
+    }
+
+    #[test]
+    fn e3sat_reduction_dimensions() {
+        let formula = small_formula();
+        let red = reduce_e3sat(&formula);
+        // n = nvar + 7 * mcla = 4 + 14 = 18 vertices; 9 * mcla = 18 directed-pair edges.
+        assert_eq!(red.instance.num_users(), 18);
+        assert_eq!(red.instance.graph().num_friend_pairs(), 18);
+        // Items: 6 per clause + 2 per variable = 12 + 8 = 20.
+        assert_eq!(red.instance.num_items(), 20);
+        assert_eq!(red.instance.num_slots(), 1);
+        assert_eq!(red.instance.lambda(), 1.0);
+    }
+
+    #[test]
+    fn e3sat_satisfying_assignment_reaches_promised_value() {
+        let formula = small_formula();
+        let red = reduce_e3sat(&formula);
+        // a = (T, F, T, T) satisfies clause 1 (a1) and clause 2 (a3).
+        let assignment = vec![true, false, true, true];
+        assert_eq!(formula.satisfied(&assignment), 2);
+        let cfg = red.configuration_from_assignment(&formula, &assignment);
+        assert!(cfg.is_valid(red.instance.num_items()));
+        // Lemma 2: value ≥ 2·(#satisfied) + 6·m_cla = 4 + 12 = 16 (λ = 1 so the
+        // weighted and unweighted objectives coincide).
+        let value = unweighted_total_utility(&red.instance, &cfg);
+        assert!(
+            value >= 16.0 - 1e-9,
+            "assignment-derived configuration only reaches {value}"
+        );
+        assert!((total_utility(&red.instance, &cfg) - value).abs() < 1e-9);
+    }
+
+    #[test]
+    fn e3sat_worse_assignment_gives_lower_value() {
+        let formula = small_formula();
+        let red = reduce_e3sat(&formula);
+        let good = red.configuration_from_assignment(&formula, &[true, false, true, true]);
+        // (F, T, F, F): clause 1 satisfied by ¬a3, clause 2 satisfied by ¬a2 — both satisfied;
+        // use an assignment violating clause 1 instead: a1=F, a3=T, a4=F → ¬a3 false, a4 false,
+        // a1 false → clause 1 unsatisfied; clause 2: ¬a2 with a2=T false, a3=T true → satisfied.
+        let worse_assignment = vec![false, true, true, false];
+        assert_eq!(formula.satisfied(&worse_assignment), 1);
+        let worse = red.configuration_from_assignment(&formula, &worse_assignment);
+        let v_good = unweighted_total_utility(&red.instance, &good);
+        let v_worse = unweighted_total_utility(&red.instance, &worse);
+        assert!(v_good > v_worse, "good {v_good} should exceed worse {v_worse}");
+    }
+
+    #[test]
+    fn k3p_reduction_counts_packed_edges() {
+        // K4: pack one triangle (3 edges) + nothing else (the 4th vertex is free).
+        let g = complete_graph(4);
+        let red = reduce_k3p(&g);
+        assert_eq!(red.source_pairs.len(), 6);
+        assert_eq!(red.source_triangles.len(), 4);
+        assert_eq!(red.instance.num_items(), 10);
+        // Pack triangle (0,1,2).
+        let t = red
+            .source_triangles
+            .iter()
+            .position(|&t| t == (0, 1, 2))
+            .unwrap();
+        let cfg = red.configuration_from_packing(&[], &[t]);
+        assert!(cfg.is_valid(red.instance.num_items()));
+        let value = unweighted_total_utility(&red.instance, &cfg);
+        assert!((value - 3.0).abs() < 1e-9, "triangle packing should be worth 3, got {value}");
+        // Pack a single edge instead.
+        let cfg_edge = red.configuration_from_packing(&[0], &[]);
+        let value_edge = unweighted_total_utility(&red.instance, &cfg_edge);
+        assert!((value_edge - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dks_reduction_counts_induced_edges() {
+        // A graph with a dense core {0,1,2} (triangle) and a pendant path.
+        let g = SocialGraph::from_undirected_edges(6, [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let red = reduce_dks(&g, 3);
+        assert_eq!(red.padding, 0);
+        assert_eq!(red.instance.num_items(), 2);
+        let cfg = red.configuration_from_subgraph(&[0, 1, 2]);
+        assert!(red.st.is_feasible(&cfg), "subgroup cap must hold");
+        let value = total_utility_st(&red.instance, &red.st, &cfg);
+        assert!((value - 3.0).abs() < 1e-9, "triangle core has 3 edges, got {value}");
+        let sparse = red.configuration_from_subgraph(&[3, 4, 5]);
+        let sparse_value = total_utility_st(&red.instance, &red.st, &sparse);
+        assert!((sparse_value - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dks_reduction_pads_to_multiple_of_khat() {
+        let g = complete_graph(5);
+        let red = reduce_dks(&g, 3);
+        assert_eq!(red.padding, 1);
+        assert_eq!(red.instance.num_users(), 6);
+        assert_eq!(red.instance.num_items(), 2);
+    }
+}

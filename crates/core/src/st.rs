@@ -1,0 +1,168 @@
+//! SVGIC-ST side constraints (§3.2 of the paper).
+//!
+//! SVGIC-ST adds to the base problem:
+//!
+//! * a **teleportation discount** `d_tel < 1` applied to the social utility of
+//!   *indirect* co-displays (friends who see the same item at different slots
+//!   and must teleport to discuss it), and
+//! * a **subgroup size constraint** `M`: at every slot, no more than `M` users
+//!   may be directly co-displayed the same item (practical VR platforms cap
+//!   the number of users sharing one virtual environment).
+
+use crate::config::Configuration;
+use crate::instance::SvgicInstance;
+
+/// Parameters of the SVGIC-ST problem.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StParams {
+    /// Teleportation discount factor `d_tel ∈ [0, 1)` applied to indirect
+    /// co-display social utility.
+    pub d_tel: f64,
+    /// Maximum number of users that may be co-displayed the same item at the
+    /// same slot (`M`).
+    pub max_subgroup: usize,
+}
+
+impl StParams {
+    /// Creates the parameter set.
+    ///
+    /// # Panics
+    /// Panics if `d_tel` is not in `[0, 1]` or `max_subgroup == 0`.
+    pub fn new(d_tel: f64, max_subgroup: usize) -> Self {
+        assert!((0.0..=1.0).contains(&d_tel), "d_tel must lie in [0, 1]");
+        assert!(max_subgroup >= 1, "the subgroup cap must be at least 1");
+        Self {
+            d_tel,
+            max_subgroup,
+        }
+    }
+
+    /// The paper's default: `d_tel = 0.5`, effectively no size cap.
+    pub fn teleport_only(d_tel: f64) -> Self {
+        Self::new(d_tel, usize::MAX)
+    }
+
+    /// Total violation of the subgroup size constraint, in number of users:
+    /// for every slot and item, the excess of the subgroup size over `M`,
+    /// summed (the measure plotted in Fig. 13).
+    pub fn total_violation(&self, config: &Configuration) -> usize {
+        let mut violation = 0usize;
+        for s in 0..config.num_slots() {
+            for (_, members) in config.subgroups_at_slot(s) {
+                violation += members.len().saturating_sub(self.max_subgroup);
+            }
+        }
+        violation
+    }
+
+    /// Number of per-slot subgroups exceeding the cap.
+    pub fn oversized_subgroups(&self, config: &Configuration) -> usize {
+        let mut count = 0usize;
+        for s in 0..config.num_slots() {
+            for (_, members) in config.subgroups_at_slot(s) {
+                if members.len() > self.max_subgroup {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// True when the configuration satisfies the subgroup size constraint.
+    pub fn is_feasible(&self, config: &Configuration) -> bool {
+        self.total_violation(config) == 0
+    }
+
+    /// Fraction of `configs` that satisfy the size constraint (the
+    /// *feasibility ratio* metric of §6.1).
+    pub fn feasibility_ratio(&self, configs: &[Configuration]) -> f64 {
+        if configs.is_empty() {
+            return 1.0;
+        }
+        configs.iter().filter(|c| self.is_feasible(c)).count() as f64 / configs.len() as f64
+    }
+
+    /// Validates the parameter set against an instance (the cap must allow a
+    /// feasible configuration to exist, which it always does because every
+    /// user may view her own item: any `M ≥ 1` is feasible as long as
+    /// `m ≥ ... `; we simply check that enough items exist for a disjoint
+    /// assignment when `M` is very small).
+    pub fn admits_feasible_configuration(&self, instance: &SvgicInstance) -> bool {
+        // At every slot the n users must be split into subgroups of size ≤ M,
+        // each labelled with a distinct item, and across a user's k slots the
+        // items must differ.  A sufficient (and for this simple model,
+        // necessary) condition is m ≥ k · ⌈n / (M·k)⌉ ... conservatively we
+        // require m ≥ max(k, ⌈n / M⌉).
+        let n = instance.num_users();
+        let m = instance.num_items();
+        let needed_groups = n.div_ceil(self.max_subgroup.max(1));
+        m >= instance.num_slots().max(needed_groups.min(n))
+    }
+}
+
+impl Default for StParams {
+    fn default() -> Self {
+        Self {
+            d_tel: 0.5,
+            max_subgroup: usize::MAX,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Configuration;
+    use crate::example;
+
+    #[test]
+    fn violation_counts_excess_users() {
+        // 4 users, 1 slot, all seeing item 0.
+        let cfg = Configuration::from_rows(&[vec![0], vec![0], vec![0], vec![1]]);
+        let st = StParams::new(0.5, 2);
+        assert_eq!(st.total_violation(&cfg), 1); // subgroup of 3, cap 2
+        assert_eq!(st.oversized_subgroups(&cfg), 1);
+        assert!(!st.is_feasible(&cfg));
+        let loose = StParams::new(0.5, 3);
+        assert!(loose.is_feasible(&cfg));
+    }
+
+    #[test]
+    fn feasibility_ratio_over_samples() {
+        let good = Configuration::from_rows(&[vec![0], vec![1]]);
+        let bad = Configuration::from_rows(&[vec![0], vec![0]]);
+        let st = StParams::new(0.5, 1);
+        assert!((st.feasibility_ratio(&[good.clone(), bad.clone()]) - 0.5).abs() < 1e-12);
+        assert!((st.feasibility_ratio(&[good]) - 1.0).abs() < 1e-12);
+        assert!((st.feasibility_ratio(&[]) - 1.0).abs() < 1e-12);
+        let _ = bad;
+    }
+
+    #[test]
+    fn default_and_teleport_only() {
+        let d = StParams::default();
+        assert_eq!(d.max_subgroup, usize::MAX);
+        let t = StParams::teleport_only(0.3);
+        assert!((t.d_tel - 0.3).abs() < 1e-12);
+        assert_eq!(t.max_subgroup, usize::MAX);
+    }
+
+    #[test]
+    fn admits_feasible_configuration_checks_item_supply() {
+        let inst = example::running_example(); // n = 4, m = 5, k = 3
+        assert!(StParams::new(0.5, 1).admits_feasible_configuration(&inst));
+        assert!(StParams::new(0.5, 4).admits_feasible_configuration(&inst));
+    }
+
+    #[test]
+    #[should_panic(expected = "d_tel")]
+    fn invalid_dtel_panics() {
+        let _ = StParams::new(1.5, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_cap_panics() {
+        let _ = StParams::new(0.5, 0);
+    }
+}

@@ -1,0 +1,333 @@
+//! SAVG utility functions (Definitions 3 and 5 of the paper).
+//!
+//! * [`total_utility`] — the SVGIC objective: every user `u` contributes, for
+//!   each item `c` displayed to her,
+//!   `(1−λ)·p(u,c) + λ·Σ_{v : u↔^c v} τ(u,v,c)` where `u↔^c v` denotes a
+//!   *direct* co-display (same item at the same slot).
+//! * [`total_utility_st`] — the SVGIC-ST objective which additionally credits
+//!   *indirect* co-displays (same item at different slots) discounted by
+//!   `d_tel`.
+//! * [`utility_split`] / [`UtilitySplit`] — the personal vs. social breakdown
+//!   reported as *Personal%* / *Social%* in §6.
+//! * [`unweighted_total_utility`] — the "scaled up by 2" convention the paper
+//!   uses for the λ = ½ running example (a plain sum of preference and social
+//!   utilities), which the golden fixtures of Tables 7–9 are stated in.
+//! * per-user utilities and the optimistic upper bound behind the
+//!   regret-ratio metric of §6.5.
+
+use crate::config::Configuration;
+use crate::instance::SvgicInstance;
+use crate::st::StParams;
+use crate::{ItemIdx, UserIdx};
+
+/// Personal / social decomposition of a configuration's utility.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct UtilitySplit {
+    /// Weighted preference part `(1-λ)·Σ p`.
+    pub preference: f64,
+    /// Weighted social part `λ·Σ τ` (direct co-display only).
+    pub social: f64,
+}
+
+impl UtilitySplit {
+    /// Total utility.
+    pub fn total(&self) -> f64 {
+        self.preference + self.social
+    }
+
+    /// Fraction of the total contributed by the preference part (0 when the
+    /// total is 0).
+    pub fn personal_fraction(&self) -> f64 {
+        let t = self.total();
+        if t <= 0.0 {
+            0.0
+        } else {
+            self.preference / t
+        }
+    }
+
+    /// Fraction of the total contributed by the social part.
+    pub fn social_fraction(&self) -> f64 {
+        let t = self.total();
+        if t <= 0.0 {
+            0.0
+        } else {
+            self.social / t
+        }
+    }
+}
+
+/// Detailed per-user breakdown of a configuration's utility.
+#[derive(Clone, Debug, Default)]
+pub struct UtilityBreakdown {
+    /// Per-user achieved SAVG utility (Definition 3 summed over the user's
+    /// displayed items).
+    pub per_user: Vec<f64>,
+    /// Weighted preference / social split of the total.
+    pub split: UtilitySplit,
+}
+
+impl UtilityBreakdown {
+    /// Total utility over all users.
+    pub fn total(&self) -> f64 {
+        self.split.total()
+    }
+}
+
+fn assert_matching(instance: &SvgicInstance, config: &Configuration) {
+    assert_eq!(
+        instance.num_users(),
+        config.num_users(),
+        "configuration user count does not match instance"
+    );
+    assert_eq!(
+        instance.num_slots(),
+        config.num_slots(),
+        "configuration slot count does not match instance"
+    );
+}
+
+/// Raw (unweighted) preference sum `Σ_u Σ_{c ∈ A(u,:)} p(u, c)`.
+pub fn raw_preference_sum(instance: &SvgicInstance, config: &Configuration) -> f64 {
+    assert_matching(instance, config);
+    let mut total = 0.0;
+    for u in 0..instance.num_users() {
+        for &c in config.items_of(u) {
+            total += instance.preference(u, c);
+        }
+    }
+    total
+}
+
+/// Raw (unweighted) social sum over *direct* co-displays: for every ordered
+/// friend edge `(u, v)` and slot `s` with `A(u,s) = A(v,s) = c`, adds
+/// `τ(u, v, c)`.
+pub fn raw_social_sum(instance: &SvgicInstance, config: &Configuration) -> f64 {
+    assert_matching(instance, config);
+    let mut total = 0.0;
+    for (p, pair) in instance.friend_pairs().iter().enumerate() {
+        for (_, c) in config.co_displays(pair.u, pair.v) {
+            total += instance.pair_weight(p, c);
+        }
+    }
+    total
+}
+
+/// Raw (unweighted) social sum over *indirect* co-displays (Definition 4):
+/// common items displayed to both endpoints at different slots.
+pub fn raw_indirect_social_sum(instance: &SvgicInstance, config: &Configuration) -> f64 {
+    assert_matching(instance, config);
+    let mut total = 0.0;
+    for (p, pair) in instance.friend_pairs().iter().enumerate() {
+        for (c, _, _) in config.indirect_co_displays(pair.u, pair.v) {
+            total += instance.pair_weight(p, c);
+        }
+    }
+    total
+}
+
+/// Weighted personal / social split of the SVGIC objective.
+pub fn utility_split(instance: &SvgicInstance, config: &Configuration) -> UtilitySplit {
+    let lambda = instance.lambda();
+    UtilitySplit {
+        preference: (1.0 - lambda) * raw_preference_sum(instance, config),
+        social: lambda * raw_social_sum(instance, config),
+    }
+}
+
+/// Total SVGIC objective `Σ_u Σ_{c ∈ A(u,:)} w_A(u, c)` (Definition 3).
+pub fn total_utility(instance: &SvgicInstance, config: &Configuration) -> f64 {
+    utility_split(instance, config).total()
+}
+
+/// The paper's running-example convention: with `λ = ½` the objective is
+/// "scaled up by 2" so it becomes the plain sum of preference and social
+/// utilities.  This helper computes that unweighted sum for any `λ`.
+pub fn unweighted_total_utility(instance: &SvgicInstance, config: &Configuration) -> f64 {
+    raw_preference_sum(instance, config) + raw_social_sum(instance, config)
+}
+
+/// Total SVGIC-ST objective (Definition 5): direct co-display counted in full,
+/// indirect co-display discounted by `d_tel`.
+pub fn total_utility_st(
+    instance: &SvgicInstance,
+    st: &StParams,
+    config: &Configuration,
+) -> f64 {
+    let lambda = instance.lambda();
+    (1.0 - lambda) * raw_preference_sum(instance, config)
+        + lambda
+            * (raw_social_sum(instance, config)
+                + st.d_tel * raw_indirect_social_sum(instance, config))
+}
+
+/// Per-user achieved SAVG utility (the numerator of the happiness ratio).
+pub fn per_user_utility(instance: &SvgicInstance, config: &Configuration, u: UserIdx) -> f64 {
+    let lambda = instance.lambda();
+    let mut total = 0.0;
+    for (s, &c) in config.items_of(u).iter().enumerate() {
+        let mut social = 0.0;
+        for &(v, e) in instance.graph().out_neighbors(u) {
+            if config.get(v, s) == c {
+                social += instance.social_by_edge(e, c);
+            }
+        }
+        total += (1.0 - lambda) * instance.preference(u, c) + lambda * social;
+    }
+    total
+}
+
+/// Full per-user breakdown plus the weighted split.
+pub fn utility_breakdown(instance: &SvgicInstance, config: &Configuration) -> UtilityBreakdown {
+    let per_user = (0..instance.num_users())
+        .map(|u| per_user_utility(instance, config, u))
+        .collect();
+    UtilityBreakdown {
+        per_user,
+        split: utility_split(instance, config),
+    }
+}
+
+/// The optimistic single-item utility `w̄_A(u, c) = (1-λ)p(u,c) + λ·Σ_{v∈V}
+/// τ(u,v,c)` used by the regret metric: what `u` would get if *every* friend
+/// viewed `c` with her.
+pub fn optimistic_item_utility(instance: &SvgicInstance, u: UserIdx, c: ItemIdx) -> f64 {
+    let lambda = instance.lambda();
+    (1.0 - lambda) * instance.preference(u, c) + lambda * instance.max_social(u, c)
+}
+
+/// Upper bound on the SAVG utility user `u` could possibly achieve: the sum of
+/// her `k` largest optimistic item utilities (the denominator of the happiness
+/// ratio in §6.5).
+pub fn user_utility_upper_bound(instance: &SvgicInstance, u: UserIdx) -> f64 {
+    let mut vals: Vec<f64> = (0..instance.num_items())
+        .map(|c| optimistic_item_utility(instance, u, c))
+        .collect();
+    vals.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    vals.into_iter().take(instance.num_slots()).sum()
+}
+
+/// The regret ratio of user `u`: `1 − achieved / upper_bound`, clamped to
+/// `[0, 1]`; users with a zero upper bound have zero regret.
+pub fn regret_ratio(instance: &SvgicInstance, config: &Configuration, u: UserIdx) -> f64 {
+    let upper = user_utility_upper_bound(instance, u);
+    if upper <= 0.0 {
+        return 0.0;
+    }
+    (1.0 - per_user_utility(instance, config, u) / upper).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::example::{self, paper_configurations};
+    use crate::instance::SvgicInstanceBuilder;
+    use svgic_graph::SocialGraph;
+
+    #[test]
+    fn per_user_utilities_sum_to_total() {
+        let inst = example::running_example();
+        let cfg = paper_configurations().optimal;
+        let breakdown = utility_breakdown(&inst, &cfg);
+        let sum: f64 = breakdown.per_user.iter().sum();
+        assert!((sum - total_utility(&inst, &cfg)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn example2_alice_slot2_utility() {
+        // Example 2 of the paper: λ = 0.4, Alice co-displayed the tripod (c1)
+        // with Bob and Dave at slot 2 => w = 0.6·0.8 + 0.4·(0.2+0.2) = 0.64.
+        let inst = example::running_example().with_lambda(0.4).unwrap();
+        let cfg = paper_configurations().optimal;
+        // Alice's slot-2 item is c1 (index 0).
+        assert_eq!(cfg.get(0, 1), 0);
+        let lambda = inst.lambda();
+        let mut social = 0.0;
+        for &(v, e) in inst.graph().out_neighbors(0) {
+            if cfg.get(v, 1) == 0 {
+                social += inst.social_by_edge(e, 0);
+            }
+        }
+        let w = (1.0 - lambda) * inst.preference(0, 0) + lambda * social;
+        assert!((w - 0.64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_fractions_are_consistent() {
+        let inst = example::running_example();
+        let cfg = paper_configurations().avg;
+        let split = utility_split(&inst, &cfg);
+        assert!(split.preference > 0.0 && split.social > 0.0);
+        assert!((split.personal_fraction() + split.social_fraction() - 1.0).abs() < 1e-12);
+        assert!((split.total() - total_utility(&inst, &cfg)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn st_utility_reduces_to_plain_when_no_indirect() {
+        let inst = example::running_example();
+        let cfg = paper_configurations().group;
+        // The group configuration shows the same item to everyone at the same
+        // slot, so there are no indirect co-displays.
+        let st = StParams::new(0.5, usize::MAX);
+        assert!(
+            (total_utility_st(&inst, &st, &cfg) - total_utility(&inst, &cfg)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn st_utility_credits_indirect_codisplay() {
+        // Two friends, two items, two slots, swapped assignments: the common
+        // items are only indirectly co-displayed.
+        let graph = SocialGraph::from_undirected_edges(2, [(0, 1)]);
+        let mut b = SvgicInstanceBuilder::new(graph, 2, 2, 0.5);
+        b.fill_social(|_, _, _| 1.0);
+        let inst = b.build().unwrap();
+        let cfg = Configuration::from_rows(&[vec![0, 1], vec![1, 0]]);
+        assert!((total_utility(&inst, &cfg) - 0.0).abs() < 1e-12);
+        let st = StParams::new(0.5, usize::MAX);
+        // Both items indirectly co-displayed: raw indirect = (1+1) per item * 2 items = 4;
+        // weighted: λ(=0.5) * d_tel(=0.5) * 4 = 1.0.
+        assert!((total_utility_st(&inst, &st, &cfg) - 1.0).abs() < 1e-12);
+        // Aligning the slots converts it to direct co-display worth λ * 4 = 2.
+        let aligned = Configuration::from_rows(&[vec![0, 1], vec![0, 1]]);
+        assert!((total_utility_st(&inst, &st, &aligned) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regret_ratio_zero_for_dictator() {
+        // A single user always achieves her upper bound => regret 0.
+        let graph = SocialGraph::new(1);
+        let mut b = SvgicInstanceBuilder::new(graph, 3, 2, 0.3);
+        b.set_preference(0, 0, 0.9);
+        b.set_preference(0, 1, 0.5);
+        b.set_preference(0, 2, 0.1);
+        let inst = b.build().unwrap();
+        let best = Configuration::from_rows(&[vec![0, 1]]);
+        assert!(regret_ratio(&inst, &best, 0) < 1e-12);
+        let worst = Configuration::from_rows(&[vec![2, 1]]);
+        assert!(regret_ratio(&inst, &worst, 0) > 0.0);
+    }
+
+    #[test]
+    fn regret_is_bounded() {
+        let inst = example::running_example();
+        for cfg in [
+            paper_configurations().optimal,
+            paper_configurations().personalized,
+            paper_configurations().group,
+        ] {
+            for u in 0..inst.num_users() {
+                let r = regret_ratio(&inst, &cfg, u);
+                assert!((0.0..=1.0).contains(&r));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match instance")]
+    fn mismatched_configuration_panics() {
+        let inst = example::running_example();
+        let wrong = Configuration::from_rows(&[vec![0, 1]]);
+        let _ = total_utility(&inst, &wrong);
+    }
+}

@@ -1,0 +1,33 @@
+//! # svgic-datasets
+//!
+//! Synthetic dataset substrates replacing the proprietary evaluation data of
+//! the paper (Timik, Yelp, Epinions), the learned utility models (PIERT,
+//! AGREE, GREE), and the hTC VIVE user study.
+//!
+//! The experiments of §6 only rely on *qualitative* properties of those
+//! assets: how dense the friendship network is, how diversified preferences
+//! are, how large social utilities are relative to preferences, and whether
+//! social utilities depend on the item.  The generators in this crate expose
+//! exactly these knobs:
+//!
+//! * [`profiles`] — dataset profiles (`timik_like`, `yelp_like`,
+//!   `epinions_like`) that combine a topology generator with a utility model
+//!   and produce ready-to-solve [`svgic_core::SvgicInstance`]s of any size;
+//! * [`models`] — latent-topic utility simulators standing in for PIERT
+//!   (item-dependent social influence), AGREE (uniform social influence) and
+//!   GREE (per-triple weights);
+//! * [`user_study`] — a simulator of the 44-participant VR user study of
+//!   §6.9: questionnaire-style preferences, per-participant `λ`, and Likert
+//!   satisfaction scores generated as a noisy monotone function of the
+//!   achieved per-user utility.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod models;
+pub mod profiles;
+pub mod user_study;
+
+pub use models::{UtilityModel, UtilityModelKind};
+pub use profiles::{DatasetProfile, InstanceSpec};
+pub use user_study::{simulate_user_study, UserStudyConfig, UserStudyOutcome};

@@ -1,0 +1,299 @@
+//! Latent-topic utility simulators.
+//!
+//! The paper feeds learned preference and social utilities into SVGIC; three
+//! learning frameworks are compared in Fig. 7.  We reproduce their *input
+//! distributions* rather than the learners themselves:
+//!
+//! * [`UtilityModelKind::PiertLike`] — users and items carry latent topic
+//!   vectors; `p(u,c)` is a (noisy) topic affinity and `τ(u,v,c)` combines a
+//!   per-edge influence weight with the topic agreement of the *pair* on the
+//!   item, so social utility is item-dependent;
+//! * [`UtilityModelKind::AgreeLike`] — the same preferences, but the social
+//!   influence between users is uniform across friends and items;
+//! * [`UtilityModelKind::GreeLike`] — fully free per-(edge, item) weights,
+//!   i.e. the heaviest-tailed and least structured social utilities.
+//!
+//! All utilities are bounded in `[0, 1]`, matching the normalised scores the
+//! paper's learning pipelines output.
+
+use rand::Rng;
+use svgic_core::{SvgicInstance, SvgicInstanceBuilder};
+use svgic_graph::SocialGraph;
+
+/// Which simulated learning framework generates the utilities.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UtilityModelKind {
+    /// Item-dependent social influence driven by shared latent topics
+    /// (the paper's default input model).
+    PiertLike,
+    /// Uniform social influence between friends, independent of the item.
+    AgreeLike,
+    /// Independent per-(edge, item) social weights.
+    GreeLike,
+}
+
+impl UtilityModelKind {
+    /// All model kinds in the order of Fig. 7.
+    pub fn all() -> [UtilityModelKind; 3] {
+        [
+            UtilityModelKind::PiertLike,
+            UtilityModelKind::AgreeLike,
+            UtilityModelKind::GreeLike,
+        ]
+    }
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            UtilityModelKind::PiertLike => "PIERT-like",
+            UtilityModelKind::AgreeLike => "AGREE-like",
+            UtilityModelKind::GreeLike => "GREE-like",
+        }
+    }
+}
+
+/// Parameters of the utility simulators.
+#[derive(Clone, Debug)]
+pub struct UtilityModel {
+    /// Which framework to imitate.
+    pub kind: UtilityModelKind,
+    /// Number of latent topics.
+    pub topics: usize,
+    /// How concentrated user interests are: higher values produce more
+    /// diversified (peaked) preference vectors — the Yelp-like regime; lower
+    /// values produce broader, overlapping interests — the Epinions-like
+    /// regime with a few widely liked items.
+    pub preference_diversity: f64,
+    /// Overall magnitude of the social utilities relative to preferences.
+    pub social_strength: f64,
+    /// Fraction of "hub" items that are broadly attractive to everyone
+    /// (popular VR locations in Timik, widely adopted products in Epinions).
+    pub popular_item_fraction: f64,
+}
+
+impl Default for UtilityModel {
+    fn default() -> Self {
+        Self {
+            kind: UtilityModelKind::PiertLike,
+            topics: 8,
+            preference_diversity: 1.0,
+            social_strength: 0.6,
+            popular_item_fraction: 0.05,
+        }
+    }
+}
+
+impl UtilityModel {
+    /// Generates an SVGIC instance over the given graph and item count.
+    pub fn build_instance<R: Rng + ?Sized>(
+        &self,
+        graph: SocialGraph,
+        num_items: usize,
+        k: usize,
+        lambda: f64,
+        rng: &mut R,
+    ) -> SvgicInstance {
+        let n = graph.num_nodes();
+        let topics = self.topics.max(1);
+        // Latent topic vectors: users are Dirichlet-ish (normalised powers of
+        // uniforms, sharpened by `preference_diversity`), items likewise, plus
+        // a per-item popularity boost for a small set of hub items.
+        let user_topics = sample_topic_matrix(n, topics, self.preference_diversity, rng);
+        let item_topics = sample_topic_matrix(num_items, topics, self.preference_diversity, rng);
+        let popular: Vec<bool> = (0..num_items)
+            .map(|_| rng.gen::<f64>() < self.popular_item_fraction)
+            .collect();
+        let popularity: Vec<f64> = popular
+            .iter()
+            .map(|&p| if p { 0.3 + 0.4 * rng.gen::<f64>() } else { 0.0 })
+            .collect();
+
+        // Preference p(u, c) = clamp(topic affinity + popularity + noise).
+        let mut pref = vec![0.0; n * num_items];
+        for u in 0..n {
+            for c in 0..num_items {
+                let affinity: f64 = (0..topics)
+                    .map(|t| user_topics[u * topics + t] * item_topics[c * topics + t])
+                    .sum::<f64>()
+                    * topics as f64
+                    / 2.0;
+                let noise = 0.05 * rng.gen::<f64>();
+                pref[u * num_items + c] = (affinity + popularity[c] + noise).clamp(0.0, 1.0);
+            }
+        }
+
+        // Per-edge influence weight (how much u listens to v).
+        let influence: Vec<f64> = (0..graph.num_edges())
+            .map(|_| rng.gen::<f64>() * self.social_strength)
+            .collect();
+
+        let mut builder = SvgicInstanceBuilder::new(graph.clone(), num_items, k, lambda);
+        for u in 0..n {
+            for c in 0..num_items {
+                builder.set_preference(u, c, pref[u * num_items + c]);
+            }
+        }
+        for (e, &(u, v)) in graph.edges().to_vec().iter().enumerate() {
+            for c in 0..num_items {
+                let tau = match self.kind {
+                    UtilityModelKind::PiertLike => {
+                        // Item-dependent: influence × geometric mean of the two
+                        // endpoints' interest in the item.
+                        let pu = pref[u * num_items + c];
+                        let pv = pref[v * num_items + c];
+                        influence[e] * (pu * pv).sqrt()
+                    }
+                    UtilityModelKind::AgreeLike => influence[e],
+                    UtilityModelKind::GreeLike => self.social_strength * rng.gen::<f64>(),
+                };
+                builder.set_social(u, v, c, tau.clamp(0.0, 1.0));
+            }
+        }
+        builder
+            .build()
+            .expect("generated utilities are always valid")
+    }
+}
+
+/// Samples a row-normalised `rows × topics` matrix whose rows get more peaked
+/// as `diversity` grows.
+fn sample_topic_matrix<R: Rng + ?Sized>(
+    rows: usize,
+    topics: usize,
+    diversity: f64,
+    rng: &mut R,
+) -> Vec<f64> {
+    let mut out = vec![0.0; rows * topics];
+    let exponent = diversity.max(0.05);
+    for r in 0..rows {
+        let mut total = 0.0;
+        for t in 0..topics {
+            let v = rng.gen::<f64>().powf(1.0 / exponent.max(1e-6)).powf(exponent * 2.0);
+            out[r * topics + t] = v + 1e-6;
+            total += v + 1e-6;
+        }
+        for t in 0..topics {
+            out[r * topics + t] /= total;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use svgic_graph::generate::erdos_renyi;
+
+    fn graph(n: usize, seed: u64) -> SocialGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        erdos_renyi(n, 0.3, &mut rng)
+    }
+
+    #[test]
+    fn all_models_produce_valid_instances() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for kind in UtilityModelKind::all() {
+            let model = UtilityModel {
+                kind,
+                ..Default::default()
+            };
+            let inst = model.build_instance(graph(12, 2), 20, 3, 0.5, &mut rng);
+            assert_eq!(inst.num_users(), 12);
+            assert_eq!(inst.num_items(), 20);
+            for u in 0..12 {
+                for c in 0..20 {
+                    let p = inst.preference(u, c);
+                    assert!((0.0..=1.0).contains(&p), "{kind:?} preference {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn agree_like_social_is_item_independent() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = UtilityModel {
+            kind: UtilityModelKind::AgreeLike,
+            ..Default::default()
+        };
+        let inst = model.build_instance(graph(8, 5), 10, 2, 0.5, &mut rng);
+        let (u, v) = inst.graph().edges()[0];
+        let first = inst.social(u, v, 0);
+        for c in 1..10 {
+            assert!((inst.social(u, v, c) - first).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn piert_like_social_varies_with_the_item() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let model = UtilityModel::default();
+        let inst = model.build_instance(graph(10, 7), 30, 2, 0.5, &mut rng);
+        let (u, v) = inst.graph().edges()[0];
+        let values: Vec<f64> = (0..30).map(|c| inst.social(u, v, c)).collect();
+        let spread = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - values.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(spread > 1e-6, "PIERT-like τ should depend on the item");
+    }
+
+    #[test]
+    fn preference_diversity_controls_overlap() {
+        // More diverse preferences => the top item of different users coincides
+        // less often.
+        let mut rng = StdRng::seed_from_u64(11);
+        let overlap = |diversity: f64, rng: &mut StdRng| -> f64 {
+            let model = UtilityModel {
+                preference_diversity: diversity,
+                popular_item_fraction: 0.0,
+                ..Default::default()
+            };
+            let inst = model.build_instance(graph(30, 13), 40, 2, 0.5, rng);
+            let tops: Vec<usize> = (0..30)
+                .map(|u| {
+                    (0..40)
+                        .max_by(|&a, &b| {
+                            inst.preference(u, a).partial_cmp(&inst.preference(u, b)).unwrap()
+                        })
+                        .unwrap()
+                })
+                .collect();
+            let distinct: std::collections::HashSet<_> = tops.iter().collect();
+            1.0 - distinct.len() as f64 / tops.len() as f64
+        };
+        let broad = overlap(0.2, &mut rng);
+        let diverse = overlap(4.0, &mut rng);
+        assert!(
+            diverse <= broad + 0.2,
+            "diversity 4.0 overlap {diverse} vs 0.2 overlap {broad}"
+        );
+    }
+
+    #[test]
+    fn social_strength_scales_tau() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let weak = UtilityModel {
+            social_strength: 0.1,
+            ..Default::default()
+        }
+        .build_instance(graph(10, 19), 15, 2, 0.5, &mut rng);
+        let strong = UtilityModel {
+            social_strength: 0.9,
+            ..Default::default()
+        }
+        .build_instance(graph(10, 19), 15, 2, 0.5, &mut rng);
+        let avg = |inst: &SvgicInstance| -> f64 {
+            let mut total = 0.0;
+            let mut count = 0usize;
+            for e in 0..inst.graph().num_edges() {
+                for c in 0..inst.num_items() {
+                    total += inst.social_by_edge(e, c);
+                    count += 1;
+                }
+            }
+            total / count as f64
+        };
+        assert!(avg(&strong) > avg(&weak));
+    }
+}

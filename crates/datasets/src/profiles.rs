@@ -1,0 +1,265 @@
+//! Dataset profiles: Timik-like, Yelp-like, Epinions-like.
+//!
+//! A profile pairs a topology generator with a utility-model parameterisation
+//! so that the synthetic instance reproduces the qualitative properties of the
+//! corresponding real dataset that the paper's analysis relies on:
+//!
+//! | profile | topology | preferences | social utility |
+//! |---|---|---|---|
+//! | Timik-like | dense Barabási–Albert (VR users befriend many strangers, hub locations) | moderately diverse | strong, item-dependent |
+//! | Yelp-like | Watts–Strogatz small world (local communities) | highly diversified POIs | strong inside communities |
+//! | Epinions-like | sparse Erdős–Rényi trust network | broad, a few widely liked items | weak (sparser reviews) |
+//!
+//! [`InstanceSpec`] then samples a shopping group of `n` users from the big
+//! network (random walk, as in the paper's §6.1) and builds the instance with
+//! `m` candidate items, `k` slots and weight `λ`.
+
+use crate::models::{UtilityModel, UtilityModelKind};
+use rand::Rng;
+use svgic_core::SvgicInstance;
+use svgic_graph::{barabasi_albert, erdos_renyi, random_walk_sample, watts_strogatz, SocialGraph};
+
+/// The three dataset families of §6.1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DatasetProfile {
+    /// 3D VR social network: dense, hub-heavy, strangers interact.
+    TimikLike,
+    /// Location-based social network: strong local communities, very
+    /// diversified POI preferences.
+    YelpLike,
+    /// Product-review trust network: sparse, a few widely liked items.
+    EpinionsLike,
+}
+
+impl DatasetProfile {
+    /// All profiles in the paper's reporting order (Timik, Epinions, Yelp).
+    pub fn all() -> [DatasetProfile; 3] {
+        [
+            DatasetProfile::TimikLike,
+            DatasetProfile::EpinionsLike,
+            DatasetProfile::YelpLike,
+        ]
+    }
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DatasetProfile::TimikLike => "Timik-like",
+            DatasetProfile::YelpLike => "Yelp-like",
+            DatasetProfile::EpinionsLike => "Epinions-like",
+        }
+    }
+
+    /// Generates the full background social network of `population` users.
+    pub fn generate_network<R: Rng + ?Sized>(&self, population: usize, rng: &mut R) -> SocialGraph {
+        match self {
+            DatasetProfile::TimikLike => barabasi_albert(population, 6, rng),
+            DatasetProfile::YelpLike => watts_strogatz(population, 8, 0.15, rng),
+            DatasetProfile::EpinionsLike => {
+                let p = (4.0 / population.max(2) as f64).min(0.3);
+                erdos_renyi(population, p, rng)
+            }
+        }
+    }
+
+    /// Default utility model of the profile (PIERT-like inputs everywhere, but
+    /// with profile-specific diversity / strength knobs).
+    pub fn utility_model(&self) -> UtilityModel {
+        match self {
+            DatasetProfile::TimikLike => UtilityModel {
+                kind: UtilityModelKind::PiertLike,
+                preference_diversity: 1.0,
+                social_strength: 0.7,
+                popular_item_fraction: 0.08,
+                ..Default::default()
+            },
+            DatasetProfile::YelpLike => UtilityModel {
+                kind: UtilityModelKind::PiertLike,
+                preference_diversity: 3.0,
+                social_strength: 0.7,
+                popular_item_fraction: 0.01,
+                ..Default::default()
+            },
+            DatasetProfile::EpinionsLike => UtilityModel {
+                kind: UtilityModelKind::PiertLike,
+                preference_diversity: 0.4,
+                social_strength: 0.35,
+                popular_item_fraction: 0.1,
+                ..Default::default()
+            },
+        }
+    }
+}
+
+/// Specification of an evaluation instance.
+#[derive(Clone, Debug)]
+pub struct InstanceSpec {
+    /// Dataset family.
+    pub profile: DatasetProfile,
+    /// Size of the background population the shopping group is sampled from.
+    pub population: usize,
+    /// Number of shoppers (`n`).
+    pub num_users: usize,
+    /// Number of candidate items (`m`).
+    pub num_items: usize,
+    /// Number of display slots (`k`).
+    pub num_slots: usize,
+    /// Preference/social trade-off weight (`λ`).
+    pub lambda: f64,
+    /// Optional override of the utility model (defaults to the profile's).
+    pub model: Option<UtilityModel>,
+}
+
+impl InstanceSpec {
+    /// A small default spec suitable for unit tests and quick examples.
+    pub fn small(profile: DatasetProfile) -> Self {
+        Self {
+            profile,
+            population: 300,
+            num_users: 15,
+            num_items: 30,
+            num_slots: 4,
+            lambda: 0.5,
+            model: None,
+        }
+    }
+
+    /// The paper's default large-scale setting (`n = 125`, `m = 10000`,
+    /// `k = 50`) — note that instances of this size should be pruned with
+    /// [`SvgicInstance::prune_items`] before solving the relaxation.
+    pub fn paper_default(profile: DatasetProfile) -> Self {
+        Self {
+            profile,
+            population: 2_000,
+            num_users: 125,
+            num_items: 10_000,
+            num_slots: 50,
+            lambda: 0.5,
+            model: None,
+        }
+    }
+
+    /// Builds the instance: generates the background network, samples the
+    /// shopping group by random walk, and fills the utilities.
+    pub fn build<R: Rng + ?Sized>(&self, rng: &mut R) -> SvgicInstance {
+        assert!(self.num_users >= 1, "need at least one user");
+        assert!(
+            self.num_slots <= self.num_items,
+            "k must not exceed the number of items"
+        );
+        let network = self
+            .profile
+            .generate_network(self.population.max(self.num_users), rng);
+        let sampled = random_walk_sample(&network, self.num_users, 0.15, rng);
+        let (group, _) = network.induced_subgraph(&sampled);
+        let model = self
+            .model
+            .clone()
+            .unwrap_or_else(|| self.profile.utility_model());
+        model.build_instance(group, self.num_items, self.num_slots, self.lambda, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use svgic_graph::GraphStats;
+
+    #[test]
+    fn profiles_have_the_expected_relative_density() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let timik = DatasetProfile::TimikLike.generate_network(400, &mut rng);
+        let yelp = DatasetProfile::YelpLike.generate_network(400, &mut rng);
+        let epinions = DatasetProfile::EpinionsLike.generate_network(400, &mut rng);
+        let d_timik = timik.density();
+        let d_epinions = epinions.density();
+        assert!(
+            d_timik > d_epinions,
+            "Timik-like ({d_timik}) should be denser than Epinions-like ({d_epinions})"
+        );
+        // Yelp-like is locally clustered: higher clustering coefficient than
+        // the Erdős–Rényi Epinions-like graph.
+        let c_yelp = GraphStats::compute(&yelp).clustering_coefficient;
+        let c_epinions = GraphStats::compute(&epinions).clustering_coefficient;
+        assert!(
+            c_yelp > c_epinions,
+            "Yelp-like clustering {c_yelp} vs Epinions-like {c_epinions}"
+        );
+    }
+
+    #[test]
+    fn small_specs_build_valid_instances() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for profile in DatasetProfile::all() {
+            let inst = InstanceSpec::small(profile).build(&mut rng);
+            assert_eq!(inst.num_users(), 15);
+            assert_eq!(inst.num_items(), 30);
+            assert_eq!(inst.num_slots(), 4);
+            assert!(inst.graph().num_friend_pairs() > 0, "{profile:?} sampled an edgeless group");
+        }
+    }
+
+    #[test]
+    fn yelp_like_preferences_are_more_diverse_than_epinions_like() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let top_overlap = |profile: DatasetProfile, rng: &mut StdRng| -> f64 {
+            let inst = InstanceSpec {
+                num_users: 25,
+                num_items: 60,
+                ..InstanceSpec::small(profile)
+            }
+            .build(rng);
+            let tops: Vec<usize> = (0..inst.num_users())
+                .map(|u| {
+                    (0..inst.num_items())
+                        .max_by(|&a, &b| {
+                            inst.preference(u, a).partial_cmp(&inst.preference(u, b)).unwrap()
+                        })
+                        .unwrap()
+                })
+                .collect();
+            let distinct: std::collections::HashSet<_> = tops.iter().collect();
+            1.0 - distinct.len() as f64 / tops.len() as f64
+        };
+        let yelp = top_overlap(DatasetProfile::YelpLike, &mut rng);
+        let epinions = top_overlap(DatasetProfile::EpinionsLike, &mut rng);
+        assert!(
+            yelp <= epinions + 1e-9,
+            "Yelp-like favourite-item overlap {yelp} should not exceed Epinions-like {epinions}"
+        );
+    }
+
+    #[test]
+    fn spec_respects_custom_model() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let spec = InstanceSpec {
+            model: Some(UtilityModel {
+                kind: UtilityModelKind::AgreeLike,
+                ..Default::default()
+            }),
+            ..InstanceSpec::small(DatasetProfile::TimikLike)
+        };
+        let inst = spec.build(&mut rng);
+        if inst.graph().num_edges() > 0 {
+            let (u, v) = inst.graph().edges()[0];
+            let first = inst.social(u, v, 0);
+            for c in 1..inst.num_items() {
+                assert!((inst.social(u, v, c) - first).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must not exceed")]
+    fn invalid_spec_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let spec = InstanceSpec {
+            num_items: 2,
+            num_slots: 5,
+            ..InstanceSpec::small(DatasetProfile::TimikLike)
+        };
+        let _ = spec.build(&mut rng);
+    }
+}

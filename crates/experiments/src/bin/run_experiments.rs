@@ -1,0 +1,65 @@
+//! Command-line driver for the experiment harness.
+//!
+//! ```text
+//! run_experiments [smoke|default] [all|fig3|fig4|fig5|fig6|fig7|fig8|fig9a|fig9b|
+//!                                  fig10|fig11|fig12|fig13|fig14|fig16|theory|example]
+//! ```
+//!
+//! With no arguments it runs every figure at the default scale and prints the
+//! paper-shaped tables to stdout.
+
+use svgic_experiments::{
+    fig_ablation, fig_large, fig_small, fig_st, fig_subgroup, fig_user_study, harness::ExperimentScale,
+    theory,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = match args.first().map(String::as_str) {
+        Some("smoke") => ExperimentScale::Smoke,
+        _ => ExperimentScale::Default,
+    };
+    let which = args
+        .iter()
+        .find(|a| *a != "smoke" && *a != "default")
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+
+    let mut reports = Vec::new();
+    let mut push = |id: &str, report: svgic_experiments::FigureReport| {
+        if which == "all" || which == id {
+            reports.push(report);
+        }
+    };
+    push("example", {
+        let mut r = svgic_experiments::FigureReport::new(
+            "example",
+            "the paper's running example (Tables 1, 6-9)",
+        );
+        r.tables.push(fig_small::running_example_table());
+        r
+    });
+    push("fig3", fig_small::fig3(scale));
+    push("fig4", fig_small::fig4(scale));
+    push("fig5", fig_large::fig5(scale));
+    push("fig6", fig_large::fig6(scale));
+    push("fig7", fig_large::fig7(scale));
+    push("fig8", fig_large::fig8(scale));
+    push("fig9a", fig_ablation::fig9a(scale));
+    push("fig9b", fig_ablation::fig9b(scale));
+    push("fig10", fig_subgroup::fig10(scale));
+    push("fig11", fig_subgroup::fig11(scale));
+    push("fig12", fig_ablation::fig12(scale));
+    push("fig13", fig_st::fig13(scale));
+    push("fig14", fig_st::fig14_15(scale));
+    push("fig16", fig_user_study::fig16(scale));
+    push("theory", theory::theorem1_and_lemma3(scale));
+
+    if reports.is_empty() {
+        eprintln!("unknown experiment id: {which}");
+        std::process::exit(1);
+    }
+    for report in reports {
+        println!("{}", report.render());
+    }
+}

@@ -1,0 +1,251 @@
+//! Larger-scale experiments: Fig. 5 (utility vs n on Timik-like data),
+//! Fig. 6 (the three dataset families), Fig. 7 (input utility models), and
+//! Fig. 8 (execution-time scalability on Yelp-like data).
+//!
+//! The exact IP is excluded here, exactly as in the paper (it cannot finish at
+//! these sizes); AVG/AVG-D rely on the structured LP backend when the model
+//! grows past the exact-simplex threshold.
+
+use crate::harness::{solve_with_methods, ExperimentScale};
+use crate::report::{FigureReport, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use svgic_baselines::Method;
+use svgic_core::SvgicInstance;
+use svgic_datasets::models::UtilityModelKind;
+use svgic_datasets::{DatasetProfile, InstanceSpec, UtilityModel};
+use svgic_metrics::mean;
+
+fn sized_instance(
+    profile: DatasetProfile,
+    n: usize,
+    m: usize,
+    k: usize,
+    model: Option<UtilityModel>,
+    seed: u64,
+) -> SvgicInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    InstanceSpec {
+        num_users: n,
+        num_items: m,
+        num_slots: k,
+        model,
+        ..InstanceSpec::small(profile)
+    }
+    .build(&mut rng)
+}
+
+fn scale_sizes(scale: ExperimentScale) -> (Vec<usize>, usize, usize) {
+    // (n sweep, m, k)
+    match scale {
+        ExperimentScale::Smoke => (vec![8, 12], 20, 3),
+        ExperimentScale::Default => (vec![15, 25, 40], 80, 6),
+    }
+}
+
+/// Fig. 5: total SAVG utility vs the size of the user set on Timik-like data.
+pub fn fig5(scale: ExperimentScale) -> FigureReport {
+    let mut report = FigureReport::new("fig5", "total SAVG utility vs n (Timik-like)");
+    let methods = Method::polynomial();
+    let header: Vec<&str> = std::iter::once("n")
+        .chain(methods.iter().map(|m| m.label()))
+        .collect();
+    let mut table = Table::new("Fig. 5: total SAVG utility vs n", &header);
+    let (n_values, m, k) = scale_sizes(scale);
+    for &n in &n_values {
+        let mut sums = vec![0.0; methods.len()];
+        for sample in 0..scale.samples() {
+            let inst = sized_instance(
+                DatasetProfile::TimikLike,
+                n,
+                m,
+                k,
+                None,
+                500 + n as u64 * 13 + sample as u64,
+            );
+            let runs = solve_with_methods(&inst, &methods, sample as u64, None, scale);
+            for (i, r) in runs.iter().enumerate() {
+                sums[i] += r.utility;
+            }
+        }
+        let avg: Vec<f64> = sums.iter().map(|s| s / scale.samples() as f64).collect();
+        table.push_numeric_row(format!("n={n}"), &avg);
+    }
+    report.tables.push(table);
+    report
+}
+
+/// Fig. 6: total SAVG utility on the three dataset families.
+pub fn fig6(scale: ExperimentScale) -> FigureReport {
+    let mut report = FigureReport::new("fig6", "total SAVG utility per dataset family");
+    let methods = Method::polynomial();
+    let header: Vec<&str> = std::iter::once("dataset")
+        .chain(methods.iter().map(|m| m.label()))
+        .collect();
+    let mut table = Table::new("Fig. 6: total SAVG utility per dataset", &header);
+    let (n_values, m, k) = scale_sizes(scale);
+    let n = *n_values.last().unwrap();
+    for profile in DatasetProfile::all() {
+        let mut sums = vec![0.0; methods.len()];
+        for sample in 0..scale.samples() {
+            let inst = sized_instance(profile, n, m, k, None, 900 + sample as u64);
+            let runs = solve_with_methods(&inst, &methods, sample as u64, None, scale);
+            for (i, r) in runs.iter().enumerate() {
+                sums[i] += r.utility;
+            }
+        }
+        let avg: Vec<f64> = sums.iter().map(|s| s / scale.samples() as f64).collect();
+        table.push_numeric_row(profile.label(), &avg);
+    }
+    report.tables.push(table);
+    report
+}
+
+/// Fig. 7: total SAVG utility under the three simulated input models
+/// (PIERT-like, AGREE-like, GREE-like) on Timik-like topology.
+pub fn fig7(scale: ExperimentScale) -> FigureReport {
+    let mut report = FigureReport::new("fig7", "total SAVG utility per input utility model");
+    let methods = Method::polynomial();
+    let header: Vec<&str> = std::iter::once("model")
+        .chain(methods.iter().map(|m| m.label()))
+        .collect();
+    let mut table = Table::new("Fig. 7: total SAVG utility per input model", &header);
+    let (n_values, m, k) = scale_sizes(scale);
+    let n = n_values[n_values.len() / 2];
+    for kind in UtilityModelKind::all() {
+        let model = UtilityModel {
+            kind,
+            ..DatasetProfile::TimikLike.utility_model()
+        };
+        let mut sums = vec![0.0; methods.len()];
+        for sample in 0..scale.samples() {
+            let inst = sized_instance(
+                DatasetProfile::TimikLike,
+                n,
+                m,
+                k,
+                Some(model.clone()),
+                1300 + sample as u64,
+            );
+            let runs = solve_with_methods(&inst, &methods, sample as u64, None, scale);
+            for (i, r) in runs.iter().enumerate() {
+                sums[i] += r.utility;
+            }
+        }
+        let avg: Vec<f64> = sums.iter().map(|s| s / scale.samples() as f64).collect();
+        table.push_numeric_row(kind.label(), &avg);
+    }
+    report.tables.push(table);
+    report
+}
+
+/// Fig. 8: execution time vs n and vs m on Yelp-like data.
+pub fn fig8(scale: ExperimentScale) -> FigureReport {
+    let mut report = FigureReport::new("fig8", "execution time on Yelp-like data");
+    let methods = Method::polynomial();
+    let header: Vec<&str> = std::iter::once("sweep")
+        .chain(methods.iter().map(|m| m.label()))
+        .collect();
+    let (n_values, m, k) = scale_sizes(scale);
+
+    let mut by_n = Table::new("Fig. 8(a): execution time [ms] vs n (Yelp-like)", &header);
+    for &n in &n_values {
+        let inst = sized_instance(DatasetProfile::YelpLike, n, m, k, None, 1700 + n as u64);
+        let runs = solve_with_methods(&inst, &methods, 0, None, scale);
+        by_n.push_numeric_row(
+            format!("n={n}"),
+            &runs
+                .iter()
+                .map(|r| r.elapsed.as_secs_f64() * 1e3)
+                .collect::<Vec<_>>(),
+        );
+    }
+    report.tables.push(by_n);
+
+    let m_values = match scale {
+        ExperimentScale::Smoke => vec![20usize, 40],
+        ExperimentScale::Default => vec![40, 80, 160, 320],
+    };
+    let n = n_values[n_values.len() / 2];
+    let mut by_m = Table::new("Fig. 8(b): execution time [ms] vs m (Yelp-like)", &header);
+    for &m in &m_values {
+        let inst = sized_instance(DatasetProfile::YelpLike, n, m, k, None, 2100 + m as u64);
+        let runs = solve_with_methods(&inst, &methods, 0, None, scale);
+        by_m.push_numeric_row(
+            format!("m={m}"),
+            &runs
+                .iter()
+                .map(|r| r.elapsed.as_secs_f64() * 1e3)
+                .collect::<Vec<_>>(),
+        );
+    }
+    report.tables.push(by_m);
+    report
+}
+
+/// Convenience used by tests and EXPERIMENTS.md: the average improvement of
+/// AVG over the strongest baseline across a report's rows (in percent).
+pub fn avg_improvement_over_baselines(table: &Table) -> f64 {
+    let mut improvements = Vec::new();
+    for row in &table.rows {
+        let label = &row[0];
+        let avg = table
+            .value(label, "AVG")
+            .or_else(|| table.value(label, "AVG-D"))
+            .unwrap_or(0.0);
+        let best_baseline = ["PER", "FMG", "SDP", "GRF"]
+            .iter()
+            .filter_map(|m| table.value(label, m))
+            .fold(f64::NEG_INFINITY, f64::max);
+        if best_baseline > 0.0 {
+            improvements.push(100.0 * (avg - best_baseline) / best_baseline);
+        }
+    }
+    mean(&improvements)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_avg_beats_every_baseline() {
+        let report = fig5(ExperimentScale::Smoke);
+        let table = &report.tables[0];
+        assert!(!table.rows.is_empty());
+        for row in &table.rows {
+            let label = &row[0];
+            let avg = table.value(label, "AVG").unwrap();
+            let avgd = table.value(label, "AVG-D").unwrap();
+            for baseline in ["PER", "FMG", "SDP", "GRF"] {
+                let b = table.value(label, baseline).unwrap();
+                assert!(
+                    avg.max(avgd) >= b - 1e-9,
+                    "{label}: AVG {avg}/{avgd} vs {baseline} {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fig6_covers_all_profiles() {
+        let report = fig6(ExperimentScale::Smoke);
+        let table = &report.tables[0];
+        assert_eq!(table.rows.len(), 3);
+        for row in &table.rows {
+            for cell in &row[1..] {
+                let v: f64 = cell.parse().unwrap();
+                assert!(v > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn fig7_and_fig8_run_in_smoke_mode() {
+        let f7 = fig7(ExperimentScale::Smoke);
+        assert_eq!(f7.tables[0].rows.len(), 3);
+        let f8 = fig8(ExperimentScale::Smoke);
+        assert_eq!(f8.tables.len(), 2);
+        assert!(!f8.tables[0].rows.is_empty());
+    }
+}

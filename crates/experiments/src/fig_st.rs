@@ -1,0 +1,178 @@
+//! SVGIC-ST experiments: Fig. 13 (total subgroup-size violations vs M, with
+//! and without pre-partitioning) and Figs. 14–15 (SVGIC-ST utility vs M on
+//! Timik-like and Epinions-like data, infeasible solutions scored as 0).
+
+use crate::harness::{solve_with_method, ExperimentScale};
+use crate::report::{FigureReport, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use svgic_baselines::{solve_prepartitioned, Method, PrePartitionMode};
+use svgic_core::utility::total_utility_st;
+use svgic_core::{StParams, SvgicInstance};
+use svgic_datasets::{DatasetProfile, InstanceSpec};
+
+fn st_instance(profile: DatasetProfile, scale: ExperimentScale, seed: u64) -> SvgicInstance {
+    let (n, m, k) = match scale {
+        ExperimentScale::Smoke => (9, 16, 3),
+        ExperimentScale::Default => (25, 60, 5),
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    InstanceSpec {
+        num_users: n,
+        num_items: m,
+        num_slots: k,
+        ..InstanceSpec::small(profile)
+    }
+    .build(&mut rng)
+}
+
+fn caps(scale: ExperimentScale, n: usize) -> Vec<usize> {
+    match scale {
+        ExperimentScale::Smoke => vec![3, n],
+        ExperimentScale::Default => vec![3, 5, 10, 15, n],
+    }
+}
+
+/// Fig. 13: total violation of the subgroup size constraint (in users) for
+/// every baseline with ("-P") and without ("-NP") pre-partitioning, plus AVG.
+pub fn fig13(scale: ExperimentScale) -> FigureReport {
+    let mut report = FigureReport::new(
+        "fig13",
+        "total subgroup-size violations vs M (baselines -P / -NP, AVG always feasible)",
+    );
+    for profile in [DatasetProfile::TimikLike, DatasetProfile::EpinionsLike] {
+        let inst = st_instance(profile, scale, 6000 + profile as u64);
+        let n = inst.num_users();
+        let mut table = Table::new(
+            format!("Fig. 13 [{}]: total violations vs M", profile.label()),
+            &["method", "M", "violations", "feasible"],
+        );
+        for &m_cap in &caps(scale, n) {
+            let st = StParams::new(0.5, m_cap);
+            // AVG (ST-aware).
+            let avg = solve_with_method(&inst, Method::Avg, 1, Some(&st), scale);
+            table.push_row(vec![
+                "AVG".into(),
+                m_cap.to_string(),
+                st.total_violation(&avg.configuration).to_string(),
+                st.is_feasible(&avg.configuration).to_string(),
+            ]);
+            // Baselines with and without pre-partitioning.
+            for method in [Method::Per, Method::Fmg, Method::Sdp, Method::Grf] {
+                for (mode, suffix) in [
+                    (PrePartitionMode::None, "-NP"),
+                    (PrePartitionMode::Balanced, "-P"),
+                ] {
+                    let cfg = solve_prepartitioned(&inst, &st, method, mode, 1);
+                    table.push_row(vec![
+                        format!("{}{}", method.label(), suffix),
+                        m_cap.to_string(),
+                        st.total_violation(&cfg).to_string(),
+                        st.is_feasible(&cfg).to_string(),
+                    ]);
+                }
+            }
+        }
+        report.tables.push(table);
+    }
+    report
+}
+
+/// Figs. 14–15: total SVGIC-ST utility vs M; infeasible configurations are
+/// scored as 0 exactly as in the paper.
+pub fn fig14_15(scale: ExperimentScale) -> FigureReport {
+    let mut report = FigureReport::new(
+        "fig14_15",
+        "SVGIC-ST utility vs subgroup size constraint M (infeasible scored as 0)",
+    );
+    for (fig, profile) in [
+        ("Fig. 14", DatasetProfile::TimikLike),
+        ("Fig. 15", DatasetProfile::EpinionsLike),
+    ] {
+        let inst = st_instance(profile, scale, 6500 + profile as u64);
+        let n = inst.num_users();
+        let mut table = Table::new(
+            format!("{fig} [{}]: SVGIC-ST utility vs M", profile.label()),
+            &["M", "AVG", "PER-P", "FMG-P", "SDP-P", "GRF-P"],
+        );
+        for &m_cap in &caps(scale, n) {
+            let st = StParams::new(0.5, m_cap);
+            let avg = solve_with_method(&inst, Method::Avg, 2, Some(&st), scale);
+            let mut values = vec![if st.is_feasible(&avg.configuration) {
+                avg.utility
+            } else {
+                0.0
+            }];
+            for method in [Method::Per, Method::Fmg, Method::Sdp, Method::Grf] {
+                let cfg =
+                    solve_prepartitioned(&inst, &st, method, PrePartitionMode::Balanced, 2);
+                let utility = if st.is_feasible(&cfg) {
+                    total_utility_st(&inst, &st, &cfg)
+                } else {
+                    0.0
+                };
+                values.push(utility);
+            }
+            table.push_numeric_row(format!("M={m_cap}"), &values);
+        }
+        report.tables.push(table);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig13_avg_is_always_feasible() {
+        let report = fig13(ExperimentScale::Smoke);
+        for table in &report.tables {
+            for row in table.rows.iter().filter(|r| r[0] == "AVG") {
+                assert_eq!(row[2], "0", "AVG produced violations: {row:?}");
+                assert_eq!(row[3], "true");
+            }
+        }
+    }
+
+    #[test]
+    fn fig13_prepartition_never_increases_violations() {
+        let report = fig13(ExperimentScale::Smoke);
+        for table in &report.tables {
+            for method in ["PER", "FMG", "SDP", "GRF"] {
+                // Compare per (method, M) pair.
+                let np: Vec<&Vec<String>> = table
+                    .rows
+                    .iter()
+                    .filter(|r| r[0] == format!("{method}-NP"))
+                    .collect();
+                let p: Vec<&Vec<String>> = table
+                    .rows
+                    .iter()
+                    .filter(|r| r[0] == format!("{method}-P"))
+                    .collect();
+                for (a, b) in np.iter().zip(&p) {
+                    let v_np: usize = a[2].parse().unwrap();
+                    let v_p: usize = b[2].parse().unwrap();
+                    assert!(v_p <= v_np, "{method} at M={}: -P {v_p} > -NP {v_np}", a[1]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fig14_15_avg_dominates_under_tight_caps() {
+        let report = fig14_15(ExperimentScale::Smoke);
+        assert_eq!(report.tables.len(), 2);
+        for table in &report.tables {
+            for row in &table.rows {
+                let label = &row[0];
+                let avg = table.value(label, "AVG").unwrap();
+                assert!(avg >= 0.0);
+                // AVG is always feasible so it is never scored 0 while a
+                // baseline scores positive only when feasible.
+                assert!(avg > 0.0, "{label}: AVG scored 0");
+            }
+        }
+    }
+}

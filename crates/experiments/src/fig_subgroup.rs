@@ -1,0 +1,228 @@
+//! Subgroup-structure experiments: Fig. 10 (Inter%/Intra%, normalized density,
+//! Co-display%/Alone%, regret CDFs per dataset family) and Fig. 11 (the 2-hop
+//! ego-network case study).
+
+use crate::harness::{solve_with_methods, ExperimentScale};
+use crate::report::{FigureReport, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use svgic_baselines::Method;
+use svgic_core::SvgicInstance;
+use svgic_datasets::{DatasetProfile, InstanceSpec};
+use svgic_metrics::{empirical_cdf, mean, regret_ratios, subgroup_metrics};
+
+fn profile_instance(profile: DatasetProfile, scale: ExperimentScale, seed: u64) -> SvgicInstance {
+    let (n, m, k) = match scale {
+        ExperimentScale::Smoke => (10, 18, 3),
+        ExperimentScale::Default => (30, 80, 6),
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    InstanceSpec {
+        num_users: n,
+        num_items: m,
+        num_slots: k,
+        ..InstanceSpec::small(profile)
+    }
+    .build(&mut rng)
+}
+
+/// Fig. 10: subgroup metrics and regret CDFs per dataset family and method.
+pub fn fig10(scale: ExperimentScale) -> FigureReport {
+    let mut report = FigureReport::new(
+        "fig10",
+        "subgroup metrics (Inter/Intra%, density, Co-display%, Alone%) and regret CDFs",
+    );
+    let methods = Method::polynomial();
+    let cdf_points = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
+    for profile in DatasetProfile::all() {
+        let inst = profile_instance(profile, scale, 4000 + profile as u64);
+        let runs = solve_with_methods(&inst, &methods, 5, None, scale);
+
+        let mut metrics_table = Table::new(
+            format!(
+                "Fig. 10(a-f) [{}]: Intra%, Inter%, normalized density, Co-display%, Alone%",
+                profile.label()
+            ),
+            &[
+                "method",
+                "Intra%",
+                "Inter%",
+                "norm. density",
+                "Co-display%",
+                "Alone%",
+            ],
+        );
+        let mut regret_table = Table::new(
+            format!("Fig. 10(g-i) [{}]: regret-ratio CDF", profile.label()),
+            &[
+                "method",
+                "P(regret<=0)",
+                "P(<=0.2)",
+                "P(<=0.4)",
+                "P(<=0.6)",
+                "P(<=0.8)",
+                "P(<=1.0)",
+                "mean regret",
+            ],
+        );
+        for run in &runs {
+            let m = subgroup_metrics(&inst, &run.configuration);
+            metrics_table.push_row(vec![
+                run.method.label().to_string(),
+                format!("{:.1}%", 100.0 * m.intra_fraction),
+                format!("{:.1}%", 100.0 * m.inter_fraction),
+                format!("{:.3}", m.normalized_density),
+                format!("{:.1}%", 100.0 * m.co_display_fraction),
+                format!("{:.1}%", 100.0 * m.alone_fraction),
+            ]);
+            let regrets = regret_ratios(&inst, &run.configuration);
+            let cdf = empirical_cdf(&regrets, &cdf_points);
+            let mut cells = vec![run.method.label().to_string()];
+            cells.extend(cdf.iter().map(|v| format!("{v:.3}")));
+            cells.push(format!("{:.4}", mean(&regrets)));
+            regret_table.push_row(cells);
+        }
+        report.tables.push(metrics_table);
+        report.tables.push(regret_table);
+    }
+    report
+}
+
+/// Fig. 11: a 2-hop ego-network case study — the per-slot subgroups AVG, SDP
+/// and GRF build around a user with a unique preference profile, and the
+/// resulting regret of that user.
+pub fn fig11(scale: ExperimentScale) -> FigureReport {
+    let mut report = FigureReport::new(
+        "fig11",
+        "2-hop ego network case study: subgroups per slot and the ego user's regret",
+    );
+    // Build a Yelp-like instance and pick the user whose preference vector is
+    // farthest from all of her friends' (the "user A" of the paper).
+    let inst_full = profile_instance(DatasetProfile::YelpLike, scale, 777);
+    let ego = most_unique_user(&inst_full);
+    let ego_nodes = inst_full.graph().ego_network(ego, 2);
+    let inst = inst_full.restrict_users(&ego_nodes);
+    let ego_local = ego_nodes.iter().position(|&v| v == ego).unwrap();
+
+    let methods = [Method::Avg, Method::Sdp, Method::Grf];
+    let runs = solve_with_methods(&inst, &methods, 3, None, scale);
+    let mut table = Table::new(
+        "Fig. 11: ego user's regret ratio and subgroup sizes per method",
+        &[
+            "method",
+            "ego regret",
+            "mean subgroup size around ego",
+            "slots where ego is alone",
+        ],
+    );
+    for run in &runs {
+        let regrets = regret_ratios(&inst, &run.configuration);
+        let mut sizes = Vec::new();
+        let mut alone_slots = 0usize;
+        for s in 0..inst.num_slots() {
+            let item = run.configuration.get(ego_local, s);
+            let size = (0..inst.num_users())
+                .filter(|&u| run.configuration.get(u, s) == item)
+                .count();
+            sizes.push(size as f64);
+            if size == 1 {
+                alone_slots += 1;
+            }
+        }
+        table.push_row(vec![
+            run.method.label().to_string(),
+            format!("{:.4}", regrets[ego_local]),
+            format!("{:.2}", mean(&sizes)),
+            alone_slots.to_string(),
+        ]);
+    }
+    report.tables.push(table);
+    report
+}
+
+/// The user whose preference vector has the largest average distance to her
+/// friends' preference vectors.
+fn most_unique_user(instance: &SvgicInstance) -> usize {
+    let n = instance.num_users();
+    let mut best = (0usize, f64::NEG_INFINITY);
+    for u in 0..n {
+        let friends = instance.graph().neighbors(u);
+        if friends.is_empty() {
+            continue;
+        }
+        let row_u = instance.preference_row(u);
+        let avg_dist: f64 = friends
+            .iter()
+            .map(|&v| {
+                let row_v = instance.preference_row(v);
+                row_u
+                    .iter()
+                    .zip(row_v)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+            })
+            .sum::<f64>()
+            / friends.len() as f64;
+        if avg_dist > best.1 {
+            best = (u, avg_dist);
+        }
+    }
+    best.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig10_reports_all_profiles_and_methods() {
+        let report = fig10(ExperimentScale::Smoke);
+        assert_eq!(report.tables.len(), 6); // 3 profiles × (metrics + regret)
+        for table in &report.tables {
+            assert_eq!(table.rows.len(), Method::polynomial().len());
+        }
+        // PER never co-displays on purpose: its Co-display% should not exceed
+        // the one of FMG (which always co-displays everything).
+        for profile_table in report.tables.iter().step_by(2) {
+            let per: f64 = profile_table
+                .cell("PER", "Co-display%")
+                .unwrap()
+                .trim_end_matches('%')
+                .parse()
+                .unwrap();
+            let fmg: f64 = profile_table
+                .cell("FMG", "Co-display%")
+                .unwrap()
+                .trim_end_matches('%')
+                .parse()
+                .unwrap();
+            assert!(fmg >= per - 1e-9, "FMG {fmg}% vs PER {per}%");
+            assert!((fmg - 100.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fig10_regret_cdfs_are_monotone() {
+        let report = fig10(ExperimentScale::Smoke);
+        for regret_table in report.tables.iter().skip(1).step_by(2) {
+            for row in &regret_table.rows {
+                let values: Vec<f64> = row[1..7].iter().map(|c| c.parse().unwrap()).collect();
+                for w in values.windows(2) {
+                    assert!(w[1] >= w[0] - 1e-9);
+                }
+                assert!((values[5] - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn fig11_produces_the_three_case_study_methods() {
+        let report = fig11(ExperimentScale::Smoke);
+        let table = &report.tables[0];
+        assert_eq!(table.rows.len(), 3);
+        for row in &table.rows {
+            let regret: f64 = row[1].parse().unwrap();
+            assert!((0.0..=1.0).contains(&regret));
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Fig. 16: the (simulated) VR user study of §6.9 — λ distribution,
+//! utility vs. recorded satisfaction per method, the utility↔satisfaction
+//! correlation, and the subgroup metrics of the study population.
+
+use crate::harness::{solve_with_methods, ExperimentScale};
+use crate::report::{FigureReport, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use svgic_baselines::Method;
+use svgic_datasets::{simulate_user_study, UserStudyConfig};
+use svgic_metrics::{mean, pearson, spearman, subgroup_metrics};
+
+/// Runs the simulated user study and reports the panels of Fig. 16.
+pub fn fig16(scale: ExperimentScale) -> FigureReport {
+    let mut report = FigureReport::new("fig16", "simulated hTC VIVE user study (44 participants)");
+    let config = match scale {
+        ExperimentScale::Smoke => UserStudyConfig {
+            participants: 20,
+            num_items: 12,
+            num_slots: 3,
+            satisfaction_noise: 0.15,
+            ..Default::default()
+        },
+        ExperimentScale::Default => UserStudyConfig::default(),
+    };
+    let mut rng = StdRng::seed_from_u64(2020);
+    let study = simulate_user_study(&config, &mut rng);
+
+    // Panel (a): λ histogram.
+    let mut lambda_table = Table::new(
+        "Fig. 16(a): distribution of participant lambda values",
+        &["bucket", "participants"],
+    );
+    let buckets = [(0.0, 0.25), (0.25, 0.5), (0.5, 0.75), (0.75, 1.0)];
+    for (lo, hi) in buckets {
+        let count = study
+            .lambdas
+            .iter()
+            .filter(|&&l| l >= lo && l < hi)
+            .count();
+        lambda_table.push_row(vec![format!("[{lo:.2}, {hi:.2})"), count.to_string()]);
+    }
+    lambda_table.push_row(vec![
+        "mean".into(),
+        format!("{:.3}", mean(&study.lambdas)),
+    ]);
+    report.tables.push(lambda_table);
+
+    // Panel (b): utility and satisfaction per method, plus correlation.
+    let methods = [Method::Avg, Method::Per, Method::Fmg, Method::Grf];
+    let runs = solve_with_methods(&study.instance, &methods, 9, None, scale);
+    let mut outcome_table = Table::new(
+        "Fig. 16(b): mean per-user utility and Likert satisfaction per method",
+        &["method", "mean utility", "mean satisfaction (1-5)"],
+    );
+    let mut all_utilities = Vec::new();
+    let mut all_satisfaction = Vec::new();
+    for run in &runs {
+        let scores = study.satisfaction_scores(&run.configuration, config.satisfaction_noise, &mut rng);
+        let utilities: Vec<f64> = (0..study.instance.num_users())
+            .map(|u| svgic_core::utility::per_user_utility(&study.instance, &run.configuration, u))
+            .collect();
+        all_utilities.extend(utilities.iter().copied());
+        all_satisfaction.extend(scores.iter().copied());
+        outcome_table.push_row(vec![
+            run.method.label().to_string(),
+            format!("{:.4}", mean(&utilities)),
+            format!("{:.3}", mean(&scores)),
+        ]);
+    }
+    report.tables.push(outcome_table);
+
+    let mut corr_table = Table::new(
+        "Fig. 16(b) correlation: SAVG utility vs recorded satisfaction",
+        &["statistic", "value"],
+    );
+    corr_table.push_row(vec![
+        "Pearson".into(),
+        format!("{:.3}", pearson(&all_utilities, &all_satisfaction)),
+    ]);
+    corr_table.push_row(vec![
+        "Spearman".into(),
+        format!("{:.3}", spearman(&all_utilities, &all_satisfaction)),
+    ]);
+    report.tables.push(corr_table);
+
+    // Panels (c)/(d): subgroup metrics of the study population.
+    let mut metrics_table = Table::new(
+        "Fig. 16(c)/(d): subgroup metrics in the user study",
+        &["method", "Intra%", "norm. density", "Co-display%", "Alone%"],
+    );
+    for run in &runs {
+        let m = subgroup_metrics(&study.instance, &run.configuration);
+        metrics_table.push_row(vec![
+            run.method.label().to_string(),
+            format!("{:.1}%", 100.0 * m.intra_fraction),
+            format!("{:.3}", m.normalized_density),
+            format!("{:.1}%", 100.0 * m.co_display_fraction),
+            format!("{:.1}%", 100.0 * m.alone_fraction),
+        ]);
+    }
+    report.tables.push(metrics_table);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig16_reports_all_panels() {
+        let report = fig16(ExperimentScale::Smoke);
+        assert_eq!(report.tables.len(), 4);
+        // λ histogram counts sum to the number of participants.
+        let lambda_table = &report.tables[0];
+        let total: usize = lambda_table
+            .rows
+            .iter()
+            .take(4)
+            .map(|r| r[1].parse::<usize>().unwrap())
+            .sum();
+        assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn fig16_utility_and_satisfaction_correlate_positively() {
+        let report = fig16(ExperimentScale::Smoke);
+        let corr = report.table("correlation").unwrap();
+        let pearson: f64 = corr.cell("Pearson", "value").unwrap().parse().unwrap();
+        let spearman: f64 = corr.cell("Spearman", "value").unwrap().parse().unwrap();
+        assert!(pearson > 0.3, "Pearson correlation too weak: {pearson}");
+        assert!(spearman > 0.3, "Spearman correlation too weak: {spearman}");
+    }
+
+    #[test]
+    fn fig16_avg_wins_on_mean_satisfaction() {
+        let report = fig16(ExperimentScale::Smoke);
+        let outcomes = report.table("16(b): mean per-user utility").unwrap();
+        let avg: f64 = outcomes.cell("AVG", "mean utility").unwrap().parse().unwrap();
+        for baseline in ["PER", "FMG", "GRF"] {
+            let b: f64 = outcomes.cell(baseline, "mean utility").unwrap().parse().unwrap();
+            assert!(avg >= 0.85 * b, "AVG {avg} vs {baseline} {b}");
+        }
+    }
+}

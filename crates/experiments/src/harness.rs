@@ -1,0 +1,198 @@
+//! Shared experiment machinery: running every method on an instance, timing
+//! it, and the scale knob that switches between smoke-test and paper-shaped
+//! experiment sizes.
+
+use std::time::{Duration, Instant};
+
+use svgic_algorithms::avg::{solve_avg, solve_avg_st, AvgConfig};
+use svgic_algorithms::avg_d::{solve_avg_d, solve_avg_d_st, AvgDConfig};
+use svgic_algorithms::exact::{solve_exact, ExactConfig, ExactStrategy};
+use svgic_algorithms::factors::{LpBackend, RelaxationOptions};
+use svgic_baselines::{
+    solve_fmg, solve_grf, solve_per, solve_sdp, GrfConfig, Method, SdpConfig,
+};
+use svgic_core::utility::{total_utility, total_utility_st};
+use svgic_core::{Configuration, StParams, SvgicInstance};
+
+/// Experiment scale: the same runners power quick smoke tests and the full
+/// paper-shaped sweeps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExperimentScale {
+    /// Tiny sizes and a single sample per point — runs in seconds, used by
+    /// `cargo test`.
+    Smoke,
+    /// Moderate sizes tracking the paper's qualitative regimes — used by the
+    /// benches and the `run_experiments` binary.
+    Default,
+}
+
+impl ExperimentScale {
+    /// Number of repeated samples to average per sweep point.
+    pub fn samples(&self) -> usize {
+        match self {
+            ExperimentScale::Smoke => 1,
+            ExperimentScale::Default => 3,
+        }
+    }
+
+    /// Scales a list by keeping only the first element in smoke mode.
+    pub fn sweep<T: Clone>(&self, full: &[T]) -> Vec<T> {
+        match self {
+            ExperimentScale::Smoke => full.iter().take(2).cloned().collect(),
+            ExperimentScale::Default => full.to_vec(),
+        }
+    }
+
+    /// Budget for the exact IP baseline.
+    pub fn ip_budget(&self) -> ExactConfig {
+        match self {
+            ExperimentScale::Smoke => ExactConfig {
+                strategy: ExactStrategy::IpDual,
+                max_nodes: 400,
+                time_limit: Some(Duration::from_secs(5)),
+                ..Default::default()
+            },
+            ExperimentScale::Default => ExactConfig {
+                strategy: ExactStrategy::IpDual,
+                max_nodes: 20_000,
+                time_limit: Some(Duration::from_secs(60)),
+                ..Default::default()
+            },
+        }
+    }
+}
+
+/// Outcome of running one method on one instance.
+#[derive(Clone, Debug)]
+pub struct MethodRun {
+    /// Which method ran.
+    pub method: Method,
+    /// The configuration it produced.
+    pub configuration: Configuration,
+    /// Its objective value (SVGIC, or SVGIC-ST when `st` was supplied).
+    pub utility: f64,
+    /// Wall-clock time of the solve.
+    pub elapsed: Duration,
+}
+
+/// Runs `method` on `instance` (optionally under SVGIC-ST constraints) and
+/// measures wall-clock time.  AVG/AVG-D pick the LP backend automatically;
+/// the IP baseline uses the budget of the supplied scale.
+pub fn solve_with_method(
+    instance: &SvgicInstance,
+    method: Method,
+    seed: u64,
+    st: Option<&StParams>,
+    scale: ExperimentScale,
+) -> MethodRun {
+    let start = Instant::now();
+    let configuration = match method {
+        Method::Avg => {
+            let config = AvgConfig {
+                relaxation: RelaxationOptions {
+                    backend: LpBackend::Auto,
+                    ..Default::default()
+                },
+                seed,
+                ..Default::default()
+            };
+            match st {
+                Some(st) => solve_avg_st(instance, st, &config).configuration,
+                None => solve_avg(instance, &config).configuration,
+            }
+        }
+        Method::AvgD => {
+            let config = AvgDConfig::default();
+            match st {
+                Some(st) => solve_avg_d_st(instance, st, &config).configuration,
+                None => solve_avg_d(instance, &config).configuration,
+            }
+        }
+        Method::Per => solve_per(instance),
+        Method::Fmg => solve_fmg(instance),
+        Method::Sdp => solve_sdp(instance, &SdpConfig::default()),
+        Method::Grf => solve_grf(
+            instance,
+            &GrfConfig {
+                seed,
+                ..Default::default()
+            },
+        ),
+        Method::Ip => {
+            let mut config = scale.ip_budget();
+            config.st = st.copied();
+            solve_exact(instance, &config).configuration
+        }
+    };
+    let elapsed = start.elapsed();
+    let utility = match st {
+        Some(st) => total_utility_st(instance, st, &configuration),
+        None => total_utility(instance, &configuration),
+    };
+    MethodRun {
+        method,
+        configuration,
+        utility,
+        elapsed,
+    }
+}
+
+/// Runs a list of methods and returns their runs in order.
+pub fn solve_with_methods(
+    instance: &SvgicInstance,
+    methods: &[Method],
+    seed: u64,
+    st: Option<&StParams>,
+    scale: ExperimentScale,
+) -> Vec<MethodRun> {
+    methods
+        .iter()
+        .map(|&m| solve_with_method(instance, m, seed, st, scale))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svgic_core::example::running_example;
+
+    #[test]
+    fn every_method_runs_on_the_running_example() {
+        let inst = running_example();
+        let runs = solve_with_methods(
+            &inst,
+            &Method::all(),
+            7,
+            None,
+            ExperimentScale::Smoke,
+        );
+        assert_eq!(runs.len(), 7);
+        for run in &runs {
+            assert!(run.configuration.is_valid(inst.num_items()), "{:?}", run.method);
+            assert!(run.utility > 0.0, "{:?}", run.method);
+        }
+        // AVG and AVG-D must beat the purely personalized and purely grouped
+        // baselines on the running example (the paper's headline comparison).
+        let find = |m: Method| runs.iter().find(|r| r.method == m).unwrap().utility;
+        assert!(find(Method::AvgD) >= find(Method::Per) - 1e-9);
+        assert!(find(Method::AvgD) >= find(Method::Fmg) - 1e-9);
+    }
+
+    #[test]
+    fn st_runs_apply_the_cap_for_our_methods() {
+        let inst = running_example();
+        let st = StParams::new(0.5, 2);
+        for method in [Method::Avg, Method::AvgD] {
+            let run = solve_with_method(&inst, method, 3, Some(&st), ExperimentScale::Smoke);
+            assert!(st.is_feasible(&run.configuration), "{method:?}");
+        }
+    }
+
+    #[test]
+    fn scale_knobs() {
+        assert_eq!(ExperimentScale::Smoke.samples(), 1);
+        assert!(ExperimentScale::Default.samples() >= 2);
+        assert_eq!(ExperimentScale::Smoke.sweep(&[1, 2, 3, 4]).len(), 2);
+        assert_eq!(ExperimentScale::Default.sweep(&[1, 2, 3, 4]).len(), 4);
+    }
+}

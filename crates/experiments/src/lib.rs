@@ -1,0 +1,57 @@
+//! # svgic-experiments
+//!
+//! Experiment harness reproducing every table and figure of the paper's
+//! evaluation section (§6).  Each `figXX` module exposes a `run(scale)`
+//! function returning a [`report::FigureReport`] — a set of printable tables
+//! whose rows/series mirror what the paper plots — plus the scale knob that
+//! lets the same code run as a quick smoke test (used by `cargo test`) or at a
+//! larger, paper-shaped scale (used by `cargo bench` and the
+//! `run_experiments` binary).
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`fig_small`] | Fig. 3 (small datasets vs IP), Fig. 4 (λ split) |
+//! | [`fig_large`] | Fig. 5 (n sweep), Fig. 6 (datasets), Fig. 7 (input models), Fig. 8 (scalability) |
+//! | [`fig_ablation`] | Fig. 9(a) (time-boxed MIP strategies), Fig. 9(b) (speed-up ablations), Fig. 12 (AVG-D `r` sensitivity) |
+//! | [`fig_subgroup`] | Fig. 10 (subgroup metrics + regret CDFs), Fig. 11 (ego-network case study) |
+//! | [`fig_st`] | Fig. 13 (violations vs M), Figs. 14–15 (SVGIC-ST utility vs M) |
+//! | [`fig_user_study`] | Fig. 16 (simulated user study) |
+//! | [`theory`] | Theorem 1 gap instances, Lemma 3 independent-rounding gap |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fig_ablation;
+pub mod fig_large;
+pub mod fig_small;
+pub mod fig_st;
+pub mod fig_subgroup;
+pub mod fig_user_study;
+pub mod harness;
+pub mod report;
+pub mod theory;
+
+pub use harness::{solve_with_method, ExperimentScale, MethodRun};
+pub use report::{FigureReport, Table};
+
+/// Runs every experiment at the given scale and returns all reports (used by
+/// the `run_experiments` binary with `all`).
+pub fn run_all(scale: ExperimentScale) -> Vec<FigureReport> {
+    vec![
+        fig_small::fig3(scale),
+        fig_small::fig4(scale),
+        fig_large::fig5(scale),
+        fig_large::fig6(scale),
+        fig_large::fig7(scale),
+        fig_large::fig8(scale),
+        fig_ablation::fig9a(scale),
+        fig_ablation::fig9b(scale),
+        fig_subgroup::fig10(scale),
+        fig_subgroup::fig11(scale),
+        fig_ablation::fig12(scale),
+        fig_st::fig13(scale),
+        fig_st::fig14_15(scale),
+        fig_user_study::fig16(scale),
+        theory::theorem1_and_lemma3(scale),
+    ]
+}

@@ -1,0 +1,158 @@
+//! Plain-text tables used to report every reproduced figure.
+
+/// A single table (one panel of a figure).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Table {
+    /// Panel title, e.g. "Fig. 3(a): total SAVG utility vs n".
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of formatted cells; every row has `headers.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the number of cells does not match the header count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Convenience: appends a row of already formatted numbers.
+    pub fn push_numeric_row(&mut self, label: impl Into<String>, values: &[f64]) {
+        let mut cells = vec![label.into()];
+        cells.extend(values.iter().map(|v| format!("{v:.4}")));
+        self.push_row(cells);
+    }
+
+    /// Looks up a cell by row label (first column) and column header.
+    pub fn cell(&self, row_label: &str, column: &str) -> Option<&str> {
+        let col = self.headers.iter().position(|h| h == column)?;
+        self.rows
+            .iter()
+            .find(|r| r[0] == row_label)
+            .map(|r| r[col].as_str())
+    }
+
+    /// Parses a cell as `f64`.
+    pub fn value(&self, row_label: &str, column: &str) -> Option<f64> {
+        self.cell(row_label, column)?.parse().ok()
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// All tables of one figure (or table) of the paper.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FigureReport {
+    /// Identifier, e.g. "fig3".
+    pub id: String,
+    /// Human description.
+    pub description: String,
+    /// The tables (panels).
+    pub tables: Vec<Table>,
+}
+
+impl FigureReport {
+    /// Creates an empty report.
+    pub fn new(id: impl Into<String>, description: impl Into<String>) -> Self {
+        Self {
+            id: id.into(),
+            description: description.into(),
+            tables: Vec::new(),
+        }
+    }
+
+    /// Renders every table.
+    pub fn render(&self) -> String {
+        let mut out = format!("# {} — {}\n\n", self.id, self.description);
+        for t in &self.tables {
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Finds a table by (sub)title.
+    pub fn table(&self, title_fragment: &str) -> Option<&Table> {
+        self.tables.iter().find(|t| t.title.contains(title_fragment))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_roundtrip_and_lookup() {
+        let mut t = Table::new("Fig. X", &["method", "utility", "time"]);
+        t.push_numeric_row("AVG", &[10.5, 0.2]);
+        t.push_numeric_row("PER", &[8.0, 0.01]);
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.cell("AVG", "utility"), Some("10.5000"));
+        assert!((t.value("PER", "utility").unwrap() - 8.0).abs() < 1e-9);
+        assert!(t.value("AVG", "missing").is_none());
+        let rendered = t.render();
+        assert!(rendered.contains("Fig. X"));
+        assert!(rendered.contains("AVG"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_rows_panic() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn report_render_and_lookup() {
+        let mut r = FigureReport::new("fig3", "small datasets");
+        r.tables.push(Table::new("Fig. 3(a): utility vs n", &["n", "AVG"]));
+        assert!(r.table("3(a)").is_some());
+        assert!(r.table("nope").is_none());
+        assert!(r.render().contains("fig3"));
+    }
+}

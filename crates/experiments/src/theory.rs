@@ -1,0 +1,193 @@
+//! Constructive checks of the paper's theoretical statements:
+//!
+//! * **Theorem 1** — instances where the SVGIC optimum beats the group
+//!   approach by a factor `n`, and the personalized approach by `Θ(n)`;
+//! * **Lemma 3** — the indifference instance on which independent rounding
+//!   only recovers an `O(1/m)` fraction of the optimum while CSF recovers it
+//!   in one iteration.
+
+use crate::harness::ExperimentScale;
+use crate::report::{FigureReport, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use svgic_algorithms::factors::{LpBackend, UtilityFactors};
+use svgic_algorithms::rounding::independent_rounding;
+use svgic_algorithms::{solve_avg, AvgConfig};
+use svgic_core::utility::total_utility;
+use svgic_core::{Configuration, SvgicInstance, SvgicInstanceBuilder};
+use svgic_graph::generate::complete_graph;
+use svgic_graph::SocialGraph;
+
+/// Builds the Theorem 1 instance `I_G`: `n` users, no edges, each user prefers
+/// a disjoint set of `k` items.  The group approach can serve only one user
+/// per slot; the SVGIC optimum serves everyone.
+pub fn gap_instance_group(n: usize, k: usize) -> SvgicInstance {
+    let m = n * k;
+    let graph = SocialGraph::new(n);
+    let mut b = SvgicInstanceBuilder::new(graph, m, k, 0.5);
+    for u in 0..n {
+        for j in 0..k {
+            b.set_preference(u, j * n + u, 1.0);
+        }
+    }
+    b.build().expect("valid gap instance")
+}
+
+/// Builds the Theorem 1 instance `I_P`: a complete graph where everyone is
+/// (almost) indifferent between items but every co-display carries social
+/// utility 1; the personalized approach forfeits all of it.
+pub fn gap_instance_personalized(n: usize, k: usize, epsilon: f64) -> SvgicInstance {
+    let m = n * k;
+    let graph = complete_graph(n);
+    let mut b = SvgicInstanceBuilder::new(graph, m, k, 0.5);
+    for u in 0..n {
+        for c in 0..m {
+            let preferred = c % n == u;
+            b.set_preference(u, c, if preferred { 1.0 } else { 1.0 - epsilon });
+        }
+    }
+    b.fill_social(|_, _, _| 1.0);
+    b.build().expect("valid gap instance")
+}
+
+/// Best configuration of the group approach on `I_G`-style instances: every
+/// user sees the same items (chosen to maximise the aggregate preference).
+fn best_group_configuration(instance: &SvgicInstance) -> Configuration {
+    svgic_baselines::solve_fmg(instance)
+}
+
+/// Per-user optimum on disjoint-preference instances: user `u` takes her `k`
+/// preferred items.
+fn personalized_configuration(instance: &SvgicInstance) -> Configuration {
+    svgic_baselines::solve_per(instance)
+}
+
+/// Runs the theoretical gap demonstrations and the Lemma 3 comparison.
+pub fn theorem1_and_lemma3(scale: ExperimentScale) -> FigureReport {
+    let mut report = FigureReport::new(
+        "theory",
+        "Theorem 1 gap instances and Lemma 3 independent-rounding comparison",
+    );
+    let (n, k, m_indiff) = match scale {
+        ExperimentScale::Smoke => (6, 2, 10),
+        ExperimentScale::Default => (12, 3, 40),
+    };
+
+    // Theorem 1, part 1: OPT / OPT_G = n on I_G.
+    let ig = gap_instance_group(n, k);
+    let personalized = personalized_configuration(&ig);
+    let group = best_group_configuration(&ig);
+    let mut t1 = Table::new(
+        "Theorem 1: optimal vs group / personalized approaches",
+        &["instance", "OPT (>=)", "restricted approach", "ratio"],
+    );
+    let opt_ig = total_utility(&ig, &personalized); // personalized is optimal on I_G
+    let group_ig = total_utility(&ig, &group);
+    t1.push_row(vec![
+        format!("I_G (n={n}, k={k})"),
+        format!("{opt_ig:.3}"),
+        format!("group = {group_ig:.3}"),
+        format!("{:.2}", opt_ig / group_ig.max(1e-9)),
+    ]);
+
+    // Theorem 1, part 2: OPT / OPT_P = Θ(n) on I_P.
+    let ip = gap_instance_personalized(n, k, 1e-3);
+    let per_cfg = personalized_configuration(&ip);
+    let group_cfg = best_group_configuration(&ip);
+    let per_val = total_utility(&ip, &per_cfg);
+    let group_val = total_utility(&ip, &group_cfg);
+    t1.push_row(vec![
+        format!("I_P (n={n}, k={k})"),
+        format!("{group_val:.3}"),
+        format!("personalized = {per_val:.3}"),
+        format!("{:.2}", group_val / per_val.max(1e-9)),
+    ]);
+    report.tables.push(t1);
+
+    // Lemma 3: independent rounding vs CSF on the indifference instance.
+    let graph = complete_graph(n);
+    let mut b = SvgicInstanceBuilder::new(graph, m_indiff, k, 1.0);
+    b.fill_social(|_, _, _| 1.0);
+    let indiff = b.build().expect("valid indifference instance");
+    let uniform = vec![k as f64 / m_indiff as f64; n * m_indiff];
+    let factors = UtilityFactors::from_aggregate(&indiff, uniform, 0.0, LpBackend::Structured);
+    let mut rng = StdRng::seed_from_u64(99);
+    let runs = 30;
+    let independent_avg: f64 = (0..runs)
+        .map(|_| total_utility(&indiff, &independent_rounding(&indiff, &factors, &mut rng)))
+        .sum::<f64>()
+        / runs as f64;
+    let avg_sol = solve_avg(&indiff, &AvgConfig::with_backend(LpBackend::Structured, 5));
+    let optimum = (n * (n - 1)) as f64 * k as f64; // everyone aligned on k items
+    let mut t2 = Table::new(
+        "Lemma 3: indifference instance — independent rounding vs AVG (CSF)",
+        &["method", "utility", "fraction of optimum"],
+    );
+    t2.push_row(vec![
+        "optimum".into(),
+        format!("{optimum:.2}"),
+        "1.000".into(),
+    ]);
+    t2.push_row(vec![
+        "independent rounding (mean)".into(),
+        format!("{independent_avg:.2}"),
+        format!("{:.3}", independent_avg / optimum),
+    ]);
+    t2.push_row(vec![
+        "AVG".into(),
+        format!("{:.2}", avg_sol.utility),
+        format!("{:.3}", avg_sol.utility / optimum),
+    ]);
+    report.tables.push(t2);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_gap_grows_linearly_with_n() {
+        for n in [3usize, 5, 8] {
+            let inst = gap_instance_group(n, 2);
+            let per = personalized_configuration(&inst);
+            let group = best_group_configuration(&inst);
+            let ratio = total_utility(&inst, &per) / total_utility(&inst, &group).max(1e-9);
+            assert!(
+                (ratio - n as f64).abs() < 1e-6,
+                "n = {n}: ratio {ratio} should equal n"
+            );
+        }
+    }
+
+    #[test]
+    fn personalized_gap_scales_with_n() {
+        let n = 8;
+        let inst = gap_instance_personalized(n, 2, 1e-3);
+        let per = personalized_configuration(&inst);
+        let group = best_group_configuration(&inst);
+        let ratio = total_utility(&inst, &group) / total_utility(&inst, &per).max(1e-9);
+        // λ/(1-λ) · (n-1)/2 = (n-1)/2 for λ = ½; allow slack for the ε term.
+        assert!(
+            ratio > (n as f64 - 1.0) / 2.0 * 0.9,
+            "gap ratio {ratio} too small for n = {n}"
+        );
+    }
+
+    #[test]
+    fn lemma3_report_shows_independent_rounding_losing() {
+        let report = theorem1_and_lemma3(ExperimentScale::Smoke);
+        let t2 = report.table("Lemma 3").unwrap();
+        let independent: f64 = t2.rows[1][2].parse().unwrap();
+        let avg: f64 = t2.rows[2][2].parse().unwrap();
+        assert!(
+            avg > independent,
+            "AVG ({avg}) should beat independent rounding ({independent})"
+        );
+        assert!(avg > 0.9, "AVG should essentially recover the optimum, got {avg}");
+        assert!(
+            independent < 0.5,
+            "independent rounding should lose most of the social utility, got {independent}"
+        );
+    }
+}

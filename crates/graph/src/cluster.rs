@@ -1,0 +1,239 @@
+//! K-means clustering over dense feature vectors.
+//!
+//! The GRF baseline and the subgroup-by-preference approach partition the
+//! shopping group by *preference similarity* (each user is represented by her
+//! preference vector over the candidate items).  A small, dependency-free
+//! Lloyd's k-means with k-means++ seeding is sufficient at the paper's scale
+//! (n ≤ a few hundred users).
+
+use rand::Rng;
+
+/// Configuration for [`kmeans`].
+#[derive(Clone, Debug)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum number of Lloyd iterations.
+    pub max_iters: usize,
+    /// Convergence threshold on total centroid movement (squared L2).
+    pub tolerance: f64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        Self {
+            k: 2,
+            max_iters: 100,
+            tolerance: 1e-9,
+        }
+    }
+}
+
+/// Result of a k-means run.
+#[derive(Clone, Debug)]
+pub struct KMeansResult {
+    /// Cluster index for each input point.
+    pub assignment: Vec<usize>,
+    /// Final centroids, `k × dim`, row-major.
+    pub centroids: Vec<Vec<f64>>,
+    /// Total within-cluster sum of squared distances.
+    pub inertia: f64,
+    /// Number of iterations executed.
+    pub iterations: usize,
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Runs Lloyd's k-means with k-means++ initialisation on `points`
+/// (each point a slice of equal dimension).
+///
+/// Empty clusters are re-seeded with the point farthest from its centroid so
+/// the requested number of clusters is preserved whenever `points.len() >= k`.
+///
+/// # Panics
+/// Panics if `points` is empty, `config.k == 0`, or points have inconsistent
+/// dimensions.
+pub fn kmeans<R: Rng + ?Sized>(
+    points: &[Vec<f64>],
+    config: &KMeansConfig,
+    rng: &mut R,
+) -> KMeansResult {
+    assert!(!points.is_empty(), "kmeans requires at least one point");
+    assert!(config.k > 0, "kmeans requires k >= 1");
+    let dim = points[0].len();
+    assert!(
+        points.iter().all(|p| p.len() == dim),
+        "all points must share the same dimension"
+    );
+    let k = config.k.min(points.len());
+
+    // --- k-means++ seeding -------------------------------------------------
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..points.len())].clone());
+    while centroids.len() < k {
+        let dists: Vec<f64> = points
+            .iter()
+            .map(|p| {
+                centroids
+                    .iter()
+                    .map(|c| sq_dist(p, c))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = dists.iter().sum();
+        let next = if total <= f64::EPSILON {
+            rng.gen_range(0..points.len())
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut chosen = points.len() - 1;
+            for (i, d) in dists.iter().enumerate() {
+                target -= d;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        centroids.push(points[next].clone());
+    }
+
+    // --- Lloyd iterations ---------------------------------------------------
+    let mut assignment = vec![0usize; points.len()];
+    let mut iterations = 0usize;
+    for iter in 0..config.max_iters {
+        iterations = iter + 1;
+        // Assignment step.
+        for (i, p) in points.iter().enumerate() {
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for (c, centroid) in centroids.iter().enumerate() {
+                let d = sq_dist(p, centroid);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            assignment[i] = best;
+        }
+        // Update step.
+        let mut new_centroids = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (i, p) in points.iter().enumerate() {
+            counts[assignment[i]] += 1;
+            for (d, &x) in p.iter().enumerate() {
+                new_centroids[assignment[i]][d] += x;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed empty cluster with the worst-fitted point.
+                let (worst, _) = points
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| (i, sq_dist(p, &centroids[assignment[i]])))
+                    .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                    .unwrap();
+                new_centroids[c] = points[worst].clone();
+            } else {
+                for x in &mut new_centroids[c] {
+                    *x /= counts[c] as f64;
+                }
+            }
+        }
+        let movement: f64 = centroids
+            .iter()
+            .zip(&new_centroids)
+            .map(|(a, b)| sq_dist(a, b))
+            .sum();
+        centroids = new_centroids;
+        if movement < config.tolerance {
+            break;
+        }
+    }
+
+    // Final assignment & inertia with the converged centroids.
+    let mut inertia = 0.0;
+    for (i, p) in points.iter().enumerate() {
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for (c, centroid) in centroids.iter().enumerate() {
+            let d = sq_dist(p, centroid);
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        assignment[i] = best;
+        inertia += best_d;
+    }
+
+    KMeansResult {
+        assignment,
+        centroids,
+        inertia,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn separates_two_obvious_blobs() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut points = Vec::new();
+        for i in 0..20 {
+            points.push(vec![0.0 + (i as f64) * 0.01, 0.0]);
+            points.push(vec![10.0 + (i as f64) * 0.01, 10.0]);
+        }
+        let res = kmeans(&points, &KMeansConfig { k: 2, ..Default::default() }, &mut rng);
+        // All even indices (blob A) share a label distinct from odd indices (blob B).
+        let a = res.assignment[0];
+        let b = res.assignment[1];
+        assert_ne!(a, b);
+        for i in 0..points.len() {
+            let expect = if i % 2 == 0 { a } else { b };
+            assert_eq!(res.assignment[i], expect);
+        }
+        assert!(res.inertia < 1.0);
+    }
+
+    #[test]
+    fn k_larger_than_points_is_clamped() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let points = vec![vec![1.0], vec![2.0]];
+        let res = kmeans(&points, &KMeansConfig { k: 5, ..Default::default() }, &mut rng);
+        assert_eq!(res.centroids.len(), 2);
+    }
+
+    #[test]
+    fn identical_points_converge_immediately() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let points = vec![vec![1.0, 1.0]; 8];
+        let res = kmeans(&points, &KMeansConfig { k: 3, ..Default::default() }, &mut rng);
+        assert!(res.inertia < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "same dimension")]
+    fn dimension_mismatch_panics() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let points = vec![vec![1.0, 1.0], vec![1.0]];
+        let _ = kmeans(&points, &KMeansConfig::default(), &mut rng);
+    }
+
+    #[test]
+    fn single_cluster_centroid_is_mean() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let points = vec![vec![0.0], vec![2.0], vec![4.0]];
+        let res = kmeans(&points, &KMeansConfig { k: 1, ..Default::default() }, &mut rng);
+        assert!((res.centroids[0][0] - 2.0).abs() < 1e-9);
+        assert_eq!(res.assignment, vec![0, 0, 0]);
+    }
+}

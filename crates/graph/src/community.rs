@@ -1,0 +1,364 @@
+//! Community detection and partitioning primitives.
+//!
+//! Two of the paper's baselines pre-partition the shopping group before
+//! choosing items:
+//!
+//! * **SDP / subgroup-by-friendship** form *socially tight* subgroups — here
+//!   implemented via [`label_propagation`] and [`densest_subgroup_peeling`];
+//! * the SVGIC-ST "-P" variants pre-partition the user set into ⌈N/M⌉
+//!   *balanced* subgroups — implemented by [`balanced_partition`].
+
+use crate::graph::{NodeIdx, SocialGraph};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// A partition of the node set into disjoint groups.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    /// `groups[g]` is the sorted list of members of group `g`; groups are
+    /// non-empty.
+    pub groups: Vec<Vec<NodeIdx>>,
+    /// `assignment[v]` is the group index of node `v`.
+    pub assignment: Vec<usize>,
+}
+
+impl Partition {
+    /// Builds a partition from a per-node assignment vector, compacting group
+    /// labels to `0..num_groups`.
+    pub fn from_assignment(assignment: &[usize]) -> Self {
+        let mut relabel: HashMap<usize, usize> = HashMap::new();
+        let mut groups: Vec<Vec<NodeIdx>> = Vec::new();
+        let mut compact = vec![0usize; assignment.len()];
+        for (v, &label) in assignment.iter().enumerate() {
+            let g = *relabel.entry(label).or_insert_with(|| {
+                groups.push(Vec::new());
+                groups.len() - 1
+            });
+            groups[g].push(v);
+            compact[v] = g;
+        }
+        for g in &mut groups {
+            g.sort_unstable();
+        }
+        Self {
+            groups,
+            assignment: compact,
+        }
+    }
+
+    /// Number of groups.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Size of the largest group.
+    pub fn max_group_size(&self) -> usize {
+        self.groups.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// True if `u` and `v` are in the same group.
+    pub fn same_group(&self, u: NodeIdx, v: NodeIdx) -> bool {
+        self.assignment[u] == self.assignment[v]
+    }
+
+    /// Fraction of friend pairs whose endpoints fall in the same group
+    /// (the paper's *Intra%*); returns 0 for edgeless graphs.
+    pub fn intra_edge_fraction(&self, graph: &SocialGraph) -> f64 {
+        let pairs = graph.friend_pairs();
+        if pairs.is_empty() {
+            return 0.0;
+        }
+        let intra = pairs
+            .iter()
+            .filter(|&&(u, v, _)| self.same_group(u, v))
+            .count();
+        intra as f64 / pairs.len() as f64
+    }
+
+    /// Average subgroup density normalized by the whole-graph density
+    /// (the paper's *normalized density*); singleton groups contribute 0.
+    /// Returns 0 when the graph itself has zero density.
+    pub fn normalized_density(&self, graph: &SocialGraph) -> f64 {
+        let base = graph.density();
+        if base <= 0.0 || self.groups.is_empty() {
+            return 0.0;
+        }
+        let avg: f64 = self
+            .groups
+            .iter()
+            .map(|g| graph.subgroup_density(g))
+            .sum::<f64>()
+            / self.groups.len() as f64;
+        avg / base
+    }
+}
+
+/// Synchronous label propagation community detection.
+///
+/// Every node starts in its own community; in each round nodes adopt the most
+/// frequent label among their neighbours (ties broken towards the smallest
+/// label for determinism).  Stops after `max_rounds` or when no label changes.
+pub fn label_propagation<R: Rng + ?Sized>(
+    graph: &SocialGraph,
+    max_rounds: usize,
+    rng: &mut R,
+) -> Partition {
+    let n = graph.num_nodes();
+    let mut labels: Vec<usize> = (0..n).collect();
+    let mut order: Vec<NodeIdx> = (0..n).collect();
+    for _ in 0..max_rounds {
+        order.shuffle(rng);
+        let mut changed = false;
+        for &v in &order {
+            let nbrs = graph.neighbors(v);
+            if nbrs.is_empty() {
+                continue;
+            }
+            let mut counts: HashMap<usize, usize> = HashMap::new();
+            for u in nbrs {
+                *counts.entry(labels[u]).or_insert(0) += 1;
+            }
+            let best = counts
+                .iter()
+                .map(|(&label, &cnt)| (cnt, std::cmp::Reverse(label)))
+                .max()
+                .map(|(_, std::cmp::Reverse(label))| label)
+                .unwrap();
+            if best != labels[v] {
+                labels[v] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Partition::from_assignment(&labels)
+}
+
+/// Densest-subgroup peeling: repeatedly extracts a dense subgroup by greedy
+/// degeneracy peeling of the remaining graph, optionally capping the subgroup
+/// size at `max_size`.
+///
+/// This mimics the SDP baseline's "socially tight subgroup" extraction: it
+/// finds the subgraph maximizing average internal degree (2·|E(S)| / |S|)
+/// among the peeling prefixes, removes it, and repeats until all nodes are
+/// assigned.  Nodes that end up isolated form singleton groups.
+pub fn densest_subgroup_peeling(graph: &SocialGraph, max_size: Option<usize>) -> Partition {
+    let n = graph.num_nodes();
+    let mut assignment = vec![usize::MAX; n];
+    let mut remaining: Vec<bool> = vec![true; n];
+    let mut next_group = 0usize;
+    let cap = max_size.unwrap_or(usize::MAX).max(1);
+    loop {
+        let alive: Vec<NodeIdx> = (0..n).filter(|&v| remaining[v]).collect();
+        if alive.is_empty() {
+            break;
+        }
+        let best = densest_prefix(graph, &alive, cap);
+        for &v in &best {
+            assignment[v] = next_group;
+            remaining[v] = false;
+        }
+        next_group += 1;
+    }
+    Partition::from_assignment(&assignment)
+}
+
+/// Greedy peeling on the subgraph induced by `alive`: iteratively removes the
+/// minimum-degree node and returns the prefix (as a set) with the highest
+/// density `|E(S)| / |S|`, truncated to at most `cap` nodes (the densest
+/// suffix of the peeling order of length ≤ cap).
+fn densest_prefix(graph: &SocialGraph, alive: &[NodeIdx], cap: usize) -> Vec<NodeIdx> {
+    let set: HashMap<NodeIdx, usize> = alive.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let m = alive.len();
+    // Local undirected adjacency within `alive`.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); m];
+    for (u, v, _) in graph.friend_pairs() {
+        if let (Some(&iu), Some(&iv)) = (set.get(&u), set.get(&v)) {
+            adj[iu].push(iv);
+            adj[iv].push(iu);
+        }
+    }
+    let mut degree: Vec<usize> = adj.iter().map(Vec::len).collect();
+    let mut removed = vec![false; m];
+    let mut edges_left: usize = degree.iter().sum::<usize>() / 2;
+    let mut order = Vec::with_capacity(m);
+    let mut best_density = f64::NEG_INFINITY;
+    let mut best_suffix_start = 0usize;
+    for step in 0..m {
+        let nodes_left = m - step;
+        if nodes_left <= cap {
+            let d = edges_left as f64 / nodes_left as f64;
+            if d > best_density {
+                best_density = d;
+                best_suffix_start = step;
+            }
+        }
+        // Remove the minimum-degree remaining node (ties toward smaller index).
+        let v = (0..m)
+            .filter(|&v| !removed[v])
+            .min_by_key(|&v| (degree[v], v))
+            .expect("non-empty");
+        removed[v] = true;
+        order.push(v);
+        for &w in &adj[v] {
+            if !removed[w] {
+                degree[w] -= 1;
+                edges_left -= 1;
+            }
+        }
+    }
+    // The best subgroup is everything not removed before `best_suffix_start`.
+    let chosen: Vec<NodeIdx> = (best_suffix_start..m).map(|i| alive[order_index(&order, i)]).collect();
+    let mut chosen = chosen;
+    chosen.sort_unstable();
+    chosen
+}
+
+/// Maps "position in the peeling order" back to the local node index removed
+/// at that position.
+fn order_index(order: &[usize], pos: usize) -> usize {
+    order[pos]
+}
+
+/// Splits the node set into `ceil(n / group_size)` groups of (nearly) equal
+/// size, preferring to keep friends together: nodes are visited in BFS order
+/// so that connected users land in the same block where possible.
+pub fn balanced_partition<R: Rng + ?Sized>(
+    graph: &SocialGraph,
+    group_size: usize,
+    rng: &mut R,
+) -> Partition {
+    let n = graph.num_nodes();
+    let group_size = group_size.max(1);
+    let order = crate::sample::bfs_sample(graph, n, rng);
+    // bfs_sample returns sorted nodes; re-derive a BFS visitation order instead.
+    let mut assignment = vec![0usize; n];
+    let mut visit_order: Vec<NodeIdx> = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    for &seed in &order {
+        if seen[seed] {
+            continue;
+        }
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(seed);
+        seen[seed] = true;
+        while let Some(u) = queue.pop_front() {
+            visit_order.push(u);
+            let mut nbrs = graph.neighbors(u);
+            nbrs.sort_unstable();
+            for v in nbrs {
+                if !seen[v] {
+                    seen[v] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    for (pos, &v) in visit_order.iter().enumerate() {
+        assignment[v] = pos / group_size;
+    }
+    Partition::from_assignment(&assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{complete_graph, planted_partition};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn partition_from_assignment_compacts_labels() {
+        let p = Partition::from_assignment(&[7, 3, 7, 9]);
+        assert_eq!(p.num_groups(), 3);
+        assert!(p.same_group(0, 2));
+        assert!(!p.same_group(0, 1));
+        assert_eq!(p.groups.iter().map(Vec::len).sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn intra_fraction_and_density() {
+        let g = complete_graph(4);
+        let whole = Partition::from_assignment(&[0, 0, 0, 0]);
+        assert!((whole.intra_edge_fraction(&g) - 1.0).abs() < 1e-12);
+        assert!((whole.normalized_density(&g) - 1.0).abs() < 1e-12);
+        let split = Partition::from_assignment(&[0, 0, 1, 1]);
+        assert!((split.intra_edge_fraction(&g) - 2.0 / 6.0).abs() < 1e-12);
+        // Each half is a clique of 2 => density 1 => normalized 1/graph density (=1) => 1.
+        assert!((split.normalized_density(&g) - 1.0).abs() < 1e-12);
+        let singles = Partition::from_assignment(&[0, 1, 2, 3]);
+        assert_eq!(singles.intra_edge_fraction(&g), 0.0);
+        assert_eq!(singles.normalized_density(&g), 0.0);
+    }
+
+    #[test]
+    fn label_propagation_recovers_planted_communities() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let (g, truth) = planted_partition(90, 3, 0.6, 0.01, &mut rng);
+        let p = label_propagation(&g, 30, &mut rng);
+        // Most pairs in the same true community should share a detected label.
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for u in 0..90 {
+            for v in (u + 1)..90 {
+                if truth[u] == truth[v] {
+                    total += 1;
+                    if p.same_group(u, v) {
+                        agree += 1;
+                    }
+                }
+            }
+        }
+        assert!(agree as f64 / total as f64 > 0.8, "agreement {agree}/{total}");
+    }
+
+    #[test]
+    fn label_propagation_isolated_nodes_stay_singletons() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = SocialGraph::new(5);
+        let p = label_propagation(&g, 10, &mut rng);
+        assert_eq!(p.num_groups(), 5);
+    }
+
+    #[test]
+    fn densest_peeling_finds_the_clique() {
+        // A 5-clique plus a long path: the clique should come out as one group.
+        let mut edges = vec![];
+        for u in 0..5 {
+            for v in (u + 1)..5 {
+                edges.push((u, v));
+            }
+        }
+        for u in 5..11 {
+            edges.push((u, u + 1));
+        }
+        let g = SocialGraph::from_undirected_edges(12, edges);
+        let p = densest_subgroup_peeling(&g, None);
+        let clique_group = p.assignment[0];
+        for v in 1..5 {
+            assert_eq!(p.assignment[v], clique_group, "clique node {v} split off");
+        }
+        assert!(p.groups[clique_group].len() == 5);
+    }
+
+    #[test]
+    fn densest_peeling_respects_cap() {
+        let g = complete_graph(9);
+        let p = densest_subgroup_peeling(&g, Some(3));
+        assert!(p.max_group_size() <= 3);
+        assert_eq!(p.groups.iter().map(Vec::len).sum::<usize>(), 9);
+    }
+
+    #[test]
+    fn balanced_partition_sizes() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let (g, _) = planted_partition(25, 5, 0.5, 0.05, &mut rng);
+        let p = balanced_partition(&g, 4, &mut rng);
+        assert!(p.max_group_size() <= 4);
+        assert_eq!(p.groups.iter().map(Vec::len).sum::<usize>(), 25);
+        assert_eq!(p.num_groups(), 7); // ceil(25/4)
+    }
+}

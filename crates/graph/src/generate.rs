@@ -1,0 +1,246 @@
+//! Synthetic social-network topology generators.
+//!
+//! The paper evaluates on three real social networks (Timik, Yelp, Epinions)
+//! that are not redistributable.  The dataset-substitution layer
+//! (`svgic-datasets`) instead synthesizes networks whose *qualitative*
+//! properties drive the paper's conclusions: density, degree skew, and
+//! community structure.  This module provides the classic generators used for
+//! that purpose.  All generators are deterministic given the RNG passed in.
+
+use crate::graph::{NodeIdx, SocialGraph};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Generates an undirected Erdős–Rényi graph `G(n, p)` (each pair connected
+/// independently with probability `p`), returned as a directed graph with both
+/// directions present for every friendship.
+///
+/// Used for sparse, weakly clustered topologies (Epinions-like trust network).
+pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> SocialGraph {
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen::<f64>() < p {
+                edges.push((u, v));
+            }
+        }
+    }
+    SocialGraph::from_undirected_edges(n, edges)
+}
+
+/// Generates an undirected Barabási–Albert preferential-attachment graph:
+/// nodes arrive one at a time and attach to `m_attach` existing nodes with
+/// probability proportional to degree.
+///
+/// Produces the heavy-tailed degree distribution typical of the Timik VR
+/// social network (a few extremely popular users / locations).
+pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m_attach: usize, rng: &mut R) -> SocialGraph {
+    assert!(m_attach >= 1, "m_attach must be at least 1");
+    let m_attach = m_attach.min(n.saturating_sub(1)).max(1);
+    let mut edges: Vec<(NodeIdx, NodeIdx)> = Vec::new();
+    // Repeated-node list implements preferential attachment in O(1) per draw.
+    let mut repeated: Vec<NodeIdx> = Vec::new();
+    let seed = (m_attach + 1).min(n);
+    // Start from a small clique so early nodes have non-zero degree.
+    for u in 0..seed {
+        for v in (u + 1)..seed {
+            edges.push((u, v));
+            repeated.push(u);
+            repeated.push(v);
+        }
+    }
+    for u in seed..n {
+        let mut targets = Vec::with_capacity(m_attach);
+        let mut guard = 0usize;
+        while targets.len() < m_attach && guard < 50 * m_attach {
+            guard += 1;
+            let t = if repeated.is_empty() {
+                rng.gen_range(0..u)
+            } else {
+                repeated[rng.gen_range(0..repeated.len())]
+            };
+            if t != u && !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            edges.push((u, t));
+            repeated.push(u);
+            repeated.push(t);
+        }
+    }
+    SocialGraph::from_undirected_edges(n, edges)
+}
+
+/// Generates a Watts–Strogatz small-world graph: a ring lattice where every
+/// node is connected to its `k_ring` nearest neighbours, with each edge
+/// rewired with probability `beta`.
+///
+/// Produces the locally clustered topology of location-based social networks
+/// (Yelp-like).
+pub fn watts_strogatz<R: Rng + ?Sized>(
+    n: usize,
+    k_ring: usize,
+    beta: f64,
+    rng: &mut R,
+) -> SocialGraph {
+    let half = (k_ring / 2).max(1);
+    let mut edge_set: Vec<(NodeIdx, NodeIdx)> = Vec::new();
+    for u in 0..n {
+        for d in 1..=half {
+            let v = (u + d) % n;
+            if u != v {
+                edge_set.push((u.min(v), u.max(v)));
+            }
+        }
+    }
+    edge_set.sort_unstable();
+    edge_set.dedup();
+    // Rewire.
+    let mut rewired = Vec::with_capacity(edge_set.len());
+    for &(u, v) in &edge_set {
+        if rng.gen::<f64>() < beta && n > 2 {
+            let mut w = rng.gen_range(0..n);
+            let mut guard = 0;
+            while (w == u || w == v) && guard < 20 {
+                w = rng.gen_range(0..n);
+                guard += 1;
+            }
+            if w != u && w != v {
+                rewired.push((u, w));
+                continue;
+            }
+        }
+        rewired.push((u, v));
+    }
+    SocialGraph::from_undirected_edges(n, rewired)
+}
+
+/// Generates a planted-partition graph: `communities` equally sized blocks,
+/// within-block edge probability `p_in`, across-block probability `p_out`.
+///
+/// Used to synthesize networks with clear community structure for testing the
+/// SDP / subgroup-by-friendship baselines and the Fig. 11 case study.
+pub fn planted_partition<R: Rng + ?Sized>(
+    n: usize,
+    communities: usize,
+    p_in: f64,
+    p_out: f64,
+    rng: &mut R,
+) -> (SocialGraph, Vec<usize>) {
+    let communities = communities.max(1);
+    let mut labels = vec![0usize; n];
+    for (i, l) in labels.iter_mut().enumerate() {
+        *l = i % communities;
+    }
+    labels.shuffle(rng);
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let p = if labels[u] == labels[v] { p_in } else { p_out };
+            if rng.gen::<f64>() < p {
+                edges.push((u, v));
+            }
+        }
+    }
+    (SocialGraph::from_undirected_edges(n, edges), labels)
+}
+
+/// Complete graph on `n` nodes (every pair of users are friends).  Used by the
+/// Theorem 1 gap instances and by unit tests.
+pub fn complete_graph(n: usize) -> SocialGraph {
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            edges.push((u, v));
+        }
+    }
+    SocialGraph::from_undirected_edges(n, edges)
+}
+
+/// Star graph: node 0 is connected to every other node.
+pub fn star_graph(n: usize) -> SocialGraph {
+    SocialGraph::from_undirected_edges(n, (1..n).map(|v| (0, v)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let empty = erdos_renyi(10, 0.0, &mut rng);
+        assert_eq!(empty.num_edges(), 0);
+        let full = erdos_renyi(10, 1.0, &mut rng);
+        assert_eq!(full.num_friend_pairs(), 45);
+    }
+
+    #[test]
+    fn erdos_renyi_density_tracks_p() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = erdos_renyi(200, 0.1, &mut rng);
+        let d = g.density();
+        assert!(d > 0.05 && d < 0.15, "density {d} too far from p = 0.1");
+    }
+
+    #[test]
+    fn barabasi_albert_connected_and_skewed() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = barabasi_albert(150, 3, &mut rng);
+        assert_eq!(g.connected_components().len(), 1);
+        let max_deg = (0..g.num_nodes()).map(|u| g.degree(u)).max().unwrap();
+        let avg_deg: f64 =
+            (0..g.num_nodes()).map(|u| g.degree(u) as f64).sum::<f64>() / g.num_nodes() as f64;
+        assert!(max_deg as f64 > 3.0 * avg_deg, "expected hub nodes (max {max_deg}, avg {avg_deg})");
+    }
+
+    #[test]
+    fn barabasi_albert_small_n() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = barabasi_albert(3, 5, &mut rng);
+        assert_eq!(g.num_nodes(), 3);
+        assert!(g.num_friend_pairs() <= 3);
+    }
+
+    #[test]
+    fn watts_strogatz_keeps_edge_count_roughly() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g0 = watts_strogatz(60, 6, 0.0, &mut rng);
+        let g1 = watts_strogatz(60, 6, 0.3, &mut rng);
+        // Without rewiring, exactly n * k/2 ring edges.
+        assert_eq!(g0.num_friend_pairs(), 60 * 3);
+        // Rewiring can only merge duplicates, never add pairs.
+        assert!(g1.num_friend_pairs() <= 60 * 3);
+        assert!(g1.num_friend_pairs() >= 60 * 2);
+    }
+
+    #[test]
+    fn planted_partition_has_denser_blocks() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let (g, labels) = planted_partition(120, 4, 0.5, 0.02, &mut rng);
+        assert_eq!(labels.len(), 120);
+        let mut intra = 0usize;
+        let mut inter = 0usize;
+        for (u, v, _) in g.friend_pairs() {
+            if labels[u] == labels[v] {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        assert!(intra > inter, "intra {intra} should dominate inter {inter}");
+    }
+
+    #[test]
+    fn complete_and_star() {
+        let g = complete_graph(5);
+        assert_eq!(g.num_friend_pairs(), 10);
+        let s = star_graph(5);
+        assert_eq!(s.num_friend_pairs(), 4);
+        assert_eq!(s.degree(0), 4);
+        assert_eq!(s.degree(1), 1);
+    }
+}

@@ -1,0 +1,453 @@
+//! Compact directed social-graph representation with stable edge indices.
+//!
+//! The SVGIC social-utility input `τ(u, v, c)` is keyed per *directed* edge:
+//! the utility user `u` gains from discussing item `c` with friend `v` may
+//! differ from what `v` gains from `u`.  The [`SocialGraph`] therefore stores
+//! directed edges, assigns every edge a stable [`EdgeIdx`] in insertion order,
+//! and offers helpers for the *undirected friend pairs* the paper's co-display
+//! analysis iterates over.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Index of a node (user) in a [`SocialGraph`].
+pub type NodeIdx = usize;
+
+/// Index of a directed edge in a [`SocialGraph`], stable across the graph's
+/// lifetime (edges cannot be removed, only added).
+pub type EdgeIdx = usize;
+
+/// A directed graph over `n` nodes with stable edge indices and adjacency
+/// lists in both directions.
+///
+/// Parallel edges are rejected; self loops are rejected (a shopper does not
+/// discuss items with herself).
+#[derive(Clone, Debug, Default)]
+pub struct SocialGraph {
+    n: usize,
+    /// Directed edges `(source, target)` in insertion order.
+    edges: Vec<(NodeIdx, NodeIdx)>,
+    /// Outgoing adjacency: `out_adj[u]` lists `(v, e)` with `edges[e] == (u, v)`.
+    out_adj: Vec<Vec<(NodeIdx, EdgeIdx)>>,
+    /// Incoming adjacency: `in_adj[v]` lists `(u, e)` with `edges[e] == (u, v)`.
+    in_adj: Vec<Vec<(NodeIdx, EdgeIdx)>>,
+    /// Fast membership lookup for `(u, v)` directed pairs.
+    edge_lookup: HashMap<(NodeIdx, NodeIdx), EdgeIdx>,
+}
+
+impl SocialGraph {
+    /// Creates an empty graph with `n` isolated nodes.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            edges: Vec::new(),
+            out_adj: vec![Vec::new(); n],
+            in_adj: vec![Vec::new(); n],
+            edge_lookup: HashMap::new(),
+        }
+    }
+
+    /// Creates a graph from a list of directed edges over `n` nodes.
+    ///
+    /// Duplicate edges and self loops are silently skipped so that generators
+    /// can over-produce candidate edges.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (NodeIdx, NodeIdx)>) -> Self {
+        let mut g = Self::new(n);
+        for (u, v) in edges {
+            let _ = g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Creates a graph from a list of *undirected* friendships over `n` nodes;
+    /// every pair `(u, v)` is inserted as the two directed edges `(u, v)` and
+    /// `(v, u)`, matching how the paper's datasets store friendships.
+    pub fn from_undirected_edges(
+        n: usize,
+        edges: impl IntoIterator<Item = (NodeIdx, NodeIdx)>,
+    ) -> Self {
+        let mut g = Self::new(n);
+        for (u, v) in edges {
+            let _ = g.add_edge(u, v);
+            let _ = g.add_edge(v, u);
+        }
+        g
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns true if the graph has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Adds the directed edge `(u, v)`.
+    ///
+    /// Returns `Some(edge_index)` if inserted, `None` if the edge already
+    /// existed or would be a self loop.
+    ///
+    /// # Panics
+    /// Panics if `u` or `v` is out of range.
+    pub fn add_edge(&mut self, u: NodeIdx, v: NodeIdx) -> Option<EdgeIdx> {
+        assert!(u < self.n && v < self.n, "edge endpoint out of range");
+        if u == v || self.edge_lookup.contains_key(&(u, v)) {
+            return None;
+        }
+        let e = self.edges.len();
+        self.edges.push((u, v));
+        self.out_adj[u].push((v, e));
+        self.in_adj[v].push((u, e));
+        self.edge_lookup.insert((u, v), e);
+        Some(e)
+    }
+
+    /// Returns the endpoints `(source, target)` of edge `e`.
+    pub fn edge(&self, e: EdgeIdx) -> (NodeIdx, NodeIdx) {
+        self.edges[e]
+    }
+
+    /// All directed edges in insertion order.
+    pub fn edges(&self) -> &[(NodeIdx, NodeIdx)] {
+        &self.edges
+    }
+
+    /// Index of directed edge `(u, v)` if present.
+    pub fn edge_index(&self, u: NodeIdx, v: NodeIdx) -> Option<EdgeIdx> {
+        self.edge_lookup.get(&(u, v)).copied()
+    }
+
+    /// True if the directed edge `(u, v)` exists.
+    pub fn has_edge(&self, u: NodeIdx, v: NodeIdx) -> bool {
+        self.edge_lookup.contains_key(&(u, v))
+    }
+
+    /// True if `u` and `v` are friends in either direction.
+    pub fn are_friends(&self, u: NodeIdx, v: NodeIdx) -> bool {
+        self.has_edge(u, v) || self.has_edge(v, u)
+    }
+
+    /// Outgoing neighbours of `u` with their edge indices.
+    pub fn out_neighbors(&self, u: NodeIdx) -> &[(NodeIdx, EdgeIdx)] {
+        &self.out_adj[u]
+    }
+
+    /// Incoming neighbours of `v` with their edge indices.
+    pub fn in_neighbors(&self, v: NodeIdx) -> &[(NodeIdx, EdgeIdx)] {
+        &self.in_adj[v]
+    }
+
+    /// All distinct neighbours of `u` (union of in- and out-neighbours).
+    pub fn neighbors(&self, u: NodeIdx) -> Vec<NodeIdx> {
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        for &(v, _) in &self.out_adj[u] {
+            if seen.insert(v) {
+                out.push(v);
+            }
+        }
+        for &(v, _) in &self.in_adj[u] {
+            if seen.insert(v) {
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    /// Out-degree of `u`.
+    pub fn out_degree(&self, u: NodeIdx) -> usize {
+        self.out_adj[u].len()
+    }
+
+    /// In-degree of `u`.
+    pub fn in_degree(&self, u: NodeIdx) -> usize {
+        self.in_adj[u].len()
+    }
+
+    /// Total (undirected) degree of `u`: number of distinct neighbours.
+    pub fn degree(&self, u: NodeIdx) -> usize {
+        self.neighbors(u).len()
+    }
+
+    /// Distinct undirected friend pairs `(u, v)` with `u < v`, each with the
+    /// list of directed edge indices connecting them (one or two entries).
+    ///
+    /// These are the pairs the co-display analysis of the paper iterates over:
+    /// the pair contributes `τ(u, v, c) + τ(v, u, c)` (where a missing
+    /// direction contributes zero) when `u` and `v` are co-displayed `c`.
+    pub fn friend_pairs(&self) -> Vec<(NodeIdx, NodeIdx, Vec<EdgeIdx>)> {
+        let mut map: HashMap<(NodeIdx, NodeIdx), Vec<EdgeIdx>> = HashMap::new();
+        for (e, &(u, v)) in self.edges.iter().enumerate() {
+            let key = if u < v { (u, v) } else { (v, u) };
+            map.entry(key).or_default().push(e);
+        }
+        let mut pairs: Vec<_> = map
+            .into_iter()
+            .map(|((u, v), es)| (u, v, es))
+            .collect();
+        pairs.sort_by_key(|&(u, v, _)| (u, v));
+        pairs
+    }
+
+    /// Number of distinct undirected friend pairs.
+    pub fn num_friend_pairs(&self) -> usize {
+        self.friend_pairs().len()
+    }
+
+    /// Induced subgraph on `nodes`.
+    ///
+    /// Returns the subgraph together with the mapping `new index -> old index`
+    /// (i.e. `mapping[i]` is the original node of subgraph node `i`).
+    pub fn induced_subgraph(&self, nodes: &[NodeIdx]) -> (SocialGraph, Vec<NodeIdx>) {
+        let mut index_of: HashMap<NodeIdx, usize> = HashMap::new();
+        let mut mapping = Vec::with_capacity(nodes.len());
+        for &v in nodes {
+            if !index_of.contains_key(&v) {
+                index_of.insert(v, mapping.len());
+                mapping.push(v);
+            }
+        }
+        let mut sub = SocialGraph::new(mapping.len());
+        for (e, &(u, v)) in self.edges.iter().enumerate() {
+            let _ = e;
+            if let (Some(&iu), Some(&iv)) = (index_of.get(&u), index_of.get(&v)) {
+                let _ = sub.add_edge(iu, iv);
+            }
+        }
+        (sub, mapping)
+    }
+
+    /// Nodes reachable from `root` within `hops` undirected hops (the `root`
+    /// itself is included).  Used to extract the 2-hop ego networks of the
+    /// paper's Fig. 11 case study.
+    pub fn ego_network(&self, root: NodeIdx, hops: usize) -> Vec<NodeIdx> {
+        let mut dist: HashMap<NodeIdx, usize> = HashMap::new();
+        dist.insert(root, 0);
+        let mut queue = VecDeque::new();
+        queue.push_back(root);
+        while let Some(u) = queue.pop_front() {
+            let d = dist[&u];
+            if d == hops {
+                continue;
+            }
+            for v in self.neighbors(u) {
+                if !dist.contains_key(&v) {
+                    dist.insert(v, d + 1);
+                    queue.push_back(v);
+                }
+            }
+        }
+        let mut nodes: Vec<NodeIdx> = dist.into_keys().collect();
+        nodes.sort_unstable();
+        nodes
+    }
+
+    /// Undirected connected components, each sorted ascending.
+    pub fn connected_components(&self) -> Vec<Vec<NodeIdx>> {
+        let mut seen = vec![false; self.n];
+        let mut components = Vec::new();
+        for start in 0..self.n {
+            if seen[start] {
+                continue;
+            }
+            let mut comp = Vec::new();
+            let mut queue = VecDeque::new();
+            queue.push_back(start);
+            seen[start] = true;
+            while let Some(u) = queue.pop_front() {
+                comp.push(u);
+                for v in self.neighbors(u) {
+                    if !seen[v] {
+                        seen[v] = true;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            components.push(comp);
+        }
+        components
+    }
+
+    /// Enumerates all undirected triangles `(a, b, c)` with `a < b < c`.
+    ///
+    /// Used by the Max-K3P hardness reduction of the paper (§3.3), which
+    /// creates one item per triangle of the input graph.
+    pub fn triangles(&self) -> Vec<(NodeIdx, NodeIdx, NodeIdx)> {
+        let mut und: Vec<HashSet<NodeIdx>> = vec![HashSet::new(); self.n];
+        for &(u, v) in &self.edges {
+            und[u].insert(v);
+            und[v].insert(u);
+        }
+        let mut triangles = Vec::new();
+        for a in 0..self.n {
+            let mut nbrs: Vec<_> = und[a].iter().copied().filter(|&b| b > a).collect();
+            nbrs.sort_unstable();
+            for i in 0..nbrs.len() {
+                for j in (i + 1)..nbrs.len() {
+                    let (b, c) = (nbrs[i], nbrs[j]);
+                    if und[b].contains(&c) {
+                        triangles.push((a, b, c));
+                    }
+                }
+            }
+        }
+        triangles
+    }
+
+    /// Undirected density of the graph: `#friend pairs / (n * (n - 1) / 2)`.
+    ///
+    /// Returns 0 for graphs with fewer than two nodes.
+    pub fn density(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let possible = (self.n * (self.n - 1)) as f64 / 2.0;
+        self.num_friend_pairs() as f64 / possible
+    }
+
+    /// Density of the subgroup `nodes` (friend pairs inside the subgroup over
+    /// all possible pairs inside it).  Singleton or empty subgroups have
+    /// density 0.
+    pub fn subgroup_density(&self, nodes: &[NodeIdx]) -> f64 {
+        if nodes.len() < 2 {
+            return 0.0;
+        }
+        let set: HashSet<_> = nodes.iter().copied().collect();
+        let mut inside = 0usize;
+        for (u, v, _) in self.friend_pairs() {
+            if set.contains(&u) && set.contains(&v) {
+                inside += 1;
+            }
+        }
+        let possible = (set.len() * (set.len() - 1)) as f64 / 2.0;
+        inside as f64 / possible
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> SocialGraph {
+        // 0 - 1, 0 - 2, 1 - 2, 2 - 3  (undirected)
+        SocialGraph::from_undirected_edges(4, [(0, 1), (0, 2), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn add_edge_rejects_duplicates_and_self_loops() {
+        let mut g = SocialGraph::new(3);
+        assert_eq!(g.add_edge(0, 1), Some(0));
+        assert_eq!(g.add_edge(0, 1), None);
+        assert_eq!(g.add_edge(1, 1), None);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_edge_out_of_range_panics() {
+        let mut g = SocialGraph::new(2);
+        g.add_edge(0, 5);
+    }
+
+    #[test]
+    fn from_undirected_creates_both_directions() {
+        let g = diamond();
+        assert_eq!(g.num_edges(), 8);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+        assert!(g.are_friends(3, 2));
+        assert!(!g.are_friends(0, 3));
+    }
+
+    #[test]
+    fn degrees_and_neighbors() {
+        let g = diamond();
+        assert_eq!(g.degree(2), 3);
+        assert_eq!(g.degree(3), 1);
+        assert_eq!(g.out_degree(2), 3);
+        assert_eq!(g.in_degree(2), 3);
+        let mut nbrs = g.neighbors(0);
+        nbrs.sort_unstable();
+        assert_eq!(nbrs, vec![1, 2]);
+    }
+
+    #[test]
+    fn friend_pairs_collapse_directions() {
+        let g = diamond();
+        let pairs = g.friend_pairs();
+        assert_eq!(pairs.len(), 4);
+        for (_, _, es) in &pairs {
+            assert_eq!(es.len(), 2);
+        }
+        // A purely one-directional edge still forms a friend pair.
+        let mut g2 = SocialGraph::new(2);
+        g2.add_edge(0, 1);
+        assert_eq!(g2.friend_pairs().len(), 1);
+        assert_eq!(g2.friend_pairs()[0].2.len(), 1);
+    }
+
+    #[test]
+    fn edge_index_lookup() {
+        let g = diamond();
+        let e = g.edge_index(2, 3).unwrap();
+        assert_eq!(g.edge(e), (2, 3));
+        assert!(g.edge_index(3, 0).is_none());
+    }
+
+    #[test]
+    fn induced_subgraph_remaps_nodes() {
+        let g = diamond();
+        let (sub, mapping) = g.induced_subgraph(&[1, 2, 3]);
+        assert_eq!(sub.num_nodes(), 3);
+        assert_eq!(mapping, vec![1, 2, 3]);
+        // Edges 1-2 and 2-3 survive (both directions).
+        assert_eq!(sub.num_edges(), 4);
+        assert!(sub.are_friends(0, 1)); // old 1-2
+        assert!(sub.are_friends(1, 2)); // old 2-3
+        assert!(!sub.are_friends(0, 2));
+    }
+
+    #[test]
+    fn ego_network_hops() {
+        let g = diamond();
+        assert_eq!(g.ego_network(3, 1), vec![2, 3]);
+        assert_eq!(g.ego_network(3, 2), vec![0, 1, 2, 3]);
+        assert_eq!(g.ego_network(0, 0), vec![0]);
+    }
+
+    #[test]
+    fn connected_components_finds_isolated_nodes() {
+        let mut g = SocialGraph::new(5);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        g.add_edge(2, 3);
+        let comps = g.connected_components();
+        assert_eq!(comps.len(), 3);
+        assert!(comps.contains(&vec![0, 1]));
+        assert!(comps.contains(&vec![2, 3]));
+        assert!(comps.contains(&vec![4]));
+    }
+
+    #[test]
+    fn triangles_enumeration() {
+        let g = diamond();
+        assert_eq!(g.triangles(), vec![(0, 1, 2)]);
+        let complete = SocialGraph::from_undirected_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert_eq!(complete.triangles().len(), 4);
+    }
+
+    #[test]
+    fn density_values() {
+        let g = diamond();
+        assert!((g.density() - 4.0 / 6.0).abs() < 1e-12);
+        assert!((g.subgroup_density(&[0, 1, 2]) - 1.0).abs() < 1e-12);
+        assert_eq!(g.subgroup_density(&[3]), 0.0);
+        assert_eq!(SocialGraph::new(1).density(), 0.0);
+    }
+}

@@ -1,0 +1,46 @@
+//! # svgic-graph
+//!
+//! Directed social-graph substrate for the SVGIC reproduction.
+//!
+//! The SVGIC problem (Ko et al., VLDB 2020) takes as input a *directed* social
+//! network `G = (V, E)` of shoppers.  This crate provides:
+//!
+//! * [`SocialGraph`] — a compact adjacency-list representation of a directed
+//!   graph with stable edge indices (edge indices are what the core crate uses
+//!   to key the social-utility table `τ(u, v, c)`),
+//! * graph statistics (density, degree distributions, clustering coefficient)
+//!   in [`stats`],
+//! * synthetic topology generators (Erdős–Rényi, Barabási–Albert,
+//!   Watts–Strogatz, planted communities) in [`generate`] used by the
+//!   dataset-substitution layer,
+//! * sampling procedures (random-walk, BFS/snowball, uniform) in [`sample`]
+//!   mirroring how the paper samples shopping groups out of the full networks,
+//! * community detection (label propagation, densest-subgroup peeling) in
+//!   [`community`] used by the SDP baseline and the subgroup-by-friendship
+//!   baseline, and
+//! * k-means clustering over dense feature vectors in [`cluster`] used by the
+//!   GRF / subgroup-by-preference baselines.
+//!
+//! The crate has no dependency on the rest of the workspace so it can be
+//! reused as a generic lightweight graph library.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod community;
+pub mod generate;
+pub mod graph;
+pub mod sample;
+pub mod stats;
+
+pub use cluster::{kmeans, KMeansConfig, KMeansResult};
+pub use community::{
+    balanced_partition, densest_subgroup_peeling, label_propagation, Partition,
+};
+pub use generate::{
+    barabasi_albert, complete_graph, erdos_renyi, planted_partition, star_graph, watts_strogatz,
+};
+pub use graph::{EdgeIdx, NodeIdx, SocialGraph};
+pub use sample::{bfs_sample, random_walk_sample, uniform_sample};
+pub use stats::GraphStats;

@@ -1,0 +1,201 @@
+//! Sampling shopping groups out of a large social network.
+//!
+//! The paper samples small evaluation instances out of the full networks by
+//! random walk (following Nazi et al., "Walk, not wait") and samples items
+//! uniformly.  This module provides the node-sampling half; item sampling is a
+//! one-liner in the dataset layer.
+
+use crate::graph::{NodeIdx, SocialGraph};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashSet;
+use std::collections::VecDeque;
+
+/// Samples `count` distinct nodes by a random walk with restarts.
+///
+/// Starting from a random node, the walk moves to a uniformly random
+/// neighbour; with probability `restart_prob` (or when stuck at an isolated
+/// node) it jumps to a uniformly random node.  Every *newly* visited node is
+/// collected until `count` distinct nodes have been gathered.  The returned
+/// nodes are sorted ascending.
+pub fn random_walk_sample<R: Rng + ?Sized>(
+    graph: &SocialGraph,
+    count: usize,
+    restart_prob: f64,
+    rng: &mut R,
+) -> Vec<NodeIdx> {
+    let n = graph.num_nodes();
+    let count = count.min(n);
+    if count == 0 {
+        return Vec::new();
+    }
+    let mut visited: HashSet<NodeIdx> = HashSet::with_capacity(count);
+    let mut order: Vec<NodeIdx> = Vec::with_capacity(count);
+    let mut current = rng.gen_range(0..n);
+    visited.insert(current);
+    order.push(current);
+    // Generous step budget; falls back to uniform jumps so it always finishes.
+    let max_steps = 200 * n.max(count) + 1000;
+    let mut steps = 0usize;
+    while order.len() < count && steps < max_steps {
+        steps += 1;
+        let nbrs = graph.neighbors(current);
+        let jump = nbrs.is_empty() || rng.gen::<f64>() < restart_prob;
+        current = if jump {
+            rng.gen_range(0..n)
+        } else {
+            nbrs[rng.gen_range(0..nbrs.len())]
+        };
+        if visited.insert(current) {
+            order.push(current);
+        }
+    }
+    // If the walk budget ran out (e.g. extremely fragmented graph), top up
+    // uniformly so callers always get `count` nodes.
+    if order.len() < count {
+        let mut remaining: Vec<NodeIdx> = (0..n).filter(|v| !visited.contains(v)).collect();
+        remaining.shuffle(rng);
+        for v in remaining.into_iter().take(count - order.len()) {
+            order.push(v);
+        }
+    }
+    order.sort_unstable();
+    order
+}
+
+/// Samples `count` nodes by breadth-first (snowball) expansion from a random
+/// seed, topping up from new random seeds when a component is exhausted.
+/// Returned nodes are sorted ascending.
+pub fn bfs_sample<R: Rng + ?Sized>(
+    graph: &SocialGraph,
+    count: usize,
+    rng: &mut R,
+) -> Vec<NodeIdx> {
+    let n = graph.num_nodes();
+    let count = count.min(n);
+    if count == 0 {
+        return Vec::new();
+    }
+    let mut visited: HashSet<NodeIdx> = HashSet::with_capacity(count);
+    let mut order = Vec::with_capacity(count);
+    while order.len() < count {
+        let mut seed = rng.gen_range(0..n);
+        let mut guard = 0;
+        while visited.contains(&seed) && guard < 10 * n {
+            seed = rng.gen_range(0..n);
+            guard += 1;
+        }
+        if visited.contains(&seed) {
+            // All nodes visited (shouldn't happen because count <= n).
+            break;
+        }
+        let mut queue = VecDeque::new();
+        queue.push_back(seed);
+        visited.insert(seed);
+        order.push(seed);
+        while let Some(u) = queue.pop_front() {
+            if order.len() >= count {
+                break;
+            }
+            for v in graph.neighbors(u) {
+                if order.len() >= count {
+                    break;
+                }
+                if visited.insert(v) {
+                    order.push(v);
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    order.sort_unstable();
+    order
+}
+
+/// Samples `count` nodes uniformly at random without replacement, sorted
+/// ascending.
+pub fn uniform_sample<R: Rng + ?Sized>(
+    graph: &SocialGraph,
+    count: usize,
+    rng: &mut R,
+) -> Vec<NodeIdx> {
+    let n = graph.num_nodes();
+    let count = count.min(n);
+    let mut all: Vec<NodeIdx> = (0..n).collect();
+    all.shuffle(rng);
+    all.truncate(count);
+    all.sort_unstable();
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{barabasi_albert, erdos_renyi};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn distinct_sorted(v: &[usize]) -> bool {
+        v.windows(2).all(|w| w[0] < w[1])
+    }
+
+    #[test]
+    fn random_walk_sample_returns_requested_count() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = barabasi_albert(300, 3, &mut rng);
+        for &count in &[0usize, 1, 25, 125, 300, 500] {
+            let s = random_walk_sample(&g, count, 0.15, &mut rng);
+            assert_eq!(s.len(), count.min(300));
+            assert!(distinct_sorted(&s));
+        }
+    }
+
+    #[test]
+    fn random_walk_sample_handles_isolated_nodes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = SocialGraph::new(20); // no edges at all
+        let s = random_walk_sample(&g, 10, 0.15, &mut rng);
+        assert_eq!(s.len(), 10);
+        assert!(distinct_sorted(&s));
+    }
+
+    #[test]
+    fn random_walk_prefers_connected_region() {
+        let mut rng = StdRng::seed_from_u64(3);
+        // Two cliques of 20 with no connection: a low-restart walk should stay
+        // mostly inside the component it starts in.
+        let mut edges = Vec::new();
+        for u in 0..20 {
+            for v in (u + 1)..20 {
+                edges.push((u, v));
+                edges.push((u + 20, v + 20));
+            }
+        }
+        let g = SocialGraph::from_undirected_edges(40, edges);
+        let s = random_walk_sample(&g, 15, 0.01, &mut rng);
+        let in_first = s.iter().filter(|&&v| v < 20).count();
+        let in_second = s.len() - in_first;
+        assert!(in_first == 0 || in_second == 0 || in_first.max(in_second) >= 12);
+    }
+
+    #[test]
+    fn bfs_sample_is_connected_when_possible() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = barabasi_albert(200, 2, &mut rng);
+        let s = bfs_sample(&g, 30, &mut rng);
+        assert_eq!(s.len(), 30);
+        let (sub, _) = g.induced_subgraph(&s);
+        assert_eq!(sub.connected_components().len(), 1);
+    }
+
+    #[test]
+    fn uniform_sample_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = erdos_renyi(50, 0.1, &mut rng);
+        let s = uniform_sample(&g, 80, &mut rng);
+        assert_eq!(s.len(), 50);
+        let s = uniform_sample(&g, 10, &mut rng);
+        assert_eq!(s.len(), 10);
+        assert!(distinct_sorted(&s));
+    }
+}

@@ -1,0 +1,119 @@
+//! Descriptive statistics of a [`SocialGraph`].
+//!
+//! Used by the dataset-substitution layer to verify that the synthetic
+//! Timik/Yelp/Epinions-like topologies exhibit the qualitative properties the
+//! paper's analysis relies on (density, degree skew, local clustering), and by
+//! the experiment harness to report them.
+
+use crate::graph::{NodeIdx, SocialGraph};
+use std::collections::HashSet;
+
+/// Summary statistics of a graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of directed edges.
+    pub directed_edges: usize,
+    /// Number of distinct undirected friend pairs.
+    pub friend_pairs: usize,
+    /// Undirected density in `[0, 1]`.
+    pub density: f64,
+    /// Average undirected degree.
+    pub avg_degree: f64,
+    /// Maximum undirected degree.
+    pub max_degree: usize,
+    /// Global clustering coefficient (3 × triangles / connected triples);
+    /// zero if the graph has no connected triples.
+    pub clustering_coefficient: f64,
+    /// Number of connected components.
+    pub components: usize,
+}
+
+impl GraphStats {
+    /// Computes the statistics of `graph`.
+    pub fn compute(graph: &SocialGraph) -> Self {
+        let n = graph.num_nodes();
+        let degrees: Vec<usize> = (0..n).map(|u| graph.degree(u)).collect();
+        let avg_degree = if n == 0 {
+            0.0
+        } else {
+            degrees.iter().sum::<usize>() as f64 / n as f64
+        };
+        let triangles = graph.triangles().len();
+        let triples: usize = degrees.iter().map(|&d| d * d.saturating_sub(1) / 2).sum();
+        let clustering_coefficient = if triples == 0 {
+            0.0
+        } else {
+            3.0 * triangles as f64 / triples as f64
+        };
+        Self {
+            nodes: n,
+            directed_edges: graph.num_edges(),
+            friend_pairs: graph.num_friend_pairs(),
+            density: graph.density(),
+            avg_degree,
+            max_degree: degrees.iter().copied().max().unwrap_or(0),
+            clustering_coefficient,
+            components: graph.connected_components().len(),
+        }
+    }
+}
+
+/// Counts the number of friend pairs fully inside `subgroup`.
+pub fn internal_friend_pairs(graph: &SocialGraph, subgroup: &[NodeIdx]) -> usize {
+    let set: HashSet<_> = subgroup.iter().copied().collect();
+    graph
+        .friend_pairs()
+        .into_iter()
+        .filter(|&(u, v, _)| set.contains(&u) && set.contains(&v))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{complete_graph, erdos_renyi, star_graph};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stats_of_complete_graph() {
+        let g = complete_graph(5);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.nodes, 5);
+        assert_eq!(s.friend_pairs, 10);
+        assert!((s.density - 1.0).abs() < 1e-12);
+        assert!((s.avg_degree - 4.0).abs() < 1e-12);
+        assert_eq!(s.max_degree, 4);
+        assert!((s.clustering_coefficient - 1.0).abs() < 1e-12);
+        assert_eq!(s.components, 1);
+    }
+
+    #[test]
+    fn stats_of_star_graph_has_zero_clustering() {
+        let g = star_graph(6);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.clustering_coefficient, 0.0);
+        assert_eq!(s.max_degree, 5);
+        assert_eq!(s.components, 1);
+    }
+
+    #[test]
+    fn stats_of_empty_graph() {
+        let g = SocialGraph::new(0);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.avg_degree, 0.0);
+        assert_eq!(s.components, 0);
+    }
+
+    #[test]
+    fn internal_pairs_count() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = erdos_renyi(30, 0.2, &mut rng);
+        let all: Vec<usize> = (0..30).collect();
+        assert_eq!(internal_friend_pairs(&g, &all), g.num_friend_pairs());
+        assert_eq!(internal_friend_pairs(&g, &[0]), 0);
+    }
+}

@@ -1,0 +1,39 @@
+//! # svgic-lp
+//!
+//! Linear-programming and mixed-integer-programming substrate for the SVGIC
+//! reproduction.
+//!
+//! The paper solves its LP relaxations with commercial solvers (Gurobi /
+//! CPLEX).  Those are not available in this environment, so this crate
+//! implements from scratch everything the AVG / AVG-D algorithms and the exact
+//! IP baseline need:
+//!
+//! * [`model::LinearProgram`] — a small modelling layer: bounded continuous or
+//!   integer variables, sparse linear constraints, maximisation objective.
+//! * [`simplex`] — a dense two-phase primal simplex solving the LP relaxation
+//!   exactly (used for small and medium instances, and inside branch & bound).
+//! * [`branch_bound`] — a branch-and-bound MILP solver on top of the simplex,
+//!   with pluggable node-selection strategies (used as the "IP" baseline and
+//!   for the time-boxed MIP-strategy comparison of Fig. 9(a)).
+//! * [`structured`] — a special-purpose solver for the condensed LP_SIMP
+//!   relaxation of §4.4: a block-coordinate ascent over capped per-user
+//!   simplices exploiting the fact that at optimum `y*_e^c = min(x*_u^c,
+//!   x*_v^c)`.  This is the "β-approximate LP" path covered by Corollary 4.2
+//!   of the paper and is what makes the large-scale experiments feasible
+//!   without a commercial solver.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod branch_bound;
+pub mod model;
+pub mod simplex;
+pub mod structured;
+
+pub use branch_bound::{BranchBoundConfig, MilpResult, MilpStatus, NodeSelection};
+pub use model::{Constraint, ConstraintSense, LinearProgram, Solution, VarId, VarKind};
+pub use simplex::{solve_lp, SimplexError, SimplexOptions};
+pub use structured::{
+    solve_min_coupling, CoordinateAscentOptions, CouplingTerm, MinCouplingProblem,
+    StructuredSolution,
+};

@@ -1,0 +1,537 @@
+//! Dense two-phase primal simplex.
+//!
+//! The solver works on the generic [`LinearProgram`] model: arbitrary variable
+//! bounds, `≤` / `≥` / `=` constraints, maximisation objective.  Internally it
+//! converts the program to standard form (shifted non-negative variables,
+//! explicit upper-bound rows, slack / surplus / artificial columns) and runs a
+//! textbook two-phase tableau simplex with a largest-reduced-cost pivot rule
+//! and a Bland's-rule fallback to prevent cycling.
+//!
+//! The implementation targets correctness and predictability at the scale
+//! where the paper itself uses exact LPs (small evaluation instances and the
+//! root relaxations of the IP baseline); the large-scale relaxations are
+//! handled by [`crate::structured`].
+
+use crate::model::{ConstraintSense, LinearProgram, Solution};
+
+/// Options controlling the simplex run.
+#[derive(Clone, Debug)]
+pub struct SimplexOptions {
+    /// Maximum number of pivots across both phases.
+    pub max_pivots: usize,
+    /// Numerical tolerance for optimality / feasibility tests.
+    pub tolerance: f64,
+}
+
+impl Default for SimplexOptions {
+    fn default() -> Self {
+        Self {
+            max_pivots: 200_000,
+            tolerance: 1e-8,
+        }
+    }
+}
+
+/// Errors reported by the simplex solver.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimplexError {
+    /// The constraint system has no feasible point.
+    Infeasible,
+    /// The objective is unbounded above on the feasible region.
+    Unbounded,
+    /// The pivot budget was exhausted before reaching optimality.
+    IterationLimit,
+    /// The model contains a variable with an infinite lower bound, which the
+    /// standard-form conversion does not support.
+    UnsupportedLowerBound,
+}
+
+impl std::fmt::Display for SimplexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimplexError::Infeasible => write!(f, "linear program is infeasible"),
+            SimplexError::Unbounded => write!(f, "linear program is unbounded"),
+            SimplexError::IterationLimit => write!(f, "simplex pivot limit exhausted"),
+            SimplexError::UnsupportedLowerBound => {
+                write!(f, "variables must have finite lower bounds")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimplexError {}
+
+/// Solves `lp` (treating every variable as continuous) and returns the optimal
+/// solution.
+///
+/// Integer variables are *not* enforced here; use [`crate::branch_bound`] for
+/// MILPs.
+pub fn solve_lp(lp: &LinearProgram, options: &SimplexOptions) -> Result<Solution, SimplexError> {
+    Tableau::build(lp, options)?.solve(lp)
+}
+
+/// Internal standard-form tableau.
+struct Tableau {
+    /// Row-major matrix of size `rows × (cols + 1)`; the last column is the RHS.
+    a: Vec<f64>,
+    rows: usize,
+    cols: usize,
+    /// `basis[r]` is the column currently basic in row `r`.
+    basis: Vec<usize>,
+    /// Phase-2 objective coefficients per column (minimisation form).
+    cost: Vec<f64>,
+    /// Phase-1 objective coefficients per column.
+    phase1_cost: Vec<f64>,
+    /// Columns corresponding to the original (shifted) structural variables.
+    structural: usize,
+    /// Shift applied to each original variable (its lower bound).
+    shift: Vec<f64>,
+    /// Constant offset of the objective induced by the shifts.
+    objective_offset: f64,
+    options: SimplexOptions,
+    artificial_start: usize,
+}
+
+impl Tableau {
+    fn build(lp: &LinearProgram, options: &SimplexOptions) -> Result<Self, SimplexError> {
+        let nvars = lp.num_variables();
+        let mut shift = vec![0.0; nvars];
+        for (i, v) in lp.variables().iter().enumerate() {
+            if !v.lower.is_finite() {
+                return Err(SimplexError::UnsupportedLowerBound);
+            }
+            shift[i] = v.lower;
+        }
+
+        // Collect rows: user constraints plus finite upper-bound rows.
+        // Each row: (coefficients over structural vars, sense, rhs).
+        struct Row {
+            coeffs: Vec<(usize, f64)>,
+            sense: ConstraintSense,
+            rhs: f64,
+        }
+        let mut raw_rows: Vec<Row> = Vec::new();
+        for c in lp.constraints() {
+            // Merge duplicate terms.
+            let mut merged: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
+            for &(v, a) in &c.terms {
+                *merged.entry(v).or_insert(0.0) += a;
+            }
+            // Shift: Σ a_i (x_i' + l_i) sense b  =>  Σ a_i x_i' sense b - Σ a_i l_i
+            let shift_amount: f64 = merged.iter().map(|(&v, &a)| a * shift[v]).sum();
+            raw_rows.push(Row {
+                coeffs: merged.into_iter().collect(),
+                sense: c.sense,
+                rhs: c.rhs - shift_amount,
+            });
+        }
+        for (i, v) in lp.variables().iter().enumerate() {
+            if v.upper.is_finite() {
+                let span = v.upper - v.lower;
+                raw_rows.push(Row {
+                    coeffs: vec![(i, 1.0)],
+                    sense: ConstraintSense::LessEq,
+                    rhs: span,
+                });
+            }
+        }
+
+        // Normalise RHS to be non-negative.
+        for row in &mut raw_rows {
+            if row.rhs < 0.0 {
+                for (_, a) in &mut row.coeffs {
+                    *a = -*a;
+                }
+                row.rhs = -row.rhs;
+                row.sense = match row.sense {
+                    ConstraintSense::LessEq => ConstraintSense::GreaterEq,
+                    ConstraintSense::GreaterEq => ConstraintSense::LessEq,
+                    ConstraintSense::Equal => ConstraintSense::Equal,
+                };
+            }
+        }
+
+        let rows = raw_rows.len();
+        // Count auxiliary columns.
+        let mut num_slack = 0usize;
+        let mut num_artificial = 0usize;
+        for row in &raw_rows {
+            match row.sense {
+                ConstraintSense::LessEq => num_slack += 1,
+                ConstraintSense::GreaterEq => {
+                    num_slack += 1;
+                    num_artificial += 1;
+                }
+                ConstraintSense::Equal => num_artificial += 1,
+            }
+        }
+        let structural = nvars;
+        let cols = structural + num_slack + num_artificial;
+        let artificial_start = structural + num_slack;
+
+        let mut a = vec![0.0; rows * (cols + 1)];
+        let mut basis = vec![usize::MAX; rows];
+        let mut slack_idx = structural;
+        let mut art_idx = artificial_start;
+        for (r, row) in raw_rows.iter().enumerate() {
+            for &(v, coef) in &row.coeffs {
+                a[r * (cols + 1) + v] += coef;
+            }
+            a[r * (cols + 1) + cols] = row.rhs;
+            match row.sense {
+                ConstraintSense::LessEq => {
+                    a[r * (cols + 1) + slack_idx] = 1.0;
+                    basis[r] = slack_idx;
+                    slack_idx += 1;
+                }
+                ConstraintSense::GreaterEq => {
+                    a[r * (cols + 1) + slack_idx] = -1.0;
+                    slack_idx += 1;
+                    a[r * (cols + 1) + art_idx] = 1.0;
+                    basis[r] = art_idx;
+                    art_idx += 1;
+                }
+                ConstraintSense::Equal => {
+                    a[r * (cols + 1) + art_idx] = 1.0;
+                    basis[r] = art_idx;
+                    art_idx += 1;
+                }
+            }
+        }
+
+        // Phase-2 cost: minimise -objective over shifted variables.
+        let mut cost = vec![0.0; cols];
+        let mut objective_offset = 0.0;
+        for (i, v) in lp.variables().iter().enumerate() {
+            cost[i] = -v.objective;
+            objective_offset += v.objective * shift[i];
+        }
+        // Phase-1 cost: minimise the sum of artificials.
+        let mut phase1_cost = vec![0.0; cols];
+        for c in artificial_start..cols {
+            phase1_cost[c] = 1.0;
+        }
+
+        Ok(Self {
+            a,
+            rows,
+            cols,
+            basis,
+            cost,
+            phase1_cost,
+            structural,
+            shift,
+            objective_offset,
+            options: options.clone(),
+            artificial_start,
+        })
+    }
+
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.a[r * (self.cols + 1) + c]
+    }
+
+    #[inline]
+    fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.a[r * (self.cols + 1) + c] = v;
+    }
+
+    fn rhs(&self, r: usize) -> f64 {
+        self.at(r, self.cols)
+    }
+
+    fn pivot(&mut self, pr: usize, pc: usize) {
+        let width = self.cols + 1;
+        let pivot_val = self.at(pr, pc);
+        debug_assert!(pivot_val.abs() > 1e-12, "pivot on (near-)zero element");
+        for c in 0..width {
+            let v = self.at(pr, c) / pivot_val;
+            self.set(pr, c, v);
+        }
+        for r in 0..self.rows {
+            if r == pr {
+                continue;
+            }
+            let factor = self.at(r, pc);
+            if factor.abs() <= 0.0 {
+                continue;
+            }
+            for c in 0..width {
+                let v = self.at(r, c) - factor * self.a[pr * width + c];
+                self.set(r, c, v);
+            }
+        }
+        self.basis[pr] = pc;
+    }
+
+    /// Runs the simplex method on the given cost vector, starting from the
+    /// current basic feasible solution.  `allowed_cols` limits the entering
+    /// columns (phase 2 forbids artificials).  Returns the number of pivots.
+    fn run_phase(
+        &mut self,
+        cost: &[f64],
+        forbid_artificials: bool,
+        pivots_used: &mut usize,
+    ) -> Result<(), SimplexError> {
+        let tol = self.options.tolerance;
+        loop {
+            if *pivots_used >= self.options.max_pivots {
+                return Err(SimplexError::IterationLimit);
+            }
+            // Reduced costs: c_j - c_B B^{-1} A_j.  With an explicit tableau the
+            // reduced cost is c_j - Σ_r c_{basis[r]} * a[r][j].
+            let mut entering: Option<usize> = None;
+            let mut best_reduced = -tol;
+            let use_bland = *pivots_used > self.options.max_pivots / 2;
+            let col_limit = if forbid_artificials {
+                self.artificial_start
+            } else {
+                self.cols
+            };
+            for j in 0..col_limit {
+                if self.basis.contains(&j) {
+                    continue;
+                }
+                let mut reduced = cost[j];
+                for r in 0..self.rows {
+                    let cb = cost[self.basis[r]];
+                    if cb != 0.0 {
+                        reduced -= cb * self.at(r, j);
+                    }
+                }
+                if reduced < -tol {
+                    if use_bland {
+                        entering = Some(j);
+                        break;
+                    }
+                    if reduced < best_reduced {
+                        best_reduced = reduced;
+                        entering = Some(j);
+                    }
+                }
+            }
+            let Some(pc) = entering else {
+                return Ok(()); // optimal for this phase
+            };
+            // Ratio test.
+            let mut leaving: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for r in 0..self.rows {
+                let coef = self.at(r, pc);
+                if coef > tol {
+                    let ratio = self.rhs(r) / coef;
+                    if ratio < best_ratio - tol
+                        || (ratio < best_ratio + tol
+                            && leaving.map_or(true, |lr| self.basis[r] < self.basis[lr]))
+                    {
+                        best_ratio = ratio;
+                        leaving = Some(r);
+                    }
+                }
+            }
+            let Some(pr) = leaving else {
+                return Err(SimplexError::Unbounded);
+            };
+            self.pivot(pr, pc);
+            *pivots_used += 1;
+        }
+    }
+
+    fn solve(mut self, lp: &LinearProgram) -> Result<Solution, SimplexError> {
+        let tol = self.options.tolerance;
+        let mut pivots = 0usize;
+
+        // Phase 1: drive artificials to zero (only needed if any exist).
+        if self.artificial_start < self.cols {
+            let phase1 = self.phase1_cost.clone();
+            self.run_phase(&phase1, false, &mut pivots)?;
+            // Compute phase-1 objective = sum of artificial values.
+            let mut infeasibility = 0.0;
+            for r in 0..self.rows {
+                if self.basis[r] >= self.artificial_start {
+                    infeasibility += self.rhs(r);
+                }
+            }
+            if infeasibility > 1e-6 {
+                return Err(SimplexError::Infeasible);
+            }
+            // Drive remaining artificial basics out of the basis when possible.
+            for r in 0..self.rows {
+                if self.basis[r] >= self.artificial_start {
+                    // Find a non-artificial column with a non-zero coefficient.
+                    let mut replacement = None;
+                    for j in 0..self.artificial_start {
+                        if !self.basis.contains(&j) && self.at(r, j).abs() > tol {
+                            replacement = Some(j);
+                            break;
+                        }
+                    }
+                    if let Some(j) = replacement {
+                        self.pivot(r, j);
+                        pivots += 1;
+                    }
+                    // If no replacement exists the row is redundant; the
+                    // artificial stays basic at value ~0, which is harmless.
+                }
+            }
+        }
+
+        // Phase 2: optimise the real objective without artificials entering.
+        let phase2 = self.cost.clone();
+        self.run_phase(&phase2, true, &mut pivots)?;
+
+        // Extract solution.
+        let mut shifted = vec![0.0; self.structural];
+        for r in 0..self.rows {
+            let b = self.basis[r];
+            if b < self.structural {
+                shifted[b] = self.rhs(r);
+            }
+        }
+        let values: Vec<f64> = shifted
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| x + self.shift[i])
+            .collect();
+        let _ = self.objective_offset;
+        let objective = lp.objective_value(&values);
+        Ok(Solution { values, objective })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ConstraintSense, LinearProgram, VarKind};
+
+    fn solve(lp: &LinearProgram) -> Solution {
+        solve_lp(lp, &SimplexOptions::default()).expect("solvable")
+    }
+
+    #[test]
+    fn simple_two_variable_lp() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  (classic example, opt 36 at (2,6))
+        let mut lp = LinearProgram::new();
+        let x = lp.add_variable(3.0, 0.0, f64::INFINITY, VarKind::Continuous, None);
+        let y = lp.add_variable(5.0, 0.0, f64::INFINITY, VarKind::Continuous, None);
+        lp.add_constraint(vec![(x, 1.0)], ConstraintSense::LessEq, 4.0, None);
+        lp.add_constraint(vec![(y, 2.0)], ConstraintSense::LessEq, 12.0, None);
+        lp.add_constraint(vec![(x, 3.0), (y, 2.0)], ConstraintSense::LessEq, 18.0, None);
+        let sol = solve(&lp);
+        assert!((sol.objective - 36.0).abs() < 1e-6);
+        assert!((sol.values[x] - 2.0).abs() < 1e-6);
+        assert!((sol.values[y] - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_and_geq_constraints() {
+        // max x + y s.t. x + y = 5, x >= 2, y >= 1  => objective 5.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_variable(1.0, 0.0, f64::INFINITY, VarKind::Continuous, None);
+        let y = lp.add_variable(1.0, 0.0, f64::INFINITY, VarKind::Continuous, None);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintSense::Equal, 5.0, None);
+        lp.add_constraint(vec![(x, 1.0)], ConstraintSense::GreaterEq, 2.0, None);
+        lp.add_constraint(vec![(y, 1.0)], ConstraintSense::GreaterEq, 1.0, None);
+        let sol = solve(&lp);
+        assert!((sol.objective - 5.0).abs() < 1e-6);
+        assert!(lp.is_feasible(&sol.values, 1e-6));
+    }
+
+    #[test]
+    fn variable_bounds_are_respected() {
+        // max 2x + y with x in [0, 1], y in [0.5, 2], x + y <= 2 => x=1, y=1, obj 3.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_variable(2.0, 0.0, 1.0, VarKind::Continuous, None);
+        let y = lp.add_variable(1.0, 0.5, 2.0, VarKind::Continuous, None);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintSense::LessEq, 2.0, None);
+        let sol = solve(&lp);
+        assert!((sol.objective - 3.0).abs() < 1e-6);
+        assert!((sol.values[x] - 1.0).abs() < 1e-6);
+        assert!((sol.values[y] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nonzero_lower_bounds_shift_correctly() {
+        // min-like test via maximisation of a negative coefficient:
+        // max -x with x in [3, 10] => x = 3, objective -3.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_variable(-1.0, 3.0, 10.0, VarKind::Continuous, None);
+        let sol = solve(&lp);
+        assert!((sol.objective + 3.0).abs() < 1e-6);
+        assert!((sol.values[x] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn detects_infeasibility() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_variable(1.0, 0.0, 1.0, VarKind::Continuous, None);
+        lp.add_constraint(vec![(x, 1.0)], ConstraintSense::GreaterEq, 2.0, None);
+        let err = solve_lp(&lp, &SimplexOptions::default()).unwrap_err();
+        assert_eq!(err, SimplexError::Infeasible);
+    }
+
+    #[test]
+    fn detects_unboundedness() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_variable(1.0, 0.0, f64::INFINITY, VarKind::Continuous, None);
+        let y = lp.add_variable(0.0, 0.0, f64::INFINITY, VarKind::Continuous, None);
+        lp.add_constraint(vec![(x, 1.0), (y, -1.0)], ConstraintSense::LessEq, 1.0, None);
+        let err = solve_lp(&lp, &SimplexOptions::default()).unwrap_err();
+        assert_eq!(err, SimplexError::Unbounded);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Several redundant constraints through the same vertex.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_variable(1.0, 0.0, f64::INFINITY, VarKind::Continuous, None);
+        let y = lp.add_variable(1.0, 0.0, f64::INFINITY, VarKind::Continuous, None);
+        for _ in 0..4 {
+            lp.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintSense::LessEq, 1.0, None);
+        }
+        lp.add_constraint(vec![(x, 1.0)], ConstraintSense::LessEq, 1.0, None);
+        lp.add_constraint(vec![(y, 1.0)], ConstraintSense::LessEq, 1.0, None);
+        let sol = solve(&lp);
+        assert!((sol.objective - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn duplicate_terms_are_merged() {
+        // max x s.t. 0.5x + 0.5x <= 3  => x = 3.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_variable(1.0, 0.0, f64::INFINITY, VarKind::Continuous, None);
+        lp.add_constraint(
+            vec![(x, 0.5), (x, 0.5)],
+            ConstraintSense::LessEq,
+            3.0,
+            None,
+        );
+        let sol = solve(&lp);
+        assert!((sol.objective - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fractional_assignment_structure() {
+        // A tiny LP with the structure of LP_SIMP: two users, two items, k = 1,
+        // a single friend pair with symmetric social utility.  The optimum
+        // co-displays the shared item when the social utility dominates.
+        // Variables: x_a1, x_a2, x_b1, x_b2, y_1, y_2.
+        let mut lp = LinearProgram::new();
+        let xa1 = lp.add_unit_var(0.3, None);
+        let xa2 = lp.add_unit_var(0.0, None);
+        let xb1 = lp.add_unit_var(0.0, None);
+        let xb2 = lp.add_unit_var(0.3, None);
+        let y1 = lp.add_unit_var(1.0, None);
+        let y2 = lp.add_unit_var(1.0, None);
+        lp.add_constraint(vec![(xa1, 1.0), (xa2, 1.0)], ConstraintSense::Equal, 1.0, None);
+        lp.add_constraint(vec![(xb1, 1.0), (xb2, 1.0)], ConstraintSense::Equal, 1.0, None);
+        lp.add_constraint(vec![(y1, 1.0), (xa1, -1.0)], ConstraintSense::LessEq, 0.0, None);
+        lp.add_constraint(vec![(y1, 1.0), (xb1, -1.0)], ConstraintSense::LessEq, 0.0, None);
+        lp.add_constraint(vec![(y2, 1.0), (xa2, -1.0)], ConstraintSense::LessEq, 0.0, None);
+        lp.add_constraint(vec![(y2, 1.0), (xb2, -1.0)], ConstraintSense::LessEq, 0.0, None);
+        let sol = solve(&lp);
+        // Best: both users take the same item (either one); objective = 1.0 + 0.3.
+        assert!((sol.objective - 1.3).abs() < 1e-6);
+    }
+}

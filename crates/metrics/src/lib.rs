@@ -1,0 +1,300 @@
+//! # svgic-metrics
+//!
+//! Evaluation metrics for SAVG k-Configurations, matching the measures
+//! reported in §6 of the paper:
+//!
+//! 1. total SAVG utility (and the SVGIC-ST variant),
+//! 2. execution time (collected by the experiment harness, not here),
+//! 3. *Personal%* / *Social%* — the split of the total utility,
+//! 4. *Inter%* / *Intra%* — fraction of friend pairs landing across / inside
+//!    per-slot subgroups,
+//! 5. normalized subgroup density,
+//! 6. *Co-display%* — fraction of friend pairs sharing at least one view,
+//! 7. *Alone%* — fraction of users never sharing a view with anyone,
+//! 8. regret ratio (per user) and its empirical CDF,
+//! 9. feasibility ratio under a subgroup-size cap, and
+//! 10. size-constraint violation counts.
+//!
+//! Plus Pearson / Spearman correlation used by the user-study analysis (§6.9).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use svgic_core::utility::{self, UtilitySplit};
+use svgic_core::{Configuration, StParams, SvgicInstance};
+
+/// The full set of subgroup-quality metrics for one configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SubgroupMetrics {
+    /// Fraction of friend pairs that are in the same subgroup, averaged over
+    /// slots (*Intra%*).
+    pub intra_fraction: f64,
+    /// `1 - intra_fraction` (*Inter%*).
+    pub inter_fraction: f64,
+    /// Average per-slot subgroup density normalized by the whole-graph density.
+    pub normalized_density: f64,
+    /// Fraction of friend pairs co-displayed at least one common item
+    /// (*Co-display%*).
+    pub co_display_fraction: f64,
+    /// Fraction of users that never share a view with any friend (*Alone%*).
+    pub alone_fraction: f64,
+    /// Average number of subgroups per slot.
+    pub avg_subgroups_per_slot: f64,
+    /// Largest subgroup observed at any slot.
+    pub max_subgroup_size: usize,
+}
+
+/// Computes the subgroup metrics of a configuration.
+pub fn subgroup_metrics(instance: &SvgicInstance, config: &Configuration) -> SubgroupMetrics {
+    let graph = instance.graph();
+    let pairs = instance.friend_pairs();
+    let k = config.num_slots();
+    let n = config.num_users();
+
+    // Intra% averaged across slots.
+    let (mut intra_sum, mut density_sum, mut subgroup_count_sum) = (0.0, 0.0, 0.0);
+    let graph_density = graph.density();
+    for s in 0..k {
+        let groups = config.subgroups_at_slot(s);
+        subgroup_count_sum += groups.len() as f64;
+        if !pairs.is_empty() {
+            let intra = pairs
+                .iter()
+                .filter(|p| config.get(p.u, s) == config.get(p.v, s))
+                .count();
+            intra_sum += intra as f64 / pairs.len() as f64;
+        }
+        if graph_density > 0.0 && !groups.is_empty() {
+            let avg_density: f64 = groups
+                .iter()
+                .map(|(_, members)| graph.subgroup_density(members))
+                .sum::<f64>()
+                / groups.len() as f64;
+            density_sum += avg_density / graph_density;
+        }
+    }
+    let intra_fraction = if k == 0 { 0.0 } else { intra_sum / k as f64 };
+    let normalized_density = if k == 0 { 0.0 } else { density_sum / k as f64 };
+
+    // Co-display% over friend pairs and Alone% over users.
+    let co_display = if pairs.is_empty() {
+        0.0
+    } else {
+        pairs
+            .iter()
+            .filter(|p| config.shares_view(p.u, p.v))
+            .count() as f64
+            / pairs.len() as f64
+    };
+    let mut alone = 0usize;
+    for u in 0..n {
+        let shares = graph
+            .neighbors(u)
+            .into_iter()
+            .any(|v| config.shares_view(u, v));
+        if !shares {
+            alone += 1;
+        }
+    }
+
+    SubgroupMetrics {
+        intra_fraction,
+        inter_fraction: 1.0 - intra_fraction,
+        normalized_density,
+        co_display_fraction: co_display,
+        alone_fraction: if n == 0 { 0.0 } else { alone as f64 / n as f64 },
+        avg_subgroups_per_slot: if k == 0 { 0.0 } else { subgroup_count_sum / k as f64 },
+        max_subgroup_size: config.max_subgroup_size(),
+    }
+}
+
+/// Weighted Personal% / Social% split (re-exported from the core crate for a
+/// single metrics entry point).
+pub fn utility_split(instance: &SvgicInstance, config: &Configuration) -> UtilitySplit {
+    utility::utility_split(instance, config)
+}
+
+/// Per-user regret ratios (§6.5), one entry per user, each in `[0, 1]`.
+pub fn regret_ratios(instance: &SvgicInstance, config: &Configuration) -> Vec<f64> {
+    (0..instance.num_users())
+        .map(|u| utility::regret_ratio(instance, config, u))
+        .collect()
+}
+
+/// Empirical CDF of `values` evaluated at `points`: the fraction of values
+/// `≤ p` for every `p` in `points`.
+pub fn empirical_cdf(values: &[f64], points: &[f64]) -> Vec<f64> {
+    if values.is_empty() {
+        return vec![0.0; points.len()];
+    }
+    points
+        .iter()
+        .map(|&p| values.iter().filter(|&&v| v <= p + 1e-12).count() as f64 / values.len() as f64)
+        .collect()
+}
+
+/// Mean of a slice (0 for empty input).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Pearson correlation coefficient; 0 when either side has zero variance.
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "correlation inputs must align");
+    if x.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(x);
+    let my = mean(y);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        cov += (a - mx) * (b - my);
+        vx += (a - mx) * (a - mx);
+        vy += (b - my) * (b - my);
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        0.0
+    } else {
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}
+
+/// Spearman rank correlation (Pearson on average ranks; ties share ranks).
+pub fn spearman(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "correlation inputs must align");
+    pearson(&ranks(x), &ranks(y))
+}
+
+fn ranks(values: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).unwrap());
+    let mut out = vec![0.0; values.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && (values[idx[j + 1]] - values[idx[i]]).abs() < 1e-12 {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg_rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Feasibility and violation statistics under a subgroup-size cap (§6.8).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StMetrics {
+    /// Total number of excess users over all slots and items.
+    pub total_violation: usize,
+    /// Number of oversized subgroups.
+    pub oversized_subgroups: usize,
+    /// Whether the configuration is feasible.
+    pub feasible: bool,
+}
+
+/// Computes the SVGIC-ST violation metrics of one configuration.
+pub fn st_metrics(st: &StParams, config: &Configuration) -> StMetrics {
+    StMetrics {
+        total_violation: st.total_violation(config),
+        oversized_subgroups: st.oversized_subgroups(config),
+        feasible: st.is_feasible(config),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svgic_core::example::{paper_configurations, running_example};
+
+    #[test]
+    fn group_configuration_has_full_intra_and_codisplay() {
+        let inst = running_example();
+        let cfg = paper_configurations().group;
+        let m = subgroup_metrics(&inst, &cfg);
+        assert!((m.intra_fraction - 1.0).abs() < 1e-12);
+        assert!((m.inter_fraction - 0.0).abs() < 1e-12);
+        assert!((m.co_display_fraction - 1.0).abs() < 1e-12);
+        assert_eq!(m.alone_fraction, 0.0);
+        assert!((m.normalized_density - 1.0).abs() < 1e-12);
+        assert!((m.avg_subgroups_per_slot - 1.0).abs() < 1e-12);
+        assert_eq!(m.max_subgroup_size, 4);
+    }
+
+    #[test]
+    fn personalized_configuration_is_mostly_alone() {
+        let inst = running_example();
+        let cfg = paper_configurations().personalized;
+        let m = subgroup_metrics(&inst, &cfg);
+        assert_eq!(m.co_display_fraction, 0.0);
+        assert_eq!(m.alone_fraction, 1.0);
+        assert_eq!(m.intra_fraction, 0.0);
+        assert_eq!(m.max_subgroup_size, 1);
+    }
+
+    #[test]
+    fn optimal_configuration_sits_between_the_extremes() {
+        let inst = running_example();
+        let m = subgroup_metrics(&inst, &paper_configurations().optimal);
+        assert!(m.intra_fraction > 0.0 && m.intra_fraction < 1.0);
+        assert!((m.co_display_fraction - 1.0).abs() < 1e-12);
+        assert_eq!(m.alone_fraction, 0.0);
+    }
+
+    #[test]
+    fn regret_and_cdf_behave() {
+        let inst = running_example();
+        let regrets = regret_ratios(&inst, &paper_configurations().optimal);
+        assert_eq!(regrets.len(), 4);
+        assert!(regrets.iter().all(|r| (0.0..=1.0).contains(r)));
+        let cdf = empirical_cdf(&regrets, &[0.0, 0.5, 1.0]);
+        assert_eq!(cdf.len(), 3);
+        assert!(cdf[2] >= cdf[1] && cdf[1] >= cdf[0]);
+        assert!((cdf[2] - 1.0).abs() < 1e-12);
+        assert_eq!(empirical_cdf(&[], &[0.5]), vec![0.0]);
+    }
+
+    #[test]
+    fn correlations_on_known_data() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y_lin = [2.0, 4.0, 6.0, 8.0, 10.0];
+        assert!((pearson(&x, &y_lin) - 1.0).abs() < 1e-9);
+        assert!((spearman(&x, &y_lin) - 1.0).abs() < 1e-9);
+        let y_anti = [5.0, 4.0, 3.0, 2.0, 1.0];
+        assert!((pearson(&x, &y_anti) + 1.0).abs() < 1e-9);
+        let y_mono = [1.0, 10.0, 11.0, 50.0, 100.0];
+        assert!(spearman(&x, &y_mono) > 0.999);
+        assert!(pearson(&x, &y_mono) < 1.0);
+        let constant = [3.0; 5];
+        assert_eq!(pearson(&x, &constant), 0.0);
+    }
+
+    #[test]
+    fn st_metrics_report_violations() {
+        let inst = running_example();
+        let cfg = paper_configurations().group;
+        let tight = StParams::new(0.5, 2);
+        let m = st_metrics(&tight, &cfg);
+        assert_eq!(m.total_violation, 2 * inst.num_slots());
+        assert_eq!(m.oversized_subgroups, inst.num_slots());
+        assert!(!m.feasible);
+        let loose = StParams::new(0.5, 4);
+        assert!(st_metrics(&loose, &cfg).feasible);
+    }
+
+    #[test]
+    fn mean_and_ranks_handle_ties() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+        let r = ranks(&[1.0, 2.0, 2.0, 5.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+}

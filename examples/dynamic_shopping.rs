@@ -1,0 +1,105 @@
+//! Dynamic VR shopping session (extension F of §5).
+//!
+//! Shoppers join and leave the VR store over time; re-running the whole
+//! optimization pipeline for every event would be wasteful, so the
+//! `DynamicSolver` restricts the instance to the current population and
+//! re-rounds incrementally.  The example simulates a short session, printing
+//! the group size, the achieved utility and how close it stays to the LP
+//! bound after every event.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example dynamic_shopping
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use svgic::algorithms::avg::AvgConfig;
+use svgic::algorithms::extensions::DynamicSolver;
+use svgic::core::extensions::DynamicEvent;
+use svgic::prelude::*;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(4);
+    // The full population that may ever enter the store.
+    let spec = InstanceSpec {
+        profile: DatasetProfile::TimikLike,
+        population: 300,
+        num_users: 20,
+        num_items: 50,
+        num_slots: 4,
+        lambda: 0.5,
+        model: None,
+    };
+    let full = spec.build(&mut rng);
+
+    // Start with the first 8 users present.
+    let initial: Vec<usize> = (0..8).collect();
+    let mut solver = DynamicSolver::new(full, initial, AvgConfig::default());
+
+    let timeline: Vec<(&str, Vec<DynamicEvent>)> = vec![
+        ("store opens", vec![]),
+        (
+            "two friends join",
+            vec![DynamicEvent::Join(8), DynamicEvent::Join(9)],
+        ),
+        (
+            "a family of three joins",
+            vec![
+                DynamicEvent::Join(10),
+                DynamicEvent::Join(11),
+                DynamicEvent::Join(12),
+            ],
+        ),
+        (
+            "early visitors leave",
+            vec![DynamicEvent::Leave(0), DynamicEvent::Leave(1)],
+        ),
+        (
+            "rush hour",
+            vec![
+                DynamicEvent::Join(13),
+                DynamicEvent::Join(14),
+                DynamicEvent::Join(15),
+                DynamicEvent::Join(16),
+            ],
+        ),
+        (
+            "closing time",
+            vec![
+                DynamicEvent::Leave(8),
+                DynamicEvent::Leave(9),
+                DynamicEvent::Leave(10),
+            ],
+        ),
+    ];
+
+    println!(
+        "{:<22} {:>8} {:>12} {:>12} {:>10}",
+        "event", "present", "utility", "LP bound", "ratio"
+    );
+    for (label, events) in timeline {
+        for e in events {
+            solver.apply(e);
+        }
+        match solver.resolve() {
+            Some((instance, solution)) => {
+                let ratio = if solution.relaxation_bound > 0.0 {
+                    solution.utility / solution.relaxation_bound
+                } else {
+                    1.0
+                };
+                println!(
+                    "{:<22} {:>8} {:>12.3} {:>12.3} {:>9.1}%",
+                    label,
+                    instance.num_users(),
+                    solution.utility,
+                    solution.relaxation_bound,
+                    100.0 * ratio
+                );
+                assert!(solution.configuration.is_valid(instance.num_items()));
+            }
+            None => println!("{label:<22} {:>8}", "empty"),
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! A synthetic VR shopping mall scenario.
+//!
+//! Generates a Timik-like VR social network, samples a shopping group, builds
+//! the store catalogue with the PIERT-like utility model, prunes the catalogue
+//! to a candidate set (as a real deployment would), and compares AVG / AVG-D
+//! against the four baselines on utility, personal/social split, and the
+//! subgroup metrics of §6.5.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example vr_mall
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use svgic::prelude::*;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2020);
+
+    // A mall with a large catalogue; the shopping group is sampled from a
+    // bigger VR social network by random walk.
+    let spec = InstanceSpec {
+        profile: DatasetProfile::TimikLike,
+        population: 800,
+        num_users: 24,
+        num_items: 400,
+        num_slots: 6,
+        lambda: 0.5,
+        model: None,
+    };
+    let full = spec.build(&mut rng);
+    println!(
+        "Generated VR mall: {} shoppers, {} friend pairs, catalogue of {} items, {} shelves",
+        full.num_users(),
+        full.friend_pairs().len(),
+        full.num_items(),
+        full.num_slots()
+    );
+
+    // Prune the catalogue to the union of everyone's top items plus globally
+    // popular items (what keeps the LP tractable at the paper's m = 10000).
+    let (instance, kept) = full.prune_items(12, 30);
+    println!(
+        "Candidate pruning kept {} of {} items\n",
+        kept.len(),
+        full.num_items()
+    );
+
+    let mut results: Vec<(&str, Configuration)> = Vec::new();
+    let avg = solve_avg(&instance, &AvgConfig::default());
+    results.push(("AVG", avg.configuration.clone()));
+    let avg_d = solve_avg_d(&instance, &AvgDConfig::default());
+    results.push(("AVG-D", avg_d.configuration.clone()));
+    results.push(("PER", solve_per(&instance)));
+    results.push(("FMG", solve_fmg(&instance)));
+    results.push(("SDP", solve_sdp(&instance, &SdpConfig::default())));
+    results.push(("GRF", solve_grf(&instance, &GrfConfig::default())));
+
+    println!(
+        "{:<8} {:>10} {:>10} {:>10} {:>12} {:>10} {:>8}",
+        "method", "utility", "personal", "social", "co-display%", "alone%", "density"
+    );
+    for (label, config) in &results {
+        let split = utility_split(&instance, config);
+        let metrics = subgroup_metrics(&instance, config);
+        println!(
+            "{:<8} {:>10.3} {:>10.3} {:>10.3} {:>11.1}% {:>9.1}% {:>8.2}",
+            label,
+            split.total(),
+            split.preference,
+            split.social,
+            100.0 * metrics.co_display_fraction,
+            100.0 * metrics.alone_fraction,
+            metrics.normalized_density
+        );
+    }
+
+    println!(
+        "\nLP upper bound: {:.3}; AVG reaches {:.1}% of it, AVG-D {:.1}%",
+        avg.relaxation_bound,
+        100.0 * avg.utility / avg.relaxation_bound,
+        100.0 * avg_d.utility / avg.relaxation_bound
+    );
+
+    // Regret distribution: how fairly is the utility spread across shoppers?
+    println!("\nMean regret ratio per method (lower is fairer):");
+    for (label, config) in &results {
+        let regrets = regret_ratios(&instance, config);
+        let mean: f64 = regrets.iter().sum::<f64>() / regrets.len() as f64;
+        let max = regrets.iter().cloned().fold(0.0f64, f64::max);
+        println!("  {label:<8} mean {:.3}  worst-off shopper {:.3}", mean, max);
+    }
+}

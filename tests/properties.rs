@@ -1,0 +1,175 @@
+//! Property-based tests (proptest) on the workspace-level invariants:
+//! no-duplication, utility bounds, LP dominance, metric ranges, and the
+//! behaviour of the ST constraints under random instances.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use svgic::prelude::*;
+use svgic::graph::generate::erdos_renyi;
+
+/// Builds a random instance from compact proptest parameters.
+fn random_instance(n: usize, m: usize, k: usize, lambda: f64, seed: u64) -> SvgicInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = erdos_renyi(n, 0.4, &mut rng);
+    let mut builder = SvgicInstanceBuilder::new(graph, m, k, lambda);
+    // Deterministic pseudo-random utilities derived from the seed.
+    let mix = |a: usize, b: usize, c: usize| -> f64 {
+        let h = a
+            .wrapping_mul(31)
+            .wrapping_add(b.wrapping_mul(17))
+            .wrapping_add(c.wrapping_mul(7))
+            .wrapping_add(seed as usize);
+        ((h % 101) as f64) / 100.0
+    };
+    builder.fill_preferences(|u, c| mix(u, c, 1));
+    builder.fill_social(|u, v, c| 0.5 * mix(u, v, c));
+    builder.build().expect("random instance is valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn avg_respects_no_duplication_and_lp_bound(
+        n in 3usize..8,
+        m in 4usize..10,
+        k in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(k <= m);
+        let instance = random_instance(n, m, k, 0.5, seed);
+        let sol = solve_avg(&instance, &AvgConfig::with_backend(LpBackend::ExactSimplex, seed));
+        prop_assert!(sol.configuration.is_valid(m));
+        prop_assert!(sol.utility <= sol.relaxation_bound + 1e-6);
+        prop_assert!(sol.utility >= sol.relaxation_bound / 4.0 - 1e-9);
+    }
+
+    #[test]
+    fn avg_d_is_deterministic_and_valid(
+        n in 3usize..7,
+        m in 4usize..9,
+        k in 1usize..4,
+        seed in 0u64..500,
+    ) {
+        prop_assume!(k <= m);
+        let instance = random_instance(n, m, k, 0.5, seed);
+        let a = solve_avg_d(&instance, &AvgDConfig::default());
+        let b = solve_avg_d(&instance, &AvgDConfig::default());
+        prop_assert_eq!(&a.configuration, &b.configuration);
+        prop_assert!(a.configuration.is_valid(m));
+        prop_assert!(a.utility >= a.relaxation_bound / 4.0 - 1e-9);
+    }
+
+    #[test]
+    fn baselines_always_return_valid_configurations(
+        n in 2usize..9,
+        m in 3usize..12,
+        k in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(k <= m);
+        let instance = random_instance(n, m, k, 0.5, seed);
+        for cfg in [
+            solve_per(&instance),
+            solve_fmg(&instance),
+            solve_sdp(&instance, &SdpConfig::default()),
+            solve_grf(&instance, &GrfConfig::default()),
+        ] {
+            prop_assert!(cfg.is_valid(m));
+            let u = total_utility(&instance, &cfg);
+            prop_assert!(u.is_finite() && u >= 0.0);
+        }
+    }
+
+    #[test]
+    fn utility_is_invariant_under_global_slot_permutation(
+        n in 2usize..7,
+        m in 4usize..9,
+        seed in 0u64..1000,
+    ) {
+        let k = 3usize;
+        prop_assume!(k <= m);
+        let instance = random_instance(n, m, k, 0.5, seed);
+        let cfg = solve_per(&instance);
+        // Swap slots 0 and 2 for every user: co-displays are preserved.
+        let mut swapped = cfg.clone();
+        for u in 0..n {
+            let a = cfg.get(u, 0);
+            let b = cfg.get(u, 2);
+            swapped.set(u, 0, b);
+            swapped.set(u, 2, a);
+        }
+        let before = total_utility(&instance, &cfg);
+        let after = total_utility(&instance, &swapped);
+        prop_assert!((before - after).abs() < 1e-9);
+    }
+
+    #[test]
+    fn st_solution_feasible_and_st_utility_dominates_plain(
+        n in 3usize..8,
+        m in 4usize..10,
+        cap in 1usize..5,
+        seed in 0u64..500,
+    ) {
+        let k = 2usize;
+        prop_assume!(k <= m);
+        // Only keep (n, m, cap) combinations that admit a feasible
+        // configuration: every slot needs at least ceil(n / cap) distinct items.
+        prop_assume!(m >= n.div_ceil(cap).max(k) + k);
+        let instance = random_instance(n, m, k, 0.5, seed);
+        let st = StParams::new(0.5, cap);
+        let sol = solve_avg_st(&instance, &st, &AvgConfig::with_backend(LpBackend::ExactSimplex, seed));
+        prop_assert!(st.is_feasible(&sol.configuration));
+        // ST utility (with teleport credit) is at least the direct-only utility.
+        let direct = total_utility(&instance, &sol.configuration);
+        prop_assert!(sol.utility >= direct - 1e-9);
+    }
+
+    #[test]
+    fn metrics_stay_in_range(
+        n in 2usize..8,
+        m in 3usize..10,
+        k in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(k <= m);
+        let instance = random_instance(n, m, k, 0.6, seed);
+        let cfg = solve_fmg(&instance);
+        let sm = subgroup_metrics(&instance, &cfg);
+        for v in [
+            sm.intra_fraction,
+            sm.inter_fraction,
+            sm.co_display_fraction,
+            sm.alone_fraction,
+        ] {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&v));
+        }
+        prop_assert!(sm.max_subgroup_size <= n);
+        let split = utility_split(&instance, &cfg);
+        prop_assert!(split.preference >= 0.0 && split.social >= 0.0);
+        for r in regret_ratios(&instance, &cfg) {
+            prop_assert!((0.0..=1.0).contains(&r));
+        }
+    }
+
+    #[test]
+    fn lambda_zero_makes_per_optimal(
+        n in 2usize..7,
+        m in 4usize..9,
+        k in 1usize..4,
+        seed in 0u64..500,
+    ) {
+        prop_assume!(k <= m);
+        let instance = random_instance(n, m, k, 0.0, seed);
+        let per = solve_per(&instance);
+        let per_value = total_utility(&instance, &per);
+        for other in [
+            solve_fmg(&instance),
+            solve_sdp(&instance, &SdpConfig::default()),
+            solve_grf(&instance, &GrfConfig::default()),
+        ] {
+            prop_assert!(per_value + 1e-9 >= total_utility(&instance, &other));
+        }
+    }
+}
