@@ -64,7 +64,7 @@ impl Default for AvgConfig {
             relaxation: RelaxationOptions::default(),
             sampling: SamplingScheme::Advanced,
             repetitions: 1,
-            seed: 0x5EED_AB0,
+            seed: 0x05EE_DAB0,
             max_idle_iterations: 10_000,
         }
     }
@@ -178,7 +178,7 @@ fn solve_avg_impl(
             Some(st) => total_utility_st(instance, st, &cfg),
             None => total_utility(instance, &cfg),
         };
-        if best.as_ref().map_or(true, |(_, u)| utility > *u) {
+        if best.as_ref().is_none_or(|(_, u)| utility > *u) {
             best = Some((cfg, utility));
         }
     }
@@ -377,7 +377,7 @@ impl<'a> CsfState<'a> {
                         self.instance.preference(u, c),
                         c,
                     );
-                    if best.map_or(true, |(bf, bp, bc)| {
+                    if best.is_none_or(|(bf, bp, bc)| {
                         key.0 > bf || (key.0 == bf && (key.1 > bp || (key.1 == bp && c < bc)))
                     }) {
                         best = Some(key);

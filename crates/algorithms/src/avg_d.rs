@@ -57,11 +57,7 @@ pub fn solve_avg_d(instance: &SvgicInstance, config: &AvgDConfig) -> AvgSolution
 }
 
 /// Solves SVGIC-ST with the deterministic AVG-D (subgroup-size locking).
-pub fn solve_avg_d_st(
-    instance: &SvgicInstance,
-    st: &StParams,
-    config: &AvgDConfig,
-) -> AvgSolution {
+pub fn solve_avg_d_st(instance: &SvgicInstance, st: &StParams, config: &AvgDConfig) -> AvgSolution {
     solve_avg_d_impl(instance, Some(*st), config)
 }
 
@@ -186,7 +182,11 @@ pub fn deterministic_rounding(
                     // Incremental ALG: preference plus social with members already in.
                     alg += scaled_pref(u, c);
                     for &p in &pairs_of_user[u] {
-                        let other = if pairs[p].u == u { pairs[p].v } else { pairs[p].u };
+                        let other = if pairs[p].u == u {
+                            pairs[p].v
+                        } else {
+                            pairs[p].u
+                        };
                         if members.contains(&other) {
                             alg += instance.pair_weight(p, c);
                         }
@@ -194,7 +194,11 @@ pub fn deterministic_rounding(
                     // Incremental removal of (u, s) from S_fut.
                     removed += unit_lp[u];
                     for &p in &pairs_of_user[u] {
-                        let other = if pairs[p].u == u { pairs[p].v } else { pairs[p].u };
+                        let other = if pairs[p].u == u {
+                            pairs[p].v
+                        } else {
+                            pairs[p].u
+                        };
                         // The pair term at slot s disappears when the first of
                         // the two endpoints leaves S_cur at s.
                         let other_open = unit_open[other][s] && !members.contains(&other);
@@ -204,10 +208,7 @@ pub fn deterministic_rounding(
                     }
                     members.push(u);
                     let f = alg + r * (current_lp - removed);
-                    if best
-                        .as_ref()
-                        .map_or(true, |(bf, _, _, _)| f > *bf + 1e-12)
-                    {
+                    if best.as_ref().is_none_or(|(bf, _, _, _)| f > *bf + 1e-12) {
                         best = Some((f, c, s, members.clone()));
                     }
                     if factor <= 0.0 {
@@ -228,7 +229,11 @@ pub fn deterministic_rounding(
             // Update OPT_LP bookkeeping before marking the unit closed.
             current_lp -= unit_lp[u];
             for &p in &pairs_of_user[u] {
-                let other = if pairs[p].u == u { pairs[p].v } else { pairs[p].u };
+                let other = if pairs[p].u == u {
+                    pairs[p].v
+                } else {
+                    pairs[p].u
+                };
                 if unit_open[u][s] && unit_open[other][s] {
                     current_lp -= pair_lp[p];
                 }
@@ -277,7 +282,7 @@ fn complete_greedily(
                     }
                 }
                 let key = (factors.per_slot(u, s, c), instance.preference(u, c), c);
-                if best.map_or(true, |(bf, bp, bc)| {
+                if best.is_none_or(|(bf, bp, bc)| {
                     key.0 > bf || (key.0 == bf && (key.1 > bp || (key.1 == bp && c < bc)))
                 }) {
                     best = Some(key);

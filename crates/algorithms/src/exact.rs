@@ -163,6 +163,7 @@ fn fallback_configuration(instance: &SvgicInstance, st: Option<&StParams>) -> Co
                 .then(a.cmp(&b))
         });
         let mut row = Vec::with_capacity(k);
+        #[allow(clippy::needless_range_loop)]
         for s in 0..k {
             let c = order
                 .iter()
@@ -184,23 +185,14 @@ fn exhaustive(instance: &SvgicInstance, st: Option<&StParams>) -> ExactSolution 
     let n = instance.num_users();
     let m = instance.num_items();
     let k = instance.num_slots();
-    let units: Vec<(usize, usize)> = (0..n)
-        .flat_map(|u| (0..k).map(move |s| (u, s)))
-        .collect();
+    let units: Vec<(usize, usize)> = (0..n).flat_map(|u| (0..k).map(move |s| (u, s))).collect();
     assert!(
         (m as f64).powi(units.len() as i32) <= 5e8,
         "exhaustive search is limited to tiny instances"
     );
     let mut best: Option<(Configuration, f64)> = None;
     let mut assign = vec![0usize; units.len()];
-    enumerate(
-        instance,
-        st,
-        &units,
-        0,
-        &mut assign,
-        &mut best,
-    );
+    enumerate(instance, st, &units, 0, &mut assign, &mut best);
     let (configuration, utility) = best.expect("at least one feasible configuration exists");
     ExactSolution {
         configuration,
@@ -238,7 +230,7 @@ fn enumerate(
             Some(st) => total_utility_st(instance, st, &cfg),
             None => total_utility(instance, &cfg),
         };
-        if best.as_ref().map_or(true, |(_, u)| utility > *u) {
+        if best.as_ref().is_none_or(|(_, u)| utility > *u) {
             *best = Some((cfg, utility));
         }
         return;

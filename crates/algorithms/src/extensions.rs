@@ -65,7 +65,9 @@ pub fn solve_weighted_avg(
     params: &ExtendedParams,
     config: &AvgConfig,
 ) -> (Configuration, f64) {
-    params.validate(instance).expect("extension parameters must match the instance");
+    params
+        .validate(instance)
+        .expect("extension parameters must match the instance");
     let weighted = reweight_instance(instance, params);
     let sol = crate::avg::solve_avg(&weighted, config);
     let mut cfg = sol.configuration;
@@ -131,8 +133,8 @@ pub fn solve_mvd(
                 .iter()
                 .map(|&(v, e)| {
                     let c = cfg.get(v, s);
-                    let gain =
-                        (1.0 - lambda) * instance.preference(u, c) + lambda * instance.social_by_edge(e, c);
+                    let gain = (1.0 - lambda) * instance.preference(u, c)
+                        + lambda * instance.social_by_edge(e, c);
                     (gain, c)
                 })
                 .filter(|&(_, c)| c != mvd.primary(u, s))
@@ -180,9 +182,7 @@ pub fn reduce_subgroup_changes(
                     candidate.set(u, s1, b);
                     candidate.set(u, s2, a);
                 }
-                debug_assert!(
-                    (total_utility(instance, &candidate) - base_utility).abs() < 1e-6
-                );
+                debug_assert!((total_utility(instance, &candidate) - base_utility).abs() < 1e-6);
                 let d = total_edit_distance(&candidate);
                 if d < best_distance {
                     best_distance = d;
@@ -324,12 +324,8 @@ pub struct SeoSolution {
 pub fn solve_seo(problem: &SeoProblem, config: &AvgConfig) -> SeoSolution {
     let n = problem.graph.num_nodes();
     assert_eq!(problem.affinity.len(), n * problem.num_events);
-    let mut builder = SvgicInstanceBuilder::new(
-        problem.graph.clone(),
-        problem.num_events,
-        1,
-        problem.lambda,
-    );
+    let mut builder =
+        SvgicInstanceBuilder::new(problem.graph.clone(), problem.num_events, 1, problem.lambda);
     for u in 0..n {
         for e in 0..problem.num_events {
             builder.set_preference(u, e, problem.affinity[u * problem.num_events + e]);
@@ -396,9 +392,7 @@ mod tests {
         assert!(cfg_out.is_valid(inst.num_items()));
         assert!(objective > 0.0);
         // The objective must equal the extended evaluation of the returned config.
-        assert!(
-            (objective - extended_total_utility(&inst, &params, &cfg_out)).abs() < 1e-9
-        );
+        assert!((objective - extended_total_utility(&inst, &params, &cfg_out)).abs() < 1e-9);
     }
 
     #[test]
@@ -470,10 +464,8 @@ mod tests {
     fn seo_respects_event_capacity() {
         // 6 users in two cliques of 3, 3 events, capacity 3: each clique should
         // gather at one event.
-        let graph = SocialGraph::from_undirected_edges(
-            6,
-            [(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5)],
-        );
+        let graph =
+            SocialGraph::from_undirected_edges(6, [(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5)]);
         let n = 6;
         let num_events = 3;
         let mut affinity = vec![0.1; n * num_events];

@@ -20,12 +20,10 @@
 
 use svgic_core::ip_model::{build_full_model, build_lp_simp, build_min_coupling};
 use svgic_core::{ItemIdx, SlotIdx, SvgicInstance, UserIdx};
-use svgic_lp::{
-    solve_lp, solve_min_coupling, CoordinateAscentOptions, SimplexOptions,
-};
+use svgic_lp::{solve_lp, solve_min_coupling, CoordinateAscentOptions, SimplexOptions};
 
 /// Which relaxation backend to use.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum LpBackend {
     /// Exact two-phase simplex on the condensed LP_SIMP (§4.4).
     ExactSimplex,
@@ -36,13 +34,8 @@ pub enum LpBackend {
     /// the ablation "AVG–ALP" of Fig. 9(b).
     FullLpSvgic,
     /// Exact simplex when `n·m + pairs·m` is small, structured otherwise.
+    #[default]
     Auto,
-}
-
-impl Default for LpBackend {
-    fn default() -> Self {
-        LpBackend::Auto
-    }
 }
 
 /// Fractional utility factors produced by a relaxation backend.
@@ -182,8 +175,7 @@ pub fn solve_relaxation(instance: &SvgicInstance, options: &RelaxationOptions) -
         }
         LpBackend::FullLpSvgic => {
             let model = build_full_model(instance, false);
-            let sol = solve_lp(&model.lp, &options.simplex)
-                .expect("LP_SVGIC is always feasible");
+            let sol = solve_lp(&model.lp, &options.simplex).expect("LP_SVGIC is always feasible");
             // Aggregate the per-slot variables into x*_u^c.
             let k = instance.num_slots();
             let mut aggregate = vec![0.0; n * m];
@@ -196,7 +188,12 @@ pub fn solve_relaxation(instance: &SvgicInstance, options: &RelaxationOptions) -
                     aggregate[u * m + c] = total.clamp(0.0, 1.0);
                 }
             }
-            UtilityFactors::from_aggregate(instance, aggregate, sol.objective, LpBackend::FullLpSvgic)
+            UtilityFactors::from_aggregate(
+                instance,
+                aggregate,
+                sol.objective,
+                LpBackend::FullLpSvgic,
+            )
         }
         LpBackend::Structured => {
             let problem = build_min_coupling(instance);
@@ -247,7 +244,10 @@ mod tests {
     #[test]
     fn exact_and_full_lp_agree_on_objective() {
         // Observation 2: LP_SIMP and LP_SVGIC have the same optimum.
-        let inst = running_example().restrict_items(&[0, 1, 4]).with_slots(2).unwrap();
+        let inst = running_example()
+            .restrict_items(&[0, 1, 4])
+            .with_slots(2)
+            .unwrap();
         let simp = solve_relaxation_with(&inst, LpBackend::ExactSimplex);
         let full = solve_relaxation_with(&inst, LpBackend::FullLpSvgic);
         assert!(

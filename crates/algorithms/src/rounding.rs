@@ -30,7 +30,13 @@ pub fn independent_rounding<R: Rng + ?Sized>(
         let mut row = Vec::with_capacity(k);
         for s in 0..k {
             let mut weights: Vec<f64> = (0..m)
-                .map(|c| if used[c] { 0.0 } else { factors.per_slot(u, s, c).max(0.0) })
+                .map(|c| {
+                    if used[c] {
+                        0.0
+                    } else {
+                        factors.per_slot(u, s, c).max(0.0)
+                    }
+                })
                 .collect();
             let total: f64 = weights.iter().sum();
             let chosen = if total <= f64::EPSILON {

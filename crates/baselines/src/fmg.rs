@@ -21,8 +21,8 @@ pub fn solve_fmg(instance: &SvgicInstance) -> Configuration {
     let mut scored: Vec<(f64, f64, usize)> = (0..m)
         .map(|c| {
             let mut per_user = vec![0.0f64; n];
-            for u in 0..n {
-                per_user[u] += (1.0 - lambda) * instance.preference(u, c);
+            for (u, gain) in per_user.iter_mut().enumerate() {
+                *gain += (1.0 - lambda) * instance.preference(u, c);
             }
             for (p, pair) in instance.friend_pairs().iter().enumerate() {
                 let w = instance.pair_weight(p, c);

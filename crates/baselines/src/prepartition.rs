@@ -9,7 +9,9 @@
 //! eliminate — the violations, because two different parts may still pick the
 //! same popular item at the same slot.
 
-use crate::{fmg::solve_fmg, grf::solve_grf, per::solve_per, sdp::solve_sdp, GrfConfig, Method, SdpConfig};
+use crate::{
+    fmg::solve_fmg, grf::solve_grf, per::solve_per, sdp::solve_sdp, GrfConfig, Method, SdpConfig,
+};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use svgic_core::{Configuration, StParams, SvgicInstance};

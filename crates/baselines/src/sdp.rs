@@ -14,19 +14,11 @@ use svgic_core::{Configuration, SvgicInstance};
 use svgic_graph::community::densest_subgroup_peeling;
 
 /// Configuration of the SDP baseline.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct SdpConfig {
     /// Optional cap on the size of an extracted subgroup (used by the "-P"
     /// variants for SVGIC-ST); `None` leaves subgroup sizes unconstrained.
     pub max_subgroup_size: Option<usize>,
-}
-
-impl Default for SdpConfig {
-    fn default() -> Self {
-        Self {
-            max_subgroup_size: None,
-        }
-    }
 }
 
 /// Runs the SDP baseline.

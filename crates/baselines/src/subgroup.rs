@@ -7,11 +7,11 @@
 //! simple two-way splits used in the running example of the paper
 //! (subgroup-by-friendship and subgroup-by-preference, Table 9).
 
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use svgic_core::{Configuration, SvgicInstance};
 use svgic_graph::cluster::{kmeans, KMeansConfig};
 use svgic_graph::community::Partition;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 /// For every group of `partition`, greedily selects the `k` items with the
 /// highest subgroup-aggregate SAVG utility and displays them (in that order)
@@ -83,7 +83,7 @@ pub fn solve_subgroup_by_preference(instance: &SvgicInstance) -> Configuration {
             },
             &mut rng,
         );
-        if best.as_ref().map_or(true, |b| result.inertia < b.inertia) {
+        if best.as_ref().is_none_or(|b| result.inertia < b.inertia) {
             best = Some(result);
         }
     }
@@ -96,11 +96,7 @@ pub fn solve_subgroup_by_preference(instance: &SvgicInstance) -> Configuration {
 /// swap-improvement otherwise.
 fn balanced_bipartition_by_edges(instance: &SvgicInstance) -> Vec<usize> {
     let n = instance.num_users();
-    let pairs: Vec<(usize, usize)> = instance
-        .friend_pairs()
-        .iter()
-        .map(|p| (p.u, p.v))
-        .collect();
+    let pairs: Vec<(usize, usize)> = instance.friend_pairs().iter().map(|p| (p.u, p.v)).collect();
     let internal = |assignment: &[usize]| -> usize {
         pairs
             .iter()
@@ -119,7 +115,7 @@ fn balanced_bipartition_by_edges(instance: &SvgicInstance) -> Vec<usize> {
                 .map(|u| if (mask >> u) & 1 == 1 { 0 } else { 1 })
                 .collect();
             let score = internal(&assignment);
-            if best.as_ref().map_or(true, |(b, _)| score > *b) {
+            if best.as_ref().is_none_or(|(b, _)| score > *b) {
                 best = Some((score, assignment));
             }
         }
@@ -138,8 +134,7 @@ fn balanced_bipartition_by_edges(instance: &SvgicInstance) -> Vec<usize> {
                         let mut candidate = assignment.clone();
                         candidate.swap(a, b);
                         let score = internal(&candidate);
-                        if score > current
-                            && best_swap.as_ref().map_or(true, |&(s, _, _)| score > s)
+                        if score > current && best_swap.as_ref().is_none_or(|&(s, _, _)| score > s)
                         {
                             best_swap = Some((score, a, b));
                         }

@@ -29,7 +29,9 @@ fn bench(c: &mut Criterion) {
     group.sample_size(20);
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
-    group.bench_function("subgroup_metrics", |b| b.iter(|| subgroup_metrics(&inst, &cfg)));
+    group.bench_function("subgroup_metrics", |b| {
+        b.iter(|| subgroup_metrics(&inst, &cfg))
+    });
     group.bench_function("regret_ratios", |b| b.iter(|| regret_ratios(&inst, &cfg)));
     group.finish();
 }

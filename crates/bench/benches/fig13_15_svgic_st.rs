@@ -30,9 +30,11 @@ fn bench(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     for cap in [3usize, 10] {
         let st = StParams::new(0.5, cap);
-        group.bench_with_input(BenchmarkId::new("AVG-ST", format!("M={cap}")), &st, |b, st| {
-            b.iter(|| solve_avg_st(&inst, st, &AvgConfig::default()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("AVG-ST", format!("M={cap}")),
+            &st,
+            |b, st| b.iter(|| solve_avg_st(&inst, st, &AvgConfig::default())),
+        );
     }
     group.finish();
 }

@@ -29,7 +29,9 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
-    group.bench_function("AVG", |b| b.iter(|| solve_avg(&instance, &AvgConfig::default())));
+    group.bench_function("AVG", |b| {
+        b.iter(|| solve_avg(&instance, &AvgConfig::default()))
+    });
     group.bench_function("AVG-D", |b| {
         b.iter(|| solve_avg_d(&instance, &AvgDConfig::default()))
     });

@@ -275,7 +275,10 @@ impl PartialConfiguration {
     /// # Panics
     /// Panics if any unit is still unassigned.
     pub fn into_configuration(self) -> Configuration {
-        assert!(self.is_complete(), "configuration still has unassigned units");
+        assert!(
+            self.is_complete(),
+            "configuration still has unassigned units"
+        );
         Configuration::from_flat(
             self.n,
             self.k,

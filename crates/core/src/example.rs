@@ -199,8 +199,14 @@ mod tests {
         assert_eq!(inst.num_slots(), 3);
         assert!(close(inst.preference(users::ALICE, items::SP_CAMERA), 1.0));
         assert!(close(inst.preference(users::DAVE, items::MEMORY_CARD), 1.0));
-        assert!(close(inst.social(users::ALICE, users::CHARLIE, items::SP_CAMERA), 0.3));
-        assert!(close(inst.social(users::DAVE, users::ALICE, items::TRIPOD), 0.3));
+        assert!(close(
+            inst.social(users::ALICE, users::CHARLIE, items::SP_CAMERA),
+            0.3
+        ));
+        assert!(close(
+            inst.social(users::DAVE, users::ALICE, items::TRIPOD),
+            0.3
+        ));
         // Dave and Bob are not friends.
         assert_eq!(inst.social(users::DAVE, users::BOB, items::TRIPOD), 0.0);
         assert_eq!(inst.friend_pairs().len(), 4);
@@ -214,10 +220,19 @@ mod tests {
         assert!(close(unweighted_total_utility(&inst, &cfgs.optimal), 10.35));
         assert!(close(unweighted_total_utility(&inst, &cfgs.avg), 9.75));
         assert!(close(unweighted_total_utility(&inst, &cfgs.avg_d), 9.85));
-        assert!(close(unweighted_total_utility(&inst, &cfgs.personalized), 8.25));
+        assert!(close(
+            unweighted_total_utility(&inst, &cfgs.personalized),
+            8.25
+        ));
         assert!(close(unweighted_total_utility(&inst, &cfgs.group), 8.35));
-        assert!(close(unweighted_total_utility(&inst, &cfgs.by_friendship), 8.4));
-        assert!(close(unweighted_total_utility(&inst, &cfgs.by_preference), 8.7));
+        assert!(close(
+            unweighted_total_utility(&inst, &cfgs.by_friendship),
+            8.4
+        ));
+        assert!(close(
+            unweighted_total_utility(&inst, &cfgs.by_preference),
+            8.7
+        ));
     }
 
     #[test]

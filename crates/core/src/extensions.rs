@@ -26,7 +26,7 @@ use crate::instance::SvgicInstance;
 use crate::{ItemIdx, SlotIdx, UserIdx};
 
 /// Extension parameters A/B/E of §5 that re-weight the objective.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct ExtendedParams {
     /// Commodity value `ω_c` per item (defaults to all ones).
     pub commodity: Option<Vec<f64>>,
@@ -35,16 +35,6 @@ pub struct ExtendedParams {
     /// Maximum allowed partition edit distance between consecutive slots
     /// (`None` = unconstrained).
     pub max_subgroup_change: Option<usize>,
-}
-
-impl Default for ExtendedParams {
-    fn default() -> Self {
-        Self {
-            commodity: None,
-            slot_significance: None,
-            max_subgroup_change: None,
-        }
-    }
 }
 
 impl ExtendedParams {
@@ -247,9 +237,7 @@ impl GroupScaling {
         match self {
             GroupScaling::Pairwise => 1.0,
             GroupScaling::DiminishingSqrt => 1.0 / ((group_size - 1) as f64).sqrt(),
-            GroupScaling::Saturating { cap } => {
-                (*cap as f64 / (group_size - 1) as f64).min(1.0)
-            }
+            GroupScaling::Saturating { cap } => (*cap as f64 / (group_size - 1) as f64).min(1.0),
         }
     }
 }
@@ -272,8 +260,7 @@ pub fn groupwise_total_utility(
                         social += instance.social_by_edge(e, c);
                     }
                 }
-                total +=
-                    (1.0 - lambda) * instance.preference(u, c) + lambda * factor * social;
+                total += (1.0 - lambda) * instance.preference(u, c) + lambda * factor * social;
             }
         }
     }
@@ -318,8 +305,7 @@ mod tests {
             ..Default::default()
         };
         assert!(
-            (extended_total_utility(&inst, &params, &cfg) - 2.0 * total_utility(&inst, &cfg))
-                .abs()
+            (extended_total_utility(&inst, &params, &cfg) - 2.0 * total_utility(&inst, &cfg)).abs()
                 < 1e-9
         );
     }
@@ -380,7 +366,10 @@ mod tests {
         // Give Alice a group view of the SP camera at slot 1 where Dave's
         // primary is the SP camera: both preference and social utility rise.
         assert!(mvd.add_group_view(0, 1, crate::example::items::SP_CAMERA));
-        assert!(!mvd.add_group_view(0, 1, crate::example::items::TRIPOD), "unit full at beta = 2");
+        assert!(
+            !mvd.add_group_view(0, 1, crate::example::items::TRIPOD),
+            "unit full at beta = 2"
+        );
         let multi_view = mvd_total_utility(&inst, &mvd);
         assert!(multi_view > single_view);
         assert!(mvd.can_see(0, 1, crate::example::items::SP_CAMERA));

@@ -62,7 +62,10 @@ impl std::fmt::Display for InstanceError {
             }
             InstanceError::InvalidUtility { what } => write!(f, "invalid utility value: {what}"),
             InstanceError::DimensionMismatch { expected, got } => {
-                write!(f, "dimension mismatch: expected {expected} entries, got {got}")
+                write!(
+                    f,
+                    "dimension mismatch: expected {expected} entries, got {got}"
+                )
             }
         }
     }
@@ -128,7 +131,10 @@ impl SvgicInstance {
     /// reduction to the `λ = 1/2` case (§4.4).  Requires `λ > 0`.
     #[inline]
     pub fn scaled_preference(&self, u: UserIdx, c: ItemIdx) -> f64 {
-        debug_assert!(self.lambda > 0.0, "scaled preference undefined for lambda = 0");
+        debug_assert!(
+            self.lambda > 0.0,
+            "scaled preference undefined for lambda = 0"
+        );
         (1.0 - self.lambda) / self.lambda * self.preference(u, c)
     }
 
@@ -314,12 +320,10 @@ impl SvgicInstance {
         let mut kept: Vec<ItemIdx> = (0..m).filter(|&c| keep[c]).collect();
         // Never prune below k items.
         if kept.len() < self.k {
-            for c in 0..m {
-                if !keep[c] {
-                    kept.push(c);
-                    if kept.len() >= self.k {
-                        break;
-                    }
+            for (c, _) in keep.iter().enumerate().filter(|(_, &kept_c)| !kept_c) {
+                kept.push(c);
+                if kept.len() >= self.k {
+                    break;
                 }
             }
             kept.sort_unstable();
@@ -533,7 +537,10 @@ mod tests {
         ));
         let mut b = SvgicInstanceBuilder::new(g.clone(), 3, 1, 0.5);
         b.set_preference(0, 0, -1.0);
-        assert!(matches!(b.build(), Err(InstanceError::InvalidUtility { .. })));
+        assert!(matches!(
+            b.build(),
+            Err(InstanceError::InvalidUtility { .. })
+        ));
         assert!(matches!(
             SvgicInstanceBuilder::new(g, 3, 1, 0.5).with_preference_matrix(vec![0.0; 5]),
             Err(InstanceError::DimensionMismatch { .. })

@@ -69,12 +69,9 @@ impl FullModel {
             let mut row = Vec::with_capacity(self.k);
             for s in 0..self.k {
                 let mut best: Option<(f64, ItemIdx)> = None;
-                for c in 0..self.m {
-                    if used[c] {
-                        continue;
-                    }
+                for (c, _) in used.iter().enumerate().filter(|(_, &taken)| !taken) {
                     let v = sol.value(self.x_var(u, s, c));
-                    if best.map_or(true, |(bv, _)| v > bv + 1e-12) {
+                    if best.is_none_or(|(bv, _)| v > bv + 1e-12) {
                         best = Some((v, c));
                     }
                 }
@@ -165,7 +162,11 @@ fn build_full_model_impl(
     for p in 0..pairs.len() {
         for _s in 0..k {
             for c in 0..m {
-                let obj = if lambda > 0.0 { direct_weight(p, c) } else { 0.0 };
+                let obj = if lambda > 0.0 {
+                    direct_weight(p, c)
+                } else {
+                    0.0
+                };
                 y.push(lp.add_unit_var(obj, None));
             }
         }
@@ -241,12 +242,7 @@ fn build_full_model_impl(
             for s in 0..k {
                 for c in 0..m {
                     let terms = (0..n).map(|u| (x_at(u, s, c), 1.0)).collect();
-                    lp.add_constraint(
-                        terms,
-                        ConstraintSense::LessEq,
-                        st.max_subgroup as f64,
-                        None,
-                    );
+                    lp.add_constraint(terms, ConstraintSense::LessEq, st.max_subgroup as f64, None);
                 }
             }
         }
@@ -405,7 +401,10 @@ mod tests {
     #[test]
     fn lp_simp_matches_lp_svgic_optimum() {
         // Observation 2: OPT_SIMP = OPT_SVGIC on the relaxations.
-        let inst = running_example().restrict_items(&[0, 1, 4]).with_slots(2).unwrap();
+        let inst = running_example()
+            .restrict_items(&[0, 1, 4])
+            .with_slots(2)
+            .unwrap();
         let full = build_full_model(&inst, false);
         let simp = build_lp_simp(&inst);
         let opts = SimplexOptions::default();
@@ -422,7 +421,9 @@ mod tests {
         let inst = running_example();
         let simp = build_lp_simp(&inst);
         let lp_obj = simp.unscale_objective(
-            solve_lp(&simp.lp, &SimplexOptions::default()).unwrap().objective,
+            solve_lp(&simp.lp, &SimplexOptions::default())
+                .unwrap()
+                .objective,
         );
         let cfgs = paper_configurations();
         for cfg in [&cfgs.optimal, &cfgs.avg, &cfgs.avg_d, &cfgs.group] {

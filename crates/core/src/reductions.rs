@@ -414,15 +414,15 @@ impl DksReduction {
         let mut assign = vec![0usize; n];
         let mut bucket = 1usize;
         let mut filled = 0usize;
-        for v in 0..n {
+        for (v, slot) in assign.iter_mut().enumerate() {
             if chosen.contains(&v) {
-                assign[v] = 0;
+                *slot = 0;
             } else {
                 if filled == self.k_hat {
                     bucket += 1;
                     filled = 0;
                 }
-                assign[v] = bucket.min(m - 1);
+                *slot = bucket.min(m - 1);
                 filled += 1;
             }
         }
@@ -492,7 +492,10 @@ mod tests {
         let worse = red.configuration_from_assignment(&formula, &worse_assignment);
         let v_good = unweighted_total_utility(&red.instance, &good);
         let v_worse = unweighted_total_utility(&red.instance, &worse);
-        assert!(v_good > v_worse, "good {v_good} should exceed worse {v_worse}");
+        assert!(
+            v_good > v_worse,
+            "good {v_good} should exceed worse {v_worse}"
+        );
     }
 
     #[test]
@@ -512,7 +515,10 @@ mod tests {
         let cfg = red.configuration_from_packing(&[], &[t]);
         assert!(cfg.is_valid(red.instance.num_items()));
         let value = unweighted_total_utility(&red.instance, &cfg);
-        assert!((value - 3.0).abs() < 1e-9, "triangle packing should be worth 3, got {value}");
+        assert!(
+            (value - 3.0).abs() < 1e-9,
+            "triangle packing should be worth 3, got {value}"
+        );
         // Pack a single edge instead.
         let cfg_edge = red.configuration_from_packing(&[0], &[]);
         let value_edge = unweighted_total_utility(&red.instance, &cfg_edge);
@@ -522,14 +528,18 @@ mod tests {
     #[test]
     fn dks_reduction_counts_induced_edges() {
         // A graph with a dense core {0,1,2} (triangle) and a pendant path.
-        let g = SocialGraph::from_undirected_edges(6, [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let g =
+            SocialGraph::from_undirected_edges(6, [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5)]);
         let red = reduce_dks(&g, 3);
         assert_eq!(red.padding, 0);
         assert_eq!(red.instance.num_items(), 2);
         let cfg = red.configuration_from_subgraph(&[0, 1, 2]);
         assert!(red.st.is_feasible(&cfg), "subgroup cap must hold");
         let value = total_utility_st(&red.instance, &red.st, &cfg);
-        assert!((value - 3.0).abs() < 1e-9, "triangle core has 3 edges, got {value}");
+        assert!(
+            (value - 3.0).abs() < 1e-9,
+            "triangle core has 3 edges, got {value}"
+        );
         let sparse = red.configuration_from_subgraph(&[3, 4, 5]);
         let sparse_value = total_utility_st(&red.instance, &red.st, &sparse);
         assert!((sparse_value - 2.0).abs() < 1e-9);

@@ -149,11 +149,7 @@ pub fn unweighted_total_utility(instance: &SvgicInstance, config: &Configuration
 
 /// Total SVGIC-ST objective (Definition 5): direct co-display counted in full,
 /// indirect co-display discounted by `d_tel`.
-pub fn total_utility_st(
-    instance: &SvgicInstance,
-    st: &StParams,
-    config: &Configuration,
-) -> f64 {
+pub fn total_utility_st(instance: &SvgicInstance, st: &StParams, config: &Configuration) -> f64 {
     let lambda = instance.lambda();
     (1.0 - lambda) * raw_preference_sum(instance, config)
         + lambda
@@ -269,9 +265,7 @@ mod tests {
         // The group configuration shows the same item to everyone at the same
         // slot, so there are no indirect co-displays.
         let st = StParams::new(0.5, usize::MAX);
-        assert!(
-            (total_utility_st(&inst, &st, &cfg) - total_utility(&inst, &cfg)).abs() < 1e-12
-        );
+        assert!((total_utility_st(&inst, &st, &cfg) - total_utility(&inst, &cfg)).abs() < 1e-12);
     }
 
     #[test]

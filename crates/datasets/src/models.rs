@@ -168,7 +168,10 @@ fn sample_topic_matrix<R: Rng + ?Sized>(
     for r in 0..rows {
         let mut total = 0.0;
         for t in 0..topics {
-            let v = rng.gen::<f64>().powf(1.0 / exponent.max(1e-6)).powf(exponent * 2.0);
+            let v = rng
+                .gen::<f64>()
+                .powf(1.0 / exponent.max(1e-6))
+                .powf(exponent * 2.0);
             out[r * topics + t] = v + 1e-6;
             total += v + 1e-6;
         }
@@ -254,7 +257,9 @@ mod tests {
                 .map(|u| {
                     (0..40)
                         .max_by(|&a, &b| {
-                            inst.preference(u, a).partial_cmp(&inst.preference(u, b)).unwrap()
+                            inst.preference(u, a)
+                                .partial_cmp(&inst.preference(u, b))
+                                .unwrap()
                         })
                         .unwrap()
                 })

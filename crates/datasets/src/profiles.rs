@@ -197,7 +197,10 @@ mod tests {
             assert_eq!(inst.num_users(), 15);
             assert_eq!(inst.num_items(), 30);
             assert_eq!(inst.num_slots(), 4);
-            assert!(inst.graph().num_friend_pairs() > 0, "{profile:?} sampled an edgeless group");
+            assert!(
+                inst.graph().num_friend_pairs() > 0,
+                "{profile:?} sampled an edgeless group"
+            );
         }
     }
 
@@ -215,7 +218,9 @@ mod tests {
                 .map(|u| {
                     (0..inst.num_items())
                         .max_by(|&a, &b| {
-                            inst.preference(u, a).partial_cmp(&inst.preference(u, b)).unwrap()
+                            inst.preference(u, a)
+                                .partial_cmp(&inst.preference(u, b))
+                                .unwrap()
                         })
                         .unwrap()
                 })

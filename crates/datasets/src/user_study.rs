@@ -77,7 +77,12 @@ pub fn simulate_user_study<R: Rng + ?Sized>(
 
     // Questionnaire preferences: 5-level Likert answers rescaled to [0, 1],
     // with a participant-specific "interest profile" so answers are coherent.
-    let mut builder = SvgicInstanceBuilder::new(graph.clone(), config.num_items, config.num_slots, mean_lambda);
+    let mut builder = SvgicInstanceBuilder::new(
+        graph.clone(),
+        config.num_items,
+        config.num_slots,
+        mean_lambda,
+    );
     let profile: Vec<f64> = (0..n * 4).map(|_| rng.gen::<f64>()).collect();
     for u in 0..n {
         for c in 0..config.num_items {
@@ -112,7 +117,8 @@ impl UserStudyOutcome {
         (0..self.instance.num_users())
             .map(|u| {
                 let achieved = per_user_utility(&self.instance, config, u);
-                let upper = svgic_core::utility::user_utility_upper_bound(&self.instance, u).max(1e-9);
+                let upper =
+                    svgic_core::utility::user_utility_upper_bound(&self.instance, u).max(1e-9);
                 let fraction = (achieved / upper).clamp(0.0, 1.0);
                 let jitter = noise * (rng.gen::<f64>() - 0.5) * 2.0;
                 (1.0 + 4.0 * fraction + jitter).clamp(1.0, 5.0)
@@ -157,7 +163,10 @@ mod tests {
             for c in 0..study.instance.num_items() {
                 let p = study.instance.preference(u, c);
                 let quarters = p * 4.0;
-                assert!((quarters - quarters.round()).abs() < 1e-9, "non-Likert preference {p}");
+                assert!(
+                    (quarters - quarters.round()).abs() < 1e-9,
+                    "non-Likert preference {p}"
+                );
             }
         }
     }

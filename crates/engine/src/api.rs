@@ -1,0 +1,137 @@
+//! Typed request/response surface of the engine.
+//!
+//! Every interaction with [`crate::Engine`] is expressible as an
+//! [`EngineRequest`] handled by [`crate::Engine::handle`], which makes the
+//! engine trivially embeddable behind any transport (an RPC layer, a command
+//! log, a fuzzer). Convenience methods on `Engine` wrap the same paths.
+
+use svgic_core::extensions::DynamicEvent;
+use svgic_core::{Configuration, ItemIdx, SvgicInstance, UserIdx};
+
+/// Opaque identifier of a live session.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub u64);
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "session#{}", self.0)
+    }
+}
+
+/// An event submitted against a live session.
+///
+/// [`DynamicEvent`] joins/leaves are the paper's §5 dynamic scenario; the two
+/// extra variants cover online catalogue churn and re-tuning of the
+/// preference/social trade-off `λ` without tearing the session down.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SessionEvent {
+    /// A shopper joins or leaves the group (paper extension F).
+    Membership(DynamicEvent),
+    /// Replaces the active catalogue with the given subset of the session's
+    /// full item universe (original item indices, deduplicated, `≥ k` items).
+    SetCatalog(Vec<ItemIdx>),
+    /// Re-tunes the preference/social trade-off weight `λ ∈ [0, 1]`.
+    RetuneLambda(f64),
+}
+
+/// Parameters for opening a session.
+#[derive(Clone, Debug)]
+pub struct CreateSession {
+    /// The group's full instance: every shopper that may ever be present and
+    /// the full item universe.
+    pub instance: SvgicInstance,
+    /// Shoppers present at session start (original user indices). Empty means
+    /// "everyone".
+    pub initial_present: Vec<UserIdx>,
+    /// Base seed for this session's randomized rounding.
+    pub seed: u64,
+}
+
+/// A request against the engine.
+#[derive(Clone, Debug)]
+pub enum EngineRequest {
+    /// Opens a session and schedules its initial solve (boxed: the payload
+    /// carries a whole [`SvgicInstance`], far larger than the other variants).
+    CreateSession(Box<CreateSession>),
+    /// Appends an event to a session's pending queue.
+    SubmitEvent(SessionId, SessionEvent),
+    /// Reads the last served configuration (possibly stale).
+    QueryConfiguration(SessionId),
+    /// Flushes the session's pending events and forces a *full* LP re-solve.
+    ForceResolve(SessionId),
+    /// Closes a session and drops its state.
+    CloseSession(SessionId),
+}
+
+/// A view of a session's currently served solution.
+#[derive(Clone, Debug)]
+pub struct ConfigurationView {
+    /// The session.
+    pub session: SessionId,
+    /// Shoppers the configuration covers, as original user indices;
+    /// `configuration` user `i` is `present[i]`.
+    pub present: Vec<UserIdx>,
+    /// Active catalogue, as original item indices; `configuration` item `c`
+    /// is `catalog[c]`.
+    pub catalog: Vec<ItemIdx>,
+    /// The served SAVG k-configuration (over restricted indices).
+    pub configuration: Configuration,
+    /// SAVG utility of the served configuration.
+    pub utility: f64,
+    /// LP upper bound associated with the factors that produced it (for
+    /// incremental solves this is the full-population bound, hence loose).
+    pub lp_bound: f64,
+    /// Number of submitted-but-unapplied events.
+    pub staleness: usize,
+    /// How many solves this session has gone through.
+    pub generation: u64,
+}
+
+/// A successful response.
+#[derive(Clone, Debug)]
+pub enum EngineResponse {
+    /// The session was created and initially solved.
+    SessionCreated(ConfigurationView),
+    /// The event was queued; payload is the session's pending-event count.
+    EventAccepted {
+        /// The session the event was queued against.
+        session: SessionId,
+        /// Pending events for that session after queueing.
+        pending: usize,
+    },
+    /// The current (possibly stale) configuration.
+    Configuration(ConfigurationView),
+    /// The session was re-solved; the view is fresh.
+    Resolved(ConfigurationView),
+    /// The session was closed.
+    SessionClosed {
+        /// The closed session.
+        session: SessionId,
+        /// Events it processed over its lifetime.
+        lifetime_events: u64,
+    },
+}
+
+/// Why a request was rejected.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EngineError {
+    /// The session id is not live.
+    UnknownSession(SessionId),
+    /// The event refers to users/items outside the session's universe or
+    /// would leave the session unsolvable (e.g. catalogue smaller than `k`).
+    InvalidEvent(String),
+    /// The `CreateSession` payload is unusable.
+    InvalidSession(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::UnknownSession(id) => write!(f, "unknown {id}"),
+            EngineError::InvalidEvent(msg) => write!(f, "invalid event: {msg}"),
+            EngineError::InvalidSession(msg) => write!(f, "invalid session: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}

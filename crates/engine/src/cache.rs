@@ -1,0 +1,116 @@
+//! LRU-bounded cache of LP utility factors, keyed by instance fingerprint.
+//!
+//! The LP relaxation dominates solve cost; sessions whose (population,
+//! catalogue, λ) state revisits a previously solved instance — or that share a
+//! template with another session — skip it entirely. Entries are
+//! [`Arc`]-shared so cached factors can be handed to worker threads without
+//! copying the `n × m` matrix.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use svgic_algorithms::UtilityFactors;
+
+/// An LRU map from instance fingerprint to shared utility factors.
+#[derive(Debug)]
+pub struct FactorCache {
+    capacity: usize,
+    clock: u64,
+    entries: HashMap<u64, (Arc<UtilityFactors>, u64)>,
+}
+
+impl FactorCache {
+    /// A cache holding at most `capacity` factor sets (`capacity == 0` means
+    /// caching is disabled).
+    pub fn new(capacity: usize) -> Self {
+        FactorCache {
+            capacity,
+            clock: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Number of cached factor sets.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up factors by fingerprint, refreshing recency on hit.
+    pub fn get(&mut self, fingerprint: u64) -> Option<Arc<UtilityFactors>> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.entries
+            .get_mut(&fingerprint)
+            .map(|(factors, touched)| {
+                *touched = clock;
+                Arc::clone(factors)
+            })
+    }
+
+    /// Inserts factors, evicting the least-recently-used entry when full.
+    pub fn insert(&mut self, fingerprint: u64, factors: Arc<UtilityFactors>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.clock += 1;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&fingerprint) {
+            if let Some((&oldest, _)) = self.entries.iter().min_by_key(|(_, (_, touched))| *touched)
+            {
+                self.entries.remove(&oldest);
+            }
+        }
+        self.entries.insert(fingerprint, (factors, self.clock));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svgic_algorithms::factors::solve_relaxation_with;
+    use svgic_algorithms::LpBackend;
+    use svgic_core::example::running_example;
+
+    fn factors() -> Arc<UtilityFactors> {
+        Arc::new(solve_relaxation_with(
+            &running_example(),
+            LpBackend::ExactSimplex,
+        ))
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut cache = FactorCache::new(4);
+        assert!(cache.get(7).is_none());
+        cache.insert(7, factors());
+        assert!(cache.get(7).is_some());
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut cache = FactorCache::new(2);
+        let shared = factors();
+        cache.insert(1, Arc::clone(&shared));
+        cache.insert(2, Arc::clone(&shared));
+        // Touch 1 so 2 becomes the LRU entry.
+        assert!(cache.get(1).is_some());
+        cache.insert(3, shared);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(2).is_none());
+        assert!(cache.get(3).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = FactorCache::new(0);
+        cache.insert(1, factors());
+        assert!(cache.get(1).is_none());
+        assert!(cache.is_empty());
+    }
+}

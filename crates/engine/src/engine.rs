@@ -1,0 +1,798 @@
+//! The engine: session store, batched dispatch, worker pool, factor cache.
+//!
+//! # Dispatch model
+//!
+//! Events accumulate per session ([`crate::scheduler::coalesce`] folds them at
+//! dispatch time). A flush runs in two parallel waves on the worker pool:
+//!
+//! 1. **LP wave** — every *distinct missing* factor fingerprint in the batch
+//!    is solved once (`solve_relaxation`) and inserted into the LRU cache;
+//!    sessions sharing a fingerprint (or hitting the cache) skip the LP
+//!    entirely.
+//! 2. **Rounding wave** — every scheduled session re-rounds on its restricted
+//!    instance: incremental solves slice the full-population factor rows of
+//!    the present shoppers (the paper's §5 dynamic mechanism), full solves
+//!    round on factors computed for exactly the restricted instance.
+//!
+//! Rounding seeds derive from `(session seed, generation)` and results are
+//! applied in session order, so served configurations are reproducible under
+//! a fixed seed regardless of worker scheduling.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+use std::time::Instant;
+
+use svgic_algorithms::avg::round_with_factors;
+use svgic_algorithms::factors::{solve_relaxation, RelaxationOptions};
+use svgic_algorithms::{LpBackend, SamplingScheme, UtilityFactors};
+use svgic_core::utility::total_utility;
+use svgic_core::{Configuration, ItemIdx, SvgicInstance, UserIdx};
+
+use rand_chacha::ChaCha8Rng;
+
+use crate::api::{
+    ConfigurationView, CreateSession, EngineError, EngineRequest, EngineResponse, SessionEvent,
+    SessionId,
+};
+use crate::cache::FactorCache;
+use crate::fingerprint::instance_fingerprint;
+use crate::policy::{PolicyInputs, ResolveKind, ResolvePolicy};
+use crate::pool::WorkerPool;
+use crate::scheduler::coalesce;
+use crate::session::{Served, SessionState};
+use crate::stats::{EngineStats, StatsSnapshot};
+
+use rand::SeedableRng;
+
+/// Engine-wide tunables.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Worker threads (`0` = one per available core).
+    pub workers: usize,
+    /// Factor-cache capacity in factor sets (`0` disables caching).
+    pub cache_capacity: usize,
+    /// Incremental-vs-full re-solve policy.
+    pub policy: ResolvePolicy,
+    /// Auto-flush once this many events are pending engine-wide
+    /// (`0` disables auto-flush; call [`Engine::flush`] manually).
+    pub auto_flush_pending: usize,
+    /// LP backend for relaxation solves.
+    pub backend: LpBackend,
+    /// Rounding sampling scheme.
+    pub sampling: SamplingScheme,
+    /// Idle-iteration safety valve for the rounding loop.
+    pub max_idle_iterations: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 0,
+            cache_capacity: 128,
+            policy: ResolvePolicy::default(),
+            auto_flush_pending: 32,
+            backend: LpBackend::Auto,
+            sampling: SamplingScheme::Advanced,
+            max_idle_iterations: 10_000,
+        }
+    }
+}
+
+/// One scheduled solve, produced by the serial dispatch phase.
+struct SolvePlan {
+    session: u64,
+    kind: ResolveKind,
+    restricted: Arc<SvgicInstance>,
+    present: Vec<UserIdx>,
+    catalog: Vec<ItemIdx>,
+    factor_fingerprint: u64,
+    seed: u64,
+}
+
+/// Result of a rounding job.
+struct SolveOutcome {
+    session: u64,
+    kind: ResolveKind,
+    configuration: Configuration,
+    utility: f64,
+    lp_bound: f64,
+    tight: bool,
+    present: Vec<UserIdx>,
+    catalog: Vec<ItemIdx>,
+    round_nanos: u64,
+}
+
+/// The online multi-session serving engine.
+pub struct Engine {
+    config: EngineConfig,
+    sessions: BTreeMap<u64, SessionState>,
+    next_session: u64,
+    cache: FactorCache,
+    pool: WorkerPool,
+    stats: Arc<EngineStats>,
+    /// Events queued across all sessions (kept incrementally so the
+    /// auto-flush threshold check is O(1) per submit).
+    pending_total: usize,
+}
+
+impl Engine {
+    /// Builds an engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        let pool = WorkerPool::new(config.workers);
+        let cache = FactorCache::new(config.cache_capacity);
+        Engine {
+            config,
+            sessions: BTreeMap::new(),
+            next_session: 1,
+            cache,
+            pool,
+            stats: Arc::new(EngineStats::default()),
+            pending_total: 0,
+        }
+    }
+
+    /// Builds an engine with default configuration.
+    pub fn with_defaults() -> Self {
+        Engine::new(EngineConfig::default())
+    }
+
+    /// Number of live sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Number of factor sets currently cached.
+    pub fn cached_factor_sets(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// A point-in-time snapshot of the engine counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Handles a typed request.
+    pub fn handle(&mut self, request: EngineRequest) -> Result<EngineResponse, EngineError> {
+        match request {
+            EngineRequest::CreateSession(spec) => self
+                .create_session(*spec)
+                .map(EngineResponse::SessionCreated),
+            EngineRequest::SubmitEvent(session, event) => self
+                .submit_event(session, event)
+                .map(|pending| EngineResponse::EventAccepted { session, pending }),
+            EngineRequest::QueryConfiguration(session) => self
+                .query_configuration(session)
+                .map(EngineResponse::Configuration),
+            EngineRequest::ForceResolve(session) => {
+                self.force_resolve(session).map(EngineResponse::Resolved)
+            }
+            EngineRequest::CloseSession(session) => {
+                self.close_session(session)
+                    .map(|lifetime_events| EngineResponse::SessionClosed {
+                        session,
+                        lifetime_events,
+                    })
+            }
+        }
+    }
+
+    /// Opens a session and solves its initial configuration.
+    pub fn create_session(
+        &mut self,
+        spec: CreateSession,
+    ) -> Result<ConfigurationView, EngineError> {
+        self.count_request();
+        let CreateSession {
+            instance,
+            mut initial_present,
+            seed,
+        } = spec;
+        if instance.num_users() == 0 {
+            return Err(EngineError::InvalidSession("instance has no users".into()));
+        }
+        if initial_present.is_empty() {
+            initial_present = (0..instance.num_users()).collect();
+        }
+        initial_present.sort_unstable();
+        initial_present.dedup();
+        if let Some(&out_of_range) = initial_present
+            .iter()
+            .find(|&&user| user >= instance.num_users())
+        {
+            return Err(EngineError::InvalidSession(format!(
+                "initial user {out_of_range} outside population 0..{}",
+                instance.num_users()
+            )));
+        }
+        let id = self.next_session;
+        self.next_session += 1;
+        let state = SessionState::new(SessionId(id), instance, initial_present, seed);
+        self.sessions.insert(id, state);
+        self.stats
+            .sessions_created
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.run_batch(&[id], false);
+        Ok(self.sessions[&id].view())
+    }
+
+    /// Queues an event; may trigger an auto-flush.
+    pub fn submit_event(
+        &mut self,
+        session: SessionId,
+        event: SessionEvent,
+    ) -> Result<usize, EngineError> {
+        self.count_request();
+        let state = self
+            .sessions
+            .get_mut(&session.0)
+            .ok_or(EngineError::UnknownSession(session))?;
+        let event = validate_event(&state.full, event)?;
+        state.pending.push(event);
+        self.pending_total += 1;
+        self.stats
+            .events_submitted
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let threshold = self.config.auto_flush_pending;
+        if threshold > 0 && self.pending_total >= threshold {
+            self.flush();
+        }
+        Ok(self
+            .sessions
+            .get(&session.0)
+            .map(|state| state.pending.len())
+            .unwrap_or(0))
+    }
+
+    /// Reads the last served configuration without solving.
+    pub fn query_configuration(
+        &mut self,
+        session: SessionId,
+    ) -> Result<ConfigurationView, EngineError> {
+        self.count_request();
+        self.sessions
+            .get(&session.0)
+            .map(SessionState::view)
+            .ok_or(EngineError::UnknownSession(session))
+    }
+
+    /// Applies the session's pending events now and forces a full LP re-solve.
+    pub fn force_resolve(&mut self, session: SessionId) -> Result<ConfigurationView, EngineError> {
+        self.count_request();
+        if !self.sessions.contains_key(&session.0) {
+            return Err(EngineError::UnknownSession(session));
+        }
+        self.run_batch(&[session.0], true);
+        Ok(self.sessions[&session.0].view())
+    }
+
+    /// Closes a session, dropping any unapplied events.
+    pub fn close_session(&mut self, session: SessionId) -> Result<u64, EngineError> {
+        self.count_request();
+        let state = self
+            .sessions
+            .remove(&session.0)
+            .ok_or(EngineError::UnknownSession(session))?;
+        self.pending_total = self.pending_total.saturating_sub(state.pending.len());
+        self.stats
+            .sessions_closed
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Ok(state.lifetime_events)
+    }
+
+    /// Applies every session's pending events in one batched dispatch.
+    pub fn flush(&mut self) {
+        let ids: Vec<u64> = self.sessions.keys().copied().collect();
+        self.run_batch(&ids, false);
+    }
+
+    fn count_request(&self) {
+        self.stats
+            .requests
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Serial dispatch phase + two parallel waves. `forced_full` applies to
+    /// every id in `ids` (used by `force_resolve`).
+    fn run_batch(&mut self, ids: &[u64], forced_full: bool) {
+        use std::sync::atomic::Ordering;
+
+        // ---- Phase A: coalesce, decide, plan (serial, deterministic) ----
+        let mut plans: Vec<SolvePlan> = Vec::new();
+        // Factor sources for this batch: fingerprint -> cached Arc or the
+        // instance a leader job must solve.
+        let mut cached: HashMap<u64, Arc<UtilityFactors>> = HashMap::new();
+        let mut to_compute: BTreeMap<u64, Arc<SvgicInstance>> = BTreeMap::new();
+
+        for &id in ids {
+            let Some(state) = self.sessions.get_mut(&id) else {
+                continue;
+            };
+            let batch = coalesce(&state.present, &state.catalog, state.lambda, &state.pending);
+            let needs_initial = state.served.is_none() && state.generation == 0;
+            self.pending_total = self.pending_total.saturating_sub(state.pending.len());
+            state.pending.clear();
+            state.lifetime_events += batch.raw_events as u64;
+            self.stats
+                .events_coalesced
+                .fetch_add(batch.coalesced_away as u64, Ordering::Relaxed);
+            if !batch.dirty && !needs_initial && !forced_full {
+                continue;
+            }
+            let net_events = batch.raw_events - batch.coalesced_away;
+            state.events_since_full += net_events;
+            state.present = batch.present.clone();
+            if let Some(catalog) = batch.catalog {
+                state.catalog = catalog;
+            }
+            if let Some(lambda) = batch.lambda {
+                state.lambda = lambda;
+            }
+            if batch.reshaped {
+                state.rebuild_base();
+            }
+            if state.present.is_empty() {
+                // Dormant: everyone left. Nothing to solve until a join.
+                state.served = None;
+                continue;
+            }
+
+            let inputs = PolicyInputs {
+                events_since_full: state.events_since_full,
+                present: state.present.len(),
+                full_population: state.base.num_users(),
+                relative_gap: state.relative_gap(),
+                reshaped: batch.reshaped,
+                forced_full,
+            };
+            let kind = self.config.policy.decide(&inputs);
+
+            let restricted = if state.present.len() == state.base.num_users() {
+                Arc::clone(&state.base)
+            } else {
+                Arc::new(state.base.restrict_users(&state.present))
+            };
+            let factor_fingerprint = match kind {
+                ResolveKind::Incremental => state.base_fingerprint,
+                ResolveKind::FullLp => instance_fingerprint(&restricted),
+            };
+
+            // Cache accounting happens here, serially, so hit counts are
+            // deterministic under a fixed request sequence.
+            if let std::collections::hash_map::Entry::Vacant(e) = cached.entry(factor_fingerprint) {
+                if let Some(factors) = self.cache.get(factor_fingerprint) {
+                    e.insert(factors);
+                    self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                } else if let std::collections::btree_map::Entry::Vacant(e) =
+                    to_compute.entry(factor_fingerprint)
+                {
+                    let factor_instance = match kind {
+                        ResolveKind::Incremental => Arc::clone(&state.base),
+                        ResolveKind::FullLp => Arc::clone(&restricted),
+                    };
+                    e.insert(factor_instance);
+                    self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    // Another session in this batch already queued the LP;
+                    // that is batch dedup, not a cache hit.
+                    self.stats.batch_shared.fetch_add(1, Ordering::Relaxed);
+                }
+            } else {
+                self.stats.batch_shared.fetch_add(1, Ordering::Relaxed);
+            }
+
+            plans.push(SolvePlan {
+                session: id,
+                kind,
+                restricted,
+                present: state.present.clone(),
+                catalog: state.catalog.clone(),
+                factor_fingerprint,
+                seed: state.next_solve_seed(),
+            });
+        }
+
+        if plans.is_empty() {
+            return;
+        }
+        self.stats.batches.fetch_add(1, Ordering::Relaxed);
+
+        // ---- Wave 1: solve every distinct missing LP in parallel ----
+        if !to_compute.is_empty() {
+            let (result_tx, result_rx) = channel();
+            let jobs = to_compute.len();
+            for (fingerprint, instance) in std::mem::take(&mut to_compute) {
+                let tx = result_tx.clone();
+                let options = RelaxationOptions {
+                    backend: self.config.backend,
+                    ..RelaxationOptions::default()
+                };
+                self.pool.execute(Box::new(move || {
+                    let started = Instant::now();
+                    let factors = solve_relaxation(&instance, &options);
+                    let nanos = started.elapsed().as_nanos() as u64;
+                    let _ = tx.send((fingerprint, Arc::new(factors), nanos));
+                }));
+            }
+            drop(result_tx);
+            let mut solved: Vec<(u64, Arc<UtilityFactors>, u64)> = (0..jobs)
+                .map(|_| result_rx.recv().expect("LP worker died"))
+                .collect();
+            solved.sort_by_key(|(fingerprint, _, _)| *fingerprint);
+            for (fingerprint, factors, nanos) in solved {
+                self.stats.record_solve_nanos(nanos, 0);
+                self.cache.insert(fingerprint, Arc::clone(&factors));
+                cached.insert(fingerprint, factors);
+            }
+        }
+
+        // ---- Wave 2: re-round every scheduled session in parallel ----
+        let (result_tx, result_rx) = channel();
+        let jobs = plans.len();
+        for plan in plans {
+            let tx = result_tx.clone();
+            let factors = Arc::clone(
+                cached
+                    .get(&plan.factor_fingerprint)
+                    .expect("factor source resolved in wave 1"),
+            );
+            let sampling = self.config.sampling;
+            let max_idle = self.config.max_idle_iterations;
+            self.pool.execute(Box::new(move || {
+                let started = Instant::now();
+                // Borrow the shared factors in the pass-through case (full
+                // population present, or a full solve); only genuine
+                // incremental restriction copies rows.
+                let sliced;
+                let effective: &UtilityFactors =
+                    if factors.num_users() == plan.restricted.num_users() {
+                        factors.as_ref()
+                    } else {
+                        sliced = slice_factors(&factors, &plan.restricted, &plan.present);
+                        &sliced
+                    };
+                let lp_bound = effective.utility_upper_bound(&plan.restricted);
+                let mut rng = ChaCha8Rng::seed_from_u64(plan.seed);
+                let (configuration, _iterations) = round_with_factors(
+                    &plan.restricted,
+                    effective,
+                    None,
+                    sampling,
+                    max_idle,
+                    &mut rng,
+                );
+                let utility = total_utility(&plan.restricted, &configuration);
+                let outcome = SolveOutcome {
+                    session: plan.session,
+                    kind: plan.kind,
+                    configuration,
+                    utility,
+                    lp_bound,
+                    tight: plan.kind == ResolveKind::FullLp,
+                    present: plan.present,
+                    catalog: plan.catalog,
+                    round_nanos: started.elapsed().as_nanos() as u64,
+                };
+                let _ = tx.send(outcome);
+            }));
+        }
+        drop(result_tx);
+        let mut outcomes: Vec<SolveOutcome> = (0..jobs)
+            .map(|_| result_rx.recv().expect("round worker died"))
+            .collect();
+        outcomes.sort_by_key(|outcome| outcome.session);
+
+        // ---- Apply results in session order (deterministic) ----
+        for outcome in outcomes {
+            let Some(state) = self.sessions.get_mut(&outcome.session) else {
+                continue;
+            };
+            state.generation += 1;
+            match outcome.kind {
+                ResolveKind::Incremental => {
+                    self.stats
+                        .solves_incremental
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                ResolveKind::FullLp => {
+                    self.stats.solves_full.fetch_add(1, Ordering::Relaxed);
+                    state.events_since_full = 0;
+                }
+            }
+            self.stats.record_solve_nanos(0, outcome.round_nanos);
+            if outcome.tight {
+                self.stats.record_gap(outcome.utility, outcome.lp_bound);
+            }
+            state.served = Some(Served {
+                configuration: outcome.configuration,
+                present: outcome.present,
+                catalog: outcome.catalog,
+                utility: outcome.utility,
+                lp_bound: outcome.lp_bound,
+                tight: outcome.tight,
+            });
+        }
+    }
+}
+
+/// Restricts `factors` (over the base population) to the rows of `present`,
+/// producing factors dimensioned for `restricted`. The caller handles the
+/// dimensions-already-match case by borrowing the shared factors instead.
+fn slice_factors(
+    factors: &Arc<UtilityFactors>,
+    restricted: &SvgicInstance,
+    present: &[UserIdx],
+) -> UtilityFactors {
+    let n = restricted.num_users();
+    let m = restricted.num_items();
+    debug_assert_eq!(present.len(), n);
+    let mut aggregate = Vec::with_capacity(n * m);
+    for &user in present {
+        for item in 0..m {
+            aggregate.push(factors.aggregate(user, item));
+        }
+    }
+    UtilityFactors::from_aggregate(
+        restricted,
+        aggregate,
+        factors.scaled_objective,
+        factors.backend,
+    )
+}
+
+/// Validates a single event against the session's full universe, returning it
+/// in normalized form (`SetCatalog` payloads come back sorted and
+/// deduplicated, so the scheduler can compare them directly).
+fn validate_event(full: &SvgicInstance, event: SessionEvent) -> Result<SessionEvent, EngineError> {
+    use svgic_core::extensions::DynamicEvent;
+    match event {
+        SessionEvent::Membership(DynamicEvent::Join(user))
+        | SessionEvent::Membership(DynamicEvent::Leave(user)) => {
+            if user >= full.num_users() {
+                return Err(EngineError::InvalidEvent(format!(
+                    "user {user} outside population 0..{}",
+                    full.num_users()
+                )));
+            }
+        }
+        SessionEvent::SetCatalog(items) => {
+            let mut sorted = items;
+            sorted.sort_unstable();
+            sorted.dedup();
+            if sorted.len() < full.num_slots() {
+                return Err(EngineError::InvalidEvent(format!(
+                    "catalogue of {} items cannot fill k = {} slots",
+                    sorted.len(),
+                    full.num_slots()
+                )));
+            }
+            if let Some(&item) = sorted.iter().find(|&&item| item >= full.num_items()) {
+                return Err(EngineError::InvalidEvent(format!(
+                    "item {item} outside catalogue 0..{}",
+                    full.num_items()
+                )));
+            }
+            return Ok(SessionEvent::SetCatalog(sorted));
+        }
+        SessionEvent::RetuneLambda(lambda) => {
+            if !lambda.is_finite() || !(0.0..=1.0).contains(&lambda) {
+                return Err(EngineError::InvalidEvent(format!(
+                    "lambda {lambda} outside [0, 1]"
+                )));
+            }
+        }
+    }
+    Ok(event)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svgic_core::example::running_example;
+    use svgic_core::extensions::DynamicEvent;
+
+    fn engine() -> Engine {
+        Engine::new(EngineConfig {
+            workers: 2,
+            auto_flush_pending: 0,
+            ..EngineConfig::default()
+        })
+    }
+
+    fn create(engine: &mut Engine) -> SessionId {
+        let view = engine
+            .create_session(CreateSession {
+                instance: running_example(),
+                initial_present: Vec::new(),
+                seed: 0xFEED,
+            })
+            .expect("session created");
+        assert!(view.configuration.is_valid(view.catalog.len()));
+        view.session
+    }
+
+    #[test]
+    fn create_solves_immediately() {
+        let mut engine = engine();
+        let id = create(&mut engine);
+        let view = engine.query_configuration(id).unwrap();
+        assert_eq!(view.present.len(), 4);
+        assert!(view.utility > 0.0);
+        assert_eq!(view.staleness, 0);
+    }
+
+    #[test]
+    fn events_queue_until_flush() {
+        let mut engine = engine();
+        let id = create(&mut engine);
+        let pending = engine
+            .submit_event(id, SessionEvent::Membership(DynamicEvent::Leave(0)))
+            .unwrap();
+        assert_eq!(pending, 1);
+        assert_eq!(engine.query_configuration(id).unwrap().staleness, 1);
+        engine.flush();
+        let view = engine.query_configuration(id).unwrap();
+        assert_eq!(view.staleness, 0);
+        assert_eq!(view.present, vec![1, 2, 3]);
+        assert!(view.configuration.is_valid(view.catalog.len()));
+    }
+
+    #[test]
+    fn invalid_events_rejected() {
+        let mut engine = engine();
+        let id = create(&mut engine);
+        assert!(matches!(
+            engine.submit_event(id, SessionEvent::Membership(DynamicEvent::Join(99))),
+            Err(EngineError::InvalidEvent(_))
+        ));
+        assert!(matches!(
+            engine.submit_event(id, SessionEvent::RetuneLambda(1.5)),
+            Err(EngineError::InvalidEvent(_))
+        ));
+        assert!(matches!(
+            engine.submit_event(id, SessionEvent::SetCatalog(vec![0])),
+            Err(EngineError::InvalidEvent(_))
+        ));
+        assert!(matches!(
+            engine.submit_event(SessionId(999), SessionEvent::RetuneLambda(0.5)),
+            Err(EngineError::UnknownSession(_))
+        ));
+    }
+
+    #[test]
+    fn force_resolve_is_full_and_tight() {
+        let mut engine = engine();
+        let id = create(&mut engine);
+        engine
+            .submit_event(id, SessionEvent::Membership(DynamicEvent::Leave(2)))
+            .unwrap();
+        let view = engine.force_resolve(id).unwrap();
+        assert_eq!(view.present, vec![0, 1, 3]);
+        assert!(view.lp_bound + 1e-9 >= view.utility);
+        let stats = engine.stats();
+        assert!(stats.solves_full >= 1);
+    }
+
+    #[test]
+    fn cache_hits_on_population_revisit() {
+        let mut engine = engine();
+        let id = create(&mut engine);
+        // Leave then rejoin: the second solve revisits the original
+        // population fingerprint and must hit the cache.
+        engine
+            .submit_event(id, SessionEvent::Membership(DynamicEvent::Leave(3)))
+            .unwrap();
+        engine.flush();
+        engine
+            .submit_event(id, SessionEvent::Membership(DynamicEvent::Join(3)))
+            .unwrap();
+        engine.flush();
+        let stats = engine.stats();
+        assert!(stats.cache_hits >= 1, "stats: {stats}");
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let run = || {
+            let mut engine = engine();
+            let id = create(&mut engine);
+            engine
+                .submit_event(id, SessionEvent::Membership(DynamicEvent::Leave(1)))
+                .unwrap();
+            engine.flush();
+            engine
+                .submit_event(id, SessionEvent::Membership(DynamicEvent::Join(1)))
+                .unwrap();
+            engine
+                .submit_event(id, SessionEvent::RetuneLambda(0.25))
+                .unwrap();
+            engine.flush();
+            let view = engine.query_configuration(id).unwrap();
+            (
+                view.configuration.clone(),
+                view.utility,
+                engine.stats().cache_hits,
+            )
+        };
+        let (config_a, utility_a, hits_a) = run();
+        let (config_b, utility_b, hits_b) = run();
+        assert_eq!(config_a, config_b);
+        assert_eq!(utility_a, utility_b);
+        assert_eq!(hits_a, hits_b);
+    }
+
+    #[test]
+    fn dormant_session_serves_empty_view() {
+        let mut engine = engine();
+        let id = create(&mut engine);
+        for user in 0..4 {
+            engine
+                .submit_event(id, SessionEvent::Membership(DynamicEvent::Leave(user)))
+                .unwrap();
+        }
+        engine.flush();
+        let view = engine.query_configuration(id).unwrap();
+        assert!(view.present.is_empty());
+        assert_eq!(view.utility, 0.0);
+        // A join revives it.
+        engine
+            .submit_event(id, SessionEvent::Membership(DynamicEvent::Join(2)))
+            .unwrap();
+        engine.flush();
+        let view = engine.query_configuration(id).unwrap();
+        assert_eq!(view.present, vec![2]);
+        assert!(view.configuration.is_valid(view.catalog.len()));
+    }
+
+    #[test]
+    fn close_reports_lifetime_events() {
+        let mut engine = engine();
+        let id = create(&mut engine);
+        engine
+            .submit_event(id, SessionEvent::Membership(DynamicEvent::Leave(0)))
+            .unwrap();
+        engine.flush();
+        let lifetime = engine.close_session(id).unwrap();
+        assert_eq!(lifetime, 1);
+        assert!(engine.query_configuration(id).is_err());
+        assert_eq!(engine.session_count(), 0);
+    }
+
+    #[test]
+    fn typed_request_roundtrip() {
+        let mut engine = engine();
+        let response = engine
+            .handle(EngineRequest::CreateSession(Box::new(CreateSession {
+                instance: running_example(),
+                initial_present: vec![0, 1],
+                seed: 1,
+            })))
+            .unwrap();
+        let EngineResponse::SessionCreated(view) = response else {
+            panic!("wrong response variant");
+        };
+        let id = view.session;
+        let response = engine
+            .handle(EngineRequest::SubmitEvent(
+                id,
+                SessionEvent::Membership(DynamicEvent::Join(2)),
+            ))
+            .unwrap();
+        assert!(matches!(
+            response,
+            EngineResponse::EventAccepted { pending: 1, .. }
+        ));
+        let response = engine.handle(EngineRequest::ForceResolve(id)).unwrap();
+        let EngineResponse::Resolved(view) = response else {
+            panic!("wrong response variant");
+        };
+        assert_eq!(view.present, vec![0, 1, 2]);
+        let response = engine.handle(EngineRequest::CloseSession(id)).unwrap();
+        assert!(matches!(response, EngineResponse::SessionClosed { .. }));
+    }
+}

@@ -1,0 +1,107 @@
+//! Structural fingerprints of [`SvgicInstance`]s.
+//!
+//! The factor cache is keyed by a 64-bit FNV-1a hash over everything the LP
+//! relaxation depends on: dimensions, `λ`, the full preference matrix, the
+//! per-edge social utilities and the edge list itself. Two instances with the
+//! same fingerprint produce the same [`svgic_algorithms::UtilityFactors`]
+//! (up to the backend's determinism, which all backends in this workspace
+//! guarantee), so cached factors can be reused across re-solves *and across
+//! sessions* spawned from a shared template.
+
+use svgic_core::SvgicInstance;
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// Incremental FNV-1a hasher over 64-bit words.
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv(u64);
+
+impl Fnv {
+    /// Fresh hasher.
+    pub fn new() -> Self {
+        Fnv(FNV_OFFSET)
+    }
+
+    /// Absorbs one word.
+    #[inline]
+    pub fn write_u64(&mut self, word: u64) {
+        let mut hash = self.0;
+        for shift in [0u32, 8, 16, 24, 32, 40, 48, 56] {
+            hash ^= (word >> shift) & 0xFF;
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        self.0 = hash;
+    }
+
+    /// Absorbs an `f64` by bit pattern (`-0.0` normalized to `0.0`).
+    #[inline]
+    pub fn write_f64(&mut self, value: f64) {
+        let normalized = if value == 0.0 { 0.0 } else { value };
+        self.write_u64(normalized.to_bits());
+    }
+
+    /// Final hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Fingerprints everything the LP relaxation reads from `instance`.
+pub fn instance_fingerprint(instance: &SvgicInstance) -> u64 {
+    let mut hasher = Fnv::new();
+    let (n, m, k) = (
+        instance.num_users(),
+        instance.num_items(),
+        instance.num_slots(),
+    );
+    hasher.write_u64(n as u64);
+    hasher.write_u64(m as u64);
+    hasher.write_u64(k as u64);
+    hasher.write_f64(instance.lambda());
+    for u in 0..n {
+        for &p in instance.preference_row(u) {
+            hasher.write_f64(p);
+        }
+    }
+    for (e, &(u, v)) in instance.graph().edges().iter().enumerate() {
+        hasher.write_u64(((u as u64) << 32) | v as u64);
+        for c in 0..m {
+            hasher.write_f64(instance.social_by_edge(e, c));
+        }
+    }
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svgic_core::example::running_example;
+
+    #[test]
+    fn fingerprint_is_stable() {
+        let a = running_example();
+        let b = running_example();
+        assert_eq!(instance_fingerprint(&a), instance_fingerprint(&b));
+    }
+
+    #[test]
+    fn fingerprint_sees_lambda() {
+        let a = running_example();
+        let b = a.with_lambda(0.25).unwrap();
+        assert_ne!(instance_fingerprint(&a), instance_fingerprint(&b));
+    }
+
+    #[test]
+    fn fingerprint_sees_population() {
+        let a = running_example();
+        let b = a.restrict_users(&[0, 1, 2]);
+        assert_ne!(instance_fingerprint(&a), instance_fingerprint(&b));
+    }
+}

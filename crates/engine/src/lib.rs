@@ -1,0 +1,85 @@
+//! # svgic-engine — online multi-session serving for SVGIC
+//!
+//! The batch solvers in `svgic-algorithms` answer one question for one group.
+//! This crate turns them into an always-on service core, the setting the
+//! paper motivates with social-VR platforms like Timik: many concurrent
+//! shopping groups, each a live **session** receiving joins, leaves,
+//! catalogue churn and λ re-tunes, each expecting a fresh SAVG
+//! k-configuration without paying a full LP per event.
+//!
+//! Architecture (one module each):
+//!
+//! * [`api`] — typed request/response surface ([`EngineRequest`] /
+//!   [`EngineResponse`]), session events wrapping the paper's
+//!   [`svgic_core::extensions::DynamicEvent`] plus catalogue and λ events;
+//! * [`session`] — per-session live state: full instance, active catalogue,
+//!   present population, pending events, last served solution;
+//! * [`scheduler`] — batched event coalescing (join/leave pairs cancel,
+//!   superseded catalogue/λ updates fold away);
+//! * [`policy`] — the incremental-vs-full re-solve decision
+//!   ([`ResolvePolicy`]): cheap re-rounding against full-population factors
+//!   (the paper's §5 dynamic mechanism) vs. a tight LP re-solve, driven by
+//!   accumulated churn and utility drift;
+//! * [`fingerprint`] — structural instance hashing;
+//! * [`cache`] — the LRU [`FactorCache`] of LP utility factors, shared
+//!   across re-solves *and across sessions*;
+//! * [`pool`] — the `std::thread` worker pool; LP and rounding jobs fan out
+//!   across cores in two deterministic waves;
+//! * [`stats`] — engine counters: requests, cache hit rate, solve latencies,
+//!   utility-vs-LP-bound gap.
+//!
+//! Served configurations are deterministic under fixed seeds regardless of
+//! worker-thread scheduling: seeds derive from `(session, generation)` and
+//! results are applied in session order.
+//!
+//! ```rust
+//! use svgic_engine::prelude::*;
+//! use svgic_core::extensions::DynamicEvent;
+//!
+//! let mut engine = Engine::new(EngineConfig { workers: 2, ..EngineConfig::default() });
+//! let view = engine
+//!     .create_session(CreateSession {
+//!         instance: svgic_core::example::running_example(),
+//!         initial_present: vec![],
+//!         seed: 7,
+//!     })
+//!     .unwrap();
+//! let id = view.session;
+//! engine.submit_event(id, SessionEvent::Membership(DynamicEvent::Leave(2))).unwrap();
+//! engine.flush();
+//! let view = engine.query_configuration(id).unwrap();
+//! assert!(view.configuration.is_valid(view.catalog.len()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod cache;
+pub mod engine;
+pub mod fingerprint;
+pub mod policy;
+pub mod pool;
+pub mod scheduler;
+pub mod session;
+pub mod stats;
+
+pub use api::{
+    ConfigurationView, CreateSession, EngineError, EngineRequest, EngineResponse, SessionEvent,
+    SessionId,
+};
+pub use cache::FactorCache;
+pub use engine::{Engine, EngineConfig};
+pub use policy::{PolicyInputs, ResolveKind, ResolvePolicy};
+pub use stats::{EngineStats, StatsSnapshot};
+
+/// The most common engine imports in one place.
+pub mod prelude {
+    pub use crate::api::{
+        ConfigurationView, CreateSession, EngineError, EngineRequest, EngineResponse, SessionEvent,
+        SessionId,
+    };
+    pub use crate::engine::{Engine, EngineConfig};
+    pub use crate::policy::{ResolveKind, ResolvePolicy};
+    pub use crate::stats::StatsSnapshot;
+}

@@ -1,0 +1,156 @@
+//! The re-solve policy: incremental re-rounding vs. full LP re-solve.
+//!
+//! An *incremental* solve reuses (possibly cached) LP factors computed over
+//! the session's full population and merely re-runs the CSF rounding on the
+//! rows of the present shoppers — the mechanism of the paper's §5 dynamic
+//! scenario. A *full* solve re-runs the LP relaxation on the restricted
+//! instance, producing a tight bound and fresher factors, at LP cost.
+//!
+//! The policy escalates to a full solve when enough membership churn has
+//! accumulated since the last full solve, when the observed utility has
+//! drifted too far from the last tight bound, or when the present population
+//! is a small fraction of the full group (full-population factors are then a
+//! poor guide).
+
+/// How a scheduled re-solve should be executed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResolveKind {
+    /// Re-round the present shoppers against full-population factors.
+    Incremental,
+    /// Re-run the LP relaxation on the restricted instance, then round.
+    FullLp,
+}
+
+/// Tunables deciding between [`ResolveKind`]s.
+#[derive(Clone, Debug)]
+pub struct ResolvePolicy {
+    /// Full solve after this many applied events since the last full solve.
+    pub full_resolve_event_budget: usize,
+    /// Full solve when `(bound - utility) / bound` exceeds this value
+    /// (measured against the last *tight* bound).
+    pub drift_threshold: f64,
+    /// Full solve when `present / full_population` drops below this fraction.
+    pub min_population_fraction: f64,
+    /// Catalogue or λ changes always force a full solve when `true`
+    /// (they invalidate the factor fingerprint anyway, but the cache may
+    /// still hold factors for the new fingerprint; `false` lets those hits
+    /// serve incrementally).
+    pub full_on_reshape: bool,
+}
+
+impl Default for ResolvePolicy {
+    fn default() -> Self {
+        ResolvePolicy {
+            full_resolve_event_budget: 16,
+            drift_threshold: 0.35,
+            min_population_fraction: 0.25,
+            full_on_reshape: false,
+        }
+    }
+}
+
+/// The per-session signals the policy reads.
+#[derive(Clone, Copy, Debug)]
+pub struct PolicyInputs {
+    /// Applied events since the last full LP solve.
+    pub events_since_full: usize,
+    /// Present shoppers after applying the pending batch.
+    pub present: usize,
+    /// Size of the full population.
+    pub full_population: usize,
+    /// `(bound - utility) / bound` of the last served solution, if any.
+    pub relative_gap: Option<f64>,
+    /// Whether the pending batch reshapes the instance (catalogue / λ).
+    pub reshaped: bool,
+    /// Whether the caller explicitly requested a full solve.
+    pub forced_full: bool,
+}
+
+impl ResolvePolicy {
+    /// Decides how to execute the next re-solve.
+    pub fn decide(&self, inputs: &PolicyInputs) -> ResolveKind {
+        if inputs.forced_full {
+            return ResolveKind::FullLp;
+        }
+        if inputs.reshaped && self.full_on_reshape {
+            return ResolveKind::FullLp;
+        }
+        if inputs.events_since_full >= self.full_resolve_event_budget {
+            return ResolveKind::FullLp;
+        }
+        if let Some(gap) = inputs.relative_gap {
+            if gap > self.drift_threshold {
+                return ResolveKind::FullLp;
+            }
+        }
+        if inputs.full_population > 0 {
+            let fraction = inputs.present as f64 / inputs.full_population as f64;
+            if fraction < self.min_population_fraction {
+                return ResolveKind::FullLp;
+            }
+        }
+        ResolveKind::Incremental
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_inputs() -> PolicyInputs {
+        PolicyInputs {
+            events_since_full: 0,
+            present: 8,
+            full_population: 10,
+            relative_gap: Some(0.05),
+            reshaped: false,
+            forced_full: false,
+        }
+    }
+
+    #[test]
+    fn defaults_to_incremental() {
+        let policy = ResolvePolicy::default();
+        assert_eq!(policy.decide(&base_inputs()), ResolveKind::Incremental);
+    }
+
+    #[test]
+    fn escalates_on_event_budget() {
+        let policy = ResolvePolicy::default();
+        let inputs = PolicyInputs {
+            events_since_full: policy.full_resolve_event_budget,
+            ..base_inputs()
+        };
+        assert_eq!(policy.decide(&inputs), ResolveKind::FullLp);
+    }
+
+    #[test]
+    fn escalates_on_drift() {
+        let policy = ResolvePolicy::default();
+        let inputs = PolicyInputs {
+            relative_gap: Some(0.9),
+            ..base_inputs()
+        };
+        assert_eq!(policy.decide(&inputs), ResolveKind::FullLp);
+    }
+
+    #[test]
+    fn escalates_on_small_population() {
+        let policy = ResolvePolicy::default();
+        let inputs = PolicyInputs {
+            present: 1,
+            ..base_inputs()
+        };
+        assert_eq!(policy.decide(&inputs), ResolveKind::FullLp);
+    }
+
+    #[test]
+    fn forced_wins() {
+        let policy = ResolvePolicy::default();
+        let inputs = PolicyInputs {
+            forced_full: true,
+            ..base_inputs()
+        };
+        assert_eq!(policy.decide(&inputs), ResolveKind::FullLp);
+    }
+}

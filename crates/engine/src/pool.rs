@@ -1,0 +1,112 @@
+//! A fixed-size `std::thread` worker pool.
+//!
+//! Jobs are boxed closures; results travel back through whatever channel the
+//! closure captured. The pool is deliberately dumb — all ordering and
+//! determinism guarantees live in the engine's dispatch logic, which assigns
+//! deterministic seeds per job and applies results in session order, so the
+//! pool's scheduling cannot influence served configurations.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed pool of worker threads consuming jobs from a shared queue.
+#[derive(Debug)]
+pub struct WorkerPool {
+    sender: Option<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads (`0` means one per available core).
+    pub fn new(workers: usize) -> Self {
+        let workers = if workers == 0 {
+            std::thread::available_parallelism()
+                .map(|cores| cores.get())
+                .unwrap_or(1)
+        } else {
+            workers
+        };
+        let (sender, receiver): (Sender<Job>, Receiver<Job>) = channel();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let handles = (0..workers)
+            .map(|index| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("svgic-engine-worker-{index}"))
+                    .spawn(move || loop {
+                        let job = {
+                            let guard = receiver.lock().expect("worker queue poisoned");
+                            guard.recv()
+                        };
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => break, // queue closed: shut down
+                        }
+                    })
+                    .expect("failed to spawn engine worker")
+            })
+            .collect();
+        WorkerPool {
+            sender: Some(sender),
+            handles,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Enqueues a job.
+    pub fn execute(&self, job: Job) {
+        self.sender
+            .as_ref()
+            .expect("pool already shut down")
+            .send(job)
+            .expect("worker queue closed");
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        drop(self.sender.take());
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_all_jobs() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.workers(), 4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = channel();
+        for _ in 0..64 {
+            let counter = Arc::clone(&counter);
+            let tx = tx.clone();
+            pool.execute(Box::new(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+                tx.send(()).unwrap();
+            }));
+        }
+        for _ in 0..64 {
+            rx.recv().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn zero_means_available_parallelism() {
+        let pool = WorkerPool::new(0);
+        assert!(pool.workers() >= 1);
+    }
+}

@@ -1,0 +1,182 @@
+//! Batched event coalescing.
+//!
+//! Events accumulate per session between flushes; at dispatch time the
+//! scheduler folds the whole queue into one *net* state change. Join/leave
+//! pairs cancel, repeated joins collapse, only the last catalogue/λ update
+//! survives — so a session that receives 200 events but ends up where it
+//! started costs zero solves. The number of events coalesced away is reported
+//! to the stats module.
+
+use std::collections::BTreeSet;
+
+use svgic_core::extensions::DynamicEvent;
+use svgic_core::{ItemIdx, UserIdx};
+
+use crate::api::SessionEvent;
+
+/// Net effect of a session's pending queue.
+#[derive(Clone, Debug)]
+pub struct CoalescedBatch {
+    /// Population after applying every membership event.
+    pub present: Vec<UserIdx>,
+    /// New catalogue, when the net batch changes it.
+    pub catalog: Option<Vec<ItemIdx>>,
+    /// New λ, when the net batch changes it.
+    pub lambda: Option<f64>,
+    /// Number of raw events folded.
+    pub raw_events: usize,
+    /// Raw events that had no net effect (duplicates, cancelling pairs,
+    /// superseded catalogue/λ updates).
+    pub coalesced_away: usize,
+    /// Whether the batch changes anything at all.
+    pub dirty: bool,
+    /// Whether the batch reshapes the base instance (catalogue or λ).
+    pub reshaped: bool,
+}
+
+/// Folds `events` over the starting state, producing the net change.
+///
+/// `events` are assumed individually validated and normalized at submit time
+/// (user/item indices in range, λ in `[0, 1]`, catalogue at least `k` items,
+/// `SetCatalog` payloads sorted and deduplicated).
+pub fn coalesce(
+    present: &[UserIdx],
+    catalog: &[ItemIdx],
+    lambda: f64,
+    events: &[SessionEvent],
+) -> CoalescedBatch {
+    let start: BTreeSet<UserIdx> = present.iter().copied().collect();
+    let mut staged = start.clone();
+    let mut staged_catalog: Option<Vec<ItemIdx>> = None;
+    let mut staged_lambda: Option<f64> = None;
+
+    for event in events {
+        match event {
+            SessionEvent::Membership(DynamicEvent::Join(user)) => {
+                staged.insert(*user);
+            }
+            SessionEvent::Membership(DynamicEvent::Leave(user)) => {
+                staged.remove(user);
+            }
+            SessionEvent::SetCatalog(items) => {
+                staged_catalog = Some(items.clone());
+            }
+            SessionEvent::RetuneLambda(value) => {
+                staged_lambda = Some(*value);
+            }
+        }
+    }
+
+    // Net membership change: symmetric difference against the start state.
+    let net_membership = staged.symmetric_difference(&start).count();
+    let net_catalog = staged_catalog
+        .as_ref()
+        .map(|items| items.as_slice() != catalog)
+        .unwrap_or(false);
+    let net_lambda = staged_lambda
+        .map(|value| (value - lambda).abs() > f64::EPSILON)
+        .unwrap_or(false);
+
+    let net_effects = net_membership + usize::from(net_catalog) + usize::from(net_lambda);
+    // Everything submitted beyond the net effect was amortized away. `effective`
+    // counts per-event state flips, which can exceed the net count (join then
+    // leave flips twice, nets zero).
+    let coalesced_away = events.len().saturating_sub(net_effects.min(events.len()));
+
+    CoalescedBatch {
+        present: staged.into_iter().collect(),
+        catalog: if net_catalog { staged_catalog } else { None },
+        lambda: if net_lambda { staged_lambda } else { None },
+        raw_events: events.len(),
+        coalesced_away,
+        dirty: net_effects > 0,
+        reshaped: net_catalog || net_lambda,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn join(user: UserIdx) -> SessionEvent {
+        SessionEvent::Membership(DynamicEvent::Join(user))
+    }
+
+    fn leave(user: UserIdx) -> SessionEvent {
+        SessionEvent::Membership(DynamicEvent::Leave(user))
+    }
+
+    #[test]
+    fn join_leave_pair_cancels() {
+        let batch = coalesce(&[0, 1], &[0, 1, 2], 0.5, &[join(5), leave(5)]);
+        assert_eq!(batch.present, vec![0, 1]);
+        assert!(!batch.dirty);
+        assert_eq!(batch.raw_events, 2);
+        assert_eq!(batch.coalesced_away, 2);
+    }
+
+    #[test]
+    fn duplicate_join_coalesces() {
+        let batch = coalesce(&[0], &[0, 1], 0.5, &[join(1), join(1), join(1)]);
+        assert_eq!(batch.present, vec![0, 1]);
+        assert!(batch.dirty);
+        assert_eq!(batch.coalesced_away, 2);
+    }
+
+    #[test]
+    fn leave_of_absent_user_is_noop() {
+        let batch = coalesce(&[0], &[0, 1], 0.5, &[leave(9)]);
+        assert_eq!(batch.present, vec![0]);
+        assert!(!batch.dirty);
+        assert_eq!(batch.coalesced_away, 1);
+    }
+
+    #[test]
+    fn last_catalog_update_wins() {
+        let batch = coalesce(
+            &[0],
+            &[0, 1, 2],
+            0.5,
+            &[
+                SessionEvent::SetCatalog(vec![0, 1]),
+                SessionEvent::SetCatalog(vec![0, 1, 2]),
+            ],
+        );
+        // The final (normalized) catalogue equals the starting one.
+        assert!(batch.catalog.is_none());
+        assert!(!batch.reshaped);
+        assert!(!batch.dirty);
+    }
+
+    #[test]
+    fn lambda_retune_reshapes() {
+        let batch = coalesce(
+            &[0],
+            &[0, 1],
+            0.5,
+            &[
+                SessionEvent::RetuneLambda(0.9),
+                SessionEvent::RetuneLambda(0.7),
+            ],
+        );
+        assert_eq!(batch.lambda, Some(0.7));
+        assert!(batch.reshaped);
+        assert!(batch.dirty);
+        assert_eq!(batch.coalesced_away, 1);
+    }
+
+    #[test]
+    fn mixed_net_change_counts() {
+        let batch = coalesce(
+            &[0, 1],
+            &[0, 1, 2],
+            0.5,
+            &[join(2), leave(0), join(0), leave(1)],
+        );
+        // Net: +2, -1 → {0, 2}.
+        assert_eq!(batch.present, vec![0, 2]);
+        assert!(batch.dirty);
+        assert_eq!(batch.raw_events, 4);
+        assert_eq!(batch.coalesced_away, 2);
+    }
+}

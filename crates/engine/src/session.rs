@@ -1,0 +1,207 @@
+//! Per-session live state.
+//!
+//! A session owns the shopping group's *full* instance (every shopper who may
+//! ever be present, the full item universe), the currently active catalogue
+//! and `λ`, the present population, the queue of unapplied events, and the
+//! last served solution. The derived *base instance* — full population
+//! restricted to the active catalogue at the current `λ` — is what the LP
+//! factors are computed over; its fingerprint keys the shared factor cache.
+
+use std::sync::Arc;
+
+use svgic_core::{Configuration, ItemIdx, SvgicInstance, UserIdx};
+
+use crate::api::{ConfigurationView, SessionEvent, SessionId};
+use crate::fingerprint::instance_fingerprint;
+
+/// The last solution served for a session.
+#[derive(Clone, Debug)]
+pub struct Served {
+    /// Configuration over restricted indices (`present` × `catalog`).
+    pub configuration: Configuration,
+    /// Original user indices the configuration covers.
+    pub present: Vec<UserIdx>,
+    /// Original item indices of the active catalogue at solve time.
+    pub catalog: Vec<ItemIdx>,
+    /// SAVG utility of the configuration.
+    pub utility: f64,
+    /// LP bound associated with the factors used.
+    pub lp_bound: f64,
+    /// Whether `lp_bound` is tight (LP was solved on exactly this restricted
+    /// instance) rather than the loose full-population bound.
+    pub tight: bool,
+}
+
+/// Live state of one session.
+#[derive(Debug)]
+pub struct SessionState {
+    /// The session's id.
+    pub id: SessionId,
+    /// Full instance as provided at creation (all shoppers, all items).
+    /// `Arc`-shared with `base` until catalogue or λ diverge.
+    pub full: Arc<SvgicInstance>,
+    /// Active catalogue (sorted original item indices).
+    pub catalog: Vec<ItemIdx>,
+    /// Current trade-off weight.
+    pub lambda: f64,
+    /// Derived base instance: full population × active catalogue at `lambda`.
+    /// `Arc`-shared so flush dispatch can hand it to worker jobs without
+    /// copying the utility matrices.
+    pub base: Arc<SvgicInstance>,
+    /// Fingerprint of `base` (factor-cache key for incremental solves).
+    pub base_fingerprint: u64,
+    /// Present shoppers (sorted original user indices).
+    pub present: Vec<UserIdx>,
+    /// Submitted-but-unapplied events, in arrival order.
+    pub pending: Vec<SessionEvent>,
+    /// Last served solution, if the session has ever been solved.
+    pub served: Option<Served>,
+    /// Base seed for randomized rounding; combined with `generation`.
+    pub seed: u64,
+    /// Number of completed solves.
+    pub generation: u64,
+    /// Applied events since the last full LP solve.
+    pub events_since_full: usize,
+    /// Total events applied over the session's lifetime.
+    pub lifetime_events: u64,
+}
+
+impl SessionState {
+    /// Creates the state (does not solve). `present` must be sorted/deduped
+    /// and within bounds; the caller validates.
+    pub fn new(id: SessionId, full: SvgicInstance, present: Vec<UserIdx>, seed: u64) -> Self {
+        let catalog: Vec<ItemIdx> = (0..full.num_items()).collect();
+        let lambda = full.lambda();
+        let full = Arc::new(full);
+        let base = Arc::clone(&full);
+        let base_fingerprint = instance_fingerprint(&base);
+        SessionState {
+            id,
+            full,
+            catalog,
+            lambda,
+            base,
+            base_fingerprint,
+            present,
+            pending: Vec::new(),
+            served: None,
+            seed,
+            generation: 0,
+            events_since_full: 0,
+            lifetime_events: 0,
+        }
+    }
+
+    /// Rebuilds `base` (and its fingerprint) after a catalogue or λ change,
+    /// sharing `full` when nothing actually diverges and copying at most once.
+    pub fn rebuild_base(&mut self) {
+        let full_catalog = self.catalog.len() == self.full.num_items();
+        let same_lambda = self.lambda == self.full.lambda();
+        self.base = match (full_catalog, same_lambda) {
+            (true, true) => Arc::clone(&self.full),
+            (true, false) => Arc::new(
+                self.full
+                    .with_lambda(self.lambda)
+                    .expect("lambda validated at submit time"),
+            ),
+            (false, _) => {
+                let mut restricted = self.full.restrict_items(&self.catalog);
+                if !same_lambda {
+                    restricted = restricted
+                        .with_lambda(self.lambda)
+                        .expect("lambda validated at submit time");
+                }
+                Arc::new(restricted)
+            }
+        };
+        self.base_fingerprint = instance_fingerprint(&self.base);
+    }
+
+    /// Rounding seed for the next solve; changes every generation but is
+    /// independent of scheduling/thread timing, keeping the engine
+    /// deterministic under a fixed seed.
+    pub fn next_solve_seed(&self) -> u64 {
+        self.seed
+            ^ (self
+                .generation
+                .wrapping_add(1)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// The served view (an empty configuration when never solved or dormant).
+    pub fn view(&self) -> ConfigurationView {
+        match &self.served {
+            Some(served) => ConfigurationView {
+                session: self.id,
+                present: served.present.clone(),
+                catalog: served.catalog.clone(),
+                configuration: served.configuration.clone(),
+                utility: served.utility,
+                lp_bound: served.lp_bound,
+                staleness: self.pending.len(),
+                generation: self.generation,
+            },
+            None => ConfigurationView {
+                session: self.id,
+                present: Vec::new(),
+                catalog: self.catalog.clone(),
+                configuration: Configuration::from_flat(0, self.full.num_slots(), Vec::new()),
+                utility: 0.0,
+                lp_bound: 0.0,
+                staleness: self.pending.len(),
+                generation: self.generation,
+            },
+        }
+    }
+
+    /// Relative gap `(bound - utility) / bound` of the served solution, only
+    /// when the bound is tight (loose bounds would over-trigger the policy).
+    pub fn relative_gap(&self) -> Option<f64> {
+        self.served.as_ref().and_then(|served| {
+            if served.tight && served.lp_bound > 0.0 {
+                Some(((served.lp_bound - served.utility) / served.lp_bound).max(0.0))
+            } else {
+                None
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svgic_core::example::running_example;
+
+    #[test]
+    fn new_session_covers_everything() {
+        let full = running_example();
+        let n = full.num_users();
+        let state = SessionState::new(SessionId(1), full, (0..n).collect(), 42);
+        assert_eq!(state.catalog.len(), state.full.num_items());
+        assert_eq!(state.present.len(), n);
+        assert!(state.served.is_none());
+        assert_eq!(state.view().staleness, 0);
+    }
+
+    #[test]
+    fn rebuild_base_tracks_catalog_and_lambda() {
+        let full = running_example();
+        let mut state = SessionState::new(SessionId(1), full, vec![0, 1], 7);
+        let original = state.base_fingerprint;
+        state.catalog = vec![0, 1, 2];
+        state.lambda = 0.25;
+        state.rebuild_base();
+        assert_ne!(state.base_fingerprint, original);
+        assert_eq!(state.base.num_items(), 3);
+        assert!((state.base.lambda() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_seeds_differ_per_generation() {
+        let full = running_example();
+        let mut state = SessionState::new(SessionId(1), full, vec![0], 7);
+        let first = state.next_solve_seed();
+        state.generation += 1;
+        assert_ne!(first, state.next_solve_seed());
+    }
+}

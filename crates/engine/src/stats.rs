@@ -1,0 +1,246 @@
+//! Engine-wide counters and latency accounting.
+//!
+//! All counters are atomics behind an [`Arc`] so worker threads record
+//! directly. Configurations and cache accounting are deterministic under a
+//! fixed seed; wall-clock latencies naturally are not and are reported for
+//! observability only.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Monotonic counters shared between the engine and its workers.
+#[derive(Debug, Default)]
+pub struct EngineStats {
+    /// Requests handled (all five request kinds).
+    pub requests: AtomicU64,
+    /// Sessions opened.
+    pub sessions_created: AtomicU64,
+    /// Sessions closed.
+    pub sessions_closed: AtomicU64,
+    /// Events accepted into pending queues.
+    pub events_submitted: AtomicU64,
+    /// Events folded away by the batch coalescer.
+    pub events_coalesced: AtomicU64,
+    /// Dispatch batches run.
+    pub batches: AtomicU64,
+    /// Solves executed incrementally (re-round on cached/base factors).
+    pub solves_incremental: AtomicU64,
+    /// Solves executed as full LP re-solves.
+    pub solves_full: AtomicU64,
+    /// Factor-cache hits (LP skipped because a previous batch computed it).
+    pub cache_hits: AtomicU64,
+    /// Factor-cache misses (LP executed).
+    pub cache_misses: AtomicU64,
+    /// LP solves skipped because another session in the *same* batch needed
+    /// the same fingerprint (batch dedup, distinct from cache reuse).
+    pub batch_shared: AtomicU64,
+    /// Total nanoseconds spent in LP relaxation jobs.
+    pub lp_nanos: AtomicU64,
+    /// Total nanoseconds spent in rounding jobs.
+    pub round_nanos: AtomicU64,
+    /// Slowest single job (one LP relaxation or one rounding pass) observed,
+    /// in nanoseconds. LP and rounding run as separate pool jobs (an LP can
+    /// serve many solves), so there is no meaningful combined per-solve total.
+    pub max_solve_nanos: AtomicU64,
+    /// Sum of per-solve `(bound - utility) / bound` gaps, in micro-units,
+    /// over solves with a tight bound.
+    pub gap_micros: AtomicU64,
+    /// Number of solves contributing to `gap_micros`.
+    pub gap_samples: AtomicU64,
+}
+
+impl EngineStats {
+    /// Records one job's duration (exactly one of `lp`/`rounding` is
+    /// non-zero per call), updating totals and the slowest-job high-water
+    /// mark.
+    pub fn record_solve_nanos(&self, lp: u64, rounding: u64) {
+        self.lp_nanos.fetch_add(lp, Ordering::Relaxed);
+        self.round_nanos.fetch_add(rounding, Ordering::Relaxed);
+        self.max_solve_nanos
+            .fetch_max(lp.max(rounding), Ordering::Relaxed);
+    }
+
+    /// Records a utility-vs-bound gap sample (tight bounds only).
+    pub fn record_gap(&self, utility: f64, bound: f64) {
+        if bound > 0.0 && utility.is_finite() {
+            let gap = ((bound - utility) / bound).clamp(0.0, 1.0);
+            self.gap_micros
+                .fetch_add((gap * 1e6) as u64, Ordering::Relaxed);
+            self.gap_samples.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time copy of every counter plus derived rates.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let load = |counter: &AtomicU64| counter.load(Ordering::Relaxed);
+        StatsSnapshot {
+            requests: load(&self.requests),
+            sessions_created: load(&self.sessions_created),
+            sessions_closed: load(&self.sessions_closed),
+            events_submitted: load(&self.events_submitted),
+            events_coalesced: load(&self.events_coalesced),
+            batches: load(&self.batches),
+            solves_incremental: load(&self.solves_incremental),
+            solves_full: load(&self.solves_full),
+            cache_hits: load(&self.cache_hits),
+            cache_misses: load(&self.cache_misses),
+            batch_shared: load(&self.batch_shared),
+            lp_time: Duration::from_nanos(load(&self.lp_nanos)),
+            round_time: Duration::from_nanos(load(&self.round_nanos)),
+            max_solve_time: Duration::from_nanos(load(&self.max_solve_nanos)),
+            gap_micros: load(&self.gap_micros),
+            gap_samples: load(&self.gap_samples),
+        }
+    }
+}
+
+/// A consistent view of the engine counters with derived metrics.
+#[derive(Clone, Debug)]
+pub struct StatsSnapshot {
+    /// Requests handled.
+    pub requests: u64,
+    /// Sessions opened.
+    pub sessions_created: u64,
+    /// Sessions closed.
+    pub sessions_closed: u64,
+    /// Events accepted.
+    pub events_submitted: u64,
+    /// Events coalesced away before solving.
+    pub events_coalesced: u64,
+    /// Dispatch batches run.
+    pub batches: u64,
+    /// Incremental solves.
+    pub solves_incremental: u64,
+    /// Full LP solves.
+    pub solves_full: u64,
+    /// Factor-cache hits.
+    pub cache_hits: u64,
+    /// Factor-cache misses.
+    pub cache_misses: u64,
+    /// LP solves deduplicated within a single batch.
+    pub batch_shared: u64,
+    /// Cumulative LP time.
+    pub lp_time: Duration,
+    /// Cumulative rounding time.
+    pub round_time: Duration,
+    /// Slowest single job (LP relaxation or rounding pass).
+    pub max_solve_time: Duration,
+    /// Sum of tight-bound gaps in micro-units.
+    pub gap_micros: u64,
+    /// Tight-bound gap samples.
+    pub gap_samples: u64,
+}
+
+impl StatsSnapshot {
+    /// Total solves of either kind.
+    pub fn solves(&self) -> u64 {
+        self.solves_incremental + self.solves_full
+    }
+
+    /// Factor-cache hit rate in `[0, 1]` (`0` when no lookups happened).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / lookups as f64
+        }
+    }
+
+    /// Mean solve latency (LP + rounding amortized over solves).
+    pub fn mean_solve_time(&self) -> Duration {
+        let solves = self.solves();
+        if solves == 0 {
+            Duration::ZERO
+        } else {
+            (self.lp_time + self.round_time) / solves as u32
+        }
+    }
+
+    /// Mean `(bound - utility) / bound` over tight-bound solves.
+    pub fn mean_gap(&self) -> f64 {
+        if self.gap_samples == 0 {
+            0.0
+        } else {
+            self.gap_micros as f64 / 1e6 / self.gap_samples as f64
+        }
+    }
+}
+
+impl std::fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "engine stats")?;
+        writeln!(
+            f,
+            "  requests {:>8}   sessions {:>5} opened / {:>5} closed",
+            self.requests, self.sessions_created, self.sessions_closed
+        )?;
+        writeln!(
+            f,
+            "  events   {:>8} submitted, {} coalesced away ({:.1}%)",
+            self.events_submitted,
+            self.events_coalesced,
+            if self.events_submitted == 0 {
+                0.0
+            } else {
+                100.0 * self.events_coalesced as f64 / self.events_submitted as f64
+            }
+        )?;
+        writeln!(
+            f,
+            "  solves   {:>8} ({} incremental, {} full LP) over {} batches",
+            self.solves(),
+            self.solves_incremental,
+            self.solves_full,
+            self.batches
+        )?;
+        writeln!(
+            f,
+            "  factors  {:>8} cache hits / {} misses (hit rate {:.1}%), {} batch-shared",
+            self.cache_hits,
+            self.cache_misses,
+            100.0 * self.cache_hit_rate(),
+            self.batch_shared
+        )?;
+        writeln!(
+            f,
+            "  latency  mean {:?} per solve (LP {:?}, rounding {:?}), slowest job {:?}",
+            self.mean_solve_time(),
+            self.lp_time,
+            self.round_time,
+            self.max_solve_time
+        )?;
+        write!(
+            f,
+            "  quality  mean utility-vs-LP-bound gap {:.3}% over {} tight solves",
+            100.0 * self.mean_gap(),
+            self.gap_samples
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_and_gap() {
+        let stats = EngineStats::default();
+        stats.cache_hits.store(3, Ordering::Relaxed);
+        stats.cache_misses.store(1, Ordering::Relaxed);
+        stats.record_gap(0.8, 1.0);
+        stats.record_gap(1.0, 1.0);
+        let snap = stats.snapshot();
+        assert!((snap.cache_hit_rate() - 0.75).abs() < 1e-12);
+        assert!((snap.mean_gap() - 0.1).abs() < 1e-3);
+    }
+
+    #[test]
+    fn display_renders() {
+        let stats = EngineStats::default();
+        stats.record_solve_nanos(1_000, 2_000);
+        let text = stats.snapshot().to_string();
+        assert!(text.contains("engine stats"));
+        assert!(text.contains("hit rate"));
+    }
+}

@@ -9,8 +9,8 @@
 //! paper-shaped tables to stdout.
 
 use svgic_experiments::{
-    fig_ablation, fig_large, fig_small, fig_st, fig_subgroup, fig_user_study, harness::ExperimentScale,
-    theory,
+    fig_ablation, fig_large, fig_small, fig_st, fig_subgroup, fig_user_study,
+    harness::ExperimentScale, theory,
 };
 
 fn main() {

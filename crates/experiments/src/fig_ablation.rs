@@ -17,6 +17,9 @@ use svgic_core::SvgicInstance;
 use svgic_datasets::{DatasetProfile, InstanceSpec};
 use svgic_metrics::subgroup_metrics;
 
+/// A timed ablation variant: returns `(time_ms, utility)`.
+type VariantRunner<'a> = Box<dyn Fn() -> (f64, f64) + 'a>;
+
 fn ablation_instance(scale: ExperimentScale, seed: u64) -> SvgicInstance {
     let (n, m, k) = match scale {
         ExperimentScale::Smoke => (8, 14, 3),
@@ -88,7 +91,7 @@ pub fn fig9b(scale: ExperimentScale) -> FigureReport {
         "Fig. 9(b): execution time [ms] and utility of the ablated variants",
         &["variant", "time [ms]", "utility"],
     );
-    let variants: Vec<(&str, Box<dyn Fn() -> (f64, f64) + '_>)> = vec![
+    let variants: Vec<(&str, VariantRunner<'_>)> = vec![
         (
             "AVG",
             Box::new(|| {

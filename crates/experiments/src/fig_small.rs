@@ -118,7 +118,12 @@ pub fn fig4(scale: ExperimentScale) -> FigureReport {
     let methods = Method::all();
     let mut table = Table::new(
         "Fig. 4: per-method utility normalized by IP, with Personal%/Social%",
-        &["lambda / method", "normalized utility", "Personal%", "Social%"],
+        &[
+            "lambda / method",
+            "normalized utility",
+            "Personal%",
+            "Social%",
+        ],
     );
     for &lambda in &lambdas {
         let base = small_instance(6, 8, 2, 4242);
@@ -216,8 +221,6 @@ mod tests {
         assert!((table.value("personalized", "utility").unwrap() - 8.25).abs() < 1e-6);
         assert!((table.value("group", "utility").unwrap() - 8.35).abs() < 1e-6);
         // Our IP implementation reproduces the optimum.
-        assert!(
-            (table.value("IP (this implementation)", "utility").unwrap() - 10.35).abs() < 1e-6
-        );
+        assert!((table.value("IP (this implementation)", "utility").unwrap() - 10.35).abs() < 1e-6);
     }
 }

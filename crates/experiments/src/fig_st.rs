@@ -104,8 +104,7 @@ pub fn fig14_15(scale: ExperimentScale) -> FigureReport {
                 0.0
             }];
             for method in [Method::Per, Method::Fmg, Method::Sdp, Method::Grf] {
-                let cfg =
-                    solve_prepartitioned(&inst, &st, method, PrePartitionMode::Balanced, 2);
+                let cfg = solve_prepartitioned(&inst, &st, method, PrePartitionMode::Balanced, 2);
                 let utility = if st.is_feasible(&cfg) {
                     total_utility_st(&inst, &st, &cfg)
                 } else {

@@ -33,17 +33,10 @@ pub fn fig16(scale: ExperimentScale) -> FigureReport {
     );
     let buckets = [(0.0, 0.25), (0.25, 0.5), (0.5, 0.75), (0.75, 1.0)];
     for (lo, hi) in buckets {
-        let count = study
-            .lambdas
-            .iter()
-            .filter(|&&l| l >= lo && l < hi)
-            .count();
+        let count = study.lambdas.iter().filter(|&&l| l >= lo && l < hi).count();
         lambda_table.push_row(vec![format!("[{lo:.2}, {hi:.2})"), count.to_string()]);
     }
-    lambda_table.push_row(vec![
-        "mean".into(),
-        format!("{:.3}", mean(&study.lambdas)),
-    ]);
+    lambda_table.push_row(vec!["mean".into(), format!("{:.3}", mean(&study.lambdas))]);
     report.tables.push(lambda_table);
 
     // Panel (b): utility and satisfaction per method, plus correlation.
@@ -56,7 +49,8 @@ pub fn fig16(scale: ExperimentScale) -> FigureReport {
     let mut all_utilities = Vec::new();
     let mut all_satisfaction = Vec::new();
     for run in &runs {
-        let scores = study.satisfaction_scores(&run.configuration, config.satisfaction_noise, &mut rng);
+        let scores =
+            study.satisfaction_scores(&run.configuration, config.satisfaction_noise, &mut rng);
         let utilities: Vec<f64> = (0..study.instance.num_users())
             .map(|u| svgic_core::utility::per_user_utility(&study.instance, &run.configuration, u))
             .collect();
@@ -136,9 +130,17 @@ mod tests {
     fn fig16_avg_wins_on_mean_satisfaction() {
         let report = fig16(ExperimentScale::Smoke);
         let outcomes = report.table("16(b): mean per-user utility").unwrap();
-        let avg: f64 = outcomes.cell("AVG", "mean utility").unwrap().parse().unwrap();
+        let avg: f64 = outcomes
+            .cell("AVG", "mean utility")
+            .unwrap()
+            .parse()
+            .unwrap();
         for baseline in ["PER", "FMG", "GRF"] {
-            let b: f64 = outcomes.cell(baseline, "mean utility").unwrap().parse().unwrap();
+            let b: f64 = outcomes
+                .cell(baseline, "mean utility")
+                .unwrap()
+                .parse()
+                .unwrap();
             assert!(avg >= 0.85 * b, "AVG {avg} vs {baseline} {b}");
         }
     }

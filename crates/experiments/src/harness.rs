@@ -8,9 +8,7 @@ use svgic_algorithms::avg::{solve_avg, solve_avg_st, AvgConfig};
 use svgic_algorithms::avg_d::{solve_avg_d, solve_avg_d_st, AvgDConfig};
 use svgic_algorithms::exact::{solve_exact, ExactConfig, ExactStrategy};
 use svgic_algorithms::factors::{LpBackend, RelaxationOptions};
-use svgic_baselines::{
-    solve_fmg, solve_grf, solve_per, solve_sdp, GrfConfig, Method, SdpConfig,
-};
+use svgic_baselines::{solve_fmg, solve_grf, solve_per, solve_sdp, GrfConfig, Method, SdpConfig};
 use svgic_core::utility::{total_utility, total_utility_st};
 use svgic_core::{Configuration, StParams, SvgicInstance};
 
@@ -159,16 +157,14 @@ mod tests {
     #[test]
     fn every_method_runs_on_the_running_example() {
         let inst = running_example();
-        let runs = solve_with_methods(
-            &inst,
-            &Method::all(),
-            7,
-            None,
-            ExperimentScale::Smoke,
-        );
+        let runs = solve_with_methods(&inst, &Method::all(), 7, None, ExperimentScale::Smoke);
         assert_eq!(runs.len(), 7);
         for run in &runs {
-            assert!(run.configuration.is_valid(inst.num_items()), "{:?}", run.method);
+            assert!(
+                run.configuration.is_valid(inst.num_items()),
+                "{:?}",
+                run.method
+            );
             assert!(run.utility > 0.0, "{:?}", run.method);
         }
         // AVG and AVG-D must beat the purely personalized and purely grouped

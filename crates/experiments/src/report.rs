@@ -118,7 +118,9 @@ impl FigureReport {
 
     /// Finds a table by (sub)title.
     pub fn table(&self, title_fragment: &str) -> Option<&Table> {
-        self.tables.iter().find(|t| t.title.contains(title_fragment))
+        self.tables
+            .iter()
+            .find(|t| t.title.contains(title_fragment))
     }
 }
 
@@ -150,7 +152,8 @@ mod tests {
     #[test]
     fn report_render_and_lookup() {
         let mut r = FigureReport::new("fig3", "small datasets");
-        r.tables.push(Table::new("Fig. 3(a): utility vs n", &["n", "AVG"]));
+        r.tables
+            .push(Table::new("Fig. 3(a): utility vs n", &["n", "AVG"]));
         assert!(r.table("3(a)").is_some());
         assert!(r.table("nope").is_none());
         assert!(r.render().contains("fig3"));

@@ -184,7 +184,10 @@ mod tests {
             avg > independent,
             "AVG ({avg}) should beat independent rounding ({independent})"
         );
-        assert!(avg > 0.9, "AVG should essentially recover the optimum, got {avg}");
+        assert!(
+            avg > 0.9,
+            "AVG should essentially recover the optimum, got {avg}"
+        );
         assert!(
             independent < 0.5,
             "independent rounding should lose most of the social utility, got {independent}"

@@ -192,7 +192,14 @@ mod tests {
             points.push(vec![0.0 + (i as f64) * 0.01, 0.0]);
             points.push(vec![10.0 + (i as f64) * 0.01, 10.0]);
         }
-        let res = kmeans(&points, &KMeansConfig { k: 2, ..Default::default() }, &mut rng);
+        let res = kmeans(
+            &points,
+            &KMeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+            &mut rng,
+        );
         // All even indices (blob A) share a label distinct from odd indices (blob B).
         let a = res.assignment[0];
         let b = res.assignment[1];
@@ -208,7 +215,14 @@ mod tests {
     fn k_larger_than_points_is_clamped() {
         let mut rng = StdRng::seed_from_u64(1);
         let points = vec![vec![1.0], vec![2.0]];
-        let res = kmeans(&points, &KMeansConfig { k: 5, ..Default::default() }, &mut rng);
+        let res = kmeans(
+            &points,
+            &KMeansConfig {
+                k: 5,
+                ..Default::default()
+            },
+            &mut rng,
+        );
         assert_eq!(res.centroids.len(), 2);
     }
 
@@ -216,7 +230,14 @@ mod tests {
     fn identical_points_converge_immediately() {
         let mut rng = StdRng::seed_from_u64(3);
         let points = vec![vec![1.0, 1.0]; 8];
-        let res = kmeans(&points, &KMeansConfig { k: 3, ..Default::default() }, &mut rng);
+        let res = kmeans(
+            &points,
+            &KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+            &mut rng,
+        );
         assert!(res.inertia < 1e-12);
     }
 
@@ -232,7 +253,14 @@ mod tests {
     fn single_cluster_centroid_is_mean() {
         let mut rng = StdRng::seed_from_u64(9);
         let points = vec![vec![0.0], vec![2.0], vec![4.0]];
-        let res = kmeans(&points, &KMeansConfig { k: 1, ..Default::default() }, &mut rng);
+        let res = kmeans(
+            &points,
+            &KMeansConfig {
+                k: 1,
+                ..Default::default()
+            },
+            &mut rng,
+        );
         assert!((res.centroids[0][0] - 2.0).abs() < 1e-9);
         assert_eq!(res.assignment, vec![0, 0, 0]);
     }

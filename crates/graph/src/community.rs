@@ -211,7 +211,9 @@ fn densest_prefix(graph: &SocialGraph, alive: &[NodeIdx], cap: usize) -> Vec<Nod
         }
     }
     // The best subgroup is everything not removed before `best_suffix_start`.
-    let chosen: Vec<NodeIdx> = (best_suffix_start..m).map(|i| alive[order_index(&order, i)]).collect();
+    let chosen: Vec<NodeIdx> = (best_suffix_start..m)
+        .map(|i| alive[order_index(&order, i)])
+        .collect();
     let mut chosen = chosen;
     chosen.sort_unstable();
     chosen
@@ -312,7 +314,10 @@ mod tests {
                 }
             }
         }
-        assert!(agree as f64 / total as f64 > 0.8, "agreement {agree}/{total}");
+        assert!(
+            agree as f64 / total as f64 > 0.8,
+            "agreement {agree}/{total}"
+        );
     }
 
     #[test]

@@ -194,7 +194,10 @@ mod tests {
         let max_deg = (0..g.num_nodes()).map(|u| g.degree(u)).max().unwrap();
         let avg_deg: f64 =
             (0..g.num_nodes()).map(|u| g.degree(u) as f64).sum::<f64>() / g.num_nodes() as f64;
-        assert!(max_deg as f64 > 3.0 * avg_deg, "expected hub nodes (max {max_deg}, avg {avg_deg})");
+        assert!(
+            max_deg as f64 > 3.0 * avg_deg,
+            "expected hub nodes (max {max_deg}, avg {avg_deg})"
+        );
     }
 
     #[test]

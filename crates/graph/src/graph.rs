@@ -187,10 +187,7 @@ impl SocialGraph {
             let key = if u < v { (u, v) } else { (v, u) };
             map.entry(key).or_default().push(e);
         }
-        let mut pairs: Vec<_> = map
-            .into_iter()
-            .map(|((u, v), es)| (u, v, es))
-            .collect();
+        let mut pairs: Vec<_> = map.into_iter().map(|((u, v), es)| (u, v, es)).collect();
         pairs.sort_by_key(|&(u, v, _)| (u, v));
         pairs
     }
@@ -208,8 +205,8 @@ impl SocialGraph {
         let mut index_of: HashMap<NodeIdx, usize> = HashMap::new();
         let mut mapping = Vec::with_capacity(nodes.len());
         for &v in nodes {
-            if !index_of.contains_key(&v) {
-                index_of.insert(v, mapping.len());
+            if let std::collections::hash_map::Entry::Vacant(e) = index_of.entry(v) {
+                e.insert(mapping.len());
                 mapping.push(v);
             }
         }
@@ -237,8 +234,8 @@ impl SocialGraph {
                 continue;
             }
             for v in self.neighbors(u) {
-                if !dist.contains_key(&v) {
-                    dist.insert(v, d + 1);
+                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(v) {
+                    e.insert(d + 1);
                     queue.push_back(v);
                 }
             }
@@ -438,7 +435,8 @@ mod tests {
     fn triangles_enumeration() {
         let g = diamond();
         assert_eq!(g.triangles(), vec![(0, 1, 2)]);
-        let complete = SocialGraph::from_undirected_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let complete =
+            SocialGraph::from_undirected_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
         assert_eq!(complete.triangles().len(), 4);
     }
 

@@ -35,9 +35,7 @@ pub mod sample;
 pub mod stats;
 
 pub use cluster::{kmeans, KMeansConfig, KMeansResult};
-pub use community::{
-    balanced_partition, densest_subgroup_peeling, label_propagation, Partition,
-};
+pub use community::{balanced_partition, densest_subgroup_peeling, label_propagation, Partition};
 pub use generate::{
     barabasi_albert, complete_graph, erdos_renyi, planted_partition, star_graph, watts_strogatz,
 };

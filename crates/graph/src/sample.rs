@@ -66,11 +66,7 @@ pub fn random_walk_sample<R: Rng + ?Sized>(
 /// Samples `count` nodes by breadth-first (snowball) expansion from a random
 /// seed, topping up from new random seeds when a component is exhausted.
 /// Returned nodes are sorted ascending.
-pub fn bfs_sample<R: Rng + ?Sized>(
-    graph: &SocialGraph,
-    count: usize,
-    rng: &mut R,
-) -> Vec<NodeIdx> {
+pub fn bfs_sample<R: Rng + ?Sized>(graph: &SocialGraph, count: usize, rng: &mut R) -> Vec<NodeIdx> {
     let n = graph.num_nodes();
     let count = count.min(n);
     if count == 0 {

@@ -183,13 +183,12 @@ pub fn solve_milp(lp: &LinearProgram, config: &BranchBoundConfig) -> MilpResult 
     order += 1;
     let mut root_bound = f64::INFINITY;
     let mut exhausted = false;
-    let mut any_lp_feasible = false;
 
     let use_heap = |sel: NodeSelection, step: usize| -> bool {
         match sel {
             NodeSelection::DepthFirst => false,
             NodeSelection::BestBound | NodeSelection::RestartBestBound => true,
-            NodeSelection::Hybrid => step % 2 == 0,
+            NodeSelection::Hybrid => step.is_multiple_of(2),
             NodeSelection::DeterministicHybrid => step % 4 < 2,
         }
     };
@@ -233,7 +232,6 @@ pub fn solve_milp(lp: &LinearProgram, config: &BranchBoundConfig) -> MilpResult 
             Err(SimplexError::Infeasible) => continue,
             Err(_) => continue,
         };
-        any_lp_feasible = true;
         if node.depth == 0 {
             root_bound = sol.objective;
         }
@@ -269,7 +267,7 @@ pub fn solve_milp(lp: &LinearProgram, config: &BranchBoundConfig) -> MilpResult 
                 if lp.is_feasible(&values, 1e-5)
                     && incumbent
                         .as_ref()
-                        .map_or(true, |inc| objective > inc.objective + 1e-12)
+                        .is_none_or(|inc| objective > inc.objective + 1e-12)
                 {
                     incumbent = Some(Solution { values, objective });
                 }
@@ -334,13 +332,9 @@ pub fn solve_milp(lp: &LinearProgram, config: &BranchBoundConfig) -> MilpResult 
     let status = match (&incumbent, exhausted) {
         (Some(_), true) => MilpStatus::Optimal,
         (Some(_), false) => MilpStatus::Feasible,
-        (None, true) => {
-            if any_lp_feasible {
-                MilpStatus::Infeasible
-            } else {
-                MilpStatus::Infeasible
-            }
-        }
+        // Whether any node's LP was feasible, integrality was never attained:
+        // the MILP is infeasible either way once the tree is exhausted.
+        (None, true) => MilpStatus::Infeasible,
         (None, false) => MilpStatus::Unknown,
     };
     MilpResult {
@@ -389,7 +383,11 @@ mod tests {
                 },
             );
             assert_eq!(res.status, MilpStatus::Optimal, "{strategy:?}");
-            assert!((res.objective() - 20.0).abs() < 1e-6, "{strategy:?}: {}", res.objective());
+            assert!(
+                (res.objective() - 20.0).abs() < 1e-6,
+                "{strategy:?}: {}",
+                res.objective()
+            );
             let sol = res.solution.unwrap();
             assert!((sol.values[1] - 1.0).abs() < 1e-6);
             assert!((sol.values[2] - 1.0).abs() < 1e-6);
@@ -412,7 +410,12 @@ mod tests {
         let mut lp = LinearProgram::new();
         let x = lp.add_binary_var(1.0, None);
         let y = lp.add_binary_var(1.0, None);
-        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintSense::GreaterEq, 3.0, None);
+        lp.add_constraint(
+            vec![(x, 1.0), (y, 1.0)],
+            ConstraintSense::GreaterEq,
+            3.0,
+            None,
+        );
         let res = solve_milp(&lp, &BranchBoundConfig::default());
         assert!(res.solution.is_none());
         assert_eq!(res.status, MilpStatus::Infeasible);
@@ -426,10 +429,30 @@ mod tests {
         let x01 = lp.add_binary_var(1.0, None);
         let x10 = lp.add_binary_var(2.0, None);
         let x11 = lp.add_binary_var(4.0, None);
-        lp.add_constraint(vec![(x00, 1.0), (x01, 1.0)], ConstraintSense::Equal, 1.0, None);
-        lp.add_constraint(vec![(x10, 1.0), (x11, 1.0)], ConstraintSense::Equal, 1.0, None);
-        lp.add_constraint(vec![(x00, 1.0), (x10, 1.0)], ConstraintSense::Equal, 1.0, None);
-        lp.add_constraint(vec![(x01, 1.0), (x11, 1.0)], ConstraintSense::Equal, 1.0, None);
+        lp.add_constraint(
+            vec![(x00, 1.0), (x01, 1.0)],
+            ConstraintSense::Equal,
+            1.0,
+            None,
+        );
+        lp.add_constraint(
+            vec![(x10, 1.0), (x11, 1.0)],
+            ConstraintSense::Equal,
+            1.0,
+            None,
+        );
+        lp.add_constraint(
+            vec![(x00, 1.0), (x10, 1.0)],
+            ConstraintSense::Equal,
+            1.0,
+            None,
+        );
+        lp.add_constraint(
+            vec![(x01, 1.0), (x11, 1.0)],
+            ConstraintSense::Equal,
+            1.0,
+            None,
+        );
         let res = solve_milp(&lp, &BranchBoundConfig::default());
         assert_eq!(res.status, MilpStatus::Optimal);
         assert!((res.objective() - 9.0).abs() < 1e-6);
@@ -445,7 +468,10 @@ mod tests {
                 ..Default::default()
             },
         );
-        assert!(matches!(res.status, MilpStatus::Feasible | MilpStatus::Unknown));
+        assert!(matches!(
+            res.status,
+            MilpStatus::Feasible | MilpStatus::Unknown
+        ));
         // The bound must still be a valid upper bound on 20.
         assert!(res.best_bound >= 20.0 - 1e-6);
     }
@@ -479,7 +505,7 @@ mod tests {
         );
         let res = solve_milp(&lp, &BranchBoundConfig::default());
         // DP over integer weights.
-        let mut dp = vec![0.0f64; 11];
+        let mut dp = [0.0f64; 11];
         for i in 0..values.len() {
             let w = weights[i] as usize;
             for cap in (w..=10).rev() {

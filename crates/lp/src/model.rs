@@ -112,7 +112,10 @@ impl LinearProgram {
         name: Option<String>,
     ) {
         for &(v, _) in &terms {
-            assert!(v < self.variables.len(), "constraint references unknown variable {v}");
+            assert!(
+                v < self.variables.len(),
+                "constraint references unknown variable {v}"
+            );
         }
         self.constraints.push(Constraint {
             terms,

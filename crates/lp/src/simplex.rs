@@ -113,7 +113,8 @@ impl Tableau {
         let mut raw_rows: Vec<Row> = Vec::new();
         for c in lp.constraints() {
             // Merge duplicate terms.
-            let mut merged: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
+            let mut merged: std::collections::HashMap<usize, f64> =
+                std::collections::HashMap::new();
             for &(v, a) in &c.terms {
                 *merged.entry(v).or_insert(0.0) += a;
             }
@@ -208,8 +209,8 @@ impl Tableau {
         }
         // Phase-1 cost: minimise the sum of artificials.
         let mut phase1_cost = vec![0.0; cols];
-        for c in artificial_start..cols {
-            phase1_cost[c] = 1.0;
+        for slot in phase1_cost.iter_mut().skip(artificial_start) {
+            *slot = 1.0;
         }
 
         Ok(Self {
@@ -323,7 +324,7 @@ impl Tableau {
                     let ratio = self.rhs(r) / coef;
                     if ratio < best_ratio - tol
                         || (ratio < best_ratio + tol
-                            && leaving.map_or(true, |lr| self.basis[r] < self.basis[lr]))
+                            && leaving.is_none_or(|lr| self.basis[r] < self.basis[lr]))
                     {
                         best_ratio = ratio;
                         leaving = Some(r);
@@ -417,7 +418,12 @@ mod tests {
         let y = lp.add_variable(5.0, 0.0, f64::INFINITY, VarKind::Continuous, None);
         lp.add_constraint(vec![(x, 1.0)], ConstraintSense::LessEq, 4.0, None);
         lp.add_constraint(vec![(y, 2.0)], ConstraintSense::LessEq, 12.0, None);
-        lp.add_constraint(vec![(x, 3.0), (y, 2.0)], ConstraintSense::LessEq, 18.0, None);
+        lp.add_constraint(
+            vec![(x, 3.0), (y, 2.0)],
+            ConstraintSense::LessEq,
+            18.0,
+            None,
+        );
         let sol = solve(&lp);
         assert!((sol.objective - 36.0).abs() < 1e-6);
         assert!((sol.values[x] - 2.0).abs() < 1e-6);
@@ -476,7 +482,12 @@ mod tests {
         let mut lp = LinearProgram::new();
         let x = lp.add_variable(1.0, 0.0, f64::INFINITY, VarKind::Continuous, None);
         let y = lp.add_variable(0.0, 0.0, f64::INFINITY, VarKind::Continuous, None);
-        lp.add_constraint(vec![(x, 1.0), (y, -1.0)], ConstraintSense::LessEq, 1.0, None);
+        lp.add_constraint(
+            vec![(x, 1.0), (y, -1.0)],
+            ConstraintSense::LessEq,
+            1.0,
+            None,
+        );
         let err = solve_lp(&lp, &SimplexOptions::default()).unwrap_err();
         assert_eq!(err, SimplexError::Unbounded);
     }
@@ -501,12 +512,7 @@ mod tests {
         // max x s.t. 0.5x + 0.5x <= 3  => x = 3.
         let mut lp = LinearProgram::new();
         let x = lp.add_variable(1.0, 0.0, f64::INFINITY, VarKind::Continuous, None);
-        lp.add_constraint(
-            vec![(x, 0.5), (x, 0.5)],
-            ConstraintSense::LessEq,
-            3.0,
-            None,
-        );
+        lp.add_constraint(vec![(x, 0.5), (x, 0.5)], ConstraintSense::LessEq, 3.0, None);
         let sol = solve(&lp);
         assert!((sol.objective - 3.0).abs() < 1e-6);
     }
@@ -524,12 +530,42 @@ mod tests {
         let xb2 = lp.add_unit_var(0.3, None);
         let y1 = lp.add_unit_var(1.0, None);
         let y2 = lp.add_unit_var(1.0, None);
-        lp.add_constraint(vec![(xa1, 1.0), (xa2, 1.0)], ConstraintSense::Equal, 1.0, None);
-        lp.add_constraint(vec![(xb1, 1.0), (xb2, 1.0)], ConstraintSense::Equal, 1.0, None);
-        lp.add_constraint(vec![(y1, 1.0), (xa1, -1.0)], ConstraintSense::LessEq, 0.0, None);
-        lp.add_constraint(vec![(y1, 1.0), (xb1, -1.0)], ConstraintSense::LessEq, 0.0, None);
-        lp.add_constraint(vec![(y2, 1.0), (xa2, -1.0)], ConstraintSense::LessEq, 0.0, None);
-        lp.add_constraint(vec![(y2, 1.0), (xb2, -1.0)], ConstraintSense::LessEq, 0.0, None);
+        lp.add_constraint(
+            vec![(xa1, 1.0), (xa2, 1.0)],
+            ConstraintSense::Equal,
+            1.0,
+            None,
+        );
+        lp.add_constraint(
+            vec![(xb1, 1.0), (xb2, 1.0)],
+            ConstraintSense::Equal,
+            1.0,
+            None,
+        );
+        lp.add_constraint(
+            vec![(y1, 1.0), (xa1, -1.0)],
+            ConstraintSense::LessEq,
+            0.0,
+            None,
+        );
+        lp.add_constraint(
+            vec![(y1, 1.0), (xb1, -1.0)],
+            ConstraintSense::LessEq,
+            0.0,
+            None,
+        );
+        lp.add_constraint(
+            vec![(y2, 1.0), (xa2, -1.0)],
+            ConstraintSense::LessEq,
+            0.0,
+            None,
+        );
+        lp.add_constraint(
+            vec![(y2, 1.0), (xb2, -1.0)],
+            ConstraintSense::LessEq,
+            0.0,
+            None,
+        );
         let sol = solve(&lp);
         // Best: both users take the same item (either one); objective = 1.0 + 0.3.
         assert!((sol.objective - 1.3).abs() < 1e-6);

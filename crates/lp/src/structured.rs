@@ -70,7 +70,10 @@ impl MinCouplingProblem {
 
     /// Adds a coupling term `weight · min(x_i, x_j)`.
     pub fn add_coupling(&mut self, i: usize, j: usize, weight: f64) {
-        assert!(i < self.linear.len() && j < self.linear.len(), "unknown variable");
+        assert!(
+            i < self.linear.len() && j < self.linear.len(),
+            "unknown variable"
+        );
         assert!(weight >= 0.0, "coupling weights must be non-negative");
         if weight > 0.0 {
             self.couplings.push(CouplingTerm {
@@ -209,7 +212,7 @@ pub fn solve_min_coupling(
                 break;
             }
         }
-        if best.as_ref().map_or(true, |(_, obj, _)| objective > *obj) {
+        if best.as_ref().is_none_or(|(_, obj, _)| objective > *obj) {
             best = Some((x, objective, passes));
         }
     }
@@ -400,11 +403,7 @@ mod tests {
     /// Builds the equivalent explicit LP (with y variables) for cross-checking.
     fn to_explicit_lp(p: &MinCouplingProblem) -> LinearProgram {
         let mut lp = LinearProgram::new();
-        let xs: Vec<_> = p
-            .linear
-            .iter()
-            .map(|&a| lp.add_unit_var(a, None))
-            .collect();
+        let xs: Vec<_> = p.linear.iter().map(|&a| lp.add_unit_var(a, None)).collect();
         for t in &p.couplings {
             let y = lp.add_unit_var(t.weight, None);
             lp.add_constraint(
@@ -460,7 +459,11 @@ mod tests {
         let sol = solve_min_coupling(&p, &CoordinateAscentOptions::default());
         assert!(p.is_feasible(&sol.values, 1e-6));
         // Optimal: both take item 0 => 0.3 + 0.3 + 1.0 = 1.6.
-        assert!((sol.objective - 1.6).abs() < 1e-6, "objective {}", sol.objective);
+        assert!(
+            (sol.objective - 1.6).abs() < 1e-6,
+            "objective {}",
+            sol.objective
+        );
         assert!(sol.values[a0] > 0.99 && sol.values[b0] > 0.99);
         assert_eq!(p.couplings.len(), 1);
         let _ = (a1, b1);
@@ -487,14 +490,17 @@ mod tests {
             for u in 0..users {
                 for v in (u + 1)..users {
                     if rng.gen::<f64>() < 0.6 {
-                        for c in 0..items {
-                            p.add_coupling(var[u][c], var[v][c], rng.gen::<f64>());
+                        for (&xu, &xv) in var[u].iter().zip(var[v].iter()) {
+                            p.add_coupling(xu, xv, rng.gen::<f64>());
                         }
                     }
                 }
             }
             let approx = solve_min_coupling(&p, &CoordinateAscentOptions::default());
-            assert!(p.is_feasible(&approx.values, 1e-6), "trial {trial} infeasible");
+            assert!(
+                p.is_feasible(&approx.values, 1e-6),
+                "trial {trial} infeasible"
+            );
             let exact = solve_lp(&to_explicit_lp(&p), &SimplexOptions::default()).unwrap();
             assert!(
                 approx.objective >= 0.85 * exact.objective - 1e-9,
@@ -524,8 +530,8 @@ mod tests {
         }
         for u in 0..users {
             for v in (u + 1)..users {
-                for c in 0..items {
-                    p.add_coupling(var[u][c], var[v][c], 1.0);
+                for (&xu, &xv) in var[u].iter().zip(var[v].iter()) {
+                    p.add_coupling(xu, xv, 1.0);
                 }
             }
         }

@@ -103,7 +103,11 @@ pub fn subgroup_metrics(instance: &SvgicInstance, config: &Configuration) -> Sub
         normalized_density,
         co_display_fraction: co_display,
         alone_fraction: if n == 0 { 0.0 } else { alone as f64 / n as f64 },
-        avg_subgroups_per_slot: if k == 0 { 0.0 } else { subgroup_count_sum / k as f64 },
+        avg_subgroups_per_slot: if k == 0 {
+            0.0
+        } else {
+            subgroup_count_sum / k as f64
+        },
         max_subgroup_size: config.max_subgroup_size(),
     }
 }

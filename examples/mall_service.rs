@@ -1,0 +1,165 @@
+//! A day of traffic in a social-VR shopping mall, served by `svgic-engine`.
+//!
+//! Sixty concurrent shopping groups (spawned from a handful of mall-scene
+//! templates, as a real deployment would) live through a simulated day of
+//! opening, lunch-hour churn, an afternoon catalogue rotation, an evening λ
+//! re-tune (the mall boosts social co-browsing for happy hour) and closing
+//! time. Every tick the engine coalesces the pending joins/leaves per group
+//! and re-solves only what changed, sharing LP utility factors across groups
+//! and across revisited population states.
+//!
+//! The run is fully deterministic under the fixed `DAY_SEED`.
+//!
+//! Run with: `cargo run --release --example mall_service`
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use svgic::core::extensions::DynamicEvent;
+use svgic::prelude::*;
+
+const DAY_SEED: u64 = 0x5E55_10A5;
+const NUM_TEMPLATES: usize = 6;
+const NUM_SESSIONS: usize = 60;
+const HOURS: usize = 12;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(DAY_SEED);
+
+    // A handful of mall-scene templates; every group instance is stamped from
+    // one of these, so their full-population LP factors are shared via the
+    // engine's factor cache.
+    let templates: Vec<SvgicInstance> = (0..NUM_TEMPLATES)
+        .map(|t| {
+            let profile = DatasetProfile::all()[t % 3];
+            InstanceSpec {
+                num_users: 8,
+                num_items: 16,
+                num_slots: 3,
+                ..InstanceSpec::small(profile)
+            }
+            .build(&mut StdRng::seed_from_u64(DAY_SEED ^ (t as u64 + 1)))
+        })
+        .collect();
+
+    let mut engine = Engine::new(EngineConfig {
+        auto_flush_pending: 0, // we flush once per simulated hour
+        ..EngineConfig::default()
+    });
+    println!(
+        "mall_service: {} groups from {} templates, {} worker threads\n",
+        NUM_SESSIONS,
+        NUM_TEMPLATES,
+        engine.workers()
+    );
+
+    // --- Opening: every group arrives with a partial crew. ---
+    let mut sessions: Vec<SessionId> = Vec::new();
+    for g in 0..NUM_SESSIONS {
+        let template = &templates[g % NUM_TEMPLATES];
+        let crew: Vec<usize> = (0..template.num_users())
+            .filter(|_| rng.gen::<f64>() < 0.75)
+            .collect();
+        let view = engine
+            .create_session(CreateSession {
+                instance: template.clone(),
+                initial_present: if crew.is_empty() { vec![0] } else { crew },
+                seed: DAY_SEED ^ (g as u64).wrapping_mul(0x9E37),
+            })
+            .expect("session opens");
+        assert!(view.configuration.is_valid(view.catalog.len()));
+        sessions.push(view.session);
+    }
+    assert!(
+        engine.session_count() >= 50,
+        "need >= 50 concurrent sessions"
+    );
+    println!(
+        "09:00  {} groups open, all initial configurations served",
+        engine.session_count()
+    );
+
+    // --- The day: hourly churn, coalesced and re-solved in batches. ---
+    let mut served_checks = 0usize;
+    for hour in 0..HOURS {
+        let clock = 9 + hour;
+        let mut submitted = 0usize;
+        for (g, &id) in sessions.iter().enumerate() {
+            let template = &templates[g % NUM_TEMPLATES];
+            let population = template.num_users();
+            // Shoppers wander in and out; lunch hour doubles the churn.
+            let churn = if clock == 12 || clock == 13 { 6 } else { 3 };
+            for _ in 0..churn {
+                let user = rng.gen_range(0..population);
+                let event = if rng.gen::<f64>() < 0.5 {
+                    SessionEvent::Membership(DynamicEvent::Join(user))
+                } else {
+                    SessionEvent::Membership(DynamicEvent::Leave(user))
+                };
+                engine.submit_event(id, event).expect("valid event");
+                submitted += 1;
+            }
+            // 15:00 — catalogue rotation in half the groups: the mall swaps
+            // the back half of the shelf.
+            if clock == 15 && g % 2 == 0 {
+                let m = template.num_items();
+                let rotated: Vec<usize> = (0..m / 2).chain(m * 3 / 4..m).collect();
+                engine
+                    .submit_event(id, SessionEvent::SetCatalog(rotated))
+                    .expect("valid catalogue");
+                submitted += 1;
+            }
+            // 18:00 — happy hour: boost social utility weight everywhere.
+            if clock == 18 {
+                engine
+                    .submit_event(id, SessionEvent::RetuneLambda(0.8))
+                    .expect("valid lambda");
+                submitted += 1;
+            }
+        }
+        engine.flush();
+
+        // Spot-check served configurations stay valid all day.
+        for &id in sessions.iter().step_by(7) {
+            let view = engine.query_configuration(id).expect("live session");
+            if !view.present.is_empty() {
+                assert!(
+                    view.configuration.is_valid(view.catalog.len()),
+                    "invalid configuration served at {clock}:00"
+                );
+                assert!(view.utility >= 0.0);
+                served_checks += 1;
+            }
+        }
+        println!(
+            "{clock:02}:00  {submitted:>3} events submitted, cache {} factor sets, hit rate {:>5.1}%",
+            engine.cached_factor_sets(),
+            100.0 * engine.stats().cache_hit_rate()
+        );
+    }
+
+    // --- Closing: groups check out. ---
+    for &id in &sessions {
+        engine.close_session(id).expect("session closes");
+    }
+    println!("21:00  all groups checked out\n");
+
+    let stats = engine.stats();
+    println!("{stats}");
+    assert_eq!(engine.session_count(), 0);
+    assert!(served_checks > 0);
+    assert!(
+        stats.cache_hit_rate() > 0.0,
+        "expected a non-zero factor-cache hit rate"
+    );
+    assert!(
+        stats.events_coalesced > 0,
+        "expected batching to coalesce churn"
+    );
+    println!(
+        "\nday served: {} solves for {} events across {} groups ({} LP solves avoided via cache)",
+        stats.solves(),
+        stats.events_submitted,
+        NUM_SESSIONS,
+        stats.cache_hits
+    );
+}

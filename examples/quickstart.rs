@@ -17,7 +17,10 @@ use svgic::prelude::*;
 fn print_configuration(instance: &SvgicInstance, label: &str, config: &Configuration) {
     let names = ["Alice", "Bob", "Charlie", "Dave"];
     println!("\n{label}");
-    println!("  total SAVG utility (unweighted, λ = ½): {:.2}", unweighted_total_utility(instance, config));
+    println!(
+        "  total SAVG utility (unweighted, λ = ½): {:.2}",
+        unweighted_total_utility(instance, config)
+    );
     for (u, name) in names.iter().enumerate() {
         let items: Vec<String> = config
             .items_of(u)
@@ -37,8 +40,13 @@ fn print_configuration(instance: &SvgicInstance, label: &str, config: &Configura
 
 fn main() {
     let instance = running_example();
-    println!("SVGIC running example: {} users, {} items, {} display slots, λ = {}",
-        instance.num_users(), instance.num_items(), instance.num_slots(), instance.lambda());
+    println!(
+        "SVGIC running example: {} users, {} items, {} display slots, λ = {}",
+        instance.num_users(),
+        instance.num_items(),
+        instance.num_slots(),
+        instance.lambda()
+    );
 
     // The paper's reference configurations.
     let refs = paper_configurations();
@@ -46,10 +54,18 @@ fn main() {
 
     // Our solvers.
     let avg = solve_avg(&instance, &AvgConfig::default());
-    print_configuration(&instance, "AVG (randomized 4-approximation)", &avg.configuration);
+    print_configuration(
+        &instance,
+        "AVG (randomized 4-approximation)",
+        &avg.configuration,
+    );
 
     let avg_d = solve_avg_d(&instance, &AvgDConfig::default());
-    print_configuration(&instance, "AVG-D (deterministic 4-approximation)", &avg_d.configuration);
+    print_configuration(
+        &instance,
+        "AVG-D (deterministic 4-approximation)",
+        &avg_d.configuration,
+    );
 
     let ip = solve_exact(&instance, &ExactConfig::default());
     print_configuration(&instance, "Exact IP (branch & bound)", &ip.configuration);

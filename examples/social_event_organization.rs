@@ -14,8 +14,8 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use svgic::algorithms::extensions::{solve_seo, SeoProblem};
 use svgic::algorithms::avg::AvgConfig;
+use svgic::algorithms::extensions::{solve_seo, SeoProblem};
 use svgic::graph::generate::planted_partition;
 
 fn main() {
@@ -43,7 +43,9 @@ fn main() {
         }
     }
     // Togetherness: attending with a friend is valuable.
-    let togetherness: Vec<f64> = (0..graph.num_edges()).map(|_| 0.25 + 0.5 * rng.gen::<f64>()).collect();
+    let togetherness: Vec<f64> = (0..graph.num_edges())
+        .map(|_| 0.25 + 0.5 * rng.gen::<f64>())
+        .collect();
 
     let problem = SeoProblem {
         graph: graph.clone(),
@@ -58,20 +60,23 @@ fn main() {
 
     // Report the programme.
     println!("SEO assignment via SVGIC-ST (capacity {capacity} per event):\n");
-    for e in 0..num_events {
+    for (e, name) in event_names.iter().enumerate().take(num_events) {
         let attendees: Vec<usize> = (0..40).filter(|&u| solution.assignment[u] == e).collect();
         if attendees.is_empty() {
             continue;
         }
         println!(
             "  {:<18} {:>2} attendees  (circles: {:?})",
-            event_names[e],
+            name,
             attendees.len(),
             summarize_circles(&attendees, &circles)
         );
         assert!(attendees.len() <= capacity, "capacity violated");
     }
-    println!("\ntotal welfare (SVGIC-ST objective): {:.3}", solution.welfare);
+    println!(
+        "\ntotal welfare (SVGIC-ST objective): {:.3}",
+        solution.welfare
+    );
 
     // Baseline: everyone picks her own favourite event, ignoring both friends
     // and capacities (then overflow spills to the next favourite).

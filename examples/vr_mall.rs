@@ -89,6 +89,9 @@ fn main() {
         let regrets = regret_ratios(&instance, config);
         let mean: f64 = regrets.iter().sum::<f64>() / regrets.len() as f64;
         let max = regrets.iter().cloned().fold(0.0f64, f64::max);
-        println!("  {label:<8} mean {:.3}  worst-off shopper {:.3}", mean, max);
+        println!(
+            "  {label:<8} mean {:.3}  worst-off shopper {:.3}",
+            mean, max
+        );
     }
 }

@@ -21,7 +21,11 @@
 //! * [`datasets`] — synthetic Timik/Yelp/Epinions-like substrates, the
 //!   PIERT/AGREE/GREE-like utility simulators and the simulated user study;
 //! * [`metrics`] — every evaluation metric of §6;
-//! * [`experiments`] — the per-figure experiment harness.
+//! * [`experiments`] — the per-figure experiment harness;
+//! * [`engine`] — the online multi-session serving subsystem: session store,
+//!   typed request/response API, batched event scheduling, a parallel worker
+//!   pool, an LRU cache of LP utility factors, and an incremental-vs-full
+//!   re-solve policy.
 //!
 //! ## Quickstart
 //!
@@ -47,6 +51,7 @@ pub use svgic_algorithms as algorithms;
 pub use svgic_baselines as baselines;
 pub use svgic_core as core;
 pub use svgic_datasets as datasets;
+pub use svgic_engine as engine;
 pub use svgic_experiments as experiments;
 pub use svgic_graph as graph;
 pub use svgic_lp as lp;
@@ -64,10 +69,11 @@ pub mod prelude {
     pub use svgic_core::utility::{
         total_utility, total_utility_st, unweighted_total_utility, utility_split,
     };
-    pub use svgic_core::{
-        Configuration, StParams, SvgicInstance, SvgicInstanceBuilder,
-    };
+    pub use svgic_core::{Configuration, StParams, SvgicInstance, SvgicInstanceBuilder};
     pub use svgic_datasets::{DatasetProfile, InstanceSpec, UtilityModel, UtilityModelKind};
+    pub use svgic_engine::{
+        CreateSession, Engine, EngineConfig, EngineRequest, EngineResponse, SessionEvent, SessionId,
+    };
     pub use svgic_graph::SocialGraph;
     pub use svgic_metrics::{regret_ratios, subgroup_metrics};
 }

@@ -1,0 +1,101 @@
+//! Property tests for the §5 dynamic scenario solver: under seeded random
+//! event streams — including duplicate joins, repeated leaves and events for
+//! unknown users — `DynamicSolver` must never panic and must never yield a
+//! configuration violating the no-duplication constraint (Definition 1).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use svgic::algorithms::extensions::DynamicSolver;
+use svgic::algorithms::AvgConfig;
+use svgic::core::extensions::DynamicEvent;
+use svgic::graph::generate::erdos_renyi;
+use svgic::prelude::*;
+
+fn random_instance(n: usize, m: usize, k: usize, seed: u64) -> SvgicInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = erdos_renyi(n, 0.4, &mut rng);
+    let mut builder = SvgicInstanceBuilder::new(graph, m, k, 0.5);
+    let mix = |a: usize, b: usize, c: usize| -> f64 {
+        let h = a
+            .wrapping_mul(31)
+            .wrapping_add(b.wrapping_mul(17))
+            .wrapping_add(c.wrapping_mul(7))
+            .wrapping_add(seed as usize);
+        ((h % 97) as f64) / 96.0
+    };
+    builder.fill_preferences(|u, c| mix(u, c, 1));
+    builder.fill_social(|u, v, c| 0.5 * mix(u, v, c));
+    builder.build().expect("random instance is valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn dynamic_solver_survives_random_event_streams(
+        n in 4usize..8,
+        m in 4usize..9,
+        k in 1usize..4,
+        stream_len in 1usize..20,
+        seed in 0u64..500,
+    ) {
+        prop_assume!(k <= m);
+        let instance = random_instance(n, m, k, seed);
+        let config = AvgConfig::with_backend(LpBackend::ExactSimplex, seed);
+        let mut solver = DynamicSolver::new(instance, (0..n / 2 + 1).collect(), config);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xEE);
+        for step in 0..stream_len {
+            // Deliberately includes out-of-range users (up to 2n) and
+            // duplicate joins/leaves of users already in that state.
+            let user = rng.gen_range(0..2 * n);
+            let event = if rng.gen::<f64>() < 0.5 {
+                DynamicEvent::Join(user)
+            } else {
+                DynamicEvent::Leave(user)
+            };
+            solver.apply(event);
+            // Present set stays sorted, deduplicated, in range.
+            let present = solver.present().to_vec();
+            prop_assert!(present.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(present.iter().all(|&u| u < n));
+            // Re-solve every few events (and always at the end of the
+            // stream): the configuration must obey no-duplication.
+            if step % 3 == 2 || step + 1 == stream_len {
+                match solver.resolve() {
+                    Some((restricted, solution)) => {
+                        prop_assert_eq!(restricted.num_users(), present.len());
+                        prop_assert!(
+                            solution.configuration.is_valid(restricted.num_items()),
+                            "no-duplication violated after {} events", step + 1
+                        );
+                        prop_assert!(solution.utility.is_finite());
+                    }
+                    None => prop_assert!(present.is_empty()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_solver_duplicate_events_are_idempotent(
+        n in 4usize..8,
+        seed in 0u64..200,
+    ) {
+        let instance = random_instance(n, 6, 2, seed);
+        let config = AvgConfig::with_backend(LpBackend::ExactSimplex, seed);
+        let mut solver = DynamicSolver::new(instance, vec![0, 1], config);
+        let target = n - 1;
+        solver.apply(DynamicEvent::Join(target));
+        let after_first = solver.present().to_vec();
+        solver.apply(DynamicEvent::Join(target));
+        prop_assert_eq!(&solver.present().to_vec(), &after_first);
+        solver.apply(DynamicEvent::Leave(target));
+        let after_leave = solver.present().to_vec();
+        solver.apply(DynamicEvent::Leave(target));
+        prop_assert_eq!(&solver.present().to_vec(), &after_leave);
+        // Unknown users are ignored entirely.
+        solver.apply(DynamicEvent::Join(n + 100));
+        prop_assert_eq!(&solver.present().to_vec(), &after_leave);
+    }
+}

@@ -1,0 +1,233 @@
+//! Integration test: drives the full `svgic-engine` serving subsystem
+//! end-to-end under a fixed seed — session lifecycle, batched event
+//! coalescing, the incremental-vs-full re-solve policy, factor caching across
+//! sessions, catalogue churn, λ re-tuning — and checks that everything the
+//! engine serves is a valid SAVG k-configuration and that the whole run is
+//! reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use svgic::core::extensions::DynamicEvent;
+use svgic::prelude::*;
+
+const SEED: u64 = 0xD15C_0DE5;
+
+fn template(seed: u64) -> SvgicInstance {
+    InstanceSpec {
+        num_users: 7,
+        num_items: 12,
+        num_slots: 3,
+        ..InstanceSpec::small(DatasetProfile::TimikLike)
+    }
+    .build(&mut StdRng::seed_from_u64(seed))
+}
+
+/// What one session served at the end of a run: `(present, flattened
+/// configuration, utility)`.
+type ServedOutcome = (Vec<usize>, Vec<usize>, f64);
+
+/// Runs a deterministic scripted day and returns everything an identical
+/// re-run must reproduce bit-for-bit.
+fn scripted_run() -> (Vec<ServedOutcome>, u64, u64, u64) {
+    let mut engine = Engine::new(EngineConfig {
+        workers: 2,
+        auto_flush_pending: 0,
+        ..EngineConfig::default()
+    });
+    let shared = template(SEED);
+    let mut rng = StdRng::seed_from_u64(SEED);
+
+    // Three sessions share a template (exercising cross-session factor
+    // reuse), one is distinct.
+    let mut ids: Vec<SessionId> = (0..3)
+        .map(|index| {
+            engine
+                .create_session(CreateSession {
+                    instance: shared.clone(),
+                    initial_present: Vec::new(),
+                    seed: SEED ^ index,
+                })
+                .expect("create")
+                .session
+        })
+        .collect();
+    ids.push(
+        engine
+            .create_session(CreateSession {
+                instance: template(SEED ^ 0xFF),
+                initial_present: vec![0, 1, 2, 3],
+                seed: SEED ^ 0xFF,
+            })
+            .expect("create")
+            .session,
+    );
+
+    for round in 0..12 {
+        for (pos, &id) in ids.iter().enumerate() {
+            for _ in 0..3 {
+                let user = rng.gen_range(0..7);
+                let event = if rng.gen::<f64>() < 0.5 {
+                    SessionEvent::Membership(DynamicEvent::Join(user))
+                } else {
+                    SessionEvent::Membership(DynamicEvent::Leave(user))
+                };
+                engine.submit_event(id, event).expect("valid event");
+            }
+            if round == 4 && pos % 2 == 0 {
+                engine
+                    .submit_event(id, SessionEvent::SetCatalog((0..8).collect()))
+                    .expect("valid catalogue");
+            }
+            if round == 8 {
+                engine
+                    .submit_event(id, SessionEvent::RetuneLambda(0.7))
+                    .expect("valid lambda");
+            }
+        }
+        engine.flush();
+        if round == 6 {
+            // Mid-day hard refresh on one session.
+            engine.force_resolve(ids[1]).expect("force resolve");
+        }
+        for &id in &ids {
+            let view = engine.query_configuration(id).expect("live");
+            assert!(
+                view.configuration.is_valid(view.catalog.len()),
+                "engine served an invalid configuration in round {round}"
+            );
+            assert!(view.utility.is_finite() && view.utility >= 0.0);
+            assert!(view.staleness == 0, "flush must drain the queue");
+        }
+    }
+
+    let outcome: Vec<(Vec<usize>, Vec<usize>, f64)> = ids
+        .iter()
+        .map(|&id| {
+            let view = engine.query_configuration(id).expect("live");
+            let flat: Vec<usize> = (0..view.configuration.num_users())
+                .flat_map(|user| view.configuration.items_of(user).to_vec())
+                .collect();
+            (view.present.clone(), flat, view.utility)
+        })
+        .collect();
+    let stats = engine.stats();
+    (
+        outcome,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.solves(),
+    )
+}
+
+#[test]
+fn scripted_day_is_deterministic_and_valid() {
+    let (outcome_a, hits_a, misses_a, solves_a) = scripted_run();
+    let (outcome_b, hits_b, misses_b, solves_b) = scripted_run();
+    assert_eq!(outcome_a, outcome_b, "served configurations must reproduce");
+    assert_eq!(hits_a, hits_b, "cache accounting must reproduce");
+    assert_eq!(misses_a, misses_b);
+    assert_eq!(solves_a, solves_b);
+    assert!(
+        hits_a > 0,
+        "shared templates must produce factor-cache hits"
+    );
+}
+
+#[test]
+fn batching_beats_per_event_solving_on_solve_count() {
+    let shared = template(SEED ^ 7);
+    let mut engine = Engine::new(EngineConfig {
+        workers: 1,
+        auto_flush_pending: 0,
+        ..EngineConfig::default()
+    });
+    let id = engine
+        .create_session(CreateSession {
+            instance: shared,
+            initial_present: Vec::new(),
+            seed: 3,
+        })
+        .expect("create")
+        .session;
+    // 30 events that mostly cancel; one flush.
+    for _ in 0..15 {
+        engine
+            .submit_event(id, SessionEvent::Membership(DynamicEvent::Leave(2)))
+            .unwrap();
+        engine
+            .submit_event(id, SessionEvent::Membership(DynamicEvent::Join(2)))
+            .unwrap();
+    }
+    engine.flush();
+    let stats = engine.stats();
+    // 30 raw events, zero net change: exactly the one creation solve.
+    assert_eq!(stats.solves(), 1, "{stats}");
+    assert_eq!(stats.events_coalesced, 30);
+}
+
+#[test]
+fn policy_escalates_to_full_solves_under_churn() {
+    let mut engine = Engine::new(EngineConfig {
+        workers: 1,
+        auto_flush_pending: 0,
+        policy: svgic::engine::ResolvePolicy {
+            full_resolve_event_budget: 4,
+            ..Default::default()
+        },
+        ..EngineConfig::default()
+    });
+    let id = engine
+        .create_session(CreateSession {
+            instance: template(SEED ^ 21),
+            initial_present: Vec::new(),
+            seed: 5,
+        })
+        .expect("create")
+        .session;
+    // Alternate distinct leaves/joins across flushes so each batch nets
+    // changes and the event budget fills up.
+    let script = [3usize, 4, 5, 3, 4, 5, 2, 6];
+    let mut leave = true;
+    for user in script {
+        let event = if leave {
+            SessionEvent::Membership(DynamicEvent::Leave(user))
+        } else {
+            SessionEvent::Membership(DynamicEvent::Join(user))
+        };
+        engine.submit_event(id, event).unwrap();
+        engine.flush();
+        leave = !leave;
+    }
+    let stats = engine.stats();
+    assert!(
+        stats.solves_full >= 1,
+        "event budget must trigger a full LP re-solve: {stats}"
+    );
+    assert!(stats.solves_incremental >= 1, "{stats}");
+}
+
+#[test]
+fn auto_flush_drains_queues() {
+    let mut engine = Engine::new(EngineConfig {
+        workers: 1,
+        auto_flush_pending: 4,
+        ..EngineConfig::default()
+    });
+    let id = engine
+        .create_session(CreateSession {
+            instance: template(SEED ^ 99),
+            initial_present: Vec::new(),
+            seed: 11,
+        })
+        .expect("create")
+        .session;
+    for user in [1usize, 2, 3, 4] {
+        engine
+            .submit_event(id, SessionEvent::Membership(DynamicEvent::Leave(user)))
+            .unwrap();
+    }
+    // The fourth submit crossed the threshold and auto-flushed.
+    let view = engine.query_configuration(id).unwrap();
+    assert_eq!(view.staleness, 0);
+    assert_eq!(view.present, vec![0, 5, 6]);
+}

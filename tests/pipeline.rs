@@ -38,7 +38,10 @@ fn full_pipeline_runs_on_every_profile() {
             ("SDP", &sdp),
             ("GRF", &grf),
         ] {
-            assert!(cfg.is_valid(pruned.num_items()), "{profile:?}/{label} invalid");
+            assert!(
+                cfg.is_valid(pruned.num_items()),
+                "{profile:?}/{label} invalid"
+            );
             let utility = total_utility(&pruned, cfg);
             assert!(utility.is_finite() && utility >= 0.0, "{profile:?}/{label}");
             let metrics = subgroup_metrics(&pruned, cfg);
@@ -69,8 +72,8 @@ fn avg_solutions_stay_within_four_times_bound_of_lp() {
     // Theorem 4 / 5 empirical check against the exact LP bound.
     for seed in 0..3 {
         let instance = build_instance(DatasetProfile::TimikLike, 200 + seed);
-        let factors_bound =
-            solve_relaxation_with(&instance, LpBackend::ExactSimplex).utility_upper_bound(&instance);
+        let factors_bound = solve_relaxation_with(&instance, LpBackend::ExactSimplex)
+            .utility_upper_bound(&instance);
         let avg = solve_avg(
             &instance,
             &AvgConfig::with_backend(LpBackend::ExactSimplex, seed),

@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use svgic::prelude::*;
 use svgic::graph::generate::erdos_renyi;
+use svgic::prelude::*;
 
 /// Builds a random instance from compact proptest parameters.
 fn random_instance(n: usize, m: usize, k: usize, lambda: f64, seed: u64) -> SvgicInstance {

@@ -1,0 +1,150 @@
+//! Offline, dependency-free stand-in for the
+//! [`rand_chacha`](https://crates.io/crates/rand_chacha) crate, vendored into
+//! the workspace because the build environment has no network access.
+//!
+//! [`ChaCha8Rng`] here is a genuine (if compact) implementation of the
+//! ChaCha stream cipher with 8 rounds (4 double-rounds), exposed through the vendored
+//! `rand` traits. It is deterministic per seed; it is not guaranteed to be
+//! bit-compatible with upstream `rand_chacha` seed expansion, which nothing in
+//! this workspace relies on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::{RngCore, SeedableRng};
+
+/// A ChaCha PRNG with 8 rounds (4 column/diagonal double-rounds).
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    state: [u32; 16],
+    buffer: [u32; 16],
+    index: usize,
+}
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..4 {
+            // 8 rounds total: 4 column rounds + 4 diagonal rounds.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for ((slot, &mixed), &initial) in self
+            .buffer
+            .iter_mut()
+            .zip(working.iter())
+            .zip(self.state.iter())
+        {
+            *slot = mixed.wrapping_add(initial);
+        }
+        // 64-bit block counter in words 12..14.
+        let counter = (self.state[12] as u64 | ((self.state[13] as u64) << 32)).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.index = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Expand the 64-bit seed into a 256-bit key with SplitMix64.
+        let mut sm = seed;
+        let mut split = move || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut state = [0u32; 16];
+        // "expand 32-byte k" constants.
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646E;
+        state[2] = 0x7962_2D32;
+        state[3] = 0x6B20_6574;
+        for i in 0..4 {
+            let word = split();
+            state[4 + 2 * i] = word as u32;
+            state[5 + 2 * i] = (word >> 32) as u32;
+        }
+        // counter = 0, nonce = 0.
+        let mut rng = ChaCha8Rng {
+            state,
+            buffer: [0u32; 16],
+            index: 16,
+        };
+        rng.refill();
+        rng
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        if self.index + 2 > 16 {
+            self.refill();
+        }
+        let lo = self.buffer[self.index] as u64;
+        let hi = self.buffer[self.index + 1] as u64;
+        self.index += 2;
+        lo | (hi << 32)
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let word = self.buffer[self.index];
+        self.index += 1;
+        word
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(0xB1A5);
+        let mut b = ChaCha8Rng::seed_from_u64(0xB1A5);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn works_through_rng_trait() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let x: f64 = rng.gen();
+        assert!((0.0..1.0).contains(&x));
+        let v = rng.gen_range(0usize..10);
+        assert!(v < 10);
+    }
+}
