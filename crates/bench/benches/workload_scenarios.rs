@@ -1,0 +1,80 @@
+//! Workload-scenario bench: drives every named `svgic-workload` scenario
+//! through the serving engine and compares them — both wall-clock (criterion
+//! timing of the full drive) and the engine-economics table each traffic
+//! shape produces (solves per event, cache hit rate, coalesce rate).
+//!
+//! `SVGIC_BENCH_SMOKE=1` (set in CI) shrinks every scenario to smoke size;
+//! the default runs the scenarios as shipped.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use svgic_bench::bench_scale;
+use svgic_experiments::ExperimentScale;
+use svgic_workload::prelude::*;
+
+const SEED: u64 = 0x10AD_6E4E;
+
+fn scenarios() -> Vec<Scenario> {
+    Scenario::all()
+        .into_iter()
+        .map(|scenario| match bench_scale() {
+            ExperimentScale::Smoke => {
+                let mut scenario = scenario.smoke();
+                scenario.ticks = scenario.ticks.min(4);
+                scenario
+            }
+            _ => scenario,
+        })
+        .collect()
+}
+
+fn workload_scenarios(c: &mut Criterion) {
+    // Generation is cheap; do it once so criterion times only the drive.
+    let traces: Vec<(Scenario, Trace)> = scenarios()
+        .into_iter()
+        .map(|scenario| {
+            let trace = generate(&scenario, SEED);
+            (scenario, trace)
+        })
+        .collect();
+
+    println!(
+        "{:<14} {:>8} {:>9} {:>8} {:>11} {:>10} {:>10}",
+        "scenario", "sessions", "events", "solves", "solves/evt", "cache-hit", "coalesced"
+    );
+    let driver = LoadDriver::new(DriverConfig::default());
+    for (scenario, trace) in &traces {
+        let outcome = driver.run(trace);
+        let stats = &outcome.engine;
+        println!(
+            "{:<14} {:>8} {:>9} {:>8} {:>11.3} {:>9.1}% {:>9.1}%",
+            scenario.name,
+            outcome.sessions,
+            stats.events_submitted,
+            stats.solves(),
+            if stats.events_submitted == 0 {
+                0.0
+            } else {
+                stats.solves() as f64 / stats.events_submitted as f64
+            },
+            100.0 * stats.cache_hit_rate(),
+            100.0 * stats.coalesce_rate(),
+        );
+    }
+    println!();
+
+    let mut group = c.benchmark_group("workload_scenarios");
+    group.sample_size(10);
+    for (scenario, trace) in &traces {
+        group.bench_with_input(scenario.name.as_str(), trace, |b, trace| {
+            b.iter(|| {
+                let outcome = driver.run(trace);
+                assert!(outcome.requests > 0);
+                outcome.config_digest
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, workload_scenarios);
+criterion_main!(benches);

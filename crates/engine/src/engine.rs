@@ -157,6 +157,13 @@ impl Engine {
         self.stats.snapshot()
     }
 
+    /// Resets the engine counters to zero without touching sessions or the
+    /// factor cache — e.g. to exclude a warmup prefix from a measured run
+    /// while keeping the caches warm.
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
     /// Handles a typed request.
     pub fn handle(&mut self, request: EngineRequest) -> Result<EngineResponse, EngineError> {
         match request {

@@ -70,6 +70,28 @@ impl EngineStats {
         }
     }
 
+    /// Resets every counter to zero, so a measured run can exclude warmup
+    /// traffic without rebuilding the engine and losing its caches.
+    pub fn reset(&self) {
+        let clear = |counter: &AtomicU64| counter.store(0, Ordering::Relaxed);
+        clear(&self.requests);
+        clear(&self.sessions_created);
+        clear(&self.sessions_closed);
+        clear(&self.events_submitted);
+        clear(&self.events_coalesced);
+        clear(&self.batches);
+        clear(&self.solves_incremental);
+        clear(&self.solves_full);
+        clear(&self.cache_hits);
+        clear(&self.cache_misses);
+        clear(&self.batch_shared);
+        clear(&self.lp_nanos);
+        clear(&self.round_nanos);
+        clear(&self.max_solve_nanos);
+        clear(&self.gap_micros);
+        clear(&self.gap_samples);
+    }
+
     /// A point-in-time copy of every counter plus derived rates.
     pub fn snapshot(&self) -> StatsSnapshot {
         let load = |counter: &AtomicU64| counter.load(Ordering::Relaxed);
@@ -165,6 +187,77 @@ impl StatsSnapshot {
             self.gap_micros as f64 / 1e6 / self.gap_samples as f64
         }
     }
+
+    /// Fraction of submitted events folded away by the coalescer, in
+    /// `[0, 1]` (`0` when nothing was submitted).
+    pub fn coalesce_rate(&self) -> f64 {
+        if self.events_submitted == 0 {
+            0.0
+        } else {
+            self.events_coalesced as f64 / self.events_submitted as f64
+        }
+    }
+
+    /// Fraction of solves served by the cheap incremental re-rounding path.
+    pub fn incremental_fraction(&self) -> f64 {
+        let solves = self.solves();
+        if solves == 0 {
+            0.0
+        } else {
+            self.solves_incremental as f64 / solves as f64
+        }
+    }
+
+    /// Mean latency of one LP relaxation job (LP jobs run once per cache
+    /// miss; hits and batch-shared solves skip the LP entirely).
+    pub fn mean_lp_time(&self) -> Duration {
+        if self.cache_misses == 0 {
+            Duration::ZERO
+        } else {
+            self.lp_time / self.cache_misses as u32
+        }
+    }
+
+    /// Mean latency of one rounding job (every solve rounds exactly once).
+    pub fn mean_round_time(&self) -> Duration {
+        let solves = self.solves();
+        if solves == 0 {
+            Duration::ZERO
+        } else {
+            self.round_time / solves as u32
+        }
+    }
+
+    /// The whole snapshot — raw counters *and* every derived rate — as an
+    /// ordered `(name, value)` list, so reports (the `loadgen` JSON, the
+    /// bench trajectory) can serialize it without re-deriving metrics ad hoc.
+    /// Times are in seconds; rates/fractions are in `[0, 1]`.
+    pub fn metrics(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("requests", self.requests as f64),
+            ("sessions_created", self.sessions_created as f64),
+            ("sessions_closed", self.sessions_closed as f64),
+            ("events_submitted", self.events_submitted as f64),
+            ("events_coalesced", self.events_coalesced as f64),
+            ("batches", self.batches as f64),
+            ("solves_incremental", self.solves_incremental as f64),
+            ("solves_full", self.solves_full as f64),
+            ("cache_hits", self.cache_hits as f64),
+            ("cache_misses", self.cache_misses as f64),
+            ("batch_shared", self.batch_shared as f64),
+            ("gap_samples", self.gap_samples as f64),
+            ("cache_hit_rate", self.cache_hit_rate()),
+            ("coalesce_rate", self.coalesce_rate()),
+            ("incremental_fraction", self.incremental_fraction()),
+            ("mean_gap", self.mean_gap()),
+            ("lp_seconds", self.lp_time.as_secs_f64()),
+            ("round_seconds", self.round_time.as_secs_f64()),
+            ("mean_lp_seconds", self.mean_lp_time().as_secs_f64()),
+            ("mean_round_seconds", self.mean_round_time().as_secs_f64()),
+            ("mean_solve_seconds", self.mean_solve_time().as_secs_f64()),
+            ("max_solve_seconds", self.max_solve_time.as_secs_f64()),
+        ]
+    }
 }
 
 impl std::fmt::Display for StatsSnapshot {
@@ -233,6 +326,51 @@ mod tests {
         let snap = stats.snapshot();
         assert!((snap.cache_hit_rate() - 0.75).abs() < 1e-12);
         assert!((snap.mean_gap() - 0.1).abs() < 1e-3);
+    }
+
+    #[test]
+    fn derived_rates_and_metrics_agree() {
+        let stats = EngineStats::default();
+        stats.events_submitted.store(10, Ordering::Relaxed);
+        stats.events_coalesced.store(4, Ordering::Relaxed);
+        stats.solves_incremental.store(3, Ordering::Relaxed);
+        stats.solves_full.store(1, Ordering::Relaxed);
+        stats.cache_misses.store(2, Ordering::Relaxed);
+        stats.record_solve_nanos(4_000, 0);
+        stats.record_solve_nanos(0, 8_000);
+        let snap = stats.snapshot();
+        assert!((snap.coalesce_rate() - 0.4).abs() < 1e-12);
+        assert!((snap.incremental_fraction() - 0.75).abs() < 1e-12);
+        assert_eq!(snap.mean_lp_time(), Duration::from_nanos(2_000));
+        assert_eq!(snap.mean_round_time(), Duration::from_nanos(2_000));
+        let metrics = snap.metrics();
+        let get = |name: &str| {
+            metrics
+                .iter()
+                .find(|(n, _)| *n == name)
+                .unwrap_or_else(|| panic!("metric {name} missing"))
+                .1
+        };
+        assert_eq!(get("events_submitted"), 10.0);
+        assert!((get("coalesce_rate") - 0.4).abs() < 1e-12);
+        assert!((get("cache_hit_rate") - snap.cache_hit_rate()).abs() < 1e-12);
+        assert!((get("mean_lp_seconds") - 2e-6).abs() < 1e-12);
+        // Names are unique (the JSON report uses them as object keys).
+        let names: std::collections::HashSet<_> = metrics.iter().map(|(n, _)| n).collect();
+        assert_eq!(names.len(), metrics.len());
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let stats = EngineStats::default();
+        stats.requests.store(5, Ordering::Relaxed);
+        stats.record_solve_nanos(1_000, 0);
+        stats.record_gap(0.5, 1.0);
+        stats.reset();
+        let snap = stats.snapshot();
+        assert_eq!(snap.requests, 0);
+        assert_eq!(snap.lp_time, Duration::ZERO);
+        assert_eq!(snap.gap_samples, 0);
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! Property tests for the scheduler's batch coalescer.
+//!
+//! The coalescer's contract: a session's pending queue folds to the *net*
+//! state change. For membership that means each user's final present/absent
+//! state is decided solely by their **last** event — interleaved
+//! Join/Leave/Join chatter from other users must not matter, and everything
+//! beyond the net effect must be reported as coalesced away.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use svgic_core::extensions::DynamicEvent;
+use svgic_engine::scheduler::coalesce;
+use svgic_engine::SessionEvent;
+
+const USERS: usize = 8;
+
+/// Builds a random membership-event stream over `USERS` users.
+fn random_stream(len: usize, seed: u64) -> Vec<SessionEvent> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| {
+            let user = rng.gen_range(0..USERS);
+            if rng.gen::<f64>() < 0.5 {
+                SessionEvent::Membership(DynamicEvent::Join(user))
+            } else {
+                SessionEvent::Membership(DynamicEvent::Leave(user))
+            }
+        })
+        .collect()
+}
+
+fn start_set(mask: u32) -> Vec<usize> {
+    (0..USERS).filter(|u| mask & (1 << u) != 0).collect()
+}
+
+/// The reference semantics: apply events one by one.
+fn naive_fold(start: &[usize], events: &[SessionEvent]) -> BTreeSet<usize> {
+    let mut present: BTreeSet<usize> = start.iter().copied().collect();
+    for event in events {
+        match event {
+            SessionEvent::Membership(DynamicEvent::Join(user)) => {
+                present.insert(*user);
+            }
+            SessionEvent::Membership(DynamicEvent::Leave(user)) => {
+                present.remove(user);
+            }
+            _ => unreachable!("membership-only streams"),
+        }
+    }
+    present
+}
+
+/// Keeps only each user's final event, preserving relative order.
+fn last_event_per_user(events: &[SessionEvent]) -> Vec<SessionEvent> {
+    let mut kept: Vec<SessionEvent> = Vec::new();
+    let mut seen: BTreeSet<usize> = BTreeSet::new();
+    for event in events.iter().rev() {
+        let SessionEvent::Membership(DynamicEvent::Join(user) | DynamicEvent::Leave(user)) = event
+        else {
+            unreachable!("membership-only streams");
+        };
+        if seen.insert(*user) {
+            kept.push(event.clone());
+        }
+    }
+    kept.reverse();
+    kept
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Coalescing equals the naive event-by-event fold, and the accounting
+    /// (raw, coalesced-away, dirty) is consistent with the net change.
+    #[test]
+    fn membership_coalesces_to_net_state(
+        start_mask in 0u32..256,
+        stream_len in 0usize..24,
+        seed in 0u64..10_000,
+    ) {
+        let start = start_set(start_mask);
+        let events = random_stream(stream_len, seed);
+        let catalog: Vec<usize> = (0..4).collect();
+        let batch = coalesce(&start, &catalog, 0.5, &events);
+
+        let expected = naive_fold(&start, &events);
+        prop_assert_eq!(&batch.present, &expected.iter().copied().collect::<Vec<_>>());
+
+        let start_as_set: BTreeSet<usize> = start.iter().copied().collect();
+        let net = expected.symmetric_difference(&start_as_set).count();
+        prop_assert_eq!(batch.dirty, net > 0);
+        prop_assert_eq!(batch.raw_events, events.len());
+        prop_assert_eq!(batch.coalesced_away, events.len() - net.min(events.len()));
+        prop_assert!(!batch.reshaped, "membership events never reshape the base");
+        prop_assert!(batch.catalog.is_none());
+        prop_assert!(batch.lambda.is_none());
+    }
+
+    /// Only each user's *last* event matters: dropping every superseded event
+    /// (in any interleaving) yields the same net batch.
+    #[test]
+    fn submission_order_of_superseded_events_is_irrelevant(
+        start_mask in 0u32..256,
+        stream_len in 1usize..24,
+        seed in 0u64..10_000,
+        shuffle_seed in 0u64..10_000,
+    ) {
+        let start = start_set(start_mask);
+        let events = random_stream(stream_len, seed);
+        let catalog: Vec<usize> = (0..4).collect();
+        let full = coalesce(&start, &catalog, 0.5, &events);
+
+        // Variant A: only the last event per user, original relative order.
+        let lasts = last_event_per_user(&events);
+        let reduced = coalesce(&start, &catalog, 0.5, &lasts);
+        prop_assert_eq!(&full.present, &reduced.present);
+        prop_assert_eq!(full.dirty, reduced.dirty);
+
+        // Variant B: those last events in a random different order — final
+        // per-user state involves one event each, so order cannot matter.
+        let mut shuffled = lasts.clone();
+        use rand::seq::SliceRandom;
+        shuffled.shuffle(&mut StdRng::seed_from_u64(shuffle_seed));
+        let reordered = coalesce(&start, &catalog, 0.5, &shuffled);
+        prop_assert_eq!(&full.present, &reordered.present);
+        prop_assert_eq!(full.dirty, reordered.dirty);
+    }
+
+    /// A Join→Leave→Join sandwich for one user nets to a plain join, no
+    /// matter how much other-user chatter is interleaved between the three.
+    #[test]
+    fn join_leave_join_sandwich_nets_to_join(
+        filler_len in 0usize..12,
+        seed in 0u64..10_000,
+    ) {
+        // User 9 is outside the filler's 0..8 range, so filler never touches
+        // them.
+        let target = 9usize;
+        let filler = random_stream(filler_len, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        let mut events = vec![SessionEvent::Membership(DynamicEvent::Join(target))];
+        let insert_random = |events: &mut Vec<SessionEvent>, rng: &mut StdRng| {
+            for filler_event in &filler {
+                if rng.gen::<f64>() < 0.5 {
+                    events.push(filler_event.clone());
+                }
+            }
+        };
+        insert_random(&mut events, &mut rng);
+        events.push(SessionEvent::Membership(DynamicEvent::Leave(target)));
+        insert_random(&mut events, &mut rng);
+        events.push(SessionEvent::Membership(DynamicEvent::Join(target)));
+
+        let batch = coalesce(&[], &[0, 1, 2, 3], 0.5, &events);
+        prop_assert!(batch.present.contains(&target), "net effect must be a join");
+        prop_assert!(batch.dirty);
+    }
+}

@@ -237,6 +237,59 @@ mod tests {
         assert!(intra > inter, "intra {intra} should dominate inter {inter}");
     }
 
+    /// Workload scenarios sweep group sizes down to a solo shopper; every
+    /// generator must handle the degenerate sizes without panicking.
+    #[test]
+    fn generators_handle_empty_and_singleton_graphs() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for n in [0usize, 1] {
+            for g in [
+                erdos_renyi(n, 0.5, &mut rng),
+                barabasi_albert(n, 3, &mut rng),
+                watts_strogatz(n, 4, 0.3, &mut rng),
+                planted_partition(n, 3, 0.5, 0.1, &mut rng).0,
+                complete_graph(n),
+                star_graph(n),
+            ] {
+                assert_eq!(g.num_nodes(), n);
+                assert_eq!(g.num_edges(), 0, "no self-loops possible at n = {n}");
+                assert_eq!(g.connected_components().len(), n);
+            }
+        }
+        // Labels stay well-formed even when there are more communities than
+        // nodes.
+        let (_, labels) = planted_partition(1, 5, 0.9, 0.0, &mut rng);
+        assert_eq!(labels.len(), 1);
+    }
+
+    #[test]
+    fn fully_disconnected_graphs_are_safe() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let g = erdos_renyi(12, 0.0, &mut rng);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.connected_components().len(), 12);
+        assert!((0..12).all(|u| g.degree(u) == 0 && g.neighbors(u).is_empty()));
+        // Planted partitions with zero edge probabilities are the same shape.
+        let (p, labels) = planted_partition(9, 3, 0.0, 0.0, &mut rng);
+        assert_eq!(p.num_edges(), 0);
+        assert_eq!(labels.len(), 9);
+    }
+
+    #[test]
+    fn pair_graphs_have_at_most_one_friendship() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for g in [
+            erdos_renyi(2, 1.0, &mut rng),
+            barabasi_albert(2, 4, &mut rng),
+            watts_strogatz(2, 6, 0.5, &mut rng),
+            complete_graph(2),
+            star_graph(2),
+        ] {
+            assert_eq!(g.num_nodes(), 2);
+            assert!(g.num_friend_pairs() <= 1);
+        }
+    }
+
     #[test]
     fn complete_and_star() {
         let g = complete_graph(5);

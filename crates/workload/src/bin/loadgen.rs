@@ -1,0 +1,270 @@
+//! `loadgen` — run a named workload scenario (or replay a recorded trace)
+//! against `svgic-engine` and emit a machine-readable JSON load report.
+//!
+//! ```text
+//! loadgen --scenario flash-sale --seed 7          # generate, record, drive
+//! loadgen --replay target/loadgen/flash-sale-seed7.trace
+//! loadgen --list                                  # named scenarios
+//! ```
+//!
+//! The JSON report goes to stdout (and `--out <path>` when given); the
+//! generated trace is recorded next to it so any run can be replayed
+//! bit-identically. Exit code is non-zero on any usage or IO error, so CI
+//! can gate on it.
+
+use std::process::ExitCode;
+
+use svgic_workload::prelude::*;
+use svgic_workload::report::REPORT_SCHEMA;
+
+struct Args {
+    scenario: Option<String>,
+    replay: Option<String>,
+    seed: Option<u64>,
+    ticks: Option<usize>,
+    mode: DriveMode,
+    warmup: usize,
+    workers: usize,
+    record: Option<String>,
+    no_record: bool,
+    out: Option<String>,
+    smoke: bool,
+    quiet: bool,
+    list: bool,
+}
+
+const USAGE: &str = "\
+loadgen — scenario-driven load testing for the svgic serving engine
+
+USAGE:
+    loadgen --scenario <name> [--seed N] [--ticks N] [options]
+    loadgen --replay <trace-file> [options]
+    loadgen --list
+
+OPTIONS:
+    --scenario <name>   named scenario to generate and drive
+    --replay <path>     replay a recorded trace instead of generating
+    --seed <N>          scenario seed (default 1)
+    --ticks <N>         override the scenario's tick count
+    --mode <open|closed>  open-loop (batched, default) or closed-loop pacing
+    --warmup <N>        drive N ticks before measuring (caches stay warm,
+                        counters reset at the boundary; digest unaffected)
+    --workers <N>       engine worker threads (default: one per core)
+    --smoke             shrink the scenario to CI-smoke size
+    --record <path>     where to write the generated trace
+                        (default target/loadgen/<scenario>-seed<seed>.trace)
+    --no-record         skip recording the trace
+    --out <path>        also write the JSON report to this file
+    --quiet             suppress the human-readable summary on stderr
+    --list              list the named scenarios and exit
+
+Generation-only flags (--seed, --ticks, --smoke, --record, --no-record) are
+rejected in --replay mode: a recorded trace is immutable provenance.
+";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        scenario: None,
+        replay: None,
+        seed: None,
+        ticks: None,
+        mode: DriveMode::OpenLoop,
+        warmup: 0,
+        workers: 0,
+        record: None,
+        no_record: false,
+        out: None,
+        smoke: false,
+        quiet: false,
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .ok_or_else(|| format!("{flag} needs a {what} argument"))
+        };
+        match flag.as_str() {
+            "--scenario" => args.scenario = Some(value("name")?),
+            "--replay" => args.replay = Some(value("path")?),
+            "--seed" => {
+                args.seed = Some(
+                    value("number")?
+                        .parse()
+                        .map_err(|_| "--seed wants an unsigned integer".to_string())?,
+                )
+            }
+            "--ticks" => {
+                args.ticks = Some(
+                    value("number")?
+                        .parse()
+                        .map_err(|_| "--ticks wants a positive integer".to_string())?,
+                )
+            }
+            "--mode" => {
+                args.mode = match value("mode")?.as_str() {
+                    "open" | "open-loop" => DriveMode::OpenLoop,
+                    "closed" | "closed-loop" => DriveMode::ClosedLoop,
+                    other => return Err(format!("unknown mode `{other}`")),
+                }
+            }
+            "--warmup" => {
+                args.warmup = value("number")?
+                    .parse()
+                    .map_err(|_| "--warmup wants an unsigned integer".to_string())?
+            }
+            "--workers" => {
+                args.workers = value("number")?
+                    .parse()
+                    .map_err(|_| "--workers wants an unsigned integer".to_string())?
+            }
+            "--record" => args.record = Some(value("path")?),
+            "--no-record" => args.no_record = true,
+            "--out" => args.out = Some(value("path")?),
+            "--smoke" => args.smoke = true,
+            "--quiet" => args.quiet = true,
+            "--list" => args.list = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    if args.list {
+        println!("named scenarios:");
+        for scenario in Scenario::all() {
+            println!("  {:<14} {} ticks", scenario.name, scenario.ticks);
+        }
+        return Ok(());
+    }
+
+    // --- Obtain the trace: generate from a scenario, or load a recording ---
+    let (trace, recorded_path) = match (&args.scenario, &args.replay) {
+        (Some(_), Some(_)) => return Err("--scenario and --replay are mutually exclusive".into()),
+        (None, None) => return Err(format!("need --scenario or --replay\n\n{USAGE}")),
+        (None, Some(path)) => {
+            // A recorded trace is immutable provenance; silently ignoring
+            // generation flags would mislabel the results.
+            let rejected: &[(&str, bool)] = &[
+                ("--seed", args.seed.is_some()),
+                ("--ticks", args.ticks.is_some()),
+                ("--smoke", args.smoke),
+                ("--record", args.record.is_some()),
+                ("--no-record", args.no_record),
+            ];
+            if let Some((flag, _)) = rejected.iter().find(|(_, set)| *set) {
+                return Err(format!(
+                    "{flag} only applies when generating a scenario; it cannot alter a replayed trace"
+                ));
+            }
+            let trace = Trace::read_from_file(path).map_err(|e| e.to_string())?;
+            (trace, None)
+        }
+        (Some(name), None) => {
+            let mut scenario = Scenario::by_name(name).ok_or_else(|| {
+                let names: Vec<String> = Scenario::all().into_iter().map(|s| s.name).collect();
+                format!("unknown scenario `{name}` (have: {})", names.join(", "))
+            })?;
+            if args.smoke {
+                scenario = scenario.smoke();
+            }
+            if let Some(ticks) = args.ticks {
+                scenario.ticks = ticks.max(1);
+            }
+            let seed = args.seed.unwrap_or(1);
+            let trace = generate(&scenario, seed);
+            let path = if args.no_record {
+                None
+            } else {
+                let path = args.record.clone().unwrap_or_else(|| {
+                    format!("target/loadgen/{}-seed{}.trace", scenario.name, seed)
+                });
+                trace
+                    .write_to_file(&path)
+                    .map_err(|e| format!("record {path}: {e}"))?;
+                Some(path)
+            };
+            (trace, path)
+        }
+    };
+
+    // --- Drive ---
+    let config = DriverConfig {
+        mode: args.mode,
+        warmup_ticks: args.warmup,
+        engine: svgic_engine::EngineConfig {
+            workers: args.workers,
+            auto_flush_pending: 0,
+            ..svgic_engine::EngineConfig::default()
+        },
+    };
+    let driver = LoadDriver::new(config);
+    let outcome = driver.run(&trace);
+
+    // --- Report ---
+    let mut report = LoadReport::new(&trace, outcome);
+    report.trace_path = recorded_path.clone();
+    let json = report.to_json();
+
+    if !args.quiet {
+        let o = &report.outcome;
+        let all = o.latency.all();
+        eprintln!(
+            "loadgen: {} seed {} ({}, {} ticks) — {} sessions, {} requests in {:.3}s",
+            report.scenario,
+            report.seed,
+            o.mode.label(),
+            report.ticks,
+            o.sessions,
+            o.requests,
+            o.wall_seconds,
+        );
+        eprintln!(
+            "  throughput {:.0} req/s | latency p50 {:.1}µs p95 {:.1}µs p99 {:.1}µs max {:.1}µs",
+            o.throughput_rps(),
+            all.quantile(0.50).as_secs_f64() * 1e6,
+            all.quantile(0.95).as_secs_f64() * 1e6,
+            all.quantile(0.99).as_secs_f64() * 1e6,
+            all.max().as_secs_f64() * 1e6,
+        );
+        eprintln!(
+            "  engine: {} solves ({:.0}% incremental), cache hit rate {:.1}%, {:.0}% events coalesced",
+            o.engine.solves(),
+            100.0 * o.engine.incremental_fraction(),
+            100.0 * o.engine.cache_hit_rate(),
+            100.0 * o.engine.coalesce_rate(),
+        );
+        eprintln!("  config digest 0x{:016x}", o.config_digest);
+        if let Some(path) = &recorded_path {
+            eprintln!("  trace recorded to {path} (replay with --replay {path})");
+        }
+        debug_assert!(json.contains(REPORT_SCHEMA));
+    }
+
+    if let Some(path) = &args.out {
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(|e| format!("mkdir for {path}: {e}"))?;
+            }
+        }
+        std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
+    }
+    println!("{json}");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("loadgen: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

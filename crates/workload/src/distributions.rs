@@ -1,0 +1,176 @@
+//! Heavy-tailed samplers used by the scenario model.
+//!
+//! Social-VR traffic is skewed everywhere: a few scene templates attract most
+//! groups (Zipf), group sizes follow a power law (most pairs/trios, rare
+//! megagroups), and session durations are log-normal (most groups browse for
+//! minutes, a few camp for hours). All samplers are deterministic given the
+//! RNG passed in, which is what makes recorded traces reproducible.
+
+use rand::Rng;
+
+/// A Zipf(`s`) sampler over ranks `0..n` (rank 0 is the most popular).
+///
+/// Weights are `1 / (r + 1)^s`; the cumulative table is precomputed so each
+/// draw is a binary search.
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n ≥ 1` ranks with exponent `s ≥ 0`
+    /// (`s = 0` is uniform; larger `s` concentrates mass on low ranks).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1, "ZipfSampler needs at least one rank");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "exponent must be finite and >= 0"
+        );
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 0..n {
+            total += 1.0 / ((rank + 1) as f64).powf(s);
+            cumulative.push(total);
+        }
+        ZipfSampler { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the sampler has zero ranks (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Draws one rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x = rng.gen::<f64>() * total;
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&x).expect("finite weights"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+/// Draws an integer from a bounded Pareto distribution on `[lo, hi]` with
+/// tail exponent `alpha` (smaller `alpha` = heavier tail). `lo = hi` is
+/// allowed and returns `lo`.
+pub fn bounded_pareto<R: Rng + ?Sized>(lo: usize, hi: usize, alpha: f64, rng: &mut R) -> usize {
+    assert!(lo >= 1, "bounded_pareto needs lo >= 1");
+    assert!(hi >= lo, "bounded_pareto needs hi >= lo");
+    assert!(alpha > 0.0, "tail exponent must be positive");
+    if lo == hi {
+        return lo;
+    }
+    let l = lo as f64;
+    let h = hi as f64;
+    let u: f64 = rng.gen();
+    // Inverse CDF of the bounded Pareto: x = L * (1 - u (1 - (L/H)^a))^(-1/a).
+    let x = l * (1.0 - u * (1.0 - (l / h).powf(alpha))).powf(-1.0 / alpha);
+    (x.floor() as usize).clamp(lo, hi)
+}
+
+/// Draws a non-negative integer duration (in ticks) from a log-normal with
+/// the given mean/sigma of the underlying normal, clamped to `[1, cap]`.
+pub fn lognormal_ticks<R: Rng + ?Sized>(mu: f64, sigma: f64, cap: usize, rng: &mut R) -> usize {
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen();
+    // Box–Muller.
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    let x = (mu + sigma * z).exp();
+    (x.round() as usize).clamp(1, cap.max(1))
+}
+
+/// Draws from a Poisson distribution with rate `lambda ≥ 0` (Knuth's
+/// product-of-uniforms method; fine for the per-tick rates scenarios use).
+pub fn poisson<R: Rng + ?Sized>(lambda: f64, rng: &mut R) -> usize {
+    assert!(
+        lambda >= 0.0 && lambda.is_finite(),
+        "rate must be finite, >= 0"
+    );
+    if lambda == 0.0 {
+        return 0;
+    }
+    let threshold = (-lambda).exp();
+    let mut count = 0usize;
+    let mut product: f64 = 1.0;
+    loop {
+        product *= rng.gen::<f64>();
+        if product <= threshold || count > 10_000 {
+            return count;
+        }
+        count += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_prefers_low_ranks() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let zipf = ZipfSampler::new(10, 1.2);
+        let mut counts = [0usize; 10];
+        for _ in 0..4000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        assert!(
+            counts[0] > counts[9],
+            "rank 0 {} vs rank 9 {}",
+            counts[0],
+            counts[9]
+        );
+        assert!(counts[0] > counts[4]);
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let zipf = ZipfSampler::new(4, 0.0);
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 700, "uniform-ish counts, got {counts:?}");
+        }
+    }
+
+    #[test]
+    fn bounded_pareto_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen_lo = false;
+        for _ in 0..2000 {
+            let x = bounded_pareto(2, 9, 1.4, &mut rng);
+            assert!((2..=9).contains(&x));
+            seen_lo |= x == 2;
+        }
+        assert!(seen_lo, "the mode of a Pareto is its lower bound");
+        assert_eq!(bounded_pareto(5, 5, 1.0, &mut rng), 5);
+    }
+
+    #[test]
+    fn lognormal_in_range_and_poisson_mean_tracks_rate() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..500 {
+            let d = lognormal_ticks(1.5, 0.8, 40, &mut rng);
+            assert!((1..=40).contains(&d));
+        }
+        let mean: f64 = (0..4000)
+            .map(|_| poisson(2.5, &mut rng) as f64)
+            .sum::<f64>()
+            / 4000.0;
+        assert!((mean - 2.5).abs() < 0.25, "poisson mean {mean}");
+        assert_eq!(poisson(0.0, &mut rng), 0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Log-bucketed HDR-style latency histograms.
+//!
+//! Latencies span six orders of magnitude (a cached query is nanoseconds, a
+//! full LP flush is milliseconds), so linear buckets are useless. This
+//! histogram uses the classic HDR layout: values below 16 ns get exact
+//! buckets; above that, each power-of-two range is split into 16 linear
+//! sub-buckets, bounding the relative quantile error at 1/16 ≈ 6% while
+//! keeping the whole histogram a fixed 976-slot array that records in O(1)
+//! and merges by element-wise addition.
+
+use std::time::Duration;
+
+const SUB_BUCKET_BITS: u32 = 4;
+const SUB_BUCKETS: usize = 1 << SUB_BUCKET_BITS; // 16
+const NUM_BUCKETS: usize = (64 - SUB_BUCKET_BITS as usize) * SUB_BUCKETS; // 960
+const TOTAL_SLOTS: usize = SUB_BUCKETS + NUM_BUCKETS; // 976
+
+/// A fixed-size log-bucketed histogram of durations (recorded in
+/// nanoseconds).
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum_nanos: u128,
+    max_nanos: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn slot_of(nanos: u64) -> usize {
+    if nanos < SUB_BUCKETS as u64 {
+        return nanos as usize;
+    }
+    let exp = 63 - nanos.leading_zeros(); // >= SUB_BUCKET_BITS
+    let sub = ((nanos >> (exp - SUB_BUCKET_BITS)) & (SUB_BUCKETS as u64 - 1)) as usize;
+    (exp - SUB_BUCKET_BITS + 1) as usize * SUB_BUCKETS + sub
+}
+
+/// Lower bound of a slot's value range (its representative value).
+fn slot_value(slot: usize) -> u64 {
+    if slot < SUB_BUCKETS {
+        return slot as u64;
+    }
+    let exp = (slot / SUB_BUCKETS - 1) as u32 + SUB_BUCKET_BITS;
+    let sub = (slot % SUB_BUCKETS) as u64;
+    (1u64 << exp) | (sub << (exp - SUB_BUCKET_BITS))
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; TOTAL_SLOTS],
+            total: 0,
+            sum_nanos: 0,
+            max_nanos: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, latency: Duration) {
+        let nanos = latency.as_nanos().min(u64::MAX as u128) as u64;
+        self.counts[slot_of(nanos)] += 1;
+        self.total += 1;
+        self.sum_nanos += nanos as u128;
+        self.max_nanos = self.max_nanos.max(nanos);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Exact maximum recorded sample.
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_nanos)
+    }
+
+    /// Exact mean of recorded samples (zero when empty).
+    pub fn mean(&self) -> Duration {
+        if self.total == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos((self.sum_nanos / self.total as u128) as u64)
+        }
+    }
+
+    /// The quantile `q ∈ [0, 1]` with ≤ 1/16 relative error (the exact max is
+    /// returned for the top quantile; zero when empty).
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        if rank >= self.total {
+            return self.max();
+        }
+        let mut seen = 0u64;
+        for (slot, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                // Never report a bucket bound above the true max.
+                return Duration::from_nanos(slot_value(slot).min(self.max_nanos));
+            }
+        }
+        self.max()
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        self.sum_nanos += other.sum_nanos;
+        self.max_nanos = self.max_nanos.max(other.max_nanos);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_are_monotone_and_cover_u64() {
+        let mut previous = 0usize;
+        for exp in 0..64u32 {
+            let v = 1u64 << exp;
+            for probe in [v, v + (v >> 1)] {
+                let slot = slot_of(probe);
+                assert!(slot < TOTAL_SLOTS, "slot {slot} for {probe}");
+                assert!(
+                    slot >= previous,
+                    "slots must be monotone in the sample: {slot} < {previous} at {probe}"
+                );
+                assert!(
+                    slot_value(slot) <= probe,
+                    "slot lower bound {} above sample {probe}",
+                    slot_value(slot)
+                );
+                previous = slot;
+            }
+        }
+        assert!(slot_of(u64::MAX) < TOTAL_SLOTS);
+    }
+
+    #[test]
+    fn quantiles_track_known_distribution() {
+        let mut h = LatencyHistogram::new();
+        for micros in 1..=1000u64 {
+            h.record(Duration::from_micros(micros));
+        }
+        let p50 = h.quantile(0.50).as_micros() as f64;
+        let p99 = h.quantile(0.99).as_micros() as f64;
+        assert!((p50 - 500.0).abs() / 500.0 < 0.08, "p50 {p50}");
+        assert!((p99 - 990.0).abs() / 990.0 < 0.08, "p99 {p99}");
+        assert_eq!(h.quantile(1.0), Duration::from_micros(1000));
+        assert_eq!(h.max(), Duration::from_micros(1000));
+        assert_eq!(h.count(), 1000);
+        let mean = h.mean().as_micros();
+        assert!((499..=502).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeroes() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.max(), Duration::ZERO);
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut whole = LatencyHistogram::new();
+        for i in 0..500u64 {
+            let d = Duration::from_nanos(17 * i * i + 3);
+            if i % 2 == 0 {
+                a.record(d);
+            } else {
+                b.record(d);
+            }
+            whole.record(d);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.max(), whole.max());
+        for q in [0.5, 0.95, 0.99] {
+            assert_eq!(a.quantile(q), whole.quantile(q));
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! Machine-readable JSON load reports.
+//!
+//! [`LoadReport`] is what `loadgen` emits and what the `BENCH_*.json` perf
+//! trajectory consumes: scenario provenance, throughput, per-class latency
+//! quantiles, served-configuration quality, the full engine
+//! [`StatsSnapshot`] (via its `metrics()` list — nothing is re-derived here),
+//! and the configuration digest that ties the numbers to a replayable trace.
+//!
+//! The workspace has no serde (offline build), so the writer is a ~60-line
+//! hand-rolled JSON emitter; output is deterministic modulo the wall-clock
+//! fields.
+
+use std::time::Duration;
+
+use crate::driver::{LoadOutcome, QualityUnderLoad};
+use crate::histogram::LatencyHistogram;
+use crate::trace::Trace;
+
+/// Schema tag embedded in every report.
+pub const REPORT_SCHEMA: &str = "svgic-loadgen-report/v1";
+
+/// A complete load-test report, ready to serialize.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// Scenario name (from the trace header).
+    pub scenario: String,
+    /// Scenario seed (from the trace header).
+    pub seed: u64,
+    /// Ticks the trace spans.
+    pub ticks: usize,
+    /// Path the trace was recorded to, when it was.
+    pub trace_path: Option<String>,
+    /// Sessions the trace opens.
+    pub trace_sessions: usize,
+    /// The measured outcome.
+    pub outcome: LoadOutcome,
+}
+
+impl LoadReport {
+    /// Assembles a report from a trace and its driver outcome (the worker
+    /// count comes from the outcome — the engine resolved it).
+    pub fn new(trace: &Trace, outcome: LoadOutcome) -> Self {
+        LoadReport {
+            scenario: trace.scenario.clone(),
+            seed: trace.seed,
+            ticks: trace.ticks,
+            trace_path: None,
+            trace_sessions: trace.session_count(),
+            outcome,
+        }
+    }
+
+    /// Serializes the report as a pretty-printed JSON object.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.open();
+        w.string("schema", REPORT_SCHEMA);
+        w.string("scenario", &self.scenario);
+        w.integer("seed", self.seed);
+        w.integer("ticks", self.ticks as u64);
+        w.string("mode", self.outcome.mode.label());
+        w.integer("workers", self.outcome.workers as u64);
+        match &self.trace_path {
+            Some(path) => w.string("trace_path", path),
+            None => w.raw("trace_path", "null"),
+        }
+        w.integer("trace_events", self.outcome.trace_events as u64);
+        w.integer("sessions", self.outcome.sessions);
+        w.integer("trace_sessions", self.trace_sessions as u64);
+        w.integer("requests", self.outcome.requests);
+        w.number("wall_seconds", self.outcome.wall_seconds);
+        w.number("throughput_rps", self.outcome.throughput_rps());
+
+        w.nested("latency_us", |w| {
+            let classes: [(&str, &LatencyHistogram); 5] = [
+                ("create", &self.outcome.latency.create),
+                ("submit", &self.outcome.latency.submit),
+                ("query", &self.outcome.latency.query),
+                ("flush", &self.outcome.latency.flush),
+                ("close", &self.outcome.latency.close),
+            ];
+            for (name, histogram) in classes {
+                w.nested(name, |w| write_histogram(w, histogram));
+            }
+            let all = self.outcome.latency.all();
+            w.nested("all", |w| write_histogram(w, &all));
+        });
+
+        w.nested("quality", |w| write_quality(w, &self.outcome.quality));
+
+        w.nested("engine", |w| {
+            for (name, value) in self.outcome.engine.metrics() {
+                w.number(name, value);
+            }
+        });
+
+        w.string(
+            "config_digest",
+            &format!("0x{:016x}", self.outcome.config_digest),
+        );
+        w.close();
+        w.finish()
+    }
+}
+
+fn micros(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+fn write_histogram(w: &mut JsonWriter, h: &LatencyHistogram) {
+    w.integer("count", h.count());
+    w.number("mean", micros(h.mean()));
+    w.number("p50", micros(h.quantile(0.50)));
+    w.number("p95", micros(h.quantile(0.95)));
+    w.number("p99", micros(h.quantile(0.99)));
+    w.number("max", micros(h.max()));
+}
+
+fn write_quality(w: &mut JsonWriter, q: &QualityUnderLoad) {
+    w.integer("samples", q.samples);
+    w.number("mean_utility", q.mean_utility());
+    w.number("bound_ratio", q.bound_ratio());
+}
+
+/// Minimal pretty-printing JSON object writer (objects and scalar fields —
+/// all the report needs).
+struct JsonWriter {
+    out: String,
+    indent: usize,
+    /// Whether the current object already has a field (comma management).
+    has_field: Vec<bool>,
+}
+
+impl JsonWriter {
+    fn new() -> Self {
+        JsonWriter {
+            out: String::new(),
+            indent: 0,
+            has_field: Vec::new(),
+        }
+    }
+
+    fn open(&mut self) {
+        self.out.push('{');
+        self.indent += 1;
+        self.has_field.push(false);
+    }
+
+    fn close(&mut self) {
+        self.indent -= 1;
+        self.has_field.pop();
+        self.out.push('\n');
+        self.out.push_str(&"  ".repeat(self.indent));
+        self.out.push('}');
+    }
+
+    fn key(&mut self, name: &str) {
+        let first = !std::mem::replace(self.has_field.last_mut().expect("inside an object"), true);
+        if !first {
+            self.out.push(',');
+        }
+        self.out.push('\n');
+        self.out.push_str(&"  ".repeat(self.indent));
+        self.out.push('"');
+        self.out.push_str(&escape(name));
+        self.out.push_str("\": ");
+    }
+
+    fn string(&mut self, name: &str, value: &str) {
+        self.key(name);
+        self.out.push('"');
+        self.out.push_str(&escape(value));
+        self.out.push('"');
+    }
+
+    fn raw(&mut self, name: &str, literal: &str) {
+        self.key(name);
+        self.out.push_str(literal);
+    }
+
+    fn number(&mut self, name: &str, value: f64) {
+        self.key(name);
+        if value.is_finite() {
+            self.out.push_str(&format!("{value}"));
+        } else {
+            // JSON has no NaN/Inf.
+            self.out.push_str("null");
+        }
+    }
+
+    /// Integer fields (seeds, counts) are emitted as integer literals, not
+    /// routed through `f64` — a `u64` seed above 2^53 must survive verbatim.
+    fn integer(&mut self, name: &str, value: u64) {
+        self.key(name);
+        self.out.push_str(&value.to_string());
+    }
+
+    fn nested(&mut self, name: &str, body: impl FnOnce(&mut JsonWriter)) {
+        self.key(name);
+        self.open();
+        body(self);
+        self.close();
+    }
+
+    fn finish(mut self) -> String {
+        self.out.push('\n');
+        self.out
+    }
+}
+
+fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for ch in text.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{DriverConfig, LoadDriver};
+    use crate::scenario::Scenario;
+    use crate::synth::generate;
+
+    fn sample_report() -> LoadReport {
+        let mut scenario = Scenario::steady_mall().smoke();
+        scenario.ticks = 2;
+        let trace = generate(&scenario, 3);
+        let outcome = LoadDriver::new(DriverConfig::default()).run(&trace);
+        LoadReport::new(&trace, outcome)
+    }
+
+    #[test]
+    fn u64_seed_survives_serialization_verbatim() {
+        let mut report = sample_report();
+        report.seed = (1u64 << 53) + 1; // not representable as f64
+        let json = report.to_json();
+        assert!(
+            json.contains(&format!("\"seed\": {}", (1u64 << 53) + 1)),
+            "seed must be emitted as an exact integer literal:\n{json}"
+        );
+    }
+
+    #[test]
+    fn report_contains_required_fields() {
+        let report = sample_report();
+        let json = report.to_json();
+        for needle in [
+            "\"schema\": \"svgic-loadgen-report/v1\"",
+            "\"scenario\": \"steady-mall\"",
+            "\"throughput_rps\":",
+            "\"p50\":",
+            "\"p95\":",
+            "\"p99\":",
+            "\"cache_hit_rate\":",
+            "\"coalesce_rate\":",
+            "\"config_digest\": \"0x",
+            "\"trace_path\": null",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+    }
+
+    #[test]
+    fn report_json_is_structurally_balanced() {
+        let json = sample_report().to_json();
+        // No serde to parse with, so check structural invariants: balanced
+        // braces, balanced quotes, no trailing commas.
+        let braces: i64 = json
+            .chars()
+            .map(|c| match c {
+                '{' => 1,
+                '}' => -1,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(braces, 0);
+        assert_eq!(json.matches('"').count() % 2, 0);
+        assert!(!json.contains(",\n}"));
+        assert!(!json.contains(",}"));
+        assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,283 @@
+//! Named, parameterized workload scenarios.
+//!
+//! A [`Scenario`] bundles everything the generator needs: an arrival process,
+//! template demographics (group sizes are heavy-tailed, template popularity
+//! is Zipf), per-tick churn intensity, catalogue/λ mutation rates, and the
+//! query mix. Five named scenarios ship out of the box:
+//!
+//! | name | traffic shape | stresses |
+//! |---|---|---|
+//! | `steady-mall` | Poisson arrivals, moderate churn | the steady-state batch path |
+//! | `diurnal-cycle` | sinusoidal day/night rate | cache behaviour across load swings |
+//! | `flash-sale` | ON/OFF bursts + catalogue rotations | burst absorption, coalescing |
+//! | `churn-heavy` | constant catalogue/λ mutation, groups down to size 1 | base-instance rebuilds, cache turnover |
+//! | `megagroup` | few huge groups, heavy membership churn | LP solve cost, incremental re-rounding |
+
+use std::fmt;
+
+use svgic_datasets::DatasetProfile;
+
+use crate::arrival::ArrivalProcess;
+
+/// Heavy-tailed group-size model: bounded Pareto on `[min_users, max_users]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GroupSizeModel {
+    /// Smallest group size (≥ 1; scenarios may go down to solo shoppers).
+    pub min_users: usize,
+    /// Largest group size.
+    pub max_users: usize,
+    /// Pareto tail exponent (smaller = heavier tail).
+    pub alpha: f64,
+}
+
+/// Log-normal session-duration model, in ticks.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DurationModel {
+    /// Mean of the underlying normal.
+    pub mu: f64,
+    /// Sigma of the underlying normal.
+    pub sigma: f64,
+    /// Hard cap in ticks.
+    pub cap: usize,
+}
+
+/// A named, fully parameterized workload scenario.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scenario {
+    /// Stable scenario name (what `loadgen --scenario` matches).
+    pub name: String,
+    /// Ticks the generation runs for.
+    pub ticks: usize,
+    /// Session arrival process.
+    pub arrivals: ArrivalProcess,
+    /// Number of instance templates sessions are stamped from.
+    pub num_templates: usize,
+    /// Zipf exponent of template popularity (0 = uniform; higher = a few hot
+    /// templates, which is what makes the engine's cross-session factor cache
+    /// earn its keep).
+    pub template_zipf: f64,
+    /// Dataset families templates cycle through.
+    pub profiles: Vec<DatasetProfile>,
+    /// Group-size distribution.
+    pub group_size: GroupSizeModel,
+    /// Items per template (`m`).
+    pub items: usize,
+    /// Display slots per template (`k`).
+    pub slots: usize,
+    /// Session-duration distribution.
+    pub duration: DurationModel,
+    /// Probability each user is present at open (at least one always is).
+    pub initial_presence: f64,
+    /// Mean membership (join/leave) events per live session per tick.
+    pub churn_rate: f64,
+    /// Per-session per-tick probability of a catalogue rotation.
+    pub catalog_churn: f64,
+    /// Per-session per-tick probability of a λ re-tune.
+    pub lambda_churn: f64,
+    /// Zipf exponent of item popularity used when rotating catalogues.
+    pub item_zipf: f64,
+    /// Per-session per-tick probability the client reads its configuration.
+    pub query_rate: f64,
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+impl Scenario {
+    /// Steady-state mall: Poisson arrivals, moderate churn, warm caches.
+    pub fn steady_mall() -> Self {
+        Scenario {
+            name: "steady-mall".into(),
+            ticks: 24,
+            arrivals: ArrivalProcess::Poisson { rate: 1.2 },
+            num_templates: 6,
+            template_zipf: 0.9,
+            profiles: DatasetProfile::all().to_vec(),
+            group_size: GroupSizeModel {
+                min_users: 4,
+                max_users: 10,
+                alpha: 1.6,
+            },
+            items: 16,
+            slots: 3,
+            duration: DurationModel {
+                mu: 1.9,
+                sigma: 0.5,
+                cap: 16,
+            },
+            initial_presence: 0.75,
+            churn_rate: 1.2,
+            catalog_churn: 0.02,
+            lambda_churn: 0.01,
+            item_zipf: 0.8,
+            query_rate: 0.5,
+        }
+    }
+
+    /// Day/night cycle: the arrival rate swings sinusoidally over the run.
+    pub fn diurnal_cycle() -> Self {
+        Scenario {
+            name: "diurnal-cycle".into(),
+            ticks: 36,
+            arrivals: ArrivalProcess::Diurnal {
+                base: 1.4,
+                amplitude: 0.9,
+                period: 36.0,
+            },
+            ..Scenario::steady_mall()
+        }
+    }
+
+    /// Flash sale: bursty ON/OFF arrivals plus frequent catalogue rotations
+    /// while the sale is on.
+    pub fn flash_sale() -> Self {
+        Scenario {
+            name: "flash-sale".into(),
+            ticks: 24,
+            arrivals: ArrivalProcess::OnOff {
+                burst_rate: 4.0,
+                idle_rate: 0.2,
+                mean_on: 3.0,
+                mean_off: 5.0,
+            },
+            template_zipf: 1.4,
+            churn_rate: 1.8,
+            catalog_churn: 0.12,
+            item_zipf: 1.3,
+            duration: DurationModel {
+                mu: 1.5,
+                sigma: 0.6,
+                cap: 12,
+            },
+            ..Scenario::steady_mall()
+        }
+    }
+
+    /// Churn-heavy catalogue: constant catalogue/λ mutation and solo shoppers
+    /// (group sizes sweep down to 1), stressing base-instance rebuilds.
+    pub fn churn_heavy() -> Self {
+        Scenario {
+            name: "churn-heavy".into(),
+            ticks: 24,
+            group_size: GroupSizeModel {
+                min_users: 1,
+                max_users: 8,
+                alpha: 1.1,
+            },
+            churn_rate: 0.8,
+            catalog_churn: 0.35,
+            lambda_churn: 0.10,
+            ..Scenario::steady_mall()
+        }
+    }
+
+    /// Megagroup stress: a couple of very large groups with heavy membership
+    /// churn — the LP-cost and incremental-re-rounding worst case.
+    pub fn megagroup() -> Self {
+        Scenario {
+            name: "megagroup".into(),
+            ticks: 16,
+            arrivals: ArrivalProcess::Poisson { rate: 0.3 },
+            num_templates: 2,
+            template_zipf: 0.5,
+            profiles: vec![DatasetProfile::TimikLike],
+            group_size: GroupSizeModel {
+                min_users: 14,
+                max_users: 20,
+                alpha: 2.0,
+            },
+            items: 14,
+            slots: 3,
+            duration: DurationModel {
+                mu: 2.4,
+                sigma: 0.3,
+                cap: 16,
+            },
+            churn_rate: 4.0,
+            catalog_churn: 0.0,
+            lambda_churn: 0.02,
+            query_rate: 1.0,
+            ..Scenario::steady_mall()
+        }
+    }
+
+    /// All named scenarios, in documentation order.
+    pub fn all() -> Vec<Scenario> {
+        vec![
+            Scenario::steady_mall(),
+            Scenario::diurnal_cycle(),
+            Scenario::flash_sale(),
+            Scenario::churn_heavy(),
+            Scenario::megagroup(),
+        ]
+    }
+
+    /// Looks a scenario up by its stable name.
+    pub fn by_name(name: &str) -> Option<Scenario> {
+        Scenario::all().into_iter().find(|s| s.name == name)
+    }
+
+    /// A shrunk copy for smoke tests and CI: few ticks, small groups, small
+    /// catalogues. Traffic *shape* (arrival process, churn mix) is preserved.
+    pub fn smoke(mut self) -> Self {
+        self.ticks = self.ticks.min(6);
+        self.num_templates = self.num_templates.min(3);
+        self.group_size.min_users = self.group_size.min_users.min(4);
+        self.group_size.max_users = self.group_size.max_users.min(6);
+        self.items = self.items.min(10);
+        self.slots = self.slots.min(2);
+        self.duration.cap = self.duration.cap.min(5);
+        self.duration.mu = self.duration.mu.min(1.2);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable_and_unique() {
+        let names: Vec<String> = Scenario::all().into_iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "steady-mall",
+                "diurnal-cycle",
+                "flash-sale",
+                "churn-heavy",
+                "megagroup"
+            ]
+        );
+        for name in &names {
+            assert_eq!(&Scenario::by_name(name).expect("found").name, name);
+        }
+        assert!(Scenario::by_name("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn scenarios_are_well_formed() {
+        for scenario in Scenario::all() {
+            assert!(scenario.ticks > 0);
+            assert!(scenario.num_templates > 0);
+            assert!(!scenario.profiles.is_empty());
+            assert!(scenario.group_size.min_users >= 1);
+            assert!(scenario.group_size.max_users >= scenario.group_size.min_users);
+            assert!(scenario.slots <= scenario.items);
+            assert!((0.0..=1.0).contains(&scenario.initial_presence));
+        }
+    }
+
+    #[test]
+    fn smoke_shrinks_but_keeps_shape() {
+        let full = Scenario::flash_sale();
+        let smoke = full.clone().smoke();
+        assert!(smoke.ticks <= 6);
+        assert!(smoke.group_size.max_users <= 6);
+        assert_eq!(smoke.arrivals, full.arrivals);
+        assert_eq!(smoke.name, full.name);
+    }
+}

@@ -1,0 +1,283 @@
+//! The scenario → trace generator.
+//!
+//! [`generate`] runs a scenario's stochastic processes on a discrete tick
+//! clock and materializes every session lifecycle into a [`Trace`]. The trace
+//! is the *only* output: the load driver never talks to the generator, so
+//! anything it measures can be replayed bit-identically from the recorded
+//! trace alone.
+//!
+//! Generation is deterministic: one master [`StdRng`] seeded from the
+//! scenario seed drives template construction, arrivals, and per-session
+//! lifecycles, in a fixed iteration order.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::distributions::{bounded_pareto, lognormal_ticks, poisson, ZipfSampler};
+use crate::scenario::Scenario;
+use crate::trace::{TemplateSpec, Trace, TraceEvent};
+
+/// One live session during generation.
+struct LiveSession {
+    key: u64,
+    template: usize,
+    users: usize,
+    remaining_ticks: usize,
+}
+
+/// Generates the scenario's full event trace under `seed`.
+///
+/// The same `(scenario, seed)` pair always yields a byte-identical trace
+/// (see `Trace::render`), which is what the determinism audit asserts.
+pub fn generate(scenario: &Scenario, seed: u64) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5C3A_AD00_17AC_E5EE);
+
+    // Templates first, from the same master stream, so the whole trace is a
+    // pure function of (scenario, seed).
+    let templates: Vec<TemplateSpec> = (0..scenario.num_templates)
+        .map(|t| {
+            let users = bounded_pareto(
+                scenario.group_size.min_users,
+                scenario.group_size.max_users,
+                scenario.group_size.alpha,
+                &mut rng,
+            );
+            TemplateSpec {
+                profile: scenario.profiles[t % scenario.profiles.len()],
+                population: (users * 20).max(60),
+                users,
+                items: scenario.items,
+                slots: scenario.slots.min(scenario.items),
+                lambda: 0.5,
+                build_seed: rng.gen::<u64>(),
+            }
+        })
+        .collect();
+
+    let template_pick = ZipfSampler::new(templates.len(), scenario.template_zipf);
+    let item_pick = ZipfSampler::new(scenario.items, scenario.item_zipf);
+
+    let mut events: Vec<TraceEvent> = Vec::new();
+    let mut live: Vec<LiveSession> = Vec::new();
+    let mut next_key = 0u64;
+
+    let mut arrivals = scenario.arrivals.sampler();
+    for tick in 0..scenario.ticks {
+        events.push(TraceEvent::Tick(tick));
+
+        // --- Arrivals ---
+        let mut arriving = arrivals.arrivals_at(tick, &mut rng);
+        if arriving == 0 && tick + 1 == scenario.ticks && next_key == 0 {
+            // A trace with zero sessions would make every load test vacuous;
+            // low-rate processes at few ticks can draw all zeroes, so force a
+            // single straggler group on the last tick.
+            arriving = 1;
+        }
+        for _ in 0..arriving {
+            let template = template_pick.sample(&mut rng);
+            let users = templates[template].users;
+            let mut present: Vec<usize> = (0..users)
+                .filter(|_| rng.gen::<f64>() < scenario.initial_presence)
+                .collect();
+            if present.is_empty() {
+                present.push(rng.gen_range(0..users));
+            }
+            let duration = lognormal_ticks(
+                scenario.duration.mu,
+                scenario.duration.sigma,
+                scenario.duration.cap,
+                &mut rng,
+            );
+            events.push(TraceEvent::Open {
+                key: next_key,
+                template,
+                seed: rng.gen::<u64>(),
+                present,
+            });
+            live.push(LiveSession {
+                key: next_key,
+                template,
+                users,
+                remaining_ticks: duration,
+            });
+            next_key += 1;
+        }
+
+        // --- Per-session churn, catalogue rotations, λ re-tunes, queries ---
+        for session in &live {
+            for _ in 0..poisson(scenario.churn_rate, &mut rng) {
+                let user = rng.gen_range(0..session.users);
+                if rng.gen::<f64>() < 0.5 {
+                    events.push(TraceEvent::Join {
+                        key: session.key,
+                        user,
+                    });
+                } else {
+                    events.push(TraceEvent::Leave {
+                        key: session.key,
+                        user,
+                    });
+                }
+            }
+            if rng.gen::<f64>() < scenario.catalog_churn {
+                events.push(TraceEvent::Catalog {
+                    key: session.key,
+                    items: rotate_catalog(&templates[session.template], &item_pick, &mut rng),
+                });
+            }
+            if rng.gen::<f64>() < scenario.lambda_churn {
+                events.push(TraceEvent::Lambda {
+                    key: session.key,
+                    value: rng.gen_range(0.15..0.95),
+                });
+            }
+            if rng.gen::<f64>() < scenario.query_rate {
+                events.push(TraceEvent::Query { key: session.key });
+            }
+        }
+
+        // --- Departures ---
+        let mut still_live = Vec::with_capacity(live.len());
+        for mut session in live {
+            session.remaining_ticks -= 1;
+            if session.remaining_ticks == 0 {
+                events.push(TraceEvent::Close { key: session.key });
+            } else {
+                still_live.push(session);
+            }
+        }
+        live = still_live;
+    }
+
+    // End of run: every surviving session checks out, so replays exercise the
+    // full lifecycle and the engine ends empty.
+    for session in &live {
+        events.push(TraceEvent::Close { key: session.key });
+    }
+
+    Trace {
+        scenario: scenario.name.clone(),
+        seed,
+        ticks: scenario.ticks,
+        templates,
+        events,
+    }
+}
+
+/// Picks a popularity-weighted rotated catalogue: at least `slots` items,
+/// biased toward Zipf-popular (low-index) items.
+fn rotate_catalog(
+    template: &TemplateSpec,
+    item_pick: &ZipfSampler,
+    rng: &mut StdRng,
+) -> Vec<usize> {
+    let m = template.items;
+    let target = rng.gen_range(template.slots.max(m / 2)..=m);
+    let mut chosen = vec![false; m];
+    let mut count = 0usize;
+    let mut guard = 0usize;
+    while count < target && guard < 50 * m {
+        guard += 1;
+        let item = item_pick.sample(rng);
+        if !chosen[item] {
+            chosen[item] = true;
+            count += 1;
+        }
+    }
+    // Guard exhaustion (extremely skewed Zipf): pad with the lowest indices.
+    for slot in chosen.iter_mut() {
+        if count >= target {
+            break;
+        }
+        if !*slot {
+            *slot = true;
+            count += 1;
+        }
+    }
+    (0..m).filter(|&i| chosen[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn generation_is_deterministic_and_byte_identical() {
+        for scenario in Scenario::all() {
+            let scenario = scenario.smoke();
+            let a = generate(&scenario, 42);
+            let b = generate(&scenario, 42);
+            assert_eq!(a, b, "{} traces differ", scenario.name);
+            assert_eq!(a.render(), b.render());
+            let c = generate(&scenario, 43);
+            assert_ne!(a.render(), c.render(), "{} ignores the seed", scenario.name);
+        }
+    }
+
+    #[test]
+    fn traces_are_well_formed() {
+        for scenario in Scenario::all() {
+            let scenario = scenario.smoke();
+            let trace = generate(&scenario, 7);
+            let mut open: BTreeSet<u64> = BTreeSet::new();
+            let mut ever: BTreeSet<u64> = BTreeSet::new();
+            for event in &trace.events {
+                match event {
+                    TraceEvent::Open {
+                        key,
+                        template,
+                        present,
+                        ..
+                    } => {
+                        let spec = &trace.templates[*template];
+                        assert!(!present.is_empty());
+                        assert!(present.iter().all(|&u| u < spec.users));
+                        assert!(open.insert(*key), "key {key} reopened");
+                        assert!(ever.insert(*key), "key {key} reused");
+                    }
+                    TraceEvent::Join { key, .. }
+                    | TraceEvent::Leave { key, .. }
+                    | TraceEvent::Catalog { key, .. }
+                    | TraceEvent::Lambda { key, .. }
+                    | TraceEvent::Query { key } => {
+                        assert!(open.contains(key), "event for dead session {key}");
+                    }
+                    TraceEvent::Close { key } => {
+                        assert!(open.remove(key), "close of dead session {key}");
+                    }
+                    TraceEvent::Tick(_) => {}
+                }
+                if let TraceEvent::Catalog { key, items } = event {
+                    assert!(open.contains(key));
+                    let sorted = items.windows(2).all(|w| w[0] < w[1]);
+                    assert!(sorted, "catalogue not sorted/deduplicated");
+                }
+            }
+            assert!(open.is_empty(), "{}: sessions left open", scenario.name);
+            assert!(
+                trace.session_count() > 0,
+                "{}: traces must never be session-free",
+                scenario.name
+            );
+            // Round trip through the text format.
+            let parsed: Trace = trace.render().parse().expect("parses");
+            assert_eq!(parsed, trace);
+        }
+    }
+
+    #[test]
+    fn catalog_rotations_fit_constraints() {
+        let scenario = Scenario::churn_heavy().smoke();
+        let trace = generate(&scenario, 11);
+        let mut rotations = 0;
+        for event in &trace.events {
+            if let TraceEvent::Catalog { key: _, items } = event {
+                rotations += 1;
+                assert!(items.len() >= trace.templates[0].slots);
+                assert!(items.iter().all(|&i| i < scenario.items));
+            }
+        }
+        assert!(rotations > 0, "churn-heavy produced no catalogue rotations");
+    }
+}

@@ -1,0 +1,564 @@
+//! The deterministic, serializable event-trace format.
+//!
+//! A trace is the unit of reproducibility for load tests: anything the
+//! scenario generator produces can be written to a compact line-oriented text
+//! file and replayed **bit-identically** on another machine — same instances,
+//! same event order, hence (engine determinism) the same served
+//! configurations.
+//!
+//! ## Format (`svgic-trace v1`)
+//!
+//! ```text
+//! svgic-trace v1
+//! scenario flash-sale 7 24
+//! template timik 160 8 16 3 3fe0000000000000 17278004353704125235
+//! tick 0
+//! open 0 1 9817350032133055464 0,2,3
+//! join 0 4
+//! leave 0 2
+//! catalog 0 0,1,2,5,6,7
+//! lambda 0 3fe999999999999a
+//! query 0
+//! close 0
+//! end 8
+//! ```
+//!
+//! * `scenario <name> <seed> <ticks>` — provenance of the trace;
+//! * `template <profile> <population> <users> <items> <slots> <λ-bits>
+//!   <build-seed>` — one line per instance template, id implicit by order.
+//!   Replay rebuilds the *identical* [`SvgicInstance`] from these seven
+//!   fields alone (floats are serialized as IEEE-754 bit patterns in hex so
+//!   round-trips are exact);
+//! * `tick <t>` — advances the batch clock (the open-loop driver flushes the
+//!   engine here);
+//! * `open <key> <template> <seed> <u,u,...>` — opens session `key` from a
+//!   template with the given rounding seed and initially present users;
+//! * `join` / `leave` / `catalog` / `lambda` / `query` / `close` — the
+//!   session-level events, keyed by the trace-local session key;
+//! * `end <n>` — trailer carrying the event count as a truncation guard.
+
+use std::fmt;
+use std::path::Path;
+use std::str::FromStr;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use svgic_core::SvgicInstance;
+use svgic_datasets::{DatasetProfile, InstanceSpec};
+
+/// Magic first line of every trace file.
+pub const TRACE_MAGIC: &str = "svgic-trace v1";
+
+/// A parse/IO failure while reading a trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceError(pub String);
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace error: {}", self.0)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, TraceError> {
+    Err(TraceError(message.into()))
+}
+
+/// Everything needed to rebuild one instance template bit-identically.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TemplateSpec {
+    /// Dataset family of the background network.
+    pub profile: DatasetProfile,
+    /// Background population the group is sampled from.
+    pub population: usize,
+    /// Group size (`n`).
+    pub users: usize,
+    /// Candidate items (`m`).
+    pub items: usize,
+    /// Display slots (`k`).
+    pub slots: usize,
+    /// Trade-off weight `λ`.
+    pub lambda: f64,
+    /// Seed of the dedicated RNG the instance is built from.
+    pub build_seed: u64,
+}
+
+impl TemplateSpec {
+    /// Builds the template's instance; identical calls yield identical
+    /// instances (the build RNG is owned by the spec).
+    pub fn build(&self) -> SvgicInstance {
+        InstanceSpec {
+            profile: self.profile,
+            population: self.population,
+            num_users: self.users,
+            num_items: self.items,
+            num_slots: self.slots,
+            lambda: self.lambda,
+            model: None,
+        }
+        .build(&mut StdRng::seed_from_u64(self.build_seed))
+    }
+}
+
+fn profile_code(profile: DatasetProfile) -> &'static str {
+    match profile {
+        DatasetProfile::TimikLike => "timik",
+        DatasetProfile::YelpLike => "yelp",
+        DatasetProfile::EpinionsLike => "epinions",
+    }
+}
+
+fn profile_from_code(code: &str) -> Result<DatasetProfile, TraceError> {
+    match code {
+        "timik" => Ok(DatasetProfile::TimikLike),
+        "yelp" => Ok(DatasetProfile::YelpLike),
+        "epinions" => Ok(DatasetProfile::EpinionsLike),
+        other => err(format!("unknown profile code `{other}`")),
+    }
+}
+
+/// One line of the trace body.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// Batch-clock boundary; the open-loop driver flushes here.
+    Tick(usize),
+    /// Opens session `key` from `template` with `seed` and `present` users.
+    Open {
+        /// Trace-local session key (dense, assigned in open order).
+        key: u64,
+        /// Index into the trace's template table.
+        template: usize,
+        /// Rounding seed handed to the engine session.
+        seed: u64,
+        /// Initially present users (original indices, non-empty, sorted).
+        present: Vec<usize>,
+    },
+    /// User joins the session's group.
+    Join {
+        /// Session key.
+        key: u64,
+        /// User index in the template's population.
+        user: usize,
+    },
+    /// User leaves the session's group.
+    Leave {
+        /// Session key.
+        key: u64,
+        /// User index in the template's population.
+        user: usize,
+    },
+    /// Replaces the session's active catalogue.
+    Catalog {
+        /// Session key.
+        key: u64,
+        /// New catalogue (original item indices, sorted, ≥ k entries).
+        items: Vec<usize>,
+    },
+    /// Re-tunes the session's preference/social weight `λ`.
+    Lambda {
+        /// Session key.
+        key: u64,
+        /// New λ in `[0, 1]`.
+        value: f64,
+    },
+    /// Client reads the served configuration (digested by the driver).
+    Query {
+        /// Session key.
+        key: u64,
+    },
+    /// Closes the session.
+    Close {
+        /// Session key.
+        key: u64,
+    },
+}
+
+/// A fully materialized, replayable workload trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Trace {
+    /// Scenario name the trace was generated from (or `replay` provenance).
+    pub scenario: String,
+    /// Scenario seed.
+    pub seed: u64,
+    /// Number of ticks the generation ran for.
+    pub ticks: usize,
+    /// Instance templates; sessions reference these by index.
+    pub templates: Vec<TemplateSpec>,
+    /// The event stream, in submission order.
+    pub events: Vec<TraceEvent>,
+}
+
+fn render_indices(list: &[usize]) -> String {
+    list.iter()
+        .map(|x| x.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn parse_indices(text: &str) -> Result<Vec<usize>, TraceError> {
+    if text.is_empty() {
+        return err("empty index list");
+    }
+    text.split(',')
+        .map(|tok| {
+            tok.parse::<usize>()
+                .map_err(|_| TraceError(format!("bad index `{tok}`")))
+        })
+        .collect()
+}
+
+fn parse_field<T: FromStr>(tok: Option<&str>, what: &str) -> Result<T, TraceError> {
+    tok.ok_or_else(|| TraceError(format!("missing {what}")))?
+        .parse::<T>()
+        .map_err(|_| TraceError(format!("bad {what}")))
+}
+
+/// Canonical form of a scenario name inside the space-delimited header:
+/// whitespace becomes `-`, an empty name becomes `unnamed`.
+fn canonical_name(name: &str) -> String {
+    if name.is_empty() {
+        return "unnamed".into();
+    }
+    name.chars()
+        .map(|c| if c.is_whitespace() { '-' } else { c })
+        .collect()
+}
+
+fn parse_f64_bits(tok: Option<&str>, what: &str) -> Result<f64, TraceError> {
+    let raw = tok.ok_or_else(|| TraceError(format!("missing {what}")))?;
+    u64::from_str_radix(raw, 16)
+        .map(f64::from_bits)
+        .map_err(|_| TraceError(format!("bad {what} bits `{raw}`")))
+}
+
+impl Trace {
+    /// Number of sessions the trace opens.
+    pub fn session_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|event| matches!(event, TraceEvent::Open { .. }))
+            .count()
+    }
+
+    /// Serializes to the canonical `svgic-trace v1` text. Canonical means
+    /// byte-identical across `render → parse → render` round trips. Scenario
+    /// names are canonicalized (whitespace → `-`, empty → `unnamed`) because
+    /// the header is space-delimited; the shipped scenario names pass through
+    /// verbatim.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(TRACE_MAGIC);
+        out.push('\n');
+        out.push_str(&format!(
+            "scenario {} {} {}\n",
+            canonical_name(&self.scenario),
+            self.seed,
+            self.ticks
+        ));
+        for t in &self.templates {
+            out.push_str(&format!(
+                "template {} {} {} {} {} {:016x} {}\n",
+                profile_code(t.profile),
+                t.population,
+                t.users,
+                t.items,
+                t.slots,
+                t.lambda.to_bits(),
+                t.build_seed
+            ));
+        }
+        for event in &self.events {
+            match event {
+                TraceEvent::Tick(t) => out.push_str(&format!("tick {t}\n")),
+                TraceEvent::Open {
+                    key,
+                    template,
+                    seed,
+                    present,
+                } => out.push_str(&format!(
+                    "open {key} {template} {seed} {}\n",
+                    render_indices(present)
+                )),
+                TraceEvent::Join { key, user } => out.push_str(&format!("join {key} {user}\n")),
+                TraceEvent::Leave { key, user } => out.push_str(&format!("leave {key} {user}\n")),
+                TraceEvent::Catalog { key, items } => {
+                    out.push_str(&format!("catalog {key} {}\n", render_indices(items)))
+                }
+                TraceEvent::Lambda { key, value } => {
+                    out.push_str(&format!("lambda {key} {:016x}\n", value.to_bits()))
+                }
+                TraceEvent::Query { key } => out.push_str(&format!("query {key}\n")),
+                TraceEvent::Close { key } => out.push_str(&format!("close {key}\n")),
+            }
+        }
+        out.push_str(&format!("end {}\n", self.events.len()));
+        out
+    }
+
+    /// Writes the canonical text to `path`, creating parent directories.
+    pub fn write_to_file(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.render())
+    }
+
+    /// Reads and parses a trace file.
+    pub fn read_from_file(path: impl AsRef<Path>) -> Result<Self, TraceError> {
+        let text = std::fs::read_to_string(path.as_ref())
+            .map_err(|e| TraceError(format!("read {}: {e}", path.as_ref().display())))?;
+        text.parse()
+    }
+}
+
+impl FromStr for Trace {
+    type Err = TraceError;
+
+    fn from_str(text: &str) -> Result<Self, TraceError> {
+        let mut lines = text.lines().enumerate();
+        let Some((_, magic)) = lines.next() else {
+            return err("empty trace");
+        };
+        if magic != TRACE_MAGIC {
+            return err(format!("bad magic `{magic}` (want `{TRACE_MAGIC}`)"));
+        }
+        let Some((_, header)) = lines.next() else {
+            return err("missing scenario header");
+        };
+        let mut toks = header.split(' ');
+        if toks.next() != Some("scenario") {
+            return err("second line must be `scenario <name> <seed> <ticks>`");
+        }
+        let scenario: String = parse_field(toks.next(), "scenario name")?;
+        let seed: u64 = parse_field(toks.next(), "scenario seed")?;
+        let ticks: usize = parse_field(toks.next(), "scenario ticks")?;
+        if let Some(extra) = toks.next() {
+            return err(format!("trailing token `{extra}` in scenario header"));
+        }
+
+        let mut templates = Vec::new();
+        let mut events = Vec::new();
+        let mut trailer: Option<usize> = None;
+        for (lineno, line) in lines {
+            if trailer.is_some() {
+                return Err(TraceError(format!(
+                    "line {}: content after `end` trailer",
+                    lineno + 1
+                )));
+            }
+            let mut toks = line.split(' ');
+            let tag = toks.next().unwrap_or("");
+            let parsed: Result<(), TraceError> = (|| {
+                match tag {
+                    "template" => {
+                        if !events.is_empty() {
+                            return err("template line after first event");
+                        }
+                        templates.push(TemplateSpec {
+                            profile: profile_from_code(
+                                toks.next()
+                                    .ok_or_else(|| TraceError("missing profile".into()))?,
+                            )?,
+                            population: parse_field(toks.next(), "population")?,
+                            users: parse_field(toks.next(), "users")?,
+                            items: parse_field(toks.next(), "items")?,
+                            slots: parse_field(toks.next(), "slots")?,
+                            lambda: parse_f64_bits(toks.next(), "lambda")?,
+                            build_seed: parse_field(toks.next(), "build seed")?,
+                        });
+                    }
+                    "tick" => events.push(TraceEvent::Tick(parse_field(toks.next(), "tick")?)),
+                    "open" => {
+                        let key = parse_field(toks.next(), "session key")?;
+                        let template: usize = parse_field(toks.next(), "template id")?;
+                        if template >= templates.len() {
+                            return err(format!("template id {template} out of range"));
+                        }
+                        events.push(TraceEvent::Open {
+                            key,
+                            template,
+                            seed: parse_field(toks.next(), "session seed")?,
+                            present: parse_indices(
+                                toks.next()
+                                    .ok_or_else(|| TraceError("missing present".into()))?,
+                            )?,
+                        });
+                    }
+                    "join" => events.push(TraceEvent::Join {
+                        key: parse_field(toks.next(), "session key")?,
+                        user: parse_field(toks.next(), "user")?,
+                    }),
+                    "leave" => events.push(TraceEvent::Leave {
+                        key: parse_field(toks.next(), "session key")?,
+                        user: parse_field(toks.next(), "user")?,
+                    }),
+                    "catalog" => events.push(TraceEvent::Catalog {
+                        key: parse_field(toks.next(), "session key")?,
+                        items: parse_indices(
+                            toks.next()
+                                .ok_or_else(|| TraceError("missing items".into()))?,
+                        )?,
+                    }),
+                    "lambda" => events.push(TraceEvent::Lambda {
+                        key: parse_field(toks.next(), "session key")?,
+                        value: parse_f64_bits(toks.next(), "lambda")?,
+                    }),
+                    "query" => events.push(TraceEvent::Query {
+                        key: parse_field(toks.next(), "session key")?,
+                    }),
+                    "close" => events.push(TraceEvent::Close {
+                        key: parse_field(toks.next(), "session key")?,
+                    }),
+                    "end" => trailer = Some(parse_field(toks.next(), "event count")?),
+                    other => return err(format!("unknown tag `{other}`")),
+                }
+                // The format is strict everywhere else (magic, trailer count,
+                // template ordering); trailing junk on a line is corruption
+                // too, not something to silently ignore.
+                if let Some(extra) = toks.next() {
+                    return err(format!("trailing token `{extra}` after `{tag}` fields"));
+                }
+                Ok(())
+            })();
+            parsed.map_err(|e| TraceError(format!("line {}: {}", lineno + 1, e.0)))?;
+        }
+        match trailer {
+            None => err("missing `end` trailer (truncated trace?)"),
+            Some(count) if count != events.len() => err(format!(
+                "trailer says {count} events, parsed {}",
+                events.len()
+            )),
+            Some(_) => Ok(Trace {
+                scenario,
+                seed,
+                ticks,
+                templates,
+                events,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        Trace {
+            scenario: "unit".into(),
+            seed: 9,
+            ticks: 2,
+            templates: vec![TemplateSpec {
+                profile: DatasetProfile::TimikLike,
+                population: 40,
+                users: 5,
+                items: 8,
+                slots: 2,
+                lambda: 0.5,
+                build_seed: 1234,
+            }],
+            events: vec![
+                TraceEvent::Tick(0),
+                TraceEvent::Open {
+                    key: 0,
+                    template: 0,
+                    seed: 7,
+                    present: vec![0, 2, 4],
+                },
+                TraceEvent::Join { key: 0, user: 1 },
+                TraceEvent::Lambda { key: 0, value: 0.8 },
+                TraceEvent::Tick(1),
+                TraceEvent::Catalog {
+                    key: 0,
+                    items: vec![0, 1, 2, 3],
+                },
+                TraceEvent::Query { key: 0 },
+                TraceEvent::Close { key: 0 },
+            ],
+        }
+    }
+
+    #[test]
+    fn render_parse_roundtrip_is_byte_identical() {
+        let trace = sample_trace();
+        let text = trace.render();
+        let parsed: Trace = text.parse().expect("parses");
+        assert_eq!(parsed, trace);
+        assert_eq!(parsed.render(), text);
+        assert_eq!(parsed.session_count(), 1);
+    }
+
+    #[test]
+    fn lambda_bits_roundtrip_exactly() {
+        let mut trace = sample_trace();
+        let awkward = 0.1 + 0.2; // not representable prettily in decimal
+        trace.events.push(TraceEvent::Lambda {
+            key: 0,
+            value: awkward,
+        });
+        let parsed: Trace = trace.render().parse().expect("parses");
+        let Some(TraceEvent::Lambda { value, .. }) = parsed.events.last() else {
+            panic!("lost the lambda event");
+        };
+        assert_eq!(value.to_bits(), awkward.to_bits());
+    }
+
+    #[test]
+    fn template_build_is_deterministic() {
+        let spec = sample_trace().templates[0].clone();
+        let a = spec.build();
+        let b = spec.build();
+        assert_eq!(a.num_users(), 5);
+        assert_eq!(a.num_items(), 8);
+        for u in 0..a.num_users() {
+            for c in 0..a.num_items() {
+                assert_eq!(a.preference(u, c).to_bits(), b.preference(u, c).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_and_corrupt_traces_are_rejected() {
+        let trace = sample_trace();
+        let text = trace.render();
+        // Drop the trailer.
+        let truncated: String = text.lines().take(5).collect::<Vec<_>>().join("\n");
+        assert!(truncated.parse::<Trace>().is_err());
+        // Wrong magic.
+        assert!("not-a-trace\n".parse::<Trace>().is_err());
+        // Garbage tag.
+        let garbled = text.replace("query 0", "frobnicate 0");
+        assert!(garbled.parse::<Trace>().is_err());
+        // Trailer miscount.
+        let miscount = text.replace("end 8", "end 9");
+        assert!(miscount.parse::<Trace>().is_err());
+        // Out-of-range template reference.
+        let bad_template = text.replace("open 0 0", "open 0 5");
+        assert!(bad_template.parse::<Trace>().is_err());
+        // Trailing junk on an event line (duplicated field) is corruption.
+        let trailing = text.replace("join 0 1", "join 0 1 7");
+        assert!(trailing.parse::<Trace>().is_err());
+        // Trailing junk in the header too.
+        let header_junk = text.replace("scenario unit 9 2", "scenario unit 9 2 junk");
+        assert!(header_junk.parse::<Trace>().is_err());
+    }
+
+    #[test]
+    fn whitespace_scenario_names_are_canonicalized_not_corrupting() {
+        let mut trace = sample_trace();
+        trace.scenario = "my mall\tday".into();
+        let text = trace.render();
+        let parsed: Trace = text.parse().expect("canonicalized header parses");
+        assert_eq!(parsed.scenario, "my-mall-day");
+        assert_eq!(parsed.render(), text, "round trip stays byte-identical");
+        trace.scenario = String::new();
+        assert_eq!(
+            trace.render().parse::<Trace>().expect("parses").scenario,
+            "unnamed"
+        );
+    }
+}

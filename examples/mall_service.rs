@@ -1,152 +1,100 @@
-//! A day of traffic in a social-VR shopping mall, served by `svgic-engine`.
+//! A day of traffic in a social-VR shopping mall — now declared as a
+//! workload scenario instead of hand-rolled loops.
 //!
-//! Sixty concurrent shopping groups (spawned from a handful of mall-scene
-//! templates, as a real deployment would) live through a simulated day of
-//! opening, lunch-hour churn, an afternoon catalogue rotation, an evening λ
-//! re-tune (the mall boosts social co-browsing for happy hour) and closing
-//! time. Every tick the engine coalesces the pending joins/leaves per group
-//! and re-solves only what changed, sharing LP utility factors across groups
-//! and across revisited population states.
+//! The original version of this example hand-coded sixty groups' worth of
+//! joins, leaves, catalogue rotations and λ re-tunes. With `svgic-workload`
+//! the same day is three steps:
 //!
-//! The run is fully deterministic under the fixed `DAY_SEED`.
+//! 1. parameterize the named `diurnal-cycle` scenario (morning ramp, lunch
+//!    peak, evening fade),
+//! 2. generate its deterministic event **trace** (recordable, replayable
+//!    bit-identically on any machine),
+//! 3. feed the trace to the **load driver**, which measures per-request
+//!    latency histograms, throughput, and served-configuration quality while
+//!    the engine coalesces and batch-solves the churn.
+//!
+//! The run then replays its own trace from the serialized text and asserts
+//! the engine served *identical* configurations — the record/replay loop the
+//! perf trajectory relies on.
 //!
 //! Run with: `cargo run --release --example mall_service`
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use svgic::core::extensions::DynamicEvent;
 use svgic::prelude::*;
+use svgic::workload::trace::TraceEvent;
 
 const DAY_SEED: u64 = 0x5E55_10A5;
-const NUM_TEMPLATES: usize = 6;
-const NUM_SESSIONS: usize = 60;
-const HOURS: usize = 12;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(DAY_SEED);
+    // --- 1. The mall's day as a scenario: a diurnal arrival cycle over a
+    // handful of mall-scene templates (shared templates are what let the
+    // engine's factor cache pay off across groups). ---
+    let mut scenario = Scenario::diurnal_cycle();
+    scenario.ticks = 12; // one tick per opening hour, 09:00–21:00
+    scenario.arrivals = svgic::workload::ArrivalProcess::Diurnal {
+        base: 5.0,       // ~95 groups over the day
+        amplitude: 0.95, // quiet open, packed lunch hours
+        period: 24.0,    // the cycle spans a full day; the mall sees its peak half
+    };
+    scenario.num_templates = 6;
+    scenario.items = 16;
+    scenario.slots = 3;
+    scenario.catalog_churn = 0.06; // afternoon shelf rotations
+    scenario.lambda_churn = 0.04; // happy-hour social boosts
 
-    // A handful of mall-scene templates; every group instance is stamped from
-    // one of these, so their full-population LP factors are shared via the
-    // engine's factor cache.
-    let templates: Vec<SvgicInstance> = (0..NUM_TEMPLATES)
-        .map(|t| {
-            let profile = DatasetProfile::all()[t % 3];
-            InstanceSpec {
-                num_users: 8,
-                num_items: 16,
-                num_slots: 3,
-                ..InstanceSpec::small(profile)
+    let trace = generate(&scenario, DAY_SEED);
+    let sessions = trace.session_count();
+    let events = trace.events.len();
+    // Peak concurrency from the open/close structure of the trace: the mall
+    // must actually be crowded, not just visited 40 times in sequence.
+    let (mut live, mut peak_concurrent) = (0usize, 0usize);
+    for event in &trace.events {
+        match event {
+            TraceEvent::Open { .. } => {
+                live += 1;
+                peak_concurrent = peak_concurrent.max(live);
             }
-            .build(&mut StdRng::seed_from_u64(DAY_SEED ^ (t as u64 + 1)))
-        })
-        .collect();
-
-    let mut engine = Engine::new(EngineConfig {
-        auto_flush_pending: 0, // we flush once per simulated hour
-        ..EngineConfig::default()
-    });
-    println!(
-        "mall_service: {} groups from {} templates, {} worker threads\n",
-        NUM_SESSIONS,
-        NUM_TEMPLATES,
-        engine.workers()
-    );
-
-    // --- Opening: every group arrives with a partial crew. ---
-    let mut sessions: Vec<SessionId> = Vec::new();
-    for g in 0..NUM_SESSIONS {
-        let template = &templates[g % NUM_TEMPLATES];
-        let crew: Vec<usize> = (0..template.num_users())
-            .filter(|_| rng.gen::<f64>() < 0.75)
-            .collect();
-        let view = engine
-            .create_session(CreateSession {
-                instance: template.clone(),
-                initial_present: if crew.is_empty() { vec![0] } else { crew },
-                seed: DAY_SEED ^ (g as u64).wrapping_mul(0x9E37),
-            })
-            .expect("session opens");
-        assert!(view.configuration.is_valid(view.catalog.len()));
-        sessions.push(view.session);
+            TraceEvent::Close { .. } => live -= 1,
+            _ => {}
+        }
     }
+    println!(
+        "mall_service: scenario `{}`, {} groups over {} hours ({} concurrent at peak), {} trace events",
+        scenario.name, sessions, scenario.ticks, peak_concurrent, events
+    );
+    assert!(sessions >= 40, "need a busy day, got {sessions} groups");
     assert!(
-        engine.session_count() >= 50,
-        "need >= 50 concurrent sessions"
+        peak_concurrent >= 50,
+        "need >= 50 concurrent groups at the peak hour, got {peak_concurrent}"
+    );
+
+    // --- 2. Drive the engine open-loop (one batched flush per hour). ---
+    let driver = LoadDriver::new(DriverConfig::default());
+    let outcome = driver.run(&trace);
+
+    let all = outcome.latency.all();
+    println!(
+        "\nday served: {} requests in {:.3}s ({:.0} req/s)",
+        outcome.requests,
+        outcome.wall_seconds,
+        outcome.throughput_rps()
     );
     println!(
-        "09:00  {} groups open, all initial configurations served",
-        engine.session_count()
+        "latency: p50 {:?}, p95 {:?}, p99 {:?}, max {:?}",
+        all.quantile(0.50),
+        all.quantile(0.95),
+        all.quantile(0.99),
+        all.max()
     );
+    println!(
+        "quality: {} sampled reads, mean utility {:.3}, utility/bound {:.1}%",
+        outcome.quality.samples,
+        outcome.quality.mean_utility(),
+        100.0 * outcome.quality.bound_ratio()
+    );
+    println!("\n{}", outcome.engine);
 
-    // --- The day: hourly churn, coalesced and re-solved in batches. ---
-    let mut served_checks = 0usize;
-    for hour in 0..HOURS {
-        let clock = 9 + hour;
-        let mut submitted = 0usize;
-        for (g, &id) in sessions.iter().enumerate() {
-            let template = &templates[g % NUM_TEMPLATES];
-            let population = template.num_users();
-            // Shoppers wander in and out; lunch hour doubles the churn.
-            let churn = if clock == 12 || clock == 13 { 6 } else { 3 };
-            for _ in 0..churn {
-                let user = rng.gen_range(0..population);
-                let event = if rng.gen::<f64>() < 0.5 {
-                    SessionEvent::Membership(DynamicEvent::Join(user))
-                } else {
-                    SessionEvent::Membership(DynamicEvent::Leave(user))
-                };
-                engine.submit_event(id, event).expect("valid event");
-                submitted += 1;
-            }
-            // 15:00 — catalogue rotation in half the groups: the mall swaps
-            // the back half of the shelf.
-            if clock == 15 && g % 2 == 0 {
-                let m = template.num_items();
-                let rotated: Vec<usize> = (0..m / 2).chain(m * 3 / 4..m).collect();
-                engine
-                    .submit_event(id, SessionEvent::SetCatalog(rotated))
-                    .expect("valid catalogue");
-                submitted += 1;
-            }
-            // 18:00 — happy hour: boost social utility weight everywhere.
-            if clock == 18 {
-                engine
-                    .submit_event(id, SessionEvent::RetuneLambda(0.8))
-                    .expect("valid lambda");
-                submitted += 1;
-            }
-        }
-        engine.flush();
-
-        // Spot-check served configurations stay valid all day.
-        for &id in sessions.iter().step_by(7) {
-            let view = engine.query_configuration(id).expect("live session");
-            if !view.present.is_empty() {
-                assert!(
-                    view.configuration.is_valid(view.catalog.len()),
-                    "invalid configuration served at {clock}:00"
-                );
-                assert!(view.utility >= 0.0);
-                served_checks += 1;
-            }
-        }
-        println!(
-            "{clock:02}:00  {submitted:>3} events submitted, cache {} factor sets, hit rate {:>5.1}%",
-            engine.cached_factor_sets(),
-            100.0 * engine.stats().cache_hit_rate()
-        );
-    }
-
-    // --- Closing: groups check out. ---
-    for &id in &sessions {
-        engine.close_session(id).expect("session closes");
-    }
-    println!("21:00  all groups checked out\n");
-
-    let stats = engine.stats();
-    println!("{stats}");
-    assert_eq!(engine.session_count(), 0);
-    assert!(served_checks > 0);
+    let stats = &outcome.engine;
+    assert_eq!(stats.sessions_created, stats.sessions_closed);
     assert!(
         stats.cache_hit_rate() > 0.0,
         "expected a non-zero factor-cache hit rate"
@@ -155,11 +103,26 @@ fn main() {
         stats.events_coalesced > 0,
         "expected batching to coalesce churn"
     );
+
+    // --- 3. Record → replay: serialize the trace, parse it back, re-drive,
+    // and demand identical served configurations. ---
+    let text = trace.render();
+    let replayed: Trace = text.parse().expect("recorded trace parses");
+    assert_eq!(replayed.render(), text, "round trip must be byte-identical");
+    let replay_outcome = driver.run(&replayed);
+    assert_eq!(
+        outcome.config_digest, replay_outcome.config_digest,
+        "replay must reproduce the exact served configurations"
+    );
+    let catalog_rotations = replayed
+        .events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Catalog { .. }))
+        .count();
     println!(
-        "\nday served: {} solves for {} events across {} groups ({} LP solves avoided via cache)",
-        stats.solves(),
-        stats.events_submitted,
-        NUM_SESSIONS,
-        stats.cache_hits
+        "replay: {} bytes of trace, {} catalogue rotations, digest 0x{:016x} reproduced ✓",
+        text.len(),
+        catalog_rotations,
+        outcome.config_digest
     );
 }

@@ -25,7 +25,12 @@
 //! * [`engine`] — the online multi-session serving subsystem: session store,
 //!   typed request/response API, batched event scheduling, a parallel worker
 //!   pool, an LRU cache of LP utility factors, and an incremental-vs-full
-//!   re-solve policy.
+//!   re-solve policy;
+//! * [`workload`] — scenario-driven workload simulation for the engine:
+//!   named traffic scenarios (steady mall, diurnal cycle, flash sale,
+//!   churn-heavy, megagroup), a deterministic record/replay trace format,
+//!   an open/closed-loop load driver with HDR-style latency histograms, and
+//!   the `loadgen` CLI emitting machine-readable JSON load reports.
 //!
 //! ## Quickstart
 //!
@@ -56,6 +61,7 @@ pub use svgic_experiments as experiments;
 pub use svgic_graph as graph;
 pub use svgic_lp as lp;
 pub use svgic_metrics as metrics;
+pub use svgic_workload as workload;
 
 /// The most common imports in one place.
 pub mod prelude {
@@ -76,6 +82,9 @@ pub mod prelude {
     };
     pub use svgic_graph::SocialGraph;
     pub use svgic_metrics::{regret_ratios, subgroup_metrics};
+    pub use svgic_workload::{
+        generate, DriveMode, DriverConfig, LoadDriver, LoadOutcome, LoadReport, Scenario, Trace,
+    };
 }
 
 #[cfg(test)]
