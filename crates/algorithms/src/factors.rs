@@ -20,7 +20,9 @@
 
 use svgic_core::ip_model::{build_full_model, build_lp_simp, build_min_coupling};
 use svgic_core::{ItemIdx, SlotIdx, SvgicInstance, UserIdx};
-use svgic_lp::{solve_lp, solve_min_coupling, CoordinateAscentOptions, SimplexOptions};
+use svgic_lp::{
+    solve_lp, solve_min_coupling, CoordinateAscentOptions, SimplexError, SimplexOptions,
+};
 
 /// Which relaxation backend to use.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -164,18 +166,57 @@ pub fn solve_relaxation(instance: &SvgicInstance, options: &RelaxationOptions) -
     match backend {
         LpBackend::ExactSimplex | LpBackend::Auto => {
             let model = build_lp_simp(instance);
-            let sol = solve_lp(&model.lp, &options.simplex)
-                .expect("LP_SIMP is always feasible (x = k/m is a feasible point)");
-            UtilityFactors::from_aggregate(
-                instance,
-                model.extract_factors(&sol),
-                sol.objective,
-                LpBackend::ExactSimplex,
-            )
+            // LP_SIMP is always feasible (x = k/m is an interior point) and
+            // bounded (every variable lives in [0, 1]), so the only reachable
+            // errors are resource/stability aborts: the pivot budget, or the
+            // simplex refusing to divide by a near-zero pivot element
+            // (`SimplexError::Numerical`). Those must not take a serving
+            // engine down — fall back to the division-free structured ascent,
+            // which is deterministic for the same instance, so cached/warm
+            // reuse stays byte-identical.
+            match solve_lp(&model.lp, &options.simplex) {
+                Ok(sol) => UtilityFactors::from_aggregate(
+                    instance,
+                    model.extract_factors(&sol),
+                    sol.objective,
+                    LpBackend::ExactSimplex,
+                ),
+                Err(SimplexError::IterationLimit | SimplexError::Numerical) => {
+                    let problem = build_min_coupling(instance);
+                    let sol = solve_min_coupling(&problem, &options.ascent);
+                    UtilityFactors::from_aggregate(
+                        instance,
+                        sol.values,
+                        sol.objective,
+                        LpBackend::Structured,
+                    )
+                }
+                Err(error) => unreachable!(
+                    "LP_SIMP cannot be {error}: it has a feasible interior point and box bounds"
+                ),
+            }
         }
         LpBackend::FullLpSvgic => {
             let model = build_full_model(instance, false);
-            let sol = solve_lp(&model.lp, &options.simplex).expect("LP_SVGIC is always feasible");
+            // Same hardening as the ExactSimplex arm: LP_SVGIC is feasible
+            // and bounded, so any error is a resource/stability abort — fall
+            // back to the structured ascent rather than unwind.
+            let sol = match solve_lp(&model.lp, &options.simplex) {
+                Ok(sol) => sol,
+                Err(SimplexError::IterationLimit | SimplexError::Numerical) => {
+                    let problem = build_min_coupling(instance);
+                    let sol = solve_min_coupling(&problem, &options.ascent);
+                    return UtilityFactors::from_aggregate(
+                        instance,
+                        sol.values,
+                        sol.objective,
+                        LpBackend::Structured,
+                    );
+                }
+                Err(error) => unreachable!(
+                    "LP_SVGIC cannot be {error}: it has a feasible interior point and box bounds"
+                ),
+            };
             // Aggregate the per-slot variables into x*_u^c.
             let k = instance.num_slots();
             let mut aggregate = vec![0.0; n * m];
@@ -274,6 +315,35 @@ mod tests {
         for u in 0..4 {
             let row_sum: f64 = (0..5).map(|c| approx.aggregate(u, c)).sum();
             assert!((row_sum - 3.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn simplex_abort_falls_back_to_structured_instead_of_panicking() {
+        // Exhausting the pivot budget (and, equivalently, the near-zero-pivot
+        // Numerical abort) must degrade to the structured ascent, not unwind
+        // through a serving engine.
+        let inst = running_example();
+        let strangled = solve_relaxation(
+            &inst,
+            &RelaxationOptions {
+                backend: LpBackend::ExactSimplex,
+                simplex: SimplexOptions {
+                    max_pivots: 0,
+                    ..SimplexOptions::default()
+                },
+                ..Default::default()
+            },
+        );
+        assert_eq!(strangled.backend, LpBackend::Structured);
+        let reference = solve_relaxation_with(&inst, LpBackend::Structured);
+        assert!((strangled.scaled_objective - reference.scaled_objective).abs() < 1e-9);
+        // Budgets still hold on the fallback factors.
+        for u in 0..inst.num_users() {
+            let row_sum: f64 = (0..inst.num_items())
+                .map(|c| strangled.aggregate(u, c))
+                .sum();
+            assert!((row_sum - inst.num_slots() as f64).abs() < 1e-6);
         }
     }
 

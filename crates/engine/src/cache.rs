@@ -107,6 +107,44 @@ mod tests {
     }
 
     #[test]
+    fn reinsert_at_capacity_refreshes_recency_without_growing() {
+        // The duplicate-fingerprint path: re-inserting a resident key while
+        // the cache is full must (a) not evict anything, (b) not grow `len`
+        // past capacity, and (c) count as a recency touch.
+        let mut cache = FactorCache::new(2);
+        let shared = factors();
+        cache.insert(1, Arc::clone(&shared));
+        cache.insert(2, Arc::clone(&shared));
+        assert_eq!(cache.len(), 2);
+        // Re-insert 1 (now the LRU entry): len stays at capacity, both keys
+        // stay resident.
+        cache.insert(1, Arc::clone(&shared));
+        assert_eq!(cache.len(), 2);
+        // The re-insert refreshed 1's recency, so 2 is now the LRU entry and
+        // the next insert evicts it — not 1.
+        cache.insert(3, shared);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(1).is_some(), "re-inserted key must be retained");
+        assert!(cache.get(2).is_none(), "stale key must be the one evicted");
+        assert!(cache.get(3).is_some());
+    }
+
+    #[test]
+    fn reinsert_replaces_the_stored_factors() {
+        let mut cache = FactorCache::new(2);
+        let first = factors();
+        let second = factors();
+        cache.insert(7, Arc::clone(&first));
+        cache.insert(7, Arc::clone(&second));
+        assert_eq!(cache.len(), 1);
+        let got = cache.get(7).expect("resident");
+        assert!(
+            Arc::ptr_eq(&got, &second),
+            "re-insert must replace the stored value"
+        );
+    }
+
+    #[test]
     fn zero_capacity_disables_caching() {
         let mut cache = FactorCache::new(0);
         cache.insert(1, factors());

@@ -1,30 +1,56 @@
-//! The engine: session store, batched dispatch, worker pool, factor cache.
+//! The engine: session store, session-sharded dispatch, worker pool,
+//! per-shard factor and warm-component caches.
 //!
 //! # Dispatch model
 //!
 //! Events accumulate per session ([`crate::scheduler::coalesce`] folds them at
-//! dispatch time). A flush runs in two parallel waves on the worker pool:
+//! dispatch time). Sessions hash to a **fixed shard** (`session id mod
+//! shards`), and a flush submits one pipeline job per busy shard: the job
+//! restricts the instance, resolves factors (session-affine reuse → shard
+//! factor cache → component-wise solve via [`crate::warm`]) and re-rounds its
+//! sessions in order. Shards own their caches outright, so a global flush
+//! never serializes on a shared cache path — the serial part of a flush is
+//! only the event coalescing and policy decisions.
 //!
-//! 1. **LP wave** — every *distinct missing* factor fingerprint in the batch
-//!    is solved once (`solve_relaxation`) and inserted into the LRU cache;
-//!    sessions sharing a fingerprint (or hitting the cache) skip the LP
-//!    entirely.
-//! 2. **Rounding wave** — every scheduled session re-rounds on its restricted
-//!    instance: incremental solves slice the full-population factor rows of
-//!    the present shoppers (the paper's §5 dynamic mechanism), full solves
-//!    round on factors computed for exactly the restricted instance.
+//! Factor resolution inside a shard job:
+//!
+//! 1. **Session-affine reuse** — a solve whose factor fingerprint matches the
+//!    session's previous solve reuses the session's own factors (the common
+//!    case for incremental re-rounds, whose fingerprint is the stable base
+//!    fingerprint).
+//! 2. **Shard factor cache** — an LRU keyed by restricted-instance
+//!    fingerprint, shared by the shard's sessions (hot templates hit here).
+//! 3. **Component-wise solve** — the LP separates across social-graph
+//!    components, so missing factors are solved per component with
+//!    fingerprint-keyed reuse of unchanged components
+//!    ([`crate::warm::solve_factors_warm`]). Warm starts are *pure
+//!    optimizations*: factors are byte-identical to a cold solve.
+//!
+//! Incremental solves then slice the full-population factor rows of the
+//! present shoppers (the paper's §5 dynamic mechanism); full solves round on
+//! factors computed for exactly the restricted instance.
+//!
+//! Sharding trades engine-wide LP dedup for isolation: a fingerprint shared
+//! by sessions on *different* shards is solved once per shard (bounded by
+//! the shard count) instead of once per flush, because restricting and
+//! fingerprinting happen inside the shard jobs — moving them back to the
+//! serial dispatch phase to dedup globally would reintroduce exactly the
+//! serialized O(n·m) per-session work sharding removes. Within a shard,
+//! dedup is exact (`batch_shared`), and hot-template reuse re-converges via
+//! each shard's own caches after one solve per shard.
 //!
 //! Rounding seeds derive from `(session seed, generation)` and results are
 //! applied in session order, so served configurations are reproducible under
-//! a fixed seed regardless of worker scheduling.
+//! a fixed seed regardless of worker scheduling, shard count, or cache
+//! contents.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::mpsc::channel;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use svgic_algorithms::avg::round_with_factors;
-use svgic_algorithms::factors::{solve_relaxation, RelaxationOptions};
+use svgic_algorithms::factors::RelaxationOptions;
 use svgic_algorithms::{LpBackend, SamplingScheme, UtilityFactors};
 use svgic_core::utility::total_utility;
 use svgic_core::{Configuration, ItemIdx, SvgicInstance, UserIdx};
@@ -37,11 +63,12 @@ use crate::api::{
 };
 use crate::cache::FactorCache;
 use crate::fingerprint::instance_fingerprint;
-use crate::policy::{PolicyInputs, ResolveKind, ResolvePolicy};
+use crate::policy::{LpStart, PolicyInputs, ResolveKind, ResolvePolicy};
 use crate::pool::WorkerPool;
 use crate::scheduler::coalesce;
 use crate::session::{Served, SessionState};
 use crate::stats::{EngineStats, StatsSnapshot};
+use crate::warm::{solve_factors_warm, CacheMode};
 
 use rand::SeedableRng;
 
@@ -50,9 +77,19 @@ use rand::SeedableRng;
 pub struct EngineConfig {
     /// Worker threads (`0` = one per available core).
     pub workers: usize,
-    /// Factor-cache capacity in factor sets (`0` disables caching).
+    /// Session shards (`0` = one per worker). Sessions map to shard
+    /// `session id mod shards`; each shard owns a factor cache and a warm
+    /// component cache and always runs on worker `shard mod workers`.
+    pub shards: usize,
+    /// Per-shard factor-cache capacity in factor sets (`0` disables factor
+    /// caching).
     pub cache_capacity: usize,
-    /// Incremental-vs-full re-solve policy.
+    /// Per-shard warm component-cache capacity in component factor sets.
+    /// `0` disables only the component-level reuse layer — session-affine
+    /// and factor-cache reuse still serve warm; set
+    /// [`ResolvePolicy::warm_start_lp`] to `false` for a fully cold engine.
+    pub component_cache_capacity: usize,
+    /// Incremental-vs-full re-solve (and warm-vs-cold LP) policy.
     pub policy: ResolvePolicy,
     /// Auto-flush once this many events are pending engine-wide
     /// (`0` disables auto-flush; call [`Engine::flush`] manually).
@@ -69,7 +106,9 @@ impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig {
             workers: 0,
+            shards: 0,
             cache_capacity: 128,
+            component_cache_capacity: 256,
             policy: ResolvePolicy::default(),
             auto_flush_pending: 32,
             backend: LpBackend::Auto,
@@ -79,18 +118,23 @@ impl Default for EngineConfig {
     }
 }
 
-/// One scheduled solve, produced by the serial dispatch phase.
+/// One scheduled solve, produced by the serial dispatch phase and executed
+/// inside its session's shard job.
 struct SolvePlan {
     session: u64,
     kind: ResolveKind,
-    restricted: Arc<SvgicInstance>,
+    lp_start: LpStart,
+    base: Arc<SvgicInstance>,
+    base_fingerprint: u64,
     present: Vec<UserIdx>,
     catalog: Vec<ItemIdx>,
-    factor_fingerprint: u64,
     seed: u64,
+    /// The session's previous factors + their fingerprint, for session-affine
+    /// reuse without touching the shard cache.
+    session_factors: Option<(u64, Arc<UtilityFactors>)>,
 }
 
-/// Result of a rounding job.
+/// Result of one session's solve inside a shard job.
 struct SolveOutcome {
     session: u64,
     kind: ResolveKind,
@@ -101,6 +145,23 @@ struct SolveOutcome {
     present: Vec<UserIdx>,
     catalog: Vec<ItemIdx>,
     round_nanos: u64,
+    /// Factors the solve used, persisted back onto the session.
+    factors: Arc<UtilityFactors>,
+    factor_fingerprint: u64,
+}
+
+/// Caches owned by one shard. Only the shard's own pipeline job touches them
+/// (one job per shard per flush, pinned to a fixed worker), so the mutex is
+/// uncontended — it exists to move the state into the job and back, not to
+/// arbitrate access.
+#[derive(Debug)]
+struct ShardState {
+    /// LRU of whole-instance factors, keyed by restricted-instance
+    /// fingerprint.
+    factors: FactorCache,
+    /// LRU of per-component factors, keyed by component sub-instance
+    /// fingerprint — the warm-start currency.
+    components: FactorCache,
 }
 
 /// The online multi-session serving engine.
@@ -108,7 +169,7 @@ pub struct Engine {
     config: EngineConfig,
     sessions: BTreeMap<u64, SessionState>,
     next_session: u64,
-    cache: FactorCache,
+    shards: Vec<Arc<Mutex<ShardState>>>,
     pool: WorkerPool,
     stats: Arc<EngineStats>,
     /// Events queued across all sessions (kept incrementally so the
@@ -120,12 +181,24 @@ impl Engine {
     /// Builds an engine with the given configuration.
     pub fn new(config: EngineConfig) -> Self {
         let pool = WorkerPool::new(config.workers);
-        let cache = FactorCache::new(config.cache_capacity);
+        let shard_count = if config.shards == 0 {
+            pool.workers()
+        } else {
+            config.shards
+        };
+        let shards = (0..shard_count)
+            .map(|_| {
+                Arc::new(Mutex::new(ShardState {
+                    factors: FactorCache::new(config.cache_capacity),
+                    components: FactorCache::new(config.component_cache_capacity),
+                }))
+            })
+            .collect();
         Engine {
             config,
             sessions: BTreeMap::new(),
             next_session: 1,
-            cache,
+            shards,
             pool,
             stats: Arc::new(EngineStats::default()),
             pending_total: 0,
@@ -147,9 +220,26 @@ impl Engine {
         self.pool.workers()
     }
 
-    /// Number of factor sets currently cached.
+    /// Number of session shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of factor sets currently cached, summed over shards.
     pub fn cached_factor_sets(&self) -> usize {
-        self.cache.len()
+        self.shards
+            .iter()
+            .map(|shard| shard.lock().expect("shard poisoned").factors.len())
+            .sum()
+    }
+
+    /// Number of warm component solutions currently cached, summed over
+    /// shards.
+    pub fn cached_component_sets(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| shard.lock().expect("shard poisoned").components.len())
+            .sum()
     }
 
     /// A point-in-time snapshot of the engine counters.
@@ -304,17 +394,17 @@ impl Engine {
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
 
-    /// Serial dispatch phase + two parallel waves. `forced_full` applies to
-    /// every id in `ids` (used by `force_resolve`).
+    /// Serial dispatch phase + one pipeline job per busy shard. `forced_full`
+    /// applies to every id in `ids` (used by `force_resolve`).
     fn run_batch(&mut self, ids: &[u64], forced_full: bool) {
         use std::sync::atomic::Ordering;
 
         // ---- Phase A: coalesce, decide, plan (serial, deterministic) ----
-        let mut plans: Vec<SolvePlan> = Vec::new();
-        // Factor sources for this batch: fingerprint -> cached Arc or the
-        // instance a leader job must solve.
-        let mut cached: HashMap<u64, Arc<UtilityFactors>> = HashMap::new();
-        let mut to_compute: BTreeMap<u64, Arc<SvgicInstance>> = BTreeMap::new();
+        // Plans bucket by shard; everything cache- or LP-related happens
+        // inside the shard jobs, against shard-owned state.
+        let shard_count = self.shards.len();
+        let mut buckets: BTreeMap<usize, Vec<SolvePlan>> = BTreeMap::new();
+        let mut planned = 0usize;
 
         for &id in ids {
             let Some(state) = self.sessions.get_mut(&id) else {
@@ -357,140 +447,67 @@ impl Engine {
                 reshaped: batch.reshaped,
                 forced_full,
             };
-            let kind = self.config.policy.decide(&inputs);
+            let decision = self.config.policy.decide(&inputs);
 
-            let restricted = if state.present.len() == state.base.num_users() {
-                Arc::clone(&state.base)
-            } else {
-                Arc::new(state.base.restrict_users(&state.present))
-            };
-            let factor_fingerprint = match kind {
-                ResolveKind::Incremental => state.base_fingerprint,
-                ResolveKind::FullLp => instance_fingerprint(&restricted),
-            };
-
-            // Cache accounting happens here, serially, so hit counts are
-            // deterministic under a fixed request sequence.
-            if let std::collections::hash_map::Entry::Vacant(e) = cached.entry(factor_fingerprint) {
-                if let Some(factors) = self.cache.get(factor_fingerprint) {
-                    e.insert(factors);
-                    self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
-                } else if let std::collections::btree_map::Entry::Vacant(e) =
-                    to_compute.entry(factor_fingerprint)
-                {
-                    let factor_instance = match kind {
-                        ResolveKind::Incremental => Arc::clone(&state.base),
-                        ResolveKind::FullLp => Arc::clone(&restricted),
-                    };
-                    e.insert(factor_instance);
-                    self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
-                } else {
-                    // Another session in this batch already queued the LP;
-                    // that is batch dedup, not a cache hit.
-                    self.stats.batch_shared.fetch_add(1, Ordering::Relaxed);
-                }
-            } else {
-                self.stats.batch_shared.fetch_add(1, Ordering::Relaxed);
-            }
-
-            plans.push(SolvePlan {
-                session: id,
-                kind,
-                restricted,
-                present: state.present.clone(),
-                catalog: state.catalog.clone(),
-                factor_fingerprint,
-                seed: state.next_solve_seed(),
-            });
+            let session_factors = state
+                .last_factor_fingerprint
+                .zip(state.last_factors.clone());
+            planned += 1;
+            buckets
+                .entry((id % shard_count as u64) as usize)
+                .or_default()
+                .push(SolvePlan {
+                    session: id,
+                    kind: decision.kind,
+                    lp_start: decision.lp_start,
+                    base: Arc::clone(&state.base),
+                    base_fingerprint: state.base_fingerprint,
+                    present: state.present.clone(),
+                    catalog: state.catalog.clone(),
+                    seed: state.next_solve_seed(),
+                    session_factors,
+                });
         }
 
-        if plans.is_empty() {
+        if planned == 0 {
             return;
         }
         self.stats.batches.fetch_add(1, Ordering::Relaxed);
 
-        // ---- Wave 1: solve every distinct missing LP in parallel ----
-        if !to_compute.is_empty() {
-            let (result_tx, result_rx) = channel();
-            let jobs = to_compute.len();
-            for (fingerprint, instance) in std::mem::take(&mut to_compute) {
-                let tx = result_tx.clone();
-                let options = RelaxationOptions {
-                    backend: self.config.backend,
-                    ..RelaxationOptions::default()
-                };
-                self.pool.execute(Box::new(move || {
-                    let started = Instant::now();
-                    let factors = solve_relaxation(&instance, &options);
-                    let nanos = started.elapsed().as_nanos() as u64;
-                    let _ = tx.send((fingerprint, Arc::new(factors), nanos));
-                }));
-            }
-            drop(result_tx);
-            let mut solved: Vec<(u64, Arc<UtilityFactors>, u64)> = (0..jobs)
-                .map(|_| result_rx.recv().expect("LP worker died"))
-                .collect();
-            solved.sort_by_key(|(fingerprint, _, _)| *fingerprint);
-            for (fingerprint, factors, nanos) in solved {
-                self.stats.record_solve_nanos(nanos, 0);
-                self.cache.insert(fingerprint, Arc::clone(&factors));
-                cached.insert(fingerprint, factors);
-            }
-        }
-
-        // ---- Wave 2: re-round every scheduled session in parallel ----
+        // ---- Shard jobs: restrict, resolve factors, round — in parallel
+        // across shards, sequentially (in session order) within a shard ----
         let (result_tx, result_rx) = channel();
-        let jobs = plans.len();
-        for plan in plans {
+        let warm_enabled = self.config.policy.warm_start_lp;
+        for (shard, plans) in buckets {
             let tx = result_tx.clone();
-            let factors = Arc::clone(
-                cached
-                    .get(&plan.factor_fingerprint)
-                    .expect("factor source resolved in wave 1"),
-            );
+            let shard_state = Arc::clone(&self.shards[shard]);
+            let stats = Arc::clone(&self.stats);
+            let options = RelaxationOptions {
+                backend: self.config.backend,
+                ..RelaxationOptions::default()
+            };
             let sampling = self.config.sampling;
             let max_idle = self.config.max_idle_iterations;
-            self.pool.execute(Box::new(move || {
-                let started = Instant::now();
-                // Borrow the shared factors in the pass-through case (full
-                // population present, or a full solve); only genuine
-                // incremental restriction copies rows.
-                let sliced;
-                let effective: &UtilityFactors =
-                    if factors.num_users() == plan.restricted.num_users() {
-                        factors.as_ref()
-                    } else {
-                        sliced = slice_factors(&factors, &plan.restricted, &plan.present);
-                        &sliced
-                    };
-                let lp_bound = effective.utility_upper_bound(&plan.restricted);
-                let mut rng = ChaCha8Rng::seed_from_u64(plan.seed);
-                let (configuration, _iterations) = round_with_factors(
-                    &plan.restricted,
-                    effective,
-                    None,
-                    sampling,
-                    max_idle,
-                    &mut rng,
-                );
-                let utility = total_utility(&plan.restricted, &configuration);
-                let outcome = SolveOutcome {
-                    session: plan.session,
-                    kind: plan.kind,
-                    configuration,
-                    utility,
-                    lp_bound,
-                    tight: plan.kind == ResolveKind::FullLp,
-                    present: plan.present,
-                    catalog: plan.catalog,
-                    round_nanos: started.elapsed().as_nanos() as u64,
-                };
-                let _ = tx.send(outcome);
-            }));
+            self.pool.execute_on(
+                shard,
+                Box::new(move || {
+                    let mut state = shard_state.lock().expect("shard poisoned");
+                    run_shard_plans(
+                        &mut state,
+                        plans,
+                        &options,
+                        warm_enabled,
+                        sampling,
+                        max_idle,
+                        &stats,
+                        &tx,
+                    );
+                }),
+            );
         }
         drop(result_tx);
-        let mut outcomes: Vec<SolveOutcome> = (0..jobs)
-            .map(|_| result_rx.recv().expect("round worker died"))
+        let mut outcomes: Vec<SolveOutcome> = (0..planned)
+            .map(|_| result_rx.recv().expect("shard worker died"))
             .collect();
         outcomes.sort_by_key(|outcome| outcome.session);
 
@@ -515,6 +532,8 @@ impl Engine {
             if outcome.tight {
                 self.stats.record_gap(outcome.utility, outcome.lp_bound);
             }
+            state.last_factors = Some(Arc::clone(&outcome.factors));
+            state.last_factor_fingerprint = Some(outcome.factor_fingerprint);
             state.served = Some(Served {
                 configuration: outcome.configuration,
                 present: outcome.present,
@@ -524,6 +543,137 @@ impl Engine {
                 tight: outcome.tight,
             });
         }
+    }
+}
+
+/// Executes one shard's plans: restrict the instance, resolve factors
+/// (session-affine reuse → shard cache → component-wise solve), re-round, and
+/// stream the outcomes back. Runs pinned to the shard's worker with the shard
+/// state locked for the whole job.
+#[allow(clippy::too_many_arguments)]
+fn run_shard_plans(
+    shard: &mut ShardState,
+    plans: Vec<SolvePlan>,
+    options: &RelaxationOptions,
+    warm_enabled: bool,
+    sampling: SamplingScheme,
+    max_idle: usize,
+    stats: &EngineStats,
+    tx: &std::sync::mpsc::Sender<SolveOutcome>,
+) {
+    use std::sync::atomic::Ordering;
+
+    // Factors computed by *this* job, keyed by fingerprint. Checked before
+    // the shard cache so (a) batch dedup survives `cache_capacity: 0` (the
+    // LRU insert is a no-op then) and (b) the stats can tell within-batch
+    // sharing apart from genuine cross-flush cache reuse.
+    let mut computed_this_batch: std::collections::HashMap<u64, Arc<UtilityFactors>> =
+        std::collections::HashMap::new();
+    for plan in plans {
+        let solve_started = Instant::now();
+        let restricted = if plan.present.len() == plan.base.num_users() {
+            Arc::clone(&plan.base)
+        } else {
+            Arc::new(plan.base.restrict_users(&plan.present))
+        };
+        let factor_fingerprint = match plan.kind {
+            ResolveKind::Incremental => plan.base_fingerprint,
+            ResolveKind::FullLp => instance_fingerprint(&restricted),
+        };
+
+        // A solve may reuse previously computed factors only when the warm
+        // policy allows it (a forced re-solve, or a cold-baseline engine,
+        // recomputes). Reuse layers, in order: the session's own last
+        // solution, then the shard's fingerprint-keyed factor cache.
+        let reuse_allowed = warm_enabled && plan.lp_start == LpStart::Warm;
+        let session_reused = plan
+            .session_factors
+            .as_ref()
+            .filter(|(fingerprint, _)| reuse_allowed && *fingerprint == factor_fingerprint);
+        let mut warm_served = true;
+        let factors: Arc<UtilityFactors> = if let Some((_, factors)) = session_reused {
+            stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            stats.session_reuse.fetch_add(1, Ordering::Relaxed);
+            Arc::clone(factors)
+        } else if let Some(factors) = reuse_allowed
+            .then(|| computed_this_batch.get(&factor_fingerprint))
+            .flatten()
+        {
+            stats.batch_shared.fetch_add(1, Ordering::Relaxed);
+            Arc::clone(factors)
+        } else if let Some(factors) = reuse_allowed
+            .then(|| shard.factors.get(factor_fingerprint))
+            .flatten()
+        {
+            stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            factors
+        } else {
+            warm_served = false;
+            let factor_instance = match plan.kind {
+                ResolveKind::Incremental => &plan.base,
+                ResolveKind::FullLp => &restricted,
+            };
+            let component_cache = if !warm_enabled {
+                None
+            } else if reuse_allowed {
+                Some(CacheMode::Reuse)
+            } else {
+                // Forced cold solve in a warm engine: recompute everything,
+                // but refresh the warm cache with the fresh solutions.
+                Some(CacheMode::Refresh)
+            };
+            let started = Instant::now();
+            let outcome = match component_cache {
+                None => solve_factors_warm(factor_instance, options, None),
+                Some(mode) => solve_factors_warm(
+                    factor_instance,
+                    options,
+                    Some((&mut shard.components, mode)),
+                ),
+            };
+            let nanos = started.elapsed().as_nanos() as u64;
+            stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+            stats.record_lp_compute(nanos, outcome.reused as u64, outcome.solved() as u64);
+            if warm_enabled {
+                shard
+                    .factors
+                    .insert(factor_fingerprint, Arc::clone(&outcome.factors));
+                computed_this_batch.insert(factor_fingerprint, Arc::clone(&outcome.factors));
+            }
+            outcome.factors
+        };
+
+        let started = Instant::now();
+        // Borrow the shared factors in the pass-through case (full population
+        // present, or a full solve); only genuine incremental restriction
+        // copies rows.
+        let sliced;
+        let effective: &UtilityFactors = if factors.num_users() == restricted.num_users() {
+            factors.as_ref()
+        } else {
+            sliced = slice_factors(&factors, &restricted, &plan.present);
+            &sliced
+        };
+        let lp_bound = effective.utility_upper_bound(&restricted);
+        let mut rng = ChaCha8Rng::seed_from_u64(plan.seed);
+        let (configuration, _iterations) =
+            round_with_factors(&restricted, effective, None, sampling, max_idle, &mut rng);
+        let utility = total_utility(&restricted, &configuration);
+        stats.record_solve_class(solve_started.elapsed().as_nanos() as u64, warm_served);
+        let outcome = SolveOutcome {
+            session: plan.session,
+            kind: plan.kind,
+            configuration,
+            utility,
+            lp_bound,
+            tight: plan.kind == ResolveKind::FullLp,
+            present: plan.present,
+            catalog: plan.catalog,
+            round_nanos: started.elapsed().as_nanos() as u64,
+            factors,
+            factor_fingerprint,
+        };
+        let _ = tx.send(outcome);
     }
 }
 
@@ -701,6 +851,90 @@ mod tests {
         engine.flush();
         let stats = engine.stats();
         assert!(stats.cache_hits >= 1, "stats: {stats}");
+    }
+
+    #[test]
+    fn batch_dedup_survives_zero_cache_capacity() {
+        // With the factor cache disabled, two sessions needing the same
+        // fingerprint in one flush must still share a single LP computation
+        // (the within-batch map, not the LRU, carries that guarantee).
+        let mut engine = Engine::new(EngineConfig {
+            workers: 2,
+            shards: 1,
+            cache_capacity: 0,
+            auto_flush_pending: 0,
+            policy: ResolvePolicy {
+                // Escalate to a full solve on every event so both sessions
+                // need factors for the *same restricted* fingerprint (the
+                // session-affine layer can't serve those).
+                full_resolve_event_budget: 1,
+                ..ResolvePolicy::default()
+            },
+            ..EngineConfig::default()
+        });
+        let a = create(&mut engine);
+        let b = create(&mut engine);
+        engine
+            .submit_event(a, SessionEvent::Membership(DynamicEvent::Leave(0)))
+            .unwrap();
+        engine
+            .submit_event(b, SessionEvent::Membership(DynamicEvent::Leave(0)))
+            .unwrap();
+        engine.flush();
+        let stats = engine.stats();
+        assert_eq!(engine.cached_factor_sets(), 0, "cache stays disabled");
+        assert!(stats.batch_shared >= 1, "{stats}");
+        // Two creates + one shared full re-solve = three computations, not
+        // four.
+        assert_eq!(stats.cache_misses, 3, "{stats}");
+    }
+
+    #[test]
+    fn full_resolves_on_fragmented_groups_reuse_untouched_components() {
+        // The component layer's contract end to end: a group whose social
+        // graph splits into two friend pairs loses one shopper; the full
+        // re-solve on the restricted population must reuse the untouched
+        // pair's factors (solved as part of the initial base solve) instead
+        // of recomputing them.
+        use svgic_core::instance::SvgicInstanceBuilder;
+        use svgic_graph::SocialGraph;
+        let graph = SocialGraph::from_edges(4, [(0, 1), (1, 0), (2, 3), (3, 2)]);
+        let mut builder = SvgicInstanceBuilder::new(graph, 4, 2, 0.5);
+        builder.fill_preferences(|u, c| 0.1 + 0.07 * ((u * 4 + c) % 9) as f64);
+        builder.fill_social(|u, v, c| 0.05 + 0.03 * ((u + 2 * v + c) % 5) as f64);
+        let instance = builder.build().expect("valid instance");
+
+        let mut engine = Engine::new(EngineConfig {
+            workers: 2,
+            shards: 1,
+            auto_flush_pending: 0,
+            policy: ResolvePolicy {
+                full_resolve_event_budget: 1,
+                ..ResolvePolicy::default()
+            },
+            ..EngineConfig::default()
+        });
+        let view = engine
+            .create_session(CreateSession {
+                instance,
+                initial_present: Vec::new(),
+                seed: 11,
+            })
+            .expect("session created");
+        let id = view.session;
+        engine
+            .submit_event(id, SessionEvent::Membership(DynamicEvent::Leave(0)))
+            .unwrap();
+        engine.flush();
+        let view = engine.query_configuration(id).unwrap();
+        assert_eq!(view.present, vec![1, 2, 3]);
+        assert!(view.configuration.is_valid(view.catalog.len()));
+        let stats = engine.stats();
+        assert!(stats.solves_full >= 1, "{stats}");
+        assert!(
+            stats.warm_components_reused >= 1,
+            "untouched friend pair must be served from the component cache: {stats}"
+        );
     }
 
     #[test]

@@ -22,9 +22,14 @@
 //!   accumulated churn and utility drift;
 //! * [`fingerprint`] — structural instance hashing;
 //! * [`cache`] — the LRU [`FactorCache`] of LP utility factors, shared
-//!   across re-solves *and across sessions*;
-//! * [`pool`] — the `std::thread` worker pool; LP and rounding jobs fan out
-//!   across cores in two deterministic waves;
+//!   across re-solves *and across sessions* on the same shard;
+//! * [`warm`] — component-wise warm-started factor solving: the LP separates
+//!   across social-graph components, so re-solves reuse cached factors of
+//!   every component a membership delta did not touch (byte-identical to a
+//!   cold solve, just cheaper);
+//! * [`pool`] — the `std::thread` worker pool with per-worker queues;
+//!   sessions hash to fixed shards, each flush runs one pipeline job per
+//!   busy shard against shard-owned caches;
 //! * [`stats`] — engine counters: requests, cache hit rate, solve latencies,
 //!   utility-vs-LP-bound gap.
 //!
@@ -63,6 +68,7 @@ pub mod pool;
 pub mod scheduler;
 pub mod session;
 pub mod stats;
+pub mod warm;
 
 pub use api::{
     ConfigurationView, CreateSession, EngineError, EngineRequest, EngineResponse, SessionEvent,
@@ -70,8 +76,9 @@ pub use api::{
 };
 pub use cache::FactorCache;
 pub use engine::{Engine, EngineConfig};
-pub use policy::{PolicyInputs, ResolveKind, ResolvePolicy};
+pub use policy::{LpStart, PolicyInputs, ResolveDecision, ResolveKind, ResolvePolicy};
 pub use stats::{EngineStats, StatsSnapshot};
+pub use warm::{solve_factors_warm, CacheMode, WarmOutcome};
 
 /// The most common engine imports in one place.
 pub mod prelude {
@@ -80,6 +87,6 @@ pub mod prelude {
         SessionId,
     };
     pub use crate::engine::{Engine, EngineConfig};
-    pub use crate::policy::{ResolveKind, ResolvePolicy};
+    pub use crate::policy::{LpStart, ResolveKind, ResolvePolicy};
     pub use crate::stats::StatsSnapshot;
 }

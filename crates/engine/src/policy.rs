@@ -11,6 +11,11 @@
 //! drifted too far from the last tight bound, or when the present population
 //! is a small fraction of the full group (full-population factors are then a
 //! poor guide).
+//!
+//! Orthogonally to incremental-vs-full, the policy picks how any needed LP
+//! work *starts*: [`LpStart::Warm`] reuses cached per-component solutions
+//! (identical factors, less work — see [`crate::warm`]), [`LpStart::Cold`]
+//! recomputes everything (forced re-solves, or `warm_start_lp: false`).
 
 /// How a scheduled re-solve should be executed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -19,6 +24,31 @@ pub enum ResolveKind {
     Incremental,
     /// Re-run the LP relaxation on the restricted instance, then round.
     FullLp,
+}
+
+/// How a factor computation (when one is needed) should start.
+///
+/// Warm and cold produce **identical factors** — warm only reuses cached
+/// solutions of social-graph components whose sub-instances are bit-identical
+/// to previously solved ones, so it is a pure optimization. Cold exists as
+/// the recompute-everything escape hatch (and as the baseline the warm path
+/// is benchmarked against).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LpStart {
+    /// Reuse cached per-component solutions where fingerprints match.
+    Warm,
+    /// Solve every component from scratch (results still refresh the warm
+    /// cache when warm-starting is enabled).
+    Cold,
+}
+
+/// The policy's full verdict for one scheduled re-solve.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResolveDecision {
+    /// Incremental re-rounding vs. full LP re-solve.
+    pub kind: ResolveKind,
+    /// Warm vs. cold start for whatever LP work the solve needs.
+    pub lp_start: LpStart,
 }
 
 /// Tunables deciding between [`ResolveKind`]s.
@@ -36,6 +66,11 @@ pub struct ResolvePolicy {
     /// still hold factors for the new fingerprint; `false` lets those hits
     /// serve incrementally).
     pub full_on_reshape: bool,
+    /// Warm-start LP re-solves from cached per-component solutions. Purely
+    /// an optimization — factors are identical either way — so this is `true`
+    /// by default; `false` gives the cold baseline (and disables the
+    /// component cache entirely). Forced re-solves are always cold.
+    pub warm_start_lp: bool,
 }
 
 impl Default for ResolvePolicy {
@@ -45,6 +80,7 @@ impl Default for ResolvePolicy {
             drift_threshold: 0.35,
             min_population_fraction: 0.25,
             full_on_reshape: false,
+            warm_start_lp: true,
         }
     }
 }
@@ -67,8 +103,16 @@ pub struct PolicyInputs {
 }
 
 impl ResolvePolicy {
-    /// Decides how to execute the next re-solve.
-    pub fn decide(&self, inputs: &PolicyInputs) -> ResolveKind {
+    /// Decides how to execute the next re-solve: incremental vs. full, and
+    /// warm vs. cold for whatever LP the choice entails.
+    pub fn decide(&self, inputs: &PolicyInputs) -> ResolveDecision {
+        ResolveDecision {
+            kind: self.decide_kind(inputs),
+            lp_start: self.decide_lp_start(inputs),
+        }
+    }
+
+    fn decide_kind(&self, inputs: &PolicyInputs) -> ResolveKind {
         if inputs.forced_full {
             return ResolveKind::FullLp;
         }
@@ -91,6 +135,16 @@ impl ResolvePolicy {
         }
         ResolveKind::Incremental
     }
+
+    fn decide_lp_start(&self, inputs: &PolicyInputs) -> LpStart {
+        // A forced re-solve is the caller's escape hatch: recompute from
+        // scratch (the results still refresh the warm cache).
+        if inputs.forced_full || !self.warm_start_lp {
+            LpStart::Cold
+        } else {
+            LpStart::Warm
+        }
+    }
 }
 
 #[cfg(test)]
@@ -109,9 +163,11 @@ mod tests {
     }
 
     #[test]
-    fn defaults_to_incremental() {
+    fn defaults_to_incremental_and_warm() {
         let policy = ResolvePolicy::default();
-        assert_eq!(policy.decide(&base_inputs()), ResolveKind::Incremental);
+        let decision = policy.decide(&base_inputs());
+        assert_eq!(decision.kind, ResolveKind::Incremental);
+        assert_eq!(decision.lp_start, LpStart::Warm);
     }
 
     #[test]
@@ -121,7 +177,10 @@ mod tests {
             events_since_full: policy.full_resolve_event_budget,
             ..base_inputs()
         };
-        assert_eq!(policy.decide(&inputs), ResolveKind::FullLp);
+        let decision = policy.decide(&inputs);
+        assert_eq!(decision.kind, ResolveKind::FullLp);
+        // A scheduled (non-forced) full solve still warm-starts.
+        assert_eq!(decision.lp_start, LpStart::Warm);
     }
 
     #[test]
@@ -131,7 +190,7 @@ mod tests {
             relative_gap: Some(0.9),
             ..base_inputs()
         };
-        assert_eq!(policy.decide(&inputs), ResolveKind::FullLp);
+        assert_eq!(policy.decide(&inputs).kind, ResolveKind::FullLp);
     }
 
     #[test]
@@ -141,16 +200,27 @@ mod tests {
             present: 1,
             ..base_inputs()
         };
-        assert_eq!(policy.decide(&inputs), ResolveKind::FullLp);
+        assert_eq!(policy.decide(&inputs).kind, ResolveKind::FullLp);
     }
 
     #[test]
-    fn forced_wins() {
+    fn forced_wins_and_is_cold() {
         let policy = ResolvePolicy::default();
         let inputs = PolicyInputs {
             forced_full: true,
             ..base_inputs()
         };
-        assert_eq!(policy.decide(&inputs), ResolveKind::FullLp);
+        let decision = policy.decide(&inputs);
+        assert_eq!(decision.kind, ResolveKind::FullLp);
+        assert_eq!(decision.lp_start, LpStart::Cold);
+    }
+
+    #[test]
+    fn disabling_warm_start_goes_cold() {
+        let policy = ResolvePolicy {
+            warm_start_lp: false,
+            ..ResolvePolicy::default()
+        };
+        assert_eq!(policy.decide(&base_inputs()).lp_start, LpStart::Cold);
     }
 }

@@ -1,22 +1,27 @@
-//! A fixed-size `std::thread` worker pool.
+//! A fixed-size `std::thread` worker pool with per-worker queues.
 //!
 //! Jobs are boxed closures; results travel back through whatever channel the
-//! closure captured. The pool is deliberately dumb — all ordering and
-//! determinism guarantees live in the engine's dispatch logic, which assigns
-//! deterministic seeds per job and applies results in session order, so the
-//! pool's scheduling cannot influence served configurations.
+//! closure captured. Every worker owns a private queue: [`WorkerPool::execute_on`]
+//! pins a job to a worker (the engine's session-affinity sharding — shard `s`
+//! always runs on worker `s % workers`, so per-shard state is never contended),
+//! while [`WorkerPool::execute`] round-robins unpinned jobs. The pool is
+//! deliberately dumb — all ordering and determinism guarantees live in the
+//! engine's dispatch logic, which assigns deterministic seeds per job and
+//! applies results in session order, so the pool's scheduling cannot influence
+//! served configurations.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
-/// A fixed pool of worker threads consuming jobs from a shared queue.
+/// A fixed pool of worker threads, each consuming its own job queue.
 #[derive(Debug)]
 pub struct WorkerPool {
-    sender: Option<Sender<Job>>,
+    senders: Vec<Sender<Job>>,
     handles: Vec<JoinHandle<()>>,
+    next: AtomicUsize,
 }
 
 impl WorkerPool {
@@ -29,29 +34,27 @@ impl WorkerPool {
         } else {
             workers
         };
-        let (sender, receiver): (Sender<Job>, Receiver<Job>) = channel();
-        let receiver = Arc::new(Mutex::new(receiver));
-        let handles = (0..workers)
-            .map(|index| {
-                let receiver = Arc::clone(&receiver);
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for index in 0..workers {
+            let (sender, receiver): (Sender<Job>, Receiver<Job>) = channel();
+            senders.push(sender);
+            handles.push(
                 std::thread::Builder::new()
                     .name(format!("svgic-engine-worker-{index}"))
-                    .spawn(move || loop {
-                        let job = {
-                            let guard = receiver.lock().expect("worker queue poisoned");
-                            guard.recv()
-                        };
-                        match job {
-                            Ok(job) => job(),
-                            Err(_) => break, // queue closed: shut down
+                    .spawn(move || {
+                        while let Ok(job) = receiver.recv() {
+                            job();
                         }
+                        // Queue closed: shut down.
                     })
-                    .expect("failed to spawn engine worker")
-            })
-            .collect();
+                    .expect("failed to spawn engine worker"),
+            );
+        }
         WorkerPool {
-            sender: Some(sender),
+            senders,
             handles,
+            next: AtomicUsize::new(0),
         }
     }
 
@@ -60,19 +63,24 @@ impl WorkerPool {
         self.handles.len()
     }
 
-    /// Enqueues a job.
+    /// Enqueues a job on a specific worker's queue (`worker` is taken modulo
+    /// the pool size). Jobs pinned to the same worker run in submission
+    /// order, which is what makes per-shard state single-threaded.
+    pub fn execute_on(&self, worker: usize, job: Job) {
+        let slot = worker % self.senders.len();
+        self.senders[slot].send(job).expect("worker queue closed");
+    }
+
+    /// Enqueues an unpinned job, round-robining across workers.
     pub fn execute(&self, job: Job) {
-        self.sender
-            .as_ref()
-            .expect("pool already shut down")
-            .send(job)
-            .expect("worker queue closed");
+        let slot = self.next.fetch_add(1, Ordering::Relaxed);
+        self.execute_on(slot, job);
     }
 }
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        drop(self.sender.take());
+        self.senders.clear();
         for handle in self.handles.drain(..) {
             let _ = handle.join();
         }
@@ -83,6 +91,7 @@ impl Drop for WorkerPool {
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
 
     #[test]
     fn runs_all_jobs() {
@@ -102,6 +111,30 @@ mod tests {
             rx.recv().unwrap();
         }
         assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn pinned_jobs_on_one_worker_run_in_submission_order() {
+        let pool = WorkerPool::new(3);
+        let (tx, rx) = channel();
+        for i in 0..32u32 {
+            let tx = tx.clone();
+            pool.execute_on(1, Box::new(move || tx.send(i).unwrap()));
+        }
+        let order: Vec<u32> = (0..32).map(|_| rx.recv().unwrap()).collect();
+        assert_eq!(order, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_index_wraps() {
+        let pool = WorkerPool::new(2);
+        let (tx, rx) = channel();
+        let tx2 = tx.clone();
+        pool.execute_on(7, Box::new(move || tx2.send(7u32).unwrap()));
+        pool.execute_on(8, Box::new(move || tx.send(8u32).unwrap()));
+        let mut got = vec![rx.recv().unwrap(), rx.recv().unwrap()];
+        got.sort_unstable();
+        assert_eq!(got, vec![7, 8]);
     }
 
     #[test]

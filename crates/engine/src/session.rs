@@ -9,6 +9,7 @@
 
 use std::sync::Arc;
 
+use svgic_algorithms::UtilityFactors;
 use svgic_core::{Configuration, ItemIdx, SvgicInstance, UserIdx};
 
 use crate::api::{ConfigurationView, SessionEvent, SessionId};
@@ -64,6 +65,16 @@ pub struct SessionState {
     pub events_since_full: usize,
     /// Total events applied over the session's lifetime.
     pub lifetime_events: u64,
+    /// The fractional LP factors the last solve used, kept for
+    /// session-affine warm starts: when the next solve needs the same
+    /// factor fingerprint (the common case for incremental re-rounds, whose
+    /// fingerprint is the stable `base_fingerprint`), they are reused without
+    /// touching any shared cache. The variable-index map from these
+    /// full-population factor rows to the present shoppers is `present`
+    /// itself — row `i` of a sliced solve is `present[i]`.
+    pub last_factors: Option<Arc<UtilityFactors>>,
+    /// Fingerprint the `last_factors` were computed for.
+    pub last_factor_fingerprint: Option<u64>,
 }
 
 impl SessionState {
@@ -89,6 +100,8 @@ impl SessionState {
             generation: 0,
             events_since_full: 0,
             lifetime_events: 0,
+            last_factors: None,
+            last_factor_fingerprint: None,
         }
     }
 

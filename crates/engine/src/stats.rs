@@ -34,8 +34,25 @@ pub struct EngineStats {
     /// LP solves skipped because another session in the *same* batch needed
     /// the same fingerprint (batch dedup, distinct from cache reuse).
     pub batch_shared: AtomicU64,
+    /// Factor lookups satisfied by the session's own last solution (the
+    /// session-affine fast path; also counted in `cache_hits`).
+    pub session_reuse: AtomicU64,
+    /// Re-solves served warm: factors obtained from an exact reuse layer
+    /// (session-affine, fingerprint cache, or within-batch sharing) instead
+    /// of a fresh LP computation.
+    pub solves_warm: AtomicU64,
+    /// Re-solves served cold: factors computed from scratch.
+    pub solves_cold: AtomicU64,
+    /// Social-graph components reused verbatim from the warm cache.
+    pub warm_components_reused: AtomicU64,
+    /// Social-graph components solved from scratch.
+    pub warm_components_solved: AtomicU64,
     /// Total nanoseconds spent in LP relaxation jobs.
     pub lp_nanos: AtomicU64,
+    /// Total nanoseconds of warm re-solves (factor resolution + rounding).
+    pub warm_solve_nanos: AtomicU64,
+    /// Total nanoseconds of cold re-solves (LP computation + rounding).
+    pub cold_solve_nanos: AtomicU64,
     /// Total nanoseconds spent in rounding jobs.
     pub round_nanos: AtomicU64,
     /// Slowest single job (one LP relaxation or one rounding pass) observed,
@@ -58,6 +75,28 @@ impl EngineStats {
         self.round_nanos.fetch_add(rounding, Ordering::Relaxed);
         self.max_solve_nanos
             .fetch_max(lp.max(rounding), Ordering::Relaxed);
+    }
+
+    /// Records one LP factor computation: its duration and how many
+    /// social-graph components it warm-reused vs. solved.
+    pub fn record_lp_compute(&self, nanos: u64, reused_components: u64, solved_components: u64) {
+        self.record_solve_nanos(nanos, 0);
+        self.warm_components_reused
+            .fetch_add(reused_components, Ordering::Relaxed);
+        self.warm_components_solved
+            .fetch_add(solved_components, Ordering::Relaxed);
+    }
+
+    /// Records one whole re-solve (factor resolution through rounding) as
+    /// warm (factors reused) or cold (factors computed).
+    pub fn record_solve_class(&self, nanos: u64, warm: bool) {
+        if warm {
+            self.solves_warm.fetch_add(1, Ordering::Relaxed);
+            self.warm_solve_nanos.fetch_add(nanos, Ordering::Relaxed);
+        } else {
+            self.solves_cold.fetch_add(1, Ordering::Relaxed);
+            self.cold_solve_nanos.fetch_add(nanos, Ordering::Relaxed);
+        }
     }
 
     /// Records a utility-vs-bound gap sample (tight bounds only).
@@ -85,7 +124,14 @@ impl EngineStats {
         clear(&self.cache_hits);
         clear(&self.cache_misses);
         clear(&self.batch_shared);
+        clear(&self.session_reuse);
+        clear(&self.solves_warm);
+        clear(&self.solves_cold);
+        clear(&self.warm_components_reused);
+        clear(&self.warm_components_solved);
         clear(&self.lp_nanos);
+        clear(&self.warm_solve_nanos);
+        clear(&self.cold_solve_nanos);
         clear(&self.round_nanos);
         clear(&self.max_solve_nanos);
         clear(&self.gap_micros);
@@ -107,7 +153,14 @@ impl EngineStats {
             cache_hits: load(&self.cache_hits),
             cache_misses: load(&self.cache_misses),
             batch_shared: load(&self.batch_shared),
+            session_reuse: load(&self.session_reuse),
+            solves_warm: load(&self.solves_warm),
+            solves_cold: load(&self.solves_cold),
+            warm_components_reused: load(&self.warm_components_reused),
+            warm_components_solved: load(&self.warm_components_solved),
             lp_time: Duration::from_nanos(load(&self.lp_nanos)),
+            warm_solve_time: Duration::from_nanos(load(&self.warm_solve_nanos)),
+            cold_solve_time: Duration::from_nanos(load(&self.cold_solve_nanos)),
             round_time: Duration::from_nanos(load(&self.round_nanos)),
             max_solve_time: Duration::from_nanos(load(&self.max_solve_nanos)),
             gap_micros: load(&self.gap_micros),
@@ -141,8 +194,22 @@ pub struct StatsSnapshot {
     pub cache_misses: u64,
     /// LP solves deduplicated within a single batch.
     pub batch_shared: u64,
+    /// Factor lookups satisfied by the session's own last solution.
+    pub session_reuse: u64,
+    /// Re-solves whose factors came from an exact reuse layer.
+    pub solves_warm: u64,
+    /// Re-solves that computed factors from scratch.
+    pub solves_cold: u64,
+    /// Component solutions reused verbatim from the warm cache.
+    pub warm_components_reused: u64,
+    /// Component solutions solved from scratch.
+    pub warm_components_solved: u64,
     /// Cumulative LP time.
     pub lp_time: Duration,
+    /// Cumulative latency of warm re-solves (reuse + rounding).
+    pub warm_solve_time: Duration,
+    /// Cumulative latency of cold re-solves (LP + rounding).
+    pub cold_solve_time: Duration,
     /// Cumulative rounding time.
     pub round_time: Duration,
     /// Slowest single job (LP relaxation or rounding pass).
@@ -218,6 +285,47 @@ impl StatsSnapshot {
         }
     }
 
+    /// Fraction of re-solves served warm — factors reused from the session,
+    /// a fingerprint cache, or within-batch sharing rather than recomputed —
+    /// in `[0, 1]` (`0` when nothing was solved).
+    pub fn warm_start_rate(&self) -> f64 {
+        let solves = self.solves_warm + self.solves_cold;
+        if solves == 0 {
+            0.0
+        } else {
+            self.solves_warm as f64 / solves as f64
+        }
+    }
+
+    /// Fraction of social-graph components reused verbatim instead of
+    /// re-solved, in `[0, 1]` (`0` when no LP ran).
+    pub fn component_reuse_rate(&self) -> f64 {
+        let components = self.warm_components_reused + self.warm_components_solved;
+        if components == 0 {
+            0.0
+        } else {
+            self.warm_components_reused as f64 / components as f64
+        }
+    }
+
+    /// Mean end-to-end latency of one warm re-solve (zero when none ran).
+    pub fn mean_warm_solve_time(&self) -> Duration {
+        if self.solves_warm == 0 {
+            Duration::ZERO
+        } else {
+            self.warm_solve_time / self.solves_warm as u32
+        }
+    }
+
+    /// Mean end-to-end latency of one cold re-solve (zero when none ran).
+    pub fn mean_cold_solve_time(&self) -> Duration {
+        if self.solves_cold == 0 {
+            Duration::ZERO
+        } else {
+            self.cold_solve_time / self.solves_cold as u32
+        }
+    }
+
     /// Mean latency of one rounding job (every solve rounds exactly once).
     pub fn mean_round_time(&self) -> Duration {
         let solves = self.solves();
@@ -245,14 +353,31 @@ impl StatsSnapshot {
             ("cache_hits", self.cache_hits as f64),
             ("cache_misses", self.cache_misses as f64),
             ("batch_shared", self.batch_shared as f64),
+            ("session_reuse", self.session_reuse as f64),
+            ("solves_warm", self.solves_warm as f64),
+            ("solves_cold", self.solves_cold as f64),
+            ("warm_components_reused", self.warm_components_reused as f64),
+            ("warm_components_solved", self.warm_components_solved as f64),
             ("gap_samples", self.gap_samples as f64),
             ("cache_hit_rate", self.cache_hit_rate()),
             ("coalesce_rate", self.coalesce_rate()),
             ("incremental_fraction", self.incremental_fraction()),
+            ("warm_start_rate", self.warm_start_rate()),
+            ("component_reuse_rate", self.component_reuse_rate()),
             ("mean_gap", self.mean_gap()),
             ("lp_seconds", self.lp_time.as_secs_f64()),
+            ("warm_solve_seconds", self.warm_solve_time.as_secs_f64()),
+            ("cold_solve_seconds", self.cold_solve_time.as_secs_f64()),
             ("round_seconds", self.round_time.as_secs_f64()),
             ("mean_lp_seconds", self.mean_lp_time().as_secs_f64()),
+            (
+                "mean_warm_solve_seconds",
+                self.mean_warm_solve_time().as_secs_f64(),
+            ),
+            (
+                "mean_cold_solve_seconds",
+                self.mean_cold_solve_time().as_secs_f64(),
+            ),
             ("mean_round_seconds", self.mean_round_time().as_secs_f64()),
             ("mean_solve_seconds", self.mean_solve_time().as_secs_f64()),
             ("max_solve_seconds", self.max_solve_time.as_secs_f64()),
@@ -297,11 +422,23 @@ impl std::fmt::Display for StatsSnapshot {
         )?;
         writeln!(
             f,
-            "  latency  mean {:?} per solve (LP {:?}, rounding {:?}), slowest job {:?}",
+            "  warm     {:>8} warm / {} cold re-solves (warm-start rate {:.1}%), {} of {} components reused, {} session-affine reuses",
+            self.solves_warm,
+            self.solves_cold,
+            100.0 * self.warm_start_rate(),
+            self.warm_components_reused,
+            self.warm_components_reused + self.warm_components_solved,
+            self.session_reuse
+        )?;
+        writeln!(
+            f,
+            "  latency  mean {:?} per solve (LP {:?}, rounding {:?}), slowest job {:?}; mean re-solve warm {:?} vs cold {:?}",
             self.mean_solve_time(),
             self.lp_time,
             self.round_time,
-            self.max_solve_time
+            self.max_solve_time,
+            self.mean_warm_solve_time(),
+            self.mean_cold_solve_time()
         )?;
         write!(
             f,
@@ -358,6 +495,56 @@ mod tests {
         // Names are unique (the JSON report uses them as object keys).
         let names: std::collections::HashSet<_> = metrics.iter().map(|(n, _)| n).collect();
         assert_eq!(names.len(), metrics.len());
+    }
+
+    #[test]
+    fn warm_cold_accounting_and_rates() {
+        let stats = EngineStats::default();
+        stats.record_lp_compute(6_000, 2, 1); // 2 components reused, 1 solved
+        stats.record_lp_compute(10_000, 0, 3); // 3 components solved
+        stats.record_solve_class(4_000, true); // warm re-solve
+        stats.record_solve_class(20_000, false); // cold re-solve
+        let snap = stats.snapshot();
+        assert_eq!(snap.solves_warm, 1);
+        assert_eq!(snap.solves_cold, 1);
+        assert_eq!(snap.warm_components_reused, 2);
+        assert_eq!(snap.warm_components_solved, 4);
+        assert!((snap.warm_start_rate() - 0.5).abs() < 1e-12);
+        assert!((snap.component_reuse_rate() - 2.0 / 6.0).abs() < 1e-12);
+        assert_eq!(snap.mean_warm_solve_time(), Duration::from_nanos(4_000));
+        assert_eq!(snap.mean_cold_solve_time(), Duration::from_nanos(20_000));
+        // LP computation durations feed the aggregate LP accounting.
+        assert_eq!(snap.lp_time, Duration::from_nanos(16_000));
+        let metrics = snap.metrics();
+        let get = |name: &str| metrics.iter().find(|(n, _)| *n == name).unwrap().1;
+        assert!((get("warm_start_rate") - 0.5).abs() < 1e-12);
+        assert!((get("mean_warm_solve_seconds") - 4e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rates_are_zero_not_nan_when_denominators_are_zero() {
+        // After a reset every denominator is zero; every derived rate must be
+        // a well-defined 0, never NaN (the loadgen JSON would render `null`).
+        let stats = EngineStats::default();
+        stats.events_submitted.store(10, Ordering::Relaxed);
+        stats.solves_incremental.store(3, Ordering::Relaxed);
+        stats.record_lp_compute(5_000, 1, 0);
+        stats.record_solve_class(5_000, true);
+        stats.reset();
+        let snap = stats.snapshot();
+        for (name, value) in snap.metrics() {
+            assert!(value.is_finite(), "{name} is not finite after reset");
+            assert_eq!(value, 0.0, "{name} should be zero after reset");
+        }
+        assert_eq!(snap.coalesce_rate(), 0.0);
+        assert_eq!(snap.incremental_fraction(), 0.0);
+        assert_eq!(snap.cache_hit_rate(), 0.0);
+        assert_eq!(snap.warm_start_rate(), 0.0);
+        assert_eq!(snap.component_reuse_rate(), 0.0);
+        assert_eq!(snap.mean_gap(), 0.0);
+        assert_eq!(snap.mean_lp_time(), Duration::ZERO);
+        assert_eq!(snap.mean_warm_solve_time(), Duration::ZERO);
+        assert_eq!(snap.mean_cold_solve_time(), Duration::ZERO);
     }
 
     #[test]

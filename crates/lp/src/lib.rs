@@ -34,6 +34,6 @@ pub use branch_bound::{BranchBoundConfig, MilpResult, MilpStatus, NodeSelection}
 pub use model::{Constraint, ConstraintSense, LinearProgram, Solution, VarId, VarKind};
 pub use simplex::{solve_lp, SimplexError, SimplexOptions};
 pub use structured::{
-    solve_min_coupling, CoordinateAscentOptions, CouplingTerm, MinCouplingProblem,
-    StructuredSolution,
+    project_onto_budgets, solve_min_coupling, solve_min_coupling_warm, CoordinateAscentOptions,
+    CouplingTerm, MinCouplingProblem, StructuredSolution, WarmStart,
 };

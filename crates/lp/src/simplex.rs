@@ -44,6 +44,9 @@ pub enum SimplexError {
     /// The model contains a variable with an infinite lower bound, which the
     /// standard-form conversion does not support.
     UnsupportedLowerBound,
+    /// Every remaining improving pivot would land on a (near-)zero element;
+    /// proceeding would corrupt the tableau, so the solve is aborted instead.
+    Numerical,
 }
 
 impl std::fmt::Display for SimplexError {
@@ -54,6 +57,12 @@ impl std::fmt::Display for SimplexError {
             SimplexError::IterationLimit => write!(f, "simplex pivot limit exhausted"),
             SimplexError::UnsupportedLowerBound => {
                 write!(f, "variables must have finite lower bounds")
+            }
+            SimplexError::Numerical => {
+                write!(
+                    f,
+                    "simplex aborted: every improving pivot is numerically unstable"
+                )
             }
         }
     }
@@ -242,10 +251,26 @@ impl Tableau {
         self.at(r, self.cols)
     }
 
-    fn pivot(&mut self, pr: usize, pc: usize) {
+    /// Smallest pivot element magnitude the tableau update tolerates. Scaled
+    /// off the configured tolerance but never below an absolute floor:
+    /// dividing a row by anything smaller amplifies its rounding noise past
+    /// any later feasibility/optimality test.
+    fn min_pivot(&self) -> f64 {
+        self.options.tolerance.max(1e-11)
+    }
+
+    /// Performs the pivot, returning `false` (tableau untouched) when the
+    /// pivot element is too small to divide by. In release builds this is the
+    /// guard that keeps an ill-conditioned instance from silently corrupting
+    /// the tableau; callers fall back to another column or report
+    /// [`SimplexError::Numerical`].
+    #[must_use]
+    fn pivot(&mut self, pr: usize, pc: usize) -> bool {
         let width = self.cols + 1;
         let pivot_val = self.at(pr, pc);
-        debug_assert!(pivot_val.abs() > 1e-12, "pivot on (near-)zero element");
+        if !pivot_val.is_finite() || pivot_val.abs() <= self.min_pivot() {
+            return false;
+        }
         for c in 0..width {
             let v = self.at(pr, c) / pivot_val;
             self.set(pr, c, v);
@@ -264,6 +289,7 @@ impl Tableau {
             }
         }
         self.basis[pr] = pc;
+        true
     }
 
     /// Runs the simplex method on the given cost vector, starting from the
@@ -276,6 +302,10 @@ impl Tableau {
         pivots_used: &mut usize,
     ) -> Result<(), SimplexError> {
         let tol = self.options.tolerance;
+        // Columns rejected this iteration because their only improving pivot
+        // element was numerically unusable; cleared after every successful
+        // pivot (the tableau, and hence the elements, change).
+        let mut rejected = vec![false; self.cols];
         loop {
             if *pivots_used >= self.options.max_pivots {
                 return Err(SimplexError::IterationLimit);
@@ -284,6 +314,7 @@ impl Tableau {
             // reduced cost is c_j - Σ_r c_{basis[r]} * a[r][j].
             let mut entering: Option<usize> = None;
             let mut best_reduced = -tol;
+            let mut any_rejected_improving = false;
             let use_bland = *pivots_used > self.options.max_pivots / 2;
             let col_limit = if forbid_artificials {
                 self.artificial_start
@@ -302,6 +333,10 @@ impl Tableau {
                     }
                 }
                 if reduced < -tol {
+                    if rejected[j] {
+                        any_rejected_improving = true;
+                        continue;
+                    }
                     if use_bland {
                         entering = Some(j);
                         break;
@@ -313,6 +348,11 @@ impl Tableau {
                 }
             }
             let Some(pc) = entering else {
+                if any_rejected_improving {
+                    // Improvement is still possible in exact arithmetic, but
+                    // every improving column pivots on a (near-)zero element.
+                    return Err(SimplexError::Numerical);
+                }
                 return Ok(()); // optimal for this phase
             };
             // Ratio test.
@@ -334,7 +374,14 @@ impl Tableau {
             let Some(pr) = leaving else {
                 return Err(SimplexError::Unbounded);
             };
-            self.pivot(pr, pc);
+            if !self.pivot(pr, pc) {
+                // Near-zero pivot element: reject the column and retry with
+                // the remaining candidates (Bland-style fallback) rather than
+                // dividing the row by numerical noise.
+                rejected[pc] = true;
+                continue;
+            }
+            rejected.fill(false);
             *pivots_used += 1;
         }
     }
@@ -369,11 +416,13 @@ impl Tableau {
                         }
                     }
                     if let Some(j) = replacement {
-                        self.pivot(r, j);
-                        pivots += 1;
+                        if self.pivot(r, j) {
+                            pivots += 1;
+                        }
                     }
-                    // If no replacement exists the row is redundant; the
-                    // artificial stays basic at value ~0, which is harmless.
+                    // If no replacement exists (or its pivot element is too
+                    // small to divide by) the row is redundant; the artificial
+                    // stays basic at value ~0, which is harmless.
                 }
             }
         }
@@ -515,6 +564,54 @@ mod tests {
         lp.add_constraint(vec![(x, 0.5), (x, 0.5)], ConstraintSense::LessEq, 3.0, None);
         let sol = solve(&lp);
         assert!((sol.objective - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn near_zero_pivot_is_rejected_not_executed() {
+        // `y` is profitable and its *only* constraint row carries a 1e-13
+        // coefficient. With a tolerance below that coefficient the ratio test
+        // accepts the row, and the pre-guard solver pivoted on it — dividing
+        // the row by 1e-13 and blowing the tableau up (the old debug_assert
+        // only caught this in debug builds). The runtime guard must reject
+        // the column and, since no stable improving pivot remains, abort with
+        // the numerical-error variant instead of "solving".
+        let mut lp = LinearProgram::new();
+        let x = lp.add_variable(1.0, 0.0, 1.0, VarKind::Continuous, None);
+        let y = lp.add_variable(1e6, 0.0, f64::INFINITY, VarKind::Continuous, None);
+        lp.add_constraint(vec![(y, 1e-13)], ConstraintSense::LessEq, 1.0, None);
+        lp.add_constraint(vec![(x, 1.0)], ConstraintSense::LessEq, 1.0, None);
+        let options = SimplexOptions {
+            tolerance: 1e-15,
+            ..SimplexOptions::default()
+        };
+        let err = solve_lp(&lp, &options).unwrap_err();
+        assert_eq!(err, SimplexError::Numerical);
+    }
+
+    #[test]
+    fn ill_conditioned_but_stable_instance_still_solves() {
+        // Coefficients spanning ten orders of magnitude, solved with a much
+        // smaller tolerance than the default: every pivot element is still
+        // above the guard's floor, so the solve must succeed and stay exact.
+        // max 2a + b  s.t.  1e-3·a + 1e-7·b ≤ 1e-3,  a,b ∈ [0, 1]  →  a = 1
+        // forces 1e-7·b ≤ 0 at the vertex... keep slack: rhs 2e-3 → a = 1,
+        // b = min(1, 1e4·1e-3) = 1.
+        let mut lp = LinearProgram::new();
+        let a = lp.add_variable(2.0, 0.0, 1.0, VarKind::Continuous, None);
+        let b = lp.add_variable(1.0, 0.0, 1.0, VarKind::Continuous, None);
+        lp.add_constraint(
+            vec![(a, 1e-3), (b, 1e-7)],
+            ConstraintSense::LessEq,
+            2e-3,
+            None,
+        );
+        let options = SimplexOptions {
+            tolerance: 1e-12,
+            ..SimplexOptions::default()
+        };
+        let sol = solve_lp(&lp, &options).expect("stable instance solves");
+        assert!((sol.objective - 3.0).abs() < 1e-6, "got {}", sol.objective);
+        assert!(lp.is_feasible(&sol.values, 1e-9));
     }
 
     #[test]

@@ -29,6 +29,7 @@ struct Args {
     no_record: bool,
     out: Option<String>,
     smoke: bool,
+    cold_lp: bool,
     quiet: bool,
     list: bool,
 }
@@ -51,6 +52,9 @@ OPTIONS:
                         counters reset at the boundary; digest unaffected)
     --workers <N>       engine worker threads (default: one per core)
     --smoke             shrink the scenario to CI-smoke size
+    --cold-lp           disable warm-started re-solves (the cold baseline:
+                        every re-solve recomputes its LP; served configs are
+                        identical either way)
     --record <path>     where to write the generated trace
                         (default target/loadgen/<scenario>-seed<seed>.trace)
     --no-record         skip recording the trace
@@ -75,6 +79,7 @@ fn parse_args() -> Result<Args, String> {
         no_record: false,
         out: None,
         smoke: false,
+        cold_lp: false,
         quiet: false,
         list: false,
     };
@@ -122,6 +127,7 @@ fn parse_args() -> Result<Args, String> {
             "--no-record" => args.no_record = true,
             "--out" => args.out = Some(value("path")?),
             "--smoke" => args.smoke = true,
+            "--cold-lp" => args.cold_lp = true,
             "--quiet" => args.quiet = true,
             "--list" => args.list = true,
             "--help" | "-h" => {
@@ -201,6 +207,10 @@ fn run() -> Result<(), String> {
         engine: svgic_engine::EngineConfig {
             workers: args.workers,
             auto_flush_pending: 0,
+            policy: svgic_engine::ResolvePolicy {
+                warm_start_lp: !args.cold_lp,
+                ..svgic_engine::ResolvePolicy::default()
+            },
             ..svgic_engine::EngineConfig::default()
         },
     };
@@ -234,9 +244,10 @@ fn run() -> Result<(), String> {
             all.max().as_secs_f64() * 1e6,
         );
         eprintln!(
-            "  engine: {} solves ({:.0}% incremental), cache hit rate {:.1}%, {:.0}% events coalesced",
+            "  engine: {} solves ({:.0}% incremental, {:.0}% warm-started), cache hit rate {:.1}%, {:.0}% events coalesced",
             o.engine.solves(),
             100.0 * o.engine.incremental_fraction(),
+            100.0 * o.engine.warm_start_rate(),
             100.0 * o.engine.cache_hit_rate(),
             100.0 * o.engine.coalesce_rate(),
         );
