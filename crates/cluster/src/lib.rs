@@ -1,0 +1,91 @@
+//! # svgic-cluster — a multi-node serving fabric for the SVGIC engine
+//!
+//! The SVGIC problem is solved per shopping group, which makes serving
+//! embarrassingly partitionable across sessions. PR 1–3 built a single-node
+//! engine that shards sessions *within* a process; this crate adds the layer
+//! above it: a deterministic, in-process **cluster** of nodes — each wrapping
+//! one [`svgic_engine::Engine`] — with consistent-hash routing, live session
+//! migration, failure recovery and load-aware rebalancing. It is the scale
+//! story the paper's social-VR setting (millions of concurrent shoppers)
+//! requires and the single-process engine cannot provide alone.
+//!
+//! Architecture (one module each):
+//!
+//! * [`ring`] — the consistent-hash [`HashRing`]: each node owns `vnodes`
+//!   points on a 64-bit FNV-1a ring; a key routes to the next point
+//!   clockwise. ≥ 64 virtual nodes keep every node's share within a small
+//!   factor of ideal, and removing a node remaps only that node's keys;
+//! * [`cluster`] — the [`Cluster`] fabric: nodes, the placement table
+//!   (session key → node + local id), **live migration** via the engine's
+//!   `export_session`/`import_session` (pending events, served solution,
+//!   solve generation and warm capital — the last LP factors — all travel),
+//!   and **crash recovery** (a killed node's sessions are rebuilt from the
+//!   router's shadow state on their new ring homes, cold);
+//! * [`policy`] — the [`RebalancePolicy`] trait with two implementations:
+//!   ring-authority ([`RingPolicy`]) and load-aware ([`QueueDepthPolicy`],
+//!   driven by live session counts plus the engines' per-shard queue-depth
+//!   gauges);
+//! * [`stats`] — fabric counters (migrations, warm capital preserved/lost,
+//!   recoveries) and the [`ClusterSnapshot`] aggregation: per-node engine
+//!   snapshots plus the merged fleet totals.
+//!
+//! ## Topology independence
+//!
+//! Served configurations are **independent of topology and migration
+//! history**: solve seeds derive from `(session seed, generation)`, LP
+//! factors are byte-identical wherever they are computed, and node engines
+//! run with auto-flush disabled (the cluster owns the flush clock). Serving a
+//! trace on 1 node or on 4 — with live migrations in between — yields
+//! identical configuration digests; only node *kills* change behaviour
+//! (recovered sessions restart their solve generation), and even those are
+//! deterministic run-to-run.
+//!
+//! ```rust
+//! use svgic_cluster::prelude::*;
+//! use svgic_engine::{CreateSession, EngineConfig};
+//!
+//! let mut cluster = Cluster::new(ClusterConfig {
+//!     nodes: 2,
+//!     engine: EngineConfig { workers: 2, ..EngineConfig::default() },
+//!     ..ClusterConfig::default()
+//! });
+//! let (node, view) = cluster
+//!     .open_session(
+//!         7,
+//!         CreateSession {
+//!             instance: svgic_core::example::running_example(),
+//!             initial_present: vec![],
+//!             seed: 42,
+//!         },
+//!     )
+//!     .unwrap();
+//! assert!(view.configuration.is_valid(view.catalog.len()));
+//! // Live-migrate the session to the other node: state and warm capital move.
+//! let other = cluster.node_ids().into_iter().find(|&n| n != node).unwrap();
+//! assert!(cluster.migrate_session(7, other).unwrap());
+//! assert_eq!(cluster.placement_of(7), Some(other));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod policy;
+pub mod ring;
+pub mod stats;
+
+pub use cluster::{Cluster, ClusterConfig, ClusterError, KillReport, PlacementMode};
+pub use policy::{
+    ClusterView, Migration, NodeLoad, QueueDepthPolicy, RebalancePolicy, RingPolicy,
+    SessionPlacement,
+};
+pub use ring::{HashRing, NodeId};
+pub use stats::{ClusterSnapshot, ClusterStats, NodeSnapshot};
+
+/// The most common cluster imports in one place.
+pub mod prelude {
+    pub use crate::cluster::{Cluster, ClusterConfig, ClusterError, KillReport, PlacementMode};
+    pub use crate::policy::{Migration, QueueDepthPolicy, RebalancePolicy, RingPolicy};
+    pub use crate::ring::{HashRing, NodeId};
+    pub use crate::stats::{ClusterSnapshot, ClusterStats, NodeSnapshot};
+}

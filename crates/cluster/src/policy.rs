@@ -1,0 +1,331 @@
+//! Rebalancing policies: who moves where when the fabric rebalances.
+//!
+//! A [`RebalancePolicy`] inspects a read-only [`ClusterView`] (per-node load,
+//! session placements, the ring) and plans a list of [`Migration`]s; the
+//! cluster executes them via live export/import (warm capital travels with
+//! the session, see [`svgic_engine::SessionExport`]). Two policies ship:
+//!
+//! * [`RingPolicy`] — the consistent-hash ring is the placement authority:
+//!   any session not living where the ring routes its key moves there. After
+//!   node joins this is what hands the new node its ring share; it ignores
+//!   load entirely.
+//! * [`QueueDepthPolicy`] — load-aware: nodes are ranked by
+//!   `weight + queue_depth` (hosted LP sizes plus the engines' per-shard
+//!   pending-event gauges) and sessions move from the most- to the
+//!   least-loaded node until the spread is within `tolerance`. Placement may
+//!   drift off-ring, which the router's placement table is there to absorb.
+//!
+//! Policies are pure planning: deterministic (BTree orderings, explicit tie
+//! breaks on node id and session key) and side-effect free.
+
+use crate::ring::{HashRing, NodeId};
+
+/// One node's load as the policies see it.
+#[derive(Clone, Copy, Debug)]
+pub struct NodeLoad {
+    /// The node.
+    pub node: NodeId,
+    /// Live sessions placed on the node.
+    pub sessions: u64,
+    /// Pending events queued on the node (sum of per-shard gauges).
+    pub queue_depth: u64,
+    /// Weighted load: the sum of hosted sessions' LP sizes (the cluster's
+    /// solve-cost proxy, see bounded-load placement).
+    pub weight: u64,
+}
+
+impl NodeLoad {
+    /// Scalar load: hosted LP weight plus queued events (weight is standing
+    /// solve cost — sessions re-solve on flushes — and queued events are
+    /// imminent work).
+    pub fn load(&self) -> u64 {
+        self.weight + self.queue_depth
+    }
+}
+
+/// One session's current placement.
+#[derive(Clone, Copy, Debug)]
+pub struct SessionPlacement {
+    /// Cluster-level session key.
+    pub key: u64,
+    /// Node the session currently lives on.
+    pub node: NodeId,
+    /// The session's load weight (its LP size).
+    pub weight: u64,
+}
+
+/// Read-only cluster state handed to a policy.
+#[derive(Debug)]
+pub struct ClusterView<'a> {
+    /// Per-node load, ascending by node id.
+    pub nodes: Vec<NodeLoad>,
+    /// Every live session's placement, ascending by key.
+    pub sessions: Vec<SessionPlacement>,
+    /// The routing ring.
+    pub ring: &'a HashRing,
+}
+
+/// A planned session move.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Migration {
+    /// Session to move.
+    pub key: u64,
+    /// Destination node.
+    pub to: NodeId,
+}
+
+/// Plans which sessions migrate where during a rebalance.
+pub trait RebalancePolicy {
+    /// Stable policy name (reports, CLI).
+    fn name(&self) -> &'static str;
+    /// Plans migrations against the view. Must be deterministic.
+    fn plan(&self, view: &ClusterView<'_>) -> Vec<Migration>;
+}
+
+/// Ring-authority rebalancing: every session moves to wherever the ring
+/// routes its key right now.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RingPolicy;
+
+impl RebalancePolicy for RingPolicy {
+    fn name(&self) -> &'static str {
+        "ring"
+    }
+
+    fn plan(&self, view: &ClusterView<'_>) -> Vec<Migration> {
+        view.sessions
+            .iter()
+            .filter_map(|placement| {
+                let home = view.ring.route(placement.key)?;
+                (home != placement.node).then_some(Migration {
+                    key: placement.key,
+                    to: home,
+                })
+            })
+            .collect()
+    }
+}
+
+/// Load-aware rebalancing driven by hosted LP weight plus queue depth.
+///
+/// Plans greedy moves from the most- to the least-loaded node: each step
+/// migrates the donor's heaviest session that still *strictly narrows* the
+/// spread (a session heavier than the gap would just flip the imbalance).
+/// Each move strictly decreases the spread, so planning always terminates.
+#[derive(Clone, Copy, Debug)]
+pub struct QueueDepthPolicy {
+    /// Largest tolerated load spread (`max - min`, in weight units) before
+    /// sessions move. `0` balances as evenly as whole sessions allow.
+    pub tolerance: u64,
+}
+
+impl Default for QueueDepthPolicy {
+    fn default() -> Self {
+        QueueDepthPolicy { tolerance: 1 }
+    }
+}
+
+impl RebalancePolicy for QueueDepthPolicy {
+    fn name(&self) -> &'static str {
+        "queue-depth"
+    }
+
+    fn plan(&self, view: &ClusterView<'_>) -> Vec<Migration> {
+        if view.nodes.len() < 2 {
+            return Vec::new();
+        }
+        // Mutable model: per-node load plus the (key-ascending) sessions the
+        // node still holds; moving a session transfers its weight.
+        let mut loads: Vec<(NodeId, u64)> = view
+            .nodes
+            .iter()
+            .map(|node| (node.node, node.load()))
+            .collect();
+        let mut held: Vec<Vec<(u64, u64)>> = vec![Vec::new(); loads.len()]; // (key, weight)
+        let index_of =
+            |loads: &[(NodeId, u64)], node: NodeId| loads.iter().position(|(id, _)| *id == node);
+        for placement in &view.sessions {
+            if let Some(index) = index_of(&loads, placement.node) {
+                held[index].push((placement.key, placement.weight.max(1)));
+            }
+        }
+
+        let mut moves = Vec::new();
+        loop {
+            // Most-loaded donor (ties: lower node id) and least-loaded
+            // receiver.
+            let donor = (0..loads.len())
+                .filter(|&i| !held[i].is_empty())
+                .max_by_key(|&i| (loads[i].1, std::cmp::Reverse(loads[i].0)))
+                .map(|i| (i, loads[i].1));
+            let Some((donor, donor_load)) = donor else {
+                break;
+            };
+            let (receiver, receiver_load) = (0..loads.len())
+                .map(|i| (i, loads[i].1))
+                .min_by_key(|&(i, load)| (load, loads[i].0))
+                .expect("at least two nodes");
+            let spread = donor_load.saturating_sub(receiver_load);
+            if donor == receiver || spread <= self.tolerance.max(1) {
+                break;
+            }
+            // The heaviest donor session that still narrows the spread
+            // (weight strictly below the gap); ties break toward the lowest
+            // key. None fitting ⇒ every remaining move would overshoot.
+            let Some(candidate) = held[donor]
+                .iter()
+                .enumerate()
+                .filter(|(_, &(_, weight))| weight < spread)
+                .max_by_key(|&(_, &(key, weight))| (weight, std::cmp::Reverse(key)))
+                .map(|(index, _)| index)
+            else {
+                break;
+            };
+            let (key, weight) = held[donor].remove(candidate);
+            moves.push(Migration {
+                key,
+                to: loads[receiver].0,
+            });
+            loads[donor].1 -= weight;
+            loads[receiver].1 += weight;
+        }
+        moves
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view_with(
+        loads: Vec<NodeLoad>,
+        sessions: Vec<SessionPlacement>,
+        ring: &HashRing,
+    ) -> Vec<Migration> {
+        QueueDepthPolicy::default().plan(&ClusterView {
+            nodes: loads,
+            sessions,
+            ring,
+        })
+    }
+
+    #[test]
+    fn queue_depth_policy_moves_from_hot_to_cold() {
+        let mut ring = HashRing::new(8);
+        ring.add_node(NodeId(0));
+        ring.add_node(NodeId(1));
+        let loads = vec![
+            NodeLoad {
+                node: NodeId(0),
+                sessions: 4,
+                queue_depth: 2,
+                weight: 4,
+            },
+            NodeLoad {
+                node: NodeId(1),
+                sessions: 0,
+                queue_depth: 0,
+                weight: 0,
+            },
+        ];
+        let sessions = (0..4)
+            .map(|key| SessionPlacement {
+                key,
+                node: NodeId(0),
+                weight: 1,
+            })
+            .collect();
+        let moves = view_with(loads, sessions, &ring);
+        assert!(!moves.is_empty(), "imbalance must trigger moves");
+        assert!(moves.iter().all(|m| m.to == NodeId(1)));
+        // Lowest keys move first.
+        assert_eq!(moves[0].key, 0);
+        // Load 6 vs 0 equalizes to 3 vs 3: three sessions move.
+        assert_eq!(moves.len(), 3);
+    }
+
+    #[test]
+    fn queue_depth_policy_is_quiet_when_balanced() {
+        let mut ring = HashRing::new(8);
+        ring.add_node(NodeId(0));
+        ring.add_node(NodeId(1));
+        let loads = vec![
+            NodeLoad {
+                node: NodeId(0),
+                sessions: 2,
+                queue_depth: 0,
+                weight: 2,
+            },
+            NodeLoad {
+                node: NodeId(1),
+                sessions: 2,
+                queue_depth: 1,
+                weight: 2,
+            },
+        ];
+        let sessions = vec![
+            SessionPlacement {
+                key: 0,
+                node: NodeId(0),
+                weight: 1,
+            },
+            SessionPlacement {
+                key: 1,
+                node: NodeId(0),
+                weight: 1,
+            },
+            SessionPlacement {
+                key: 2,
+                node: NodeId(1),
+                weight: 1,
+            },
+            SessionPlacement {
+                key: 3,
+                node: NodeId(1),
+                weight: 1,
+            },
+        ];
+        assert!(view_with(loads, sessions, &ring).is_empty());
+    }
+
+    #[test]
+    fn ring_policy_sends_sessions_home() {
+        let mut ring = HashRing::new(64);
+        ring.add_node(NodeId(0));
+        ring.add_node(NodeId(1));
+        // Place every session on node 0; the ring will want some on node 1.
+        let sessions: Vec<SessionPlacement> = (0..50)
+            .map(|key| SessionPlacement {
+                key,
+                node: NodeId(0),
+                weight: 1,
+            })
+            .collect();
+        let view = ClusterView {
+            nodes: vec![
+                NodeLoad {
+                    node: NodeId(0),
+                    sessions: 50,
+                    queue_depth: 0,
+                    weight: 50,
+                },
+                NodeLoad {
+                    node: NodeId(1),
+                    sessions: 0,
+                    queue_depth: 0,
+                    weight: 0,
+                },
+            ],
+            sessions,
+            ring: &ring,
+        };
+        let moves = RingPolicy.plan(&view);
+        assert!(!moves.is_empty());
+        for m in &moves {
+            assert_eq!(m.to, NodeId(1), "only off-home sessions move");
+            assert_eq!(ring.route(m.key), Some(NodeId(1)));
+        }
+        // Planning twice is identical (determinism).
+        assert_eq!(moves, RingPolicy.plan(&view));
+    }
+}

@@ -1,0 +1,232 @@
+//! Consistent-hash ring with virtual nodes.
+//!
+//! Session keys are placed on a 64-bit ring; each node owns `vnodes` points
+//! on it (hashes of `(node, replica)`), and a key routes to the owner of the
+//! first point at or after the key's own hash, wrapping around. Virtual
+//! nodes smooth the arc lengths: with ≥ 64 of them per node the share of
+//! keys any node receives stays within a small constant factor of ideal (the
+//! property tests pin 2x), and removing a node only remaps the keys that
+//! node owned — every other key keeps its placement, which is what makes
+//! node churn cheap.
+//!
+//! Ring points are keyed by `(position, node)` pairs, so two nodes hashing
+//! onto the same position coexist deterministically (the smaller node id
+//! wins the arc) and removal is exact rather than last-writer-wins. All
+//! hashing is the workspace's FNV-1a ([`svgic_engine::fingerprint::Fnv`]);
+//! the ring is a pure function of the node set, independent of
+//! insertion order.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use svgic_engine::fingerprint::Fnv;
+
+/// Identifier of a cluster node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u64);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node#{}", self.0)
+    }
+}
+
+/// Domain-separation tags so node points and session keys never collide
+/// structurally.
+const TAG_POINT: u64 = 0x5256_4E4F_4445_0001; // "RVNODE"-ish
+const TAG_KEY: u64 = 0x5256_4B45_5900_0002; // "RVKEY"-ish
+
+/// Murmur3-style avalanche finalizer. Plain FNV-1a gives the *last* input
+/// byte only one multiply, so positions of `(node, replica)` and
+/// `(node, replica+1)` correlate in their high bits — exactly the bits ring
+/// ordering compares — and arc lengths come out badly skewed for small
+/// consecutive ids. The finalizer diffuses every input bit across the word.
+fn finalize(mut hash: u64) -> u64 {
+    hash ^= hash >> 33;
+    hash = hash.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    hash ^= hash >> 33;
+    hash = hash.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    hash ^= hash >> 33;
+    hash
+}
+
+fn point_hash(node: NodeId, replica: u64) -> u64 {
+    let mut hasher = Fnv::new();
+    hasher.write_u64(TAG_POINT);
+    hasher.write_u64(node.0);
+    hasher.write_u64(replica);
+    finalize(hasher.finish())
+}
+
+fn key_hash(key: u64) -> u64 {
+    let mut hasher = Fnv::new();
+    hasher.write_u64(TAG_KEY);
+    hasher.write_u64(key);
+    finalize(hasher.finish())
+}
+
+/// A consistent-hash ring mapping 64-bit session keys to nodes.
+#[derive(Clone, Debug)]
+pub struct HashRing {
+    vnodes: usize,
+    /// Ring points: `(position, node)` → the node owning the arc that ends
+    /// at `position`. The composite key makes same-position points from
+    /// different nodes coexist (ties break toward the smaller node id).
+    points: BTreeMap<(u64, u64), ()>,
+    nodes: BTreeSet<u64>,
+}
+
+impl HashRing {
+    /// An empty ring with `vnodes` virtual nodes per physical node
+    /// (clamped to at least 1).
+    pub fn new(vnodes: usize) -> Self {
+        HashRing {
+            vnodes: vnodes.max(1),
+            points: BTreeMap::new(),
+            nodes: BTreeSet::new(),
+        }
+    }
+
+    /// Virtual nodes per physical node.
+    pub fn vnodes(&self) -> usize {
+        self.vnodes
+    }
+
+    /// Number of physical nodes on the ring.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the ring has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Whether `node` is on the ring.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.nodes.contains(&node.0)
+    }
+
+    /// The node ids on the ring, ascending.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        self.nodes.iter().copied().map(NodeId).collect()
+    }
+
+    /// Adds a node (idempotent).
+    pub fn add_node(&mut self, node: NodeId) {
+        if !self.nodes.insert(node.0) {
+            return;
+        }
+        for replica in 0..self.vnodes as u64 {
+            self.points.insert((point_hash(node, replica), node.0), ());
+        }
+    }
+
+    /// Removes a node (idempotent). Only keys that routed to `node` change
+    /// their placement.
+    pub fn remove_node(&mut self, node: NodeId) {
+        if !self.nodes.remove(&node.0) {
+            return;
+        }
+        for replica in 0..self.vnodes as u64 {
+            self.points.remove(&(point_hash(node, replica), node.0));
+        }
+    }
+
+    /// Routes a session key to its owning node (`None` on an empty ring).
+    pub fn route(&self, key: u64) -> Option<NodeId> {
+        let position = key_hash(key);
+        self.points
+            .range((position, 0)..)
+            .next()
+            .or_else(|| self.points.iter().next())
+            .map(|(&(_, node), ())| NodeId(node))
+    }
+
+    /// Bounded-load routing (the "consistent hashing with bounded loads"
+    /// walk): starting at the key's ring position, returns the first node
+    /// clockwise for which `admissible` holds, wrapping once around the
+    /// whole ring. Keys whose home node is admissible route exactly like
+    /// [`HashRing::route`]; overloaded homes spill forward to the next
+    /// under-capacity node, still deterministically. `None` when no node is
+    /// admissible (the caller picks its own fallback).
+    pub fn route_where(&self, key: u64, admissible: &dyn Fn(NodeId) -> bool) -> Option<NodeId> {
+        let position = key_hash(key);
+        self.points
+            .range((position, 0)..)
+            .chain(self.points.range(..(position, 0)))
+            .map(|(&(_, node), ())| NodeId(node))
+            .find(|&node| admissible(node))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn ring_of(nodes: &[u64], vnodes: usize) -> HashRing {
+        let mut ring = HashRing::new(vnodes);
+        for &node in nodes {
+            ring.add_node(NodeId(node));
+        }
+        ring
+    }
+
+    #[test]
+    fn empty_ring_routes_nowhere() {
+        let ring = HashRing::new(64);
+        assert!(ring.is_empty());
+        assert_eq!(ring.route(7), None);
+    }
+
+    #[test]
+    fn single_node_owns_everything() {
+        let ring = ring_of(&[3], 64);
+        for key in 0..100 {
+            assert_eq!(ring.route(key), Some(NodeId(3)));
+        }
+    }
+
+    #[test]
+    fn ring_is_independent_of_insertion_order() {
+        let forward = ring_of(&[1, 2, 3, 4], 64);
+        let backward = ring_of(&[4, 3, 2, 1], 64);
+        for key in 0..500 {
+            assert_eq!(forward.route(key), backward.route(key));
+        }
+    }
+
+    #[test]
+    fn add_then_remove_is_identity() {
+        let reference = ring_of(&[1, 2, 3], 128);
+        let mut churned = ring_of(&[1, 2, 3], 128);
+        churned.add_node(NodeId(9));
+        churned.remove_node(NodeId(9));
+        for key in 0..500 {
+            assert_eq!(reference.route(key), churned.route(key));
+        }
+        // Idempotence both ways.
+        churned.remove_node(NodeId(9));
+        churned.add_node(NodeId(2));
+        assert_eq!(churned.len(), 3);
+    }
+
+    #[test]
+    fn distribution_is_roughly_even() {
+        let ring = ring_of(&[0, 1, 2, 3], 64);
+        let keys = 4000u64;
+        let mut counts: BTreeMap<u64, u64> = BTreeMap::new();
+        for key in 0..keys {
+            *counts.entry(ring.route(key).unwrap().0).or_default() += 1;
+        }
+        let ideal = keys as f64 / 4.0;
+        for (&node, &count) in &counts {
+            let share = count as f64 / ideal;
+            assert!(
+                (0.5..=2.0).contains(&share),
+                "node {node} got {count} keys ({share:.2}x ideal)"
+            );
+        }
+    }
+}

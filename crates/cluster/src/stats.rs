@@ -1,0 +1,66 @@
+//! Cluster-level counters and aggregated snapshots.
+
+use svgic_engine::StatsSnapshot;
+
+use crate::ring::NodeId;
+
+/// Fabric-level counters (single-threaded plain integers — the cluster
+/// router runs on one thread; parallelism lives inside the node engines).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// Nodes added over the cluster's lifetime (including the initial
+    /// set). A topology fact, not a traffic counter: survives
+    /// `Cluster::reset_stats`.
+    pub nodes_added: u64,
+    /// Nodes killed (crash-style: their engine state is dropped). Survives
+    /// `Cluster::reset_stats` like `nodes_added`.
+    pub nodes_killed: u64,
+    /// Live migrations executed (export → import).
+    pub migrations: u64,
+    /// Migrations whose export carried reusable LP factors — warm capital
+    /// that arrived intact on the receiving node.
+    pub warm_capital_preserved: u64,
+    /// Sessions whose warm capital was destroyed by a node kill (they had
+    /// been solved at least once, and were rebuilt cold).
+    pub warm_capital_lost: u64,
+    /// Sessions rebuilt from router shadow state after a node kill.
+    pub sessions_recovered: u64,
+    /// Rebalance passes executed (even when the policy planned no moves).
+    pub rebalances: u64,
+    /// Sessions placed off their ring home by bounded-load placement (the
+    /// home node was over capacity and the key spilled clockwise).
+    pub spill_placements: u64,
+}
+
+/// One node's contribution to a cluster snapshot.
+#[derive(Clone, Debug)]
+pub struct NodeSnapshot {
+    /// The node.
+    pub node: NodeId,
+    /// Live sessions currently placed on the node.
+    pub sessions: u64,
+    /// Pending events queued on the node right now.
+    pub queue_depth: u64,
+    /// The node engine's full counter snapshot.
+    pub engine: StatsSnapshot,
+}
+
+/// A point-in-time view of the whole fabric: per-node snapshots plus the
+/// merged fleet totals (via [`StatsSnapshot::merge`]) and the fabric
+/// counters.
+#[derive(Clone, Debug)]
+pub struct ClusterSnapshot {
+    /// Per-node snapshots, ascending by node id (alive nodes only).
+    pub nodes: Vec<NodeSnapshot>,
+    /// Every node's engine counters merged into one fleet snapshot.
+    pub merged: StatsSnapshot,
+    /// Fabric counters.
+    pub stats: ClusterStats,
+}
+
+impl ClusterSnapshot {
+    /// Live sessions across the fleet.
+    pub fn total_sessions(&self) -> u64 {
+        self.nodes.iter().map(|n| n.sessions).sum()
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests for the consistent-hash ring.
+//!
+//! Two contracts matter for the fabric:
+//!
+//! 1. **Balance** — with ≥ 64 virtual nodes, the share of a large keyspace
+//!    any node receives stays within 2x of ideal (so a node join/kill never
+//!    creates a hotspot by construction);
+//! 2. **Minimal disruption** — removing a node remaps *only* the keys that
+//!    routed to it; every other key keeps its placement. This is what makes
+//!    node churn cheap: migrations and recoveries touch exactly the dead
+//!    node's sessions.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use svgic_cluster::ring::{HashRing, NodeId};
+
+/// A ring over node ids derived from a seed: node ids are arbitrary (not
+/// dense), mirroring a cluster that has seen joins and kills.
+fn ring_from(node_seed: u64, nodes: usize, vnodes: usize) -> (HashRing, Vec<NodeId>) {
+    let mut ring = HashRing::new(vnodes);
+    let mut ids = Vec::with_capacity(nodes);
+    for index in 0..nodes as u64 {
+        // Spread ids out so they are not consecutive integers.
+        let id = node_seed
+            .wrapping_mul(2654435761)
+            .wrapping_add(index * 7919)
+            % 10_000;
+        let id = NodeId(id);
+        if !ring.contains(id) {
+            ring.add_node(id);
+            ids.push(id);
+        }
+    }
+    (ring, ids)
+}
+
+const KEYS: u64 = 4096;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn distribution_stays_within_2x_of_ideal(
+        node_seed in 0u64..100_000,
+        nodes in 2usize..9,
+        vnodes in 64usize..193,
+    ) {
+        let (ring, ids) = ring_from(node_seed, nodes, vnodes);
+        prop_assume!(ids.len() >= 2);
+        let mut counts: BTreeMap<u64, u64> = ids.iter().map(|id| (id.0, 0)).collect();
+        for key in 0..KEYS {
+            let node = ring.route(key).expect("non-empty ring routes");
+            *counts.get_mut(&node.0).expect("routes to a member") += 1;
+        }
+        let ideal = KEYS as f64 / ids.len() as f64;
+        for (&node, &count) in &counts {
+            let share = count as f64 / ideal;
+            prop_assert!(
+                share <= 2.0,
+                "node {node} owns {count} of {KEYS} keys ({share:.2}x ideal) \
+                 with {} nodes x {vnodes} vnodes",
+                ids.len(),
+            );
+        }
+    }
+
+    #[test]
+    fn removing_a_node_remaps_only_its_keys(
+        node_seed in 0u64..100_000,
+        nodes in 2usize..9,
+        vnodes in 64usize..193,
+        victim_index in 0usize..8,
+    ) {
+        let (mut ring, ids) = ring_from(node_seed, nodes, vnodes);
+        prop_assume!(ids.len() >= 2);
+        let victim = ids[victim_index % ids.len()];
+        let before: Vec<NodeId> = (0..KEYS)
+            .map(|key| ring.route(key).expect("routes"))
+            .collect();
+        ring.remove_node(victim);
+        let mut remapped = 0u64;
+        for (key, &was) in before.iter().enumerate() {
+            let now = ring.route(key as u64).expect("still non-empty");
+            if was == victim {
+                remapped += 1;
+                prop_assert_ne!(now, victim);
+            } else {
+                prop_assert!(
+                    now == was,
+                    "key {} moved from {} to {} though {} was removed",
+                    key,
+                    was,
+                    now,
+                    victim
+                );
+            }
+        }
+        // The victim owned a non-trivial share (sanity on the test itself:
+        // the property above would hold vacuously for an unused node).
+        prop_assert!(remapped > 0, "victim owned no keys at all");
+
+        // Re-adding the victim restores the original routing exactly: the
+        // ring is a pure function of the node set.
+        ring.add_node(victim);
+        for (key, &was) in before.iter().enumerate() {
+            prop_assert_eq!(ring.route(key as u64).expect("routes"), was);
+        }
+    }
+
+    #[test]
+    fn routing_is_total_and_stable(
+        node_seed in 0u64..100_000,
+        nodes in 1usize..9,
+        key in 0u64..u64::MAX,
+    ) {
+        let (ring, ids) = ring_from(node_seed, nodes, 64);
+        let routed = ring.route(key).expect("non-empty ring always routes");
+        prop_assert!(ids.contains(&routed));
+        prop_assert_eq!(ring.route(key), Some(routed));
+    }
+}

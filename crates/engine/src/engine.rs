@@ -66,7 +66,7 @@ use crate::fingerprint::instance_fingerprint;
 use crate::policy::{LpStart, PolicyInputs, ResolveKind, ResolvePolicy};
 use crate::pool::WorkerPool;
 use crate::scheduler::coalesce;
-use crate::session::{Served, SessionState};
+use crate::session::{Served, SessionExport, SessionState};
 use crate::stats::{EngineStats, StatsSnapshot};
 use crate::warm::{solve_factors_warm, CacheMode};
 
@@ -200,9 +200,14 @@ impl Engine {
             next_session: 1,
             shards,
             pool,
-            stats: Arc::new(EngineStats::default()),
+            stats: Arc::new(EngineStats::with_shards(shard_count)),
             pending_total: 0,
         }
+    }
+
+    /// The shard a session id pins to.
+    fn shard_of(&self, id: u64) -> usize {
+        shard_index(id, self.shards.len())
     }
 
     /// Builds an engine with default configuration.
@@ -213,6 +218,11 @@ impl Engine {
     /// Number of live sessions.
     pub fn session_count(&self) -> usize {
         self.sessions.len()
+    }
+
+    /// Events queued engine-wide, awaiting the next flush.
+    pub fn pending_events(&self) -> usize {
+        self.pending_total
     }
 
     /// Number of worker threads.
@@ -332,6 +342,8 @@ impl Engine {
         let event = validate_event(&state.full, event)?;
         state.pending.push(event);
         self.pending_total += 1;
+        let shard = self.shard_of(session.0);
+        self.stats.shard_queue_add(shard, 1);
         self.stats
             .events_submitted
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -377,9 +389,67 @@ impl Engine {
             .ok_or(EngineError::UnknownSession(session))?;
         self.pending_total = self.pending_total.saturating_sub(state.pending.len());
         self.stats
+            .shard_queue_sub(self.shard_of(session.0), state.pending.len());
+        self.stats
             .sessions_closed
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         Ok(state.lifetime_events)
+    }
+
+    /// Removes a session and returns its complete transferable state —
+    /// the drain half of a **live migration**. Unapplied events, the served
+    /// solution, the solve generation and the session's warm capital (last
+    /// LP factors + fingerprint) all travel with the export; nothing is
+    /// solved or dropped. Not counted as a close.
+    pub fn export_session(&mut self, session: SessionId) -> Result<SessionExport, EngineError> {
+        self.count_request();
+        let state = self
+            .sessions
+            .remove(&session.0)
+            .ok_or(EngineError::UnknownSession(session))?;
+        self.pending_total = self.pending_total.saturating_sub(state.pending.len());
+        self.stats
+            .shard_queue_sub(self.shard_of(session.0), state.pending.len());
+        self.stats
+            .sessions_exported
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Ok(state.into_export())
+    }
+
+    /// Adopts an exported session under a fresh local id — the hand-off half
+    /// of a live migration. The session continues exactly where it left off:
+    /// solve seeds derive from `(seed, generation)` (both carried), factors
+    /// are byte-identical wherever computed, and the next flush applies any
+    /// carried pending events — so served configurations are independent of
+    /// which engine hosts the session. Not counted as a create.
+    pub fn import_session(&mut self, export: SessionExport) -> SessionId {
+        self.count_request();
+        let id = self.next_session;
+        self.next_session += 1;
+        let state = SessionState::from_export(SessionId(id), export);
+        let shard = self.shard_of(id);
+        self.pending_total += state.pending.len();
+        self.stats.shard_queue_add(shard, state.pending.len());
+        self.stats
+            .sessions_imported
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        // Seed the receiving shard's factor cache with the carried warm
+        // capital: beyond the session's own session-affine reuse, *other*
+        // sessions sharing the fingerprint (same template, e.g.) now hit the
+        // cache instead of recomputing the LP this engine never ran —
+        // migrations cross-pollinate node caches. Factors are byte-identical
+        // wherever computed, so this is a pure optimization.
+        if let (Some(fingerprint), Some(factors)) =
+            (state.last_factor_fingerprint, state.last_factors.clone())
+        {
+            self.shards[shard]
+                .lock()
+                .expect("shard poisoned")
+                .factors
+                .insert(fingerprint, factors);
+        }
+        self.sessions.insert(id, state);
+        SessionId(id)
     }
 
     /// Applies every session's pending events in one batched dispatch.
@@ -413,6 +483,8 @@ impl Engine {
             let batch = coalesce(&state.present, &state.catalog, state.lambda, &state.pending);
             let needs_initial = state.served.is_none() && state.generation == 0;
             self.pending_total = self.pending_total.saturating_sub(state.pending.len());
+            self.stats
+                .shard_queue_sub(shard_index(id, shard_count), state.pending.len());
             state.pending.clear();
             state.lifetime_events += batch.raw_events as u64;
             self.stats
@@ -454,7 +526,7 @@ impl Engine {
                 .zip(state.last_factors.clone());
             planned += 1;
             buckets
-                .entry((id % shard_count as u64) as usize)
+                .entry(shard_index(id, shard_count))
                 .or_default()
                 .push(SolvePlan {
                     session: id,
@@ -482,6 +554,7 @@ impl Engine {
             let tx = result_tx.clone();
             let shard_state = Arc::clone(&self.shards[shard]);
             let stats = Arc::clone(&self.stats);
+            stats.record_shard_dispatch(shard, plans.len() as u64);
             let options = RelaxationOptions {
                 backend: self.config.backend,
                 ..RelaxationOptions::default()
@@ -491,6 +564,7 @@ impl Engine {
             self.pool.execute_on(
                 shard,
                 Box::new(move || {
+                    let busy_started = Instant::now();
                     let mut state = shard_state.lock().expect("shard poisoned");
                     run_shard_plans(
                         &mut state,
@@ -502,6 +576,7 @@ impl Engine {
                         &stats,
                         &tx,
                     );
+                    stats.record_shard_busy(shard, busy_started.elapsed().as_nanos() as u64);
                 }),
             );
         }
@@ -544,6 +619,13 @@ impl Engine {
             });
         }
     }
+}
+
+/// The single definition of the session→shard pinning rule (`id mod
+/// shards`); every gauge update and dispatch bucket goes through it so the
+/// rule can never silently diverge between call sites.
+fn shard_index(id: u64, shard_count: usize) -> usize {
+    (id % shard_count as u64) as usize
 }
 
 /// Executes one shard's plans: restrict the instance, resolve factors
@@ -988,6 +1070,93 @@ mod tests {
         let view = engine.query_configuration(id).unwrap();
         assert_eq!(view.present, vec![2]);
         assert!(view.configuration.is_valid(view.catalog.len()));
+    }
+
+    #[test]
+    fn migrated_session_serves_identically_and_warm() {
+        // Reference run: one engine serves the whole session.
+        let mut reference = engine();
+        let ref_id = create(&mut reference);
+        reference
+            .submit_event(ref_id, SessionEvent::Membership(DynamicEvent::Leave(1)))
+            .unwrap();
+        reference.flush();
+        reference
+            .submit_event(ref_id, SessionEvent::Membership(DynamicEvent::Join(1)))
+            .unwrap();
+        reference.flush();
+        let want = reference.query_configuration(ref_id).unwrap();
+
+        // Migrated run: same prefix on engine A, then export → import into a
+        // fresh engine B mid-stream (with a pending event in flight).
+        let mut a = engine();
+        let id = create(&mut a);
+        a.submit_event(id, SessionEvent::Membership(DynamicEvent::Leave(1)))
+            .unwrap();
+        a.flush();
+        a.submit_event(id, SessionEvent::Membership(DynamicEvent::Join(1)))
+            .unwrap();
+        let export = a.export_session(id).unwrap();
+        assert!(export.has_warm_capital(), "solved sessions carry factors");
+        assert_eq!(export.pending.len(), 1, "in-flight events travel along");
+        assert!(a.query_configuration(id).is_err(), "exported = gone");
+        assert_eq!(a.stats().sessions_exported, 1);
+
+        let mut b = engine();
+        let new_id = b.import_session(export);
+        b.flush();
+        let got = b.query_configuration(new_id).unwrap();
+        assert_eq!(got.configuration, want.configuration);
+        assert_eq!(got.utility, want.utility);
+        assert_eq!(got.present, want.present);
+        assert_eq!(got.generation, want.generation);
+        let stats = b.stats();
+        assert_eq!(stats.sessions_imported, 1);
+        // The carried factors serve the post-migration incremental re-solve
+        // via session-affine reuse: no LP ran on the receiving engine.
+        assert!(
+            stats.session_reuse >= 1,
+            "migrated warm capital must be reused: {stats}"
+        );
+        assert_eq!(stats.cache_misses, 0, "no cold LP after migration");
+        assert!(stats.warm_start_rate() > 0.0);
+    }
+
+    #[test]
+    fn shard_queue_gauge_tracks_pending() {
+        let mut engine = Engine::new(EngineConfig {
+            workers: 2,
+            shards: 2,
+            auto_flush_pending: 0,
+            ..EngineConfig::default()
+        });
+        let a = create(&mut engine);
+        let b = create(&mut engine);
+        engine
+            .submit_event(a, SessionEvent::Membership(DynamicEvent::Leave(0)))
+            .unwrap();
+        engine
+            .submit_event(b, SessionEvent::Membership(DynamicEvent::Leave(1)))
+            .unwrap();
+        engine
+            .submit_event(b, SessionEvent::RetuneLambda(0.4))
+            .unwrap();
+        let snap = engine.stats();
+        assert_eq!(snap.shards.len(), 2);
+        assert_eq!(snap.total_queue_depth(), 3);
+        // Sessions 1 and 2 pin to shards 1 and 0 respectively.
+        assert_eq!(snap.shards[(a.0 % 2) as usize].queue_depth, 1);
+        assert_eq!(snap.shards[(b.0 % 2) as usize].queue_depth, 2);
+        engine.flush();
+        let snap = engine.stats();
+        assert_eq!(snap.total_queue_depth(), 0, "flush drains the gauges");
+        let shard_solves: u64 = snap.shards.iter().map(|s| s.solves).sum();
+        assert_eq!(
+            shard_solves,
+            snap.solves(),
+            "per-shard solves account for every solve"
+        );
+        assert!(snap.shards.iter().any(|s| s.jobs > 0));
     }
 
     #[test]

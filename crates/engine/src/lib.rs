@@ -77,7 +77,8 @@ pub use api::{
 pub use cache::FactorCache;
 pub use engine::{Engine, EngineConfig};
 pub use policy::{LpStart, PolicyInputs, ResolveDecision, ResolveKind, ResolvePolicy};
-pub use stats::{EngineStats, StatsSnapshot};
+pub use session::{Served, SessionExport};
+pub use stats::{EngineStats, ShardSnapshot, StatsSnapshot};
 pub use warm::{solve_factors_warm, CacheMode, WarmOutcome};
 
 /// The most common engine imports in one place.

@@ -77,6 +77,57 @@ pub struct SessionState {
     pub last_factor_fingerprint: Option<u64>,
 }
 
+/// A session's complete transferable state, as produced by
+/// [`crate::Engine::export_session`] and consumed by
+/// [`crate::Engine::import_session`].
+///
+/// This is the unit of **live migration**: everything a session is — full
+/// instance, active catalogue and λ, present population, unapplied events,
+/// the last served solution, the rounding seed and generation — plus its
+/// **warm capital**, the LP factors of the last solve and their fingerprint.
+/// Importing on another engine continues the session exactly where it left
+/// off: solve seeds derive from `(seed, generation)` and factors are
+/// byte-identical wherever they are computed, so served configurations are
+/// independent of which engine hosts the session. The receiving engine's
+/// session-affine reuse layer picks the carried factors up directly, so a
+/// migrated session keeps its warm-start behaviour without touching the
+/// destination's (cold) caches.
+#[derive(Clone, Debug)]
+pub struct SessionExport {
+    /// Full instance (all shoppers, all items).
+    pub full: Arc<SvgicInstance>,
+    /// Active catalogue (sorted original item indices).
+    pub catalog: Vec<ItemIdx>,
+    /// Current trade-off weight.
+    pub lambda: f64,
+    /// Present shoppers (sorted original user indices).
+    pub present: Vec<UserIdx>,
+    /// Submitted-but-unapplied events, in arrival order.
+    pub pending: Vec<SessionEvent>,
+    /// Last served solution, if any.
+    pub served: Option<Served>,
+    /// Base rounding seed.
+    pub seed: u64,
+    /// Completed solves.
+    pub generation: u64,
+    /// Applied events since the last full LP solve.
+    pub events_since_full: usize,
+    /// Total events applied over the session's lifetime.
+    pub lifetime_events: u64,
+    /// Warm capital: factors of the last solve, if any.
+    pub last_factors: Option<Arc<UtilityFactors>>,
+    /// Fingerprint the `last_factors` were computed for.
+    pub last_factor_fingerprint: Option<u64>,
+}
+
+impl SessionExport {
+    /// Whether the export carries reusable LP factors (the warm capital a
+    /// migration preserves and a node crash loses).
+    pub fn has_warm_capital(&self) -> bool {
+        self.last_factors.is_some()
+    }
+}
+
 impl SessionState {
     /// Creates the state (does not solve). `present` must be sorted/deduped
     /// and within bounds; the caller validates.
@@ -103,6 +154,51 @@ impl SessionState {
             last_factors: None,
             last_factor_fingerprint: None,
         }
+    }
+
+    /// Consumes the state into its transferable form (the id stays behind —
+    /// the importing engine assigns its own).
+    pub fn into_export(self) -> SessionExport {
+        SessionExport {
+            full: self.full,
+            catalog: self.catalog,
+            lambda: self.lambda,
+            present: self.present,
+            pending: self.pending,
+            served: self.served,
+            seed: self.seed,
+            generation: self.generation,
+            events_since_full: self.events_since_full,
+            lifetime_events: self.lifetime_events,
+            last_factors: self.last_factors,
+            last_factor_fingerprint: self.last_factor_fingerprint,
+        }
+    }
+
+    /// Rebuilds a live state from an export under a new local id. The base
+    /// instance and its fingerprint are recomputed from (full, catalogue, λ)
+    /// — a pure function of the exported fields, so the fingerprint (and with
+    /// it every cache key and warm-start decision) is identical on any host.
+    pub fn from_export(id: SessionId, export: SessionExport) -> Self {
+        let mut state = SessionState {
+            id,
+            base: Arc::clone(&export.full),
+            base_fingerprint: 0,
+            full: export.full,
+            catalog: export.catalog,
+            lambda: export.lambda,
+            present: export.present,
+            pending: export.pending,
+            served: export.served,
+            seed: export.seed,
+            generation: export.generation,
+            events_since_full: export.events_since_full,
+            lifetime_events: export.lifetime_events,
+            last_factors: export.last_factors,
+            last_factor_fingerprint: export.last_factor_fingerprint,
+        };
+        state.rebuild_base();
+        state
     }
 
     /// Rebuilds `base` (and its fingerprint) after a catalogue or λ change,
@@ -207,6 +303,35 @@ mod tests {
         assert_ne!(state.base_fingerprint, original);
         assert_eq!(state.base.num_items(), 3);
         assert!((state.base.lambda() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn export_import_roundtrip_preserves_state_and_fingerprint() {
+        let full = running_example();
+        let mut state = SessionState::new(SessionId(3), full, vec![0, 1, 2], 99);
+        state.catalog = vec![0, 1, 2, 3];
+        state.lambda = 0.3;
+        state.rebuild_base();
+        state.generation = 5;
+        state.events_since_full = 2;
+        state.lifetime_events = 11;
+        let fingerprint = state.base_fingerprint;
+        let next_seed = state.next_solve_seed();
+        let export = state.into_export();
+        assert!(!export.has_warm_capital(), "never solved: no factors");
+        let restored = SessionState::from_export(SessionId(77), export);
+        assert_eq!(restored.id, SessionId(77), "importer assigns the id");
+        assert_eq!(restored.base_fingerprint, fingerprint);
+        assert_eq!(restored.present, vec![0, 1, 2]);
+        assert_eq!(restored.catalog, vec![0, 1, 2, 3]);
+        assert_eq!(restored.generation, 5);
+        assert_eq!(restored.events_since_full, 2);
+        assert_eq!(restored.lifetime_events, 11);
+        assert_eq!(
+            restored.next_solve_seed(),
+            next_seed,
+            "solve seeds are host-independent"
+        );
     }
 
     #[test]

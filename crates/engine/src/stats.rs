@@ -8,6 +8,24 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+/// Per-shard counters: how busy each shard is and how much work is queued
+/// against it. `queue_depth` is a **gauge** (pending events of the shard's
+/// sessions right now), the rest are monotonic. Load-aware cluster
+/// rebalancing reads these to find hot nodes; they are useful observability
+/// on their own.
+#[derive(Debug, Default)]
+pub struct ShardStats {
+    /// Pipeline jobs dispatched to this shard.
+    pub jobs: AtomicU64,
+    /// Session solves executed by this shard.
+    pub solves: AtomicU64,
+    /// Nanoseconds this shard's jobs spent busy (restrict + factors + round).
+    pub busy_nanos: AtomicU64,
+    /// Pending events currently queued against this shard's sessions
+    /// (incremented at submit, drained at dispatch/close/export).
+    pub queue_depth: AtomicU64,
+}
+
 /// Monotonic counters shared between the engine and its workers.
 #[derive(Debug, Default)]
 pub struct EngineStats {
@@ -17,6 +35,13 @@ pub struct EngineStats {
     pub sessions_created: AtomicU64,
     /// Sessions closed.
     pub sessions_closed: AtomicU64,
+    /// Sessions exported (live-migrated out, not counted as closed).
+    pub sessions_exported: AtomicU64,
+    /// Sessions imported (live-migrated in, not counted as created).
+    pub sessions_imported: AtomicU64,
+    /// Per-shard busy/queue counters (length = the engine's shard count;
+    /// empty for a bare `EngineStats::default()`).
+    pub per_shard: Vec<ShardStats>,
     /// Events accepted into pending queues.
     pub events_submitted: AtomicU64,
     /// Events folded away by the batch coalescer.
@@ -67,6 +92,51 @@ pub struct EngineStats {
 }
 
 impl EngineStats {
+    /// Stats for an engine with `shards` session shards.
+    pub fn with_shards(shards: usize) -> Self {
+        EngineStats {
+            per_shard: (0..shards).map(|_| ShardStats::default()).collect(),
+            ..EngineStats::default()
+        }
+    }
+
+    /// Records one pipeline job dispatched to `shard` covering `solves`
+    /// session solves.
+    pub fn record_shard_dispatch(&self, shard: usize, solves: u64) {
+        if let Some(stats) = self.per_shard.get(shard) {
+            stats.jobs.fetch_add(1, Ordering::Relaxed);
+            stats.solves.fetch_add(solves, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds busy nanoseconds to `shard`'s clock.
+    pub fn record_shard_busy(&self, shard: usize, nanos: u64) {
+        if let Some(stats) = self.per_shard.get(shard) {
+            stats.busy_nanos.fetch_add(nanos, Ordering::Relaxed);
+        }
+    }
+
+    /// Raises `shard`'s queue-depth gauge by `events`.
+    pub fn shard_queue_add(&self, shard: usize, events: usize) {
+        if let Some(stats) = self.per_shard.get(shard) {
+            stats
+                .queue_depth
+                .fetch_add(events as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Lowers `shard`'s queue-depth gauge by `events` (saturating — the
+    /// gauge never wraps even if bookkeeping and a reset race).
+    pub fn shard_queue_sub(&self, shard: usize, events: usize) {
+        if let Some(stats) = self.per_shard.get(shard) {
+            let _ = stats
+                .queue_depth
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |depth| {
+                    Some(depth.saturating_sub(events as u64))
+                });
+        }
+    }
+
     /// Records one job's duration (exactly one of `lp`/`rounding` is
     /// non-zero per call), updating totals and the slowest-job high-water
     /// mark.
@@ -110,12 +180,21 @@ impl EngineStats {
     }
 
     /// Resets every counter to zero, so a measured run can exclude warmup
-    /// traffic without rebuilding the engine and losing its caches.
+    /// traffic without rebuilding the engine and losing its caches. The
+    /// per-shard **queue-depth gauges are left alone**: they track live
+    /// pending events, which a measurement boundary does not consume.
     pub fn reset(&self) {
         let clear = |counter: &AtomicU64| counter.store(0, Ordering::Relaxed);
+        for shard in &self.per_shard {
+            clear(&shard.jobs);
+            clear(&shard.solves);
+            clear(&shard.busy_nanos);
+        }
         clear(&self.requests);
         clear(&self.sessions_created);
         clear(&self.sessions_closed);
+        clear(&self.sessions_exported);
+        clear(&self.sessions_imported);
         clear(&self.events_submitted);
         clear(&self.events_coalesced);
         clear(&self.batches);
@@ -145,6 +224,18 @@ impl EngineStats {
             requests: load(&self.requests),
             sessions_created: load(&self.sessions_created),
             sessions_closed: load(&self.sessions_closed),
+            sessions_exported: load(&self.sessions_exported),
+            sessions_imported: load(&self.sessions_imported),
+            shards: self
+                .per_shard
+                .iter()
+                .map(|shard| ShardSnapshot {
+                    jobs: load(&shard.jobs),
+                    solves: load(&shard.solves),
+                    busy_time: Duration::from_nanos(load(&shard.busy_nanos)),
+                    queue_depth: load(&shard.queue_depth),
+                })
+                .collect(),
             events_submitted: load(&self.events_submitted),
             events_coalesced: load(&self.events_coalesced),
             batches: load(&self.batches),
@@ -169,6 +260,19 @@ impl EngineStats {
     }
 }
 
+/// Point-in-time view of one shard's counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardSnapshot {
+    /// Pipeline jobs dispatched to the shard.
+    pub jobs: u64,
+    /// Session solves the shard executed.
+    pub solves: u64,
+    /// Cumulative busy time of the shard's jobs.
+    pub busy_time: Duration,
+    /// Pending events queued against the shard right now (gauge).
+    pub queue_depth: u64,
+}
+
 /// A consistent view of the engine counters with derived metrics.
 #[derive(Clone, Debug)]
 pub struct StatsSnapshot {
@@ -178,6 +282,12 @@ pub struct StatsSnapshot {
     pub sessions_created: u64,
     /// Sessions closed.
     pub sessions_closed: u64,
+    /// Sessions live-migrated out.
+    pub sessions_exported: u64,
+    /// Sessions live-migrated in.
+    pub sessions_imported: u64,
+    /// Per-shard busy/queue counters (one entry per shard).
+    pub shards: Vec<ShardSnapshot>,
     /// Events accepted.
     pub events_submitted: u64,
     /// Events coalesced away before solving.
@@ -224,6 +334,56 @@ impl StatsSnapshot {
     /// Total solves of either kind.
     pub fn solves(&self) -> u64 {
         self.solves_incremental + self.solves_full
+    }
+
+    /// Pending events queued engine-wide right now (sum of the per-shard
+    /// queue-depth gauges).
+    pub fn total_queue_depth(&self) -> u64 {
+        self.shards.iter().map(|s| s.queue_depth).sum()
+    }
+
+    /// Folds another snapshot into this one: counters and durations add,
+    /// high-water marks take the max, and the per-shard vectors add
+    /// element-wise (padded with zeros when lengths differ). This is how a
+    /// cluster aggregates per-node engine snapshots into one fleet view;
+    /// derived rates stay consistent because they are recomputed from the
+    /// merged raw counters.
+    pub fn merge(&mut self, other: &StatsSnapshot) {
+        self.requests += other.requests;
+        self.sessions_created += other.sessions_created;
+        self.sessions_closed += other.sessions_closed;
+        self.sessions_exported += other.sessions_exported;
+        self.sessions_imported += other.sessions_imported;
+        if self.shards.len() < other.shards.len() {
+            self.shards
+                .resize(other.shards.len(), ShardSnapshot::default());
+        }
+        for (mine, theirs) in self.shards.iter_mut().zip(&other.shards) {
+            mine.jobs += theirs.jobs;
+            mine.solves += theirs.solves;
+            mine.busy_time += theirs.busy_time;
+            mine.queue_depth += theirs.queue_depth;
+        }
+        self.events_submitted += other.events_submitted;
+        self.events_coalesced += other.events_coalesced;
+        self.batches += other.batches;
+        self.solves_incremental += other.solves_incremental;
+        self.solves_full += other.solves_full;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.batch_shared += other.batch_shared;
+        self.session_reuse += other.session_reuse;
+        self.solves_warm += other.solves_warm;
+        self.solves_cold += other.solves_cold;
+        self.warm_components_reused += other.warm_components_reused;
+        self.warm_components_solved += other.warm_components_solved;
+        self.lp_time += other.lp_time;
+        self.warm_solve_time += other.warm_solve_time;
+        self.cold_solve_time += other.cold_solve_time;
+        self.round_time += other.round_time;
+        self.max_solve_time = self.max_solve_time.max(other.max_solve_time);
+        self.gap_micros += other.gap_micros;
+        self.gap_samples += other.gap_samples;
     }
 
     /// Factor-cache hit rate in `[0, 1]` (`0` when no lookups happened).
@@ -339,12 +499,15 @@ impl StatsSnapshot {
     /// The whole snapshot — raw counters *and* every derived rate — as an
     /// ordered `(name, value)` list, so reports (the `loadgen` JSON, the
     /// bench trajectory) can serialize it without re-deriving metrics ad hoc.
-    /// Times are in seconds; rates/fractions are in `[0, 1]`.
-    pub fn metrics(&self) -> Vec<(&'static str, f64)> {
-        vec![
+    /// Times are in seconds; rates/fractions are in `[0, 1]`. Per-shard
+    /// busy/queue counters are appended as `shard<i>_*` entries.
+    pub fn metrics(&self) -> Vec<(String, f64)> {
+        let mut metrics: Vec<(String, f64)> = [
             ("requests", self.requests as f64),
             ("sessions_created", self.sessions_created as f64),
             ("sessions_closed", self.sessions_closed as f64),
+            ("sessions_exported", self.sessions_exported as f64),
+            ("sessions_imported", self.sessions_imported as f64),
             ("events_submitted", self.events_submitted as f64),
             ("events_coalesced", self.events_coalesced as f64),
             ("batches", self.batches as f64),
@@ -381,7 +544,25 @@ impl StatsSnapshot {
             ("mean_round_seconds", self.mean_round_time().as_secs_f64()),
             ("mean_solve_seconds", self.mean_solve_time().as_secs_f64()),
             ("max_solve_seconds", self.max_solve_time.as_secs_f64()),
+            ("shards", self.shards.len() as f64),
+            ("queue_depth", self.total_queue_depth() as f64),
         ]
+        .into_iter()
+        .map(|(name, value)| (name.to_string(), value))
+        .collect();
+        for (index, shard) in self.shards.iter().enumerate() {
+            metrics.push((format!("shard{index}_jobs"), shard.jobs as f64));
+            metrics.push((format!("shard{index}_solves"), shard.solves as f64));
+            metrics.push((
+                format!("shard{index}_busy_seconds"),
+                shard.busy_time.as_secs_f64(),
+            ));
+            metrics.push((
+                format!("shard{index}_queue_depth"),
+                shard.queue_depth as f64,
+            ));
+        }
+        metrics
     }
 }
 
@@ -390,8 +571,12 @@ impl std::fmt::Display for StatsSnapshot {
         writeln!(f, "engine stats")?;
         writeln!(
             f,
-            "  requests {:>8}   sessions {:>5} opened / {:>5} closed",
-            self.requests, self.sessions_created, self.sessions_closed
+            "  requests {:>8}   sessions {:>5} opened / {:>5} closed ({} exported, {} imported)",
+            self.requests,
+            self.sessions_created,
+            self.sessions_closed,
+            self.sessions_exported,
+            self.sessions_imported
         )?;
         writeln!(
             f,
@@ -567,5 +752,81 @@ mod tests {
         let text = stats.snapshot().to_string();
         assert!(text.contains("engine stats"));
         assert!(text.contains("hit rate"));
+    }
+
+    #[test]
+    fn shard_counters_track_dispatch_and_queue() {
+        let stats = EngineStats::with_shards(3);
+        assert_eq!(stats.per_shard.len(), 3);
+        stats.record_shard_dispatch(0, 2);
+        stats.record_shard_dispatch(2, 1);
+        stats.record_shard_busy(2, 5_000);
+        stats.shard_queue_add(1, 4);
+        stats.shard_queue_sub(1, 1);
+        // Out-of-range shards are ignored, never panic.
+        stats.record_shard_dispatch(9, 1);
+        stats.shard_queue_add(9, 1);
+        let snap = stats.snapshot();
+        assert_eq!(snap.shards.len(), 3, "snapshot pins the shard count");
+        assert_eq!(snap.shards[0].jobs, 1);
+        assert_eq!(snap.shards[0].solves, 2);
+        assert_eq!(snap.shards[2].busy_time, Duration::from_nanos(5_000));
+        assert_eq!(snap.shards[1].queue_depth, 3);
+        assert_eq!(snap.total_queue_depth(), 3);
+        // Per-shard solves sum to exactly the dispatched solves.
+        let total: u64 = snap.shards.iter().map(|s| s.solves).sum();
+        assert_eq!(total, 3);
+        let metrics = snap.metrics();
+        let get = |name: &str| metrics.iter().find(|(n, _)| n == name).unwrap().1;
+        assert_eq!(get("shards"), 3.0);
+        assert_eq!(get("shard1_queue_depth"), 3.0);
+        assert_eq!(get("shard0_solves"), 2.0);
+        assert_eq!(get("queue_depth"), 3.0);
+        // Names stay unique with the per-shard entries appended.
+        let names: std::collections::HashSet<_> = metrics.iter().map(|(n, _)| n).collect();
+        assert_eq!(names.len(), metrics.len());
+    }
+
+    #[test]
+    fn queue_gauge_saturates_and_survives_reset() {
+        let stats = EngineStats::with_shards(2);
+        stats.shard_queue_add(0, 2);
+        stats.shard_queue_sub(0, 5); // saturates at zero, never wraps
+        assert_eq!(stats.snapshot().shards[0].queue_depth, 0);
+        stats.shard_queue_add(0, 7);
+        stats.record_shard_dispatch(0, 3);
+        stats.reset();
+        let snap = stats.snapshot();
+        assert_eq!(
+            snap.shards[0].queue_depth, 7,
+            "reset must not consume live pending events"
+        );
+        assert_eq!(snap.shards[0].jobs, 0, "monotonic counters do reset");
+        assert_eq!(snap.shards[0].solves, 0);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_pads_shards() {
+        let a_stats = EngineStats::with_shards(2);
+        a_stats.requests.store(3, Ordering::Relaxed);
+        a_stats.solves_full.store(2, Ordering::Relaxed);
+        a_stats.record_shard_dispatch(1, 5);
+        a_stats.record_solve_nanos(1_000, 500);
+        let b_stats = EngineStats::with_shards(4);
+        b_stats.requests.store(4, Ordering::Relaxed);
+        b_stats.solves_incremental.store(6, Ordering::Relaxed);
+        b_stats.record_shard_dispatch(3, 1);
+        b_stats.record_solve_nanos(9_000, 0);
+        let mut merged = a_stats.snapshot();
+        merged.merge(&b_stats.snapshot());
+        assert_eq!(merged.requests, 7);
+        assert_eq!(merged.solves(), 8);
+        assert_eq!(merged.shards.len(), 4, "shard vectors pad to the longer");
+        assert_eq!(merged.shards[1].solves, 5);
+        assert_eq!(merged.shards[3].jobs, 1);
+        assert_eq!(merged.lp_time, Duration::from_nanos(10_000));
+        assert_eq!(merged.max_solve_time, Duration::from_nanos(9_000));
+        // Derived rates recompute from merged raw counters.
+        assert!((merged.incremental_fraction() - 0.75).abs() < 1e-12);
     }
 }

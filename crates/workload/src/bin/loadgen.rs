@@ -3,8 +3,9 @@
 //!
 //! ```text
 //! loadgen --scenario flash-sale --seed 7          # generate, record, drive
+//! loadgen --scenario steady-mall --nodes 4        # drive a 4-node cluster
 //! loadgen --replay target/loadgen/flash-sale-seed7.trace
-//! loadgen --list                                  # named scenarios
+//! loadgen --list-scenarios                        # named scenarios
 //! ```
 //!
 //! The JSON report goes to stdout (and `--out <path>` when given); the
@@ -25,6 +26,8 @@ struct Args {
     mode: DriveMode,
     warmup: usize,
     workers: usize,
+    nodes: usize,
+    vnodes: usize,
     record: Option<String>,
     no_record: bool,
     out: Option<String>,
@@ -51,6 +54,14 @@ OPTIONS:
     --warmup <N>        drive N ticks before measuring (caches stay warm,
                         counters reset at the boundary; digest unaffected)
     --workers <N>       engine worker threads (default: one per core)
+    --nodes <N>         drive an N-node cluster instead of a bare engine
+                        (emits a svgic-cluster-report/v1). The node-churn
+                        scenario schedules a node kill + join + rebalances;
+                        any other multi-node run gets one guaranteed mid-run
+                        live migration. Served configurations (the digest)
+                        are identical at any node count.
+    --vnodes <N>        virtual nodes per cluster node on the hash ring
+                        (default 64)
     --smoke             shrink the scenario to CI-smoke size
     --cold-lp           disable warm-started re-solves (the cold baseline:
                         every re-solve recomputes its LP; served configs are
@@ -60,7 +71,7 @@ OPTIONS:
     --no-record         skip recording the trace
     --out <path>        also write the JSON report to this file
     --quiet             suppress the human-readable summary on stderr
-    --list              list the named scenarios and exit
+    --list-scenarios    list the named scenarios and exit (alias: --list)
 
 Generation-only flags (--seed, --ticks, --smoke, --record, --no-record) are
 rejected in --replay mode: a recorded trace is immutable provenance.
@@ -75,6 +86,8 @@ fn parse_args() -> Result<Args, String> {
         mode: DriveMode::OpenLoop,
         warmup: 0,
         workers: 0,
+        nodes: 0,
+        vnodes: 64,
         record: None,
         no_record: false,
         out: None,
@@ -123,13 +136,27 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "--workers wants an unsigned integer".to_string())?
             }
+            "--nodes" => {
+                args.nodes = value("number")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| "--nodes wants a positive integer".to_string())?
+            }
+            "--vnodes" => {
+                args.vnodes = value("number")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| "--vnodes wants a positive integer".to_string())?
+            }
             "--record" => args.record = Some(value("path")?),
             "--no-record" => args.no_record = true,
             "--out" => args.out = Some(value("path")?),
             "--smoke" => args.smoke = true,
             "--cold-lp" => args.cold_lp = true,
             "--quiet" => args.quiet = true,
-            "--list" => args.list = true,
+            "--list" | "--list-scenarios" => args.list = true,
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -201,18 +228,22 @@ fn run() -> Result<(), String> {
     };
 
     // --- Drive ---
+    let engine = svgic_engine::EngineConfig {
+        workers: args.workers,
+        auto_flush_pending: 0,
+        policy: svgic_engine::ResolvePolicy {
+            warm_start_lp: !args.cold_lp,
+            ..svgic_engine::ResolvePolicy::default()
+        },
+        ..svgic_engine::EngineConfig::default()
+    };
+    if args.nodes >= 1 {
+        return run_cluster(&args, &trace, engine, recorded_path);
+    }
     let config = DriverConfig {
         mode: args.mode,
         warmup_ticks: args.warmup,
-        engine: svgic_engine::EngineConfig {
-            workers: args.workers,
-            auto_flush_pending: 0,
-            policy: svgic_engine::ResolvePolicy {
-                warm_start_lp: !args.cold_lp,
-                ..svgic_engine::ResolvePolicy::default()
-            },
-            ..svgic_engine::EngineConfig::default()
-        },
+        engine,
     };
     let driver = LoadDriver::new(config);
     let outcome = driver.run(&trace);
@@ -256,6 +287,96 @@ fn run() -> Result<(), String> {
             eprintln!("  trace recorded to {path} (replay with --replay {path})");
         }
         debug_assert!(json.contains(REPORT_SCHEMA));
+    }
+
+    if let Some(path) = &args.out {
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(|e| format!("mkdir for {path}: {e}"))?;
+            }
+        }
+        std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
+    }
+    println!("{json}");
+    Ok(())
+}
+
+/// The `--nodes N` path: drive the trace through a cluster, with the fabric
+/// schedule the trace implies (`node-churn` → kill/join/rebalances, any other
+/// multi-node run → one guaranteed mid-run migration).
+fn run_cluster(
+    args: &Args,
+    trace: &Trace,
+    engine: svgic_engine::EngineConfig,
+    recorded_path: Option<String>,
+) -> Result<(), String> {
+    let plan = NodePlan::for_trace(trace, args.nodes);
+    let driver = ClusterDriver::new(ClusterDriverConfig {
+        mode: args.mode,
+        warmup_ticks: args.warmup,
+        nodes: args.nodes,
+        vnodes: args.vnodes,
+        engine,
+        plan,
+        ..ClusterDriverConfig::default()
+    });
+    let outcome = driver.run(trace);
+
+    let mut report = ClusterReport::new(trace, outcome);
+    report.trace_path = recorded_path.clone();
+    let json = report.to_json();
+
+    if !args.quiet {
+        let o = &report.outcome;
+        let all = o.latency.all();
+        eprintln!(
+            "loadgen: {} seed {} ({}, {} ticks) — {} nodes, {} sessions, {} requests in {:.3}s",
+            report.scenario,
+            report.seed,
+            o.mode.label(),
+            report.ticks,
+            o.nodes_initial,
+            o.sessions,
+            o.requests,
+            o.wall_seconds,
+        );
+        eprintln!(
+            "  wall throughput {:.0} req/s | scale-out projection {:.0} req/s \
+             (busiest node {:.3}s of {:.3}s wall)",
+            o.throughput_rps(),
+            o.aggregate_throughput_rps(),
+            o.makespan_seconds() - o.fabric_seconds,
+            o.wall_seconds,
+        );
+        eprintln!(
+            "  latency p50 {:.1}µs p95 {:.1}µs p99 {:.1}µs max {:.1}µs (merged over nodes)",
+            all.quantile(0.50).as_secs_f64() * 1e6,
+            all.quantile(0.95).as_secs_f64() * 1e6,
+            all.quantile(0.99).as_secs_f64() * 1e6,
+            all.max().as_secs_f64() * 1e6,
+        );
+        eprintln!(
+            "  fabric: {} migrations ({} warm), {} recoveries ({} warm capital lost), \
+             {} kills, {} joins, {} rebalances",
+            o.cluster.migrations,
+            o.cluster.warm_capital_preserved,
+            o.cluster.sessions_recovered,
+            o.cluster.warm_capital_lost,
+            o.cluster.nodes_killed,
+            o.cluster.nodes_added.saturating_sub(o.nodes_initial as u64),
+            o.cluster.rebalances,
+        );
+        eprintln!(
+            "  fleet engine: {} solves ({:.0}% incremental, {:.0}% warm-started), cache hit rate {:.1}%",
+            o.merged.solves(),
+            100.0 * o.merged.incremental_fraction(),
+            100.0 * o.merged.warm_start_rate(),
+            100.0 * o.merged.cache_hit_rate(),
+        );
+        eprintln!("  config digest 0x{:016x}", o.config_digest);
+        if let Some(path) = &recorded_path {
+            eprintln!("  trace recorded to {path} (replay with --replay {path})");
+        }
     }
 
     if let Some(path) = &args.out {

@@ -189,8 +189,9 @@ impl LoadOutcome {
 
 /// Folds one query response into the digest (the engine's own FNV-1a word
 /// hasher, so both sides of the cache key / replay story share one
-/// implementation).
-fn digest_view(hasher: &mut Fnv, key: u64, view: &ConfigurationView) {
+/// implementation). Shared with the cluster driver, whose digests must be
+/// comparable with single-engine runs.
+pub(crate) fn digest_view(hasher: &mut Fnv, key: u64, view: &ConfigurationView) {
     hasher.write_u64(key);
     hasher.write_u64(view.generation);
     hasher.write_u64(view.present.len() as u64);

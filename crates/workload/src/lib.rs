@@ -20,6 +20,13 @@
 //!    sustained throughput, utility-vs-bound quality, and a deterministic
 //!    configuration digest; [`report`] serializes it all as machine-readable
 //!    JSON for the perf trajectory.
+//! 4. **Does it scale out?** The [`cluster_driver`] runs the same traces
+//!    against a multi-node `svgic-cluster` fabric (`loadgen --nodes N`),
+//!    merging per-node latency histograms and engine snapshots and executing
+//!    a [`cluster_driver::NodePlan`] of node kills, joins and rebalances —
+//!    the `node-churn` scenario's whole point. Digests stay comparable with
+//!    single-engine runs: topology and live migration never change what is
+//!    served.
 //!
 //! The `loadgen` binary (this crate's `src/bin/loadgen.rs`) is the CLI over
 //! all of it:
@@ -49,6 +56,7 @@
 #![warn(missing_docs)]
 
 pub mod arrival;
+pub mod cluster_driver;
 pub mod distributions;
 pub mod driver;
 pub mod histogram;
@@ -58,9 +66,13 @@ pub mod synth;
 pub mod trace;
 
 pub use arrival::{ArrivalProcess, ArrivalSampler};
+pub use cluster_driver::{
+    ClusterDriver, ClusterDriverConfig, ClusterLoadOutcome, NodeAction, NodeOutcome, NodePlan,
+    PolicyKind,
+};
 pub use driver::{DriveMode, DriverConfig, LatencyBreakdown, LoadDriver, LoadOutcome};
 pub use histogram::LatencyHistogram;
-pub use report::{LoadReport, REPORT_SCHEMA};
+pub use report::{ClusterReport, LoadReport, CLUSTER_REPORT_SCHEMA, REPORT_SCHEMA};
 pub use scenario::{DurationModel, GroupSizeModel, Scenario};
 pub use synth::generate;
 pub use trace::{TemplateSpec, Trace, TraceError, TraceEvent};
@@ -68,9 +80,12 @@ pub use trace::{TemplateSpec, Trace, TraceError, TraceEvent};
 /// The most common workload imports in one place.
 pub mod prelude {
     pub use crate::arrival::ArrivalProcess;
+    pub use crate::cluster_driver::{
+        ClusterDriver, ClusterDriverConfig, ClusterLoadOutcome, NodeAction, NodePlan, PolicyKind,
+    };
     pub use crate::driver::{DriveMode, DriverConfig, LoadDriver, LoadOutcome};
     pub use crate::histogram::LatencyHistogram;
-    pub use crate::report::LoadReport;
+    pub use crate::report::{ClusterReport, LoadReport};
     pub use crate::scenario::Scenario;
     pub use crate::synth::generate;
     pub use crate::trace::{Trace, TraceEvent};

@@ -12,12 +12,16 @@
 
 use std::time::Duration;
 
+use crate::cluster_driver::ClusterLoadOutcome;
 use crate::driver::{LoadOutcome, QualityUnderLoad};
 use crate::histogram::LatencyHistogram;
 use crate::trace::Trace;
 
-/// Schema tag embedded in every report.
+/// Schema tag embedded in every single-engine report.
 pub const REPORT_SCHEMA: &str = "svgic-loadgen-report/v1";
+
+/// Schema tag embedded in every cluster report (`loadgen --nodes N`).
+pub const CLUSTER_REPORT_SCHEMA: &str = "svgic-cluster-report/v1";
 
 /// A complete load-test report, ready to serialize.
 #[derive(Clone, Debug)]
@@ -90,7 +94,7 @@ impl LoadReport {
 
         w.nested("engine", |w| {
             for (name, value) in self.outcome.engine.metrics() {
-                w.number(name, value);
+                w.number(&name, value);
             }
         });
 
@@ -98,6 +102,114 @@ impl LoadReport {
             "config_digest",
             &format!("0x{:016x}", self.outcome.config_digest),
         );
+        w.close();
+        w.finish()
+    }
+}
+
+/// A cluster run's complete report (`loadgen --nodes N`): fleet-wide
+/// throughput (wall *and* the scale-out projection over the busiest node),
+/// merged latency histograms, the fabric counters (migrations, warm capital,
+/// recoveries, node churn), the merged engine metrics, and one nested object
+/// per node — dead nodes included, with their last-observed counters.
+#[derive(Clone, Debug)]
+pub struct ClusterReport {
+    /// Scenario name (from the trace header).
+    pub scenario: String,
+    /// Scenario seed (from the trace header).
+    pub seed: u64,
+    /// Ticks the trace spans.
+    pub ticks: usize,
+    /// Path the trace was recorded to, when it was.
+    pub trace_path: Option<String>,
+    /// The measured outcome.
+    pub outcome: ClusterLoadOutcome,
+}
+
+impl ClusterReport {
+    /// Assembles a report from a trace and its cluster-driver outcome.
+    pub fn new(trace: &Trace, outcome: ClusterLoadOutcome) -> Self {
+        ClusterReport {
+            scenario: trace.scenario.clone(),
+            seed: trace.seed,
+            ticks: trace.ticks,
+            trace_path: None,
+            outcome,
+        }
+    }
+
+    /// Serializes the report as a pretty-printed JSON object.
+    pub fn to_json(&self) -> String {
+        let o = &self.outcome;
+        let mut w = JsonWriter::new();
+        w.open();
+        w.string("schema", CLUSTER_REPORT_SCHEMA);
+        w.string("scenario", &self.scenario);
+        w.integer("seed", self.seed);
+        w.integer("ticks", self.ticks as u64);
+        w.string("mode", o.mode.label());
+        w.integer("nodes", o.nodes_initial as u64);
+        match &self.trace_path {
+            Some(path) => w.string("trace_path", path),
+            None => w.raw("trace_path", "null"),
+        }
+        w.integer("trace_events", o.trace_events as u64);
+        w.integer("sessions", o.sessions);
+        w.integer("requests", o.requests);
+        w.number("wall_seconds", o.wall_seconds);
+        w.number("fabric_seconds", o.fabric_seconds);
+        w.number("makespan_seconds", o.makespan_seconds());
+        w.number("throughput_rps", o.throughput_rps());
+        w.number("aggregate_throughput_rps", o.aggregate_throughput_rps());
+
+        w.nested("latency_us", |w| {
+            let classes: [(&str, &LatencyHistogram); 5] = [
+                ("create", &o.latency.create),
+                ("submit", &o.latency.submit),
+                ("query", &o.latency.query),
+                ("flush", &o.latency.flush),
+                ("close", &o.latency.close),
+            ];
+            for (name, histogram) in classes {
+                w.nested(name, |w| write_histogram(w, histogram));
+            }
+            let all = o.latency.all();
+            w.nested("all", |w| write_histogram(w, &all));
+        });
+
+        w.nested("quality", |w| write_quality(w, &o.quality));
+
+        w.nested("cluster", |w| {
+            w.integer("nodes_added", o.cluster.nodes_added);
+            w.integer("nodes_killed", o.cluster.nodes_killed);
+            w.integer("migrations", o.cluster.migrations);
+            w.integer("warm_capital_preserved", o.cluster.warm_capital_preserved);
+            w.integer("warm_capital_lost", o.cluster.warm_capital_lost);
+            w.integer("sessions_recovered", o.cluster.sessions_recovered);
+            w.integer("rebalances", o.cluster.rebalances);
+            w.integer("spill_placements", o.cluster.spill_placements);
+        });
+
+        w.nested("engine", |w| {
+            for (name, value) in o.merged.metrics() {
+                w.number(&name, value);
+            }
+        });
+
+        w.nested("per_node", |w| {
+            for node in &o.per_node {
+                w.nested(&format!("node{}", node.node.0), |w| {
+                    w.raw("alive", if node.alive { "true" } else { "false" });
+                    w.integer("sessions", node.sessions);
+                    w.number("busy_seconds", node.busy_seconds);
+                    w.integer("solves", node.engine.solves());
+                    w.number("warm_start_rate", node.engine.warm_start_rate());
+                    w.integer("queue_depth", node.engine.total_queue_depth());
+                });
+            }
+        });
+
+        w.string("config_digest", &format!("0x{:016x}", o.config_digest));
         w.close();
         w.finish()
     }
@@ -294,5 +406,46 @@ mod tests {
     fn escape_handles_specials() {
         assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn cluster_report_contains_fleet_fields_and_balances() {
+        use crate::cluster_driver::{ClusterDriver, ClusterDriverConfig, NodePlan};
+        let mut scenario = Scenario::steady_mall().smoke();
+        scenario.ticks = 3;
+        let trace = generate(&scenario, 5);
+        let outcome = ClusterDriver::new(ClusterDriverConfig {
+            nodes: 2,
+            plan: NodePlan::mid_run_rebalance(3),
+            ..ClusterDriverConfig::default()
+        })
+        .run(&trace);
+        let json = ClusterReport::new(&trace, outcome).to_json();
+        for needle in [
+            "\"schema\": \"svgic-cluster-report/v1\"",
+            "\"nodes\": 2",
+            "\"aggregate_throughput_rps\":",
+            "\"makespan_seconds\":",
+            "\"migrations\":",
+            "\"warm_capital_preserved\":",
+            "\"node0\":",
+            "\"node1\":",
+            "\"busy_seconds\":",
+            "\"config_digest\": \"0x",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+        // Same structural invariants as the single-engine report.
+        let braces: i64 = json
+            .chars()
+            .map(|c| match c {
+                '{' => 1,
+                '}' => -1,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(braces, 0);
+        assert!(!json.contains(",\n}"));
+        assert!(json.ends_with("}\n"));
     }
 }

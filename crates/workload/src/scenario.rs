@@ -12,6 +12,7 @@
 //! | `flash-sale` | ON/OFF bursts + catalogue rotations | burst absorption, coalescing |
 //! | `churn-heavy` | constant catalogue/λ mutation, groups down to size 1 | base-instance rebuilds, cache turnover |
 //! | `megagroup` | few huge groups, heavy membership churn | LP solve cost, incremental re-rounding |
+//! | `node-churn` | long-lived sessions; the cluster driver kills/joins nodes mid-run | crash recovery, live migration, rebalancing |
 
 use std::fmt;
 
@@ -204,6 +205,30 @@ impl Scenario {
         }
     }
 
+    /// Node churn: long-lived sessions under steady traffic, designed for
+    /// multi-node runs — the cluster driver schedules a node kill, a
+    /// replacement join and rebalances against it (`NodePlan::node_churn`).
+    /// Durations are stretched so most sessions live *through* the fabric
+    /// events: that is what makes recovery and migration visible in the
+    /// outcome rather than churning already-closed sessions.
+    pub fn node_churn() -> Self {
+        Scenario {
+            name: "node-churn".into(),
+            ticks: 24,
+            arrivals: ArrivalProcess::Poisson { rate: 1.0 },
+            duration: DurationModel {
+                mu: 2.6,
+                sigma: 0.4,
+                cap: 24,
+            },
+            churn_rate: 0.9,
+            catalog_churn: 0.04,
+            lambda_churn: 0.02,
+            query_rate: 0.8,
+            ..Scenario::steady_mall()
+        }
+    }
+
     /// All named scenarios, in documentation order.
     pub fn all() -> Vec<Scenario> {
         vec![
@@ -212,6 +237,7 @@ impl Scenario {
             Scenario::flash_sale(),
             Scenario::churn_heavy(),
             Scenario::megagroup(),
+            Scenario::node_churn(),
         ]
     }
 
@@ -249,7 +275,8 @@ mod tests {
                 "diurnal-cycle",
                 "flash-sale",
                 "churn-heavy",
-                "megagroup"
+                "megagroup",
+                "node-churn"
             ]
         );
         for name in &names {

@@ -1,0 +1,133 @@
+//! Property tests for [`LatencyHistogram::merge`] — the primitive the
+//! cluster driver leans on to aggregate per-node histograms into fleet-wide
+//! latency quantiles.
+//!
+//! The contract: merging histograms is **exactly** equivalent to having
+//! recorded every sample into one histogram. Counts and means are exact;
+//! quantiles are bucket-identical (not merely close); the merge is
+//! commutative and associative; and count/total bookkeeping stays
+//! consistent through arbitrary merge trees.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use svgic_workload::LatencyHistogram;
+
+/// Deterministic heavy-tailed sample set: mixes nanosecond-scale cache hits
+/// with millisecond-scale solves, like real driver traffic.
+fn samples(seed: u64, len: usize) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| {
+            let magnitude = rng.gen_range(0u32..7); // 1ns .. 10ms scales
+            let base = 10u64.pow(magnitude);
+            rng.gen_range(0..base.saturating_mul(10).max(1))
+        })
+        .collect()
+}
+
+fn record_all(values: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    for &v in values {
+        h.record(Duration::from_nanos(v));
+    }
+    h
+}
+
+const QUANTILES: [f64; 7] = [0.0, 0.1, 0.25, 0.5, 0.9, 0.99, 1.0];
+
+fn assert_equivalent(a: &LatencyHistogram, b: &LatencyHistogram) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.count(), b.count());
+    prop_assert_eq!(a.max(), b.max());
+    prop_assert_eq!(a.mean(), b.mean());
+    for q in QUANTILES {
+        prop_assert_eq!(a.quantile(q), b.quantile(q));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn merge_equals_recording_everything_in_one(
+        seed in 0u64..1_000_000,
+        len_a in 0usize..400,
+        len_b in 0usize..400,
+    ) {
+        let a_values = samples(seed, len_a);
+        let b_values = samples(seed ^ 0xDEAD_BEEF, len_b);
+        let mut merged = record_all(&a_values);
+        merged.merge(&record_all(&b_values));
+        let mut union = a_values.clone();
+        union.extend(&b_values);
+        assert_equivalent(&merged, &record_all(&union))?;
+        // Count/total consistency survives the merge.
+        prop_assert_eq!(merged.count(), (len_a + len_b) as u64);
+        prop_assert_eq!(merged.is_empty(), len_a + len_b == 0);
+    }
+
+    #[test]
+    fn merge_is_commutative(seed in 0u64..1_000_000, len in 1usize..300) {
+        let a_values = samples(seed, len);
+        let b_values = samples(seed.wrapping_add(1), len / 2 + 1);
+        let mut ab = record_all(&a_values);
+        ab.merge(&record_all(&b_values));
+        let mut ba = record_all(&b_values);
+        ba.merge(&record_all(&a_values));
+        assert_equivalent(&ab, &ba)?;
+    }
+
+    #[test]
+    fn merge_is_associative(seed in 0u64..1_000_000, len in 1usize..200) {
+        let a = samples(seed, len);
+        let b = samples(seed ^ 0xA5A5, len);
+        let c = samples(seed ^ 0x5A5A, len);
+        // (a ∪ b) ∪ c
+        let mut left = record_all(&a);
+        left.merge(&record_all(&b));
+        left.merge(&record_all(&c));
+        // a ∪ (b ∪ c)
+        let mut right_tail = record_all(&b);
+        right_tail.merge(&record_all(&c));
+        let mut right = record_all(&a);
+        right.merge(&right_tail);
+        assert_equivalent(&left, &right)?;
+    }
+
+    #[test]
+    fn merging_empty_is_identity(seed in 0u64..1_000_000, len in 0usize..300) {
+        let values = samples(seed, len);
+        let reference = record_all(&values);
+        let mut merged = record_all(&values);
+        merged.merge(&LatencyHistogram::new());
+        assert_equivalent(&merged, &reference)?;
+        let mut from_empty = LatencyHistogram::new();
+        from_empty.merge(&reference);
+        assert_equivalent(&from_empty, &reference)?;
+    }
+
+    #[test]
+    fn many_way_merge_matches_fleet_aggregation(
+        seed in 0u64..1_000_000,
+        nodes in 2usize..8,
+        per_node in 1usize..120,
+    ) {
+        // Shard one sample stream across N "nodes", then merge the per-node
+        // histograms — exactly what the cluster driver does per class.
+        let all = samples(seed, nodes * per_node);
+        let mut merged = LatencyHistogram::new();
+        for node in 0..nodes {
+            let share: Vec<u64> = all
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % nodes == node)
+                .map(|(_, &v)| v)
+                .collect();
+            merged.merge(&record_all(&share));
+        }
+        assert_equivalent(&merged, &record_all(&all))?;
+    }
+}

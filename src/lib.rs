@@ -26,10 +26,16 @@
 //!   typed request/response API, batched event scheduling, a parallel worker
 //!   pool, an LRU cache of LP utility factors, and an incremental-vs-full
 //!   re-solve policy;
-//! * [`workload`] — scenario-driven workload simulation for the engine:
-//!   named traffic scenarios (steady mall, diurnal cycle, flash sale,
-//!   churn-heavy, megagroup), a deterministic record/replay trace format,
-//!   an open/closed-loop load driver with HDR-style latency histograms, and
+//! * [`cluster`] — the multi-node serving fabric above the engine:
+//!   consistent-hash routing with virtual nodes, live session migration
+//!   (warm LP factors travel with the session), crash recovery from router
+//!   shadow state, and pluggable rebalancing policies (ring-authority and
+//!   load-aware);
+//! * [`workload`] — scenario-driven workload simulation for the engine and
+//!   the cluster: named traffic scenarios (steady mall, diurnal cycle, flash
+//!   sale, churn-heavy, megagroup, node-churn), a deterministic
+//!   record/replay trace format, open/closed-loop load drivers (single
+//!   engine or `--nodes N` cluster) with HDR-style latency histograms, and
 //!   the `loadgen` CLI emitting machine-readable JSON load reports.
 //!
 //! ## Quickstart
@@ -54,6 +60,7 @@
 
 pub use svgic_algorithms as algorithms;
 pub use svgic_baselines as baselines;
+pub use svgic_cluster as cluster;
 pub use svgic_core as core;
 pub use svgic_datasets as datasets;
 pub use svgic_engine as engine;
@@ -71,6 +78,9 @@ pub mod prelude {
     pub use svgic_algorithms::factors::{solve_relaxation_with, LpBackend};
     pub use svgic_baselines::{
         solve_fmg, solve_grf, solve_per, solve_sdp, GrfConfig, Method, SdpConfig,
+    };
+    pub use svgic_cluster::{
+        Cluster, ClusterConfig, NodeId, QueueDepthPolicy, RebalancePolicy, RingPolicy,
     };
     pub use svgic_core::utility::{
         total_utility, total_utility_st, unweighted_total_utility, utility_split,
