@@ -79,6 +79,38 @@ impl UtilityFactors {
         }
     }
 
+    /// Rebuilds factors from raw dimensions and an aggregate matrix — the
+    /// deserialization constructor used by the engine's wire codec, where no
+    /// instance is at hand. Returns `None` when `aggregate` is not an
+    /// `n × m` matrix or any entry is non-finite.
+    pub fn from_parts(
+        n: usize,
+        m: usize,
+        k: usize,
+        aggregate: Vec<f64>,
+        scaled_objective: f64,
+        backend: LpBackend,
+    ) -> Option<Self> {
+        if aggregate.len() != n * m || aggregate.iter().any(|x| !x.is_finite()) {
+            return None;
+        }
+        Some(Self {
+            n,
+            m,
+            k,
+            aggregate,
+            scaled_objective,
+            backend,
+        })
+    }
+
+    /// The raw aggregate factor matrix, row-major `n × m` (`x*_u^c` at
+    /// `u * m + c`) — the serialization accessor paired with
+    /// [`UtilityFactors::from_parts`].
+    pub fn aggregate_matrix(&self) -> &[f64] {
+        &self.aggregate
+    }
+
     /// Number of users.
     pub fn num_users(&self) -> usize {
         self.n

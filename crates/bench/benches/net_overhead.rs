@@ -1,0 +1,188 @@
+//! What the wire costs: the same trace driven in-process vs. over a real
+//! loopback TCP connection to a `svgic-net` server.
+//!
+//! Three runs of the identical steady-mall trace:
+//!
+//! 1. **in-process** — `LoadDriver::run` against a bare engine (the
+//!    function-call baseline);
+//! 2. **tcp** — `LoadDriver::run_on` over a `NetClient` to a `NetServer`
+//!    thread on 127.0.0.1 (one codec round trip + one framed socket round
+//!    trip per request);
+//! 3. **tcp ×2 nodes** — `ClusterDriver::run_with` across two servers,
+//!    including a live migration whose session export crosses the wire.
+//!
+//! The digest-equality gates run **before** any timing: the wire must not
+//! change what is served, in any topology. The table then reports the
+//! throughput ratio and the per-request overhead the framing + loopback
+//! socket adds — the honest price of `--connect` on one host (cross-host,
+//! the network replaces the loopback; the protocol cost is the same).
+//!
+//! Criterion additionally times the smallest unit: one framed
+//! `QueryConfiguration` round trip vs. one in-process `handle` call.
+//!
+//! `SVGIC_BENCH_SMOKE=1` (set in CI) shrinks the scenario to smoke size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use svgic_bench::bench_scale;
+use svgic_engine::prelude::*;
+use svgic_experiments::ExperimentScale;
+use svgic_net::{NetClient, NetServer};
+use svgic_workload::prelude::*;
+use svgic_workload::DriverConfig;
+
+const SEED: u64 = 0x4EE7_C0DE;
+
+fn scenario() -> Scenario {
+    let scenario = Scenario::steady_mall();
+    match bench_scale() {
+        ExperimentScale::Smoke => {
+            let mut scenario = scenario.smoke();
+            scenario.ticks = 6;
+            scenario
+        }
+        _ => scenario,
+    }
+}
+
+/// Pinned engine shape so solve counters match across all three runs.
+fn engine_config() -> EngineConfig {
+    EngineConfig {
+        workers: 2,
+        shards: 2,
+        auto_flush_pending: 0,
+        ..EngineConfig::default()
+    }
+}
+
+fn driver() -> LoadDriver {
+    LoadDriver::new(DriverConfig {
+        engine: engine_config(),
+        ..DriverConfig::default()
+    })
+}
+
+fn net_overhead(c: &mut Criterion) {
+    let trace = generate(&scenario(), SEED);
+
+    // --- Run 1: in-process baseline ---
+    let local = driver().run(&trace);
+
+    // --- Run 2: one TCP server on loopback ---
+    let server = NetServer::bind("127.0.0.1:0", Engine::new(engine_config())).expect("binds");
+    let mut client = NetClient::connect(server.local_addr()).expect("connects");
+    let tcp = driver().run_on(&mut client, &trace);
+
+    // --- Run 3: two TCP servers, live migration over the wire ---
+    let servers: Vec<NetServer> = (0..2)
+        .map(|_| NetServer::bind("127.0.0.1:0", Engine::new(engine_config())).expect("binds"))
+        .collect();
+    let addresses: Vec<std::net::SocketAddr> = servers.iter().map(|s| s.local_addr()).collect();
+    let mut handed_out = 0usize;
+    let cluster = ClusterDriver::new(ClusterDriverConfig {
+        nodes: 2,
+        plan: NodePlan::for_trace(&trace, 2),
+        ..ClusterDriverConfig::default()
+    })
+    .run_with(&trace, move |_cfg: &EngineConfig| {
+        let addr = addresses[handed_out % addresses.len()];
+        handed_out += 1;
+        NetClient::connect(addr).expect("node reachable")
+    });
+
+    // --- Gates: the wire never changes what is served ---
+    assert_eq!(
+        local.config_digest, tcp.config_digest,
+        "one TCP server must serve byte-identically to the in-process engine"
+    );
+    assert_eq!(
+        local.config_digest, cluster.config_digest,
+        "a 2-process cluster must serve byte-identically too"
+    );
+    assert_eq!(local.requests, tcp.requests);
+    assert_eq!(
+        local.engine.solves(),
+        tcp.engine.solves(),
+        "the transport must add zero solver work"
+    );
+    assert!(
+        cluster.cluster.migrations > 0,
+        "the mid-run plan must migrate a session export across the wire"
+    );
+
+    // --- Economics table ---
+    println!(
+        "{:<14} {:>10} {:>12} {:>14} {:>16}",
+        "run", "requests", "wall (s)", "req/s", "vs in-process"
+    );
+    let rows = [
+        ("in-process", local.requests, local.wall_seconds),
+        ("tcp x1", tcp.requests, tcp.wall_seconds),
+        ("tcp x2 nodes", cluster.requests, cluster.wall_seconds),
+    ];
+    for (label, requests, wall) in rows {
+        let rps = requests as f64 / wall.max(1e-12);
+        println!(
+            "{:<14} {:>10} {:>12.4} {:>14.0} {:>15.2}x",
+            label,
+            requests,
+            wall,
+            rps,
+            (local.requests as f64 / local.wall_seconds.max(1e-12)) / rps,
+        );
+    }
+    let per_request_overhead =
+        (tcp.wall_seconds - local.wall_seconds) / local.requests.max(1) as f64;
+    println!(
+        "framing + loopback overhead ≈ {:.1} µs/request",
+        per_request_overhead * 1e6
+    );
+
+    // --- Criterion: the smallest unit, one round trip ---
+    let mut engine = Engine::new(engine_config());
+    let view = engine
+        .create_session(CreateSession {
+            instance: svgic_core::example::running_example(),
+            initial_present: vec![],
+            seed: 1,
+        })
+        .expect("creates");
+    let local_id = view.session;
+    c.bench_function("query_in_process", |b| {
+        b.iter(|| {
+            engine
+                .handle(EngineRequest::QueryConfiguration(local_id))
+                .expect("serves")
+        })
+    });
+
+    let remote_view = client
+        .create_session(CreateSession {
+            instance: svgic_core::example::running_example(),
+            initial_present: vec![],
+            seed: 1,
+        })
+        .expect("creates");
+    let remote_id = remote_view.session;
+    c.bench_function("query_over_tcp_loopback", |b| {
+        b.iter(|| {
+            client
+                .request(EngineRequest::QueryConfiguration(remote_id))
+                .expect("serves")
+        })
+    });
+    client.close_session(remote_id).expect("closes");
+
+    // --- Teardown ---
+    client.shutdown_server().expect("shuts down");
+    server.join();
+    for server in servers {
+        NetClient::connect(server.local_addr())
+            .expect("connects")
+            .shutdown_server()
+            .expect("shuts down");
+        server.join();
+    }
+}
+
+criterion_group!(benches, net_overhead);
+criterion_main!(benches);

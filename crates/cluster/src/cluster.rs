@@ -31,6 +31,20 @@
 //! The fabric is deterministic end to end: BTree orderings everywhere, node
 //! engines run with auto-flush disabled (the cluster owns the flush clock),
 //! and every operation is a pure function of the request sequence.
+//!
+//! ## Node backends
+//!
+//! The cluster is generic over its node backend: any
+//! [`svgic_engine::transport::EngineTransport`] works. [`Cluster::new`]
+//! spawns in-process [`Engine`]s (the default type parameter);
+//! [`Cluster::with_backends`] takes a spawner closure, which is how
+//! `loadgen --connect host:port,host:port` builds a **multi-process**
+//! cluster whose nodes are `svgic_net::NetClient` connections to real
+//! server processes. Live migration works identically either way — the
+//! export travels through the backend (over the wire, for remote nodes) and
+//! is imported on the destination. Because served configurations are
+//! topology- and placement-independent, the in-process and multi-process
+//! fabrics produce identical configuration digests for the same trace.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -171,10 +185,16 @@ pub struct KillReport {
     pub recovered: Vec<(u64, NodeId)>,
 }
 
-/// A multi-node serving fabric over [`svgic_engine::Engine`]s.
-pub struct Cluster {
+/// A multi-node serving fabric over engine backends — in-process
+/// [`svgic_engine::Engine`]s by default, any
+/// [`EngineTransport`] (e.g. `svgic_net::NetClient` connections to real
+/// server processes) via [`Cluster::with_backends`].
+pub struct Cluster<B = Engine> {
     config: ClusterConfig,
-    engines: BTreeMap<u64, Engine>,
+    engines: BTreeMap<u64, B>,
+    /// Provisions the backend for each node the cluster adds (initial fleet
+    /// and later joins alike).
+    spawner: Box<dyn FnMut(&EngineConfig) -> B>,
     ring: HashRing,
     placements: BTreeMap<u64, Placement>,
     shadows: BTreeMap<u64, Shadow>,
@@ -189,13 +209,28 @@ pub struct Cluster {
 }
 
 impl Cluster {
-    /// Builds a cluster with `config.nodes` initial nodes (at least one).
-    pub fn new(mut config: ClusterConfig) -> Self {
+    /// Builds an in-process cluster with `config.nodes` initial nodes (at
+    /// least one), each wrapping a fresh [`Engine`].
+    pub fn new(config: ClusterConfig) -> Self {
+        Cluster::with_backends(config, |engine: &EngineConfig| Engine::new(engine.clone()))
+    }
+}
+
+impl<B: EngineTransport> Cluster<B> {
+    /// Builds a cluster whose node backends come from `spawner` — called
+    /// once per node with the configured [`EngineConfig`] (which remote
+    /// spawners are free to ignore: a `loadgen serve` process owns its own
+    /// engine configuration).
+    pub fn with_backends(
+        mut config: ClusterConfig,
+        spawner: impl FnMut(&EngineConfig) -> B + 'static,
+    ) -> Self {
         config.engine.auto_flush_pending = 0;
         let mut cluster = Cluster {
             ring: HashRing::new(config.vnodes),
             config,
             engines: BTreeMap::new(),
+            spawner: Box::new(spawner),
             placements: BTreeMap::new(),
             shadows: BTreeMap::new(),
             instances: BTreeMap::new(),
@@ -235,11 +270,15 @@ impl Cluster {
     }
 
     /// Live sessions per alive node, ascending by node id. Cheap (no
-    /// counter snapshots) — the right call for hot-path load peeks.
-    pub fn node_sessions(&self) -> Vec<(NodeId, u64)> {
+    /// counter snapshots, one `Describe` probe per node) — the right call
+    /// for hot-path load peeks.
+    pub fn node_sessions(&mut self) -> Vec<(NodeId, u64)> {
         self.engines
-            .iter()
-            .map(|(&id, engine)| (NodeId(id), engine.session_count() as u64))
+            .iter_mut()
+            .map(|(&id, engine)| {
+                let info = engine.describe().expect("node answers Describe");
+                (NodeId(id), info.sessions as u64)
+            })
             .collect()
     }
 
@@ -253,8 +292,8 @@ impl Cluster {
     pub fn add_node(&mut self) -> NodeId {
         let id = self.next_node;
         self.next_node += 1;
-        self.engines
-            .insert(id, Engine::new(self.config.engine.clone()));
+        let backend = (self.spawner)(&self.config.engine);
+        self.engines.insert(id, backend);
         self.ring.add_node(NodeId(id));
         self.node_weight.insert(id, 0);
         self.stats.nodes_added += 1;
@@ -303,7 +342,7 @@ impl Cluster {
         *entry = (*entry as i64 + weight).max(0) as u64;
     }
 
-    fn engine_mut(&mut self, node: NodeId) -> Result<&mut Engine, ClusterError> {
+    fn engine_mut(&mut self, node: NodeId) -> Result<&mut B, ClusterError> {
         self.engines
             .get_mut(&node.0)
             .ok_or(ClusterError::UnknownNode(node))
@@ -447,14 +486,14 @@ impl Cluster {
 
     /// Flushes one node's pending events.
     pub fn flush_node(&mut self, node: NodeId) -> Result<(), ClusterError> {
-        self.engine_mut(node)?.flush();
+        self.engine_mut(node)?.flush()?;
         Ok(())
     }
 
     /// Flushes every alive node, in ascending node order.
     pub fn flush_all(&mut self) {
         for engine in self.engines.values_mut() {
-            engine.flush();
+            engine.flush().expect("node flushes");
         }
     }
 
@@ -474,7 +513,7 @@ impl Cluster {
             .engine_mut(NodeId(placement.node))?
             .export_session(placement.local)?;
         let warm = export.has_warm_capital();
-        let local = self.engine_mut(to)?.import_session(export);
+        let local = self.engine_mut(to)?.import_session(export)?;
         self.placements.insert(
             key,
             Placement {
@@ -597,7 +636,7 @@ impl Cluster {
             recovered.push((key, target));
         }
         for target in touched {
-            self.engine_mut(NodeId(target))?.flush();
+            self.engine_mut(NodeId(target))?.flush()?;
         }
         Ok(KillReport {
             node,
@@ -607,30 +646,35 @@ impl Cluster {
     }
 
     /// Per-node loads (live sessions + queued events), ascending by node id.
-    fn node_loads(&self) -> Vec<NodeLoad> {
+    fn node_loads(&mut self) -> Vec<NodeLoad> {
+        let node_weight = &self.node_weight;
         self.engines
-            .iter()
-            .map(|(&id, engine)| NodeLoad {
-                node: NodeId(id),
-                sessions: engine.session_count() as u64,
-                queue_depth: engine.pending_events() as u64,
-                weight: self.node_weight.get(&id).copied().unwrap_or(0),
+            .iter_mut()
+            .map(|(&id, engine)| {
+                let info = engine.describe().expect("node answers Describe");
+                NodeLoad {
+                    node: NodeId(id),
+                    sessions: info.sessions as u64,
+                    queue_depth: info.pending_events as u64,
+                    weight: node_weight.get(&id).copied().unwrap_or(0),
+                }
             })
             .collect()
     }
 
     /// A full fleet snapshot: per-node engine counters, the merged totals,
     /// and the fabric counters.
-    pub fn snapshot(&self) -> ClusterSnapshot {
+    pub fn snapshot(&mut self) -> ClusterSnapshot {
         let nodes: Vec<NodeSnapshot> = self
             .engines
-            .iter()
+            .iter_mut()
             .map(|(&id, engine)| {
-                let snapshot = engine.stats();
+                let info = engine.describe().expect("node answers Describe");
+                let snapshot = engine.stats().expect("node answers QueryStats");
                 NodeSnapshot {
                     node: NodeId(id),
-                    sessions: engine.session_count() as u64,
-                    queue_depth: engine.pending_events() as u64,
+                    sessions: info.sessions as u64,
+                    queue_depth: info.pending_events as u64,
                     engine: snapshot,
                 }
             })
@@ -650,11 +694,12 @@ impl Cluster {
     }
 
     /// A single node's engine snapshot.
-    pub fn node_stats(&self, node: NodeId) -> Result<StatsSnapshot, ClusterError> {
+    pub fn node_stats(&mut self, node: NodeId) -> Result<StatsSnapshot, ClusterError> {
         self.engines
-            .get(&node.0)
-            .map(|engine| engine.stats())
-            .ok_or(ClusterError::UnknownNode(node))
+            .get_mut(&node.0)
+            .ok_or(ClusterError::UnknownNode(node))?
+            .stats()
+            .map_err(ClusterError::Engine)
     }
 
     /// Resets every node's engine counters and the fabric *traffic*
@@ -664,7 +709,7 @@ impl Cluster {
     /// reset (like the engines' live queue-depth gauges).
     pub fn reset_stats(&mut self) {
         for engine in self.engines.values_mut() {
-            engine.reset_stats();
+            engine.reset_stats().expect("node resets stats");
         }
         self.stats = ClusterStats {
             nodes_added: self.stats.nodes_added,

@@ -8,6 +8,9 @@
 use svgic_core::extensions::DynamicEvent;
 use svgic_core::{Configuration, ItemIdx, SvgicInstance, UserIdx};
 
+use crate::session::SessionExport;
+use crate::stats::StatsSnapshot;
+
 /// Opaque identifier of a live session.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SessionId(pub u64);
@@ -48,6 +51,14 @@ pub struct CreateSession {
 }
 
 /// A request against the engine.
+///
+/// The first five variants are the per-session data plane. The remaining
+/// variants complete the surface so that *everything* a driver or a cluster
+/// router does to an engine — flushing the batch clock, reading or resetting
+/// counters, draining and adopting sessions for live migration, probing the
+/// engine's shape — is expressible as one request, which is what makes the
+/// engine servable behind a wire protocol (`svgic-net`) without side
+/// channels.
 #[derive(Clone, Debug)]
 pub enum EngineRequest {
     /// Opens a session and schedules its initial solve (boxed: the payload
@@ -61,6 +72,39 @@ pub enum EngineRequest {
     ForceResolve(SessionId),
     /// Closes a session and drops its state.
     CloseSession(SessionId),
+    /// Applies every session's pending events in one batched dispatch
+    /// ([`crate::Engine::flush`]). Not counted as a request — the flush
+    /// clock belongs to the driver, not to traffic accounting.
+    Flush,
+    /// Reads a point-in-time snapshot of the engine counters.
+    QueryStats,
+    /// Resets the engine counters (sessions and caches stay) — the warmup
+    /// measurement boundary.
+    ResetStats,
+    /// Drains a session into its transferable [`SessionExport`] form — the
+    /// outbound half of a live migration.
+    ExportSession(SessionId),
+    /// Adopts an exported session under a fresh local id — the inbound half
+    /// of a live migration (boxed: carries a whole instance).
+    ImportSession(Box<SessionExport>),
+    /// Probes the engine's shape and occupancy ([`EngineInfo`]).
+    Describe,
+}
+
+/// The engine's shape and current occupancy, as answered to
+/// [`EngineRequest::Describe`]. Remote drivers use this where in-process
+/// callers would read `Engine::workers()` / `session_count()` directly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineInfo {
+    /// Worker threads the engine resolved (`0` configs resolve to one per
+    /// core, so this is never zero).
+    pub workers: usize,
+    /// Session shards.
+    pub shards: usize,
+    /// Live sessions right now.
+    pub sessions: usize,
+    /// Events queued engine-wide awaiting the next flush.
+    pub pending_events: usize,
 }
 
 /// A view of a session's currently served solution.
@@ -110,6 +154,18 @@ pub enum EngineResponse {
         /// Events it processed over its lifetime.
         lifetime_events: u64,
     },
+    /// The batch flush completed.
+    Flushed,
+    /// The engine counters (boxed: the snapshot carries per-shard vectors).
+    Stats(Box<StatsSnapshot>),
+    /// The counters were reset.
+    StatsReset,
+    /// The drained session state (boxed: carries a whole instance).
+    SessionExported(Box<SessionExport>),
+    /// The imported session's fresh local id.
+    SessionImported(SessionId),
+    /// The engine's shape and occupancy.
+    Description(EngineInfo),
 }
 
 /// Why a request was rejected.
@@ -122,6 +178,10 @@ pub enum EngineError {
     InvalidEvent(String),
     /// The `CreateSession` payload is unusable.
     InvalidSession(String),
+    /// The request never reached (or never returned from) the engine: an IO
+    /// failure, a malformed frame, or a protocol mismatch on a remote
+    /// transport. The in-process engine never returns this variant.
+    Transport(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -130,6 +190,7 @@ impl std::fmt::Display for EngineError {
             EngineError::UnknownSession(id) => write!(f, "unknown {id}"),
             EngineError::InvalidEvent(msg) => write!(f, "invalid event: {msg}"),
             EngineError::InvalidSession(msg) => write!(f, "invalid session: {msg}"),
+            EngineError::Transport(msg) => write!(f, "transport: {msg}"),
         }
     }
 }

@@ -286,6 +286,33 @@ impl Engine {
                         lifetime_events,
                     })
             }
+            EngineRequest::Flush => {
+                self.flush();
+                Ok(EngineResponse::Flushed)
+            }
+            EngineRequest::QueryStats => Ok(EngineResponse::Stats(Box::new(self.stats()))),
+            EngineRequest::ResetStats => {
+                self.reset_stats();
+                Ok(EngineResponse::StatsReset)
+            }
+            EngineRequest::ExportSession(session) => self
+                .export_session(session)
+                .map(|export| EngineResponse::SessionExported(Box::new(export))),
+            EngineRequest::ImportSession(export) => Ok(EngineResponse::SessionImported(
+                self.import_session(*export),
+            )),
+            EngineRequest::Describe => Ok(EngineResponse::Description(self.describe())),
+        }
+    }
+
+    /// The engine's shape and occupancy (the in-process answer to
+    /// [`EngineRequest::Describe`]).
+    pub fn describe(&self) -> crate::api::EngineInfo {
+        crate::api::EngineInfo {
+            workers: self.workers(),
+            shards: self.shard_count(),
+            sessions: self.session_count(),
+            pending_events: self.pending_events(),
         }
     }
 

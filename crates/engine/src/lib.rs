@@ -31,7 +31,13 @@
 //!   sessions hash to fixed shards, each flush runs one pipeline job per
 //!   busy shard against shard-owned caches;
 //! * [`stats`] — engine counters: requests, cache hit rate, solve latencies,
-//!   utility-vs-LP-bound gap.
+//!   utility-vs-LP-bound gap;
+//! * [`transport`] — the [`EngineTransport`] trait the load drivers and the
+//!   cluster router program against, implemented by [`Engine`] (a function
+//!   call) and by `svgic-net`'s TCP client (a wire round trip);
+//! * [`codec`] — the canonical byte codec for [`EngineRequest`] /
+//!   [`EngineResponse`] (and everything they carry: instances, exports,
+//!   stats snapshots), the payload format of the `svgic-net` wire protocol.
 //!
 //! Served configurations are deterministic under fixed seeds regardless of
 //! worker-thread scheduling: seeds derive from `(session, generation)` and
@@ -61,6 +67,7 @@
 
 pub mod api;
 pub mod cache;
+pub mod codec;
 pub mod engine;
 pub mod fingerprint;
 pub mod policy;
@@ -68,26 +75,30 @@ pub mod pool;
 pub mod scheduler;
 pub mod session;
 pub mod stats;
+pub mod transport;
 pub mod warm;
 
 pub use api::{
-    ConfigurationView, CreateSession, EngineError, EngineRequest, EngineResponse, SessionEvent,
-    SessionId,
+    ConfigurationView, CreateSession, EngineError, EngineInfo, EngineRequest, EngineResponse,
+    SessionEvent, SessionId,
 };
 pub use cache::FactorCache;
+pub use codec::{decode_request, decode_response, encode_request, encode_response, CodecError};
 pub use engine::{Engine, EngineConfig};
 pub use policy::{LpStart, PolicyInputs, ResolveDecision, ResolveKind, ResolvePolicy};
 pub use session::{Served, SessionExport};
 pub use stats::{EngineStats, ShardSnapshot, StatsSnapshot};
+pub use transport::EngineTransport;
 pub use warm::{solve_factors_warm, CacheMode, WarmOutcome};
 
 /// The most common engine imports in one place.
 pub mod prelude {
     pub use crate::api::{
-        ConfigurationView, CreateSession, EngineError, EngineRequest, EngineResponse, SessionEvent,
-        SessionId,
+        ConfigurationView, CreateSession, EngineError, EngineInfo, EngineRequest, EngineResponse,
+        SessionEvent, SessionId,
     };
     pub use crate::engine::{Engine, EngineConfig};
     pub use crate::policy::{LpStart, ResolveKind, ResolvePolicy};
     pub use crate::stats::StatsSnapshot;
+    pub use crate::transport::EngineTransport;
 }

@@ -1,6 +1,6 @@
 //! Engine-wide counters and latency accounting.
 //!
-//! All counters are atomics behind an [`Arc`] so worker threads record
+//! All counters are atomics behind an [`Arc`](std::sync::Arc) so worker threads record
 //! directly. Configurations and cache accounting are deterministic under a
 //! fixed seed; wall-clock latencies naturally are not and are reported for
 //! observability only.
@@ -274,7 +274,7 @@ pub struct ShardSnapshot {
 }
 
 /// A consistent view of the engine counters with derived metrics.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct StatsSnapshot {
     /// Requests handled.
     pub requests: u64,

@@ -1,0 +1,95 @@
+//! The driver-facing TCP client: an [`EngineTransport`] over one framed
+//! connection.
+//!
+//! [`NetClient`] is deliberately synchronous: each [`EngineTransport`]
+//! call writes one request frame and blocks for the response frame with the
+//! matching request id. That mirrors the in-process engine's call-and-return
+//! semantics exactly, which is what keeps a driver generic over
+//! `EngineTransport` byte-identical in its served configurations whether it
+//! talks to an [`svgic_engine::Engine`] in this process or a `loadgen serve`
+//! process across the network.
+//!
+//! Transport-level failures (connection death, framing desync, codec
+//! rejects) surface as [`svgic_engine::EngineError::Transport`]; engine
+//! rejections come back as the engine's own error variants, decoded from the
+//! response payload.
+
+use std::io;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+
+use svgic_engine::codec::{decode_response, encode_request};
+use svgic_engine::transport::EngineTransport;
+use svgic_engine::{EngineError, EngineRequest, EngineResponse};
+
+use crate::frame::{read_frame, write_frame, Frame, FrameError, FrameKind};
+
+/// A connection to a remote engine served by [`crate::NetServer`].
+pub struct NetClient {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl NetClient {
+    /// Connects to a serving engine (e.g. `"127.0.0.1:7741"`).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<NetClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(NetClient { stream, next_id: 1 })
+    }
+
+    /// The remote server's address.
+    pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+        self.stream.peer_addr()
+    }
+
+    /// Sends one frame and blocks for the frame echoing its request id.
+    fn exchange(&mut self, kind: FrameKind, payload: Vec<u8>) -> Result<Frame, FrameError> {
+        let request_id = self.next_id;
+        self.next_id += 1;
+        write_frame(
+            &mut self.stream,
+            &Frame {
+                kind,
+                request_id,
+                payload,
+            },
+        )?;
+        loop {
+            let frame = read_frame(&mut self.stream)?;
+            if frame.request_id == request_id {
+                return Ok(frame);
+            }
+            // A frame for another id can only be a stale response from an
+            // abandoned exchange on this connection; skip it.
+        }
+    }
+
+    /// Asks the server to stop serving and waits for the acknowledgement.
+    /// Consumes the client — the connection is useless afterwards.
+    pub fn shutdown_server(mut self) -> Result<(), FrameError> {
+        let ack = self.exchange(FrameKind::Shutdown, Vec::new())?;
+        match ack.kind {
+            FrameKind::Shutdown => Ok(()),
+            other => Err(FrameError::Io(format!(
+                "expected shutdown ack, got {other:?} frame"
+            ))),
+        }
+    }
+}
+
+impl EngineTransport for NetClient {
+    fn request(&mut self, request: EngineRequest) -> Result<EngineResponse, EngineError> {
+        let payload = encode_request(&request);
+        let frame = self
+            .exchange(FrameKind::Request, payload)
+            .map_err(|e| EngineError::Transport(e.to_string()))?;
+        if frame.kind != FrameKind::Response {
+            return Err(EngineError::Transport(format!(
+                "expected response frame, got {:?}",
+                frame.kind
+            )));
+        }
+        decode_response(&frame.payload)
+            .map_err(|e| EngineError::Transport(format!("response decode: {e}")))?
+    }
+}

@@ -1,0 +1,216 @@
+//! Malformed-frame and failure handling of the TCP server.
+//!
+//! The contract under test (ISSUE 5's malformed-frame satellite): truncated
+//! frames, bad magic, oversized length prefixes and mid-frame disconnects
+//! must error **cleanly** — no panic anywhere, no partial state mutation in
+//! the engine — and a malformed connection must never take the server down
+//! for well-behaved clients.
+
+use std::io::Write;
+use std::net::TcpStream;
+
+use svgic_core::example::running_example;
+use svgic_engine::prelude::*;
+use svgic_net::frame::{read_frame, write_frame, Frame, FrameKind};
+use svgic_net::{NetClient, NetServer};
+
+fn test_engine() -> Engine {
+    Engine::new(EngineConfig {
+        workers: 1,
+        shards: 1,
+        auto_flush_pending: 0,
+        ..EngineConfig::default()
+    })
+}
+
+fn create_spec(seed: u64) -> CreateSession {
+    CreateSession {
+        instance: running_example(),
+        initial_present: vec![],
+        seed,
+    }
+}
+
+/// A healthy client must keep working after other connections misbehave in
+/// every way the frame layer can reject.
+#[test]
+fn malformed_connections_do_not_poison_the_server() {
+    let server = NetServer::bind("127.0.0.1:0", test_engine()).expect("binds");
+    let addr = server.local_addr();
+
+    // 1. Pure garbage bytes (bad magic): server drops the connection.
+    {
+        let mut stream = TcpStream::connect(addr).expect("connects");
+        stream.write_all(b"GET / HTTP/1.1\r\n\r\n").expect("writes");
+        // The server closes; reading yields EOF rather than hanging.
+        let result = read_frame(&mut stream);
+        assert!(result.is_err(), "garbage must not elicit a frame");
+    }
+
+    // 2. Oversized length prefix: rejected before allocation, connection
+    //    dropped.
+    {
+        let mut stream = TcpStream::connect(addr).expect("connects");
+        let mut header = Vec::new();
+        header.extend_from_slice(b"SVGN");
+        header.push(1); // version
+        header.push(1); // request frame
+        header.extend_from_slice(&7u64.to_le_bytes());
+        header.extend_from_slice(&u32::MAX.to_le_bytes()); // absurd length
+        stream.write_all(&header).expect("writes");
+        let result = read_frame(&mut stream);
+        assert!(result.is_err(), "oversized frame must be dropped");
+    }
+
+    // 3. Mid-frame disconnect: write half a header, hang up.
+    {
+        let mut stream = TcpStream::connect(addr).expect("connects");
+        stream.write_all(b"SVGN\x01").expect("writes");
+        drop(stream);
+    }
+
+    // 4. Valid frame, garbage payload: answered with a Transport error on
+    //    the same connection, which stays usable.
+    {
+        let mut stream = TcpStream::connect(addr).expect("connects");
+        write_frame(
+            &mut stream,
+            &Frame {
+                kind: FrameKind::Request,
+                request_id: 42,
+                payload: vec![0xFF, 0x00, 0x13],
+            },
+        )
+        .expect("writes");
+        let frame = read_frame(&mut stream).expect("server answers");
+        assert_eq!(frame.request_id, 42);
+        assert_eq!(frame.kind, FrameKind::Response);
+        let decoded = svgic_engine::codec::decode_response(&frame.payload).expect("decodes");
+        assert!(
+            matches!(decoded, Err(EngineError::Transport(_))),
+            "expected a transport error, got {decoded:?}"
+        );
+        // Same connection still serves a valid request.
+        write_frame(
+            &mut stream,
+            &Frame {
+                kind: FrameKind::Request,
+                request_id: 43,
+                payload: svgic_engine::codec::encode_request(&EngineRequest::Describe),
+            },
+        )
+        .expect("writes");
+        let frame = read_frame(&mut stream).expect("server answers");
+        assert_eq!(frame.request_id, 43);
+    }
+
+    // After all that abuse: a fresh well-behaved client works, and the
+    // engine saw *zero* sessions from the malformed traffic.
+    let mut client = NetClient::connect(addr).expect("connects");
+    let info = client.describe().expect("describes");
+    assert_eq!(info.sessions, 0, "malformed frames must not mutate state");
+    let view = client.create_session(create_spec(5)).expect("creates");
+    assert!(view.configuration.is_valid(view.catalog.len()));
+    client.close_session(view.session).expect("closes");
+    client.shutdown_server().expect("shuts down");
+    server.join();
+}
+
+/// A semantically hostile `ImportSession` (valid frame, valid structure,
+/// invalid session state — e.g. λ = 2.0) is rejected at decode and answered
+/// with a Transport error; the engine thread survives and stays empty.
+#[test]
+fn hostile_import_cannot_kill_the_server() {
+    let server = NetServer::bind("127.0.0.1:0", test_engine()).expect("binds");
+    let mut client = NetClient::connect(server.local_addr()).expect("connects");
+    // Build a real export, then poison its λ. Encoding doesn't validate
+    // (it serializes trusted in-process values); decoding must.
+    let view = client.create_session(create_spec(3)).expect("creates");
+    let mut export = client.export_session(view.session).expect("exports");
+    export.lambda = 2.0;
+    let err = client
+        .import_session(export)
+        .expect_err("poisoned export must be rejected");
+    assert!(matches!(err, EngineError::Transport(_)), "{err:?}");
+    // The engine thread is alive and no half-imported session exists.
+    let info = client.describe().expect("server still serves");
+    assert_eq!(info.sessions, 0);
+    // A clean export/import still round-trips on the same connection.
+    let view = client.create_session(create_spec(4)).expect("creates");
+    let export = client.export_session(view.session).expect("exports");
+    let id = client.import_session(export).expect("imports");
+    client.close_session(id).expect("closes");
+    client.shutdown_server().expect("shuts down");
+    server.join();
+}
+
+/// Engine-level rejections travel the wire as the engine's own error
+/// variants, not transport failures.
+#[test]
+fn engine_errors_roundtrip_over_the_wire() {
+    let server = NetServer::bind("127.0.0.1:0", test_engine()).expect("binds");
+    let mut client = NetClient::connect(server.local_addr()).expect("connects");
+    assert_eq!(
+        client.query_configuration(SessionId(999)).err(),
+        Some(EngineError::UnknownSession(SessionId(999)))
+    );
+    let view = client.create_session(create_spec(1)).expect("creates");
+    let err = client
+        .submit_event(
+            view.session,
+            SessionEvent::Membership(svgic_core::extensions::DynamicEvent::Join(10_000)),
+        )
+        .expect_err("out-of-range user");
+    assert!(matches!(err, EngineError::InvalidEvent(_)), "{err:?}");
+    client.shutdown_server().expect("shuts down");
+    server.join();
+}
+
+/// Two pipelined requests on one connection come back in order with their
+/// own request ids.
+#[test]
+fn pipelined_requests_are_matched_by_id() {
+    let server = NetServer::bind("127.0.0.1:0", test_engine()).expect("binds");
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connects");
+    for (id, request) in [
+        (100, EngineRequest::Describe),
+        (200, EngineRequest::QueryStats),
+        (300, EngineRequest::Flush),
+    ] {
+        write_frame(
+            &mut stream,
+            &Frame {
+                kind: FrameKind::Request,
+                request_id: id,
+                payload: svgic_engine::codec::encode_request(&request),
+            },
+        )
+        .expect("writes");
+    }
+    let ids: Vec<u64> = (0..3)
+        .map(|_| read_frame(&mut stream).expect("answers").request_id)
+        .collect();
+    assert_eq!(ids, vec![100, 200, 300], "responses arrive in order");
+    drop(stream);
+    let client = NetClient::connect(server.local_addr()).expect("connects");
+    client.shutdown_server().expect("shuts down");
+    server.join();
+}
+
+/// A client that dies mid-run leaves its sessions behind but the server
+/// keeps serving; a new client sees the leftover state via Describe.
+#[test]
+fn client_death_leaves_server_consistent() {
+    let server = NetServer::bind("127.0.0.1:0", test_engine()).expect("binds");
+    let addr = server.local_addr();
+    {
+        let mut client = NetClient::connect(addr).expect("connects");
+        client.create_session(create_spec(9)).expect("creates");
+        // Dropped without close: simulates a crashed driver.
+    }
+    let mut client = NetClient::connect(addr).expect("connects");
+    let info = client.describe().expect("describes");
+    assert_eq!(info.sessions, 1, "session survives its client");
+    client.shutdown_server().expect("shuts down");
+    server.join();
+}

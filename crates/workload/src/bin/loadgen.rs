@@ -1,203 +1,75 @@
 //! `loadgen` — run a named workload scenario (or replay a recorded trace)
-//! against `svgic-engine` and emit a machine-readable JSON load report.
+//! against the serving engine and emit a machine-readable JSON load report;
+//! or serve an engine over the `svgic-net` wire protocol.
 //!
 //! ```text
 //! loadgen --scenario flash-sale --seed 7          # generate, record, drive
-//! loadgen --scenario steady-mall --nodes 4        # drive a 4-node cluster
+//! loadgen --scenario steady-mall --nodes 4        # drive a 4-node in-process cluster
 //! loadgen --replay target/loadgen/flash-sale-seed7.trace
+//! loadgen serve --port 7741                       # serve one engine over TCP
+//! loadgen --scenario steady-mall --connect 127.0.0.1:7741
+//! loadgen --scenario steady-mall --connect 127.0.0.1:7741,127.0.0.1:7742
 //! loadgen --list-scenarios                        # named scenarios
 //! ```
 //!
-//! The JSON report goes to stdout (and `--out <path>` when given); the
-//! generated trace is recorded next to it so any run can be replayed
-//! bit-identically. Exit code is non-zero on any usage or IO error, so CI
-//! can gate on it.
+//! The whole flag surface is defined once in [`svgic_workload::cli`] — the
+//! `--help` text is generated from the same table the parser runs on, so
+//! they cannot drift. The JSON report goes to stdout (and `--out <path>`
+//! when given); the generated trace is recorded next to it so any run can be
+//! replayed bit-identically. The same `(scenario, seed)` trace produces the
+//! identical configuration digest in-process, over one TCP server, and over
+//! N server processes. Exit code is non-zero on any usage or IO error, so
+//! CI can gate on it.
 
 use std::process::ExitCode;
 
+use svgic_net::{NetClient, NetServer};
+use svgic_workload::cli::{self, Args};
 use svgic_workload::prelude::*;
 use svgic_workload::report::REPORT_SCHEMA;
 
-struct Args {
-    scenario: Option<String>,
-    replay: Option<String>,
-    seed: Option<u64>,
-    ticks: Option<usize>,
-    mode: DriveMode,
-    warmup: usize,
-    workers: usize,
-    nodes: usize,
-    vnodes: usize,
-    record: Option<String>,
-    no_record: bool,
-    out: Option<String>,
-    smoke: bool,
-    cold_lp: bool,
-    quiet: bool,
-    list: bool,
+fn engine_config(args: &Args) -> svgic_engine::EngineConfig {
+    svgic_engine::EngineConfig {
+        workers: args.workers,
+        // The driver (or the remote clients) own the flush clock; spontaneous
+        // auto-flushes would blur the open/closed-loop distinction and make
+        // served configurations depend on how requests interleave.
+        auto_flush_pending: 0,
+        policy: svgic_engine::ResolvePolicy {
+            warm_start_lp: !args.cold_lp,
+            ..svgic_engine::ResolvePolicy::default()
+        },
+        ..svgic_engine::EngineConfig::default()
+    }
 }
 
-const USAGE: &str = "\
-loadgen — scenario-driven load testing for the svgic serving engine
-
-USAGE:
-    loadgen --scenario <name> [--seed N] [--ticks N] [options]
-    loadgen --replay <trace-file> [options]
-    loadgen --list
-
-OPTIONS:
-    --scenario <name>   named scenario to generate and drive
-    --replay <path>     replay a recorded trace instead of generating
-    --seed <N>          scenario seed (default 1)
-    --ticks <N>         override the scenario's tick count
-    --mode <open|closed>  open-loop (batched, default) or closed-loop pacing
-    --warmup <N>        drive N ticks before measuring (caches stay warm,
-                        counters reset at the boundary; digest unaffected)
-    --workers <N>       engine worker threads (default: one per core)
-    --nodes <N>         drive an N-node cluster instead of a bare engine
-                        (emits a svgic-cluster-report/v1). The node-churn
-                        scenario schedules a node kill + join + rebalances;
-                        any other multi-node run gets one guaranteed mid-run
-                        live migration. Served configurations (the digest)
-                        are identical at any node count.
-    --vnodes <N>        virtual nodes per cluster node on the hash ring
-                        (default 64)
-    --smoke             shrink the scenario to CI-smoke size
-    --cold-lp           disable warm-started re-solves (the cold baseline:
-                        every re-solve recomputes its LP; served configs are
-                        identical either way)
-    --record <path>     where to write the generated trace
-                        (default target/loadgen/<scenario>-seed<seed>.trace)
-    --no-record         skip recording the trace
-    --out <path>        also write the JSON report to this file
-    --quiet             suppress the human-readable summary on stderr
-    --list-scenarios    list the named scenarios and exit (alias: --list)
-
-Generation-only flags (--seed, --ticks, --smoke, --record, --no-record) are
-rejected in --replay mode: a recorded trace is immutable provenance.
-";
-
-fn parse_args() -> Result<Args, String> {
-    let mut args = Args {
-        scenario: None,
-        replay: None,
-        seed: None,
-        ticks: None,
-        mode: DriveMode::OpenLoop,
-        warmup: 0,
-        workers: 0,
-        nodes: 0,
-        vnodes: 64,
-        record: None,
-        no_record: false,
-        out: None,
-        smoke: false,
-        cold_lp: false,
-        quiet: false,
-        list: false,
-    };
-    let mut it = std::env::args().skip(1);
-    while let Some(flag) = it.next() {
-        let mut value = |what: &str| {
-            it.next()
-                .ok_or_else(|| format!("{flag} needs a {what} argument"))
-        };
-        match flag.as_str() {
-            "--scenario" => args.scenario = Some(value("name")?),
-            "--replay" => args.replay = Some(value("path")?),
-            "--seed" => {
-                args.seed = Some(
-                    value("number")?
-                        .parse()
-                        .map_err(|_| "--seed wants an unsigned integer".to_string())?,
-                )
-            }
-            "--ticks" => {
-                args.ticks = Some(
-                    value("number")?
-                        .parse()
-                        .map_err(|_| "--ticks wants a positive integer".to_string())?,
-                )
-            }
-            "--mode" => {
-                args.mode = match value("mode")?.as_str() {
-                    "open" | "open-loop" => DriveMode::OpenLoop,
-                    "closed" | "closed-loop" => DriveMode::ClosedLoop,
-                    other => return Err(format!("unknown mode `{other}`")),
-                }
-            }
-            "--warmup" => {
-                args.warmup = value("number")?
-                    .parse()
-                    .map_err(|_| "--warmup wants an unsigned integer".to_string())?
-            }
-            "--workers" => {
-                args.workers = value("number")?
-                    .parse()
-                    .map_err(|_| "--workers wants an unsigned integer".to_string())?
-            }
-            "--nodes" => {
-                args.nodes = value("number")?
-                    .parse::<usize>()
-                    .ok()
-                    .filter(|&n| n >= 1)
-                    .ok_or_else(|| "--nodes wants a positive integer".to_string())?
-            }
-            "--vnodes" => {
-                args.vnodes = value("number")?
-                    .parse::<usize>()
-                    .ok()
-                    .filter(|&n| n >= 1)
-                    .ok_or_else(|| "--vnodes wants a positive integer".to_string())?
-            }
-            "--record" => args.record = Some(value("path")?),
-            "--no-record" => args.no_record = true,
-            "--out" => args.out = Some(value("path")?),
-            "--smoke" => args.smoke = true,
-            "--cold-lp" => args.cold_lp = true,
-            "--quiet" => args.quiet = true,
-            "--list" | "--list-scenarios" => args.list = true,
-            "--help" | "-h" => {
-                print!("{USAGE}");
-                std::process::exit(0);
-            }
-            other => return Err(format!("unknown flag `{other}`")),
-        }
+/// `loadgen serve --port N`: front one engine with a `svgic-net` server on
+/// loopback and block until a client sends shutdown. The bound address is
+/// printed on stdout (relevant with `--port 0`).
+fn run_serve(args: &Args) -> Result<(), String> {
+    let port = args.port.expect("validated");
+    let engine = svgic_engine::Engine::new(engine_config(args));
+    let workers = engine.workers(); // resolved: `0` means one per core
+    let server = NetServer::bind(("127.0.0.1", port), engine)
+        .map_err(|e| format!("bind 127.0.0.1:{port}: {e}"))?;
+    if !args.quiet {
+        eprintln!(
+            "loadgen: serving svgic-net v1 on {} ({workers} workers); stop with a shutdown frame",
+            server.local_addr(),
+        );
     }
-    Ok(args)
+    println!("{}", server.local_addr());
+    server.join();
+    Ok(())
 }
 
-fn run() -> Result<(), String> {
-    let args = parse_args()?;
-    if args.list {
-        println!("named scenarios:");
-        for scenario in Scenario::all() {
-            println!("  {:<14} {} ticks", scenario.name, scenario.ticks);
-        }
-        return Ok(());
-    }
-
-    // --- Obtain the trace: generate from a scenario, or load a recording ---
-    let (trace, recorded_path) = match (&args.scenario, &args.replay) {
-        (Some(_), Some(_)) => return Err("--scenario and --replay are mutually exclusive".into()),
-        (None, None) => return Err(format!("need --scenario or --replay\n\n{USAGE}")),
+/// Obtains the trace: generate from a scenario (recording it unless told
+/// otherwise), or load a recording.
+fn obtain_trace(args: &Args) -> Result<(Trace, Option<String>), String> {
+    match (&args.scenario, &args.replay) {
         (None, Some(path)) => {
-            // A recorded trace is immutable provenance; silently ignoring
-            // generation flags would mislabel the results.
-            let rejected: &[(&str, bool)] = &[
-                ("--seed", args.seed.is_some()),
-                ("--ticks", args.ticks.is_some()),
-                ("--smoke", args.smoke),
-                ("--record", args.record.is_some()),
-                ("--no-record", args.no_record),
-            ];
-            if let Some((flag, _)) = rejected.iter().find(|(_, set)| *set) {
-                return Err(format!(
-                    "{flag} only applies when generating a scenario; it cannot alter a replayed trace"
-                ));
-            }
             let trace = Trace::read_from_file(path).map_err(|e| e.to_string())?;
-            (trace, None)
+            Ok((trace, None))
         }
         (Some(name), None) => {
             let mut scenario = Scenario::by_name(name).ok_or_else(|| {
@@ -223,172 +95,230 @@ fn run() -> Result<(), String> {
                     .map_err(|e| format!("record {path}: {e}"))?;
                 Some(path)
             };
-            (trace, path)
+            Ok((trace, path))
         }
-    };
-
-    // --- Drive ---
-    let engine = svgic_engine::EngineConfig {
-        workers: args.workers,
-        auto_flush_pending: 0,
-        policy: svgic_engine::ResolvePolicy {
-            warm_start_lp: !args.cold_lp,
-            ..svgic_engine::ResolvePolicy::default()
-        },
-        ..svgic_engine::EngineConfig::default()
-    };
-    if args.nodes >= 1 {
-        return run_cluster(&args, &trace, engine, recorded_path);
+        _ => unreachable!("validated"),
     }
-    let config = DriverConfig {
-        mode: args.mode,
-        warmup_ticks: args.warmup,
-        engine,
-    };
-    let driver = LoadDriver::new(config);
-    let outcome = driver.run(&trace);
+}
 
-    // --- Report ---
-    let mut report = LoadReport::new(&trace, outcome);
-    report.trace_path = recorded_path.clone();
-    let json = report.to_json();
-
-    if !args.quiet {
-        let o = &report.outcome;
-        let all = o.latency.all();
-        eprintln!(
-            "loadgen: {} seed {} ({}, {} ticks) — {} sessions, {} requests in {:.3}s",
-            report.scenario,
-            report.seed,
-            o.mode.label(),
-            report.ticks,
-            o.sessions,
-            o.requests,
-            o.wall_seconds,
-        );
-        eprintln!(
-            "  throughput {:.0} req/s | latency p50 {:.1}µs p95 {:.1}µs p99 {:.1}µs max {:.1}µs",
-            o.throughput_rps(),
-            all.quantile(0.50).as_secs_f64() * 1e6,
-            all.quantile(0.95).as_secs_f64() * 1e6,
-            all.quantile(0.99).as_secs_f64() * 1e6,
-            all.max().as_secs_f64() * 1e6,
-        );
-        eprintln!(
-            "  engine: {} solves ({:.0}% incremental, {:.0}% warm-started), cache hit rate {:.1}%, {:.0}% events coalesced",
-            o.engine.solves(),
-            100.0 * o.engine.incremental_fraction(),
-            100.0 * o.engine.warm_start_rate(),
-            100.0 * o.engine.cache_hit_rate(),
-            100.0 * o.engine.coalesce_rate(),
-        );
-        eprintln!("  config digest 0x{:016x}", o.config_digest);
-        if let Some(path) = &recorded_path {
-            eprintln!("  trace recorded to {path} (replay with --replay {path})");
-        }
-        debug_assert!(json.contains(REPORT_SCHEMA));
-    }
-
+fn write_out(args: &Args, json: &str) -> Result<(), String> {
     if let Some(path) = &args.out {
         if let Some(parent) = std::path::Path::new(path).parent() {
             if !parent.as_os_str().is_empty() {
                 std::fs::create_dir_all(parent).map_err(|e| format!("mkdir for {path}: {e}"))?;
             }
         }
-        std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
+        std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
     }
+    Ok(())
+}
+
+fn print_single_summary(args: &Args, report: &LoadReport, recorded: &Option<String>, via: &str) {
+    if args.quiet {
+        return;
+    }
+    let o = &report.outcome;
+    let all = o.latency.all();
+    eprintln!(
+        "loadgen: {} seed {} ({}, {} ticks{via}) — {} sessions, {} requests in {:.3}s",
+        report.scenario,
+        report.seed,
+        o.mode.label(),
+        report.ticks,
+        o.sessions,
+        o.requests,
+        o.wall_seconds,
+    );
+    eprintln!(
+        "  throughput {:.0} req/s | latency p50 {:.1}µs p95 {:.1}µs p99 {:.1}µs max {:.1}µs",
+        o.throughput_rps(),
+        all.quantile(0.50).as_secs_f64() * 1e6,
+        all.quantile(0.95).as_secs_f64() * 1e6,
+        all.quantile(0.99).as_secs_f64() * 1e6,
+        all.max().as_secs_f64() * 1e6,
+    );
+    eprintln!(
+        "  engine: {} solves ({:.0}% incremental, {:.0}% warm-started), cache hit rate {:.1}%, {:.0}% events coalesced",
+        o.engine.solves(),
+        100.0 * o.engine.incremental_fraction(),
+        100.0 * o.engine.warm_start_rate(),
+        100.0 * o.engine.cache_hit_rate(),
+        100.0 * o.engine.coalesce_rate(),
+    );
+    eprintln!("  config digest 0x{:016x}", o.config_digest);
+    if let Some(path) = recorded {
+        eprintln!("  trace recorded to {path} (replay with --replay {path})");
+    }
+}
+
+fn print_cluster_summary(
+    args: &Args,
+    report: &ClusterReport,
+    recorded: &Option<String>,
+    via: &str,
+) {
+    if args.quiet {
+        return;
+    }
+    let o = &report.outcome;
+    let all = o.latency.all();
+    eprintln!(
+        "loadgen: {} seed {} ({}, {} ticks{via}) — {} nodes, {} sessions, {} requests in {:.3}s",
+        report.scenario,
+        report.seed,
+        o.mode.label(),
+        report.ticks,
+        o.nodes_initial,
+        o.sessions,
+        o.requests,
+        o.wall_seconds,
+    );
+    eprintln!(
+        "  wall throughput {:.0} req/s | scale-out projection {:.0} req/s \
+         (busiest node {:.3}s of {:.3}s wall)",
+        o.throughput_rps(),
+        o.aggregate_throughput_rps(),
+        o.makespan_seconds() - o.fabric_seconds,
+        o.wall_seconds,
+    );
+    eprintln!(
+        "  latency p50 {:.1}µs p95 {:.1}µs p99 {:.1}µs max {:.1}µs (merged over nodes)",
+        all.quantile(0.50).as_secs_f64() * 1e6,
+        all.quantile(0.95).as_secs_f64() * 1e6,
+        all.quantile(0.99).as_secs_f64() * 1e6,
+        all.max().as_secs_f64() * 1e6,
+    );
+    eprintln!(
+        "  fabric: {} migrations ({} warm), {} recoveries ({} warm capital lost), \
+         {} kills, {} joins, {} rebalances",
+        o.cluster.migrations,
+        o.cluster.warm_capital_preserved,
+        o.cluster.sessions_recovered,
+        o.cluster.warm_capital_lost,
+        o.cluster.nodes_killed,
+        o.cluster.nodes_added.saturating_sub(o.nodes_initial as u64),
+        o.cluster.rebalances,
+    );
+    eprintln!(
+        "  fleet engine: {} solves ({:.0}% incremental, {:.0}% warm-started), cache hit rate {:.1}%",
+        o.merged.solves(),
+        100.0 * o.merged.incremental_fraction(),
+        100.0 * o.merged.warm_start_rate(),
+        100.0 * o.merged.cache_hit_rate(),
+    );
+    eprintln!("  config digest 0x{:016x}", o.config_digest);
+    if let Some(path) = recorded {
+        eprintln!("  trace recorded to {path} (replay with --replay {path})");
+    }
+}
+
+/// Drives the trace and emits the report, routing by `--connect`/`--nodes`:
+/// remote multi-process cluster, remote single engine, in-process cluster,
+/// or bare in-process engine.
+fn run_drive(args: &Args) -> Result<(), String> {
+    let (trace, recorded_path) = obtain_trace(args)?;
+
+    let json = if args.connect.len() > 1 {
+        // Multi-process cluster: each address is one node backend; live
+        // migrations travel over the wire as export/import round trips.
+        // Connect the initial fleet up front so a typo fails with a clean
+        // message instead of a panic mid-run; the spawner hands those
+        // connections out, then cycles through the address list for any
+        // joins past the initial fleet (another connection to an existing
+        // server is a valid node).
+        let mut fleet = std::collections::VecDeque::new();
+        for addr in &args.connect {
+            fleet.push_back(NetClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?);
+        }
+        let addresses = args.connect.clone();
+        let mut handed_out = 0usize;
+        let spawner = move |_cfg: &svgic_engine::EngineConfig| {
+            handed_out += 1;
+            fleet.pop_front().unwrap_or_else(|| {
+                NetClient::connect(&addresses[(handed_out - 1) % addresses.len()])
+                    .expect("remote node reachable")
+            })
+        };
+        let driver = ClusterDriver::new(ClusterDriverConfig {
+            mode: args.mode,
+            warmup_ticks: args.warmup,
+            nodes: args.connect.len(),
+            vnodes: args.vnodes,
+            plan: NodePlan::for_trace(&trace, args.connect.len()),
+            ..ClusterDriverConfig::default()
+        });
+        let outcome = driver.run_with(&trace, spawner);
+        let mut report = ClusterReport::new(&trace, outcome);
+        report.trace_path = recorded_path.clone();
+        let via = format!(", over {} remote nodes", args.connect.len());
+        print_cluster_summary(args, &report, &recorded_path, &via);
+        report.to_json()
+    } else if args.connect.len() == 1 {
+        // One remote engine: the single-engine driver over a NetClient.
+        let addr = &args.connect[0];
+        let mut client = NetClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        let driver = LoadDriver::new(DriverConfig {
+            mode: args.mode,
+            warmup_ticks: args.warmup,
+            ..DriverConfig::default()
+        });
+        let outcome = driver.run_on(&mut client, &trace);
+        let mut report = LoadReport::new(&trace, outcome);
+        report.trace_path = recorded_path.clone();
+        print_single_summary(args, &report, &recorded_path, ", over TCP");
+        report.to_json()
+    } else if args.nodes >= 1 {
+        let driver = ClusterDriver::new(ClusterDriverConfig {
+            mode: args.mode,
+            warmup_ticks: args.warmup,
+            nodes: args.nodes,
+            vnodes: args.vnodes,
+            engine: engine_config(args),
+            plan: NodePlan::for_trace(&trace, args.nodes),
+            ..ClusterDriverConfig::default()
+        });
+        let outcome = driver.run(&trace);
+        let mut report = ClusterReport::new(&trace, outcome);
+        report.trace_path = recorded_path.clone();
+        print_cluster_summary(args, &report, &recorded_path, "");
+        report.to_json()
+    } else {
+        let driver = LoadDriver::new(DriverConfig {
+            mode: args.mode,
+            warmup_ticks: args.warmup,
+            engine: engine_config(args),
+        });
+        let outcome = driver.run(&trace);
+        let mut report = LoadReport::new(&trace, outcome);
+        report.trace_path = recorded_path.clone();
+        print_single_summary(args, &report, &recorded_path, "");
+        debug_assert!(report.to_json().contains(REPORT_SCHEMA));
+        report.to_json()
+    };
+
+    write_out(args, &json)?;
     println!("{json}");
     Ok(())
 }
 
-/// The `--nodes N` path: drive the trace through a cluster, with the fabric
-/// schedule the trace implies (`node-churn` → kill/join/rebalances, any other
-/// multi-node run → one guaranteed mid-run migration).
-fn run_cluster(
-    args: &Args,
-    trace: &Trace,
-    engine: svgic_engine::EngineConfig,
-    recorded_path: Option<String>,
-) -> Result<(), String> {
-    let plan = NodePlan::for_trace(trace, args.nodes);
-    let driver = ClusterDriver::new(ClusterDriverConfig {
-        mode: args.mode,
-        warmup_ticks: args.warmup,
-        nodes: args.nodes,
-        vnodes: args.vnodes,
-        engine,
-        plan,
-        ..ClusterDriverConfig::default()
-    });
-    let outcome = driver.run(trace);
-
-    let mut report = ClusterReport::new(trace, outcome);
-    report.trace_path = recorded_path.clone();
-    let json = report.to_json();
-
-    if !args.quiet {
-        let o = &report.outcome;
-        let all = o.latency.all();
-        eprintln!(
-            "loadgen: {} seed {} ({}, {} ticks) — {} nodes, {} sessions, {} requests in {:.3}s",
-            report.scenario,
-            report.seed,
-            o.mode.label(),
-            report.ticks,
-            o.nodes_initial,
-            o.sessions,
-            o.requests,
-            o.wall_seconds,
-        );
-        eprintln!(
-            "  wall throughput {:.0} req/s | scale-out projection {:.0} req/s \
-             (busiest node {:.3}s of {:.3}s wall)",
-            o.throughput_rps(),
-            o.aggregate_throughput_rps(),
-            o.makespan_seconds() - o.fabric_seconds,
-            o.wall_seconds,
-        );
-        eprintln!(
-            "  latency p50 {:.1}µs p95 {:.1}µs p99 {:.1}µs max {:.1}µs (merged over nodes)",
-            all.quantile(0.50).as_secs_f64() * 1e6,
-            all.quantile(0.95).as_secs_f64() * 1e6,
-            all.quantile(0.99).as_secs_f64() * 1e6,
-            all.max().as_secs_f64() * 1e6,
-        );
-        eprintln!(
-            "  fabric: {} migrations ({} warm), {} recoveries ({} warm capital lost), \
-             {} kills, {} joins, {} rebalances",
-            o.cluster.migrations,
-            o.cluster.warm_capital_preserved,
-            o.cluster.sessions_recovered,
-            o.cluster.warm_capital_lost,
-            o.cluster.nodes_killed,
-            o.cluster.nodes_added.saturating_sub(o.nodes_initial as u64),
-            o.cluster.rebalances,
-        );
-        eprintln!(
-            "  fleet engine: {} solves ({:.0}% incremental, {:.0}% warm-started), cache hit rate {:.1}%",
-            o.merged.solves(),
-            100.0 * o.merged.incremental_fraction(),
-            100.0 * o.merged.warm_start_rate(),
-            100.0 * o.merged.cache_hit_rate(),
-        );
-        eprintln!("  config digest 0x{:016x}", o.config_digest);
-        if let Some(path) = &recorded_path {
-            eprintln!("  trace recorded to {path} (replay with --replay {path})");
-        }
+fn run() -> Result<(), String> {
+    let args = cli::parse(std::env::args().skip(1))?;
+    cli::validate(&args)?;
+    if args.help {
+        print!("{}", cli::usage());
+        return Ok(());
     }
-
-    if let Some(path) = &args.out {
-        if let Some(parent) = std::path::Path::new(path).parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent).map_err(|e| format!("mkdir for {path}: {e}"))?;
-            }
+    if args.list {
+        println!("named scenarios:");
+        for scenario in Scenario::all() {
+            println!("  {:<14} {} ticks", scenario.name, scenario.ticks);
         }
-        std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
+        return Ok(());
     }
-    println!("{json}");
-    Ok(())
+    if args.serve {
+        return run_serve(&args);
+    }
+    run_drive(&args)
 }
 
 fn main() -> ExitCode {

@@ -335,21 +335,45 @@ impl ClusterDriver {
         ClusterDriver { config }
     }
 
-    /// Drives `trace` through a fresh cluster and measures it.
+    /// Drives `trace` through a fresh in-process cluster and measures it.
     ///
     /// Panics on traces that reference unknown session keys or that the
     /// engines reject — like the single-engine driver, a rejection means a
     /// corrupted trace, not an operational error.
     pub fn run(&self, trace: &Trace) -> ClusterLoadOutcome {
+        self.run_with(trace, |engine: &EngineConfig| Engine::new(engine.clone()))
+    }
+
+    /// Drives `trace` through a cluster whose node backends come from
+    /// `spawner` — in-process engines, or `svgic_net::NetClient` connections
+    /// to real server processes (`loadgen --connect a:p,b:p`). The spawner
+    /// is called once per node, initial fleet and later joins alike.
+    ///
+    /// Served configurations (the digest) are identical for any backend:
+    /// the fabric's placement and migration machinery is
+    /// backend-independent, and the wire codec is canonical.
+    pub fn run_with<B: EngineTransport + 'static>(
+        &self,
+        trace: &Trace,
+        spawner: impl FnMut(&EngineConfig) -> B + 'static,
+    ) -> ClusterLoadOutcome {
         let instances: Vec<SvgicInstance> =
             trace.templates.iter().map(|spec| spec.build()).collect();
 
-        let mut cluster = Cluster::new(ClusterConfig {
-            nodes: self.config.nodes.max(1),
-            vnodes: self.config.vnodes,
-            placement: self.config.placement,
-            engine: self.config.engine.clone(),
-        });
+        let mut cluster = Cluster::with_backends(
+            ClusterConfig {
+                nodes: self.config.nodes.max(1),
+                vnodes: self.config.vnodes,
+                placement: self.config.placement,
+                engine: self.config.engine.clone(),
+            },
+            spawner,
+        );
+        // Remote node backends may be long-lived server processes with
+        // counters from earlier runs; zero them so this run's report covers
+        // exactly this trace (no-op for fresh in-process engines; topology
+        // counters survive by design).
+        cluster.reset_stats();
         let mut ledger = Ledger::default();
         let mut latency = LatencyBreakdown::default();
         let mut quality = QualityUnderLoad::default();
@@ -532,7 +556,12 @@ impl ClusterDriver {
     }
 
     /// Executes the plan's fabric events scheduled at `tick`.
-    fn run_plan_at(&self, tick: usize, cluster: &mut Cluster, ledger: &mut Ledger) {
+    fn run_plan_at<B: EngineTransport>(
+        &self,
+        tick: usize,
+        cluster: &mut Cluster<B>,
+        ledger: &mut Ledger,
+    ) {
         for action in self.config.plan.actions_at(tick) {
             let t0 = Instant::now();
             match action {
@@ -582,9 +611,9 @@ impl ClusterDriver {
         }
     }
 
-    fn submit(
+    fn submit<B: EngineTransport>(
         &self,
-        cluster: &mut Cluster,
+        cluster: &mut Cluster<B>,
         key: u64,
         event: SessionEvent,
         ledger: &mut Ledger,

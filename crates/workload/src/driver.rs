@@ -222,18 +222,37 @@ impl LoadDriver {
         LoadDriver { config }
     }
 
-    /// Drives `trace` through a fresh engine and measures it.
+    /// Drives `trace` through a fresh in-process engine and measures it.
     ///
     /// Panics if the trace references unknown session keys or the engine
     /// rejects an event — traces produced by [`crate::synth::generate`] are
     /// valid by construction, so a rejection means the trace file was edited
     /// or corrupted.
     pub fn run(&self, trace: &Trace) -> LoadOutcome {
+        let mut engine = Engine::new(self.config.engine.clone());
+        self.run_on(&mut engine, trace)
+    }
+
+    /// Drives `trace` through any [`EngineTransport`] backend — the
+    /// in-process engine, or a `svgic_net::NetClient` connected to a
+    /// `loadgen serve` process (`loadgen --connect host:port`). The
+    /// backend's own engine configuration applies;
+    /// [`DriverConfig::engine`] is only used by [`LoadDriver::run`].
+    ///
+    /// Because the engine is deterministic and the wire codec canonical,
+    /// `run_on` produces the identical `config_digest` through any backend;
+    /// only the measured latencies differ (they include the transport).
+    pub fn run_on<B: EngineTransport>(&self, mut engine: &mut B, trace: &Trace) -> LoadOutcome {
         let instances: Vec<SvgicInstance> =
             trace.templates.iter().map(|spec| spec.build()).collect();
 
-        let mut engine = Engine::new(self.config.engine.clone());
-        let workers = engine.workers();
+        let workers = engine.describe().expect("backend describes itself").workers;
+        // A remote backend may be a long-lived `loadgen serve` process that
+        // already served earlier runs; start this run's counters from zero
+        // so the reported stats cover exactly this trace. (A no-op for the
+        // freshly built in-process engine — and never a digest concern,
+        // since counters don't influence serving.)
+        engine.reset_stats().expect("backend resets stats");
         let mut sessions: HashMap<u64, SessionId> = HashMap::new();
         let mut latency = LatencyBreakdown::default();
         let mut quality = QualityUnderLoad::default();
@@ -249,7 +268,7 @@ impl LoadDriver {
                 TraceEvent::Tick(tick) => {
                     if !closed_loop {
                         let t0 = Instant::now();
-                        engine.flush();
+                        engine.flush().expect("backend flushes");
                         latency.flush.record(t0.elapsed());
                     }
                     if warming && *tick >= self.config.warmup_ticks {
@@ -257,7 +276,7 @@ impl LoadDriver {
                         // the warmup window. Reset the engine counters (its
                         // caches stay warm) and restart measurement.
                         warming = false;
-                        engine.reset_stats();
+                        engine.reset_stats().expect("backend resets stats");
                         latency = LatencyBreakdown::default();
                         quality = QualityUnderLoad::default();
                         requests = 0;
@@ -341,7 +360,7 @@ impl LoadDriver {
 
         // Final sweep: flush leftovers and digest every still-open session so
         // a truncated-but-parseable trace still yields a comparable digest.
-        engine.flush();
+        engine.flush().expect("backend flushes");
         let mut leftovers: Vec<(u64, SessionId)> = sessions.into_iter().collect();
         leftovers.sort_unstable();
         for (key, id) in leftovers {
@@ -362,13 +381,13 @@ impl LoadDriver {
             latency,
             quality,
             config_digest: digest.finish(),
-            engine: engine.stats(),
+            engine: engine.stats().expect("backend reports stats"),
         }
     }
 
-    fn submit(
+    fn submit<B: EngineTransport>(
         &self,
-        engine: &mut Engine,
+        engine: &mut B,
         id: SessionId,
         event: SessionEvent,
         latency: &mut LatencyBreakdown,
@@ -382,7 +401,7 @@ impl LoadDriver {
         *requests += 1;
         if self.config.mode == DriveMode::ClosedLoop {
             let t0 = Instant::now();
-            engine.flush();
+            engine.flush().expect("backend flushes");
             latency.flush.record(t0.elapsed());
         }
     }

@@ -1,0 +1,351 @@
+//! A minimal, validating JSON parser.
+//!
+//! The workspace is built offline (no serde), so the loadgen reports are
+//! written by a hand-rolled emitter ([`crate::report`]). This module is the
+//! *reading* half: a small recursive-descent parser used by the format
+//! conformance tests (`tests/format_conformance.rs`) to prove that the
+//! example blobs checked into `docs/FORMATS.md` parse and stay structurally
+//! identical to what the emitter actually produces — without shelling out
+//! to python the way the CI smoke steps do.
+//!
+//! Scope: full JSON syntax (objects, arrays, strings with escapes, numbers,
+//! booleans, null). Numbers are held as `f64`, which is lossy above 2⁵³ —
+//! fine for structural validation, not for reading 64-bit seeds back
+//! exactly (the reports emit those as exact integer literals; consumers that
+//! need them verbatim should read the raw text).
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (held as `f64`; lossy above 2⁵³).
+    Number(f64),
+    /// A string (escapes decoded).
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object. Keys are held sorted (`BTreeMap`) — document order is not
+    /// preserved, which the structural conformance checks don't need.
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Parses a complete JSON document (trailing whitespace allowed,
+    /// trailing content rejected).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing content at byte {}", p.pos));
+        }
+        Ok(value)
+    }
+
+    /// Member lookup on an object (`None` on non-objects/missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The object's keys, sorted (empty for non-objects).
+    pub fn keys(&self) -> Vec<&str> {
+        match self {
+            Json::Object(map) => map.keys().map(String::as_str).collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Every key path reachable in the document, `.`-joined (e.g.
+    /// `latency_us.all.p99`), sorted. The structural fingerprint the
+    /// conformance tests compare: two reports with the same schema must
+    /// expose the same path set.
+    pub fn key_paths(&self) -> Vec<String> {
+        let mut paths = Vec::new();
+        fn walk(value: &Json, prefix: &str, paths: &mut Vec<String>) {
+            if let Json::Object(map) = value {
+                for (key, child) in map {
+                    let path = if prefix.is_empty() {
+                        key.clone()
+                    } else {
+                        format!("{prefix}.{key}")
+                    };
+                    paths.push(path.clone());
+                    walk(child, &path, paths);
+                }
+            }
+        }
+        walk(self, "", &mut paths);
+        paths.sort();
+        paths
+    }
+
+    /// The number at `self`, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string at `self`, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", byte as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::String(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(format!(
+                "unexpected `{}` at byte {}",
+                other as char, self.pos
+            )),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            if map.insert(key.clone(), value).is_some() {
+                return Err(format!("duplicate key `{key}`"));
+            }
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(map));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            // Surrogate pairs are not needed by the reports;
+                            // reject rather than mis-decode.
+                            let ch = char::from_u32(code)
+                                .ok_or_else(|| format!("\\u{code:04x} is not a scalar value"))?;
+                            out.push(ch);
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (input is a &str, so
+                    // boundaries are valid).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid UTF-8")?;
+                    let ch = rest.chars().next().unwrap();
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|text| text.parse::<f64>().ok())
+            .map(Json::Number)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_reports_end_to_end() {
+        use crate::driver::{DriverConfig, LoadDriver};
+        use crate::report::LoadReport;
+        use crate::scenario::Scenario;
+        use crate::synth::generate;
+        let mut scenario = Scenario::steady_mall().smoke();
+        scenario.ticks = 2;
+        let trace = generate(&scenario, 3);
+        let outcome = LoadDriver::new(DriverConfig::default()).run(&trace);
+        let json = LoadReport::new(&trace, outcome).to_json();
+        let value = Json::parse(&json).expect("the emitter writes valid JSON");
+        assert_eq!(
+            value.get("schema").and_then(Json::as_str),
+            Some("svgic-loadgen-report/v1")
+        );
+        assert!(value
+            .get("throughput_rps")
+            .and_then(Json::as_f64)
+            .is_some_and(|rps| rps > 0.0));
+        assert!(value
+            .key_paths()
+            .iter()
+            .any(|path| path == "latency_us.all.p99"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\": }",
+            "{\"a\": 1,}",
+            "[1, 2",
+            "\"unterminated",
+            "{\"a\": 1} trailing",
+            "{\"a\": 1, \"a\": 2}",
+            "nul",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted malformed `{bad}`");
+        }
+    }
+
+    #[test]
+    fn decodes_escapes_and_numbers() {
+        let value =
+            Json::parse(r#"{"s": "a\n\"bA", "n": -1.5e2, "b": [true, null]}"#).expect("parses");
+        assert_eq!(value.get("s").and_then(Json::as_str), Some("a\n\"bA"));
+        assert_eq!(value.get("n").and_then(Json::as_f64), Some(-150.0));
+        assert_eq!(
+            value.get("b"),
+            Some(&Json::Array(vec![Json::Bool(true), Json::Null]))
+        );
+    }
+}

@@ -28,12 +28,23 @@
 //!    single-engine runs: topology and live migration never change what is
 //!    served.
 //!
+//! 5. **Does the wire change anything?** No — the drivers are generic over
+//!    `svgic_engine::transport::EngineTransport`
+//!    ([`LoadDriver::run_on`](driver::LoadDriver::run_on),
+//!    [`ClusterDriver::run_with`](cluster_driver::ClusterDriver::run_with)),
+//!    so the same traces drive `svgic-net` TCP servers — one, or a
+//!    multi-process fleet — with **identical configuration digests**;
+//!    [`json`] parses the reports back for conformance testing.
+//!
 //! The `loadgen` binary (this crate's `src/bin/loadgen.rs`) is the CLI over
-//! all of it:
+//! all of it — its whole flag surface is defined once in [`cli`], which
+//! generates both the parser and `--help`:
 //!
 //! ```text
 //! cargo run --release --bin loadgen -- --scenario flash-sale --seed 7
 //! cargo run --release --bin loadgen -- --replay target/loadgen/flash-sale-seed7.trace
+//! cargo run --release --bin loadgen -- serve --port 7741
+//! cargo run --release --bin loadgen -- --scenario steady-mall --connect 127.0.0.1:7741
 //! ```
 //!
 //! ## Example
@@ -56,10 +67,12 @@
 #![warn(missing_docs)]
 
 pub mod arrival;
+pub mod cli;
 pub mod cluster_driver;
 pub mod distributions;
 pub mod driver;
 pub mod histogram;
+pub mod json;
 pub mod report;
 pub mod scenario;
 pub mod synth;

@@ -1,0 +1,111 @@
+//! Regenerates the example blobs embedded in `docs/FORMATS.md`.
+//!
+//! ```text
+//! cargo run --release --example format_blobs
+//! ```
+//!
+//! Prints four sections — the `svgic-trace v1` example, a
+//! `svgic-loadgen-report/v1` JSON, a `svgic-cluster-report/v1` JSON and the
+//! wire-frame hex dump — using the same pinned configuration
+//! (`workers: 2, shards: 2`, steady-mall smoke at 2 ticks, seed 3; cluster:
+//! 2 nodes with a mid-run rebalance) that `tests/format_conformance.rs`
+//! regenerates and compares against the spec. After changing a format,
+//! rerun this and paste the refreshed blobs into the spec; the conformance
+//! test fails until spec and emitter agree again.
+//!
+//! Timing-valued fields (`wall_seconds`, latency quantiles, …) differ run
+//! to run; the conformance test compares *key structure*, not values, so a
+//! pasted snapshot stays valid.
+
+use svgic::engine::prelude::*;
+use svgic::workload::prelude::*;
+use svgic::workload::DriverConfig;
+
+/// The pinned engine shape: fixed shards so the report's `shard<i>_*`
+/// metrics are machine-independent.
+fn engine_config() -> EngineConfig {
+    EngineConfig {
+        workers: 2,
+        shards: 2,
+        auto_flush_pending: 0,
+        ..EngineConfig::default()
+    }
+}
+
+/// The pinned trace: steady-mall smoke, 2 ticks, seed 3.
+fn example_trace() -> Trace {
+    let mut scenario = Scenario::steady_mall().smoke();
+    scenario.ticks = 2;
+    generate(&scenario, 3)
+}
+
+fn main() {
+    let trace = example_trace();
+
+    println!("=== svgic-trace v1 (first 12 lines + trailer) ===");
+    // The full smoke trace is long; the spec embeds a hand-sized excerpt
+    // that still exercises every line type, so print a *complete* tiny
+    // trace instead: the same header plus a canonical body.
+    let tiny = Trace {
+        scenario: "steady-mall".into(),
+        seed: 3,
+        ticks: 2,
+        templates: trace.templates.clone(),
+        events: vec![
+            TraceEvent::Tick(0),
+            TraceEvent::Open {
+                key: 0,
+                template: 0,
+                seed: 11_646_911_677_952_911_153,
+                present: vec![0, 2, 3],
+            },
+            TraceEvent::Join { key: 0, user: 1 },
+            TraceEvent::Leave { key: 0, user: 2 },
+            TraceEvent::Catalog {
+                key: 0,
+                items: vec![0, 1, 2, 5, 6, 7],
+            },
+            TraceEvent::Lambda { key: 0, value: 0.8 },
+            TraceEvent::Query { key: 0 },
+            TraceEvent::Tick(1),
+            TraceEvent::Close { key: 0 },
+        ],
+    };
+    print!("{}", tiny.render());
+
+    println!("\n=== svgic-loadgen-report/v1 ===");
+    let outcome = LoadDriver::new(DriverConfig {
+        engine: engine_config(),
+        ..DriverConfig::default()
+    })
+    .run(&trace);
+    let report = LoadReport::new(&trace, outcome);
+    print!("{}", report.to_json());
+
+    println!("\n=== svgic-cluster-report/v1 ===");
+    let outcome = ClusterDriver::new(ClusterDriverConfig {
+        nodes: 2,
+        engine: engine_config(),
+        plan: NodePlan::mid_run_rebalance(2),
+        ..ClusterDriverConfig::default()
+    })
+    .run(&trace);
+    let report = ClusterReport::new(&trace, outcome);
+    print!("{}", report.to_json());
+
+    println!("\n=== wire frame (QueryConfiguration(session 7), request id 1) ===");
+    let payload =
+        svgic::engine::codec::encode_request(&EngineRequest::QueryConfiguration(SessionId(7)));
+    let mut frame_bytes = Vec::new();
+    svgic::net::frame::write_frame(
+        &mut frame_bytes,
+        &svgic::net::Frame {
+            kind: svgic::net::FrameKind::Request,
+            request_id: 1,
+            payload,
+        },
+    )
+    .expect("in-memory write");
+    let hex: Vec<String> = frame_bytes.iter().map(|b| format!("{b:02x}")).collect();
+    println!("{}", hex.join(" "));
+}

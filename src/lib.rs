@@ -31,12 +31,21 @@
 //!   (warm LP factors travel with the session), crash recovery from router
 //!   shadow state, and pluggable rebalancing policies (ring-authority and
 //!   load-aware);
+//! * [`net`] — the wire protocol: length-prefixed binary framing over TCP,
+//!   a blocking server fronting one engine, and a client implementing the
+//!   same driver-facing `EngineTransport` trait as the in-process engine —
+//!   the layer that turns the cluster into a real multi-process system
+//!   (`loadgen serve` / `--connect`) with transport-invariant digests;
 //! * [`workload`] — scenario-driven workload simulation for the engine and
 //!   the cluster: named traffic scenarios (steady mall, diurnal cycle, flash
 //!   sale, churn-heavy, megagroup, node-churn), a deterministic
 //!   record/replay trace format, open/closed-loop load drivers (single
-//!   engine or `--nodes N` cluster) with HDR-style latency histograms, and
-//!   the `loadgen` CLI emitting machine-readable JSON load reports.
+//!   engine, `--nodes N` cluster, or remote TCP servers) with HDR-style
+//!   latency histograms, and the `loadgen` CLI emitting machine-readable
+//!   JSON load reports.
+//!
+//! Architecture book: `docs/ARCHITECTURE.md`. Stable formats (trace, report
+//! JSON, wire protocol): `docs/FORMATS.md`.
 //!
 //! ## Quickstart
 //!
@@ -68,6 +77,7 @@ pub use svgic_experiments as experiments;
 pub use svgic_graph as graph;
 pub use svgic_lp as lp;
 pub use svgic_metrics as metrics;
+pub use svgic_net as net;
 pub use svgic_workload as workload;
 
 /// The most common imports in one place.

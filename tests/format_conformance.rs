@@ -1,0 +1,162 @@
+//! Format conformance: the example blobs checked into `docs/FORMATS.md`
+//! must parse with the real parsers and match the real emitters.
+//!
+//! Three contracts:
+//!
+//! * the `svgic-trace v1` blob parses and **re-renders byte-identically**
+//!   (the trace format's canonical-text property);
+//! * the two report blobs parse with the workspace's own JSON parser,
+//!   carry the right schema tags, and expose **exactly** the key structure
+//!   a freshly generated report exposes today — so adding, renaming or
+//!   dropping a report key without updating the spec fails CI;
+//! * the wire-frame hex decodes to the documented frame and re-encodes to
+//!   the same bytes.
+//!
+//! Regenerate the blobs with `cargo run --release --example format_blobs`.
+
+use std::io::Cursor;
+
+use svgic::engine::prelude::*;
+use svgic::net::frame::{read_frame, write_frame};
+use svgic::net::FrameKind;
+use svgic::workload::json::Json;
+use svgic::workload::prelude::*;
+use svgic::workload::DriverConfig;
+
+fn spec() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/docs/FORMATS.md");
+    std::fs::read_to_string(path).expect("docs/FORMATS.md exists (it is part of the spec)")
+}
+
+/// Extracts the fenced code block that immediately follows
+/// `<!-- conformance:<name> -->`.
+fn blob(name: &str) -> String {
+    let spec = spec();
+    let marker = format!("<!-- conformance:{name} -->");
+    let at = spec
+        .find(&marker)
+        .unwrap_or_else(|| panic!("spec lost its `{marker}` marker"));
+    let rest = &spec[at + marker.len()..];
+    let fence_start = rest.find("```").expect("marker is followed by a fence");
+    let after_fence = &rest[fence_start..];
+    let body_start = after_fence.find('\n').expect("fence line ends") + 1;
+    let body = &after_fence[body_start..];
+    let end = body.find("```").expect("fence closes");
+    body[..end].to_string()
+}
+
+/// The pinned configuration the spec's report blobs were generated with
+/// (mirrored in `examples/format_blobs.rs`).
+fn pinned_engine() -> EngineConfig {
+    EngineConfig {
+        workers: 2,
+        shards: 2,
+        auto_flush_pending: 0,
+        ..EngineConfig::default()
+    }
+}
+
+fn pinned_trace() -> Trace {
+    let mut scenario = Scenario::steady_mall().smoke();
+    scenario.ticks = 2;
+    generate(&scenario, 3)
+}
+
+#[test]
+fn trace_blob_parses_and_rerenders_byte_identically() {
+    let blob = blob("trace");
+    let trace: Trace = blob.parse().expect("the spec's trace example parses");
+    assert_eq!(
+        trace.render(),
+        blob,
+        "the trace format is canonical: parse → render must reproduce the spec blob"
+    );
+    assert_eq!(trace.scenario, "steady-mall");
+    assert_eq!(trace.session_count(), 1);
+    // The templates are buildable — the blob is a *runnable* example.
+    for template in &trace.templates {
+        let instance = template.build();
+        assert_eq!(instance.num_users(), template.users);
+        assert_eq!(instance.num_items(), template.items);
+    }
+}
+
+#[test]
+fn loadgen_report_blob_matches_the_emitter_structurally() {
+    let value = Json::parse(&blob("loadgen-report")).expect("spec blob is valid JSON");
+    assert_eq!(
+        value.get("schema").and_then(Json::as_str),
+        Some("svgic-loadgen-report/v1")
+    );
+
+    let outcome = LoadDriver::new(DriverConfig {
+        engine: pinned_engine(),
+        ..DriverConfig::default()
+    })
+    .run(&pinned_trace());
+    let fresh =
+        Json::parse(&LoadReport::new(&pinned_trace(), outcome).to_json()).expect("emitter output");
+
+    assert_eq!(
+        value.key_paths(),
+        fresh.key_paths(),
+        "docs/FORMATS.md's loadgen-report example drifted from the emitter — \
+         regenerate with `cargo run --release --example format_blobs`"
+    );
+}
+
+#[test]
+fn cluster_report_blob_matches_the_emitter_structurally() {
+    let value = Json::parse(&blob("cluster-report")).expect("spec blob is valid JSON");
+    assert_eq!(
+        value.get("schema").and_then(Json::as_str),
+        Some("svgic-cluster-report/v1")
+    );
+
+    let outcome = ClusterDriver::new(ClusterDriverConfig {
+        nodes: 2,
+        engine: pinned_engine(),
+        plan: NodePlan::mid_run_rebalance(2),
+        ..ClusterDriverConfig::default()
+    })
+    .run(&pinned_trace());
+    let fresh = Json::parse(&ClusterReport::new(&pinned_trace(), outcome).to_json())
+        .expect("emitter output");
+
+    assert_eq!(
+        value.key_paths(),
+        fresh.key_paths(),
+        "docs/FORMATS.md's cluster-report example drifted from the emitter — \
+         regenerate with `cargo run --release --example format_blobs`"
+    );
+    // Both reports in the spec describe the same trace: the digest is
+    // topology-invariant right there in the documentation.
+    let single = Json::parse(&blob("loadgen-report")).expect("parses");
+    assert_eq!(
+        single.get("config_digest").and_then(Json::as_str),
+        value.get("config_digest").and_then(Json::as_str),
+        "the spec's two example reports must exhibit the digest invariant"
+    );
+}
+
+#[test]
+fn frame_hex_decodes_to_the_documented_frame() {
+    let hex = blob("frame-hex");
+    let bytes: Vec<u8> = hex
+        .split_whitespace()
+        .map(|tok| u8::from_str_radix(tok, 16).expect("spec hex is valid"))
+        .collect();
+    let frame = read_frame(&mut Cursor::new(&bytes)).expect("spec frame decodes");
+    assert_eq!(frame.kind, FrameKind::Request);
+    assert_eq!(frame.request_id, 1);
+    let request =
+        svgic::engine::codec::decode_request(&frame.payload).expect("spec payload decodes");
+    match request {
+        EngineRequest::QueryConfiguration(session) => assert_eq!(session, SessionId(7)),
+        other => panic!("spec frame documents QueryConfiguration(7), decodes {other:?}"),
+    }
+    // Canonical the whole way down: re-encoding reproduces the spec bytes.
+    let mut reencoded = Vec::new();
+    write_frame(&mut reencoded, &frame).expect("in-memory write");
+    assert_eq!(reencoded, bytes);
+}

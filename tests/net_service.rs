@@ -1,0 +1,174 @@
+//! End-to-end wire-protocol service tests: the acceptance contract of the
+//! `svgic-net` tentpole.
+//!
+//! The same `(scenario, seed)` trace must yield the **identical FNV-1a
+//! configuration digest** through
+//!
+//! 1. the in-process engine ([`LoadDriver::run`]),
+//! 2. one TCP server ([`LoadDriver::run_on`] over a `NetClient`),
+//! 3. a multi-server cluster (≥ 2 `NetServer`s behind
+//!    [`ClusterDriver::run_with`]), including live migrations whose session
+//!    exports travel over the wire.
+//!
+//! The servers here run in threads of this process (real sockets on
+//! loopback, ephemeral ports); CI's `net-smoke` step repeats the same
+//! assertions across actual `loadgen serve` processes.
+
+use svgic::engine::prelude::*;
+use svgic::net::{NetClient, NetServer};
+use svgic::workload::prelude::*;
+use svgic::workload::DriverConfig;
+
+fn server_engine() -> Engine {
+    // Fixed shape so counters are machine-independent; auto-flush off — the
+    // driver owns the flush clock (as `loadgen serve` also forces).
+    Engine::new(EngineConfig {
+        workers: 2,
+        shards: 2,
+        auto_flush_pending: 0,
+        ..EngineConfig::default()
+    })
+}
+
+fn smoke_trace() -> Trace {
+    let mut scenario = Scenario::steady_mall().smoke();
+    scenario.ticks = 4;
+    generate(&scenario, 29)
+}
+
+fn driver() -> LoadDriver {
+    LoadDriver::new(DriverConfig {
+        engine: EngineConfig {
+            workers: 2,
+            shards: 2,
+            auto_flush_pending: 0,
+            ..EngineConfig::default()
+        },
+        ..DriverConfig::default()
+    })
+}
+
+#[test]
+fn tcp_serving_matches_in_process_digests() {
+    let trace = smoke_trace();
+    let in_process = driver().run(&trace);
+
+    let server = NetServer::bind("127.0.0.1:0", server_engine()).expect("binds");
+    let mut client = NetClient::connect(server.local_addr()).expect("connects");
+    let over_tcp = driver().run_on(&mut client, &trace);
+
+    assert_eq!(
+        in_process.config_digest, over_tcp.config_digest,
+        "the wire must not change what is served"
+    );
+    assert_eq!(in_process.requests, over_tcp.requests);
+    assert_eq!(in_process.sessions, over_tcp.sessions);
+    // The remote engine's counters travel back intact: same solve counts,
+    // same coalescing — the transport adds latency, not work.
+    assert_eq!(in_process.engine.solves(), over_tcp.engine.solves());
+    assert_eq!(
+        in_process.engine.events_submitted,
+        over_tcp.engine.events_submitted
+    );
+    assert_eq!(over_tcp.workers, 2, "Describe reports the remote shape");
+
+    // Replay over the same server: the engine accumulated stats but its
+    // sessions were all closed, so the digest reproduces exactly.
+    let replay = driver().run_on(&mut client, &trace);
+    assert_eq!(replay.config_digest, in_process.config_digest);
+
+    client.shutdown_server().expect("shuts down");
+    server.join();
+}
+
+#[test]
+fn multi_process_cluster_matches_in_process_digests() {
+    let trace = smoke_trace();
+    let single = driver().run(&trace);
+
+    // Two real servers; the router places sessions across them and the
+    // mid-run plan forces a live migration whose export/import round-trips
+    // both sockets.
+    let servers: Vec<NetServer> = (0..2)
+        .map(|_| NetServer::bind("127.0.0.1:0", server_engine()).expect("binds"))
+        .collect();
+    let addresses: Vec<std::net::SocketAddr> =
+        servers.iter().map(|server| server.local_addr()).collect();
+
+    let mut handed_out = 0usize;
+    let spawner = move |_cfg: &EngineConfig| {
+        let addr = addresses[handed_out % addresses.len()];
+        handed_out += 1;
+        NetClient::connect(addr).expect("node reachable")
+    };
+    let outcome = ClusterDriver::new(ClusterDriverConfig {
+        nodes: 2,
+        plan: NodePlan::mid_run_rebalance(4),
+        ..ClusterDriverConfig::default()
+    })
+    .run_with(&trace, spawner);
+
+    assert_eq!(
+        outcome.config_digest, single.config_digest,
+        "two real server processes must serve byte-identically to one engine"
+    );
+    assert_eq!(outcome.requests, single.requests);
+    assert!(
+        outcome.cluster.migrations > 0,
+        "the mid-run plan must migrate sessions over the wire"
+    );
+    assert_eq!(
+        outcome.cluster.warm_capital_preserved, outcome.cluster.migrations,
+        "exports carry their warm factors through the codec"
+    );
+    // Both nodes actually served (the ring spread the keys).
+    assert_eq!(outcome.per_node.len(), 2);
+    let served: Vec<u64> = outcome
+        .per_node
+        .iter()
+        .map(|n| n.engine.sessions_created + n.engine.sessions_imported)
+        .collect();
+    assert!(
+        served.iter().all(|&s| s > 0),
+        "both remote nodes must host sessions: {served:?}"
+    );
+
+    for server in servers {
+        NetClient::connect(server.local_addr())
+            .expect("connects")
+            .shutdown_server()
+            .expect("shuts down");
+        server.join();
+    }
+}
+
+#[test]
+fn closed_loop_and_warmup_survive_the_wire() {
+    let trace = smoke_trace();
+    let config = |mode, warmup| DriverConfig {
+        mode,
+        warmup_ticks: warmup,
+        engine: EngineConfig {
+            workers: 2,
+            shards: 2,
+            auto_flush_pending: 0,
+            ..EngineConfig::default()
+        },
+    };
+    let closed_local = LoadDriver::new(config(DriveMode::ClosedLoop, 0)).run(&trace);
+
+    let server = NetServer::bind("127.0.0.1:0", server_engine()).expect("binds");
+    let mut client = NetClient::connect(server.local_addr()).expect("connects");
+    let closed_remote =
+        LoadDriver::new(config(DriveMode::ClosedLoop, 0)).run_on(&mut client, &trace);
+    assert_eq!(closed_local.config_digest, closed_remote.config_digest);
+
+    // Warmup resets the remote counters over the wire but never the digest.
+    let warmed = LoadDriver::new(config(DriveMode::OpenLoop, 2)).run_on(&mut client, &trace);
+    let full = driver().run(&trace);
+    assert_eq!(warmed.config_digest, full.config_digest);
+    assert!(warmed.requests < full.requests);
+
+    client.shutdown_server().expect("shuts down");
+    server.join();
+}
