@@ -1,0 +1,141 @@
+//! What observability costs: the same churn-heavy trace served with
+//! tracing off (the default) and on, plus the per-call price of a span
+//! site in both states.
+//!
+//! Two gates run **before** any timing:
+//!
+//! 1. **read-side contract** — the traced run's configuration digest and
+//!    solve count equal the untraced run's (tracing observes the engine,
+//!    it never steers it);
+//! 2. **disabled overhead < 1%** — the measured cost of a disabled span
+//!    site (one relaxed atomic load), multiplied by the number of spans
+//!    the *enabled* run recorded, must project to less than 1% of the
+//!    untraced run's wall time. That is the price every production engine
+//!    pays for having the instrumentation compiled in.
+//!
+//! Criterion then times the smallest units: one disabled `begin`/`finish`
+//! pair vs. one enabled pair (clock read + ring insert).
+//!
+//! `SVGIC_BENCH_SMOKE=1` (set in CI) shrinks the scenario to smoke size.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use svgic_bench::bench_scale;
+use svgic_engine::prelude::*;
+use svgic_experiments::ExperimentScale;
+use svgic_obs::{ObsConfig, Phase, Tracer};
+use svgic_workload::prelude::*;
+use svgic_workload::DriverConfig;
+
+const SEED: u64 = 0x0B5E_0BED;
+
+fn scenario() -> Scenario {
+    let scenario = Scenario::churn_heavy();
+    match bench_scale() {
+        ExperimentScale::Smoke => {
+            let mut scenario = scenario.smoke();
+            scenario.ticks = 6;
+            scenario
+        }
+        _ => scenario,
+    }
+}
+
+/// Pinned engine shape so solve counters match between the two runs.
+fn engine_config(obs: ObsConfig) -> EngineConfig {
+    EngineConfig {
+        workers: 2,
+        shards: 2,
+        auto_flush_pending: 0,
+        obs,
+        ..EngineConfig::default()
+    }
+}
+
+fn driver(obs: ObsConfig) -> LoadDriver {
+    LoadDriver::new(DriverConfig {
+        engine: engine_config(obs),
+        ..DriverConfig::default()
+    })
+}
+
+/// Measures one `begin`/`finish` pair on `tracer`, averaged over `calls`.
+fn span_site_seconds(tracer: &Tracer, calls: u32) -> f64 {
+    let started = Instant::now();
+    for i in 0..calls {
+        let span = tracer.begin();
+        tracer.finish(span, Phase::Submit, u64::from(i), 0, 0);
+    }
+    started.elapsed().as_secs_f64() / f64::from(calls)
+}
+
+fn obs_overhead(c: &mut Criterion) {
+    let trace = generate(&scenario(), SEED);
+
+    // --- Run 1: tracing off (the production default) ---
+    let off = driver(ObsConfig::disabled()).run(&trace);
+
+    // --- Run 2: tracing on, same trace, spans kept for the projection ---
+    let mut engine = Engine::new(engine_config(ObsConfig::enabled()));
+    let on = driver(ObsConfig::disabled()).run_on(&mut engine, &trace);
+    let spans_recorded = engine.tracer().recorded();
+
+    // --- Gate 1: tracing never changes what is served ---
+    assert_eq!(
+        off.config_digest, on.config_digest,
+        "tracing must not change the served configurations"
+    );
+    assert_eq!(
+        off.engine.solves(),
+        on.engine.solves(),
+        "tracing must add zero solver work"
+    );
+    assert!(
+        spans_recorded > 0,
+        "the enabled run must actually record spans"
+    );
+
+    // --- Gate 2: the disabled path projects to < 1% of wall time ---
+    let disabled_tracer = Tracer::new(ObsConfig::disabled());
+    let per_call = span_site_seconds(&disabled_tracer, 1_000_000);
+    let projected = per_call * spans_recorded as f64;
+    let budget = off.wall_seconds * 0.01;
+    println!("{:<22} {:>14} {:>14}", "run", "wall (s)", "spans");
+    println!("{:<22} {:>14.4} {:>14}", "tracing off", off.wall_seconds, 0);
+    println!(
+        "{:<22} {:>14.4} {:>14}",
+        "tracing on", on.wall_seconds, spans_recorded
+    );
+    println!(
+        "disabled span site ≈ {:.2} ns/call; {} sites project to {:.3} µs \
+         ({:.4}% of the untraced run)",
+        per_call * 1e9,
+        spans_recorded,
+        projected * 1e6,
+        100.0 * projected / off.wall_seconds.max(1e-12),
+    );
+    assert!(
+        projected < budget,
+        "disabled-path overhead projects to {projected:.6}s, over the 1% budget \
+         ({budget:.6}s) for this run"
+    );
+
+    // --- Criterion: the smallest units ---
+    c.bench_function("span_site_disabled", |b| {
+        b.iter(|| {
+            let span = disabled_tracer.begin();
+            disabled_tracer.finish(span, Phase::Submit, 0, 0, 0);
+        })
+    });
+    let enabled_tracer = Tracer::new(ObsConfig::enabled());
+    c.bench_function("span_site_enabled", |b| {
+        b.iter(|| {
+            let span = enabled_tracer.begin();
+            enabled_tracer.finish(span, Phase::Submit, 0, 0, 0);
+        })
+    });
+}
+
+criterion_group!(benches, obs_overhead);
+criterion_main!(benches);

@@ -89,6 +89,11 @@ pub enum EngineRequest {
     ImportSession(Box<SessionExport>),
     /// Probes the engine's shape and occupancy ([`EngineInfo`]).
     Describe,
+    /// Reads the engine's exported metric series — the same ordered
+    /// `(name, value)` list `StatsSnapshot::metrics()` produces locally, so
+    /// remote scrapers (`loadgen metrics --connect`) need no snapshot codec
+    /// knowledge to plot a node.
+    QueryMetrics,
 }
 
 /// The engine's shape and current occupancy, as answered to
@@ -166,6 +171,9 @@ pub enum EngineResponse {
     SessionImported(SessionId),
     /// The engine's shape and occupancy.
     Description(EngineInfo),
+    /// The engine's exported metric series, in `StatsSnapshot::metrics()`
+    /// order.
+    Metrics(Vec<(String, f64)>),
 }
 
 /// Why a request was rejected.

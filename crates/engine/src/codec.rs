@@ -37,6 +37,7 @@ use std::time::Duration;
 use svgic_algorithms::{LpBackend, UtilityFactors};
 use svgic_core::{Configuration, SvgicInstance, SvgicInstanceBuilder};
 use svgic_graph::SocialGraph;
+use svgic_obs::HistogramSnapshot;
 
 use crate::api::{
     ConfigurationView, CreateSession, EngineError, EngineInfo, EngineRequest, EngineResponse,
@@ -651,6 +652,30 @@ fn read_duration(r: &mut Reader) -> Result<Duration, CodecError> {
     Ok(Duration::from_nanos(r.u64()?))
 }
 
+/// A sparse [`HistogramSnapshot`]: pair count, `(u32 slot, u64 count)`
+/// pairs, then the exact sum and max in nanoseconds. The total is recomputed
+/// on decode (it is derived state, so it cannot travel inconsistently).
+fn write_histogram(w: &mut Writer, h: &HistogramSnapshot) {
+    w.len(h.pairs().len());
+    for &(slot, count) in h.pairs() {
+        w.u32(slot);
+        w.u64(count);
+    }
+    w.u64(h.sum_nanos());
+    w.u64(h.max_nanos());
+}
+
+fn read_histogram(r: &mut Reader) -> Result<HistogramSnapshot, CodecError> {
+    let n = r.len(12)?;
+    let pairs = (0..n)
+        .map(|_| Ok((r.u32()?, r.u64()?)))
+        .collect::<Result<Vec<_>, CodecError>>()?;
+    let sum_nanos = r.u64()?;
+    let max_nanos = r.u64()?;
+    HistogramSnapshot::from_pairs(pairs, sum_nanos, max_nanos)
+        .map_err(|msg| CodecError::Invalid(msg.into()))
+}
+
 fn write_stats(w: &mut Writer, s: &StatsSnapshot) {
     w.u64(s.requests);
     w.u64(s.sessions_created);
@@ -663,6 +688,7 @@ fn write_stats(w: &mut Writer, s: &StatsSnapshot) {
         w.u64(shard.solves);
         write_duration(w, shard.busy_time);
         w.u64(shard.queue_depth);
+        w.u64(shard.cache_entries);
     }
     w.u64(s.events_submitted);
     w.u64(s.events_coalesced);
@@ -684,6 +710,10 @@ fn write_stats(w: &mut Writer, s: &StatsSnapshot) {
     write_duration(w, s.max_solve_time);
     w.u64(s.gap_micros);
     w.u64(s.gap_samples);
+    write_histogram(w, &s.lp_latency);
+    write_histogram(w, &s.warm_solve_latency);
+    write_histogram(w, &s.cold_solve_latency);
+    write_histogram(w, &s.round_latency);
 }
 
 fn read_stats(r: &mut Reader) -> Result<StatsSnapshot, CodecError> {
@@ -692,7 +722,7 @@ fn read_stats(r: &mut Reader) -> Result<StatsSnapshot, CodecError> {
     let sessions_closed = r.u64()?;
     let sessions_exported = r.u64()?;
     let sessions_imported = r.u64()?;
-    let shard_count = r.len(32)?;
+    let shard_count = r.len(40)?;
     let shards = (0..shard_count)
         .map(|_| {
             Ok(ShardSnapshot {
@@ -700,6 +730,7 @@ fn read_stats(r: &mut Reader) -> Result<StatsSnapshot, CodecError> {
                 solves: r.u64()?,
                 busy_time: read_duration(r)?,
                 queue_depth: r.u64()?,
+                cache_entries: r.u64()?,
             })
         })
         .collect::<Result<Vec<_>, CodecError>>()?;
@@ -730,6 +761,10 @@ fn read_stats(r: &mut Reader) -> Result<StatsSnapshot, CodecError> {
         max_solve_time: read_duration(r)?,
         gap_micros: r.u64()?,
         gap_samples: r.u64()?,
+        lp_latency: read_histogram(r)?,
+        warm_solve_latency: read_histogram(r)?,
+        cold_solve_latency: read_histogram(r)?,
+        round_latency: read_histogram(r)?,
     })
 }
 
@@ -824,6 +859,7 @@ pub fn encode_request(request: &EngineRequest) -> Vec<u8> {
             write_export(&mut w, export);
         }
         EngineRequest::Describe => w.u8(11),
+        EngineRequest::QueryMetrics => w.u8(12),
     }
     w.buf
 }
@@ -848,6 +884,7 @@ pub fn decode_request(bytes: &[u8]) -> Result<EngineRequest, CodecError> {
         9 => EngineRequest::ExportSession(SessionId(r.u64()?)),
         10 => EngineRequest::ImportSession(Box::new(read_export(&mut r)?)),
         11 => EngineRequest::Describe,
+        12 => EngineRequest::QueryMetrics,
         tag => {
             return Err(CodecError::BadTag {
                 what: "request",
@@ -913,6 +950,14 @@ pub fn encode_response(response: &Result<EngineResponse, EngineError>) -> Vec<u8
             w.u8(11);
             write_info(&mut w, info);
         }
+        Ok(EngineResponse::Metrics(metrics)) => {
+            w.u8(12);
+            w.len(metrics.len());
+            for (name, value) in metrics {
+                w.str(name);
+                w.f64(*value);
+            }
+        }
     }
     w.buf
 }
@@ -942,6 +987,13 @@ pub fn decode_response(bytes: &[u8]) -> Result<Result<EngineResponse, EngineErro
         )?))),
         10 => Ok(EngineResponse::SessionImported(SessionId(r.u64()?))),
         11 => Ok(EngineResponse::Description(read_info(&mut r)?)),
+        12 => {
+            let n = r.len(12)?;
+            let metrics = (0..n)
+                .map(|_| Ok((r.str()?, r.f64()?)))
+                .collect::<Result<Vec<_>, CodecError>>()?;
+            Ok(EngineResponse::Metrics(metrics))
+        }
         tag => {
             return Err(CodecError::BadTag {
                 what: "response",

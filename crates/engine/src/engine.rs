@@ -69,6 +69,7 @@ use crate::scheduler::coalesce;
 use crate::session::{Served, SessionExport, SessionState};
 use crate::stats::{EngineStats, StatsSnapshot};
 use crate::warm::{solve_factors_warm, CacheMode};
+use svgic_obs::{ObsConfig, Phase, SpanRecord, Tracer};
 
 use rand::SeedableRng;
 
@@ -100,6 +101,10 @@ pub struct EngineConfig {
     pub sampling: SamplingScheme,
     /// Idle-iteration safety valve for the rounding loop.
     pub max_idle_iterations: usize,
+    /// Observability switches (span tracing + flight recorder). Off by
+    /// default; enabling it is strictly read-side — served configurations,
+    /// counters and response digests are byte-identical either way.
+    pub obs: ObsConfig,
 }
 
 impl Default for EngineConfig {
@@ -114,6 +119,7 @@ impl Default for EngineConfig {
             backend: LpBackend::Auto,
             sampling: SamplingScheme::Advanced,
             max_idle_iterations: 10_000,
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -172,6 +178,11 @@ pub struct Engine {
     shards: Vec<Arc<Mutex<ShardState>>>,
     pool: WorkerPool,
     stats: Arc<EngineStats>,
+    tracer: Tracer,
+    /// The wire request id currently being served by [`Engine::handle_traced`]
+    /// (0 between requests), so spans recorded inside the handler correlate
+    /// with the frame that caused them.
+    current_request: u64,
     /// Events queued across all sessions (kept incrementally so the
     /// auto-flush threshold check is O(1) per submit).
     pending_total: usize,
@@ -194,6 +205,7 @@ impl Engine {
                 }))
             })
             .collect();
+        let tracer = Tracer::new(config.obs);
         Engine {
             config,
             sessions: BTreeMap::new(),
@@ -201,6 +213,8 @@ impl Engine {
             shards,
             pool,
             stats: Arc::new(EngineStats::with_shards(shard_count)),
+            tracer,
+            current_request: 0,
             pending_total: 0,
         }
     }
@@ -302,7 +316,46 @@ impl Engine {
                 self.import_session(*export),
             )),
             EngineRequest::Describe => Ok(EngineResponse::Description(self.describe())),
+            EngineRequest::QueryMetrics => Ok(EngineResponse::Metrics(self.stats().metrics())),
         }
+    }
+
+    /// Handles a typed request on behalf of wire frame `request_id`,
+    /// recording a [`Phase::Serve`] span around the whole handler. Spans
+    /// recorded *inside* the handler (Submit, Coalesce, Migrate, …) carry the
+    /// same id, and the server echoes it in the response frame — so one id
+    /// names one request's work on both sides of a TCP connection.
+    pub fn handle_traced(
+        &mut self,
+        request_id: u64,
+        request: EngineRequest,
+    ) -> Result<EngineResponse, EngineError> {
+        let t = self.tracer.begin();
+        let session = match &request {
+            EngineRequest::SubmitEvent(session, _)
+            | EngineRequest::QueryConfiguration(session)
+            | EngineRequest::ForceResolve(session)
+            | EngineRequest::CloseSession(session)
+            | EngineRequest::ExportSession(session) => session.0,
+            _ => 0,
+        };
+        self.current_request = request_id;
+        let result = self.handle(request);
+        self.current_request = 0;
+        self.tracer
+            .finish(t, Phase::Serve, request_id, session, SpanRecord::NO_SHARD);
+        result
+    }
+
+    /// The engine's span tracer (cloneable; a no-op handle unless
+    /// [`EngineConfig::obs`] enabled tracing).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Every span the flight recorder retains, sorted by start time.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.tracer.spans()
     }
 
     /// The engine's shape and occupancy (the in-process answer to
@@ -362,6 +415,7 @@ impl Engine {
         event: SessionEvent,
     ) -> Result<usize, EngineError> {
         self.count_request();
+        let t = self.tracer.begin();
         let state = self
             .sessions
             .get_mut(&session.0)
@@ -374,6 +428,15 @@ impl Engine {
         self.stats
             .events_submitted
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        // The span covers validation + queueing; an auto-flush below is
+        // traced as its own Coalesce/ShardDispatch spans, not folded in here.
+        self.tracer.finish(
+            t,
+            Phase::Submit,
+            self.current_request,
+            session.0,
+            SpanRecord::NO_SHARD,
+        );
         let threshold = self.config.auto_flush_pending;
         if threshold > 0 && self.pending_total >= threshold {
             self.flush();
@@ -430,6 +493,7 @@ impl Engine {
     /// solved or dropped. Not counted as a close.
     pub fn export_session(&mut self, session: SessionId) -> Result<SessionExport, EngineError> {
         self.count_request();
+        let t = self.tracer.begin();
         let state = self
             .sessions
             .remove(&session.0)
@@ -440,7 +504,15 @@ impl Engine {
         self.stats
             .sessions_exported
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        Ok(state.into_export())
+        let export = state.into_export();
+        self.tracer.finish(
+            t,
+            Phase::Migrate,
+            self.current_request,
+            session.0,
+            SpanRecord::NO_SHARD,
+        );
+        Ok(export)
     }
 
     /// Adopts an exported session under a fresh local id — the hand-off half
@@ -451,6 +523,7 @@ impl Engine {
     /// which engine hosts the session. Not counted as a create.
     pub fn import_session(&mut self, export: SessionExport) -> SessionId {
         self.count_request();
+        let t = self.tracer.begin();
         let id = self.next_session;
         self.next_session += 1;
         let state = SessionState::from_export(SessionId(id), export);
@@ -469,13 +542,19 @@ impl Engine {
         if let (Some(fingerprint), Some(factors)) =
             (state.last_factor_fingerprint, state.last_factors.clone())
         {
-            self.shards[shard]
-                .lock()
-                .expect("shard poisoned")
-                .factors
-                .insert(fingerprint, factors);
+            let mut shard_state = self.shards[shard].lock().expect("shard poisoned");
+            shard_state.factors.insert(fingerprint, factors);
+            self.stats
+                .set_shard_cache_entries(shard, shard_state.factors.len());
         }
         self.sessions.insert(id, state);
+        self.tracer.finish(
+            t,
+            Phase::Migrate,
+            self.current_request,
+            id,
+            SpanRecord::NO_SHARD,
+        );
         SessionId(id)
     }
 
@@ -503,6 +582,7 @@ impl Engine {
         let mut buckets: BTreeMap<usize, Vec<SolvePlan>> = BTreeMap::new();
         let mut planned = 0usize;
 
+        let t_coalesce = self.tracer.begin();
         for &id in ids {
             let Some(state) = self.sessions.get_mut(&id) else {
                 continue;
@@ -567,6 +647,13 @@ impl Engine {
                     session_factors,
                 });
         }
+        self.tracer.finish(
+            t_coalesce,
+            Phase::Coalesce,
+            self.current_request,
+            0,
+            SpanRecord::NO_SHARD,
+        );
 
         if planned == 0 {
             return;
@@ -581,6 +668,7 @@ impl Engine {
             let tx = result_tx.clone();
             let shard_state = Arc::clone(&self.shards[shard]);
             let stats = Arc::clone(&self.stats);
+            let tracer = self.tracer.clone();
             stats.record_shard_dispatch(shard, plans.len() as u64);
             let options = RelaxationOptions {
                 backend: self.config.backend,
@@ -592,17 +680,23 @@ impl Engine {
                 shard,
                 Box::new(move || {
                     let busy_started = Instant::now();
+                    let t_dispatch = tracer.begin();
                     let mut state = shard_state.lock().expect("shard poisoned");
                     run_shard_plans(
                         &mut state,
                         plans,
+                        shard,
                         &options,
                         warm_enabled,
                         sampling,
                         max_idle,
                         &stats,
+                        &tracer,
                         &tx,
                     );
+                    stats.set_shard_cache_entries(shard, state.factors.len());
+                    drop(state);
+                    tracer.finish(t_dispatch, Phase::ShardDispatch, 0, 0, shard as u32);
                     stats.record_shard_busy(shard, busy_started.elapsed().as_nanos() as u64);
                 }),
             );
@@ -630,7 +724,7 @@ impl Engine {
                     state.events_since_full = 0;
                 }
             }
-            self.stats.record_solve_nanos(0, outcome.round_nanos);
+            self.stats.record_round(outcome.round_nanos);
             if outcome.tight {
                 self.stats.record_gap(outcome.utility, outcome.lp_bound);
             }
@@ -663,14 +757,17 @@ fn shard_index(id: u64, shard_count: usize) -> usize {
 fn run_shard_plans(
     shard: &mut ShardState,
     plans: Vec<SolvePlan>,
+    shard_index: usize,
     options: &RelaxationOptions,
     warm_enabled: bool,
     sampling: SamplingScheme,
     max_idle: usize,
     stats: &EngineStats,
+    tracer: &Tracer,
     tx: &std::sync::mpsc::Sender<SolveOutcome>,
 ) {
     use std::sync::atomic::Ordering;
+    let shard_lane = shard_index as u32;
 
     // Factors computed by *this* job, keyed by fingerprint. Checked before
     // the shard cache so (a) batch dedup survives `cache_capacity: 0` (the
@@ -680,6 +777,7 @@ fn run_shard_plans(
         std::collections::HashMap::new();
     for plan in plans {
         let solve_started = Instant::now();
+        let t_project = tracer.begin();
         let restricted = if plan.present.len() == plan.base.num_users() {
             Arc::clone(&plan.base)
         } else {
@@ -689,6 +787,7 @@ fn run_shard_plans(
             ResolveKind::Incremental => plan.base_fingerprint,
             ResolveKind::FullLp => instance_fingerprint(&restricted),
         };
+        tracer.finish(t_project, Phase::Project, 0, plan.session, shard_lane);
 
         // A solve may reuse previously computed factors only when the warm
         // policy allows it (a forced re-solve, or a cold-baseline engine,
@@ -732,6 +831,7 @@ fn run_shard_plans(
                 Some(CacheMode::Refresh)
             };
             let started = Instant::now();
+            let t_lp = tracer.begin();
             let outcome = match component_cache {
                 None => solve_factors_warm(factor_instance, options, None),
                 Some(mode) => solve_factors_warm(
@@ -740,6 +840,14 @@ fn run_shard_plans(
                     Some((&mut shard.components, mode)),
                 ),
             };
+            // Warm vs. cold by what actually happened: a solve that reused at
+            // least one cached component solution ran warm.
+            let lp_phase = if outcome.reused > 0 {
+                Phase::LpWarm
+            } else {
+                Phase::LpCold
+            };
+            tracer.finish(t_lp, lp_phase, 0, plan.session, shard_lane);
             let nanos = started.elapsed().as_nanos() as u64;
             stats.cache_misses.fetch_add(1, Ordering::Relaxed);
             stats.record_lp_compute(nanos, outcome.reused as u64, outcome.solved() as u64);
@@ -765,8 +873,10 @@ fn run_shard_plans(
         };
         let lp_bound = effective.utility_upper_bound(&restricted);
         let mut rng = ChaCha8Rng::seed_from_u64(plan.seed);
+        let t_round = tracer.begin();
         let (configuration, _iterations) =
             round_with_factors(&restricted, effective, None, sampling, max_idle, &mut rng);
+        tracer.finish(t_round, Phase::Round, 0, plan.session, shard_lane);
         let utility = total_utility(&restricted, &configuration);
         stats.record_solve_class(solve_started.elapsed().as_nanos() as u64, warm_served);
         let outcome = SolveOutcome {

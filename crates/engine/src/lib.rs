@@ -90,6 +90,9 @@ pub use session::{Served, SessionExport};
 pub use stats::{EngineStats, ShardSnapshot, StatsSnapshot};
 pub use transport::EngineTransport;
 pub use warm::{solve_factors_warm, CacheMode, WarmOutcome};
+// Observability types callers meet through `EngineConfig::obs` and
+// `Engine::tracer()`, re-exported so embedders need not name `svgic-obs`.
+pub use svgic_obs::{ObsConfig, Phase, SpanRecord, Tracer};
 
 /// The most common engine imports in one place.
 pub mod prelude {

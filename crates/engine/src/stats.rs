@@ -8,11 +8,13 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use svgic_obs::{AtomicHistogram, HistogramSnapshot, MetricsRegistry};
+
 /// Per-shard counters: how busy each shard is and how much work is queued
-/// against it. `queue_depth` is a **gauge** (pending events of the shard's
-/// sessions right now), the rest are monotonic. Load-aware cluster
-/// rebalancing reads these to find hot nodes; they are useful observability
-/// on their own.
+/// against it. `queue_depth` and `cache_entries` are **gauges** (pending
+/// events / cached factor entries of the shard right now), the rest are
+/// monotonic. Load-aware cluster rebalancing reads these to find hot nodes;
+/// they are useful observability on their own.
 #[derive(Debug, Default)]
 pub struct ShardStats {
     /// Pipeline jobs dispatched to this shard.
@@ -24,6 +26,9 @@ pub struct ShardStats {
     /// Pending events currently queued against this shard's sessions
     /// (incremented at submit, drained at dispatch/close/export).
     pub queue_depth: AtomicU64,
+    /// Entries in this shard's factor cache right now (gauge, refreshed at
+    /// the end of each shard pipeline job).
+    pub cache_entries: AtomicU64,
 }
 
 /// Monotonic counters shared between the engine and its workers.
@@ -89,6 +94,15 @@ pub struct EngineStats {
     pub gap_micros: AtomicU64,
     /// Number of solves contributing to `gap_micros`.
     pub gap_samples: AtomicU64,
+    /// Per-LP-computation latency distribution (one sample per cache miss —
+    /// the same events that feed `lp_nanos`/`cache_misses`).
+    pub lp_latency: AtomicHistogram,
+    /// Per-re-solve latency distribution, warm class.
+    pub warm_solve_latency: AtomicHistogram,
+    /// Per-re-solve latency distribution, cold class.
+    pub cold_solve_latency: AtomicHistogram,
+    /// Per-rounding-job latency distribution (one sample per solve).
+    pub round_latency: AtomicHistogram,
 }
 
 impl EngineStats {
@@ -113,6 +127,13 @@ impl EngineStats {
     pub fn record_shard_busy(&self, shard: usize, nanos: u64) {
         if let Some(stats) = self.per_shard.get(shard) {
             stats.busy_nanos.fetch_add(nanos, Ordering::Relaxed);
+        }
+    }
+
+    /// Refreshes `shard`'s factor-cache size gauge.
+    pub fn set_shard_cache_entries(&self, shard: usize, entries: usize) {
+        if let Some(stats) = self.per_shard.get(shard) {
+            stats.cache_entries.store(entries as u64, Ordering::Relaxed);
         }
     }
 
@@ -151,10 +172,18 @@ impl EngineStats {
     /// social-graph components it warm-reused vs. solved.
     pub fn record_lp_compute(&self, nanos: u64, reused_components: u64, solved_components: u64) {
         self.record_solve_nanos(nanos, 0);
+        self.lp_latency.record_nanos(nanos);
         self.warm_components_reused
             .fetch_add(reused_components, Ordering::Relaxed);
         self.warm_components_solved
             .fetch_add(solved_components, Ordering::Relaxed);
+    }
+
+    /// Records one rounding job: aggregate time plus the per-job latency
+    /// distribution (every solve rounds exactly once).
+    pub fn record_round(&self, nanos: u64) {
+        self.record_solve_nanos(0, nanos);
+        self.round_latency.record_nanos(nanos);
     }
 
     /// Records one whole re-solve (factor resolution through rounding) as
@@ -163,9 +192,11 @@ impl EngineStats {
         if warm {
             self.solves_warm.fetch_add(1, Ordering::Relaxed);
             self.warm_solve_nanos.fetch_add(nanos, Ordering::Relaxed);
+            self.warm_solve_latency.record_nanos(nanos);
         } else {
             self.solves_cold.fetch_add(1, Ordering::Relaxed);
             self.cold_solve_nanos.fetch_add(nanos, Ordering::Relaxed);
+            self.cold_solve_latency.record_nanos(nanos);
         }
     }
 
@@ -181,8 +212,9 @@ impl EngineStats {
 
     /// Resets every counter to zero, so a measured run can exclude warmup
     /// traffic without rebuilding the engine and losing its caches. The
-    /// per-shard **queue-depth gauges are left alone**: they track live
-    /// pending events, which a measurement boundary does not consume.
+    /// per-shard **queue-depth and cache-size gauges are left alone**: they
+    /// track live pending events and live cache contents, which a
+    /// measurement boundary does not consume.
     pub fn reset(&self) {
         let clear = |counter: &AtomicU64| counter.store(0, Ordering::Relaxed);
         for shard in &self.per_shard {
@@ -190,6 +222,10 @@ impl EngineStats {
             clear(&shard.solves);
             clear(&shard.busy_nanos);
         }
+        self.lp_latency.reset();
+        self.warm_solve_latency.reset();
+        self.cold_solve_latency.reset();
+        self.round_latency.reset();
         clear(&self.requests);
         clear(&self.sessions_created);
         clear(&self.sessions_closed);
@@ -234,6 +270,7 @@ impl EngineStats {
                     solves: load(&shard.solves),
                     busy_time: Duration::from_nanos(load(&shard.busy_nanos)),
                     queue_depth: load(&shard.queue_depth),
+                    cache_entries: load(&shard.cache_entries),
                 })
                 .collect(),
             events_submitted: load(&self.events_submitted),
@@ -256,6 +293,10 @@ impl EngineStats {
             max_solve_time: Duration::from_nanos(load(&self.max_solve_nanos)),
             gap_micros: load(&self.gap_micros),
             gap_samples: load(&self.gap_samples),
+            lp_latency: self.lp_latency.snapshot(),
+            warm_solve_latency: self.warm_solve_latency.snapshot(),
+            cold_solve_latency: self.cold_solve_latency.snapshot(),
+            round_latency: self.round_latency.snapshot(),
         }
     }
 }
@@ -271,6 +312,8 @@ pub struct ShardSnapshot {
     pub busy_time: Duration,
     /// Pending events queued against the shard right now (gauge).
     pub queue_depth: u64,
+    /// Factor-cache entries held by the shard right now (gauge).
+    pub cache_entries: u64,
 }
 
 /// A consistent view of the engine counters with derived metrics.
@@ -328,6 +371,14 @@ pub struct StatsSnapshot {
     pub gap_micros: u64,
     /// Tight-bound gap samples.
     pub gap_samples: u64,
+    /// Per-LP-computation latency distribution.
+    pub lp_latency: HistogramSnapshot,
+    /// Per-warm-re-solve latency distribution.
+    pub warm_solve_latency: HistogramSnapshot,
+    /// Per-cold-re-solve latency distribution.
+    pub cold_solve_latency: HistogramSnapshot,
+    /// Per-rounding-job latency distribution.
+    pub round_latency: HistogramSnapshot,
 }
 
 impl StatsSnapshot {
@@ -363,6 +414,7 @@ impl StatsSnapshot {
             mine.solves += theirs.solves;
             mine.busy_time += theirs.busy_time;
             mine.queue_depth += theirs.queue_depth;
+            mine.cache_entries += theirs.cache_entries;
         }
         self.events_submitted += other.events_submitted;
         self.events_coalesced += other.events_coalesced;
@@ -384,6 +436,10 @@ impl StatsSnapshot {
         self.max_solve_time = self.max_solve_time.max(other.max_solve_time);
         self.gap_micros += other.gap_micros;
         self.gap_samples += other.gap_samples;
+        self.lp_latency.merge(&other.lp_latency);
+        self.warm_solve_latency.merge(&other.warm_solve_latency);
+        self.cold_solve_latency.merge(&other.cold_solve_latency);
+        self.round_latency.merge(&other.round_latency);
     }
 
     /// Factor-cache hit rate in `[0, 1]` (`0` when no lookups happened).
@@ -436,13 +492,12 @@ impl StatsSnapshot {
     }
 
     /// Mean latency of one LP relaxation job (LP jobs run once per cache
-    /// miss; hits and batch-shared solves skip the LP entirely).
+    /// miss; hits and batch-shared solves skip the LP entirely). Derived
+    /// from the per-phase histogram, so `p50/p95/p99` companions in
+    /// [`StatsSnapshot::metrics`] describe the same sample set; zero (never
+    /// NaN) when no LP ran.
     pub fn mean_lp_time(&self) -> Duration {
-        if self.cache_misses == 0 {
-            Duration::ZERO
-        } else {
-            self.lp_time / self.cache_misses as u32
-        }
+        mean_of(&self.lp_latency)
     }
 
     /// Fraction of re-solves served warm — factors reused from the session,
@@ -468,101 +523,120 @@ impl StatsSnapshot {
         }
     }
 
-    /// Mean end-to-end latency of one warm re-solve (zero when none ran).
+    /// Mean end-to-end latency of one warm re-solve (zero when none ran),
+    /// from the warm-class phase histogram.
     pub fn mean_warm_solve_time(&self) -> Duration {
-        if self.solves_warm == 0 {
-            Duration::ZERO
-        } else {
-            self.warm_solve_time / self.solves_warm as u32
-        }
+        mean_of(&self.warm_solve_latency)
     }
 
-    /// Mean end-to-end latency of one cold re-solve (zero when none ran).
+    /// Mean end-to-end latency of one cold re-solve (zero when none ran),
+    /// from the cold-class phase histogram.
     pub fn mean_cold_solve_time(&self) -> Duration {
-        if self.solves_cold == 0 {
-            Duration::ZERO
-        } else {
-            self.cold_solve_time / self.solves_cold as u32
-        }
+        mean_of(&self.cold_solve_latency)
     }
 
-    /// Mean latency of one rounding job (every solve rounds exactly once).
+    /// Mean latency of one rounding job (every solve rounds exactly once),
+    /// from the rounding phase histogram.
     pub fn mean_round_time(&self) -> Duration {
-        let solves = self.solves();
-        if solves == 0 {
-            Duration::ZERO
-        } else {
-            self.round_time / solves as u32
+        mean_of(&self.round_latency)
+    }
+
+    /// Shard busy-time imbalance: the busiest shard's busy-nanos over the
+    /// mean across shards. `1.0` is a perfectly even spread, `shards` is
+    /// everything on one shard, `0.0` when no shard did any work — so the
+    /// sharded-dispatch skew is visible per run without eyeballing the
+    /// `shard<i>_busy_seconds` series.
+    pub fn shard_imbalance(&self) -> f64 {
+        let busy: Vec<u64> = self
+            .shards
+            .iter()
+            .map(|s| s.busy_time.as_nanos().min(u64::MAX as u128) as u64)
+            .collect();
+        let total: u64 = busy.iter().sum();
+        if busy.is_empty() || total == 0 {
+            return 0.0;
         }
+        let max = *busy.iter().max().expect("non-empty") as f64;
+        let mean = total as f64 / busy.len() as f64;
+        max / mean
+    }
+
+    /// Factor-cache entries held engine-wide right now (sum of the
+    /// per-shard cache-size gauges).
+    pub fn total_cache_entries(&self) -> u64 {
+        self.shards.iter().map(|s| s.cache_entries).sum()
     }
 
     /// The whole snapshot — raw counters *and* every derived rate — as an
     /// ordered `(name, value)` list, so reports (the `loadgen` JSON, the
-    /// bench trajectory) can serialize it without re-deriving metrics ad hoc.
-    /// Times are in seconds; rates/fractions are in `[0, 1]`. Per-shard
-    /// busy/queue counters are appended as `shard<i>_*` entries.
+    /// bench trajectory, the `QueryMetrics` wire response) can serialize it
+    /// without re-deriving metrics ad hoc. Assembled through the
+    /// [`MetricsRegistry`], the single source of truth for naming and
+    /// NaN-guarding. Times are in seconds; rates/fractions are in `[0, 1]`;
+    /// the per-phase latency distributions appear as
+    /// `mean/p50/p95/p99_<phase>_seconds` quadruples. Per-shard
+    /// busy/queue/cache counters are appended as `shard<i>_*` entries.
     pub fn metrics(&self) -> Vec<(String, f64)> {
-        let mut metrics: Vec<(String, f64)> = [
-            ("requests", self.requests as f64),
-            ("sessions_created", self.sessions_created as f64),
-            ("sessions_closed", self.sessions_closed as f64),
-            ("sessions_exported", self.sessions_exported as f64),
-            ("sessions_imported", self.sessions_imported as f64),
-            ("events_submitted", self.events_submitted as f64),
-            ("events_coalesced", self.events_coalesced as f64),
-            ("batches", self.batches as f64),
-            ("solves_incremental", self.solves_incremental as f64),
-            ("solves_full", self.solves_full as f64),
-            ("cache_hits", self.cache_hits as f64),
-            ("cache_misses", self.cache_misses as f64),
-            ("batch_shared", self.batch_shared as f64),
-            ("session_reuse", self.session_reuse as f64),
-            ("solves_warm", self.solves_warm as f64),
-            ("solves_cold", self.solves_cold as f64),
-            ("warm_components_reused", self.warm_components_reused as f64),
-            ("warm_components_solved", self.warm_components_solved as f64),
-            ("gap_samples", self.gap_samples as f64),
-            ("cache_hit_rate", self.cache_hit_rate()),
-            ("coalesce_rate", self.coalesce_rate()),
-            ("incremental_fraction", self.incremental_fraction()),
-            ("warm_start_rate", self.warm_start_rate()),
-            ("component_reuse_rate", self.component_reuse_rate()),
-            ("mean_gap", self.mean_gap()),
-            ("lp_seconds", self.lp_time.as_secs_f64()),
-            ("warm_solve_seconds", self.warm_solve_time.as_secs_f64()),
-            ("cold_solve_seconds", self.cold_solve_time.as_secs_f64()),
-            ("round_seconds", self.round_time.as_secs_f64()),
-            ("mean_lp_seconds", self.mean_lp_time().as_secs_f64()),
-            (
-                "mean_warm_solve_seconds",
-                self.mean_warm_solve_time().as_secs_f64(),
-            ),
-            (
-                "mean_cold_solve_seconds",
-                self.mean_cold_solve_time().as_secs_f64(),
-            ),
-            ("mean_round_seconds", self.mean_round_time().as_secs_f64()),
-            ("mean_solve_seconds", self.mean_solve_time().as_secs_f64()),
-            ("max_solve_seconds", self.max_solve_time.as_secs_f64()),
-            ("shards", self.shards.len() as f64),
-            ("queue_depth", self.total_queue_depth() as f64),
-        ]
-        .into_iter()
-        .map(|(name, value)| (name.to_string(), value))
-        .collect();
+        let mut registry = MetricsRegistry::new();
+        registry.counter("requests", self.requests);
+        registry.counter("sessions_created", self.sessions_created);
+        registry.counter("sessions_closed", self.sessions_closed);
+        registry.counter("sessions_exported", self.sessions_exported);
+        registry.counter("sessions_imported", self.sessions_imported);
+        registry.counter("events_submitted", self.events_submitted);
+        registry.counter("events_coalesced", self.events_coalesced);
+        registry.counter("batches", self.batches);
+        registry.counter("solves_incremental", self.solves_incremental);
+        registry.counter("solves_full", self.solves_full);
+        registry.counter("cache_hits", self.cache_hits);
+        registry.counter("cache_misses", self.cache_misses);
+        registry.counter("batch_shared", self.batch_shared);
+        registry.counter("session_reuse", self.session_reuse);
+        registry.counter("solves_warm", self.solves_warm);
+        registry.counter("solves_cold", self.solves_cold);
+        registry.counter("warm_components_reused", self.warm_components_reused);
+        registry.counter("warm_components_solved", self.warm_components_solved);
+        registry.counter("gap_samples", self.gap_samples);
+        registry.gauge("cache_hit_rate", self.cache_hit_rate());
+        registry.gauge("coalesce_rate", self.coalesce_rate());
+        registry.gauge("incremental_fraction", self.incremental_fraction());
+        registry.gauge("warm_start_rate", self.warm_start_rate());
+        registry.gauge("component_reuse_rate", self.component_reuse_rate());
+        registry.gauge("mean_gap", self.mean_gap());
+        registry.gauge("lp_seconds", self.lp_time.as_secs_f64());
+        registry.gauge("warm_solve_seconds", self.warm_solve_time.as_secs_f64());
+        registry.gauge("cold_solve_seconds", self.cold_solve_time.as_secs_f64());
+        registry.gauge("round_seconds", self.round_time.as_secs_f64());
+        registry.latency("lp", &self.lp_latency);
+        registry.latency("warm_solve", &self.warm_solve_latency);
+        registry.latency("cold_solve", &self.cold_solve_latency);
+        registry.latency("round", &self.round_latency);
+        registry.gauge("mean_solve_seconds", self.mean_solve_time().as_secs_f64());
+        registry.gauge("max_solve_seconds", self.max_solve_time.as_secs_f64());
+        registry.counter("shards", self.shards.len() as u64);
+        registry.counter("queue_depth", self.total_queue_depth());
+        registry.counter("cache_entries", self.total_cache_entries());
+        registry.gauge("shard_imbalance", self.shard_imbalance());
         for (index, shard) in self.shards.iter().enumerate() {
-            metrics.push((format!("shard{index}_jobs"), shard.jobs as f64));
-            metrics.push((format!("shard{index}_solves"), shard.solves as f64));
-            metrics.push((
+            registry.counter(format!("shard{index}_jobs"), shard.jobs);
+            registry.counter(format!("shard{index}_solves"), shard.solves);
+            registry.gauge(
                 format!("shard{index}_busy_seconds"),
                 shard.busy_time.as_secs_f64(),
-            ));
-            metrics.push((
-                format!("shard{index}_queue_depth"),
-                shard.queue_depth as f64,
-            ));
+            );
+            registry.counter(format!("shard{index}_queue_depth"), shard.queue_depth);
+            registry.counter(format!("shard{index}_cache_entries"), shard.cache_entries);
         }
-        metrics
+        registry.finish()
+    }
+}
+
+/// Exact histogram mean as a [`Duration`] (zero when empty).
+fn mean_of(histogram: &HistogramSnapshot) -> Duration {
+    if histogram.is_empty() {
+        Duration::ZERO
+    } else {
+        Duration::from_nanos(histogram.sum_nanos() / histogram.count())
     }
 }
 
@@ -625,6 +699,15 @@ impl std::fmt::Display for StatsSnapshot {
             self.mean_warm_solve_time(),
             self.mean_cold_solve_time()
         )?;
+        writeln!(
+            f,
+            "  phases   p99 lp {:.1}µs / round {:.1}µs; shard imbalance {:.2} over {} shards ({} cached factors)",
+            1e6 * self.lp_latency.quantile_seconds(0.99),
+            1e6 * self.round_latency.quantile_seconds(0.99),
+            self.shard_imbalance(),
+            self.shards.len(),
+            self.total_cache_entries()
+        )?;
         write!(
             f,
             "  quality  mean utility-vs-LP-bound gap {:.3}% over {} tight solves",
@@ -658,13 +741,18 @@ mod tests {
         stats.solves_incremental.store(3, Ordering::Relaxed);
         stats.solves_full.store(1, Ordering::Relaxed);
         stats.cache_misses.store(2, Ordering::Relaxed);
-        stats.record_solve_nanos(4_000, 0);
-        stats.record_solve_nanos(0, 8_000);
+        stats.record_lp_compute(1_000, 0, 1);
+        stats.record_lp_compute(3_000, 0, 1);
+        stats.record_round(8_000);
         let snap = stats.snapshot();
         assert!((snap.coalesce_rate() - 0.4).abs() < 1e-12);
         assert!((snap.incremental_fraction() - 0.75).abs() < 1e-12);
+        // Mean phase times come from the per-phase histograms, which sample
+        // the same events (one LP record per cache miss, one rounding record
+        // per solve).
         assert_eq!(snap.mean_lp_time(), Duration::from_nanos(2_000));
-        assert_eq!(snap.mean_round_time(), Duration::from_nanos(2_000));
+        assert_eq!(snap.mean_round_time(), Duration::from_nanos(8_000));
+        assert_eq!(snap.lp_latency.count(), snap.cache_misses);
         let metrics = snap.metrics();
         let get = |name: &str| {
             metrics
@@ -680,6 +768,88 @@ mod tests {
         // Names are unique (the JSON report uses them as object keys).
         let names: std::collections::HashSet<_> = metrics.iter().map(|(n, _)| n).collect();
         assert_eq!(names.len(), metrics.len());
+    }
+
+    #[test]
+    fn phase_histograms_give_quantile_companions() {
+        let stats = EngineStats::default();
+        for i in 1..=100u64 {
+            stats.record_lp_compute(i * 10_000, 0, 1);
+            stats.record_solve_class(i * 20_000, false);
+            stats.record_solve_class(i * 1_000, true);
+            stats.record_round(i * 500);
+        }
+        let snap = stats.snapshot();
+        let metrics = snap.metrics();
+        let get = |name: &str| {
+            metrics
+                .iter()
+                .find(|(n, _)| *n == name)
+                .unwrap_or_else(|| panic!("metric {name} missing"))
+                .1
+        };
+        for base in ["lp", "warm_solve", "cold_solve", "round"] {
+            let (mean, p50, p95, p99) = (
+                get(&format!("mean_{base}_seconds")),
+                get(&format!("p50_{base}_seconds")),
+                get(&format!("p95_{base}_seconds")),
+                get(&format!("p99_{base}_seconds")),
+            );
+            assert!(mean > 0.0, "{base} mean");
+            assert!(p50 <= p95 && p95 <= p99, "{base} quantiles must order");
+            assert!(p99 > 0.0, "{base} p99");
+        }
+        // The quantiles describe the same samples the means do: a uniform
+        // 10..1000µs LP grid has p50 ≈ 500µs within the histogram's 1/32
+        // relative error band.
+        let p50 = get("p50_lp_seconds");
+        assert!((p50 - 500e-6).abs() / 500e-6 < 0.05, "p50_lp {p50}");
+        // The mean metrics agree with the Duration-typed accessors.
+        assert!(
+            (get("mean_cold_solve_seconds") - snap.mean_cold_solve_time().as_secs_f64()).abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn shard_imbalance_reads_busy_skew() {
+        let stats = EngineStats::with_shards(4);
+        // No work yet: imbalance is the documented 0, not NaN.
+        assert_eq!(stats.snapshot().shard_imbalance(), 0.0);
+        stats.record_shard_busy(0, 3_000);
+        stats.record_shard_busy(1, 1_000);
+        // Shards 2 and 3 idle: mean = 1000, max = 3000.
+        let snap = stats.snapshot();
+        assert!((snap.shard_imbalance() - 3.0).abs() < 1e-9);
+        let metrics = snap.metrics();
+        let get = |name: &str| metrics.iter().find(|(n, _)| *n == name).unwrap().1;
+        assert!((get("shard_imbalance") - 3.0).abs() < 1e-9);
+        // A perfectly even spread reads 1.0.
+        let even = EngineStats::with_shards(2);
+        even.record_shard_busy(0, 5_000);
+        even.record_shard_busy(1, 5_000);
+        assert!((even.snapshot().shard_imbalance() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cache_entry_gauges_survive_reset_like_queue_depth() {
+        let stats = EngineStats::with_shards(2);
+        stats.set_shard_cache_entries(0, 5);
+        stats.set_shard_cache_entries(1, 2);
+        stats.set_shard_cache_entries(9, 7); // out of range: ignored
+        assert_eq!(stats.snapshot().total_cache_entries(), 7);
+        stats.reset();
+        let snap = stats.snapshot();
+        assert_eq!(
+            snap.total_cache_entries(),
+            7,
+            "reset must not pretend live caches emptied"
+        );
+        let metrics = snap.metrics();
+        let get = |name: &str| metrics.iter().find(|(n, _)| *n == name).unwrap().1;
+        assert_eq!(get("cache_entries"), 7.0);
+        assert_eq!(get("shard0_cache_entries"), 5.0);
+        assert_eq!(get("shard1_cache_entries"), 2.0);
     }
 
     #[test]

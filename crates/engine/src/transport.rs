@@ -48,6 +48,7 @@ fn mismatch(wanted: &'static str, got: &EngineResponse) -> EngineError {
         EngineResponse::SessionExported(_) => "SessionExported",
         EngineResponse::SessionImported(_) => "SessionImported",
         EngineResponse::Description(_) => "Description",
+        EngineResponse::Metrics(_) => "Metrics",
     };
     EngineError::Transport(format!("protocol mismatch: wanted {wanted}, got {got}"))
 }
@@ -167,6 +168,15 @@ pub trait EngineTransport {
             other => Err(mismatch("Description", &other)),
         }
     }
+
+    /// Scrapes the engine's exported metric series (the remote equivalent of
+    /// `stats().metrics()`, without needing the snapshot codec).
+    fn query_metrics(&mut self) -> Result<Vec<(String, f64)>, EngineError> {
+        match self.request(EngineRequest::QueryMetrics)? {
+            EngineResponse::Metrics(metrics) => Ok(metrics),
+            other => Err(mismatch("Metrics", &other)),
+        }
+    }
 }
 
 impl EngineTransport for Engine {
@@ -218,6 +228,11 @@ mod tests {
         assert_eq!(info.workers, 2);
         assert_eq!(info.sessions, 1);
         assert_eq!(info.pending_events, 0);
+        let metrics = backend.query_metrics().expect("scrapes");
+        assert!(metrics
+            .iter()
+            .any(|(name, value)| name == "requests" && *value > 0.0));
+        assert!(metrics.iter().all(|(_, value)| value.is_finite()));
         let stats = backend.stats().expect("stats");
         assert_eq!(stats.sessions_created, 1);
         backend.reset_stats().expect("resets");

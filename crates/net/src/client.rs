@@ -20,6 +20,7 @@ use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use svgic_engine::codec::{decode_response, encode_request};
 use svgic_engine::transport::EngineTransport;
 use svgic_engine::{EngineError, EngineRequest, EngineResponse};
+use svgic_obs::{Phase, SpanRecord, Tracer};
 
 use crate::frame::{read_frame, write_frame, Frame, FrameError, FrameKind};
 
@@ -27,6 +28,7 @@ use crate::frame::{read_frame, write_frame, Frame, FrameError, FrameKind};
 pub struct NetClient {
     stream: TcpStream,
     next_id: u64,
+    tracer: Tracer,
 }
 
 impl NetClient {
@@ -34,7 +36,21 @@ impl NetClient {
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<NetClient> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(NetClient { stream, next_id: 1 })
+        Ok(NetClient {
+            stream,
+            next_id: 1,
+            tracer: Tracer::default(),
+        })
+    }
+
+    /// Attaches a tracer: each request then records client-side
+    /// [`Phase::WireEncode`], [`Phase::Serve`] (the network round trip) and
+    /// [`Phase::WireDecode`] spans carrying the frame's request id — the same
+    /// id the server's engine stamps on its own spans for that request, so
+    /// client and server traces correlate without clock sync.
+    pub fn with_tracer(mut self, tracer: Tracer) -> NetClient {
+        self.tracer = tracer;
+        self
     }
 
     /// The remote server's address.
@@ -79,17 +95,40 @@ impl NetClient {
 
 impl EngineTransport for NetClient {
     fn request(&mut self, request: EngineRequest) -> Result<EngineResponse, EngineError> {
+        // The id exchange() will assign to this frame (it allocates
+        // sequentially), so the spans below carry it.
+        let request_id = self.next_id;
+        let t_encode = self.tracer.begin();
         let payload = encode_request(&request);
+        self.tracer.finish(
+            t_encode,
+            Phase::WireEncode,
+            request_id,
+            0,
+            SpanRecord::NO_SHARD,
+        );
+        let t_serve = self.tracer.begin();
         let frame = self
             .exchange(FrameKind::Request, payload)
             .map_err(|e| EngineError::Transport(e.to_string()))?;
+        self.tracer
+            .finish(t_serve, Phase::Serve, request_id, 0, SpanRecord::NO_SHARD);
         if frame.kind != FrameKind::Response {
             return Err(EngineError::Transport(format!(
                 "expected response frame, got {:?}",
                 frame.kind
             )));
         }
-        decode_response(&frame.payload)
-            .map_err(|e| EngineError::Transport(format!("response decode: {e}")))?
+        let t_decode = self.tracer.begin();
+        let response = decode_response(&frame.payload)
+            .map_err(|e| EngineError::Transport(format!("response decode: {e}")))?;
+        self.tracer.finish(
+            t_decode,
+            Phase::WireDecode,
+            request_id,
+            0,
+            SpanRecord::NO_SHARD,
+        );
+        response
     }
 }

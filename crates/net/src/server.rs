@@ -85,7 +85,10 @@ impl NetServer {
                         request,
                         reply,
                     } => {
-                        let result = engine.handle(request);
+                        // Serve under the frame's request id so the engine's
+                        // Serve span (and everything inside it) correlates
+                        // with the id the client chose and will see echoed.
+                        let result = engine.handle_traced(request_id, request);
                         // A dead connection just drops its responses.
                         let _ = reply.send(Frame {
                             kind: FrameKind::Response,

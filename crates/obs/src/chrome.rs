@@ -1,0 +1,122 @@
+//! Chrome trace-event JSON export.
+//!
+//! [`chrome_trace_json`] renders spans into the JSON object format consumed
+//! by `chrome://tracing` and [Perfetto](https://ui.perfetto.dev): one
+//! complete (`"ph": "X"`) event per span, timestamps and durations in
+//! microseconds, the node as the process id and the shard as the thread id —
+//! so a churn run opens as a per-node, per-shard swimlane diagram with
+//! request/session correlation in each event's `args`. The exact shape is
+//! specified (and conformance-tested) in `docs/FORMATS.md`.
+
+use crate::tracer::SpanRecord;
+
+/// Renders spans (typically [`crate::Tracer::spans`], already start-sorted)
+/// as a Chrome trace-event JSON object. The output is deterministic for a
+/// given span list; timestamps are the spans' offsets from their tracer's
+/// epoch, in microseconds with nanosecond precision kept as decimals.
+pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
+    let mut out = String::with_capacity(64 + spans.len() * 128);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, span) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        // tid must be a plain integer lane; engine-level spans (NO_SHARD)
+        // get their own lane above the real shards.
+        let tid = if span.shard == SpanRecord::NO_SHARD {
+            0
+        } else {
+            span.shard as u64 + 1
+        };
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"svgic\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{},\"args\":{{\"request_id\":{},\"session\":{}}}}}",
+            span.phase.name(),
+            micros(span.start_nanos),
+            micros(span.duration_nanos),
+            span.node,
+            tid,
+            span.request_id,
+            span.session,
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Nanoseconds as a microsecond decimal with no trailing zeros (Perfetto
+/// accepts fractional `ts`/`dur`; `1234` ns renders as `1.234`).
+fn micros(nanos: u64) -> String {
+    let whole = nanos / 1000;
+    let frac = nanos % 1000;
+    if frac == 0 {
+        format!("{whole}")
+    } else {
+        format!("{whole}.{frac:03}")
+            .trim_end_matches('0')
+            .to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase::Phase;
+
+    fn sample() -> Vec<SpanRecord> {
+        vec![
+            SpanRecord {
+                request_id: 1,
+                session: 7,
+                phase: Phase::Serve,
+                shard: SpanRecord::NO_SHARD,
+                node: 0,
+                start_nanos: 500,
+                duration_nanos: 42_000,
+            },
+            SpanRecord {
+                request_id: 0,
+                session: 7,
+                phase: Phase::LpCold,
+                shard: 1,
+                node: 0,
+                start_nanos: 1_000,
+                duration_nanos: 30_000,
+            },
+        ]
+    }
+
+    #[test]
+    fn renders_complete_events_with_correlation_args() {
+        let json = chrome_trace_json(&sample());
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"name\":\"Serve\""));
+        assert!(json.contains("\"name\":\"LpCold\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":0.5"));
+        assert!(json.contains("\"dur\":42"));
+        assert!(json.contains("\"request_id\":1"));
+        assert!(json.contains("\"session\":7"));
+        // NO_SHARD lands in lane 0, shard 1 in lane 2.
+        assert!(json.contains("\"tid\":0"));
+        assert!(json.contains("\"tid\":2"));
+    }
+
+    #[test]
+    fn empty_span_list_is_a_valid_trace() {
+        assert_eq!(
+            chrome_trace_json(&[]),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}"
+        );
+    }
+
+    #[test]
+    fn micros_keeps_nanosecond_precision_without_trailing_zeros() {
+        assert_eq!(micros(0), "0");
+        assert_eq!(micros(1_234), "1.234");
+        assert_eq!(micros(1_200), "1.2");
+        assert_eq!(micros(42_000), "42");
+        assert_eq!(micros(999), "0.999");
+        assert_eq!(micros(5), "0.005");
+    }
+}

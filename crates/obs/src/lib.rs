@@ -1,0 +1,60 @@
+//! # svgic-obs — observability primitives for the serving fabric
+//!
+//! The engine, the cluster fabric and the wire transport all answer *what*
+//! happened through counters; this crate answers **where a request spent its
+//! time**. It is deliberately zero-dependency (std only) and strictly
+//! read-side: nothing here may influence seeds, session ids or served
+//! configurations — tracing on vs. off yields byte-identical config digests,
+//! a contract the workspace proptests.
+//!
+//! Four pieces, one module each:
+//!
+//! * [`phase`] — the static [`Phase`] enum naming every traced pipeline
+//!   stage (submit → coalesce → shard dispatch → warm/cold LP → projection →
+//!   rounding → serve, plus migration and the wire codec);
+//! * [`tracer`] — the [`Tracer`] handle (cheap monotonic-clock spans,
+//!   one relaxed atomic load on the disabled path) and the fixed-capacity
+//!   lock-sharded [`FlightRecorder`] ring buffer behind it, configured by
+//!   [`ObsConfig`] (off by default);
+//! * [`histogram`] — the log-bucketed [`LatencyHistogram`] (moved here from
+//!   `svgic-workload` so the engine can depend on it), its thread-safe
+//!   sibling [`AtomicHistogram`] for concurrent recording inside engine
+//!   stats, and the compact mergeable [`HistogramSnapshot`] that crosses the
+//!   wire;
+//! * [`registry`] — the [`MetricsRegistry`] builder that renders counters,
+//!   gauges and histograms into the ordered name/value list served by
+//!   `StatsSnapshot::metrics()` and the `QueryMetrics` wire request;
+//! * [`chrome`] — the Chrome trace-event JSON exporter
+//!   ([`chrome_trace_json`]) behind `loadgen --trace-out`, loadable in
+//!   `chrome://tracing` and Perfetto.
+//!
+//! ```rust
+//! use svgic_obs::{chrome_trace_json, ObsConfig, Phase, Tracer};
+//!
+//! let tracer = Tracer::new(ObsConfig::enabled());
+//! let t = tracer.begin();
+//! // ... the work being traced ...
+//! tracer.finish(t, Phase::Round, 7, 1, 0);
+//! let spans = tracer.spans();
+//! assert_eq!(spans.len(), 1);
+//! assert!(chrome_trace_json(&spans).contains("\"Round\""));
+//!
+//! // Disabled tracers record nothing and never read the clock.
+//! let off = Tracer::new(ObsConfig::default());
+//! assert!(off.begin().is_none());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod histogram;
+pub mod phase;
+pub mod registry;
+pub mod tracer;
+
+pub use chrome::chrome_trace_json;
+pub use histogram::{AtomicHistogram, HistogramSnapshot, LatencyHistogram};
+pub use phase::Phase;
+pub use registry::MetricsRegistry;
+pub use tracer::{FlightRecorder, ObsConfig, SpanRecord, Tracer};

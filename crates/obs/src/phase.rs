@@ -1,0 +1,99 @@
+//! The static phase vocabulary of a traced request.
+//!
+//! Every span names exactly one [`Phase`] — a fixed pipeline stage, not a
+//! free-form string — so exporters can build per-phase breakdowns without
+//! string interning and the wire/readers agree on the vocabulary forever
+//! (append-only, like the formats).
+
+/// One pipeline stage a span can cover.
+///
+/// The serving path of a request walks, in order: [`Phase::Serve`] wraps the
+/// whole engine dispatch; [`Phase::Submit`] admits an event into a session's
+/// pending queue; at flush time [`Phase::Coalesce`] folds the pending queues
+/// and [`Phase::ShardDispatch`] covers one shard's whole pipeline job, inside
+/// which each session re-solve spends time in [`Phase::LpWarm`] or
+/// [`Phase::LpCold`] (factor computation with vs. without reused warm
+/// components), [`Phase::Project`] (restricting the instance to the present
+/// population and active catalogue) and [`Phase::Round`] (randomized
+/// rounding). [`Phase::Migrate`] covers session export/import, and
+/// [`Phase::WireEncode`] / [`Phase::WireDecode`] the codec work on either
+/// side of a TCP frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// Event admission into a session's pending queue.
+    Submit,
+    /// Batch coalescing of pending events at flush time.
+    Coalesce,
+    /// One shard's whole pipeline job within a flush.
+    ShardDispatch,
+    /// LP factor computation that reused at least one warm component.
+    LpWarm,
+    /// LP factor computation with no warm components to reuse.
+    LpCold,
+    /// Restriction of the instance to the present population and catalogue.
+    Project,
+    /// Randomized rounding of LP factors into a served configuration.
+    Round,
+    /// The whole engine-side handling of one request.
+    Serve,
+    /// Session export or import (live migration).
+    Migrate,
+    /// Encoding a request/response payload for the wire.
+    WireEncode,
+    /// Decoding a request/response payload from the wire.
+    WireDecode,
+}
+
+impl Phase {
+    /// Every phase, in pipeline order.
+    pub const ALL: [Phase; 11] = [
+        Phase::Submit,
+        Phase::Coalesce,
+        Phase::ShardDispatch,
+        Phase::LpWarm,
+        Phase::LpCold,
+        Phase::Project,
+        Phase::Round,
+        Phase::Serve,
+        Phase::Migrate,
+        Phase::WireEncode,
+        Phase::WireDecode,
+    ];
+
+    /// The stable name used in trace exports and docs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Submit => "Submit",
+            Phase::Coalesce => "Coalesce",
+            Phase::ShardDispatch => "ShardDispatch",
+            Phase::LpWarm => "LpWarm",
+            Phase::LpCold => "LpCold",
+            Phase::Project => "Project",
+            Phase::Round => "Round",
+            Phase::Serve => "Serve",
+            Phase::Migrate => "Migrate",
+            Phase::WireEncode => "WireEncode",
+            Phase::WireDecode => "WireDecode",
+        }
+    }
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_cover_all() {
+        let names: std::collections::BTreeSet<&str> = Phase::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), Phase::ALL.len());
+        for phase in Phase::ALL {
+            assert_eq!(format!("{phase}"), phase.name());
+        }
+    }
+}

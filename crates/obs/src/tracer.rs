@@ -1,0 +1,389 @@
+//! The span tracer and its flight-recorder ring buffer.
+//!
+//! A [`Tracer`] is a cheap, cloneable handle (an `Arc` internally) that the
+//! engine, the wire client and the cluster fabric all share. Recording a
+//! span is two calls around the work:
+//!
+//! ```rust
+//! use svgic_obs::{ObsConfig, Phase, Tracer};
+//! let tracer = Tracer::new(ObsConfig::enabled());
+//! let t = tracer.begin();
+//! // ... the work ...
+//! tracer.finish(t, Phase::Round, /*request_id*/ 0, /*session*/ 3, /*shard*/ 1);
+//! ```
+//!
+//! **The disabled path is the contract.** [`Tracer::begin`] is a single
+//! relaxed atomic load when tracing is off — no clock read, no allocation,
+//! no lock — and [`Tracer::finish`] returns immediately on the `None` it
+//! produced. The obs-overhead bench gates this at < 1% of the churn smoke's
+//! runtime; `ObsConfig::default()` is off, so an untouched engine pays only
+//! that load per instrumentation site.
+//!
+//! Spans land in a [`FlightRecorder`]: a fixed-capacity ring buffer sharded
+//! across several mutexes (recording threads rotate across stripes, so shard
+//! workers almost never contend) that retains the **last N** spans per node.
+//! Draining it ([`Tracer::spans`]) is for run boundaries, not hot paths.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::phase::Phase;
+
+/// Runtime observability switches. Off by default: a default-configured
+/// engine records nothing and pays one relaxed atomic load per
+/// instrumentation site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Whether spans are recorded at all.
+    pub enabled: bool,
+    /// How many spans the flight recorder retains (oldest evicted first).
+    pub ring_capacity: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            enabled: false,
+            ring_capacity: 65_536,
+        }
+    }
+}
+
+impl ObsConfig {
+    /// Tracing on, default ring capacity.
+    pub fn enabled() -> Self {
+        ObsConfig {
+            enabled: true,
+            ..ObsConfig::default()
+        }
+    }
+
+    /// Tracing off (the default, spelled out).
+    pub fn disabled() -> Self {
+        ObsConfig::default()
+    }
+}
+
+/// One recorded span: a phase, its wall-clock window, and the identifiers
+/// that correlate it — the wire request id (0 when the work was not tied to
+/// a single request, e.g. batched flush work), the session, the shard
+/// ([`SpanRecord::NO_SHARD`] for engine-level work) and the node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The frame request id that caused this work; 0 for work not
+    /// attributable to one request (batch-internal phases). Client-assigned
+    /// ids are echoed by the server, so the same id names the same request
+    /// on both sides of a TCP connection.
+    pub request_id: u64,
+    /// Session the work was for; 0 for engine-wide phases.
+    pub session: u64,
+    /// Which pipeline stage the span covers.
+    pub phase: Phase,
+    /// Shard that ran the work, or [`SpanRecord::NO_SHARD`].
+    pub shard: u32,
+    /// Node the span was recorded on (0 single-engine).
+    pub node: u64,
+    /// Start offset in nanoseconds since the tracer's epoch.
+    pub start_nanos: u64,
+    /// Span length in nanoseconds.
+    pub duration_nanos: u64,
+}
+
+impl SpanRecord {
+    /// Shard value for spans not attributable to one shard.
+    pub const NO_SHARD: u32 = u32::MAX;
+}
+
+/// How many mutex stripes the recorder spreads writers across.
+const STRIPES: usize = 8;
+
+/// One stripe: a fixed-capacity overwrite-oldest ring.
+#[derive(Debug, Default)]
+struct Ring {
+    buf: Vec<SpanRecord>,
+    capacity: usize,
+    /// Next write position once `buf` is full.
+    next: usize,
+}
+
+impl Ring {
+    fn push(&mut self, span: SpanRecord) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.buf.len() < self.capacity {
+            self.buf.push(span);
+        } else {
+            self.buf[self.next] = span;
+            self.next = (self.next + 1) % self.capacity;
+        }
+    }
+}
+
+/// The fixed-capacity, lock-sharded span store behind a [`Tracer`].
+///
+/// Capacity is split evenly across `STRIPES` (8) mutex-protected rings;
+/// recorders rotate stripes with one atomic counter, so two shard workers
+/// recording simultaneously almost always take different locks. When a
+/// stripe is full the oldest span in that stripe is overwritten — the
+/// recorder retains the *most recent* ~N spans, which is what a flight
+/// recorder is for.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    stripes: Vec<Mutex<Ring>>,
+    rotor: AtomicUsize,
+    recorded: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining roughly `capacity` spans.
+    pub fn new(capacity: usize) -> Self {
+        let per_stripe = capacity.div_ceil(STRIPES);
+        FlightRecorder {
+            stripes: (0..STRIPES)
+                .map(|_| {
+                    Mutex::new(Ring {
+                        buf: Vec::new(),
+                        capacity: per_stripe,
+                        next: 0,
+                    })
+                })
+                .collect(),
+            rotor: AtomicUsize::new(0),
+            recorded: AtomicU64::new(0),
+        }
+    }
+
+    /// Stores one span (evicting the oldest in its stripe when full).
+    pub fn record(&self, span: SpanRecord) {
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+        let stripe = self.rotor.fetch_add(1, Ordering::Relaxed) % STRIPES;
+        let mut ring = self.stripes[stripe].lock().expect("recorder lock poisoned");
+        ring.push(span);
+    }
+
+    /// Total spans ever recorded (including those since evicted).
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Every retained span, sorted by start time.
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        let mut spans = Vec::new();
+        for stripe in &self.stripes {
+            let ring = stripe.lock().expect("recorder lock poisoned");
+            spans.extend_from_slice(&ring.buf);
+        }
+        spans.sort_by_key(|s| (s.start_nanos, s.duration_nanos, s.phase));
+        spans
+    }
+
+    /// Drops every retained span (the ever-recorded counter survives).
+    pub fn clear(&self) {
+        for stripe in &self.stripes {
+            let mut ring = stripe.lock().expect("recorder lock poisoned");
+            ring.buf.clear();
+            ring.next = 0;
+        }
+    }
+}
+
+#[derive(Debug)]
+struct TracerInner {
+    enabled: AtomicBool,
+    node: u64,
+    epoch: Instant,
+    recorder: FlightRecorder,
+}
+
+/// The cloneable span-recording handle. See the module docs for the
+/// begin/finish idiom and the disabled-path contract.
+#[derive(Clone, Debug)]
+pub struct Tracer {
+    inner: Arc<TracerInner>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new(ObsConfig::default())
+    }
+}
+
+impl Tracer {
+    /// A tracer for node 0 (single-engine processes).
+    pub fn new(config: ObsConfig) -> Tracer {
+        Tracer::for_node(config, 0)
+    }
+
+    /// A tracer whose spans carry `node` (cluster fabrics give each node
+    /// engine its own id so merged traces keep rows apart).
+    pub fn for_node(config: ObsConfig, node: u64) -> Tracer {
+        Tracer {
+            inner: Arc::new(TracerInner {
+                enabled: AtomicBool::new(config.enabled),
+                node,
+                epoch: Instant::now(),
+                recorder: FlightRecorder::new(if config.enabled {
+                    config.ring_capacity
+                } else {
+                    0
+                }),
+            }),
+        }
+    }
+
+    /// Whether spans are currently recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Starts a span: the clock is read only when tracing is on. The
+    /// disabled path is one relaxed atomic load.
+    #[inline]
+    pub fn begin(&self) -> Option<Instant> {
+        if self.inner.enabled.load(Ordering::Relaxed) {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Ends a span started by [`Tracer::begin`] and records it. A `None`
+    /// start (tracing was off) returns immediately.
+    pub fn finish(
+        &self,
+        started: Option<Instant>,
+        phase: Phase,
+        request_id: u64,
+        session: u64,
+        shard: u32,
+    ) {
+        let Some(started) = started else { return };
+        let start_nanos = started
+            .saturating_duration_since(self.inner.epoch)
+            .as_nanos()
+            .min(u64::MAX as u128) as u64;
+        let duration_nanos = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        self.inner.recorder.record(SpanRecord {
+            request_id,
+            session,
+            phase,
+            shard,
+            node: self.inner.node,
+            start_nanos,
+            duration_nanos,
+        });
+    }
+
+    /// Every retained span, sorted by start time.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.inner.recorder.snapshot()
+    }
+
+    /// Total spans ever recorded (eviction does not decrement).
+    pub fn recorded(&self) -> u64 {
+        self.inner.recorder.recorded()
+    }
+
+    /// Drops retained spans (for measured-window resets).
+    pub fn clear(&self) {
+        self.inner.recorder.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(start: u64) -> SpanRecord {
+        SpanRecord {
+            request_id: start,
+            session: 0,
+            phase: Phase::Round,
+            shard: 0,
+            node: 0,
+            start_nanos: start,
+            duration_nanos: 1,
+        }
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing_and_reads_no_clock() {
+        let tracer = Tracer::new(ObsConfig::default());
+        assert!(!tracer.is_enabled());
+        let t = tracer.begin();
+        assert!(t.is_none());
+        tracer.finish(t, Phase::Serve, 1, 2, 3);
+        assert!(tracer.spans().is_empty());
+        assert_eq!(tracer.recorded(), 0);
+    }
+
+    #[test]
+    fn enabled_tracer_records_spans_with_identifiers() {
+        let tracer = Tracer::for_node(ObsConfig::enabled(), 4);
+        let t = tracer.begin();
+        std::thread::sleep(std::time::Duration::from_micros(50));
+        tracer.finish(t, Phase::LpCold, 9, 7, 1);
+        let spans = tracer.spans();
+        assert_eq!(spans.len(), 1);
+        let s = spans[0];
+        assert_eq!(
+            (s.phase, s.request_id, s.session, s.shard, s.node),
+            (Phase::LpCold, 9, 7, 1, 4)
+        );
+        assert!(s.duration_nanos >= 50_000, "{}", s.duration_nanos);
+        assert_eq!(tracer.recorded(), 1);
+        tracer.clear();
+        assert!(tracer.spans().is_empty());
+        assert_eq!(tracer.recorded(), 1, "clear keeps the ever-recorded count");
+    }
+
+    #[test]
+    fn ring_retains_the_most_recent_spans() {
+        let recorder = FlightRecorder::new(16);
+        for i in 0..100u64 {
+            recorder.record(span(i));
+        }
+        let spans = recorder.snapshot();
+        assert_eq!(spans.len(), 16);
+        assert_eq!(recorder.recorded(), 100);
+        // Eviction is per stripe, but everything retained must come from the
+        // most recent capacity*2 window and include the very last span.
+        assert!(spans.iter().all(|s| s.start_nanos >= 100 - 32));
+        assert!(spans.iter().any(|s| s.start_nanos == 99));
+        // Snapshot is sorted by start.
+        assert!(spans
+            .windows(2)
+            .all(|w| w[0].start_nanos <= w[1].start_nanos));
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe_and_counted() {
+        let recorder = Arc::new(FlightRecorder::new(1 << 14));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let recorder = Arc::clone(&recorder);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        recorder.record(span(t * 10_000 + i));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(recorder.recorded(), 4000);
+        assert_eq!(recorder.snapshot().len(), 4000);
+    }
+
+    #[test]
+    fn tracer_clones_share_one_recorder() {
+        let tracer = Tracer::new(ObsConfig::enabled());
+        let clone = tracer.clone();
+        let t = clone.begin();
+        clone.finish(t, Phase::Submit, 1, 1, 0);
+        assert_eq!(tracer.spans().len(), 1);
+    }
+}

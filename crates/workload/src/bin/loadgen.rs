@@ -9,6 +9,8 @@
 //! loadgen serve --port 7741                       # serve one engine over TCP
 //! loadgen --scenario steady-mall --connect 127.0.0.1:7741
 //! loadgen --scenario steady-mall --connect 127.0.0.1:7741,127.0.0.1:7742
+//! loadgen metrics --connect 127.0.0.1:7741        # scrape a live server's metrics
+//! loadgen --scenario churn-heavy --trace-out target/trace.json
 //! loadgen --list-scenarios                        # named scenarios
 //! ```
 //!
@@ -24,6 +26,7 @@
 use std::process::ExitCode;
 
 use svgic_net::{NetClient, NetServer};
+use svgic_obs::{chrome_trace_json, ObsConfig, SpanRecord, Tracer};
 use svgic_workload::cli::{self, Args};
 use svgic_workload::prelude::*;
 use svgic_workload::report::REPORT_SCHEMA;
@@ -60,6 +63,52 @@ fn run_serve(args: &Args) -> Result<(), String> {
     }
     println!("{}", server.local_addr());
     server.join();
+    Ok(())
+}
+
+/// `loadgen metrics --connect host:port`: scrape a live server's metrics
+/// registry (one `QueryMetrics` frame) and print it as a flat JSON object,
+/// one `"name": value` member per metric in the registry's pinned order. The
+/// scrape goes through [`svgic_engine::EngineTransport::query_metrics`], so
+/// it exercises the same wire path remote dashboards would.
+fn run_metrics(args: &Args) -> Result<(), String> {
+    use svgic_engine::EngineTransport;
+    let addr = &args.connect[0];
+    let mut client = NetClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let metrics = client
+        .query_metrics()
+        .map_err(|e| format!("query metrics from {addr}: {e}"))?;
+    // Keys are ident-safe ASCII and values finite by the registry contract,
+    // so plain Display formatting yields valid JSON.
+    let mut json = String::from("{");
+    for (i, (name, value)) in metrics.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!("\n  \"{name}\": {value}"));
+    }
+    json.push_str("\n}");
+    write_out(args, &json)?;
+    println!("{json}");
+    Ok(())
+}
+
+/// Writes spans as Chrome trace-event JSON (creating parent directories),
+/// with a pointer to the viewers that open it.
+fn write_trace(args: &Args, path: &str, spans: &[SpanRecord]) -> Result<(), String> {
+    let json = chrome_trace_json(spans);
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| format!("mkdir for {path}: {e}"))?;
+        }
+    }
+    std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
+    if !args.quiet {
+        eprintln!(
+            "  {} spans traced to {path} (open in ui.perfetto.dev or chrome://tracing)",
+            spans.len(),
+        );
+    }
     Ok(())
 }
 
@@ -144,6 +193,11 @@ fn print_single_summary(args: &Args, report: &LoadReport, recorded: &Option<Stri
         100.0 * o.engine.warm_start_rate(),
         100.0 * o.engine.cache_hit_rate(),
         100.0 * o.engine.coalesce_rate(),
+    );
+    eprintln!(
+        "  shards: imbalance {:.2} (max/mean busy), {} cached factor entries",
+        o.engine.shard_imbalance(),
+        o.engine.total_cache_entries(),
     );
     eprintln!("  config digest 0x{:016x}", o.config_digest);
     if let Some(path) = recorded {
@@ -254,9 +308,18 @@ fn run_drive(args: &Args) -> Result<(), String> {
         print_cluster_summary(args, &report, &recorded_path, &via);
         report.to_json()
     } else if args.connect.len() == 1 {
-        // One remote engine: the single-engine driver over a NetClient.
+        // One remote engine: the single-engine driver over a NetClient. With
+        // `--trace-out` the client records its wire-side spans (encode /
+        // round trip / decode) — the server's in-engine spans stay remote.
         let addr = &args.connect[0];
         let mut client = NetClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        let tracer = args
+            .trace_out
+            .as_ref()
+            .map(|_| Tracer::new(ObsConfig::enabled()));
+        if let Some(tracer) = &tracer {
+            client = client.with_tracer(tracer.clone());
+        }
         let driver = LoadDriver::new(DriverConfig {
             mode: args.mode,
             warmup_ticks: args.warmup,
@@ -266,6 +329,9 @@ fn run_drive(args: &Args) -> Result<(), String> {
         let mut report = LoadReport::new(&trace, outcome);
         report.trace_path = recorded_path.clone();
         print_single_summary(args, &report, &recorded_path, ", over TCP");
+        if let (Some(path), Some(tracer)) = (&args.trace_out, &tracer) {
+            write_trace(args, path, &tracer.spans())?;
+        }
         report.to_json()
     } else if args.nodes >= 1 {
         let driver = ClusterDriver::new(ClusterDriverConfig {
@@ -288,10 +354,27 @@ fn run_drive(args: &Args) -> Result<(), String> {
             warmup_ticks: args.warmup,
             engine: engine_config(args),
         });
-        let outcome = driver.run(&trace);
+        let mut spans: Option<Vec<SpanRecord>> = None;
+        let outcome = if args.trace_out.is_some() {
+            // The driver normally builds its own engine; tracing needs one
+            // constructed with obs enabled so the flight recorder retains
+            // spans for the dump after the run. Served configurations are
+            // identical either way — obs is strictly read-side.
+            let mut config = engine_config(args);
+            config.obs = ObsConfig::enabled();
+            let mut engine = svgic_engine::Engine::new(config);
+            let outcome = driver.run_on(&mut engine, &trace);
+            spans = Some(engine.spans());
+            outcome
+        } else {
+            driver.run(&trace)
+        };
         let mut report = LoadReport::new(&trace, outcome);
         report.trace_path = recorded_path.clone();
         print_single_summary(args, &report, &recorded_path, "");
+        if let (Some(path), Some(spans)) = (&args.trace_out, &spans) {
+            write_trace(args, path, spans)?;
+        }
         debug_assert!(report.to_json().contains(REPORT_SCHEMA));
         report.to_json()
     };
@@ -317,6 +400,9 @@ fn run() -> Result<(), String> {
     }
     if args.serve {
         return run_serve(&args);
+    }
+    if args.metrics {
+        return run_metrics(&args);
     }
     run_drive(&args)
 }

@@ -23,6 +23,9 @@ pub struct Args {
     /// `loadgen serve …`: run a `svgic-net` server process instead of
     /// driving load.
     pub serve: bool,
+    /// `loadgen metrics --connect host:port`: scrape a serving node's
+    /// metric series (a `QueryMetrics` wire exchange) and print it as JSON.
+    pub metrics: bool,
     /// Port to serve on (serve mode; `0` = ephemeral, printed on stdout).
     pub port: Option<u16>,
     /// Remote engines to drive (`--connect host:port[,host:port…]`).
@@ -51,6 +54,8 @@ pub struct Args {
     pub no_record: bool,
     /// Also write the JSON report here.
     pub out: Option<String>,
+    /// Dump a Chrome trace-event JSON file of the run's spans here.
+    pub trace_out: Option<String>,
     /// Shrink the scenario to CI-smoke size.
     pub smoke: bool,
     /// Disable warm-started re-solves.
@@ -67,6 +72,7 @@ impl Default for Args {
     fn default() -> Self {
         Args {
             serve: false,
+            metrics: false,
             port: None,
             connect: Vec::new(),
             scenario: None,
@@ -81,6 +87,7 @@ impl Default for Args {
             record: None,
             no_record: false,
             out: None,
+            trace_out: None,
             smoke: false,
             cold_lp: false,
             quiet: false,
@@ -361,6 +368,23 @@ pub fn flags() -> &'static [FlagSpec] {
             },
         },
         FlagSpec {
+            name: "--trace-out",
+            value: Some("<path>"),
+            example: "target/trace.json",
+            help: &[
+                "record per-request phase spans and write them as Chrome",
+                "trace-event JSON (open in Perfetto). Single-engine runs",
+                "only: bare in-process, or one --connect address (then the",
+                "trace holds the client-side wire/round-trip spans).",
+            ],
+            generation_only: false,
+            engine_side: false,
+            apply: |args, value| {
+                args.trace_out = value;
+                Ok(())
+            },
+        },
+        FlagSpec {
             name: "--quiet",
             value: None,
             example: "",
@@ -421,11 +445,14 @@ pub fn usage() -> String {
          \x20   loadgen --replay <trace-file> [options]\n\
          \x20   loadgen --scenario <name> --connect host:port[,host:port…]\n\
          \x20   loadgen serve --port <N> [--workers N] [--cold-lp]\n\
+         \x20   loadgen metrics --connect host:port\n\
          \x20   loadgen --list-scenarios\n\
          \n\
          MODES:\n\
          \x20   serve               run a svgic-net wire-protocol server fronting one\n\
          \x20                       engine (blocks until a client sends shutdown)\n\
+         \x20   metrics             scrape one serving node's metric series over the\n\
+         \x20                       wire (QueryMetrics) and print it as JSON\n\
          \n\
          OPTIONS:\n",
     );
@@ -462,9 +489,16 @@ pub fn usage() -> String {
 pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
     let mut parsed = Args::default();
     let mut it = args.into_iter().peekable();
-    if it.peek().map(String::as_str) == Some("serve") {
-        parsed.serve = true;
-        it.next();
+    match it.peek().map(String::as_str) {
+        Some("serve") => {
+            parsed.serve = true;
+            it.next();
+        }
+        Some("metrics") => {
+            parsed.metrics = true;
+            it.next();
+        }
+        _ => {}
     }
     while let Some(token) = it.next() {
         let name = if token == "-h" {
@@ -494,6 +528,24 @@ pub fn validate(args: &Args) -> Result<(), String> {
     if args.help || args.list {
         return Ok(());
     }
+    if args.metrics {
+        if args.connect.len() != 1 {
+            return Err("metrics mode needs exactly one --connect <host:port>".into());
+        }
+        for (set, what) in [
+            (args.serve, "serve"),
+            (args.scenario.is_some(), "--scenario"),
+            (args.replay.is_some(), "--replay"),
+            (args.nodes > 0, "--nodes"),
+            (args.port.is_some(), "--port"),
+            (args.trace_out.is_some(), "--trace-out"),
+        ] {
+            if set {
+                return Err(format!("{what} does not apply in metrics mode"));
+            }
+        }
+        return Ok(());
+    }
     if args.serve {
         if args.port.is_none() {
             return Err("serve mode needs --port <N>".into());
@@ -504,6 +556,7 @@ pub fn validate(args: &Args) -> Result<(), String> {
             (!args.connect.is_empty(), "--connect"),
             (args.nodes > 0, "--nodes"),
             (args.out.is_some(), "--out"),
+            (args.trace_out.is_some(), "--trace-out"),
         ] {
             if set {
                 return Err(format!("{what} does not apply in serve mode"));
@@ -560,6 +613,20 @@ pub fn validate(args: &Args) -> Result<(), String> {
                 "node-churn kills and spawns nodes, which only works with in-process --nodes; \
                  remote server processes cannot be crashed or spawned by the driver"
                     .into(),
+            );
+        }
+    }
+    if args.trace_out.is_some() {
+        // A trace is one process's flight recorder; cluster runs would
+        // interleave per-node recorders with unrelated epochs. Single-engine
+        // runs only: bare in-process, or one remote connection (client-side
+        // spans).
+        if args.nodes > 0 {
+            return Err("--trace-out only applies to single-engine runs, not --nodes".into());
+        }
+        if args.connect.len() > 1 {
+            return Err(
+                "--trace-out only applies to single-engine runs; connect to one address".into(),
             );
         }
     }
@@ -681,6 +748,69 @@ mod tests {
             );
         }
         assert!(validate(&parse_ok(&["--replay", "t.trace", "--nodes", "2"])).is_ok());
+    }
+
+    #[test]
+    fn metrics_mode_wants_exactly_one_connection() {
+        let args = parse_ok(&["metrics", "--connect", "127.0.0.1:7741"]);
+        assert!(args.metrics);
+        assert!(validate(&args).is_ok());
+        assert!(validate(&parse_ok(&["metrics"])).is_err());
+        assert!(validate(&parse_ok(&["metrics", "--connect", "a:1,b:2"])).is_err());
+        assert!(validate(&parse_ok(&[
+            "metrics",
+            "--connect",
+            "a:1",
+            "--scenario",
+            "steady-mall"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn trace_out_is_single_engine_only() {
+        assert!(validate(&parse_ok(&[
+            "--scenario",
+            "steady-mall",
+            "--trace-out",
+            "t.json"
+        ]))
+        .is_ok());
+        assert!(validate(&parse_ok(&[
+            "--scenario",
+            "steady-mall",
+            "--connect",
+            "a:1",
+            "--trace-out",
+            "t.json"
+        ]))
+        .is_ok());
+        assert!(validate(&parse_ok(&[
+            "--scenario",
+            "steady-mall",
+            "--nodes",
+            "2",
+            "--trace-out",
+            "t.json"
+        ]))
+        .is_err());
+        assert!(validate(&parse_ok(&[
+            "--scenario",
+            "steady-mall",
+            "--connect",
+            "a:1,b:2",
+            "--trace-out",
+            "t.json"
+        ]))
+        .is_err());
+        assert!(validate(&parse_ok(&[
+            "serve",
+            "--port",
+            "0",
+            "--trace-out",
+            "t.json"
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -1,277 +1,30 @@
 //! Log-bucketed HDR-style latency histograms.
 //!
-//! Latencies span six orders of magnitude (a cached query is nanoseconds, a
-//! full LP flush is milliseconds), so linear buckets are useless. This
-//! histogram uses the classic HDR layout: values below 16 ns get exact
-//! buckets; above that, each power-of-two range is split into 16 linear
-//! sub-buckets. Quantiles are reported at bucket midpoints, bounding the
-//! (two-sided) relative error at half a sub-bucket ≈ 1/32 ≈ 3%, while
-//! keeping the whole histogram a fixed 976-slot array that records in O(1)
-//! and merges by element-wise addition.
+//! [`LatencyHistogram`] originated here; it moved to `svgic-obs` when the
+//! engine grew per-phase histograms over the same bucket layout (the obs
+//! crate sits below the engine in the dependency graph, this crate sits
+//! above it). This module re-exports it unchanged so every existing
+//! `svgic_workload::histogram::LatencyHistogram` path keeps working; the
+//! layout and quantile contracts are tested where the type now lives.
 
-use std::time::Duration;
-
-const SUB_BUCKET_BITS: u32 = 4;
-const SUB_BUCKETS: usize = 1 << SUB_BUCKET_BITS; // 16
-const NUM_BUCKETS: usize = (64 - SUB_BUCKET_BITS as usize) * SUB_BUCKETS; // 960
-const TOTAL_SLOTS: usize = SUB_BUCKETS + NUM_BUCKETS; // 976
-
-/// A fixed-size log-bucketed histogram of durations (recorded in
-/// nanoseconds).
-#[derive(Clone, Debug)]
-pub struct LatencyHistogram {
-    counts: Vec<u64>,
-    total: u64,
-    sum_nanos: u128,
-    max_nanos: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-fn slot_of(nanos: u64) -> usize {
-    if nanos < SUB_BUCKETS as u64 {
-        return nanos as usize;
-    }
-    let exp = 63 - nanos.leading_zeros(); // >= SUB_BUCKET_BITS
-    let sub = ((nanos >> (exp - SUB_BUCKET_BITS)) & (SUB_BUCKETS as u64 - 1)) as usize;
-    (exp - SUB_BUCKET_BITS + 1) as usize * SUB_BUCKETS + sub
-}
-
-/// Lower bound of a slot's value range.
-fn slot_lower_bound(slot: usize) -> u64 {
-    if slot < SUB_BUCKETS {
-        return slot as u64;
-    }
-    let exp = (slot / SUB_BUCKETS - 1) as u32 + SUB_BUCKET_BITS;
-    let sub = (slot % SUB_BUCKETS) as u64;
-    (1u64 << exp) | (sub << (exp - SUB_BUCKET_BITS))
-}
-
-/// Representative value of a slot: its midpoint. Using the lower bound would
-/// bias every reported quantile low by up to a full sub-bucket (1/16
-/// relative); the midpoint makes the error two-sided and halves it. Slots
-/// below [`SUB_BUCKETS`] hold exactly one integer value and are exact.
-fn slot_value(slot: usize) -> u64 {
-    let lower = slot_lower_bound(slot);
-    if slot < SUB_BUCKETS {
-        return lower;
-    }
-    let exp = (slot / SUB_BUCKETS - 1) as u32 + SUB_BUCKET_BITS;
-    let width = 1u64 << (exp - SUB_BUCKET_BITS);
-    lower + width / 2
-}
-
-impl LatencyHistogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        LatencyHistogram {
-            counts: vec![0; TOTAL_SLOTS],
-            total: 0,
-            sum_nanos: 0,
-            max_nanos: 0,
-        }
-    }
-
-    /// Records one sample.
-    pub fn record(&mut self, latency: Duration) {
-        let nanos = latency.as_nanos().min(u64::MAX as u128) as u64;
-        self.counts[slot_of(nanos)] += 1;
-        self.total += 1;
-        self.sum_nanos += nanos as u128;
-        self.max_nanos = self.max_nanos.max(nanos);
-    }
-
-    /// Number of samples recorded.
-    pub fn count(&self) -> u64 {
-        self.total
-    }
-
-    /// Whether no samples have been recorded.
-    pub fn is_empty(&self) -> bool {
-        self.total == 0
-    }
-
-    /// Exact maximum recorded sample.
-    pub fn max(&self) -> Duration {
-        Duration::from_nanos(self.max_nanos)
-    }
-
-    /// Exact mean of recorded samples (zero when empty).
-    pub fn mean(&self) -> Duration {
-        if self.total == 0 {
-            Duration::ZERO
-        } else {
-            Duration::from_nanos((self.sum_nanos / self.total as u128) as u64)
-        }
-    }
-
-    /// The quantile `q ∈ [0, 1]`, reported at the containing bucket's
-    /// midpoint: the error is two-sided and at most half a sub-bucket
-    /// (≈ 1/32 relative). The exact max is returned for the top quantile.
-    ///
-    /// An empty histogram has no quantiles; by contract this returns
-    /// [`Duration::ZERO`] then (it is the documented "no data" value, tested
-    /// alongside `mean`/`max`, not an incidental fall-through).
-    pub fn quantile(&self, q: f64) -> Duration {
-        if self.total == 0 {
-            return Duration::ZERO;
-        }
-        let q = q.clamp(0.0, 1.0);
-        let rank = ((q * self.total as f64).ceil() as u64).max(1);
-        if rank >= self.total {
-            return self.max();
-        }
-        let mut seen = 0u64;
-        for (slot, &count) in self.counts.iter().enumerate() {
-            seen += count;
-            if seen >= rank {
-                // Never report a bucket bound above the true max.
-                return Duration::from_nanos(slot_value(slot).min(self.max_nanos));
-            }
-        }
-        self.max()
-    }
-
-    /// Merges another histogram into this one.
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
-            *mine += theirs;
-        }
-        self.total += other.total;
-        self.sum_nanos += other.sum_nanos;
-        self.max_nanos = self.max_nanos.max(other.max_nanos);
-    }
-}
+pub use svgic_obs::LatencyHistogram;
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use super::LatencyHistogram;
+    use std::time::Duration;
 
+    /// The re-export serves the same type the drivers were built on: a quick
+    /// end-to-end smoke over the moved implementation.
     #[test]
-    fn slots_are_monotone_and_cover_u64() {
-        let mut previous = 0usize;
-        for exp in 0..64u32 {
-            let v = 1u64 << exp;
-            for probe in [v, v + (v >> 1)] {
-                let slot = slot_of(probe);
-                assert!(slot < TOTAL_SLOTS, "slot {slot} for {probe}");
-                assert!(
-                    slot >= previous,
-                    "slots must be monotone in the sample: {slot} < {previous} at {probe}"
-                );
-                assert!(
-                    slot_lower_bound(slot) <= probe,
-                    "slot lower bound {} above sample {probe}",
-                    slot_lower_bound(slot)
-                );
-                // The representative midpoint stays inside the bucket: at or
-                // above the lower bound, and below the next slot's lower
-                // bound (when one exists).
-                assert!(slot_value(slot) >= slot_lower_bound(slot));
-                if slot + 1 < TOTAL_SLOTS {
-                    assert!(
-                        slot_value(slot) < slot_lower_bound(slot + 1),
-                        "midpoint of slot {slot} spills into the next bucket"
-                    );
-                }
-                previous = slot;
-            }
-        }
-        assert!(slot_of(u64::MAX) < TOTAL_SLOTS);
-    }
-
-    #[test]
-    fn quantiles_track_known_distribution() {
+    fn reexported_histogram_still_records_and_reports() {
         let mut h = LatencyHistogram::new();
-        for micros in 1..=1000u64 {
+        for micros in 1..=100u64 {
             h.record(Duration::from_micros(micros));
         }
-        // Midpoint representatives bound the error two-sidedly at half a
-        // sub-bucket (1/32 ≈ 3.1%) plus the discretisation of the uniform
-        // grid itself; assert both directions at a 4% band.
-        for (q, expected) in [(0.25, 250.0), (0.50, 500.0), (0.95, 950.0), (0.99, 990.0)] {
-            let got = h.quantile(q).as_nanos() as f64 / 1000.0;
-            let relative = (got - expected) / expected;
-            assert!(
-                relative.abs() < 0.04,
-                "q{q}: got {got}µs, expected {expected}µs ({:+.2}% off)",
-                100.0 * relative
-            );
-        }
-        assert_eq!(h.quantile(1.0), Duration::from_micros(1000));
-        assert_eq!(h.max(), Duration::from_micros(1000));
-        assert_eq!(h.count(), 1000);
-        let mean = h.mean().as_micros();
-        assert!((499..=502).contains(&mean), "mean {mean}");
-    }
-
-    #[test]
-    fn midpoint_representative_is_not_biased_low() {
-        // Every sample sits at the same value: a full sub-bucket above its
-        // bucket's lower bound would be a +6% error, the lower bound itself a
-        // -6% error. The midpoint must land within half a sub-bucket.
-        let mut h = LatencyHistogram::new();
-        // Top of the first sub-bucket of the 2^19 octave: the lower bound is
-        // 32767 ns (-5.9%) away — the old lower-bound representative fails
-        // this band, the midpoint is -2.9% and passes.
-        let value = (1u64 << 19) + (1u64 << 15) - 1;
-        for _ in 0..100 {
-            h.record(Duration::from_nanos(value));
-        }
-        for q in [0.1, 0.5, 0.9] {
-            let got = h.quantile(q).as_nanos() as f64;
-            let relative = (got - value as f64) / value as f64;
-            assert!(
-                relative.abs() <= 1.0 / 32.0 + 1e-9,
-                "q{q}: {got} vs {value} ({:+.2}%)",
-                100.0 * relative
-            );
-        }
-        // The top quantile still reports the exact max, never a midpoint
-        // above it.
-        assert_eq!(h.quantile(1.0), Duration::from_nanos(value));
-    }
-
-    #[test]
-    fn empty_histogram_quantile_is_the_documented_zero() {
-        let h = LatencyHistogram::new();
-        for q in [0.0, 0.5, 0.99, 1.0] {
-            assert_eq!(h.quantile(q), Duration::ZERO);
-        }
-    }
-
-    #[test]
-    fn empty_histogram_is_all_zeroes() {
-        let h = LatencyHistogram::new();
-        assert!(h.is_empty());
-        assert_eq!(h.quantile(0.5), Duration::ZERO);
-        assert_eq!(h.mean(), Duration::ZERO);
-        assert_eq!(h.max(), Duration::ZERO);
-    }
-
-    #[test]
-    fn merge_equals_recording_everything_in_one() {
-        let mut a = LatencyHistogram::new();
-        let mut b = LatencyHistogram::new();
-        let mut whole = LatencyHistogram::new();
-        for i in 0..500u64 {
-            let d = Duration::from_nanos(17 * i * i + 3);
-            if i % 2 == 0 {
-                a.record(d);
-            } else {
-                b.record(d);
-            }
-            whole.record(d);
-        }
-        a.merge(&b);
-        assert_eq!(a.count(), whole.count());
-        assert_eq!(a.max(), whole.max());
-        for q in [0.5, 0.95, 0.99] {
-            assert_eq!(a.quantile(q), whole.quantile(q));
-        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.max(), Duration::from_micros(100));
+        let p50 = h.quantile(0.5).as_nanos() as f64;
+        assert!((p50 - 50_000.0).abs() / 50_000.0 < 0.05, "p50 {p50}");
     }
 }

@@ -206,6 +206,24 @@ impl ClusterReport {
                     w.integer("solves", node.engine.solves());
                     w.number("warm_start_rate", node.engine.warm_start_rate());
                     w.integer("queue_depth", node.engine.total_queue_depth());
+                    // Per-node phase breakdown, from the phase histograms
+                    // that ride in each node's stats snapshot: where this
+                    // node spent its solve time, and how evenly its shards
+                    // shared the load.
+                    w.number("mean_lp_seconds", node.engine.mean_lp_time().as_secs_f64());
+                    w.number(
+                        "p99_lp_seconds",
+                        node.engine.lp_latency.quantile_seconds(0.99),
+                    );
+                    w.number(
+                        "mean_warm_solve_seconds",
+                        node.engine.mean_warm_solve_time().as_secs_f64(),
+                    );
+                    w.number(
+                        "mean_cold_solve_seconds",
+                        node.engine.mean_cold_solve_time().as_secs_f64(),
+                    );
+                    w.number("shard_imbalance", node.engine.shard_imbalance());
                 });
             }
         });
@@ -432,6 +450,9 @@ mod tests {
             "\"node0\":",
             "\"node1\":",
             "\"busy_seconds\":",
+            "\"mean_lp_seconds\":",
+            "\"p99_lp_seconds\":",
+            "\"shard_imbalance\":",
             "\"config_digest\": \"0x",
         ] {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");

@@ -4,20 +4,23 @@
 //! cargo run --release --example format_blobs
 //! ```
 //!
-//! Prints four sections — the `svgic-trace v1` example, a
-//! `svgic-loadgen-report/v1` JSON, a `svgic-cluster-report/v1` JSON and the
-//! wire-frame hex dump — using the same pinned configuration
+//! Prints six sections — the `svgic-trace v1` example, a
+//! `svgic-loadgen-report/v1` JSON, a `svgic-cluster-report/v1` JSON, the
+//! wire-frame hex dump, the `QueryMetrics` frame hex and the Chrome
+//! trace-event JSON — using the same pinned configuration
 //! (`workers: 2, shards: 2`, steady-mall smoke at 2 ticks, seed 3; cluster:
-//! 2 nodes with a mid-run rebalance) that `tests/format_conformance.rs`
-//! regenerates and compares against the spec. After changing a format,
-//! rerun this and paste the refreshed blobs into the spec; the conformance
-//! test fails until spec and emitter agree again.
+//! 2 nodes with a mid-run rebalance; trace events: a fixed three-span list)
+//! that `tests/format_conformance.rs` regenerates and compares against the
+//! spec. After changing a format, rerun this and paste the refreshed blobs
+//! into the spec; the conformance test fails until spec and emitter agree
+//! again.
 //!
 //! Timing-valued fields (`wall_seconds`, latency quantiles, …) differ run
 //! to run; the conformance test compares *key structure*, not values, so a
 //! pasted snapshot stays valid.
 
 use svgic::engine::prelude::*;
+use svgic::obs::{chrome_trace_json, Phase, SpanRecord};
 use svgic::workload::prelude::*;
 use svgic::workload::DriverConfig;
 
@@ -37,6 +40,59 @@ fn example_trace() -> Trace {
     let mut scenario = Scenario::steady_mall().smoke();
     scenario.ticks = 2;
     generate(&scenario, 3)
+}
+
+/// The pinned span list for the Chrome trace-event example: hand-fixed
+/// timestamps (a real run's vary), but real phases and the real lane
+/// mapping — a `Serve` request on the engine lane, the `LpWarm` it
+/// triggered on shard 1, and a `WireDecode` on a second node
+/// (mirrored in `tests/format_conformance.rs`).
+fn pinned_spans() -> Vec<SpanRecord> {
+    vec![
+        SpanRecord {
+            request_id: 1,
+            session: 7,
+            phase: Phase::Serve,
+            shard: SpanRecord::NO_SHARD,
+            node: 0,
+            start_nanos: 500,
+            duration_nanos: 42_000,
+        },
+        SpanRecord {
+            request_id: 0,
+            session: 7,
+            phase: Phase::LpWarm,
+            shard: 1,
+            node: 0,
+            start_nanos: 1_000,
+            duration_nanos: 30_500,
+        },
+        SpanRecord {
+            request_id: 2,
+            session: 9,
+            phase: Phase::WireDecode,
+            shard: SpanRecord::NO_SHARD,
+            node: 1,
+            start_nanos: 2_250,
+            duration_nanos: 1_250,
+        },
+    ]
+}
+
+/// Renders one frame as the spec's space-joined hex dump.
+fn frame_hex(kind: svgic::net::FrameKind, request_id: u64, payload: Vec<u8>) -> String {
+    let mut frame_bytes = Vec::new();
+    svgic::net::frame::write_frame(
+        &mut frame_bytes,
+        &svgic::net::Frame {
+            kind,
+            request_id,
+            payload,
+        },
+    )
+    .expect("in-memory write");
+    let hex: Vec<String> = frame_bytes.iter().map(|b| format!("{b:02x}")).collect();
+    hex.join(" ")
 }
 
 fn main() {
@@ -96,16 +152,12 @@ fn main() {
     println!("\n=== wire frame (QueryConfiguration(session 7), request id 1) ===");
     let payload =
         svgic::engine::codec::encode_request(&EngineRequest::QueryConfiguration(SessionId(7)));
-    let mut frame_bytes = Vec::new();
-    svgic::net::frame::write_frame(
-        &mut frame_bytes,
-        &svgic::net::Frame {
-            kind: svgic::net::FrameKind::Request,
-            request_id: 1,
-            payload,
-        },
-    )
-    .expect("in-memory write");
-    let hex: Vec<String> = frame_bytes.iter().map(|b| format!("{b:02x}")).collect();
-    println!("{}", hex.join(" "));
+    println!("{}", frame_hex(svgic::net::FrameKind::Request, 1, payload));
+
+    println!("\n=== wire frame (QueryMetrics, request id 2) ===");
+    let payload = svgic::engine::codec::encode_request(&EngineRequest::QueryMetrics);
+    println!("{}", frame_hex(svgic::net::FrameKind::Request, 2, payload));
+
+    println!("\n=== chrome trace events (pinned three-span example) ===");
+    println!("{}", chrome_trace_json(&pinned_spans()));
 }

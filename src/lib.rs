@@ -31,6 +31,12 @@
 //!   (warm LP factors travel with the session), crash recovery from router
 //!   shadow state, and pluggable rebalancing policies (ring-authority and
 //!   load-aware);
+//! * [`obs`] — the observability layer threaded through engine, cluster and
+//!   wire: a span-based tracer with a static phase enum and a fixed-capacity
+//!   lock-sharded flight recorder (off by default, near-zero when disabled),
+//!   the log-bucketed latency histograms, the metrics registry behind
+//!   `StatsSnapshot::metrics()` and the Chrome trace-event JSON export
+//!   (`loadgen --trace-out`);
 //! * [`net`] — the wire protocol: length-prefixed binary framing over TCP,
 //!   a blocking server fronting one engine, and a client implementing the
 //!   same driver-facing `EngineTransport` trait as the in-process engine —
@@ -78,6 +84,7 @@ pub use svgic_graph as graph;
 pub use svgic_lp as lp;
 pub use svgic_metrics as metrics;
 pub use svgic_net as net;
+pub use svgic_obs as obs;
 pub use svgic_workload as workload;
 
 /// The most common imports in one place.

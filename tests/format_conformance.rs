@@ -9,8 +9,10 @@
 //!   carry the right schema tags, and expose **exactly** the key structure
 //!   a freshly generated report exposes today — so adding, renaming or
 //!   dropping a report key without updating the spec fails CI;
-//! * the wire-frame hex decodes to the documented frame and re-encodes to
-//!   the same bytes.
+//! * the wire-frame hexes decode to the documented frames and re-encode to
+//!   the same bytes;
+//! * the Chrome trace-event blob re-renders **byte-identically** from its
+//!   pinned span list and parses as the documented structure.
 //!
 //! Regenerate the blobs with `cargo run --release --example format_blobs`.
 
@@ -19,6 +21,7 @@ use std::io::Cursor;
 use svgic::engine::prelude::*;
 use svgic::net::frame::{read_frame, write_frame};
 use svgic::net::FrameKind;
+use svgic::obs::{chrome_trace_json, Phase, SpanRecord};
 use svgic::workload::json::Json;
 use svgic::workload::prelude::*;
 use svgic::workload::DriverConfig;
@@ -139,14 +142,18 @@ fn cluster_report_blob_matches_the_emitter_structurally() {
     );
 }
 
-#[test]
-fn frame_hex_decodes_to_the_documented_frame() {
-    let hex = blob("frame-hex");
+fn frame_from_hex(hex: &str) -> (svgic::net::Frame, Vec<u8>) {
     let bytes: Vec<u8> = hex
         .split_whitespace()
         .map(|tok| u8::from_str_radix(tok, 16).expect("spec hex is valid"))
         .collect();
     let frame = read_frame(&mut Cursor::new(&bytes)).expect("spec frame decodes");
+    (frame, bytes)
+}
+
+#[test]
+fn frame_hex_decodes_to_the_documented_frame() {
+    let (frame, bytes) = frame_from_hex(&blob("frame-hex"));
     assert_eq!(frame.kind, FrameKind::Request);
     assert_eq!(frame.request_id, 1);
     let request =
@@ -159,4 +166,111 @@ fn frame_hex_decodes_to_the_documented_frame() {
     let mut reencoded = Vec::new();
     write_frame(&mut reencoded, &frame).expect("in-memory write");
     assert_eq!(reencoded, bytes);
+}
+
+#[test]
+fn metrics_frame_hex_decodes_to_a_query_metrics_request() {
+    let (frame, bytes) = frame_from_hex(&blob("metrics-frame-hex"));
+    assert_eq!(frame.kind, FrameKind::Request);
+    assert_eq!(frame.request_id, 2);
+    let request =
+        svgic::engine::codec::decode_request(&frame.payload).expect("spec payload decodes");
+    assert!(
+        matches!(request, EngineRequest::QueryMetrics),
+        "spec frame documents QueryMetrics, decodes {request:?}"
+    );
+    let mut reencoded = Vec::new();
+    write_frame(&mut reencoded, &frame).expect("in-memory write");
+    assert_eq!(reencoded, bytes);
+}
+
+/// The pinned span list behind the spec's trace-event example (mirrored in
+/// `examples/format_blobs.rs`).
+fn pinned_spans() -> Vec<SpanRecord> {
+    vec![
+        SpanRecord {
+            request_id: 1,
+            session: 7,
+            phase: Phase::Serve,
+            shard: SpanRecord::NO_SHARD,
+            node: 0,
+            start_nanos: 500,
+            duration_nanos: 42_000,
+        },
+        SpanRecord {
+            request_id: 0,
+            session: 7,
+            phase: Phase::LpWarm,
+            shard: 1,
+            node: 0,
+            start_nanos: 1_000,
+            duration_nanos: 30_500,
+        },
+        SpanRecord {
+            request_id: 2,
+            session: 9,
+            phase: Phase::WireDecode,
+            shard: SpanRecord::NO_SHARD,
+            node: 1,
+            start_nanos: 2_250,
+            duration_nanos: 1_250,
+        },
+    ]
+}
+
+#[test]
+fn trace_events_blob_rerenders_byte_identically_and_has_the_documented_shape() {
+    let blob = blob("trace-events");
+    // The emitter is deterministic over a fixed span list, so the spec blob
+    // is byte-exact, not just structurally equal.
+    assert_eq!(
+        chrome_trace_json(&pinned_spans()),
+        blob.trim_end(),
+        "docs/FORMATS.md's trace-event example drifted from the emitter — \
+         regenerate with `cargo run --release --example format_blobs`"
+    );
+    // And it is what the spec says it is: valid JSON with the documented
+    // keys, lane mapping and correlation args.
+    let value = Json::parse(blob.trim_end()).expect("spec blob is valid JSON");
+    assert_eq!(
+        value.get("displayTimeUnit").and_then(Json::as_str),
+        Some("ms")
+    );
+    let events = match value.get("traceEvents") {
+        Some(Json::Array(events)) => events,
+        other => panic!("traceEvents must be an array, got {other:?}"),
+    };
+    assert_eq!(events.len(), pinned_spans().len());
+    for (event, span) in events.iter().zip(pinned_spans()) {
+        assert_eq!(
+            event.get("name").and_then(Json::as_str),
+            Some(span.phase.name())
+        );
+        assert_eq!(event.get("cat").and_then(Json::as_str), Some("svgic"));
+        assert_eq!(event.get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(
+            event.get("pid").and_then(Json::as_f64),
+            Some(span.node as f64)
+        );
+        let lane = if span.shard == SpanRecord::NO_SHARD {
+            0.0
+        } else {
+            span.shard as f64 + 1.0
+        };
+        assert_eq!(event.get("tid").and_then(Json::as_f64), Some(lane));
+        assert_eq!(
+            event
+                .get("args")
+                .and_then(|a| a.get("request_id"))
+                .and_then(Json::as_f64),
+            Some(span.request_id as f64)
+        );
+        assert_eq!(
+            event
+                .get("args")
+                .and_then(|a| a.get("session"))
+                .and_then(Json::as_f64),
+            Some(span.session as f64)
+        );
+    }
 }
