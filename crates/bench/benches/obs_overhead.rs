@@ -2,7 +2,7 @@
 //! tracing off (the default) and on, plus the per-call price of a span
 //! site in both states.
 //!
-//! Two gates run **before** any timing:
+//! Three gates run **before** any timing:
 //!
 //! 1. **read-side contract** — the traced run's configuration digest and
 //!    solve count equal the untraced run's (tracing observes the engine,
@@ -11,7 +11,13 @@
 //!    site (one relaxed atomic load), multiplied by the number of spans
 //!    the *enabled* run recorded, must project to less than 1% of the
 //!    untraced run's wall time. That is the price every production engine
-//!    pays for having the instrumentation compiled in.
+//!    pays for having the instrumentation compiled in;
+//! 3. **sampler overhead < 2%** — the telemetry ring samples one stats
+//!    snapshot per flush tick (on by default). The measured cost of one
+//!    snapshot, multiplied by the number of samples the default run
+//!    pushed, must project to less than 2% of a sampling-disabled run's
+//!    wall time — and sampling must not change the digest or solve count
+//!    either.
 //!
 //! Criterion then times the smallest units: one disabled `begin`/`finish`
 //! pair vs. one enabled pair (clock read + ring insert).
@@ -42,20 +48,21 @@ fn scenario() -> Scenario {
     }
 }
 
-/// Pinned engine shape so solve counters match between the two runs.
-fn engine_config(obs: ObsConfig) -> EngineConfig {
+/// Pinned engine shape so solve counters match between the runs.
+fn engine_config(obs: ObsConfig, telemetry_capacity: usize) -> EngineConfig {
     EngineConfig {
         workers: 2,
         shards: 2,
         auto_flush_pending: 0,
         obs,
+        telemetry_capacity,
         ..EngineConfig::default()
     }
 }
 
 fn driver(obs: ObsConfig) -> LoadDriver {
     LoadDriver::new(DriverConfig {
-        engine: engine_config(obs),
+        engine: engine_config(obs, 0),
         ..DriverConfig::default()
     })
 }
@@ -77,7 +84,7 @@ fn obs_overhead(c: &mut Criterion) {
     let off = driver(ObsConfig::disabled()).run(&trace);
 
     // --- Run 2: tracing on, same trace, spans kept for the projection ---
-    let mut engine = Engine::new(engine_config(ObsConfig::enabled()));
+    let mut engine = Engine::new(engine_config(ObsConfig::enabled(), 0));
     let on = driver(ObsConfig::disabled()).run_on(&mut engine, &trace);
     let spans_recorded = engine.tracer().recorded();
 
@@ -119,6 +126,57 @@ fn obs_overhead(c: &mut Criterion) {
         projected < budget,
         "disabled-path overhead projects to {projected:.6}s, over the 1% budget \
          ({budget:.6}s) for this run"
+    );
+
+    // --- Run 3: telemetry sampling at the default capacity, same trace ---
+    let default_capacity = EngineConfig::default().telemetry_capacity;
+    let mut sampled_engine = Engine::new(engine_config(ObsConfig::disabled(), default_capacity));
+    let sampled = driver(ObsConfig::disabled()).run_on(&mut sampled_engine, &trace);
+    let samples = sampled_engine.telemetry();
+
+    // --- Gate 3: sampling is read-side and projects to < 2% of wall time ---
+    assert_eq!(
+        off.config_digest, sampled.config_digest,
+        "telemetry sampling must not change the served configurations"
+    );
+    assert_eq!(
+        off.engine.solves(),
+        sampled.engine.solves(),
+        "telemetry sampling must add zero solver work"
+    );
+    assert!(
+        !samples.is_empty(),
+        "the sampled run must actually push telemetry samples"
+    );
+    assert!(
+        samples.windows(2).all(|pair| pair[0].tick < pair[1].tick),
+        "the ring's tick axis must be strictly increasing"
+    );
+    // One sample costs one stats snapshot (the ring push is a memcpy);
+    // measure the snapshot on the engine the run just filled, so the
+    // per-sample price reflects a realistically-populated session store.
+    let per_sample = {
+        let calls = 1_000u32;
+        let started = Instant::now();
+        for _ in 0..calls {
+            std::hint::black_box(sampled_engine.stats());
+        }
+        started.elapsed().as_secs_f64() / f64::from(calls)
+    };
+    let sampler_projected = per_sample * samples.len() as f64;
+    let sampler_budget = off.wall_seconds * 0.02;
+    println!(
+        "telemetry sample ≈ {:.2} µs/snapshot; {} samples project to {:.3} µs \
+         ({:.4}% of the sampling-off run)",
+        per_sample * 1e6,
+        samples.len(),
+        sampler_projected * 1e6,
+        100.0 * sampler_projected / off.wall_seconds.max(1e-12),
+    );
+    assert!(
+        sampler_projected < sampler_budget,
+        "telemetry sampling projects to {sampler_projected:.6}s, over the 2% budget \
+         ({sampler_budget:.6}s) for this run"
     );
 
     // --- Criterion: the smallest units ---

@@ -671,11 +671,15 @@ impl<B: EngineTransport> Cluster<B> {
             .map(|(&id, engine)| {
                 let info = engine.describe().expect("node answers Describe");
                 let snapshot = engine.stats().expect("node answers QueryStats");
+                let telemetry = engine
+                    .query_telemetry()
+                    .expect("node answers QueryTelemetry");
                 NodeSnapshot {
                     node: NodeId(id),
                     sessions: info.sessions as u64,
                     queue_depth: info.pending_events as u64,
                     engine: snapshot,
+                    telemetry,
                 }
             })
             .collect();
@@ -691,6 +695,34 @@ impl<B: EngineTransport> Cluster<B> {
             nodes,
             stats: self.stats.clone(),
         }
+    }
+
+    /// Bytes the router itself holds for crash recovery: the interned
+    /// shadow instances (one resident copy per template, however many
+    /// sessions share it) plus each session shadow's membership and
+    /// catalogue-override state. Computed arithmetically, like the engines'
+    /// `mem_*` gauges (see `svgic_engine::mem`).
+    pub fn shadow_footprint_bytes(&self) -> u64 {
+        let interned: u64 = self
+            .instances
+            .values()
+            .map(|instance| svgic_engine::instance_bytes(instance))
+            .sum();
+        let shadows: u64 = self
+            .shadows
+            .values()
+            .map(|shadow| {
+                let present =
+                    shadow.present.len() as u64 * svgic_obs::mem::MAP_ENTRY_OVERHEAD_BYTES;
+                let catalog = shadow
+                    .catalog
+                    .as_ref()
+                    .map(|items| svgic_obs::mem::vec_footprint::<ItemIdx>(items.len()))
+                    .unwrap_or(0);
+                present + catalog
+            })
+            .sum();
+        interned + shadows
     }
 
     /// A single node's engine snapshot.
@@ -1050,6 +1082,48 @@ mod tests {
             1,
             "reset must not consume live pending events"
         );
+    }
+
+    #[test]
+    fn snapshot_carries_per_node_telemetry_health_and_memory() {
+        let mut cluster = Cluster::new(config(2));
+        for key in 0..4 {
+            open(&mut cluster, key);
+        }
+        cluster
+            .submit_event(1, SessionEvent::Membership(DynamicEvent::Leave(0)))
+            .unwrap();
+        cluster.flush_all();
+        cluster.flush_all();
+        let snapshot = cluster.snapshot();
+        for node in &snapshot.nodes {
+            assert!(
+                !node.telemetry.is_empty(),
+                "{}: each flush ticks the node's sampler",
+                node.node
+            );
+            let ticks: Vec<u64> = node.telemetry.iter().map(|s| s.tick).collect();
+            let mut sorted = ticks.clone();
+            sorted.sort_unstable();
+            assert_eq!(ticks, sorted, "ticks are monotone");
+            assert_eq!(
+                node.health(),
+                svgic_engine::Health::Ok,
+                "an unloaded fleet is healthy"
+            );
+            assert!(node.mem_bytes() > 0, "hosted sessions are accounted");
+        }
+        // The router's own recovery state is accounted too.
+        assert!(cluster.shadow_footprint_bytes() > 0);
+        let before = cluster.shadow_footprint_bytes();
+        for key in 0..4 {
+            cluster.close_session(key).unwrap();
+        }
+        assert!(
+            cluster.shadow_footprint_bytes() < before,
+            "closing sessions releases shadow bytes"
+        );
+        assert_eq!(cluster.shadow_footprint_bytes(), 0);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Cluster-level counters and aggregated snapshots.
 
-use svgic_engine::StatsSnapshot;
+use svgic_engine::{Health, StatsSnapshot, TelemetrySample};
 
 use crate::ring::NodeId;
 
@@ -43,6 +43,22 @@ pub struct NodeSnapshot {
     pub queue_depth: u64,
     /// The node engine's full counter snapshot.
     pub engine: StatsSnapshot,
+    /// The node's per-tick time series, oldest sample first (empty when the
+    /// node runs with sampling disabled).
+    pub telemetry: Vec<TelemetrySample>,
+}
+
+impl NodeSnapshot {
+    /// The node's derived health (SLO burn + memory budget, default
+    /// policy).
+    pub fn health(&self) -> Health {
+        self.engine.health()
+    }
+
+    /// Total accounted bytes on the node right now.
+    pub fn mem_bytes(&self) -> u64 {
+        self.engine.mem_total_bytes()
+    }
 }
 
 /// A point-in-time view of the whole fabric: per-node snapshots plus the

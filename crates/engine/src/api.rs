@@ -94,6 +94,11 @@ pub enum EngineRequest {
     /// remote scrapers (`loadgen metrics --connect`) need no snapshot codec
     /// knowledge to plot a node.
     QueryMetrics,
+    /// Reads the engine's telemetry ring — the per-tick
+    /// [`TelemetrySample`](svgic_obs::TelemetrySample) time series — so
+    /// remote nodes' history lands in cluster reports and
+    /// `loadgen --trace-out` counter tracks.
+    QueryTelemetry,
 }
 
 /// The engine's shape and current occupancy, as answered to
@@ -174,6 +179,8 @@ pub enum EngineResponse {
     /// The engine's exported metric series, in `StatsSnapshot::metrics()`
     /// order.
     Metrics(Vec<(String, f64)>),
+    /// The engine's telemetry ring, oldest sample first.
+    Telemetry(Vec<svgic_obs::TelemetrySample>),
 }
 
 /// Why a request was rejected.

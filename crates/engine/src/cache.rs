@@ -52,6 +52,18 @@ impl FactorCache {
             })
     }
 
+    /// Bytes held by the cached factor matrices plus per-entry map overhead
+    /// — what this cache costs to keep warm (shared `Arc` payloads are
+    /// attributed to every holder; see `crate::mem` for the convention).
+    pub fn footprint_bytes(&self) -> u64 {
+        let entry = std::mem::size_of::<(u64, (Arc<UtilityFactors>, u64))>() as u64
+            + svgic_obs::mem::MAP_ENTRY_OVERHEAD_BYTES;
+        self.entries
+            .values()
+            .map(|(factors, _)| crate::mem::factors_bytes(factors) + entry)
+            .sum()
+    }
+
     /// Inserts factors, evicting the least-recently-used entry when full.
     pub fn insert(&mut self, fingerprint: u64, factors: Arc<UtilityFactors>) {
         if self.capacity == 0 {
@@ -142,6 +154,20 @@ mod tests {
             Arc::ptr_eq(&got, &second),
             "re-insert must replace the stored value"
         );
+    }
+
+    #[test]
+    fn footprint_counts_matrices_and_entry_overhead() {
+        let mut cache = FactorCache::new(4);
+        assert_eq!(cache.footprint_bytes(), 0);
+        let shared = factors();
+        let matrix = crate::mem::factors_bytes(&shared);
+        cache.insert(1, Arc::clone(&shared));
+        cache.insert(2, shared);
+        let footprint = cache.footprint_bytes();
+        // Two entries, each one full matrix plus bounded per-entry overhead.
+        assert!(footprint >= 2 * matrix, "{footprint} vs {matrix}");
+        assert!(footprint <= 2 * (matrix + 64), "{footprint} vs {matrix}");
     }
 
     #[test]

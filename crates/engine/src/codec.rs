@@ -37,7 +37,7 @@ use std::time::Duration;
 use svgic_algorithms::{LpBackend, UtilityFactors};
 use svgic_core::{Configuration, SvgicInstance, SvgicInstanceBuilder};
 use svgic_graph::SocialGraph;
-use svgic_obs::HistogramSnapshot;
+use svgic_obs::{HistogramSnapshot, TelemetrySample};
 
 use crate::api::{
     ConfigurationView, CreateSession, EngineError, EngineInfo, EngineRequest, EngineResponse,
@@ -689,6 +689,7 @@ fn write_stats(w: &mut Writer, s: &StatsSnapshot) {
         write_duration(w, shard.busy_time);
         w.u64(shard.queue_depth);
         w.u64(shard.cache_entries);
+        w.u64(shard.cache_bytes);
     }
     w.u64(s.events_submitted);
     w.u64(s.events_coalesced);
@@ -714,6 +715,9 @@ fn write_stats(w: &mut Writer, s: &StatsSnapshot) {
     write_histogram(w, &s.warm_solve_latency);
     write_histogram(w, &s.cold_solve_latency);
     write_histogram(w, &s.round_latency);
+    w.u64(s.mem_session_bytes);
+    w.u64(s.mem_pending_bytes);
+    w.u64(s.mem_served_bytes);
 }
 
 fn read_stats(r: &mut Reader) -> Result<StatsSnapshot, CodecError> {
@@ -722,7 +726,7 @@ fn read_stats(r: &mut Reader) -> Result<StatsSnapshot, CodecError> {
     let sessions_closed = r.u64()?;
     let sessions_exported = r.u64()?;
     let sessions_imported = r.u64()?;
-    let shard_count = r.len(40)?;
+    let shard_count = r.len(48)?;
     let shards = (0..shard_count)
         .map(|_| {
             Ok(ShardSnapshot {
@@ -731,6 +735,7 @@ fn read_stats(r: &mut Reader) -> Result<StatsSnapshot, CodecError> {
                 busy_time: read_duration(r)?,
                 queue_depth: r.u64()?,
                 cache_entries: r.u64()?,
+                cache_bytes: r.u64()?,
             })
         })
         .collect::<Result<Vec<_>, CodecError>>()?;
@@ -765,6 +770,41 @@ fn read_stats(r: &mut Reader) -> Result<StatsSnapshot, CodecError> {
         warm_solve_latency: read_histogram(r)?,
         cold_solve_latency: read_histogram(r)?,
         round_latency: read_histogram(r)?,
+        mem_session_bytes: r.u64()?,
+        mem_pending_bytes: r.u64()?,
+        mem_served_bytes: r.u64()?,
+    })
+}
+
+/// One fixed-width (88-byte) telemetry sample: eleven `u64` fields in
+/// declaration order, rates already integer-encoded as parts per million.
+fn write_sample(w: &mut Writer, s: &TelemetrySample) {
+    w.u64(s.tick);
+    w.u64(s.requests);
+    w.u64(s.solves);
+    w.u64(s.queue_depth);
+    w.u64(s.warm_rate_ppm);
+    w.u64(s.imbalance_ppm);
+    w.u64(s.mem_session_bytes);
+    w.u64(s.mem_pending_bytes);
+    w.u64(s.mem_served_bytes);
+    w.u64(s.mem_cache_bytes);
+    w.u64(s.mem_total_bytes);
+}
+
+fn read_sample(r: &mut Reader) -> Result<TelemetrySample, CodecError> {
+    Ok(TelemetrySample {
+        tick: r.u64()?,
+        requests: r.u64()?,
+        solves: r.u64()?,
+        queue_depth: r.u64()?,
+        warm_rate_ppm: r.u64()?,
+        imbalance_ppm: r.u64()?,
+        mem_session_bytes: r.u64()?,
+        mem_pending_bytes: r.u64()?,
+        mem_served_bytes: r.u64()?,
+        mem_cache_bytes: r.u64()?,
+        mem_total_bytes: r.u64()?,
     })
 }
 
@@ -860,6 +900,7 @@ pub fn encode_request(request: &EngineRequest) -> Vec<u8> {
         }
         EngineRequest::Describe => w.u8(11),
         EngineRequest::QueryMetrics => w.u8(12),
+        EngineRequest::QueryTelemetry => w.u8(13),
     }
     w.buf
 }
@@ -885,6 +926,7 @@ pub fn decode_request(bytes: &[u8]) -> Result<EngineRequest, CodecError> {
         10 => EngineRequest::ImportSession(Box::new(read_export(&mut r)?)),
         11 => EngineRequest::Describe,
         12 => EngineRequest::QueryMetrics,
+        13 => EngineRequest::QueryTelemetry,
         tag => {
             return Err(CodecError::BadTag {
                 what: "request",
@@ -958,6 +1000,13 @@ pub fn encode_response(response: &Result<EngineResponse, EngineError>) -> Vec<u8
                 w.f64(*value);
             }
         }
+        Ok(EngineResponse::Telemetry(samples)) => {
+            w.u8(13);
+            w.len(samples.len());
+            for sample in samples {
+                write_sample(&mut w, sample);
+            }
+        }
     }
     w.buf
 }
@@ -993,6 +1042,13 @@ pub fn decode_response(bytes: &[u8]) -> Result<Result<EngineResponse, EngineErro
                 .map(|_| Ok((r.str()?, r.f64()?)))
                 .collect::<Result<Vec<_>, CodecError>>()?;
             Ok(EngineResponse::Metrics(metrics))
+        }
+        13 => {
+            let n = r.len(88)?;
+            let samples = (0..n)
+                .map(|_| read_sample(&mut r))
+                .collect::<Result<Vec<_>, CodecError>>()?;
+            Ok(EngineResponse::Telemetry(samples))
         }
         tag => {
             return Err(CodecError::BadTag {
@@ -1043,8 +1099,102 @@ mod tests {
             EngineRequest::ResetStats,
             EngineRequest::ExportSession(SessionId(4)),
             EngineRequest::Describe,
+            EngineRequest::QueryMetrics,
+            EngineRequest::QueryTelemetry,
         ] {
             assert_request_roundtrip(&request);
+        }
+    }
+
+    #[test]
+    fn telemetry_responses_roundtrip() {
+        let samples = vec![
+            TelemetrySample {
+                tick: 0,
+                requests: 12,
+                solves: 5,
+                queue_depth: 2,
+                warm_rate_ppm: 640_000,
+                imbalance_ppm: 1_100_000,
+                mem_session_bytes: 4096,
+                mem_pending_bytes: 128,
+                mem_served_bytes: 256,
+                mem_cache_bytes: 8192,
+                mem_total_bytes: 12_672,
+            },
+            TelemetrySample {
+                tick: 1,
+                ..TelemetrySample::default()
+            },
+        ];
+        for list in [Vec::new(), samples] {
+            let response = Ok(EngineResponse::Telemetry(list.clone()));
+            let bytes = encode_response(&response);
+            match decode_response(&bytes).expect("decodes") {
+                Ok(EngineResponse::Telemetry(decoded)) => assert_eq!(decoded, list),
+                other => panic!("decoded {other:?}"),
+            }
+            assert_eq!(encode_response(&response), bytes, "canonical re-encode");
+        }
+    }
+
+    #[test]
+    fn sparse_histograms_roundtrip_including_empty_and_single_bucket() {
+        use svgic_obs::AtomicHistogram;
+        // Shapes: empty, a single bucket, and a multi-bucket spread. The
+        // codec must rebuild totals exactly (total is derived on decode).
+        let empty = AtomicHistogram::new().snapshot();
+        let single = {
+            let h = AtomicHistogram::new();
+            for _ in 0..5 {
+                h.record_nanos(1_500);
+            }
+            h.snapshot()
+        };
+        let spread = {
+            let h = AtomicHistogram::new();
+            for i in 0..200u64 {
+                h.record_nanos(i * i * 997 + 1);
+            }
+            h.snapshot()
+        };
+        for (what, snapshot) in [("empty", empty), ("single", single), ("spread", spread)] {
+            let mut w = Writer::new();
+            write_histogram(&mut w, &snapshot);
+            let mut r = Reader::new(&w.buf);
+            let decoded = read_histogram(&mut r).unwrap_or_else(|e| panic!("{what}: {e}"));
+            r.finish().expect("no trailing bytes");
+            assert_eq!(decoded.pairs(), snapshot.pairs(), "{what}");
+            assert_eq!(decoded.count(), snapshot.count(), "{what}");
+            assert_eq!(decoded.sum_nanos(), snapshot.sum_nanos(), "{what}");
+            assert_eq!(decoded.max_nanos(), snapshot.max_nanos(), "{what}");
+            assert_eq!(
+                decoded.quantile_nanos(0.99),
+                snapshot.quantile_nanos(0.99),
+                "{what}"
+            );
+            // Canonical: re-encoding the decoded value is byte-identical.
+            let mut again = Writer::new();
+            write_histogram(&mut again, &decoded);
+            assert_eq!(again.buf, w.buf, "{what}");
+        }
+    }
+
+    #[test]
+    fn stats_snapshots_carry_mem_and_cache_byte_fields() {
+        let stats = crate::stats::EngineStats::with_shards(2);
+        stats.set_mem_gauges(1000, 200, 50);
+        stats.set_shard_cache_bytes(1, 777);
+        let snapshot = stats.snapshot();
+        let bytes = encode_response(&Ok(EngineResponse::Stats(Box::new(snapshot.clone()))));
+        match decode_response(&bytes).expect("decodes") {
+            Ok(EngineResponse::Stats(decoded)) => {
+                assert_eq!(*decoded, snapshot);
+                assert_eq!(decoded.mem_session_bytes, 1000);
+                assert_eq!(decoded.shards[1].cache_bytes, 777);
+                assert_eq!(decoded.mem_total_bytes(), 1000 + 200 + 50 + 777);
+            }
+            other => panic!("decoded {other:?}"),
         }
     }
 

@@ -69,7 +69,8 @@ use crate::scheduler::coalesce;
 use crate::session::{Served, SessionExport, SessionState};
 use crate::stats::{EngineStats, StatsSnapshot};
 use crate::warm::{solve_factors_warm, CacheMode};
-use svgic_obs::{ObsConfig, Phase, SpanRecord, Tracer};
+use svgic_obs::telemetry::rate_to_ppm;
+use svgic_obs::{ObsConfig, Phase, SpanRecord, TelemetryRing, TelemetrySample, Tracer};
 
 use rand::SeedableRng;
 
@@ -105,6 +106,11 @@ pub struct EngineConfig {
     /// default; enabling it is strictly read-side — served configurations,
     /// counters and response digests are byte-identical either way.
     pub obs: ObsConfig,
+    /// Capacity of the telemetry ring: how many per-tick
+    /// [`TelemetrySample`]s the engine retains (one is recorded after every
+    /// handled [`EngineRequest::Flush`], the driver's deterministic tick).
+    /// `0` disables sampling entirely. Like `obs`, strictly read-side.
+    pub telemetry_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -120,6 +126,7 @@ impl Default for EngineConfig {
             sampling: SamplingScheme::Advanced,
             max_idle_iterations: 10_000,
             obs: ObsConfig::default(),
+            telemetry_capacity: 1024,
         }
     }
 }
@@ -186,6 +193,11 @@ pub struct Engine {
     /// Events queued across all sessions (kept incrementally so the
     /// auto-flush threshold check is O(1) per submit).
     pending_total: usize,
+    /// Per-tick time series, one sample per handled `Flush` request.
+    telemetry: TelemetryRing,
+    /// Ticks elapsed since construction or the last stats reset (the
+    /// sample timestamps; monotone within the ring).
+    ticks: u64,
 }
 
 impl Engine {
@@ -206,6 +218,7 @@ impl Engine {
             })
             .collect();
         let tracer = Tracer::new(config.obs);
+        let telemetry = TelemetryRing::new(config.telemetry_capacity);
         Engine {
             config,
             sessions: BTreeMap::new(),
@@ -216,6 +229,8 @@ impl Engine {
             tracer,
             current_request: 0,
             pending_total: 0,
+            telemetry,
+            ticks: 0,
         }
     }
 
@@ -266,16 +281,78 @@ impl Engine {
             .sum()
     }
 
-    /// A point-in-time snapshot of the engine counters.
+    /// A point-in-time snapshot of the engine counters. Refreshes the
+    /// session-side `mem_*` gauges first (an O(sessions) arithmetic walk —
+    /// strictly read-side, never touching matrix data).
     pub fn stats(&self) -> StatsSnapshot {
+        self.refresh_mem_gauges();
         self.stats.snapshot()
+    }
+
+    /// Recomputes the session/pending/served byte gauges from the live
+    /// session store (shard cache bytes refresh at shard-job end and on
+    /// import, where the caches actually change).
+    fn refresh_mem_gauges(&self) {
+        let mut session = 0u64;
+        let mut pending = 0u64;
+        let mut served = 0u64;
+        for state in self.sessions.values() {
+            let footprint = crate::mem::session_footprint(state);
+            session += footprint.session_bytes;
+            pending += footprint.pending_bytes;
+            served += footprint.served_bytes;
+        }
+        self.stats.set_mem_gauges(session, pending, served);
     }
 
     /// Resets the engine counters to zero without touching sessions or the
     /// factor cache — e.g. to exclude a warmup prefix from a measured run
-    /// while keeping the caches warm.
+    /// while keeping the caches warm. The telemetry ring and its tick clock
+    /// reset too: reports carry only the measured window.
     pub fn reset_stats(&mut self) {
         self.stats.reset();
+        self.telemetry.clear();
+        self.ticks = 0;
+    }
+
+    /// The telemetry ring's samples, oldest first (empty when
+    /// [`EngineConfig::telemetry_capacity`] is 0 or no flush has happened
+    /// yet).
+    pub fn telemetry(&self) -> Vec<TelemetrySample> {
+        self.telemetry.samples()
+    }
+
+    /// Records one time-series sample at the current tick, then advances
+    /// the tick clock. Called from the `Flush` request arm — the driver's
+    /// deterministic tick boundary — never from a timer.
+    fn sample_telemetry(&mut self) {
+        self.ticks += 1;
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        // Shard jobs publish their cache gauges after sending their last
+        // outcome but before releasing the shard lock, so the batch can
+        // finish (all outcomes drained) while a worker's gauge store is
+        // still in flight. Briefly taking each shard lock fences those
+        // stores: the sample always reads the post-batch cache size, which
+        // keeps the ring deterministic across backends.
+        for shard in &self.shards {
+            drop(shard.lock().expect("shard poisoned"));
+        }
+        let snapshot = self.stats();
+        self.telemetry.push(TelemetrySample {
+            tick: self.ticks - 1,
+            requests: snapshot.requests,
+            solves: snapshot.solves(),
+            queue_depth: snapshot.total_queue_depth(),
+            warm_rate_ppm: rate_to_ppm(snapshot.warm_start_rate()),
+            imbalance_ppm: rate_to_ppm(snapshot.shard_imbalance()),
+            mem_session_bytes: snapshot.mem_session_bytes,
+            mem_pending_bytes: snapshot.mem_pending_bytes,
+            mem_served_bytes: snapshot.mem_served_bytes,
+            mem_cache_bytes: snapshot.mem_cache_bytes(),
+            mem_total_bytes: snapshot.mem_total_bytes(),
+        });
     }
 
     /// Handles a typed request.
@@ -302,6 +379,9 @@ impl Engine {
             }
             EngineRequest::Flush => {
                 self.flush();
+                // The handled Flush is the driver's tick boundary: exactly
+                // one telemetry sample per tick, on no wall-clock at all.
+                self.sample_telemetry();
                 Ok(EngineResponse::Flushed)
             }
             EngineRequest::QueryStats => Ok(EngineResponse::Stats(Box::new(self.stats()))),
@@ -317,6 +397,7 @@ impl Engine {
             )),
             EngineRequest::Describe => Ok(EngineResponse::Description(self.describe())),
             EngineRequest::QueryMetrics => Ok(EngineResponse::Metrics(self.stats().metrics())),
+            EngineRequest::QueryTelemetry => Ok(EngineResponse::Telemetry(self.telemetry())),
         }
     }
 
@@ -546,6 +627,8 @@ impl Engine {
             shard_state.factors.insert(fingerprint, factors);
             self.stats
                 .set_shard_cache_entries(shard, shard_state.factors.len());
+            self.stats
+                .set_shard_cache_bytes(shard, shard_state.factors.footprint_bytes());
         }
         self.sessions.insert(id, state);
         self.tracer.finish(
@@ -695,6 +778,7 @@ impl Engine {
                         &tx,
                     );
                     stats.set_shard_cache_entries(shard, state.factors.len());
+                    stats.set_shard_cache_bytes(shard, state.factors.footprint_bytes());
                     drop(state);
                     tracer.finish(t_dispatch, Phase::ShardDispatch, 0, 0, shard as u32);
                     stats.record_shard_busy(shard, busy_started.elapsed().as_nanos() as u64);
@@ -1294,6 +1378,96 @@ mod tests {
             "per-shard solves account for every solve"
         );
         assert!(snap.shards.iter().any(|s| s.jobs > 0));
+    }
+
+    #[test]
+    fn telemetry_samples_on_flush_requests_with_monotone_ticks() {
+        let mut engine = engine();
+        let id = create(&mut engine);
+        assert!(engine.telemetry().is_empty(), "no tick yet");
+        for _ in 0..3 {
+            engine
+                .submit_event(id, SessionEvent::RetuneLambda(0.3))
+                .unwrap();
+            engine.handle(EngineRequest::Flush).unwrap();
+        }
+        let samples = engine.telemetry();
+        assert_eq!(samples.len(), 3);
+        let ticks: Vec<u64> = samples.iter().map(|s| s.tick).collect();
+        assert_eq!(ticks, vec![0, 1, 2], "ticks are the flush count");
+        let last = samples.last().unwrap();
+        assert!(last.requests > 0);
+        assert!(last.mem_session_bytes > 0, "live session is accounted");
+        assert_eq!(
+            last.mem_total_bytes,
+            last.mem_session_bytes
+                + last.mem_pending_bytes
+                + last.mem_served_bytes
+                + last.mem_cache_bytes
+        );
+        // Direct flush() calls (auto-flush path) are not tick boundaries.
+        engine.flush();
+        assert_eq!(engine.telemetry().len(), 3);
+    }
+
+    #[test]
+    fn reset_stats_clears_the_ring_and_restarts_the_tick_clock() {
+        let mut engine = engine();
+        create(&mut engine);
+        engine.handle(EngineRequest::Flush).unwrap();
+        engine.handle(EngineRequest::Flush).unwrap();
+        assert_eq!(engine.telemetry().len(), 2);
+        engine.handle(EngineRequest::ResetStats).unwrap();
+        assert!(engine.telemetry().is_empty(), "warmup samples discarded");
+        engine.handle(EngineRequest::Flush).unwrap();
+        let samples = engine.telemetry();
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].tick, 0, "tick clock restarts at the boundary");
+    }
+
+    #[test]
+    fn zero_telemetry_capacity_disables_sampling() {
+        let mut engine = Engine::new(EngineConfig {
+            workers: 2,
+            auto_flush_pending: 0,
+            telemetry_capacity: 0,
+            ..EngineConfig::default()
+        });
+        create(&mut engine);
+        engine.handle(EngineRequest::Flush).unwrap();
+        assert!(engine.telemetry().is_empty());
+        let EngineResponse::Telemetry(samples) =
+            engine.handle(EngineRequest::QueryTelemetry).unwrap()
+        else {
+            panic!("wrong response variant");
+        };
+        assert!(samples.is_empty());
+    }
+
+    #[test]
+    fn mem_gauges_track_live_state_and_survive_reset() {
+        let mut engine = engine();
+        let id = create(&mut engine);
+        let snap = engine.stats();
+        assert!(snap.mem_session_bytes > 0);
+        assert!(snap.mem_served_bytes > 0, "initial solve leaves a Served");
+        assert_eq!(snap.mem_pending_bytes, 0);
+        engine
+            .submit_event(id, SessionEvent::RetuneLambda(0.7))
+            .unwrap();
+        let queued = engine.stats();
+        assert!(queued.mem_pending_bytes > 0, "queued event is accounted");
+        engine.reset_stats();
+        let after = engine.stats();
+        assert_eq!(
+            after.mem_session_bytes, queued.mem_session_bytes,
+            "mem gauges describe live state, not the measurement window"
+        );
+        engine.close_session(id).unwrap();
+        let empty = engine.stats();
+        assert_eq!(empty.mem_session_bytes, 0);
+        assert_eq!(empty.mem_pending_bytes, 0);
+        assert_eq!(empty.mem_served_bytes, 0);
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //!   (the paper's §5 dynamic mechanism) vs. a tight LP re-solve, driven by
 //!   accumulated churn and utility drift;
 //! * [`fingerprint`] — structural instance hashing;
+//! * [`mem`] — byte-level memory accounting ([`MemoryFootprint`]) for
+//!   session state, pending queues, served solutions and shard caches,
+//!   feeding the `mem_*` gauges;
 //! * [`cache`] — the LRU [`FactorCache`] of LP utility factors, shared
 //!   across re-solves *and across sessions* on the same shard;
 //! * [`warm`] — component-wise warm-started factor solving: the LP separates
@@ -70,6 +73,7 @@ pub mod cache;
 pub mod codec;
 pub mod engine;
 pub mod fingerprint;
+pub mod mem;
 pub mod policy;
 pub mod pool;
 pub mod scheduler;
@@ -85,14 +89,18 @@ pub use api::{
 pub use cache::FactorCache;
 pub use codec::{decode_request, decode_response, encode_request, encode_response, CodecError};
 pub use engine::{Engine, EngineConfig};
+pub use mem::{events_bytes, factors_bytes, instance_bytes, session_footprint, SessionFootprint};
 pub use policy::{LpStart, PolicyInputs, ResolveDecision, ResolveKind, ResolvePolicy};
 pub use session::{Served, SessionExport};
-pub use stats::{EngineStats, ShardSnapshot, StatsSnapshot};
+pub use stats::{EngineStats, ShardSnapshot, StatsSnapshot, DEFAULT_SLO};
 pub use transport::EngineTransport;
 pub use warm::{solve_factors_warm, CacheMode, WarmOutcome};
 // Observability types callers meet through `EngineConfig::obs` and
 // `Engine::tracer()`, re-exported so embedders need not name `svgic-obs`.
-pub use svgic_obs::{ObsConfig, Phase, SpanRecord, Tracer};
+pub use svgic_obs::{
+    Health, HealthPolicy, MemoryFootprint, ObsConfig, Phase, SloObjective, SpanRecord,
+    TelemetryRing, TelemetrySample, Tracer,
+};
 
 /// The most common engine imports in one place.
 pub mod prelude {

@@ -1,0 +1,230 @@
+//! Byte-level memory accounting for engine state.
+//!
+//! Implements [`MemoryFootprint`] (see `svgic_obs::mem` for the accounting
+//! convention) across everything long-lived the engine holds: session
+//! states, their pending-event queues, served solutions, transferable
+//! exports (the cluster router's shadow instances), and the per-shard
+//! factor caches. Every footprint is computed **arithmetically from
+//! dimensions** — `n`, `m`, `|E|`, queue lengths — in O(1) per structure
+//! (O(labels) when an instance carries item labels), never by walking
+//! matrix data, so `Engine::stats` can refresh the `mem_*` gauges at
+//! snapshot time without touching the serve path.
+//!
+//! Shared [`Arc`] payloads (a base instance aliasing `full`, factors held
+//! by both a session and a cache) are attributed to every holder:
+//! capacity accounting answers "what does it cost to hold this state",
+//! not "what does the allocator report". The aggregate is pinned within
+//! ±15% of an independently computed deep size in
+//! `tests/mem_accounting.rs`.
+
+use std::sync::Arc;
+
+use svgic_algorithms::UtilityFactors;
+use svgic_core::SvgicInstance;
+use svgic_obs::mem::{vec_footprint, MAP_ENTRY_OVERHEAD_BYTES, VEC_HEADER_BYTES};
+use svgic_obs::MemoryFootprint;
+
+use crate::api::SessionEvent;
+use crate::session::{Served, SessionExport, SessionState};
+
+/// Machine word (`usize`, `f64`, and every index type in the workspace).
+const WORD: u64 = 8;
+
+/// Heap bytes of one [`SvgicInstance`]: the `n × m` preference and
+/// `|E| × m` social matrices, the graph (edge list, both adjacency lists,
+/// the edge-lookup map), the friend-pair index, and item labels when
+/// present.
+pub fn instance_bytes(instance: &SvgicInstance) -> u64 {
+    let n = instance.num_users() as u64;
+    let m = instance.num_items() as u64;
+    let e = instance.graph().num_edges() as u64;
+    // pref (n × m) + tau (|E| × m), both f64.
+    let matrices = (n * m + e * m) * WORD;
+    // edges: Vec<(usize, usize)>; out_adj/in_adj: Vec<Vec<(usize, usize)>>
+    // (an outer header per node plus one pair per edge each); edge_lookup:
+    // HashMap<(usize, usize), usize>.
+    let graph = e * 2 * WORD
+        + 2 * (n * VEC_HEADER_BYTES + e * 2 * WORD)
+        + e * (3 * WORD + MAP_ENTRY_OVERHEAD_BYTES);
+    // FriendPair is {u, v, edges: Vec<EdgeIdx>} = 40 bytes inline; each
+    // graph edge appears in exactly one pair's edge list.
+    let pairs = instance.friend_pairs().len() as u64 * (2 * WORD + VEC_HEADER_BYTES) + e * WORD;
+    let labels = instance
+        .item_labels()
+        .map(|labels| {
+            labels
+                .iter()
+                .map(|label| VEC_HEADER_BYTES + label.len() as u64)
+                .sum()
+        })
+        .unwrap_or(0);
+    matrices + graph + pairs + labels
+}
+
+/// Heap bytes of one [`UtilityFactors`]: the `n × m` aggregate matrix.
+pub fn factors_bytes(factors: &UtilityFactors) -> u64 {
+    (factors.num_users() * factors.num_items()) as u64 * WORD
+}
+
+impl MemoryFootprint for Served {
+    /// The served configuration's `n × k` assignment plus the present and
+    /// catalogue index vectors frozen at solve time.
+    fn footprint_bytes(&self) -> u64 {
+        vec_footprint::<usize>(self.configuration.num_users() * self.configuration.num_slots())
+            + vec_footprint::<usize>(self.present.len())
+            + vec_footprint::<usize>(self.catalog.len())
+    }
+}
+
+/// Heap bytes of a pending-event queue: the queue's own header, the inline
+/// enum rows, and the catalogue payloads `SetCatalog` events carry (header
+/// included — at typical queue depths the headers are a real fraction of
+/// the cost, so a header-blind count drifts outside the ±15% envelope).
+/// An empty queue prices at zero: `Vec::new` owns no heap.
+pub fn events_bytes(events: &[SessionEvent]) -> u64 {
+    if events.is_empty() {
+        return 0;
+    }
+    let payload: u64 = events
+        .iter()
+        .map(|event| match event {
+            SessionEvent::SetCatalog(items) => {
+                VEC_HEADER_BYTES + vec_footprint::<usize>(items.len())
+            }
+            _ => 0,
+        })
+        .sum();
+    VEC_HEADER_BYTES + vec_footprint::<SessionEvent>(events.len()) + payload
+}
+
+/// A session's footprint split the way the `mem_*` gauges split: state
+/// (instances, index vectors, warm factors), pending queue, and served
+/// solution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionFootprint {
+    /// Instances (full, plus base when it diverged), present/catalogue
+    /// vectors, and carried warm factors.
+    pub session_bytes: u64,
+    /// The pending-event queue.
+    pub pending_bytes: u64,
+    /// The served solution, if any.
+    pub served_bytes: u64,
+}
+
+impl SessionFootprint {
+    /// Sum of the three parts.
+    pub fn total(&self) -> u64 {
+        self.session_bytes + self.pending_bytes + self.served_bytes
+    }
+}
+
+/// Splits one live session into the gauge categories. The base instance
+/// counts only when it actually diverged from `full` (they alias through
+/// one `Arc` otherwise).
+pub fn session_footprint(state: &SessionState) -> SessionFootprint {
+    let mut session_bytes = instance_bytes(&state.full)
+        + vec_footprint::<usize>(state.catalog.len())
+        + vec_footprint::<usize>(state.present.len());
+    if !Arc::ptr_eq(&state.full, &state.base) {
+        session_bytes += instance_bytes(&state.base);
+    }
+    if let Some(factors) = &state.last_factors {
+        session_bytes += factors_bytes(factors);
+    }
+    SessionFootprint {
+        session_bytes,
+        pending_bytes: events_bytes(&state.pending),
+        served_bytes: state
+            .served
+            .as_ref()
+            .map(MemoryFootprint::footprint_bytes)
+            .unwrap_or(0),
+    }
+}
+
+impl MemoryFootprint for SessionState {
+    fn footprint_bytes(&self) -> u64 {
+        session_footprint(self).total()
+    }
+}
+
+impl MemoryFootprint for SessionExport {
+    /// What holding this export costs — the cluster router's shadow copy
+    /// of a session weighs this much per replica.
+    fn footprint_bytes(&self) -> u64 {
+        let mut bytes = instance_bytes(&self.full)
+            + vec_footprint::<usize>(self.catalog.len())
+            + vec_footprint::<usize>(self.present.len())
+            + events_bytes(&self.pending);
+        if let Some(served) = &self.served {
+            bytes += served.footprint_bytes();
+        }
+        if let Some(factors) = &self.last_factors {
+            bytes += factors_bytes(factors);
+        }
+        bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::SessionId;
+    use svgic_core::example::running_example;
+
+    #[test]
+    fn instance_bytes_scale_with_dimensions() {
+        let instance = running_example();
+        let bytes = instance_bytes(&instance);
+        let n = instance.num_users() as u64;
+        let m = instance.num_items() as u64;
+        let e = instance.graph().num_edges() as u64;
+        // At minimum the two utility matrices are accounted.
+        assert!(bytes >= (n * m + e * m) * 8, "{bytes}");
+        // Restricting items shrinks the footprint.
+        let restricted = instance.restrict_items(&[0, 1, 2]);
+        assert!(instance_bytes(&restricted) < bytes);
+    }
+
+    #[test]
+    fn session_footprint_tracks_divergence_and_queues() {
+        let full = running_example();
+        let mut state = SessionState::new(SessionId(1), full, vec![0, 1, 2], 7);
+        let aliased = session_footprint(&state);
+        assert!(aliased.session_bytes > 0);
+        assert_eq!(aliased.pending_bytes, 0);
+        assert_eq!(aliased.served_bytes, 0);
+        // Diverging the base doubles the instance accounting.
+        state.catalog = vec![0, 1, 2];
+        state.rebuild_base();
+        let diverged = session_footprint(&state);
+        assert!(
+            diverged.session_bytes > aliased.session_bytes,
+            "{} vs {}",
+            diverged.session_bytes,
+            aliased.session_bytes
+        );
+        // Pending events weigh in, catalogue payload included.
+        state.pending.push(SessionEvent::RetuneLambda(0.5));
+        state
+            .pending
+            .push(SessionEvent::SetCatalog(vec![0, 1, 2, 3]));
+        let queued = session_footprint(&state);
+        assert_eq!(
+            queued.pending_bytes,
+            2 * VEC_HEADER_BYTES + 2 * std::mem::size_of::<SessionEvent>() as u64 + 4 * 8
+        );
+        assert_eq!(queued.total(), queued.session_bytes + queued.pending_bytes);
+    }
+
+    #[test]
+    fn export_footprint_matches_the_live_session_shape() {
+        let full = running_example();
+        let state = SessionState::new(SessionId(3), full, vec![0, 1], 9);
+        let live = state.footprint_bytes();
+        let export = state.into_export();
+        // The export drops nothing the live state held (no served/factors
+        // here, so the numbers coincide exactly).
+        assert_eq!(export.footprint_bytes(), live);
+    }
+}

@@ -8,7 +8,21 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-use svgic_obs::{AtomicHistogram, HistogramSnapshot, MetricsRegistry};
+use svgic_obs::{
+    AtomicHistogram, Health, HealthPolicy, HistogramSnapshot, MetricsRegistry, SloObjective,
+};
+
+/// Default per-request-class latency objectives: `(class, objective)` for
+/// each phase histogram the engine keeps. A class burns error budget when
+/// more than `budget` of its samples exceed `objective_nanos`; the budgets
+/// are deliberately loose (5%) so health flags sustained pressure, not a
+/// stray slow solve.
+pub const DEFAULT_SLO: [(&str, SloObjective); 4] = [
+    ("lp", SloObjective::new(50_000_000, 0.05)),
+    ("warm_solve", SloObjective::new(10_000_000, 0.05)),
+    ("cold_solve", SloObjective::new(250_000_000, 0.05)),
+    ("round", SloObjective::new(20_000_000, 0.05)),
+];
 
 /// Per-shard counters: how busy each shard is and how much work is queued
 /// against it. `queue_depth` and `cache_entries` are **gauges** (pending
@@ -29,6 +43,10 @@ pub struct ShardStats {
     /// Entries in this shard's factor cache right now (gauge, refreshed at
     /// the end of each shard pipeline job).
     pub cache_entries: AtomicU64,
+    /// Bytes held by this shard's factor and component caches right now
+    /// (gauge, refreshed alongside `cache_entries`; capacity accounting per
+    /// `svgic_obs::mem`).
+    pub cache_bytes: AtomicU64,
 }
 
 /// Monotonic counters shared between the engine and its workers.
@@ -103,6 +121,13 @@ pub struct EngineStats {
     pub cold_solve_latency: AtomicHistogram,
     /// Per-rounding-job latency distribution (one sample per solve).
     pub round_latency: AtomicHistogram,
+    /// Bytes held by live session state — instances (full + diverged base)
+    /// and warm factors (gauge, refreshed by `Engine::stats`).
+    pub mem_session_bytes: AtomicU64,
+    /// Bytes held by pending (un-flushed) event queues (gauge).
+    pub mem_pending_bytes: AtomicU64,
+    /// Bytes held by served solutions (gauge).
+    pub mem_served_bytes: AtomicU64,
 }
 
 impl EngineStats {
@@ -135,6 +160,24 @@ impl EngineStats {
         if let Some(stats) = self.per_shard.get(shard) {
             stats.cache_entries.store(entries as u64, Ordering::Relaxed);
         }
+    }
+
+    /// Refreshes `shard`'s factor-cache byte gauge.
+    pub fn set_shard_cache_bytes(&self, shard: usize, bytes: u64) {
+        if let Some(stats) = self.per_shard.get(shard) {
+            stats.cache_bytes.store(bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Refreshes the engine-level memory gauges (session / pending / served
+    /// bytes). Called by `Engine::stats` just before snapshotting, so wire
+    /// scrapes and local reads see the same accounting.
+    pub fn set_mem_gauges(&self, session_bytes: u64, pending_bytes: u64, served_bytes: u64) {
+        self.mem_session_bytes
+            .store(session_bytes, Ordering::Relaxed);
+        self.mem_pending_bytes
+            .store(pending_bytes, Ordering::Relaxed);
+        self.mem_served_bytes.store(served_bytes, Ordering::Relaxed);
     }
 
     /// Raises `shard`'s queue-depth gauge by `events`.
@@ -212,9 +255,10 @@ impl EngineStats {
 
     /// Resets every counter to zero, so a measured run can exclude warmup
     /// traffic without rebuilding the engine and losing its caches. The
-    /// per-shard **queue-depth and cache-size gauges are left alone**: they
-    /// track live pending events and live cache contents, which a
-    /// measurement boundary does not consume.
+    /// per-shard **queue-depth and cache-size gauges and the `mem_*` byte
+    /// gauges are left alone**: they track live pending events, live cache
+    /// contents and live session state, which a measurement boundary does
+    /// not consume.
     pub fn reset(&self) {
         let clear = |counter: &AtomicU64| counter.store(0, Ordering::Relaxed);
         for shard in &self.per_shard {
@@ -271,6 +315,7 @@ impl EngineStats {
                     busy_time: Duration::from_nanos(load(&shard.busy_nanos)),
                     queue_depth: load(&shard.queue_depth),
                     cache_entries: load(&shard.cache_entries),
+                    cache_bytes: load(&shard.cache_bytes),
                 })
                 .collect(),
             events_submitted: load(&self.events_submitted),
@@ -297,6 +342,9 @@ impl EngineStats {
             warm_solve_latency: self.warm_solve_latency.snapshot(),
             cold_solve_latency: self.cold_solve_latency.snapshot(),
             round_latency: self.round_latency.snapshot(),
+            mem_session_bytes: load(&self.mem_session_bytes),
+            mem_pending_bytes: load(&self.mem_pending_bytes),
+            mem_served_bytes: load(&self.mem_served_bytes),
         }
     }
 }
@@ -314,6 +362,8 @@ pub struct ShardSnapshot {
     pub queue_depth: u64,
     /// Factor-cache entries held by the shard right now (gauge).
     pub cache_entries: u64,
+    /// Bytes held by the shard's factor caches right now (gauge).
+    pub cache_bytes: u64,
 }
 
 /// A consistent view of the engine counters with derived metrics.
@@ -379,6 +429,13 @@ pub struct StatsSnapshot {
     pub cold_solve_latency: HistogramSnapshot,
     /// Per-rounding-job latency distribution.
     pub round_latency: HistogramSnapshot,
+    /// Bytes held by live session state (instances + warm factors) right
+    /// now (gauge; capacity accounting per `svgic_obs::mem`).
+    pub mem_session_bytes: u64,
+    /// Bytes held by pending event queues right now (gauge).
+    pub mem_pending_bytes: u64,
+    /// Bytes held by served solutions right now (gauge).
+    pub mem_served_bytes: u64,
 }
 
 impl StatsSnapshot {
@@ -415,6 +472,7 @@ impl StatsSnapshot {
             mine.busy_time += theirs.busy_time;
             mine.queue_depth += theirs.queue_depth;
             mine.cache_entries += theirs.cache_entries;
+            mine.cache_bytes += theirs.cache_bytes;
         }
         self.events_submitted += other.events_submitted;
         self.events_coalesced += other.events_coalesced;
@@ -440,6 +498,9 @@ impl StatsSnapshot {
         self.warm_solve_latency.merge(&other.warm_solve_latency);
         self.cold_solve_latency.merge(&other.cold_solve_latency);
         self.round_latency.merge(&other.round_latency);
+        self.mem_session_bytes += other.mem_session_bytes;
+        self.mem_pending_bytes += other.mem_pending_bytes;
+        self.mem_served_bytes += other.mem_served_bytes;
     }
 
     /// Factor-cache hit rate in `[0, 1]` (`0` when no lookups happened).
@@ -567,6 +628,57 @@ impl StatsSnapshot {
         self.shards.iter().map(|s| s.cache_entries).sum()
     }
 
+    /// Bytes held by factor caches engine-wide right now (sum of the
+    /// per-shard cache-byte gauges).
+    pub fn mem_cache_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.cache_bytes).sum()
+    }
+
+    /// Total accounted bytes: session state + pending queues + served
+    /// solutions + factor caches. Capacity accounting (`Arc`-shared
+    /// payloads attributed to every holder), not RSS — see
+    /// `svgic_obs::mem`.
+    pub fn mem_total_bytes(&self) -> u64 {
+        self.mem_session_bytes
+            + self.mem_pending_bytes
+            + self.mem_served_bytes
+            + self.mem_cache_bytes()
+    }
+
+    /// Error-budget burn per request class, against [`DEFAULT_SLO`]: the
+    /// observed fraction of samples over the class objective divided by the
+    /// allowed fraction. All zero (never NaN) with no traffic.
+    pub fn slo_burns(&self) -> [(&'static str, f64); 4] {
+        let histogram = |class: &str| match class {
+            "lp" => &self.lp_latency,
+            "warm_solve" => &self.warm_solve_latency,
+            "cold_solve" => &self.cold_solve_latency,
+            _ => &self.round_latency,
+        };
+        DEFAULT_SLO.map(|(class, objective)| (class, objective.burn(histogram(class))))
+    }
+
+    /// The worst per-class burn (what [`StatsSnapshot::health`] thresholds
+    /// on).
+    pub fn max_slo_burn(&self) -> f64 {
+        self.slo_burns()
+            .iter()
+            .map(|&(_, burn)| burn)
+            .fold(0.0, f64::max)
+    }
+
+    /// Node health under the default [`HealthPolicy`] (no memory budget):
+    /// `ok` under budget, `degraded` past it, `overloaded` far past it.
+    pub fn health(&self) -> Health {
+        self.health_with(&HealthPolicy::default())
+    }
+
+    /// Node health under an explicit policy (a memory budget makes the
+    /// `mem_*` gauges participate).
+    pub fn health_with(&self, policy: &HealthPolicy) -> Health {
+        policy.assess(self.max_slo_burn(), self.mem_total_bytes())
+    }
+
     /// The whole snapshot — raw counters *and* every derived rate — as an
     /// ordered `(name, value)` list, so reports (the `loadgen` JSON, the
     /// bench trajectory, the `QueryMetrics` wire response) can serialize it
@@ -617,6 +729,15 @@ impl StatsSnapshot {
         registry.counter("queue_depth", self.total_queue_depth());
         registry.counter("cache_entries", self.total_cache_entries());
         registry.gauge("shard_imbalance", self.shard_imbalance());
+        registry.counter("mem_session_bytes", self.mem_session_bytes);
+        registry.counter("mem_pending_bytes", self.mem_pending_bytes);
+        registry.counter("mem_served_bytes", self.mem_served_bytes);
+        registry.counter("mem_cache_bytes", self.mem_cache_bytes());
+        registry.counter("mem_total_bytes", self.mem_total_bytes());
+        for (class, burn) in self.slo_burns() {
+            registry.gauge(format!("slo_{class}_burn"), burn);
+        }
+        registry.gauge("health", self.health().level() as f64);
         for (index, shard) in self.shards.iter().enumerate() {
             registry.counter(format!("shard{index}_jobs"), shard.jobs);
             registry.counter(format!("shard{index}_solves"), shard.solves);
@@ -626,6 +747,7 @@ impl StatsSnapshot {
             );
             registry.counter(format!("shard{index}_queue_depth"), shard.queue_depth);
             registry.counter(format!("shard{index}_cache_entries"), shard.cache_entries);
+            registry.counter(format!("shard{index}_cache_bytes"), shard.cache_bytes);
         }
         registry.finish()
     }
@@ -707,6 +829,17 @@ impl std::fmt::Display for StatsSnapshot {
             self.shard_imbalance(),
             self.shards.len(),
             self.total_cache_entries()
+        )?;
+        writeln!(
+            f,
+            "  memory   {} bytes accounted (sessions {}, pending {}, served {}, caches {}); health {} (max burn {:.2})",
+            self.mem_total_bytes(),
+            self.mem_session_bytes,
+            self.mem_pending_bytes,
+            self.mem_served_bytes,
+            self.mem_cache_bytes(),
+            self.health().name(),
+            self.max_slo_burn()
         )?;
         write!(
             f,
@@ -900,6 +1033,107 @@ mod tests {
         assert_eq!(snap.mean_lp_time(), Duration::ZERO);
         assert_eq!(snap.mean_warm_solve_time(), Duration::ZERO);
         assert_eq!(snap.mean_cold_solve_time(), Duration::ZERO);
+    }
+
+    #[test]
+    fn mem_gauges_survive_reset_and_feed_metrics_and_merge() {
+        let stats = EngineStats::with_shards(2);
+        stats.set_mem_gauges(1000, 50, 200);
+        stats.set_shard_cache_bytes(0, 300);
+        stats.set_shard_cache_bytes(1, 100);
+        stats.set_shard_cache_bytes(9, 7); // out of range: ignored
+        stats.reset();
+        let snap = stats.snapshot();
+        assert_eq!(snap.mem_session_bytes, 1000, "live gauges survive reset");
+        assert_eq!(snap.mem_cache_bytes(), 400);
+        assert_eq!(snap.mem_total_bytes(), 1000 + 50 + 200 + 400);
+        let metrics = snap.metrics();
+        let get = |name: &str| metrics.iter().find(|(n, _)| n == name).unwrap().1;
+        assert_eq!(get("mem_session_bytes"), 1000.0);
+        assert_eq!(get("mem_pending_bytes"), 50.0);
+        assert_eq!(get("mem_served_bytes"), 200.0);
+        assert_eq!(get("mem_cache_bytes"), 400.0);
+        assert_eq!(get("mem_total_bytes"), 1650.0);
+        assert_eq!(get("shard0_cache_bytes"), 300.0);
+        // Fleet aggregation: byte gauges add across nodes.
+        let mut merged = snap.clone();
+        merged.merge(&snap);
+        assert_eq!(merged.mem_total_bytes(), 2 * 1650);
+    }
+
+    #[test]
+    fn slo_burn_thresholds_drive_health() {
+        let stats = EngineStats::default();
+        let snap = stats.snapshot();
+        assert_eq!(snap.max_slo_burn(), 0.0, "no traffic burns nothing");
+        assert_eq!(snap.health(), Health::Ok);
+        // 100 fast rounds and 20 slow ones: 1/6 over the 20ms round
+        // objective against a 5% budget is a burn of ~3.3 → degraded.
+        for _ in 0..100 {
+            stats.record_round(1_000_000);
+        }
+        for _ in 0..20 {
+            stats.record_round(100_000_000);
+        }
+        let snap = stats.snapshot();
+        let burns = snap.slo_burns();
+        let round_burn = burns
+            .iter()
+            .find(|(class, _)| *class == "round")
+            .expect("round class")
+            .1;
+        assert!(
+            (round_burn - (20.0 / 120.0) / 0.05).abs() < 0.2,
+            "round burn {round_burn}"
+        );
+        assert_eq!(snap.health(), Health::Degraded);
+        // Make every round slow: burn 20 → overloaded.
+        for _ in 0..2000 {
+            stats.record_round(100_000_000);
+        }
+        assert_eq!(stats.snapshot().health(), Health::Overloaded);
+        // A memory budget folds in through the explicit policy.
+        let policy = HealthPolicy {
+            mem_budget_bytes: 100,
+            ..HealthPolicy::default()
+        };
+        let idle = EngineStats::default();
+        idle.set_mem_gauges(150, 0, 0);
+        assert_eq!(idle.snapshot().health_with(&policy), Health::Overloaded);
+        assert_eq!(idle.snapshot().health(), Health::Ok, "default: no budget");
+    }
+
+    #[test]
+    fn imbalance_and_phase_gauges_pin_to_zero_after_reset() {
+        // Regression: immediately after `reset_stats` with no traffic the
+        // skew/latency gauges must read a hard 0 — a NaN here renders as
+        // `null` in reports and breaks the bench trajectory diff.
+        let stats = EngineStats::with_shards(4);
+        for shard in 0..4 {
+            stats.record_shard_busy(shard, 1_000 * (shard as u64 + 1));
+        }
+        for i in 1..=50 {
+            stats.record_lp_compute(i * 1_000, 0, 1);
+            stats.record_round(i * 500);
+            stats.record_solve_class(i * 2_000, i % 2 == 0);
+        }
+        stats.reset();
+        let snap = stats.snapshot();
+        assert_eq!(snap.shard_imbalance(), 0.0);
+        let metrics = snap.metrics();
+        let get = |name: &str| metrics.iter().find(|(n, _)| n == name).unwrap().1;
+        assert_eq!(get("shard_imbalance"), 0.0);
+        for base in ["lp", "warm_solve", "cold_solve", "round"] {
+            for prefix in ["mean", "p50", "p95", "p99"] {
+                let name = format!("{prefix}_{base}_seconds");
+                let value = get(&name);
+                assert!(value == 0.0 && value.is_finite(), "{name} = {value}");
+            }
+        }
+        for (class, burn) in snap.slo_burns() {
+            assert_eq!(burn, 0.0, "slo_{class}_burn after reset");
+        }
+        assert_eq!(get("health"), 0.0);
     }
 
     #[test]

@@ -49,6 +49,7 @@ fn mismatch(wanted: &'static str, got: &EngineResponse) -> EngineError {
         EngineResponse::SessionImported(_) => "SessionImported",
         EngineResponse::Description(_) => "Description",
         EngineResponse::Metrics(_) => "Metrics",
+        EngineResponse::Telemetry(_) => "Telemetry",
     };
     EngineError::Transport(format!("protocol mismatch: wanted {wanted}, got {got}"))
 }
@@ -177,6 +178,15 @@ pub trait EngineTransport {
             other => Err(mismatch("Metrics", &other)),
         }
     }
+
+    /// Reads the engine's telemetry ring, oldest sample first (empty when
+    /// sampling is disabled or no flush has happened yet).
+    fn query_telemetry(&mut self) -> Result<Vec<svgic_obs::TelemetrySample>, EngineError> {
+        match self.request(EngineRequest::QueryTelemetry)? {
+            EngineResponse::Telemetry(samples) => Ok(samples),
+            other => Err(mismatch("Telemetry", &other)),
+        }
+    }
 }
 
 impl EngineTransport for Engine {
@@ -233,6 +243,11 @@ mod tests {
             .iter()
             .any(|(name, value)| name == "requests" && *value > 0.0));
         assert!(metrics.iter().all(|(_, value)| value.is_finite()));
+        let telemetry = backend.query_telemetry().expect("telemetry");
+        assert!(
+            !telemetry.is_empty(),
+            "the default engine samples telemetry on every flush"
+        );
         let stats = backend.stats().expect("stats");
         assert_eq!(stats.sessions_created, 1);
         backend.reset_stats().expect("resets");

@@ -8,6 +8,7 @@
 //! request/session correlation in each event's `args`. The exact shape is
 //! specified (and conformance-tested) in `docs/FORMATS.md`.
 
+use crate::telemetry::TelemetrySample;
 use crate::tracer::SpanRecord;
 
 /// Renders spans (typically [`crate::Tracer::spans`], already start-sorted)
@@ -15,12 +16,30 @@ use crate::tracer::SpanRecord;
 /// given span list; timestamps are the spans' offsets from their tracer's
 /// epoch, in microseconds with nanosecond precision kept as decimals.
 pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
-    let mut out = String::with_capacity(64 + spans.len() * 128);
+    chrome_trace_json_with_counters(spans, &[], 0)
+}
+
+/// [`chrome_trace_json`] plus counter (`"ph": "C"`) events from a telemetry
+/// ring: three stacked counter tracks per node — `mem_bytes`
+/// (session/pending/served/cache), `load` (requests/solves/queue depth) and
+/// `rates` (warm-start and shard-imbalance, parts per million) — appended
+/// after the span events. Counter timestamps sit on the deterministic tick
+/// axis (one tick renders as one millisecond), not the span clock, so the
+/// export never reads wall time. With an empty sample list the output is
+/// byte-identical to [`chrome_trace_json`].
+pub fn chrome_trace_json_with_counters(
+    spans: &[SpanRecord],
+    samples: &[TelemetrySample],
+    node: u64,
+) -> String {
+    let mut out = String::with_capacity(64 + spans.len() * 128 + samples.len() * 256);
     out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
-    for (i, span) in spans.iter().enumerate() {
-        if i > 0 {
+    let mut first = true;
+    for span in spans {
+        if !first {
             out.push(',');
         }
+        first = false;
         // tid must be a plain integer lane; engine-level spans (NO_SHARD)
         // get their own lane above the real shards.
         let tid = if span.shard == SpanRecord::NO_SHARD {
@@ -38,6 +57,45 @@ pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
             span.request_id,
             span.session,
         ));
+    }
+    for sample in samples {
+        // One tick = 1000 µs on the display axis: purely positional, the
+        // ring records no wall-clock at all.
+        let ts = sample.tick * 1000;
+        for (name, args) in [
+            (
+                "mem_bytes",
+                format!(
+                    "{{\"session\":{},\"pending\":{},\"served\":{},\"cache\":{}}}",
+                    sample.mem_session_bytes,
+                    sample.mem_pending_bytes,
+                    sample.mem_served_bytes,
+                    sample.mem_cache_bytes
+                ),
+            ),
+            (
+                "load",
+                format!(
+                    "{{\"requests\":{},\"solves\":{},\"queue_depth\":{}}}",
+                    sample.requests, sample.solves, sample.queue_depth
+                ),
+            ),
+            (
+                "rates",
+                format!(
+                    "{{\"warm_ppm\":{},\"imbalance_ppm\":{}}}",
+                    sample.warm_rate_ppm, sample.imbalance_ppm
+                ),
+            ),
+        ] {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"name\":\"{name}\",\"cat\":\"svgic\",\"ph\":\"C\",\"ts\":{ts},\"pid\":{node},\"args\":{args}}}"
+            ));
+        }
     }
     out.push_str("]}");
     out
@@ -108,6 +166,60 @@ mod tests {
             chrome_trace_json(&[]),
             "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}"
         );
+    }
+
+    #[test]
+    fn counter_events_append_after_spans_on_the_tick_axis() {
+        use crate::telemetry::TelemetrySample;
+        let samples = [
+            TelemetrySample {
+                tick: 0,
+                requests: 10,
+                solves: 4,
+                queue_depth: 2,
+                warm_rate_ppm: 500_000,
+                imbalance_ppm: 1_250_000,
+                mem_session_bytes: 1000,
+                mem_pending_bytes: 64,
+                mem_served_bytes: 128,
+                mem_cache_bytes: 2000,
+                mem_total_bytes: 3192,
+            },
+            TelemetrySample {
+                tick: 3,
+                requests: 30,
+                ..TelemetrySample::default()
+            },
+        ];
+        let json = chrome_trace_json_with_counters(&sample(), &samples, 1);
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        // Span events first, then six counter events (3 tracks × 2 samples).
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
+        assert_eq!(json.matches("\"ph\":\"C\"").count(), 6);
+        assert!(json.contains(
+            "{\"name\":\"mem_bytes\",\"cat\":\"svgic\",\"ph\":\"C\",\"ts\":0,\"pid\":1,\
+             \"args\":{\"session\":1000,\"pending\":64,\"served\":128,\"cache\":2000}}"
+        ));
+        assert!(json.contains("\"ts\":3000"));
+        assert!(json.contains("\"args\":{\"requests\":10,\"solves\":4,\"queue_depth\":2}"));
+        assert!(json.contains("\"args\":{\"warm_ppm\":500000,\"imbalance_ppm\":1250000}"));
+    }
+
+    #[test]
+    fn with_counters_and_no_samples_is_byte_identical_to_plain() {
+        assert_eq!(
+            chrome_trace_json_with_counters(&sample(), &[], 0),
+            chrome_trace_json(&sample())
+        );
+        // Counters alone (no spans) are still a valid trace.
+        let only_counters = chrome_trace_json_with_counters(
+            &[],
+            &[crate::telemetry::TelemetrySample::default()],
+            0,
+        );
+        assert!(only_counters.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{"));
+        assert!(!only_counters.contains("[,"));
     }
 
     #[test]

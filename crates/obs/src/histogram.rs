@@ -354,6 +354,24 @@ impl HistogramSnapshot {
         self.max_nanos
     }
 
+    /// Fraction of samples above `nanos`, at bucket resolution: a slot
+    /// counts as "above" when its representative midpoint exceeds `nanos`,
+    /// so the error is bounded like the quantiles' (half a sub-bucket).
+    /// Exact at the edges: `0.0` when empty or when `nanos` is at or above
+    /// the true max.
+    pub fn fraction_above(&self, nanos: u64) -> f64 {
+        if self.total == 0 || nanos >= self.max_nanos {
+            return 0.0;
+        }
+        let above: u64 = self
+            .slots
+            .iter()
+            .filter(|&&(slot, _)| slot_value(slot as usize) > nanos)
+            .map(|&(_, count)| count)
+            .sum();
+        above as f64 / self.total as f64
+    }
+
     /// Merges another snapshot into this one (slot-wise addition).
     pub fn merge(&mut self, other: &HistogramSnapshot) {
         let mut merged: Vec<(u32, u64)> = Vec::with_capacity(self.slots.len() + other.slots.len());
@@ -584,6 +602,120 @@ mod tests {
         let mut merged = a.snapshot();
         merged.merge(&b.snapshot());
         assert_eq!(merged, joint.snapshot());
+    }
+
+    #[test]
+    fn concurrent_totals_are_exact_and_quantiles_stay_in_error_bound() {
+        // Heavier sibling of `concurrent_recording_loses_nothing`: eight
+        // threads record disjoint deterministic streams; the merged totals
+        // and sum must be *exact*, and every quantile must match a serial
+        // reference histogram recorded with the same samples.
+        let threads = 8u64;
+        let per_thread = 25_000u64;
+        let value_of = |t: u64, i: u64| (t + 1) * 977 + i * i % 50_000_000;
+        let histogram = std::sync::Arc::new(AtomicHistogram::new());
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let histogram = std::sync::Arc::clone(&histogram);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        histogram.record_nanos(value_of(t, i));
+                    }
+                })
+            })
+            .collect();
+        let mut serial = LatencyHistogram::new();
+        let mut all: Vec<u64> = Vec::new();
+        for t in 0..threads {
+            for i in 0..per_thread {
+                let nanos = value_of(t, i);
+                serial.record(Duration::from_nanos(nanos));
+                all.push(nanos);
+            }
+        }
+        let exact_sum: u128 = all.iter().map(|&n| n as u128).sum();
+        all.sort_unstable();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let snap = histogram.snapshot();
+        assert_eq!(snap.count(), threads * per_thread, "lost samples");
+        assert_eq!(snap.sum_nanos() as u128, exact_sum, "lost nanoseconds");
+        assert_eq!(snap.max_nanos(), *all.last().unwrap());
+        for q in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0] {
+            let concurrent = snap.quantile_nanos(q);
+            // Same buckets, same totals: concurrent and serial quantiles
+            // must be *identical* — any drift means a sample changed slots.
+            assert_eq!(concurrent, serial.quantile(q).as_nanos() as u64, "q{q}");
+            // And the documented error bound holds against the *true*
+            // (sorted-sample) quantile: midpoint representatives are within
+            // half a sub-bucket ≈ 1/32 relative.
+            let rank = ((q * all.len() as f64).ceil() as usize).clamp(1, all.len());
+            let truth = all[rank - 1];
+            if truth > SUB_BUCKETS as u64 {
+                let relative = (concurrent as f64 - truth as f64) / truth as f64;
+                assert!(
+                    relative.abs() <= 1.0 / 32.0 + 1e-9,
+                    "q{q}: {concurrent} vs true {truth} ({:+.2}%)",
+                    100.0 * relative
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_shards_merge_to_the_joint_snapshot() {
+        // Thread-per-shard recording into separate histograms, merged
+        // afterwards, must equal one histogram that saw everything — the
+        // exact aggregation the per-shard engine stats rely on.
+        let shards: Vec<_> = (0..4)
+            .map(|_| std::sync::Arc::new(AtomicHistogram::new()))
+            .collect();
+        let joint = std::sync::Arc::new(AtomicHistogram::new());
+        let handles: Vec<_> = shards
+            .iter()
+            .enumerate()
+            .map(|(t, shard)| {
+                let shard = std::sync::Arc::clone(shard);
+                let joint = std::sync::Arc::clone(&joint);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        let nanos = (t as u64 + 1) * 13 + i * 31;
+                        shard.record_nanos(nanos);
+                        joint.record_nanos(nanos);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let mut merged = HistogramSnapshot::default();
+        for shard in &shards {
+            merged.merge(&shard.snapshot());
+        }
+        assert_eq!(merged, joint.snapshot());
+    }
+
+    #[test]
+    fn fraction_above_matches_recorded_distribution() {
+        let h = AtomicHistogram::new();
+        for _ in 0..900 {
+            h.record_nanos(1_000);
+        }
+        for _ in 0..100 {
+            h.record_nanos(10_000_000);
+        }
+        let snap = h.snapshot();
+        let slow = snap.fraction_above(1_000_000);
+        assert!((slow - 0.10).abs() < 1e-9, "slow fraction {slow}");
+        // Threshold below everything: the whole mass is above.
+        assert_eq!(snap.fraction_above(0), 1.0);
+        // Threshold at/above the max is exactly zero.
+        assert_eq!(snap.fraction_above(10_000_000), 0.0);
+        assert_eq!(snap.fraction_above(u64::MAX), 0.0);
+        // Empty histograms burn nothing.
+        assert_eq!(HistogramSnapshot::default().fraction_above(0), 0.0);
     }
 
     #[test]

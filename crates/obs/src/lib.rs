@@ -26,7 +26,17 @@
 //!   `StatsSnapshot::metrics()` and the `QueryMetrics` wire request;
 //! * [`chrome`] — the Chrome trace-event JSON exporter
 //!   ([`chrome_trace_json`]) behind `loadgen --trace-out`, loadable in
-//!   `chrome://tracing` and Perfetto.
+//!   `chrome://tracing` and Perfetto, plus the counter-event variant
+//!   ([`chrome_trace_json_with_counters`]) that overlays the telemetry
+//!   ring;
+//! * [`telemetry`] — the fixed-capacity [`TelemetryRing`] of per-tick
+//!   [`TelemetrySample`] rows behind the `time_series` report arrays and
+//!   the `QueryTelemetry` wire request;
+//! * [`slo`] — latency objectives ([`SloObjective`]), error-budget burn,
+//!   and the [`HealthPolicy`] that folds burn + memory pressure into the
+//!   per-node [`Health`] state;
+//! * [`mem`] — the [`MemoryFootprint`] trait behind the `mem_*` byte
+//!   gauges (capacity accounting across sessions, queues and caches).
 //!
 //! ```rust
 //! use svgic_obs::{chrome_trace_json, ObsConfig, Phase, Tracer};
@@ -49,12 +59,18 @@
 
 pub mod chrome;
 pub mod histogram;
+pub mod mem;
 pub mod phase;
 pub mod registry;
+pub mod slo;
+pub mod telemetry;
 pub mod tracer;
 
-pub use chrome::chrome_trace_json;
+pub use chrome::{chrome_trace_json, chrome_trace_json_with_counters};
 pub use histogram::{AtomicHistogram, HistogramSnapshot, LatencyHistogram};
+pub use mem::MemoryFootprint;
 pub use phase::Phase;
 pub use registry::MetricsRegistry;
+pub use slo::{Health, HealthPolicy, SloObjective};
+pub use telemetry::{TelemetryRing, TelemetrySample};
 pub use tracer::{FlightRecorder, ObsConfig, SpanRecord, Tracer};

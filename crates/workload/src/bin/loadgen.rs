@@ -10,6 +10,7 @@
 //! loadgen --scenario steady-mall --connect 127.0.0.1:7741
 //! loadgen --scenario steady-mall --connect 127.0.0.1:7741,127.0.0.1:7742
 //! loadgen metrics --connect 127.0.0.1:7741        # scrape a live server's metrics
+//! loadgen watch --connect 127.0.0.1:7741,127.0.0.1:7742   # live fleet table
 //! loadgen --scenario churn-heavy --trace-out target/trace.json
 //! loadgen --list-scenarios                        # named scenarios
 //! ```
@@ -26,7 +27,7 @@
 use std::process::ExitCode;
 
 use svgic_net::{NetClient, NetServer};
-use svgic_obs::{chrome_trace_json, ObsConfig, SpanRecord, Tracer};
+use svgic_obs::{chrome_trace_json_with_counters, ObsConfig, SpanRecord, TelemetrySample, Tracer};
 use svgic_workload::cli::{self, Args};
 use svgic_workload::prelude::*;
 use svgic_workload::report::REPORT_SCHEMA;
@@ -66,37 +67,153 @@ fn run_serve(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// `loadgen metrics --connect host:port`: scrape a live server's metrics
-/// registry (one `QueryMetrics` frame) and print it as a flat JSON object,
-/// one `"name": value` member per metric in the registry's pinned order. The
-/// scrape goes through [`svgic_engine::EngineTransport::query_metrics`], so
-/// it exercises the same wire path remote dashboards would.
+/// `loadgen metrics --connect host:port[,…]`: scrape each live server's
+/// metrics registry (one `QueryMetrics` frame per node) and print one flat
+/// JSON object per node, in address order — one `"name": value` member per
+/// metric in the registry's pinned order. The scrape goes through
+/// [`svgic_engine::EngineTransport::query_metrics`], so it exercises the
+/// same wire path remote dashboards would.
 fn run_metrics(args: &Args) -> Result<(), String> {
     use svgic_engine::EngineTransport;
-    let addr = &args.connect[0];
-    let mut client = NetClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-    let metrics = client
-        .query_metrics()
-        .map_err(|e| format!("query metrics from {addr}: {e}"))?;
-    // Keys are ident-safe ASCII and values finite by the registry contract,
-    // so plain Display formatting yields valid JSON.
-    let mut json = String::from("{");
-    for (i, (name, value)) in metrics.iter().enumerate() {
-        if i > 0 {
-            json.push(',');
+    let mut out = String::new();
+    for addr in &args.connect {
+        let mut client = NetClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        let metrics = client
+            .query_metrics()
+            .map_err(|e| format!("query metrics from {addr}: {e}"))?;
+        // Keys are ident-safe ASCII and values finite by the registry
+        // contract, so plain Display formatting yields valid JSON.
+        if !out.is_empty() {
+            out.push('\n');
         }
-        json.push_str(&format!("\n  \"{name}\": {value}"));
+        out.push('{');
+        for (i, (name, value)) in metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n  \"{name}\": {value}"));
+        }
+        out.push_str("\n}");
     }
-    json.push_str("\n}");
-    write_out(args, &json)?;
-    println!("{json}");
+    write_out(args, &out)?;
+    println!("{out}");
     Ok(())
 }
 
-/// Writes spans as Chrome trace-event JSON (creating parent directories),
-/// with a pointer to the viewers that open it.
-fn write_trace(args: &Args, path: &str, spans: &[SpanRecord]) -> Result<(), String> {
-    let json = chrome_trace_json(spans);
+/// One node's row in the watch table, decoded from its metrics scrape.
+struct WatchRow {
+    health: String,
+    sessions: u64,
+    requests: u64,
+    rps: Option<f64>,
+    queue_depth: u64,
+    p99_warm_us: f64,
+    p99_cold_us: f64,
+    mem_bytes: u64,
+}
+
+/// Pulls one watch row out of a `QueryMetrics` scrape, computing the
+/// request rate from the previous poll's counter when there is one.
+fn watch_row(metrics: &[(String, f64)], previous: Option<(u64, std::time::Instant)>) -> WatchRow {
+    let get = |name: &str| {
+        metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, value)| value)
+            .unwrap_or(0.0)
+    };
+    let requests = get("requests") as u64;
+    let rps = previous.and_then(|(before, when)| {
+        let dt = when.elapsed().as_secs_f64();
+        (dt > 0.0).then(|| requests.saturating_sub(before) as f64 / dt)
+    });
+    let health = match get("health") as u8 {
+        0 => "ok",
+        1 => "degraded",
+        _ => "overloaded",
+    };
+    WatchRow {
+        health: health.to_string(),
+        sessions: (get("sessions_created") as u64).saturating_sub(get("sessions_closed") as u64),
+        requests,
+        rps,
+        queue_depth: get("queue_depth") as u64,
+        p99_warm_us: get("p99_warm_solve_seconds") * 1e6,
+        p99_cold_us: get("p99_cold_solve_seconds") * 1e6,
+        mem_bytes: get("mem_total_bytes") as u64,
+    }
+}
+
+/// Human-scaled byte count for the watch table (`0 B` … `12.3 MiB`).
+fn human_bytes(bytes: u64) -> String {
+    match bytes {
+        0..=1023 => format!("{bytes} B"),
+        1024..=1048575 => format!("{:.1} KiB", bytes as f64 / 1024.0),
+        _ => format!("{:.1} MiB", bytes as f64 / (1024.0 * 1024.0)),
+    }
+}
+
+/// `loadgen watch --connect host:port[,…]`: poll every node's metrics on an
+/// interval and redraw a fleet table — per-node request rate, live sessions,
+/// queue depth, p99 solve latency by class, accounted memory, and SLO
+/// health. `--once` prints a single table and exits (the CI smoke path); the
+/// request-rate column needs two polls and reads `-` on the first.
+fn run_watch(args: &Args) -> Result<(), String> {
+    use svgic_engine::EngineTransport;
+    let mut nodes = Vec::new();
+    for addr in &args.connect {
+        let client = NetClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        nodes.push((addr.clone(), client, None));
+    }
+    loop {
+        let mut rows = Vec::new();
+        for (addr, client, previous) in &mut nodes {
+            let metrics = client
+                .query_metrics()
+                .map_err(|e| format!("query metrics from {addr}: {e}"))?;
+            let row = watch_row(&metrics, *previous);
+            *previous = Some((row.requests, std::time::Instant::now()));
+            rows.push((addr.clone(), row));
+        }
+        if !args.once {
+            // Clear and home, then redraw — a poor man's top(1).
+            print!("\x1b[2J\x1b[H");
+        }
+        println!(
+            "{:<22} {:>10} {:>9} {:>7} {:>13} {:>13} {:>10}  HEALTH",
+            "NODE", "REQ/S", "SESSIONS", "QUEUE", "P99 WARM(µs)", "P99 COLD(µs)", "MEM"
+        );
+        for (addr, row) in &rows {
+            println!(
+                "{:<22} {:>10} {:>9} {:>7} {:>13.1} {:>13.1} {:>10}  {}",
+                addr,
+                row.rps
+                    .map_or_else(|| "-".to_string(), |r| format!("{r:.0}")),
+                row.sessions,
+                row.queue_depth,
+                row.p99_warm_us,
+                row.p99_cold_us,
+                human_bytes(row.mem_bytes),
+                row.health,
+            );
+        }
+        if args.once {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(args.interval_ms));
+    }
+}
+
+/// Writes spans plus telemetry counter tracks as Chrome trace-event JSON
+/// (creating parent directories), with a pointer to the viewers that open
+/// it.
+fn write_trace(
+    args: &Args,
+    path: &str,
+    spans: &[SpanRecord],
+    samples: &[TelemetrySample],
+) -> Result<(), String> {
+    let json = chrome_trace_json_with_counters(spans, samples, 0);
     if let Some(parent) = std::path::Path::new(path).parent() {
         if !parent.as_os_str().is_empty() {
             std::fs::create_dir_all(parent).map_err(|e| format!("mkdir for {path}: {e}"))?;
@@ -105,8 +222,9 @@ fn write_trace(args: &Args, path: &str, spans: &[SpanRecord]) -> Result<(), Stri
     std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
     if !args.quiet {
         eprintln!(
-            "  {} spans traced to {path} (open in ui.perfetto.dev or chrome://tracing)",
+            "  {} spans + {} counter samples traced to {path} (open in ui.perfetto.dev or chrome://tracing)",
             spans.len(),
+            samples.len(),
         );
     }
     Ok(())
@@ -330,7 +448,7 @@ fn run_drive(args: &Args) -> Result<(), String> {
         report.trace_path = recorded_path.clone();
         print_single_summary(args, &report, &recorded_path, ", over TCP");
         if let (Some(path), Some(tracer)) = (&args.trace_out, &tracer) {
-            write_trace(args, path, &tracer.spans())?;
+            write_trace(args, path, &tracer.spans(), &report.outcome.telemetry)?;
         }
         report.to_json()
     } else if args.nodes >= 1 {
@@ -373,7 +491,7 @@ fn run_drive(args: &Args) -> Result<(), String> {
         report.trace_path = recorded_path.clone();
         print_single_summary(args, &report, &recorded_path, "");
         if let (Some(path), Some(spans)) = (&args.trace_out, &spans) {
-            write_trace(args, path, spans)?;
+            write_trace(args, path, spans, &report.outcome.telemetry)?;
         }
         debug_assert!(report.to_json().contains(REPORT_SCHEMA));
         report.to_json()
@@ -403,6 +521,9 @@ fn run() -> Result<(), String> {
     }
     if args.metrics {
         return run_metrics(&args);
+    }
+    if args.watch {
+        return run_watch(&args);
     }
     run_drive(&args)
 }

@@ -23,9 +23,17 @@ pub struct Args {
     /// `loadgen serve …`: run a `svgic-net` server process instead of
     /// driving load.
     pub serve: bool,
-    /// `loadgen metrics --connect host:port`: scrape a serving node's
-    /// metric series (a `QueryMetrics` wire exchange) and print it as JSON.
+    /// `loadgen metrics --connect host:port[,…]`: scrape each serving
+    /// node's metric series (a `QueryMetrics` wire exchange per node) and
+    /// print one JSON object per node.
     pub metrics: bool,
+    /// `loadgen watch --connect host:port[,…]`: poll every node's metrics
+    /// into a redrawing terminal table (rps, p99 by phase, memory, health).
+    pub watch: bool,
+    /// (watch mode) Print one table and exit instead of redrawing.
+    pub once: bool,
+    /// (watch mode) Poll interval in milliseconds.
+    pub interval_ms: u64,
     /// Port to serve on (serve mode; `0` = ephemeral, printed on stdout).
     pub port: Option<u16>,
     /// Remote engines to drive (`--connect host:port[,host:port…]`).
@@ -73,6 +81,9 @@ impl Default for Args {
         Args {
             serve: false,
             metrics: false,
+            watch: false,
+            once: false,
+            interval_ms: 1000,
             port: None,
             connect: Vec::new(),
             scenario: None,
@@ -385,6 +396,34 @@ pub fn flags() -> &'static [FlagSpec] {
             },
         },
         FlagSpec {
+            name: "--once",
+            value: None,
+            example: "",
+            help: &["(watch mode) print one table and exit instead of redrawing"],
+            generation_only: false,
+            engine_side: false,
+            apply: |args, _| {
+                args.once = true;
+                Ok(())
+            },
+        },
+        FlagSpec {
+            name: "--interval-ms",
+            value: Some("<N>"),
+            example: "500",
+            help: &["(watch mode) poll interval in milliseconds (default 1000)"],
+            generation_only: false,
+            engine_side: false,
+            apply: |args, value| {
+                let ms: u64 = parse_number(value, "--interval-ms")?;
+                if ms < 1 {
+                    return Err("--interval-ms wants a positive integer".into());
+                }
+                args.interval_ms = ms;
+                Ok(())
+            },
+        },
+        FlagSpec {
             name: "--quiet",
             value: None,
             example: "",
@@ -445,14 +484,19 @@ pub fn usage() -> String {
          \x20   loadgen --replay <trace-file> [options]\n\
          \x20   loadgen --scenario <name> --connect host:port[,host:port…]\n\
          \x20   loadgen serve --port <N> [--workers N] [--cold-lp]\n\
-         \x20   loadgen metrics --connect host:port\n\
+         \x20   loadgen metrics --connect host:port[,host:port…]\n\
+         \x20   loadgen watch --connect host:port[,host:port…] [--once]\n\
          \x20   loadgen --list-scenarios\n\
          \n\
          MODES:\n\
          \x20   serve               run a svgic-net wire-protocol server fronting one\n\
          \x20                       engine (blocks until a client sends shutdown)\n\
-         \x20   metrics             scrape one serving node's metric series over the\n\
-         \x20                       wire (QueryMetrics) and print it as JSON\n\
+         \x20   metrics             scrape each serving node's metric series over the\n\
+         \x20                       wire (QueryMetrics) and print one JSON object per\n\
+         \x20                       node, in address order\n\
+         \x20   watch               poll every node's metrics into a redrawing fleet\n\
+         \x20                       table: rps, p99 by phase, accounted memory, and\n\
+         \x20                       SLO health per node (--once prints one table)\n\
          \n\
          OPTIONS:\n",
     );
@@ -498,6 +542,10 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
             parsed.metrics = true;
             it.next();
         }
+        Some("watch") => {
+            parsed.watch = true;
+            it.next();
+        }
         _ => {}
     }
     while let Some(token) = it.next() {
@@ -528,9 +576,12 @@ pub fn validate(args: &Args) -> Result<(), String> {
     if args.help || args.list {
         return Ok(());
     }
-    if args.metrics {
-        if args.connect.len() != 1 {
-            return Err("metrics mode needs exactly one --connect <host:port>".into());
+    if args.metrics || args.watch {
+        let mode = if args.metrics { "metrics" } else { "watch" };
+        if args.connect.is_empty() {
+            return Err(format!(
+                "{mode} mode needs --connect <host:port[,host:port…]>"
+            ));
         }
         for (set, what) in [
             (args.serve, "serve"),
@@ -539,12 +590,16 @@ pub fn validate(args: &Args) -> Result<(), String> {
             (args.nodes > 0, "--nodes"),
             (args.port.is_some(), "--port"),
             (args.trace_out.is_some(), "--trace-out"),
+            (args.metrics && args.once, "--once"),
         ] {
             if set {
-                return Err(format!("{what} does not apply in metrics mode"));
+                return Err(format!("{what} does not apply in {mode} mode"));
             }
         }
         return Ok(());
+    }
+    if args.once {
+        return Err("--once only applies in watch mode (loadgen watch --connect …)".into());
     }
     if args.serve {
         if args.port.is_none() {
@@ -751,12 +806,15 @@ mod tests {
     }
 
     #[test]
-    fn metrics_mode_wants_exactly_one_connection() {
+    fn metrics_mode_takes_one_or_many_connections() {
         let args = parse_ok(&["metrics", "--connect", "127.0.0.1:7741"]);
         assert!(args.metrics);
         assert!(validate(&args).is_ok());
         assert!(validate(&parse_ok(&["metrics"])).is_err());
-        assert!(validate(&parse_ok(&["metrics", "--connect", "a:1,b:2"])).is_err());
+        // A comma-separated node list scrapes the whole fleet.
+        let fleet = parse_ok(&["metrics", "--connect", "a:1,b:2"]);
+        assert_eq!(fleet.connect.len(), 2);
+        assert!(validate(&fleet).is_ok());
         assert!(validate(&parse_ok(&[
             "metrics",
             "--connect",
@@ -764,6 +822,46 @@ mod tests {
             "--scenario",
             "steady-mall"
         ]))
+        .is_err());
+        assert!(
+            validate(&parse_ok(&["metrics", "--connect", "a:1", "--once"])).is_err(),
+            "--once is watch-only"
+        );
+    }
+
+    #[test]
+    fn watch_mode_polls_connections() {
+        let args = parse_ok(&[
+            "watch",
+            "--connect",
+            "127.0.0.1:7741,127.0.0.1:7742",
+            "--once",
+            "--interval-ms",
+            "250",
+        ]);
+        assert!(args.watch);
+        assert!(args.once);
+        assert_eq!(args.interval_ms, 250);
+        assert_eq!(args.connect.len(), 2);
+        assert!(validate(&args).is_ok());
+        assert!(validate(&parse_ok(&["watch"])).is_err(), "needs --connect");
+        assert!(validate(&parse_ok(&["watch", "--connect", "a:1", "--nodes", "2"])).is_err());
+        assert!(validate(&parse_ok(&[
+            "watch",
+            "--connect",
+            "a:1",
+            "--scenario",
+            "steady-mall"
+        ]))
+        .is_err());
+        // --once outside watch mode is rejected, not silently ignored.
+        assert!(validate(&parse_ok(&["--scenario", "steady-mall", "--once"])).is_err());
+        // A zero interval is a parse error.
+        assert!(parse(
+            ["watch", "--connect", "a:1", "--interval-ms", "0"]
+                .iter()
+                .map(|t| t.to_string())
+        )
         .is_err());
     }
 

@@ -40,7 +40,7 @@ use svgic_core::extensions::DynamicEvent;
 use svgic_core::SvgicInstance;
 use svgic_engine::fingerprint::Fnv;
 use svgic_engine::prelude::*;
-use svgic_engine::CreateSession;
+use svgic_engine::{CreateSession, Health, TelemetrySample};
 
 use crate::driver::{digest_view, DriveMode, LatencyBreakdown, QualityUnderLoad};
 use crate::trace::{Trace, TraceEvent};
@@ -224,6 +224,22 @@ pub struct NodeOutcome {
     /// The node engine's counters — final for alive nodes, last-observed
     /// (at the preceding tick boundary) for killed ones.
     pub engine: StatsSnapshot,
+    /// The node's per-tick telemetry ring, oldest first (empty for killed
+    /// nodes — their ring died with the engine — and for capacity-0 nodes).
+    pub telemetry: Vec<TelemetrySample>,
+}
+
+impl NodeOutcome {
+    /// The node's derived health under the default policy (killed nodes
+    /// assess their last-observed counters).
+    pub fn health(&self) -> Health {
+        self.engine.health()
+    }
+
+    /// Total accounted bytes on the node at the end of the run.
+    pub fn mem_bytes(&self) -> u64 {
+        self.engine.mem_total_bytes()
+    }
 }
 
 /// Everything one cluster run produced.
@@ -521,6 +537,7 @@ impl ClusterDriver {
                 busy_seconds: ledger.busy.get(&node.node.0).copied().unwrap_or(0.0),
                 sessions: node.sessions,
                 engine: node.engine.clone(),
+                telemetry: node.telemetry.clone(),
             })
             .collect();
         for &dead in &ledger.dead {
@@ -534,6 +551,7 @@ impl ClusterDriver {
                     .get(&dead)
                     .cloned()
                     .unwrap_or_else(|| svgic_engine::EngineStats::default().snapshot()),
+                telemetry: Vec::new(),
             });
         }
         per_node.sort_by_key(|n| n.node.0);
@@ -722,6 +740,19 @@ mod tests {
         );
         assert!(four.per_node.len() == 4);
         assert!(four.per_node.iter().all(|n| n.alive));
+        // Every alive node sampled its ring at each tick flush: non-empty,
+        // ticks strictly monotone, and the mem gauges track live state.
+        for node in &four.per_node {
+            assert!(!node.telemetry.is_empty(), "node {:?}", node.node);
+            assert!(node.telemetry.windows(2).all(|w| w[0].tick < w[1].tick));
+            assert_eq!(node.health(), Health::Ok);
+        }
+        assert!(
+            four.per_node
+                .iter()
+                .any(|n| n.telemetry.iter().any(|s| s.mem_session_bytes > 0)),
+            "some node held live sessions when a tick sampled"
+        );
         // The fleet view sums the per-node engines.
         let created: u64 = four
             .per_node

@@ -13,6 +13,8 @@
 
 use std::time::Duration;
 
+use svgic_engine::TelemetrySample;
+
 use crate::cluster_driver::ClusterLoadOutcome;
 use crate::driver::{LoadOutcome, QualityUnderLoad};
 use crate::histogram::LatencyHistogram;
@@ -98,6 +100,8 @@ impl LoadReport {
                 w.number(&name, value);
             }
         });
+
+        write_time_series(&mut w, &self.outcome.telemetry);
 
         w.string(
             "config_digest",
@@ -224,6 +228,11 @@ impl ClusterReport {
                         node.engine.mean_cold_solve_time().as_secs_f64(),
                     );
                     w.number("shard_imbalance", node.engine.shard_imbalance());
+                    // Resource + SLO posture: the health label, the
+                    // accounted bytes, and the node's own tick series.
+                    w.string("health", node.health().name());
+                    w.integer("mem_bytes", node.mem_bytes());
+                    write_time_series(w, &node.telemetry);
                 });
             }
         });
@@ -251,6 +260,29 @@ fn write_quality(w: &mut JsonWriter, q: &QualityUnderLoad) {
     w.integer("samples", q.samples);
     w.number("mean_utility", q.mean_utility());
     w.number("bound_ratio", q.bound_ratio());
+}
+
+/// Emits a telemetry ring as the `time_series` array: one all-integer object
+/// per tick sample, oldest first, field-for-field the
+/// [`TelemetrySample`] wire record (see `docs/FORMATS.md`).
+fn write_time_series(w: &mut JsonWriter, samples: &[TelemetrySample]) {
+    w.array("time_series", |w| {
+        for s in samples {
+            w.item(|w| {
+                w.integer("tick", s.tick);
+                w.integer("requests", s.requests);
+                w.integer("solves", s.solves);
+                w.integer("queue_depth", s.queue_depth);
+                w.integer("warm_rate_ppm", s.warm_rate_ppm);
+                w.integer("imbalance_ppm", s.imbalance_ppm);
+                w.integer("mem_session_bytes", s.mem_session_bytes);
+                w.integer("mem_pending_bytes", s.mem_pending_bytes);
+                w.integer("mem_served_bytes", s.mem_served_bytes);
+                w.integer("mem_cache_bytes", s.mem_cache_bytes);
+                w.integer("mem_total_bytes", s.mem_total_bytes);
+            });
+        }
+    });
 }
 
 /// Minimal pretty-printing JSON object writer (objects and scalar fields —
@@ -333,6 +365,35 @@ impl JsonWriter {
         self.close();
     }
 
+    /// A named array field; `body` appends elements via [`JsonWriter::item`].
+    fn array(&mut self, name: &str, body: impl FnOnce(&mut JsonWriter)) {
+        self.key(name);
+        self.out.push('[');
+        self.indent += 1;
+        self.has_field.push(false);
+        body(self);
+        self.indent -= 1;
+        let had_items = self.has_field.pop().expect("inside an array");
+        if had_items {
+            self.out.push('\n');
+            self.out.push_str(&"  ".repeat(self.indent));
+        }
+        self.out.push(']');
+    }
+
+    /// One object element of the enclosing [`JsonWriter::array`].
+    fn item(&mut self, body: impl FnOnce(&mut JsonWriter)) {
+        let first = !std::mem::replace(self.has_field.last_mut().expect("inside an array"), true);
+        if !first {
+            self.out.push(',');
+        }
+        self.out.push('\n');
+        self.out.push_str(&"  ".repeat(self.indent));
+        self.open();
+        body(self);
+        self.close();
+    }
+
     fn finish(mut self) -> String {
         self.out.push('\n');
         self.out
@@ -394,18 +455,29 @@ mod tests {
             "\"p99\":",
             "\"cache_hit_rate\":",
             "\"coalesce_rate\":",
+            "\"mem_session_bytes\":",
+            "\"mem_total_bytes\":",
+            "\"slo_lp_burn\":",
+            "\"health\":",
+            "\"time_series\": [",
+            "\"warm_rate_ppm\":",
             "\"config_digest\": \"0x",
             "\"trace_path\": null",
         ] {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");
         }
+        // The driver flushes once per tick, so the series is populated.
+        assert!(
+            json.contains("\"tick\": 0"),
+            "time_series must carry tick samples:\n{json}"
+        );
     }
 
     #[test]
     fn report_json_is_structurally_balanced() {
         let json = sample_report().to_json();
         // No serde to parse with, so check structural invariants: balanced
-        // braces, balanced quotes, no trailing commas.
+        // braces/brackets, balanced quotes, no trailing commas.
         let braces: i64 = json
             .chars()
             .map(|c| match c {
@@ -415,10 +487,32 @@ mod tests {
             })
             .sum();
         assert_eq!(braces, 0);
+        let brackets: i64 = json
+            .chars()
+            .map(|c| match c {
+                '[' => 1,
+                ']' => -1,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(brackets, 0);
         assert_eq!(json.matches('"').count() % 2, 0);
         assert!(!json.contains(",\n}"));
         assert!(!json.contains(",}"));
+        assert!(!json.contains(",\n]"));
+        assert!(!json.contains(",]"));
         assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn empty_time_series_renders_as_an_empty_array() {
+        let mut report = sample_report();
+        report.outcome.telemetry.clear();
+        let json = report.to_json();
+        assert!(
+            json.contains("\"time_series\": []"),
+            "capacity-0 engines report an empty array, not a missing key:\n{json}"
+        );
     }
 
     #[test]
@@ -453,6 +547,10 @@ mod tests {
             "\"mean_lp_seconds\":",
             "\"p99_lp_seconds\":",
             "\"shard_imbalance\":",
+            "\"health\": \"ok\"",
+            "\"mem_bytes\":",
+            "\"time_series\": [",
+            "\"mem_total_bytes\":",
             "\"config_digest\": \"0x",
         ] {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");

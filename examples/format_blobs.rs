@@ -4,10 +4,11 @@
 //! cargo run --release --example format_blobs
 //! ```
 //!
-//! Prints six sections — the `svgic-trace v1` example, a
+//! Prints eight sections — the `svgic-trace v1` example, a
 //! `svgic-loadgen-report/v1` JSON, a `svgic-cluster-report/v1` JSON, the
-//! wire-frame hex dump, the `QueryMetrics` frame hex and the Chrome
-//! trace-event JSON — using the same pinned configuration
+//! wire-frame hex dump, the `QueryMetrics` and `QueryTelemetry` frame
+//! hexes, the Chrome trace-event JSON and its counter-event variant —
+//! using the same pinned configuration
 //! (`workers: 2, shards: 2`, steady-mall smoke at 2 ticks, seed 3; cluster:
 //! 2 nodes with a mid-run rebalance; trace events: a fixed three-span list)
 //! that `tests/format_conformance.rs` regenerates and compares against the
@@ -20,7 +21,9 @@
 //! pasted snapshot stays valid.
 
 use svgic::engine::prelude::*;
-use svgic::obs::{chrome_trace_json, Phase, SpanRecord};
+use svgic::obs::{
+    chrome_trace_json, chrome_trace_json_with_counters, Phase, SpanRecord, TelemetrySample,
+};
 use svgic::workload::prelude::*;
 use svgic::workload::DriverConfig;
 
@@ -75,6 +78,40 @@ fn pinned_spans() -> Vec<SpanRecord> {
             node: 1,
             start_nanos: 2_250,
             duration_nanos: 1_250,
+        },
+    ]
+}
+
+/// The pinned telemetry samples for the counter-event example: two ticks of
+/// a warming engine — hand-fixed integers, but the real field set and the
+/// real tick axis (mirrored in `tests/format_conformance.rs`).
+fn pinned_samples() -> Vec<TelemetrySample> {
+    vec![
+        TelemetrySample {
+            tick: 0,
+            requests: 12,
+            solves: 3,
+            queue_depth: 4,
+            warm_rate_ppm: 0,
+            imbalance_ppm: 1_000_000,
+            mem_session_bytes: 48_000,
+            mem_pending_bytes: 640,
+            mem_served_bytes: 1_280,
+            mem_cache_bytes: 9_600,
+            mem_total_bytes: 59_520,
+        },
+        TelemetrySample {
+            tick: 1,
+            requests: 25,
+            solves: 7,
+            queue_depth: 0,
+            warm_rate_ppm: 571_428,
+            imbalance_ppm: 1_142_857,
+            mem_session_bytes: 48_000,
+            mem_pending_bytes: 0,
+            mem_served_bytes: 1_280,
+            mem_cache_bytes: 12_800,
+            mem_total_bytes: 62_080,
         },
     ]
 }
@@ -158,6 +195,16 @@ fn main() {
     let payload = svgic::engine::codec::encode_request(&EngineRequest::QueryMetrics);
     println!("{}", frame_hex(svgic::net::FrameKind::Request, 2, payload));
 
+    println!("\n=== wire frame (QueryTelemetry, request id 3) ===");
+    let payload = svgic::engine::codec::encode_request(&EngineRequest::QueryTelemetry);
+    println!("{}", frame_hex(svgic::net::FrameKind::Request, 3, payload));
+
     println!("\n=== chrome trace events (pinned three-span example) ===");
     println!("{}", chrome_trace_json(&pinned_spans()));
+
+    println!("\n=== chrome counter events (pinned spans + two-sample ring) ===");
+    println!(
+        "{}",
+        chrome_trace_json_with_counters(&pinned_spans(), &pinned_samples(), 0)
+    );
 }

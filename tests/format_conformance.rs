@@ -11,8 +11,9 @@
 //!   dropping a report key without updating the spec fails CI;
 //! * the wire-frame hexes decode to the documented frames and re-encode to
 //!   the same bytes;
-//! * the Chrome trace-event blob re-renders **byte-identically** from its
-//!   pinned span list and parses as the documented structure.
+//! * the Chrome trace-event and counter-event blobs re-render
+//!   **byte-identically** from their pinned span list and telemetry ring
+//!   and parse as the documented structure.
 //!
 //! Regenerate the blobs with `cargo run --release --example format_blobs`.
 
@@ -21,7 +22,9 @@ use std::io::Cursor;
 use svgic::engine::prelude::*;
 use svgic::net::frame::{read_frame, write_frame};
 use svgic::net::FrameKind;
-use svgic::obs::{chrome_trace_json, Phase, SpanRecord};
+use svgic::obs::{
+    chrome_trace_json, chrome_trace_json_with_counters, Phase, SpanRecord, TelemetrySample,
+};
 use svgic::workload::json::Json;
 use svgic::workload::prelude::*;
 use svgic::workload::DriverConfig;
@@ -65,6 +68,52 @@ fn pinned_trace() -> Trace {
     generate(&scenario, 3)
 }
 
+/// The documented member keys of one `time_series` sample (§2.5).
+/// `Json::key_paths` does not descend into arrays, so the report tests
+/// assert the sample shape explicitly here.
+const SAMPLE_KEYS: [&str; 11] = [
+    "tick",
+    "requests",
+    "solves",
+    "queue_depth",
+    "warm_rate_ppm",
+    "imbalance_ppm",
+    "mem_session_bytes",
+    "mem_pending_bytes",
+    "mem_served_bytes",
+    "mem_cache_bytes",
+    "mem_total_bytes",
+];
+
+/// Asserts a report-level `time_series` value is a non-empty array whose
+/// members each carry exactly the documented sample keys, with a
+/// monotonically increasing tick axis.
+fn assert_time_series_shape(report: &Json, context: &str) {
+    let series = match report.get("time_series") {
+        Some(Json::Array(samples)) => samples,
+        other => panic!("{context}: time_series must be an array, got {other:?}"),
+    };
+    assert!(
+        !series.is_empty(),
+        "{context}: a 2-tick run must push telemetry samples"
+    );
+    let mut last_tick = None;
+    for sample in series {
+        for key in SAMPLE_KEYS {
+            assert!(
+                sample.get(key).and_then(Json::as_f64).is_some(),
+                "{context}: time_series sample lost its `{key}` member"
+            );
+        }
+        let tick = sample.get("tick").and_then(Json::as_f64).expect("tick");
+        assert!(
+            last_tick.is_none_or(|last| tick > last),
+            "{context}: time_series ticks must be strictly increasing"
+        );
+        last_tick = Some(tick);
+    }
+}
+
 #[test]
 fn trace_blob_parses_and_rerenders_byte_identically() {
     let blob = blob("trace");
@@ -106,6 +155,8 @@ fn loadgen_report_blob_matches_the_emitter_structurally() {
         "docs/FORMATS.md's loadgen-report example drifted from the emitter — \
          regenerate with `cargo run --release --example format_blobs`"
     );
+    assert_time_series_shape(&value, "spec loadgen-report");
+    assert_time_series_shape(&fresh, "fresh loadgen-report");
 }
 
 #[test]
@@ -131,6 +182,21 @@ fn cluster_report_blob_matches_the_emitter_structurally() {
         fresh.key_paths(),
         "docs/FORMATS.md's cluster-report example drifted from the emitter — \
          regenerate with `cargo run --release --example format_blobs`"
+    );
+    // The cluster schema carries the ring per node, not at the top level —
+    // tick clocks are per-node, so a merged ring would be meaningless.
+    assert!(value.get("time_series").is_none());
+    // Each surviving node carries its own ring and health verdict (§2.7).
+    let per_node = value.get("per_node").expect("per_node object");
+    let node0 = per_node.get("node0").expect("node0 survives the plan");
+    assert_time_series_shape(node0, "spec cluster-report per_node.node0");
+    assert!(
+        node0.get("health").and_then(Json::as_str).is_some(),
+        "per_node entries must carry the health verdict"
+    );
+    assert!(
+        node0.get("mem_bytes").and_then(Json::as_f64).is_some(),
+        "per_node entries must carry the mem_bytes gauge"
     );
     // Both reports in the spec describe the same trace: the digest is
     // topology-invariant right there in the documentation.
@@ -178,6 +244,22 @@ fn metrics_frame_hex_decodes_to_a_query_metrics_request() {
     assert!(
         matches!(request, EngineRequest::QueryMetrics),
         "spec frame documents QueryMetrics, decodes {request:?}"
+    );
+    let mut reencoded = Vec::new();
+    write_frame(&mut reencoded, &frame).expect("in-memory write");
+    assert_eq!(reencoded, bytes);
+}
+
+#[test]
+fn telemetry_frame_hex_decodes_to_a_query_telemetry_request() {
+    let (frame, bytes) = frame_from_hex(&blob("telemetry-frame-hex"));
+    assert_eq!(frame.kind, FrameKind::Request);
+    assert_eq!(frame.request_id, 3);
+    let request =
+        svgic::engine::codec::decode_request(&frame.payload).expect("spec payload decodes");
+    assert!(
+        matches!(request, EngineRequest::QueryTelemetry),
+        "spec frame documents QueryTelemetry, decodes {request:?}"
     );
     let mut reencoded = Vec::new();
     write_frame(&mut reencoded, &frame).expect("in-memory write");
@@ -272,5 +354,109 @@ fn trace_events_blob_rerenders_byte_identically_and_has_the_documented_shape() {
                 .and_then(Json::as_f64),
             Some(span.session as f64)
         );
+    }
+}
+
+/// The pinned telemetry ring behind the spec's counter-event example
+/// (mirrored in `examples/format_blobs.rs`).
+fn pinned_samples() -> Vec<TelemetrySample> {
+    vec![
+        TelemetrySample {
+            tick: 0,
+            requests: 12,
+            solves: 3,
+            queue_depth: 4,
+            warm_rate_ppm: 0,
+            imbalance_ppm: 1_000_000,
+            mem_session_bytes: 48_000,
+            mem_pending_bytes: 640,
+            mem_served_bytes: 1_280,
+            mem_cache_bytes: 9_600,
+            mem_total_bytes: 59_520,
+        },
+        TelemetrySample {
+            tick: 1,
+            requests: 25,
+            solves: 7,
+            queue_depth: 0,
+            warm_rate_ppm: 571_428,
+            imbalance_ppm: 1_142_857,
+            mem_session_bytes: 48_000,
+            mem_pending_bytes: 0,
+            mem_served_bytes: 1_280,
+            mem_cache_bytes: 12_800,
+            mem_total_bytes: 62_080,
+        },
+    ]
+}
+
+#[test]
+fn counter_events_blob_rerenders_byte_identically_and_has_the_documented_shape() {
+    let blob = blob("counter-events");
+    assert_eq!(
+        chrome_trace_json_with_counters(&pinned_spans(), &pinned_samples(), 0),
+        blob.trim_end(),
+        "docs/FORMATS.md's counter-event example drifted from the emitter — \
+         regenerate with `cargo run --release --example format_blobs`"
+    );
+    let value = Json::parse(blob.trim_end()).expect("spec blob is valid JSON");
+    let events = match value.get("traceEvents") {
+        Some(Json::Array(events)) => events,
+        other => panic!("traceEvents must be an array, got {other:?}"),
+    };
+    // Spans first, then three counter tracks per ring sample.
+    let spans = pinned_spans().len();
+    let samples = pinned_samples();
+    assert_eq!(events.len(), spans + 3 * samples.len());
+    let counters = &events[spans..];
+    for (trio, sample) in counters.chunks(3).zip(&samples) {
+        let tracks: [(&str, &[(&str, u64)]); 3] = [
+            (
+                "mem_bytes",
+                &[
+                    ("session", sample.mem_session_bytes),
+                    ("pending", sample.mem_pending_bytes),
+                    ("served", sample.mem_served_bytes),
+                    ("cache", sample.mem_cache_bytes),
+                ],
+            ),
+            (
+                "load",
+                &[
+                    ("requests", sample.requests),
+                    ("solves", sample.solves),
+                    ("queue_depth", sample.queue_depth),
+                ],
+            ),
+            (
+                "rates",
+                &[
+                    ("warm_ppm", sample.warm_rate_ppm),
+                    ("imbalance_ppm", sample.imbalance_ppm),
+                ],
+            ),
+        ];
+        for (event, (name, args)) in trio.iter().zip(tracks) {
+            assert_eq!(event.get("name").and_then(Json::as_str), Some(name));
+            assert_eq!(event.get("cat").and_then(Json::as_str), Some("svgic"));
+            assert_eq!(event.get("ph").and_then(Json::as_str), Some("C"));
+            // The counter axis is the deterministic tick clock: one tick
+            // renders as one millisecond.
+            assert_eq!(
+                event.get("ts").and_then(Json::as_f64),
+                Some(sample.tick as f64 * 1000.0)
+            );
+            assert_eq!(event.get("pid").and_then(Json::as_f64), Some(0.0));
+            for (key, expected) in args {
+                assert_eq!(
+                    event
+                        .get("args")
+                        .and_then(|a| a.get(key))
+                        .and_then(Json::as_f64),
+                    Some(*expected as f64),
+                    "counter `{name}` lost its `{key}` arg"
+                );
+            }
+        }
     }
 }

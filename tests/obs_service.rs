@@ -5,14 +5,17 @@
 //! random session scripts (joins, leaves, catalogue swaps, forced LP
 //! re-solves, flushes) through four backends built from the same script:
 //!
-//! 1. an in-process engine with obs **off** (the baseline),
-//! 2. an in-process engine with obs **on**,
-//! 3. a real `svgic-net` TCP server whose engine has obs **off**,
-//! 4. a TCP server with obs **on**, scraped by a span-recording client.
+//! 1. an in-process engine with obs **off** and the telemetry sampler
+//!    **off** (capacity 0 — the baseline),
+//! 2. an in-process engine with obs **on** and the sampler **on**,
+//! 3. a real `svgic-net` TCP server whose engine has obs and sampler
+//!    **off**,
+//! 4. a TCP server with obs and sampler **on**, scraped by a span-recording
+//!    client that also drains the telemetry ring over the wire.
 //!
 //! All four must produce the identical FNV-1a configuration digest and the
-//! identical solve count. A divergence means tracing changed what was served
-//! — the one thing an observability layer must never do.
+//! identical solve count. A divergence means tracing or sampling changed
+//! what was served — the one thing an observability layer must never do.
 
 use proptest::prelude::*;
 use proptest::TestRng;
@@ -62,12 +65,15 @@ fn random_script(seed: u64, len: usize) -> Vec<(bool, Op)> {
 
 /// Engine shape shared by every backend: fixed workers/shards so counters
 /// are machine-independent, auto-flush off so the script owns the clock.
-fn engine_config(obs: ObsConfig) -> EngineConfig {
+/// The obs and telemetry-sampler toggles travel together: the baseline
+/// backends run with both off, the observed backends with both on.
+fn engine_config(obs: ObsConfig, telemetry_capacity: usize) -> EngineConfig {
     EngineConfig {
         workers: 2,
         shards: 2,
         auto_flush_pending: 0,
         obs,
+        telemetry_capacity,
         ..EngineConfig::default()
     }
 }
@@ -177,13 +183,15 @@ proptest! {
     #[test]
     fn tracing_never_changes_what_is_served(seed in 0u64..100_000, len in 0usize..24) {
         let script = random_script(seed, len);
-        // 1. In-process, obs off: the baseline.
-        let mut engine_off = Engine::new(engine_config(ObsConfig::disabled()));
+        // 1. In-process, obs and sampler off: the baseline.
+        let mut engine_off = Engine::new(engine_config(ObsConfig::disabled(), 0));
         let (digest_off, solves_off) = run_script(&mut engine_off, &script);
         prop_assert_eq!(engine_off.tracer().recorded(), 0);
+        prop_assert!(engine_off.telemetry().is_empty(), "capacity 0 disables sampling");
 
-        // 2. In-process, obs on: same service, plus a span stream.
-        let mut engine_on = Engine::new(engine_config(ObsConfig::enabled()));
+        // 2. In-process, obs and sampler on: same service, plus a span
+        // stream and a populated telemetry ring.
+        let mut engine_on = Engine::new(engine_config(ObsConfig::enabled(), 1024));
         let (digest_on, solves_on) = run_script(&mut engine_on, &script);
         prop_assert_eq!(digest_on, digest_off);
         prop_assert_eq!(solves_on, solves_off);
@@ -193,30 +201,53 @@ proptest! {
             engine_on.tracer().recorded(),
             script.len(),
         );
+        let ring = engine_on.telemetry();
+        prop_assert!(!ring.is_empty(), "every flush sampled the ring");
+        prop_assert!(ring.windows(2).all(|w| w[0].tick < w[1].tick));
 
-        // 3. Over one TCP server, obs off on the remote engine.
-        let server = NetServer::bind("127.0.0.1:0", Engine::new(engine_config(ObsConfig::disabled())))
+        // 3. Over one TCP server, obs and sampler off on the remote engine.
+        let server = NetServer::bind("127.0.0.1:0", Engine::new(engine_config(ObsConfig::disabled(), 0)))
             .expect("binds");
         let mut client = NetClient::connect(server.local_addr()).expect("connects");
         let (digest_tcp_off, solves_tcp_off) = run_script(&mut client, &script);
+        prop_assert!(
+            client.query_telemetry().expect("telemetry frame").is_empty(),
+            "a sampler-off server answers QueryTelemetry with an empty ring"
+        );
         client.shutdown_server().expect("shuts down");
         server.join();
         prop_assert_eq!(digest_tcp_off, digest_off);
         prop_assert_eq!(solves_tcp_off, solves_off);
 
-        // 4. Over one TCP server with obs on — and a span-recording client,
-        // so both ends of the wire are traced at once.
-        let server = NetServer::bind("127.0.0.1:0", Engine::new(engine_config(ObsConfig::enabled())))
+        // 4. Over one TCP server with obs and sampler on — a span-recording
+        // client that also drains the telemetry ring over the wire. Every
+        // deterministic sample field must match the in-process run's ring
+        // (ticks, counters, byte gauges — everything except the
+        // busy-nanos-derived imbalance, which is wall-clock).
+        let server = NetServer::bind("127.0.0.1:0", Engine::new(engine_config(ObsConfig::enabled(), 1024)))
             .expect("binds");
         let tracer = Tracer::new(ObsConfig::enabled());
         let mut client = NetClient::connect(server.local_addr())
             .expect("connects")
             .with_tracer(tracer.clone());
         let (digest_tcp_on, solves_tcp_on) = run_script(&mut client, &script);
+        let remote_ring = client.query_telemetry().expect("telemetry frame");
         client.shutdown_server().expect("shuts down");
         server.join();
         prop_assert_eq!(digest_tcp_on, digest_off);
         prop_assert_eq!(solves_tcp_on, solves_off);
         prop_assert!(tracer.recorded() > 0, "the client recorded its wire spans");
+        prop_assert_eq!(remote_ring.len(), ring.len());
+        for (remote, local) in remote_ring.iter().zip(&ring) {
+            prop_assert_eq!(remote.tick, local.tick);
+            prop_assert_eq!(remote.requests, local.requests);
+            prop_assert_eq!(remote.solves, local.solves);
+            prop_assert_eq!(remote.queue_depth, local.queue_depth);
+            prop_assert_eq!(remote.warm_rate_ppm, local.warm_rate_ppm);
+            prop_assert_eq!(remote.mem_session_bytes, local.mem_session_bytes);
+            prop_assert_eq!(remote.mem_pending_bytes, local.mem_pending_bytes);
+            prop_assert_eq!(remote.mem_served_bytes, local.mem_served_bytes);
+            prop_assert_eq!(remote.mem_cache_bytes, local.mem_cache_bytes);
+        }
     }
 }
