@@ -113,6 +113,7 @@ fn migration_overhead_seconds(trace: &Trace) -> (f64, usize) {
     }
     let nodes = cluster.node_ids();
     let rounds = 25usize;
+    // lint: allow(wall-clock, benchmark timing is the measurement itself)
     let started = Instant::now();
     for round in 0..rounds {
         let to = nodes[round % 2];

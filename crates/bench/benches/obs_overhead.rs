@@ -69,6 +69,7 @@ fn driver(obs: ObsConfig) -> LoadDriver {
 
 /// Measures one `begin`/`finish` pair on `tracer`, averaged over `calls`.
 fn span_site_seconds(tracer: &Tracer, calls: u32) -> f64 {
+    // lint: allow(wall-clock, benchmark timing is the measurement itself)
     let started = Instant::now();
     for i in 0..calls {
         let span = tracer.begin();
@@ -157,6 +158,7 @@ fn obs_overhead(c: &mut Criterion) {
     // per-sample price reflects a realistically-populated session store.
     let per_sample = {
         let calls = 1_000u32;
+        // lint: allow(wall-clock, benchmark timing is the measurement itself)
         let started = Instant::now();
         for _ in 0..calls {
             std::hint::black_box(sampled_engine.stats());

@@ -104,6 +104,7 @@ impl Configuration {
         for u in 0..self.n {
             by_item.entry(self.get(u, s)).or_default().push(u);
         }
+        // lint: allow(hash-iter, drained into a Vec that is fully sorted below; hash order cannot escape)
         let mut groups: Vec<_> = by_item.into_iter().collect();
         for (_, members) in &mut groups {
             members.sort_unstable();

@@ -168,11 +168,15 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, CodecError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
     fn u64(&mut self) -> Result<u64, CodecError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
     }
 
     fn usize(&mut self) -> Result<usize, CodecError> {
@@ -1184,7 +1188,7 @@ mod tests {
     fn stats_snapshots_carry_mem_and_cache_byte_fields() {
         let stats = crate::stats::EngineStats::with_shards(2);
         stats.set_mem_gauges(1000, 200, 50);
-        stats.set_shard_cache_bytes(1, 777);
+        stats.set_shard_cache_gauges(1, 1, 777);
         let snapshot = stats.snapshot();
         let bytes = encode_response(&Ok(EngineResponse::Stats(Box::new(snapshot.clone()))));
         match decode_response(&bytes).expect("decodes") {

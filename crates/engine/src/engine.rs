@@ -268,6 +268,7 @@ impl Engine {
     pub fn cached_factor_sets(&self) -> usize {
         self.shards
             .iter()
+            // lint: allow(no-panic, a poisoned shard lock means a worker panicked mid-batch; engine state is unrecoverable)
             .map(|shard| shard.lock().expect("shard poisoned").factors.len())
             .sum()
     }
@@ -277,6 +278,7 @@ impl Engine {
     pub fn cached_component_sets(&self) -> usize {
         self.shards
             .iter()
+            // lint: allow(no-panic, a poisoned shard lock means a worker panicked mid-batch; engine state is unrecoverable)
             .map(|shard| shard.lock().expect("shard poisoned").components.len())
             .sum()
     }
@@ -285,6 +287,16 @@ impl Engine {
     /// session-side `mem_*` gauges first (an O(sessions) arithmetic walk —
     /// strictly read-side, never touching matrix data).
     pub fn stats(&self) -> StatsSnapshot {
+        // Shard jobs publish their cache gauges after sending their last
+        // outcome but before releasing the shard lock, so a batch can look
+        // finished (all outcomes drained) while a worker's gauge store is
+        // still in flight. Briefly taking each shard lock fences those
+        // stores, so every snapshot — telemetry sampling, the wire `Stats`
+        // request, local reads — sees the post-batch cache sizes.
+        for shard in &self.shards {
+            // lint: allow(no-panic, a poisoned shard lock means a worker panicked mid-batch; engine state is unrecoverable)
+            drop(shard.lock().expect("shard poisoned"));
+        }
         self.refresh_mem_gauges();
         self.stats.snapshot()
     }
@@ -330,15 +342,9 @@ impl Engine {
         if !self.telemetry.is_enabled() {
             return;
         }
-        // Shard jobs publish their cache gauges after sending their last
-        // outcome but before releasing the shard lock, so the batch can
-        // finish (all outcomes drained) while a worker's gauge store is
-        // still in flight. Briefly taking each shard lock fences those
-        // stores: the sample always reads the post-batch cache size, which
-        // keeps the ring deterministic across backends.
-        for shard in &self.shards {
-            drop(shard.lock().expect("shard poisoned"));
-        }
+        // `stats()` fences on the shard locks before snapshotting, so the
+        // sample always reads the post-batch cache sizes — which keeps the
+        // ring deterministic across backends.
         let snapshot = self.stats();
         self.telemetry.push(TelemetrySample {
             tick: self.ticks - 1,
@@ -482,6 +488,7 @@ impl Engine {
         self.next_session += 1;
         let state = SessionState::new(SessionId(id), instance, initial_present, seed);
         self.sessions.insert(id, state);
+        // lint: allow(relaxed-store, independent monotonic counter; nothing else is published with it)
         self.stats
             .sessions_created
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -506,6 +513,7 @@ impl Engine {
         self.pending_total += 1;
         let shard = self.shard_of(session.0);
         self.stats.shard_queue_add(shard, 1);
+        // lint: allow(relaxed-store, independent monotonic counter; nothing else is published with it)
         self.stats
             .events_submitted
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -561,6 +569,7 @@ impl Engine {
         self.pending_total = self.pending_total.saturating_sub(state.pending.len());
         self.stats
             .shard_queue_sub(self.shard_of(session.0), state.pending.len());
+        // lint: allow(relaxed-store, independent monotonic counter; nothing else is published with it)
         self.stats
             .sessions_closed
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -582,6 +591,7 @@ impl Engine {
         self.pending_total = self.pending_total.saturating_sub(state.pending.len());
         self.stats
             .shard_queue_sub(self.shard_of(session.0), state.pending.len());
+        // lint: allow(relaxed-store, independent monotonic counter; nothing else is published with it)
         self.stats
             .sessions_exported
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -611,6 +621,7 @@ impl Engine {
         let shard = self.shard_of(id);
         self.pending_total += state.pending.len();
         self.stats.shard_queue_add(shard, state.pending.len());
+        // lint: allow(relaxed-store, independent monotonic counter; nothing else is published with it)
         self.stats
             .sessions_imported
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -623,12 +634,14 @@ impl Engine {
         if let (Some(fingerprint), Some(factors)) =
             (state.last_factor_fingerprint, state.last_factors.clone())
         {
+            // lint: allow(no-panic, a poisoned shard lock means a worker panicked mid-batch; engine state is unrecoverable)
             let mut shard_state = self.shards[shard].lock().expect("shard poisoned");
             shard_state.factors.insert(fingerprint, factors);
-            self.stats
-                .set_shard_cache_entries(shard, shard_state.factors.len());
-            self.stats
-                .set_shard_cache_bytes(shard, shard_state.factors.footprint_bytes());
+            self.stats.set_shard_cache_gauges(
+                shard,
+                shard_state.factors.len(),
+                shard_state.factors.footprint_bytes(),
+            );
         }
         self.sessions.insert(id, state);
         self.tracer.finish(
@@ -648,6 +661,7 @@ impl Engine {
     }
 
     fn count_request(&self) {
+        // lint: allow(relaxed-store, independent monotonic counter; nothing else is published with it)
         self.stats
             .requests
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -677,6 +691,7 @@ impl Engine {
                 .shard_queue_sub(shard_index(id, shard_count), state.pending.len());
             state.pending.clear();
             state.lifetime_events += batch.raw_events as u64;
+            // lint: allow(relaxed-store, independent monotonic counter; nothing else is published with it)
             self.stats
                 .events_coalesced
                 .fetch_add(batch.coalesced_away as u64, Ordering::Relaxed);
@@ -741,6 +756,7 @@ impl Engine {
         if planned == 0 {
             return;
         }
+        // lint: allow(relaxed-store, independent monotonic counter; nothing else is published with it)
         self.stats.batches.fetch_add(1, Ordering::Relaxed);
 
         // ---- Shard jobs: restrict, resolve factors, round — in parallel
@@ -762,8 +778,10 @@ impl Engine {
             self.pool.execute_on(
                 shard,
                 Box::new(move || {
+                    // lint: allow(wall-clock, worker busy-clock telemetry only; solve results never read it)
                     let busy_started = Instant::now();
                     let t_dispatch = tracer.begin();
+                    // lint: allow(no-panic, a poisoned shard lock means a worker panicked mid-batch; engine state is unrecoverable)
                     let mut state = shard_state.lock().expect("shard poisoned");
                     run_shard_plans(
                         &mut state,
@@ -777,8 +795,11 @@ impl Engine {
                         &tracer,
                         &tx,
                     );
-                    stats.set_shard_cache_entries(shard, state.factors.len());
-                    stats.set_shard_cache_bytes(shard, state.factors.footprint_bytes());
+                    stats.set_shard_cache_gauges(
+                        shard,
+                        state.factors.len(),
+                        state.factors.footprint_bytes(),
+                    );
                     drop(state);
                     tracer.finish(t_dispatch, Phase::ShardDispatch, 0, 0, shard as u32);
                     stats.record_shard_busy(shard, busy_started.elapsed().as_nanos() as u64);
@@ -787,6 +808,7 @@ impl Engine {
         }
         drop(result_tx);
         let mut outcomes: Vec<SolveOutcome> = (0..planned)
+            // lint: allow(no-panic, a dead worker already panicked; the batch cannot complete and crashing is correct)
             .map(|_| result_rx.recv().expect("shard worker died"))
             .collect();
         outcomes.sort_by_key(|outcome| outcome.session);
@@ -799,11 +821,13 @@ impl Engine {
             state.generation += 1;
             match outcome.kind {
                 ResolveKind::Incremental => {
+                    // lint: allow(relaxed-store, independent monotonic counter; nothing else is published with it)
                     self.stats
                         .solves_incremental
                         .fetch_add(1, Ordering::Relaxed);
                 }
                 ResolveKind::FullLp => {
+                    // lint: allow(relaxed-store, independent monotonic counter; nothing else is published with it)
                     self.stats.solves_full.fetch_add(1, Ordering::Relaxed);
                     state.events_since_full = 0;
                 }
@@ -860,6 +884,7 @@ fn run_shard_plans(
     let mut computed_this_batch: std::collections::HashMap<u64, Arc<UtilityFactors>> =
         std::collections::HashMap::new();
     for plan in plans {
+        // lint: allow(wall-clock, per-solve latency telemetry only; solve results never read it)
         let solve_started = Instant::now();
         let t_project = tracer.begin();
         let restricted = if plan.present.len() == plan.base.num_users() {
@@ -884,6 +909,7 @@ fn run_shard_plans(
             .filter(|(fingerprint, _)| reuse_allowed && *fingerprint == factor_fingerprint);
         let mut warm_served = true;
         let factors: Arc<UtilityFactors> = if let Some((_, factors)) = session_reused {
+            // lint: allow(relaxed-store, independent monotonic counters; nothing else is published with them)
             stats.cache_hits.fetch_add(1, Ordering::Relaxed);
             stats.session_reuse.fetch_add(1, Ordering::Relaxed);
             Arc::clone(factors)
@@ -891,12 +917,14 @@ fn run_shard_plans(
             .then(|| computed_this_batch.get(&factor_fingerprint))
             .flatten()
         {
+            // lint: allow(relaxed-store, independent monotonic counter; nothing else is published with it)
             stats.batch_shared.fetch_add(1, Ordering::Relaxed);
             Arc::clone(factors)
         } else if let Some(factors) = reuse_allowed
             .then(|| shard.factors.get(factor_fingerprint))
             .flatten()
         {
+            // lint: allow(relaxed-store, independent monotonic counter; nothing else is published with it)
             stats.cache_hits.fetch_add(1, Ordering::Relaxed);
             factors
         } else {
@@ -914,6 +942,7 @@ fn run_shard_plans(
                 // but refresh the warm cache with the fresh solutions.
                 Some(CacheMode::Refresh)
             };
+            // lint: allow(wall-clock, LP latency telemetry only; solve results never read it)
             let started = Instant::now();
             let t_lp = tracer.begin();
             let outcome = match component_cache {
@@ -933,6 +962,7 @@ fn run_shard_plans(
             };
             tracer.finish(t_lp, lp_phase, 0, plan.session, shard_lane);
             let nanos = started.elapsed().as_nanos() as u64;
+            // lint: allow(relaxed-store, independent monotonic counter; nothing else is published with it)
             stats.cache_misses.fetch_add(1, Ordering::Relaxed);
             stats.record_lp_compute(nanos, outcome.reused as u64, outcome.solved() as u64);
             if warm_enabled {
@@ -944,6 +974,7 @@ fn run_shard_plans(
             outcome.factors
         };
 
+        // lint: allow(wall-clock, rounding latency telemetry only; solve results never read it)
         let started = Instant::now();
         // Borrow the shared factors in the pass-through case (full population
         // present, or a full solve); only genuine incremental restriction

@@ -73,6 +73,7 @@ impl WorkerPool {
 
     /// Enqueues an unpinned job, round-robining across workers.
     pub fn execute(&self, job: Job) {
+        // lint: allow(relaxed-store, round-robin ticket counter; only fair distribution, not ordering, depends on it)
         let slot = self.next.fetch_add(1, Ordering::Relaxed);
         self.execute_on(slot, job);
     }

@@ -143,6 +143,7 @@ impl EngineStats {
     /// session solves.
     pub fn record_shard_dispatch(&self, shard: usize, solves: u64) {
         if let Some(stats) = self.per_shard.get(shard) {
+            // lint: allow(relaxed-store, independent monotonic counters; a torn pair only skews a transient rate)
             stats.jobs.fetch_add(1, Ordering::Relaxed);
             stats.solves.fetch_add(solves, Ordering::Relaxed);
         }
@@ -151,21 +152,26 @@ impl EngineStats {
     /// Adds busy nanoseconds to `shard`'s clock.
     pub fn record_shard_busy(&self, shard: usize, nanos: u64) {
         if let Some(stats) = self.per_shard.get(shard) {
+            // lint: allow(relaxed-store, independent monotonic counter; nothing else is published with it)
             stats.busy_nanos.fetch_add(nanos, Ordering::Relaxed);
         }
     }
 
-    /// Refreshes `shard`'s factor-cache size gauge.
-    pub fn set_shard_cache_entries(&self, shard: usize, entries: usize) {
+    /// Refreshes `shard`'s factor-cache gauges (entry count and bytes) as one
+    /// published pair.
+    ///
+    /// The two gauges describe the same cache state and are read together by
+    /// [`EngineStats::snapshot`]; publishing them independently with relaxed
+    /// stores is exactly the multi-field gauge race PR 7 fixed in
+    /// `sample_telemetry`. The byte store is made visible *before* the entry
+    /// store (Release), and `snapshot` loads entries with Acquire first, so
+    /// any snapshot that observes an entry count also observes a byte figure
+    /// at least as recent as that count's pair.
+    pub fn set_shard_cache_gauges(&self, shard: usize, entries: usize, bytes: u64) {
         if let Some(stats) = self.per_shard.get(shard) {
-            stats.cache_entries.store(entries as u64, Ordering::Relaxed);
-        }
-    }
-
-    /// Refreshes `shard`'s factor-cache byte gauge.
-    pub fn set_shard_cache_bytes(&self, shard: usize, bytes: u64) {
-        if let Some(stats) = self.per_shard.get(shard) {
+            // lint: allow(relaxed-store, ordered by the Release store of cache_entries below; see the doc comment)
             stats.cache_bytes.store(bytes, Ordering::Relaxed);
+            stats.cache_entries.store(entries as u64, Ordering::Release);
         }
     }
 
@@ -173,16 +179,20 @@ impl EngineStats {
     /// bytes). Called by `Engine::stats` just before snapshotting, so wire
     /// scrapes and local reads see the same accounting.
     pub fn set_mem_gauges(&self, session_bytes: u64, pending_bytes: u64, served_bytes: u64) {
-        self.mem_session_bytes
-            .store(session_bytes, Ordering::Relaxed);
-        self.mem_pending_bytes
-            .store(pending_bytes, Ordering::Relaxed);
-        self.mem_served_bytes.store(served_bytes, Ordering::Relaxed);
+        // Written and then read by the same snapshotting thread
+        // (`Engine::stats` refreshes, then snapshots), so the three gauges
+        // need no cross-thread publish ordering.
+        // lint: allow(relaxed-store, same-thread write-then-read; no cross-thread pairing)
+        let set = |gauge: &AtomicU64, v: u64| gauge.store(v, Ordering::Relaxed);
+        set(&self.mem_session_bytes, session_bytes);
+        set(&self.mem_pending_bytes, pending_bytes);
+        set(&self.mem_served_bytes, served_bytes);
     }
 
     /// Raises `shard`'s queue-depth gauge by `events`.
     pub fn shard_queue_add(&self, shard: usize, events: usize) {
         if let Some(stats) = self.per_shard.get(shard) {
+            // lint: allow(relaxed-store, single saturating gauge; no paired state)
             stats
                 .queue_depth
                 .fetch_add(events as u64, Ordering::Relaxed);
@@ -193,6 +203,7 @@ impl EngineStats {
     /// gauge never wraps even if bookkeeping and a reset race).
     pub fn shard_queue_sub(&self, shard: usize, events: usize) {
         if let Some(stats) = self.per_shard.get(shard) {
+            // lint: allow(relaxed-store, single saturating gauge; no paired state)
             let _ = stats
                 .queue_depth
                 .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |depth| {
@@ -205,8 +216,10 @@ impl EngineStats {
     /// non-zero per call), updating totals and the slowest-job high-water
     /// mark.
     pub fn record_solve_nanos(&self, lp: u64, rounding: u64) {
+        // lint: allow(relaxed-store, cumulative totals read for means; a torn read skews one transient mean only)
         self.lp_nanos.fetch_add(lp, Ordering::Relaxed);
         self.round_nanos.fetch_add(rounding, Ordering::Relaxed);
+        // lint: allow(relaxed-store, high-water mark; fetch_max keeps it monotonic regardless of order)
         self.max_solve_nanos
             .fetch_max(lp.max(rounding), Ordering::Relaxed);
     }
@@ -216,8 +229,10 @@ impl EngineStats {
     pub fn record_lp_compute(&self, nanos: u64, reused_components: u64, solved_components: u64) {
         self.record_solve_nanos(nanos, 0);
         self.lp_latency.record_nanos(nanos);
+        // lint: allow(relaxed-store, independent monotonic counter; nothing else is published with it)
         self.warm_components_reused
             .fetch_add(reused_components, Ordering::Relaxed);
+        // lint: allow(relaxed-store, independent monotonic counter; nothing else is published with it)
         self.warm_components_solved
             .fetch_add(solved_components, Ordering::Relaxed);
     }
@@ -233,10 +248,12 @@ impl EngineStats {
     /// warm (factors reused) or cold (factors computed).
     pub fn record_solve_class(&self, nanos: u64, warm: bool) {
         if warm {
+            // lint: allow(relaxed-store, cumulative count and nanos totals; a torn mean is transient and self-corrects)
             self.solves_warm.fetch_add(1, Ordering::Relaxed);
             self.warm_solve_nanos.fetch_add(nanos, Ordering::Relaxed);
             self.warm_solve_latency.record_nanos(nanos);
         } else {
+            // lint: allow(relaxed-store, cumulative count and nanos totals; a torn mean is transient and self-corrects)
             self.solves_cold.fetch_add(1, Ordering::Relaxed);
             self.cold_solve_nanos.fetch_add(nanos, Ordering::Relaxed);
             self.cold_solve_latency.record_nanos(nanos);
@@ -247,6 +264,7 @@ impl EngineStats {
     pub fn record_gap(&self, utility: f64, bound: f64) {
         if bound > 0.0 && utility.is_finite() {
             let gap = ((bound - utility) / bound).clamp(0.0, 1.0);
+            // lint: allow(relaxed-store, cumulative sum and sample-count totals; a torn mean is transient and self-corrects)
             self.gap_micros
                 .fetch_add((gap * 1e6) as u64, Ordering::Relaxed);
             self.gap_samples.fetch_add(1, Ordering::Relaxed);
@@ -260,6 +278,7 @@ impl EngineStats {
     /// contents and live session state, which a measurement boundary does
     /// not consume.
     pub fn reset(&self) {
+        // lint: allow(relaxed-store, reset is a driver-side measurement boundary; writers are quiesced between runs)
         let clear = |counter: &AtomicU64| counter.store(0, Ordering::Relaxed);
         for shard in &self.per_shard {
             clear(&shard.jobs);
@@ -314,7 +333,11 @@ impl EngineStats {
                     solves: load(&shard.solves),
                     busy_time: Duration::from_nanos(load(&shard.busy_nanos)),
                     queue_depth: load(&shard.queue_depth),
-                    cache_entries: load(&shard.cache_entries),
+                    // Acquire pairs with the Release store in
+                    // `set_shard_cache_gauges`: seeing an entry count makes
+                    // its paired byte store visible (struct fields evaluate
+                    // in source order, so entries is read first).
+                    cache_entries: shard.cache_entries.load(Ordering::Acquire),
                     cache_bytes: load(&shard.cache_bytes),
                 })
                 .collect(),
@@ -967,9 +990,9 @@ mod tests {
     #[test]
     fn cache_entry_gauges_survive_reset_like_queue_depth() {
         let stats = EngineStats::with_shards(2);
-        stats.set_shard_cache_entries(0, 5);
-        stats.set_shard_cache_entries(1, 2);
-        stats.set_shard_cache_entries(9, 7); // out of range: ignored
+        stats.set_shard_cache_gauges(0, 5, 0);
+        stats.set_shard_cache_gauges(1, 2, 0);
+        stats.set_shard_cache_gauges(9, 7, 0); // out of range: ignored
         assert_eq!(stats.snapshot().total_cache_entries(), 7);
         stats.reset();
         let snap = stats.snapshot();
@@ -1039,9 +1062,9 @@ mod tests {
     fn mem_gauges_survive_reset_and_feed_metrics_and_merge() {
         let stats = EngineStats::with_shards(2);
         stats.set_mem_gauges(1000, 50, 200);
-        stats.set_shard_cache_bytes(0, 300);
-        stats.set_shard_cache_bytes(1, 100);
-        stats.set_shard_cache_bytes(9, 7); // out of range: ignored
+        stats.set_shard_cache_gauges(0, 1, 300);
+        stats.set_shard_cache_gauges(1, 1, 100);
+        stats.set_shard_cache_gauges(9, 1, 7); // out of range: ignored
         stats.reset();
         let snap = stats.snapshot();
         assert_eq!(snap.mem_session_bytes, 1000, "live gauges survive reset");

@@ -43,6 +43,7 @@ pub fn fig9a(scale: ExperimentScale) -> FigureReport {
         "time-boxed MIP strategies: objective normalized by AVG-D",
     );
     let inst = ablation_instance(scale, 31);
+    // lint: allow(wall-clock, reported figure runtime; never fed back into configurations)
     let start = Instant::now();
     let avg_d = solve_avg_d(&inst, &AvgDConfig::default());
     let avg_d_time = start.elapsed().max(Duration::from_micros(200));
@@ -95,6 +96,7 @@ pub fn fig9b(scale: ExperimentScale) -> FigureReport {
         (
             "AVG",
             Box::new(|| {
+                // lint: allow(wall-clock, reported figure runtime; never fed back into configurations)
                 let start = Instant::now();
                 let sol = solve_avg(&inst, &AvgConfig::with_backend(LpBackend::ExactSimplex, 1));
                 (start.elapsed().as_secs_f64() * 1e3, sol.utility)
@@ -103,6 +105,7 @@ pub fn fig9b(scale: ExperimentScale) -> FigureReport {
         (
             "AVG-ALP (no LP transformation)",
             Box::new(|| {
+                // lint: allow(wall-clock, reported figure runtime; never fed back into configurations)
                 let start = Instant::now();
                 let sol = solve_avg(&inst, &AvgConfig::with_backend(LpBackend::FullLpSvgic, 1));
                 (start.elapsed().as_secs_f64() * 1e3, sol.utility)
@@ -111,6 +114,7 @@ pub fn fig9b(scale: ExperimentScale) -> FigureReport {
         (
             "AVG-AS (no advanced sampling)",
             Box::new(|| {
+                // lint: allow(wall-clock, reported figure runtime; never fed back into configurations)
                 let start = Instant::now();
                 let sol = solve_avg(
                     &inst,
@@ -126,6 +130,7 @@ pub fn fig9b(scale: ExperimentScale) -> FigureReport {
         (
             "AVG-D",
             Box::new(|| {
+                // lint: allow(wall-clock, reported figure runtime; never fed back into configurations)
                 let start = Instant::now();
                 let sol = solve_avg_d(
                     &inst,
@@ -143,6 +148,7 @@ pub fn fig9b(scale: ExperimentScale) -> FigureReport {
         (
             "AVG-D-ALP (no LP transformation)",
             Box::new(|| {
+                // lint: allow(wall-clock, reported figure runtime; never fed back into configurations)
                 let start = Instant::now();
                 let sol = solve_avg_d(
                     &inst,
@@ -191,6 +197,7 @@ pub fn fig12(scale: ExperimentScale) -> FigureReport {
         ],
     );
     for &r in &r_values {
+        // lint: allow(wall-clock, reported figure runtime; never fed back into configurations)
         let start = Instant::now();
         let sol = solve_avg_d(&inst, &AvgDConfig::with_ratio(r));
         let ms = start.elapsed().as_secs_f64() * 1e3;

@@ -83,6 +83,7 @@ pub fn solve_with_method(
     st: Option<&StParams>,
     scale: ExperimentScale,
 ) -> MethodRun {
+    // lint: allow(wall-clock, reported experiment runtime; never fed back into configurations)
     let start = Instant::now();
     let configuration = match method {
         Method::Avg => {

@@ -1,0 +1,13 @@
+// Fixture: a reasonless allow is itself a finding and suppresses nothing;
+// an allow that matches nothing is stale.
+use std::time::Instant;
+
+pub fn reasonless() -> Instant {
+    // lint: allow(wall-clock)
+    Instant::now()
+}
+
+// lint: allow(no-panic, nothing here can panic)
+pub fn stale() -> u32 {
+    7
+}

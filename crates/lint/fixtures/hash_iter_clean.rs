@@ -1,0 +1,12 @@
+// Fixture: ordered containers and non-iterating HashMap use are clean.
+// (Container detection is per-file and name-based, so the BTreeMap parameter
+// must not share a name with a HashMap binding elsewhere in the file.)
+use std::collections::{BTreeMap, HashMap};
+
+pub fn ordered(sorted_weights: &BTreeMap<u32, f64>) -> Vec<u32> {
+    sorted_weights.keys().copied().collect()
+}
+
+pub fn point_lookup(weights: &HashMap<u32, f64>) -> Option<f64> {
+    weights.get(&7).copied()
+}

@@ -1,0 +1,16 @@
+// Fixture: hash-order iteration in a digest crate must be flagged.
+use std::collections::HashMap;
+
+pub fn leak_order(weights: &HashMap<u32, f64>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for (&k, _) in weights.iter() {
+        out.push(k);
+    }
+    out
+}
+
+pub fn local_binding() -> Vec<u32> {
+    let merged = HashMap::new();
+    merged.insert(1u32, 2u32);
+    merged.keys().copied().collect()
+}

@@ -1,0 +1,7 @@
+// Fixture: the same iteration with a reasoned allow must be suppressed.
+use std::collections::HashMap;
+
+pub fn commutative_total(weights: &HashMap<u32, f64>) -> f64 {
+    // lint: allow(hash-iter, summation is commutative; order cannot change the total)
+    weights.values().sum()
+}

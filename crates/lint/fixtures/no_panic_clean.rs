@@ -1,0 +1,9 @@
+// Fixture: error propagation instead of panicking — clean.
+pub fn read_header(buf: &[u8]) -> Result<u64, std::io::Error> {
+    if buf.len() < 8 {
+        return Err(std::io::ErrorKind::UnexpectedEof.into());
+    }
+    Ok(u64::from_le_bytes([
+        buf[0], buf[1], buf[2], buf[3], buf[4], buf[5], buf[6], buf[7],
+    ]))
+}

@@ -1,0 +1,16 @@
+// Fixture: panicking constructs in a connection path must be flagged.
+pub fn read_header(buf: &[u8]) -> u64 {
+    let bytes: [u8; 8] = buf[0..8].try_into().unwrap();
+    u64::from_le_bytes(bytes)
+}
+
+pub fn dispatch(kind: u8) {
+    match kind {
+        1 => {}
+        _ => panic!("unknown frame kind"),
+    }
+}
+
+pub fn must_have(field: Option<u32>) -> u32 {
+    field.expect("field missing")
+}

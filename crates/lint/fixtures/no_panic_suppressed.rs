@@ -1,0 +1,5 @@
+// Fixture: an annotated panic site is suppressed.
+pub fn locked(mutex: &std::sync::Mutex<u32>) -> u32 {
+    // lint: allow(no-panic, a poisoned lock means a worker already panicked; state is unrecoverable)
+    *mutex.lock().expect("poisoned")
+}

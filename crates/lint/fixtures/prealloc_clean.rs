@@ -1,0 +1,10 @@
+// Fixture: validating the length before allocating — clean.
+const MAX_PAYLOAD: usize = 1 << 20;
+
+pub fn read_payload(len: u32) -> Option<Vec<u8>> {
+    let len = len as usize;
+    if len > MAX_PAYLOAD {
+        return None;
+    }
+    Some(vec![0u8; len])
+}

@@ -1,0 +1,9 @@
+// Fixture: allocating from an unvalidated wire length must be flagged.
+pub fn read_payload(len: u32) -> Vec<u8> {
+    let payload = vec![0u8; len as usize];
+    payload
+}
+
+pub fn reserve(count: usize) -> Vec<u64> {
+    Vec::with_capacity(count)
+}

@@ -1,0 +1,6 @@
+// Fixture: an annotated pre-validation allocation is suppressed.
+pub fn read_payload(len: u32) -> Vec<u8> {
+    // lint: allow(prealloc, len is validated against MAX_PAYLOAD by the caller)
+    let payload = vec![0u8; len as usize];
+    payload
+}

@@ -1,0 +1,11 @@
+// Fixture: Release stores and Relaxed loads are clean — the rule only
+// covers relaxed writes.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn publish(flag: &AtomicU64) {
+    flag.store(1, Ordering::Release);
+}
+
+pub fn observe(flag: &AtomicU64) -> u64 {
+    flag.load(Ordering::Relaxed)
+}

@@ -1,0 +1,11 @@
+// Fixture: unannotated relaxed atomic writes must be flagged.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn publish_pair(entries: &AtomicU64, bytes: &AtomicU64) {
+    entries.store(5, Ordering::Relaxed);
+    bytes.store(4096, Ordering::Relaxed);
+}
+
+pub fn count(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}

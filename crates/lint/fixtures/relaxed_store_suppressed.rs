@@ -1,0 +1,7 @@
+// Fixture: an annotated relaxed write is suppressed.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn count(counter: &AtomicU64) {
+    // lint: allow(relaxed-store, independent monotonic counter; nothing else is published with it)
+    counter.fetch_add(1, Ordering::Relaxed);
+}

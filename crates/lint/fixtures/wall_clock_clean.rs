@@ -1,0 +1,4 @@
+// Fixture: no wall-clock reads at all — nothing to flag.
+pub fn logical_clock(tick: u64) -> u64 {
+    tick + 1
+}

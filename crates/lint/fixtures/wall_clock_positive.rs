@@ -1,0 +1,11 @@
+// Fixture: unannotated wall-clock reads outside crates/obs must be flagged.
+use std::time::{Instant, SystemTime};
+
+pub fn naive_timing() -> u128 {
+    let started = Instant::now();
+    started.elapsed().as_nanos()
+}
+
+pub fn naive_timestamp() -> SystemTime {
+    SystemTime::now()
+}

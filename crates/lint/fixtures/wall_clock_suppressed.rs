@@ -1,0 +1,8 @@
+// Fixture: an annotated wall-clock read is suppressed.
+use std::time::Instant;
+
+pub fn report_timing() -> u128 {
+    // lint: allow(wall-clock, latency sample for the load report only)
+    let started = Instant::now();
+    started.elapsed().as_nanos()
+}

@@ -1,0 +1,127 @@
+//! Findings: what a rule reports, plus plain-text and JSON rendering.
+
+/// One unsuppressed rule violation.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Path relative to the workspace root, `/`-separated.
+    pub file: String,
+    /// 1-based line (0 when the finding is file- or repo-level).
+    pub line: u32,
+    /// Rule identifier (`hash-iter`, `wire-drift`, …).
+    pub rule: String,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl Finding {
+    /// A finding anchored to a specific line.
+    pub fn new(file: &str, line: u32, rule: &str, message: impl Into<String>) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line,
+            rule: rule.to_string(),
+            message: message.into(),
+        }
+    }
+
+    /// `path:line: [rule] message` (line omitted when 0).
+    pub fn render(&self) -> String {
+        if self.line == 0 {
+            format!("{}: [{}] {}", self.file, self.rule, self.message)
+        } else {
+            format!(
+                "{}:{}: [{}] {}",
+                self.file, self.line, self.rule, self.message
+            )
+        }
+    }
+}
+
+/// The whole run: findings plus bookkeeping for the summary line.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Unsuppressed findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Files analyzed.
+    pub files_scanned: usize,
+    /// Allow directives that suppressed a finding.
+    pub suppressions_used: usize,
+}
+
+impl Report {
+    /// Serializes the report as a single JSON object. Hand-rolled — the
+    /// crate is dependency-free by design — but escapes everything JSON
+    /// requires.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"findings\":[");
+        for (i, finding) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rule\":{},\"file\":{},\"line\":{},\"message\":{}}}",
+                json_string(&finding.rule),
+                json_string(&finding.file),
+                finding.line,
+                json_string(&finding.message),
+            ));
+        }
+        out.push_str(&format!(
+            "],\"files_scanned\":{},\"suppressions_used\":{}}}",
+            self.files_scanned, self.suppressions_used
+        ));
+        out
+    }
+}
+
+/// Escapes `s` as a JSON string literal, quotes included.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_quotes_and_control_characters() {
+        let mut report = Report {
+            files_scanned: 2,
+            suppressions_used: 1,
+            ..Report::default()
+        };
+        report.findings.push(Finding::new(
+            "a.rs",
+            3,
+            "no-panic",
+            "call to `unwrap()` with \"context\"\nand a newline",
+        ));
+        let json = report.to_json();
+        assert!(json.contains(r#"\"context\""#), "{json}");
+        assert!(json.contains(r#"\n"#), "{json}");
+        assert!(json.contains("\"files_scanned\":2"), "{json}");
+        assert!(json.contains("\"suppressions_used\":1"), "{json}");
+    }
+
+    #[test]
+    fn render_includes_line_only_when_present() {
+        let with_line = Finding::new("a.rs", 7, "no-panic", "x");
+        let repo_level = Finding::new("docs/FORMATS.md", 0, "wire-drift", "y");
+        assert_eq!(with_line.render(), "a.rs:7: [no-panic] x");
+        assert_eq!(repo_level.render(), "docs/FORMATS.md: [wire-drift] y");
+    }
+}

@@ -1,0 +1,443 @@
+//! A minimal Rust lexer: just enough tokens for pattern-level analysis.
+//!
+//! This is deliberately **not** a full Rust grammar. The rules in this crate
+//! match token shapes (`ident . ident (`, `int => Path :: Variant`, …), so
+//! the lexer only needs to classify identifiers, literals and punctuation
+//! correctly, strip comments and strings without confusing the matcher, and
+//! keep accurate line numbers. Comments are not discarded entirely: line
+//! comments are surfaced to the caller so `// lint: allow(...)` directives
+//! can be collected.
+
+/// What a token is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `HashMap`, `unwrap`, …).
+    Ident,
+    /// An integer literal; the payload is the parsed value (`13`, `0x0d`,
+    /// `1_000`). Floats and unparseable numerics carry `None`.
+    Number(Option<u64>),
+    /// A string literal (`"..."`, `r#"..."#`, `b"..."`); the token text is
+    /// the *content* without quotes, so rules can read literal keys.
+    Str,
+    /// A character literal.
+    Char,
+    /// A lifetime (`'a`).
+    Lifetime,
+    /// A single punctuation character (`.`, `(`, `=`, `>`, `!`, …).
+    /// Multi-character operators appear as consecutive tokens.
+    Punct(char),
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Source text (content only, for strings).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+
+    /// The integer value, if this is an integer literal.
+    pub fn int_value(&self) -> Option<u64> {
+        match self.kind {
+            TokenKind::Number(v) => v,
+            _ => None,
+        }
+    }
+}
+
+/// A `//` comment captured during lexing (doc comments included).
+#[derive(Clone, Debug)]
+pub struct LineComment {
+    /// Comment body after the slashes, untrimmed.
+    pub text: String,
+    /// 1-based line the comment sits on.
+    pub line: u32,
+}
+
+/// Lexer output: the token stream plus every line comment.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub tokens: Vec<Token>,
+    /// `//` comments in source order.
+    pub comments: Vec<LineComment>,
+}
+
+/// Lexes `source`, tolerating anything it does not understand (unknown
+/// bytes become punctuation tokens; the rules simply won't match them).
+pub fn lex(source: &str) -> Lexed {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                let start = i + 2;
+                let mut end = start;
+                while end < chars.len() && chars[end] != '\n' {
+                    end += 1;
+                }
+                out.comments.push(LineComment {
+                    text: chars[start..end].iter().collect(),
+                    line,
+                });
+                i = end;
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                let mut depth = 1usize;
+                i += 2;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                let (text, next, newlines) = scan_string(&chars, i + 1);
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text,
+                    line,
+                });
+                line += newlines;
+                i = next;
+            }
+            '\'' => {
+                let (token, next) = scan_quote(&chars, i, line);
+                out.tokens.push(token);
+                i = next;
+            }
+            c if c.is_ascii_digit() => {
+                let (token, next) = scan_number(&chars, i, line);
+                out.tokens.push(token);
+                i = next;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                // Raw / byte string prefixes: `r"…"`, `r#"…"#`, `b"…"`,
+                // `br#"…"#`. Anything else is a plain identifier.
+                let is_str_prefix = matches!(text.as_str(), "r" | "b" | "br" | "rb");
+                if is_str_prefix && matches!(chars.get(i), Some('"') | Some('#')) {
+                    if let Some((content, next, newlines)) = scan_raw_string(&chars, i) {
+                        out.tokens.push(Token {
+                            kind: TokenKind::Str,
+                            text: content,
+                            line,
+                        });
+                        line += newlines;
+                        i = next;
+                        continue;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text,
+                    line,
+                });
+            }
+            other => {
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct(other),
+                    text: other.to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Scans a `"…"` body starting *after* the opening quote. Returns the
+/// content, the index after the closing quote, and newline count.
+fn scan_string(chars: &[char], mut i: usize) -> (String, usize, u32) {
+    let mut text = String::new();
+    let mut newlines = 0u32;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => {
+                // Keep escapes verbatim; rules only compare full literals.
+                if let Some(&next) = chars.get(i + 1) {
+                    text.push('\\');
+                    text.push(next);
+                    if next == '\n' {
+                        newlines += 1;
+                    }
+                }
+                i += 2;
+            }
+            '"' => return (text, i + 1, newlines),
+            c => {
+                if c == '\n' {
+                    newlines += 1;
+                }
+                text.push(c);
+                i += 1;
+            }
+        }
+    }
+    (text, i, newlines)
+}
+
+/// Scans `r"…"` / `r#"…"#` style strings starting at the `#`/`"` after the
+/// prefix. Returns `None` if this is not actually a raw string.
+fn scan_raw_string(chars: &[char], mut i: usize) -> Option<(String, usize, u32)> {
+    let mut hashes = 0usize;
+    while chars.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if chars.get(i) != Some(&'"') {
+        return None;
+    }
+    i += 1;
+    let start = i;
+    let mut newlines = 0u32;
+    while i < chars.len() {
+        if chars[i] == '"'
+            && chars[i + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&c| c == '#')
+                .count()
+                == hashes
+        {
+            let content: String = chars[start..i].iter().collect();
+            return Some((content, i + 1 + hashes, newlines));
+        }
+        if chars[i] == '\n' {
+            newlines += 1;
+        }
+        i += 1;
+    }
+    Some((chars[start..].iter().collect(), i, newlines))
+}
+
+/// Disambiguates a `'` into a char literal or a lifetime.
+fn scan_quote(chars: &[char], i: usize, line: u32) -> (Token, usize) {
+    // Escaped char: '\x'.
+    if chars.get(i + 1) == Some(&'\\') {
+        let mut j = i + 2;
+        while j < chars.len() && chars[j] != '\'' {
+            j += 1;
+        }
+        let text: String = chars[i + 1..j.min(chars.len())].iter().collect();
+        return (
+            Token {
+                kind: TokenKind::Char,
+                text,
+                line,
+            },
+            (j + 1).min(chars.len()),
+        );
+    }
+    // Plain char: 'x'.
+    if chars.get(i + 2) == Some(&'\'') {
+        return (
+            Token {
+                kind: TokenKind::Char,
+                text: chars[i + 1].to_string(),
+                line,
+            },
+            i + 3,
+        );
+    }
+    // Lifetime: 'ident (no closing quote).
+    let start = i + 1;
+    let mut j = start;
+    while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+        j += 1;
+    }
+    (
+        Token {
+            kind: TokenKind::Lifetime,
+            text: chars[start..j].iter().collect(),
+            line,
+        },
+        j.max(i + 1),
+    )
+}
+
+/// Scans a numeric literal, including radix prefixes, `_` separators,
+/// float fractions/exponents and type suffixes.
+fn scan_number(chars: &[char], start: usize, line: u32) -> (Token, usize) {
+    let mut i = start;
+    let mut is_float = false;
+    while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+        i += 1;
+    }
+    // Fraction: only when the dot is followed by a digit (so `0..n` ranges
+    // and `1.max(x)` method calls stay separate tokens).
+    if chars.get(i) == Some(&'.') && chars.get(i + 1).is_some_and(|c| c.is_ascii_digit()) {
+        is_float = true;
+        i += 1;
+        while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+            i += 1;
+        }
+    }
+    // Exponent sign: `1e-6` — the `e` was consumed above; pick up `-6`/`+6`.
+    if matches!(chars.get(i), Some('-') | Some('+'))
+        && chars
+            .get(i.wrapping_sub(1))
+            .is_some_and(|c| *c == 'e' || *c == 'E')
+        && chars.get(i + 1).is_some_and(|c| c.is_ascii_digit())
+    {
+        is_float = true;
+        i += 1;
+        while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+            i += 1;
+        }
+    }
+    let text: String = chars[start..i].iter().collect();
+    let value = if is_float { None } else { parse_int(&text) };
+    (
+        Token {
+            kind: TokenKind::Number(value),
+            text,
+            line,
+        },
+        i,
+    )
+}
+
+/// Parses an integer literal: radix prefixes, `_` separators, type suffix.
+fn parse_int(text: &str) -> Option<u64> {
+    let clean: String = text.chars().filter(|&c| c != '_').collect();
+    let (digits, radix) = if let Some(hex) = clean.strip_prefix("0x") {
+        (hex, 16)
+    } else if let Some(oct) = clean.strip_prefix("0o") {
+        (oct, 8)
+    } else if let Some(bin) = clean.strip_prefix("0b") {
+        (bin, 2)
+    } else {
+        (clean.as_str(), 10)
+    };
+    // Strip a type suffix (`u8`, `usize`, `i64`, …).
+    let end = digits
+        .find(|c: char| !c.is_digit(radix))
+        .unwrap_or(digits.len());
+    if end == 0 {
+        return None;
+    }
+    u64::from_str_radix(&digits[..end], radix).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_leak_tokens() {
+        let src = r#"
+            // a comment with unwrap() inside
+            /* block with panic!() */
+            let s = "HashMap::iter()"; // trailing
+        "#;
+        let names = idents(src);
+        assert_eq!(names, ["let", "s"]);
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text.contains("unwrap"));
+    }
+
+    #[test]
+    fn string_content_is_preserved() {
+        let lexed = lex(r#"registry.counter("cache_hits", x);"#);
+        let s = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Str)
+            .expect("string token");
+        assert_eq!(s.text, "cache_hits");
+    }
+
+    #[test]
+    fn lifetimes_and_chars_disambiguate() {
+        let lexed = lex("fn f<'a>(x: &'a str) { let c = 'y'; let esc = '\\n'; }");
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .collect();
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn numbers_parse_across_radixes() {
+        let lexed = lex("13 0x0d 1_000 7u8 0.5 1e-6");
+        let values: Vec<Option<u64>> = lexed.tokens.iter().map(|t| t.int_value()).collect();
+        assert_eq!(
+            values,
+            [Some(13), Some(13), Some(1000), Some(7), None, None]
+        );
+    }
+
+    #[test]
+    fn raw_and_byte_strings_lex_as_strings() {
+        let lexed = lex(r##"let m = *b"SVGN"; let r = r#"raw "quoted" body"#;"##);
+        let strs: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(strs, ["SVGN", r#"raw "quoted" body"#]);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "a\n/* x\ny */\nb";
+        let lexed = lex(src);
+        assert_eq!(lexed.tokens[0].line, 1);
+        assert_eq!(lexed.tokens[1].line, 4);
+    }
+}

@@ -1,0 +1,42 @@
+//! # svgic-lint — repo-aware static analysis for the SVGIC workspace
+//!
+//! A zero-dependency, token-level analyzer (hand-rolled lexer, no `syn`)
+//! that machine-checks the invariants this repository otherwise enforces
+//! only dynamically:
+//!
+//! * **determinism** ([`rules::determinism`]) — no hash-order iteration in
+//!   digest-affecting crates, no wall-clock reads outside `crates/obs`
+//!   without an annotation;
+//! * **drift** ([`rules::drift`]) — `EngineRequest`/`EngineResponse`
+//!   variants, the codec's tag arms and the `docs/FORMATS.md` wire-tag
+//!   tables must agree, and the `StatsSnapshot::metrics()` key list must
+//!   match the §2.4 documentation;
+//! * **robustness** ([`rules::robustness`]) — no panicking constructs in
+//!   connection/request paths, no allocation from unvalidated wire lengths;
+//! * **atomics** ([`rules::atomics`]) — every relaxed atomic write carries
+//!   an annotation saying why relaxed is sound.
+//!
+//! Findings are suppressed site-by-site with
+//!
+//! ```text
+//! // lint: allow(<rule>, <reason>)
+//! ```
+//!
+//! on the flagged line or up to [`source::ALLOW_WINDOW`] lines above it.
+//! A suppression without a reason, and a suppression that suppresses
+//! nothing, are themselves findings — the inventory cannot silently rot.
+//!
+//! Run as `cargo run -p svgic-lint -- --deny` (CI does); see
+//! `docs/LINTS.md` for the rule catalog and how to add a rule.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod findings;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+pub mod workspace;
+
+pub use findings::{Finding, Report};
+pub use workspace::{analyze_file, run_workspace};

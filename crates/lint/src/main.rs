@@ -1,0 +1,100 @@
+//! CLI for the workspace analyzer.
+//!
+//! ```text
+//! svgic-lint [--deny] [--json] [--root <path>] [--rule <name>]
+//! ```
+//!
+//! * `--deny` — exit 1 when any unsuppressed finding remains (the CI mode).
+//! * `--json` — machine-readable report on stdout.
+//! * `--root` — workspace root; defaults to searching upward from the
+//!   current directory for a `Cargo.toml` containing `[workspace]`.
+//! * `--rule` — only report findings of one rule.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use svgic_lint::rules::ALL_RULES;
+use svgic_lint::workspace::run_workspace;
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut rule: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--json" => json = true,
+            "--root" => root = args.next().map(PathBuf::from),
+            "--rule" => rule = args.next(),
+            "--help" | "-h" => {
+                println!("usage: svgic-lint [--deny] [--json] [--root <path>] [--rule <name>]");
+                println!("rules: {}", ALL_RULES.join(", "));
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`; try --help");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(name) = &rule {
+        let known =
+            ALL_RULES.contains(&name.as_str()) || name == "allow-syntax" || name == "unused-allow";
+        if !known {
+            eprintln!("unknown rule `{name}`; rules: {}", ALL_RULES.join(", "));
+            return ExitCode::FAILURE;
+        }
+    }
+    let root = match root.or_else(find_workspace_root) {
+        Some(root) => root,
+        None => {
+            eprintln!(
+                "could not find a workspace root (no Cargo.toml with [workspace]); use --root"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut report = run_workspace(&root);
+    if let Some(name) = &rule {
+        report.findings.retain(|f| &f.rule == name);
+    }
+
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        for finding in &report.findings {
+            println!("{}", finding.render());
+        }
+        println!(
+            "svgic-lint: {} finding(s), {} suppression(s) honored, {} file(s) scanned",
+            report.findings.len(),
+            report.suppressions_used,
+            report.files_scanned
+        );
+    }
+    if deny && !report.findings.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Walks upward from the current directory to the first `Cargo.toml`
+/// declaring `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(contents) = std::fs::read_to_string(&manifest) {
+            if contents.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Atomics rule: every relaxed *write* must say why relaxed is sound.
+//!
+//! PR 7's precedent: shard jobs published multi-field gauge state with
+//! `Ordering::Relaxed` stores and a reader snapshotted the fields torn.
+//! Relaxed is the right default for independent monotonic counters — but
+//! that soundness argument lives in someone's head unless it is written
+//! down. This rule inventories every mutating atomic call whose arguments
+//! name `Relaxed` and requires an `// lint: allow(relaxed-store, <why>)`
+//! annotation at the site. Loads are exempt: a relaxed load of a single
+//! counter cannot tear, and the store side is where publication order is
+//! decided.
+
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// Rule id.
+pub const RELAXED_STORE: &str = "relaxed-store";
+
+/// Mutating atomic methods that take an ordering.
+const STORE_METHODS: [&str; 12] = [
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// Flags mutating atomic calls whose argument list mentions `Relaxed`.
+pub fn check_relaxed_store(file: &SourceFile) -> Vec<(u32, String)> {
+    let tokens = &file.tokens;
+    let mut candidates = Vec::new();
+    for (i, token) in tokens.iter().enumerate() {
+        if token.kind != TokenKind::Ident
+            || !STORE_METHODS.contains(&token.text.as_str())
+            || file.in_test(i)
+        {
+            continue;
+        }
+        if i == 0 || !tokens[i - 1].is_punct('.') {
+            continue;
+        }
+        let Some(open) = tokens.get(i + 1).filter(|t| t.is_punct('(')).map(|_| i + 1) else {
+            continue;
+        };
+        // Scan the argument list for `Relaxed`.
+        let mut depth = 0i32;
+        let mut relaxed = false;
+        for arg in &tokens[open..] {
+            match arg.kind {
+                TokenKind::Punct('(') => depth += 1,
+                TokenKind::Punct(')') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokenKind::Ident if arg.text == "Relaxed" => relaxed = true,
+                _ => {}
+            }
+        }
+        if relaxed {
+            candidates.push((
+                token.line,
+                format!(
+                    "relaxed atomic write `.{}(…, Ordering::Relaxed)`; annotate why \
+                     relaxed ordering cannot tear observable state (see PR 7's \
+                     gauge-store race) or upgrade to Release/Acquire",
+                    token.text
+                ),
+            ));
+        }
+    }
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::parse("x.rs", src)
+    }
+
+    #[test]
+    fn relaxed_writes_are_flagged() {
+        let src = "
+fn f(c: &AtomicU64) {
+    c.store(0, Ordering::Relaxed);
+    c.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let _ = c.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v + 1));
+}
+";
+        let hits = check_relaxed_store(&file(src));
+        assert_eq!(hits.len(), 3, "{hits:?}");
+    }
+
+    #[test]
+    fn loads_and_stronger_orderings_are_clean() {
+        let src = "
+fn f(c: &AtomicU64) -> u64 {
+    c.store(1, Ordering::Release);
+    c.fetch_add(1, Ordering::SeqCst);
+    c.load(Ordering::Relaxed)
+}
+fn g(a: &mut u64, b: &mut u64) {
+    std::mem::swap(a, b);
+}
+";
+        let hits = check_relaxed_store(&file(src));
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[test]\nfn t(c: &AtomicU64) { c.store(0, Ordering::Relaxed); }";
+        assert!(check_relaxed_store(&file(src)).is_empty());
+    }
+}

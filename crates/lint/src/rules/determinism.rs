@@ -1,0 +1,228 @@
+//! Determinism rules.
+//!
+//! The engine's contract is byte-identical configuration digests for the
+//! same trace, in-process or across server processes. Two source-level
+//! hazards can silently break that:
+//!
+//! * **`hash-iter`** — iterating a `std` `HashMap`/`HashSet` observes
+//!   `RandomState` order, which differs per process. In digest-affecting
+//!   crates any order-observing method on a hash container must be either
+//!   order-independent (and annotated) or replaced with a `BTreeMap` /
+//!   sorted collection.
+//! * **`wall-clock`** — `Instant::now()` / `SystemTime` reads outside
+//!   `crates/obs` (whose tracer owns the clock). Timing is fine for
+//!   observability, but every site must say so, so a timestamp can never
+//!   quietly leak into solve results.
+
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// Rule id for hash-container iteration.
+pub const HASH_ITER: &str = "hash-iter";
+
+/// Rule id for wall-clock reads.
+pub const WALL_CLOCK: &str = "wall-clock";
+
+/// Order-observing methods on hash containers.
+const ORDER_METHODS: [&str; 10] = [
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+    "min_by_key",
+    "max_by_key",
+];
+
+/// Flags order-observing method calls on identifiers bound to `HashMap` /
+/// `HashSet` in this file. Returns `(line, message)` candidates.
+pub fn check_hash_iter(file: &SourceFile) -> Vec<(u32, String)> {
+    let tokens = &file.tokens;
+    // Pass 1: which identifiers name a hash container? Bindings and fields
+    // declare it (`x: HashMap<…>`, `let x = HashMap::new()`); this is a
+    // per-file, flow-insensitive approximation, which is exactly as precise
+    // as a token-level pass can be — and enough for this codebase, where
+    // hash containers are rare by policy.
+    let mut containers: Vec<String> = Vec::new();
+    for (i, token) in tokens.iter().enumerate() {
+        if !(token.is_ident("HashMap") || token.is_ident("HashSet")) {
+            continue;
+        }
+        // `name : HashMap`, `name : std :: collections :: HashMap`, with
+        // any `&` / `mut` reference sigils in between.
+        let mut j = i;
+        while j >= 2 && tokens[j - 1].is_punct(':') && tokens[j - 2].is_punct(':') {
+            // Skip path segments (`collections ::`, `std ::`).
+            if j >= 3 && tokens[j - 3].kind == TokenKind::Ident {
+                j -= 3;
+            } else {
+                break;
+            }
+        }
+        while j >= 1 && (tokens[j - 1].is_punct('&') || tokens[j - 1].is_ident("mut")) {
+            j -= 1;
+        }
+        let binder = if j >= 2
+            && tokens[j - 1].is_punct(':')
+            && tokens[j - 2].kind == TokenKind::Ident
+        {
+            Some(tokens[j - 2].text.clone())
+        } else if j >= 2 && tokens[j - 1].is_punct('=') && tokens[j - 2].kind == TokenKind::Ident {
+            // `let x = HashMap::new()` / `x = HashMap::from(...)`.
+            Some(tokens[j - 2].text.clone())
+        } else {
+            None
+        };
+        if let Some(name) = binder {
+            if !containers.contains(&name) {
+                containers.push(name);
+            }
+        }
+    }
+    // Pass 2: flag `container . order_method (`.
+    let mut candidates = Vec::new();
+    for i in 2..tokens.len() {
+        let token = &tokens[i];
+        if token.kind != TokenKind::Ident || !ORDER_METHODS.contains(&token.text.as_str()) {
+            continue;
+        }
+        if !tokens[i - 1].is_punct('.') || !tokens.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            continue;
+        }
+        let receiver = &tokens[i - 2];
+        if receiver.kind != TokenKind::Ident || !containers.contains(&receiver.text) {
+            continue;
+        }
+        if file.in_test(i) {
+            continue;
+        }
+        candidates.push((
+            token.line,
+            format!(
+                "`{}.{}()` iterates a hash container in RandomState order; use a \
+                 BTreeMap/sorted collection or annotate why the use is order-independent",
+                receiver.text, token.text
+            ),
+        ));
+    }
+    candidates
+}
+
+/// Flags `Instant::now()` and any `SystemTime` use.
+pub fn check_wall_clock(file: &SourceFile) -> Vec<(u32, String)> {
+    let tokens = &file.tokens;
+    let mut candidates = Vec::new();
+    for (i, token) in tokens.iter().enumerate() {
+        if file.in_test(i) {
+            continue;
+        }
+        if token.is_ident("Instant")
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && tokens.get(i + 3).is_some_and(|t| t.is_ident("now"))
+        {
+            candidates.push((
+                token.line,
+                "`Instant::now()` outside crates/obs; wall-clock reads must be \
+                 observability-only and say so"
+                    .to_string(),
+            ));
+        }
+        if token.is_ident("SystemTime") {
+            candidates.push((
+                token.line,
+                "`SystemTime` outside crates/obs; wall-clock reads must be \
+                 observability-only and say so"
+                    .to_string(),
+            ));
+        }
+    }
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::parse("x.rs", src)
+    }
+
+    #[test]
+    fn flags_iteration_over_declared_hash_containers() {
+        let src = "
+struct S { entries: HashMap<u64, u64> }
+fn f(s: &S) -> Option<u64> {
+    s.entries.iter().min_by_key(|(_, v)| **v).map(|(k, _)| *k)
+}
+fn g() {
+    let mut seen = HashSet::new();
+    seen.drain();
+}
+";
+        let hits = check_hash_iter(&file(src));
+        // `.iter()` and `.drain()`; the chained `.min_by_key` sits on the
+        // iterator, not the container, so the `.iter()` hit covers it.
+        assert_eq!(hits.len(), 2, "{hits:?}");
+    }
+
+    #[test]
+    fn order_free_methods_and_other_types_are_clean() {
+        let src = "
+struct S { entries: HashMap<u64, u64>, list: Vec<u64> }
+fn f(s: &mut S) {
+    s.entries.get(&1);
+    s.entries.insert(1, 2);
+    s.entries.contains_key(&1);
+    s.list.iter().count();
+}
+";
+        assert!(check_hash_iter(&file(src)).is_empty());
+    }
+
+    #[test]
+    fn reference_parameters_are_recognized_as_containers() {
+        let src = "
+fn f(weights: &HashMap<u32, f64>, order: &mut HashSet<u32>) {
+    weights.iter().count();
+    order.drain();
+}
+";
+        let hits = check_hash_iter(&file(src));
+        assert_eq!(hits.len(), 2, "{hits:?}");
+    }
+
+    #[test]
+    fn min_by_key_chained_off_iter_is_caught_via_iter() {
+        // `.iter().min_by_key(...)`: min_by_key's receiver is the iterator,
+        // not the container, so the finding comes from the `.iter()` call.
+        let src = "
+fn f(entries: HashMap<u64, u64>) {
+    entries.iter().min_by_key(|(_, t)| *t);
+}
+";
+        let hits = check_hash_iter(&file(src));
+        assert_eq!(hits.len(), 1, "{hits:?}");
+    }
+
+    #[test]
+    fn wall_clock_reads_are_flagged_outside_tests() {
+        let src = "
+fn f() { let t = Instant::now(); }
+fn g() { let s = SystemTime::now(); }
+#[test]
+fn timed() { let t = Instant::now(); }
+";
+        let hits = check_wall_clock(&file(src));
+        assert_eq!(hits.len(), 2, "{hits:?}");
+    }
+
+    #[test]
+    fn instant_elapsed_alone_is_clean() {
+        let src = "fn f(t: Instant) -> u64 { t.elapsed().as_nanos() as u64 }";
+        assert!(check_wall_clock(&file(src)).is_empty());
+    }
+}

@@ -1,0 +1,801 @@
+//! Drift rules: the wire format and the metrics list are *documented
+//! normatively* in `docs/FORMATS.md`; these rules make the documentation
+//! load-bearing by cross-checking it against the source of truth on every
+//! run.
+//!
+//! * **`wire-drift`** — the `EngineRequest` / `EngineResponse` variants in
+//!   `api.rs`, the encode/decode tag arms in `codec.rs`, and the §3.3/§3.4
+//!   wire-tag tables in `FORMATS.md` must describe the same `(variant,
+//!   tag)` sets.
+//! * **`metrics-drift`** — every key `StatsSnapshot::metrics()` emits must
+//!   be documented in the §2.4 key table, and every documented key must
+//!   still be emitted.
+
+use std::collections::BTreeMap;
+
+use crate::findings::Finding;
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Rule id for wire-tag drift.
+pub const WIRE_DRIFT: &str = "wire-drift";
+
+/// Rule id for metrics-key drift.
+pub const METRICS_DRIFT: &str = "metrics-drift";
+
+/// Cross-checks enum variants, codec arms and the FORMATS.md tag tables.
+///
+/// `api_src` / `codec_src` are the contents of `crates/engine/src/api.rs`
+/// and `codec.rs`; `formats_md` is `docs/FORMATS.md`. Paths are only used
+/// to label findings.
+pub fn check_wire_drift(
+    api_src: &str,
+    codec_src: &str,
+    formats_md: &str,
+    api_path: &str,
+    codec_path: &str,
+    formats_path: &str,
+) -> Vec<Finding> {
+    let api = lex(api_src).tokens;
+    let codec = lex(codec_src).tokens;
+    let mut findings = Vec::new();
+
+    for (enum_name, encode_fn, decode_fn, section) in [
+        ("EngineRequest", "encode_request", "decode_request", "3.3"),
+        (
+            "EngineResponse",
+            "encode_response",
+            "decode_response",
+            "3.4",
+        ),
+    ] {
+        let variants = enum_variants(&api, enum_name);
+        if variants.is_empty() {
+            findings.push(Finding::new(
+                api_path,
+                0,
+                WIRE_DRIFT,
+                format!("could not find `enum {enum_name}` variants"),
+            ));
+            continue;
+        }
+        let encode = encode_arms(&codec, encode_fn, enum_name);
+        let decode = decode_arms(&codec, decode_fn, enum_name);
+        let doc = doc_tag_table(formats_md, section);
+        if encode.is_empty() {
+            findings.push(Finding::new(
+                codec_path,
+                0,
+                WIRE_DRIFT,
+                format!("could not find tag arms in `{encode_fn}`"),
+            ));
+        }
+        if decode.is_empty() {
+            findings.push(Finding::new(
+                codec_path,
+                0,
+                WIRE_DRIFT,
+                format!("could not find tag arms in `{decode_fn}`"),
+            ));
+        }
+        if doc.is_empty() {
+            findings.push(Finding::new(
+                formats_path,
+                0,
+                WIRE_DRIFT,
+                format!("could not find the §{section} wire-tag table"),
+            ));
+        }
+        if encode.is_empty() || decode.is_empty() || doc.is_empty() {
+            continue;
+        }
+
+        for variant in &variants {
+            if !encode.contains_key(variant) {
+                findings.push(Finding::new(
+                    codec_path,
+                    0,
+                    WIRE_DRIFT,
+                    format!("`{enum_name}::{variant}` has no `{encode_fn}` tag arm"),
+                ));
+            }
+            if !decode.contains_key(variant) {
+                findings.push(Finding::new(
+                    codec_path,
+                    0,
+                    WIRE_DRIFT,
+                    format!("`{enum_name}::{variant}` has no `{decode_fn}` tag arm"),
+                ));
+            }
+        }
+        for (variant, &(tag, line)) in &encode {
+            if !variants.contains(variant) {
+                findings.push(Finding::new(
+                    codec_path,
+                    line,
+                    WIRE_DRIFT,
+                    format!("`{encode_fn}` encodes unknown variant `{enum_name}::{variant}`"),
+                ));
+            }
+            match decode.get(variant) {
+                Some(&(decode_tag, decode_line)) if decode_tag != tag => {
+                    findings.push(Finding::new(
+                        codec_path,
+                        decode_line,
+                        WIRE_DRIFT,
+                        format!(
+                            "`{enum_name}::{variant}` encodes as tag {tag} but decodes \
+                             from tag {decode_tag}"
+                        ),
+                    ));
+                }
+                _ => {}
+            }
+            match doc.get(variant) {
+                None => findings.push(Finding::new(
+                    formats_path,
+                    0,
+                    WIRE_DRIFT,
+                    format!(
+                        "`{enum_name}::{variant}` (tag {tag:#04x}) is missing from the \
+                         §{section} table"
+                    ),
+                )),
+                Some(&(doc_tag, doc_line)) if doc_tag != tag => {
+                    findings.push(Finding::new(
+                        formats_path,
+                        doc_line,
+                        WIRE_DRIFT,
+                        format!(
+                            "§{section} documents `{variant}` as tag {doc_tag:#04x} but the \
+                             codec uses {tag:#04x}"
+                        ),
+                    ));
+                }
+                _ => {}
+            }
+        }
+        for (variant, &(_, line)) in &doc {
+            if !encode.contains_key(variant) {
+                findings.push(Finding::new(
+                    formats_path,
+                    line,
+                    WIRE_DRIFT,
+                    format!(
+                        "§{section} documents `{variant}`, which `{encode_fn}` does not \
+                         encode"
+                    ),
+                ));
+            }
+        }
+    }
+    findings
+}
+
+/// Variant names of `enum name { … }`.
+fn enum_variants(tokens: &[Token], name: &str) -> Vec<String> {
+    let mut i = 0usize;
+    while i + 2 < tokens.len() {
+        if tokens[i].is_ident("enum") && tokens[i + 1].is_ident(name) {
+            // Find the body brace (skipping generics, which this codebase
+            // does not use on these enums).
+            let mut j = i + 2;
+            while j < tokens.len() && !tokens[j].is_punct('{') {
+                j += 1;
+            }
+            return variants_in_body(tokens, j);
+        }
+        i += 1;
+    }
+    Vec::new()
+}
+
+/// Variant identifiers at depth 1 of an enum body starting at its `{`.
+fn variants_in_body(tokens: &[Token], open: usize) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut depth = 0i32;
+    let mut expect_variant = false;
+    let mut i = open;
+    while i < tokens.len() {
+        match &tokens[i].kind {
+            TokenKind::Punct('{') => {
+                depth += 1;
+                if depth == 1 {
+                    expect_variant = true;
+                }
+            }
+            TokenKind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            TokenKind::Punct('(') | TokenKind::Punct('[') => depth += 1,
+            TokenKind::Punct(')') | TokenKind::Punct(']') => depth -= 1,
+            TokenKind::Punct(',') if depth == 1 => expect_variant = true,
+            // Skip `#[…]` attributes between variants.
+            TokenKind::Punct('#')
+                if depth == 1 && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) =>
+            {
+                let mut attr_depth = 0i32;
+                while i < tokens.len() {
+                    match tokens[i].kind {
+                        TokenKind::Punct('[') => attr_depth += 1,
+                        TokenKind::Punct(']') => {
+                            attr_depth -= 1;
+                            if attr_depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            TokenKind::Ident if depth == 1 && expect_variant => {
+                variants.push(tokens[i].text.clone());
+                expect_variant = false;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    variants
+}
+
+/// `(variant -> (tag, line))` from an encode fn: each `Enum :: Variant`
+/// mention arms the matcher; the next `u8 ( <int> )` call binds the tag.
+fn encode_arms(tokens: &[Token], fn_name: &str, enum_name: &str) -> BTreeMap<String, (u64, u32)> {
+    let mut arms = BTreeMap::new();
+    let Some((start, end)) = fn_body(tokens, fn_name) else {
+        return arms;
+    };
+    let mut pending: Option<String> = None;
+    let mut i = start;
+    while i < end {
+        if tokens[i].is_ident(enum_name)
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && tokens
+                .get(i + 3)
+                .is_some_and(|t| t.kind == TokenKind::Ident)
+        {
+            pending = Some(tokens[i + 3].text.clone());
+            i += 4;
+            continue;
+        }
+        if tokens[i].is_ident("u8") && tokens.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            if let Some(value) = tokens.get(i + 2).and_then(|t| t.int_value()) {
+                if let Some(variant) = pending.take() {
+                    arms.entry(variant).or_insert((value, tokens[i].line));
+                }
+            }
+        }
+        i += 1;
+    }
+    arms
+}
+
+/// `(variant -> (tag, line))` from a decode fn: `<int> =>` arms the
+/// matcher; the next `Enum :: Variant` mention binds it.
+fn decode_arms(tokens: &[Token], fn_name: &str, enum_name: &str) -> BTreeMap<String, (u64, u32)> {
+    let mut arms = BTreeMap::new();
+    let Some((start, end)) = fn_body(tokens, fn_name) else {
+        return arms;
+    };
+    let mut pending: Option<u64> = None;
+    let mut i = start;
+    while i < end {
+        if let Some(value) = tokens[i].int_value() {
+            if tokens.get(i + 1).is_some_and(|t| t.is_punct('='))
+                && tokens.get(i + 2).is_some_and(|t| t.is_punct('>'))
+            {
+                pending = Some(value);
+                i += 3;
+                continue;
+            }
+        }
+        if tokens[i].is_ident(enum_name)
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && tokens
+                .get(i + 3)
+                .is_some_and(|t| t.kind == TokenKind::Ident)
+        {
+            if let Some(tag) = pending.take() {
+                arms.entry(tokens[i + 3].text.clone())
+                    .or_insert((tag, tokens[i].line));
+            }
+            i += 4;
+            continue;
+        }
+        i += 1;
+    }
+    arms
+}
+
+/// Token span of `fn name`'s body.
+fn fn_body(tokens: &[Token], name: &str) -> Option<(usize, usize)> {
+    let mut i = 0usize;
+    while i + 1 < tokens.len() {
+        if tokens[i].is_ident("fn") && tokens[i + 1].is_ident(name) {
+            let mut j = i + 2;
+            while j < tokens.len() && !tokens[j].is_punct('{') {
+                j += 1;
+            }
+            let mut depth = 0i32;
+            for (k, token) in tokens.iter().enumerate().skip(j) {
+                match token.kind {
+                    TokenKind::Punct('{') => depth += 1,
+                    TokenKind::Punct('}') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return Some((j, k));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            return None;
+        }
+        i += 1;
+    }
+    None
+}
+
+/// `(variant -> (tag, line))` from a FORMATS.md `### <section>` table whose
+/// rows look like `` | `01` | CreateSession | … | ``.
+fn doc_tag_table(formats_md: &str, section: &str) -> BTreeMap<String, (u64, u32)> {
+    let mut table = BTreeMap::new();
+    let heading = format!("### {section}");
+    let mut in_section = false;
+    for (index, line) in formats_md.lines().enumerate() {
+        let line_no = index as u32 + 1;
+        if line.starts_with("### ") {
+            in_section = line.starts_with(&heading);
+            continue;
+        }
+        if !in_section || !line.trim_start().starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = line.trim().trim_matches('|').split('|').collect();
+        if cells.len() < 2 {
+            continue;
+        }
+        let tag_cell = cells[0].trim();
+        let name_cell = cells[1].trim();
+        let Some(tag_hex) = tag_cell.strip_prefix('`').and_then(|t| t.strip_suffix('`')) else {
+            continue;
+        };
+        let Ok(tag) = u64::from_str_radix(tag_hex, 16) else {
+            continue;
+        };
+        let name: String = name_cell
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if !name.is_empty() {
+            table.entry(name).or_insert((tag, line_no));
+        }
+    }
+    table
+}
+
+/// One key the metrics builder emits: either a literal name or a
+/// `format!`-derived pattern with `*` wildcards.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct EmittedKey {
+    /// Normalized key: `{…}` interpolations replaced by `*`.
+    pub pattern: String,
+    /// 1-based line in the stats source.
+    pub line: u32,
+}
+
+/// Cross-checks `StatsSnapshot::metrics()` keys against the §2.4 table.
+pub fn check_metrics_drift(
+    stats_src: &str,
+    formats_md: &str,
+    stats_path: &str,
+    formats_path: &str,
+) -> Vec<Finding> {
+    let emitted = emitted_keys(stats_src);
+    let documented = doc_metric_keys(formats_md);
+    let mut findings = Vec::new();
+    if emitted.is_empty() {
+        findings.push(Finding::new(
+            stats_path,
+            0,
+            METRICS_DRIFT,
+            "could not find registry calls in `fn metrics`",
+        ));
+    }
+    if documented.is_empty() {
+        findings.push(Finding::new(
+            formats_path,
+            0,
+            METRICS_DRIFT,
+            "could not find the §2.4 metrics key table",
+        ));
+    }
+    if emitted.is_empty() || documented.is_empty() {
+        return findings;
+    }
+    for key in &emitted {
+        let covered = documented.iter().any(|(doc, _)| {
+            doc == &key.pattern || (!has_wildcard(&key.pattern) && glob_match(doc, &key.pattern))
+        });
+        if !covered {
+            findings.push(Finding::new(
+                stats_path,
+                key.line,
+                METRICS_DRIFT,
+                format!(
+                    "metric `{}` is emitted by StatsSnapshot::metrics() but not \
+                     documented in FORMATS.md §2.4",
+                    key.pattern
+                ),
+            ));
+        }
+    }
+    for (doc, line) in &documented {
+        let covered = emitted.iter().any(|key| {
+            doc == &key.pattern || (!has_wildcard(&key.pattern) && glob_match(doc, &key.pattern))
+        });
+        if !covered {
+            findings.push(Finding::new(
+                formats_path,
+                *line,
+                METRICS_DRIFT,
+                format!("FORMATS.md §2.4 documents `{doc}`, which metrics() never emits"),
+            ));
+        }
+    }
+    findings
+}
+
+/// Keys emitted inside `fn metrics`: literal and `format!` first arguments
+/// of `registry.counter/gauge/latency(...)`. `latency("x")` expands to its
+/// four histogram keys, matching `MetricsRegistry::latency`.
+fn emitted_keys(stats_src: &str) -> Vec<EmittedKey> {
+    let tokens = lex(stats_src).tokens;
+    let mut keys = Vec::new();
+    let Some((start, end)) = fn_body(&tokens, "metrics") else {
+        return keys;
+    };
+    let mut i = start;
+    while i < end {
+        let token = &tokens[i];
+        let is_emit =
+            token.is_ident("counter") || token.is_ident("gauge") || token.is_ident("latency");
+        if !is_emit
+            || i == 0
+            || !tokens[i - 1].is_punct('.')
+            || !tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+        {
+            i += 1;
+            continue;
+        }
+        // First argument: a string literal or `format!("…", …)`.
+        let key = match &tokens[i + 2] {
+            t if t.kind == TokenKind::Str => Some(t.text.clone()),
+            t if t.is_ident("format")
+                && tokens.get(i + 3).is_some_and(|t| t.is_punct('!'))
+                && tokens.get(i + 4).is_some_and(|t| t.is_punct('(')) =>
+            {
+                tokens
+                    .get(i + 5)
+                    .filter(|t| t.kind == TokenKind::Str)
+                    .map(|t| t.text.clone())
+            }
+            _ => None,
+        };
+        if let Some(raw) = key {
+            let pattern = normalize_braces(&raw);
+            if token.is_ident("latency") {
+                for quantile in ["mean", "p50", "p95", "p99"] {
+                    keys.push(EmittedKey {
+                        pattern: format!("{quantile}_{pattern}_seconds"),
+                        line: token.line,
+                    });
+                }
+            } else {
+                keys.push(EmittedKey {
+                    pattern,
+                    line: token.line,
+                });
+            }
+        }
+        i += 1;
+    }
+    keys
+}
+
+/// Documented keys from the §2.4 table: every backticked name in the first
+/// column, `<…>` placeholders normalized to `*`.
+fn doc_metric_keys(formats_md: &str) -> Vec<(String, u32)> {
+    let mut keys = Vec::new();
+    let mut in_section = false;
+    for (index, line) in formats_md.lines().enumerate() {
+        let line_no = index as u32 + 1;
+        if line.starts_with("### ") {
+            in_section = line.starts_with("### 2.4");
+            continue;
+        }
+        if !in_section || !line.trim_start().starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = line.trim().trim_matches('|').split('|').collect();
+        if cells.is_empty() {
+            continue;
+        }
+        let col = cells[0];
+        if col.trim() == "key" || col.trim().chars().all(|c| c == '-' || c.is_whitespace()) {
+            continue;
+        }
+        // Backticked names; a cell may document several (`a` / `b`).
+        let mut rest = col;
+        while let Some(open) = rest.find('`') {
+            let after = &rest[open + 1..];
+            let Some(close) = after.find('`') else {
+                break;
+            };
+            let name = &after[..close];
+            if !name.is_empty() {
+                keys.push((normalize_angles(name), line_no));
+            }
+            rest = &after[close + 1..];
+        }
+    }
+    keys
+}
+
+/// `shard{index}_jobs` → `shard*_jobs`.
+fn normalize_braces(raw: &str) -> String {
+    normalize_placeholder(raw, '{', '}')
+}
+
+/// `shard<i>_jobs` → `shard*_jobs`.
+fn normalize_angles(raw: &str) -> String {
+    normalize_placeholder(raw, '<', '>')
+}
+
+fn normalize_placeholder(raw: &str, open: char, close: char) -> String {
+    let mut out = String::new();
+    let mut depth = 0usize;
+    for c in raw.chars() {
+        if c == open {
+            if depth == 0 {
+                out.push('*');
+            }
+            depth += 1;
+        } else if c == close && depth > 0 {
+            depth -= 1;
+        } else if depth == 0 {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn has_wildcard(pattern: &str) -> bool {
+    pattern.contains('*')
+}
+
+/// Classic glob match where `*` matches any (possibly empty) substring.
+fn glob_match(pattern: &str, s: &str) -> bool {
+    fn rec(p: &[char], s: &[char]) -> bool {
+        match p.first() {
+            None => s.is_empty(),
+            Some('*') => (0..=s.len()).any(|skip| rec(&p[1..], &s[skip..])),
+            Some(&c) => s.first() == Some(&c) && rec(&p[1..], &s[1..]),
+        }
+    }
+    let p: Vec<char> = pattern.chars().collect();
+    let sc: Vec<char> = s.chars().collect();
+    rec(&p, &sc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const API: &str = "
+pub enum EngineRequest {
+    CreateSession(Box<CreateSession>),
+    Flush,
+    QueryStats,
+}
+pub enum EngineResponse {
+    SessionCreated(ConfigurationView),
+    Flushed,
+    Stats(Box<StatsSnapshot>),
+}
+";
+
+    const CODEC: &str = r#"
+pub fn encode_request(request: &EngineRequest) -> Vec<u8> {
+    let mut w = Writer::new();
+    match request {
+        EngineRequest::CreateSession(spec) => {
+            w.u8(1);
+            write_create(&mut w, spec);
+        }
+        EngineRequest::Flush => w.u8(6),
+        EngineRequest::QueryStats => w.u8(7),
+    }
+    w.bytes
+}
+pub fn decode_request(bytes: &[u8]) -> Result<EngineRequest, CodecError> {
+    let mut r = Reader::new(bytes);
+    let request = match r.u8()? {
+        1 => EngineRequest::CreateSession(Box::new(read_create(&mut r)?)),
+        6 => EngineRequest::Flush,
+        7 => EngineRequest::QueryStats,
+        tag => return Err(CodecError::UnknownTag(tag)),
+    };
+    Ok(request)
+}
+pub fn encode_response(response: &Result<EngineResponse, EngineError>) -> Vec<u8> {
+    let mut w = Writer::new();
+    match response {
+        Err(error) => {
+            w.u8(0);
+            write_error(&mut w, error);
+        }
+        Ok(EngineResponse::SessionCreated(view)) => {
+            w.u8(1);
+            write_view(&mut w, view);
+        }
+        Ok(EngineResponse::Flushed) => w.u8(6),
+        Ok(EngineResponse::Stats(stats)) => {
+            w.u8(7);
+            write_stats(&mut w, stats);
+        }
+    }
+    w.bytes
+}
+pub fn decode_response(bytes: &[u8]) -> Result<Result<EngineResponse, EngineError>, CodecError> {
+    let mut r = Reader::new(bytes);
+    let response = match r.u8()? {
+        0 => Err(read_error(&mut r)?),
+        1 => Ok(EngineResponse::SessionCreated(read_view(&mut r)?)),
+        6 => Ok(EngineResponse::Flushed),
+        7 => {
+            let stats = read_stats(&mut r)?;
+            Ok(EngineResponse::Stats(Box::new(stats)))
+        }
+        tag => return Err(CodecError::UnknownTag(tag)),
+    };
+    Ok(response)
+}
+"#;
+
+    const FORMATS: &str = "
+### 3.3 Request payloads
+
+| tag | request | fields after the tag |
+|---|---|---|
+| `01` | CreateSession | instance |
+| `06` | Flush | — |
+| `07` | QueryStats | — |
+
+### 3.4 Response payloads
+
+| tag | response | fields after the tag |
+|---|---|---|
+| `01` | SessionCreated | configuration view |
+| `06` | Flushed | — |
+| `07` | Stats | stats snapshot |
+
+### 3.5 Instance
+";
+
+    fn wire(api: &str, codec: &str, formats: &str) -> Vec<Finding> {
+        check_wire_drift(api, codec, formats, "api.rs", "codec.rs", "FORMATS.md")
+    }
+
+    #[test]
+    fn aligned_wire_definitions_are_clean() {
+        let findings = wire(API, CODEC, FORMATS);
+        assert!(findings.is_empty(), "{findings:#?}");
+    }
+
+    #[test]
+    fn a_missing_doc_row_is_flagged() {
+        let formats = FORMATS.replace("| `07` | QueryStats | — |\n", "");
+        let findings = wire(API, CODEC, &formats);
+        assert_eq!(findings.len(), 1, "{findings:#?}");
+        assert!(findings[0].message.contains("QueryStats"));
+    }
+
+    #[test]
+    fn a_wrong_doc_tag_is_flagged() {
+        let formats = FORMATS.replace("| `06` | Flushed |", "| `09` | Flushed |");
+        let findings = wire(API, CODEC, &formats);
+        assert_eq!(findings.len(), 1, "{findings:#?}");
+        assert!(findings[0].message.contains("Flushed"), "{findings:#?}");
+    }
+
+    #[test]
+    fn an_unencoded_variant_is_flagged() {
+        let api = API.replace("    QueryStats,\n", "    QueryStats,\n    Reload,\n");
+        let findings = wire(&api, CODEC, FORMATS);
+        assert_eq!(findings.len(), 2, "{findings:#?}"); // no encode + no decode arm
+        assert!(findings.iter().all(|f| f.message.contains("Reload")));
+    }
+
+    #[test]
+    fn an_encode_decode_tag_mismatch_is_flagged() {
+        let codec = CODEC.replace(
+            "        6 => EngineRequest::Flush,",
+            "        8 => EngineRequest::Flush,",
+        );
+        let findings = wire(API, &codec, FORMATS);
+        assert!(
+            findings.iter().any(|f| f
+                .message
+                .contains("encodes as tag 6 but decodes from tag 8")),
+            "{findings:#?}"
+        );
+    }
+
+    const STATS: &str = r#"
+impl StatsSnapshot {
+    pub fn metrics(&self) -> Vec<(String, f64)> {
+        let mut registry = MetricsRegistry::new();
+        registry.counter("requests", self.requests);
+        registry.gauge("cache_hit_rate", self.cache_hit_rate());
+        registry.latency("lp", &self.lp_latency);
+        for (class, burn) in self.slo_burns() {
+            registry.gauge(format!("slo_{class}_burn"), burn);
+        }
+        for (index, shard) in self.shards.iter().enumerate() {
+            registry.counter(format!("shard{index}_jobs"), shard.jobs);
+        }
+        registry.finish()
+    }
+}
+"#;
+
+    const STATS_DOC: &str = "
+### 2.4 `engine`
+
+| key | unit | meaning |
+|---|---|---|
+| `requests` | count | requests handled |
+| `cache_hit_rate` | [0, 1] | hit rate |
+| `mean_<op>_seconds` | seconds | per-op mean; `<op>` ranges over `lp` |
+| `p50_<op>_seconds` / `p95_<op>_seconds` / `p99_<op>_seconds` | seconds | quantiles |
+| `slo_<class>_burn` | ratio | burn per class |
+| `shard<i>_jobs` | count | per-shard jobs |
+
+### 2.5 next
+";
+
+    #[test]
+    fn aligned_metrics_are_clean() {
+        let findings = check_metrics_drift(STATS, STATS_DOC, "stats.rs", "FORMATS.md");
+        assert!(findings.is_empty(), "{findings:#?}");
+    }
+
+    #[test]
+    fn an_undocumented_metric_is_flagged() {
+        let stats = STATS.replace(
+            "registry.finish()",
+            "registry.counter(\"surprise\", 1);\n        registry.finish()",
+        );
+        let findings = check_metrics_drift(&stats, STATS_DOC, "stats.rs", "FORMATS.md");
+        assert_eq!(findings.len(), 1, "{findings:#?}");
+        assert!(findings[0].message.contains("surprise"));
+    }
+
+    #[test]
+    fn a_stale_doc_key_is_flagged() {
+        let doc = STATS_DOC.replace(
+            "| `cache_hit_rate` | [0, 1] | hit rate |",
+            "| `cache_hit_rate` | [0, 1] | hit rate |\n| `ghost_metric` | count | gone |",
+        );
+        let findings = check_metrics_drift(STATS, &doc, "stats.rs", "FORMATS.md");
+        assert_eq!(findings.len(), 1, "{findings:#?}");
+        assert!(findings[0].message.contains("ghost_metric"));
+    }
+}

@@ -1,0 +1,19 @@
+//! The rule catalog. Each rule is a token-level check grounded in a past
+//! or latent defect in this repository; `docs/LINTS.md` documents the
+//! catalog, the suppression syntax and how to add a rule.
+
+pub mod atomics;
+pub mod determinism;
+pub mod drift;
+pub mod robustness;
+
+/// Every per-line rule id, for `--rule` validation and the docs.
+pub const ALL_RULES: [&str; 7] = [
+    determinism::HASH_ITER,
+    determinism::WALL_CLOCK,
+    robustness::NO_PANIC,
+    robustness::PREALLOC,
+    atomics::RELAXED_STORE,
+    drift::WIRE_DRIFT,
+    drift::METRICS_DRIFT,
+];

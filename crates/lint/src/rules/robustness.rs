@@ -1,0 +1,310 @@
+//! Robustness rules for the serving path.
+//!
+//! * **`no-panic`** — `unwrap()` / `expect()` / `panic!` / `unreachable!` /
+//!   `todo!` in connection handling and request decoding. A hostile or
+//!   merely broken peer must cost one connection, never a server thread.
+//! * **`prealloc`** — length-prefixed reads that allocate from a
+//!   wire-supplied size before validating it. PR 5 fixed exactly this class
+//!   of bug (a corrupted length prefix ballooning memory); the rule keeps
+//!   the validate-before-allocate discipline from regressing.
+
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// Rule id for panicking constructs.
+pub const NO_PANIC: &str = "no-panic";
+
+/// Rule id for unvalidated pre-allocation.
+pub const PREALLOC: &str = "prealloc";
+
+/// Panicking method calls (`.name(`).
+const PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
+
+/// Panicking macros (`name!`).
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Flags panicking constructs outside test code.
+pub fn check_no_panic(file: &SourceFile) -> Vec<(u32, String)> {
+    let tokens = &file.tokens;
+    let mut candidates = Vec::new();
+    for (i, token) in tokens.iter().enumerate() {
+        if token.kind != TokenKind::Ident || file.in_test(i) {
+            continue;
+        }
+        let name = token.text.as_str();
+        if PANIC_METHODS.contains(&name)
+            && i >= 1
+            && tokens[i - 1].is_punct('.')
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+        {
+            candidates.push((
+                token.line,
+                format!(
+                    "`.{name}()` in a connection/request path can kill the serving \
+                     thread; propagate an error and drop the connection instead"
+                ),
+            ));
+        }
+        if PANIC_MACROS.contains(&name) && tokens.get(i + 1).is_some_and(|t| t.is_punct('!')) {
+            candidates.push((
+                token.line,
+                format!(
+                    "`{name}!` in a connection/request path can kill the serving \
+                     thread; propagate an error and drop the connection instead"
+                ),
+            ));
+        }
+    }
+    candidates
+}
+
+/// Size-taking allocation constructs: `vec![…; n]`, `with_capacity(n)`,
+/// and `Vec::from` does not allocate from a length so it is not listed.
+///
+/// Flags allocations whose size expression contains an identifier that is
+/// not visibly validated earlier in the same function. "Visibly validated"
+/// is a line-level heuristic: an earlier line in the function mentions the
+/// identifier together with a `<`/`>` comparison, a `min`/`saturating_mul`
+/// cap, or a `len(…)` helper call (the codec's `Reader::len` validates
+/// counts against the remaining payload before returning them).
+pub fn check_prealloc(file: &SourceFile) -> Vec<(u32, String)> {
+    let tokens = &file.tokens;
+    let mut candidates = Vec::new();
+    for (i, token) in tokens.iter().enumerate() {
+        if file.in_test(i) {
+            continue;
+        }
+        // `vec ! [ elem ; size ]`
+        if token.is_ident("vec") && tokens.get(i + 1).is_some_and(|t| t.is_punct('!')) {
+            if let Some(open) = tokens.get(i + 2).filter(|t| t.is_punct('[')).map(|_| i + 2) {
+                if let Some(semi) = find_at_depth(tokens, open + 1, ']', ';') {
+                    let close = match_bracket(tokens, open);
+                    if let Some(close) = close {
+                        check_size_expr(
+                            file,
+                            &tokens[semi + 1..close],
+                            i,
+                            token.line,
+                            &mut candidates,
+                        );
+                    }
+                }
+            }
+        }
+        // `with_capacity ( size )`
+        if token.is_ident("with_capacity") && tokens.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            if let Some(close) = match_paren(tokens, i + 1) {
+                check_size_expr(file, &tokens[i + 2..close], i, token.line, &mut candidates);
+            }
+        }
+    }
+    candidates
+}
+
+/// Reports the allocation if its size tokens contain an identifier with no
+/// earlier validation line in the enclosing function.
+fn check_size_expr(
+    file: &SourceFile,
+    size_tokens: &[crate::lexer::Token],
+    site: usize,
+    line: u32,
+    candidates: &mut Vec<(u32, String)>,
+) {
+    // Constant sizes (`vec![0u8; 18]`, `with_capacity(4)`) are fine; only
+    // identifier-bearing sizes can come from the wire. Cast keywords and
+    // primitive type names are noise; uppercase-starting identifiers are
+    // consts/types (`MAX_PAYLOAD`, `Vec`), which are not wire-controlled.
+    let subject = size_tokens.iter().find_map(|t| {
+        if t.kind != TokenKind::Ident {
+            return None;
+        }
+        let name = t.text.as_str();
+        if matches!(name, "as" | "usize" | "u64" | "u32" | "u16" | "u8") {
+            return None;
+        }
+        if name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_lowercase() || c == '_')
+        {
+            Some(name)
+        } else {
+            None
+        }
+    });
+    let Some(subject) = subject else {
+        return;
+    };
+    let Some((fn_start, _)) = file.enclosing_fn(site) else {
+        return;
+    };
+    if validated_before(file, fn_start, site, subject) {
+        return;
+    }
+    candidates.push((
+        line,
+        format!(
+            "allocation sized by `{subject}` before any visible bound check; validate \
+             length prefixes against the cap before allocating"
+        ),
+    ));
+}
+
+/// Whether `name` appears on an earlier line (within the same function)
+/// that also carries a comparison or a validating helper.
+fn validated_before(file: &SourceFile, fn_start: usize, site: usize, name: &str) -> bool {
+    let tokens = &file.tokens;
+    let site_line = tokens[site].line;
+    let mut i = fn_start;
+    while i < site {
+        if tokens[i].is_ident(name) && tokens[i].line < site_line {
+            let line = tokens[i].line;
+            // Scan the whole line for a validation shape.
+            let mut j = fn_start;
+            while j < site {
+                if tokens[j].line == line
+                    && (tokens[j].is_punct('<')
+                        || tokens[j].is_punct('>')
+                        || tokens[j].is_ident("min")
+                        || tokens[j].is_ident("len")
+                        || tokens[j].is_ident("saturating_mul"))
+                {
+                    return true;
+                }
+                j += 1;
+            }
+        }
+        i += 1;
+    }
+    false
+}
+
+/// Index of the first `needle` punct at bracket depth 0 scanning from
+/// `start` until the matching `close` punct.
+fn find_at_depth(
+    tokens: &[crate::lexer::Token],
+    start: usize,
+    close: char,
+    needle: char,
+) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, token) in tokens.iter().enumerate().skip(start) {
+        match token.kind {
+            TokenKind::Punct(c) if c == needle && depth == 0 => return Some(i),
+            TokenKind::Punct('[') | TokenKind::Punct('(') | TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct(']') | TokenKind::Punct(')') | TokenKind::Punct('}') => {
+                if depth == 0 && c_matches(close, token) {
+                    return None;
+                }
+                depth -= 1;
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn c_matches(close: char, token: &crate::lexer::Token) -> bool {
+    token.is_punct(close)
+}
+
+/// Index of the `]` matching the `[` at `open`.
+fn match_bracket(tokens: &[crate::lexer::Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, token) in tokens.iter().enumerate().skip(open) {
+        match token.kind {
+            TokenKind::Punct('[') => depth += 1,
+            TokenKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Index of the `)` matching the `(` at `open`.
+fn match_paren(tokens: &[crate::lexer::Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, token) in tokens.iter().enumerate().skip(open) {
+        match token.kind {
+            TokenKind::Punct('(') => depth += 1,
+            TokenKind::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::parse("x.rs", src)
+    }
+
+    #[test]
+    fn panicking_constructs_are_flagged_outside_tests() {
+        let src = "
+fn f(x: Option<u32>) -> u32 {
+    let a = x.unwrap();
+    let b = x.expect(\"reason\");
+    if a > b { panic!(\"boom\"); }
+    unreachable!()
+}
+#[test]
+fn t() { None::<u32>.unwrap(); }
+";
+        let hits = check_no_panic(&file(src));
+        assert_eq!(hits.len(), 4, "{hits:?}");
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_clean() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0).max(x.unwrap_or_default()) }";
+        assert!(check_no_panic(&file(src)).is_empty());
+    }
+
+    #[test]
+    fn unvalidated_length_allocation_is_flagged() {
+        let src = "
+fn read(len: u32) -> Vec<u8> {
+    let payload = vec![0u8; len as usize];
+    payload
+}
+";
+        let hits = check_prealloc(&file(src));
+        assert_eq!(hits.len(), 1, "{hits:?}");
+    }
+
+    #[test]
+    fn validated_length_allocation_is_clean() {
+        let src = "
+fn read(len: u32) -> Result<Vec<u8>, ()> {
+    if len > MAX_PAYLOAD {
+        return Err(());
+    }
+    Ok(vec![0u8; len as usize])
+}
+fn counted(r: &mut Reader) -> Result<Vec<u64>, ()> {
+    let count = r.len(8)?;
+    let mut out = Vec::with_capacity(count);
+    Ok(out)
+}
+fn fixed() -> Vec<u8> {
+    vec![0u8; 18]
+}
+";
+        let hits = check_prealloc(&file(src));
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+}

@@ -1,0 +1,366 @@
+//! A lexed source file plus the structure the rules need: `// lint:
+//! allow(...)` directives, `#[cfg(test)]` / `#[test]` regions, and function
+//! body spans.
+
+use std::cell::Cell;
+
+use crate::lexer::{lex, LineComment, Token, TokenKind};
+
+/// One parsed `// lint: allow(<rule>, <reason>)` directive.
+#[derive(Debug)]
+pub struct Allow {
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// Rule the directive suppresses.
+    pub rule: String,
+    /// Why the flagged construct is sound. `None` when the directive
+    /// omitted the reason — itself a finding.
+    pub reason: Option<String>,
+    /// Set when a finding consumed this directive; unconsumed directives
+    /// are reported as stale.
+    pub used: Cell<bool>,
+}
+
+/// How many lines below an `// lint: allow` comment it covers (the comment
+/// line itself is always covered, so a trailing same-line directive works).
+pub const ALLOW_WINDOW: u32 = 3;
+
+impl Allow {
+    /// Whether this directive suppresses `rule` at `line`.
+    pub fn covers(&self, rule: &str, line: u32) -> bool {
+        self.rule == rule && line >= self.line && line <= self.line + ALLOW_WINDOW
+    }
+}
+
+/// A malformed `// lint:` comment (unparseable, or missing its reason).
+#[derive(Debug)]
+pub struct BadAllow {
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// What is wrong with it.
+    pub problem: String,
+}
+
+/// A lexed file with the derived structure rules consume.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub path: String,
+    /// Token stream.
+    pub tokens: Vec<Token>,
+    /// Parsed suppression directives.
+    pub allows: Vec<Allow>,
+    /// Malformed directives (reported unconditionally).
+    pub bad_allows: Vec<BadAllow>,
+    /// Token-index ranges (inclusive start, exclusive end) covered by
+    /// `#[test]` / `#[cfg(test)]` items.
+    test_spans: Vec<(usize, usize)>,
+    /// Token-index ranges of `fn` bodies, innermost-last.
+    fn_spans: Vec<(usize, usize)>,
+}
+
+impl SourceFile {
+    /// Lexes `content` and derives allow directives, test spans and
+    /// function spans.
+    pub fn parse(path: &str, content: &str) -> SourceFile {
+        let lexed = lex(content);
+        let (allows, bad_allows) = parse_allows(&lexed.comments);
+        let test_spans = find_test_spans(&lexed.tokens);
+        let fn_spans = find_fn_spans(&lexed.tokens);
+        SourceFile {
+            path: path.to_string(),
+            tokens: lexed.tokens,
+            allows,
+            bad_allows,
+            test_spans,
+            fn_spans,
+        }
+    }
+
+    /// Whether the token at `index` sits inside test-only code.
+    pub fn in_test(&self, index: usize) -> bool {
+        self.test_spans
+            .iter()
+            .any(|&(start, end)| index >= start && index < end)
+    }
+
+    /// The innermost function body containing token `index`, if any.
+    pub fn enclosing_fn(&self, index: usize) -> Option<(usize, usize)> {
+        self.fn_spans
+            .iter()
+            .filter(|&&(start, end)| index >= start && index < end)
+            .min_by_key(|&&(start, end)| end - start)
+            .copied()
+    }
+
+    /// Consumes a matching allow for `rule` at `line`, if one exists.
+    pub fn suppressed(&self, rule: &str, line: u32) -> bool {
+        for allow in &self.allows {
+            if allow.covers(rule, line) && allow.reason.is_some() {
+                allow.used.set(true);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Parses every `lint:` comment into an [`Allow`] or a [`BadAllow`].
+fn parse_allows(comments: &[LineComment]) -> (Vec<Allow>, Vec<BadAllow>) {
+    let mut allows = Vec::new();
+    let mut bad = Vec::new();
+    for comment in comments {
+        let trimmed = comment.text.trim();
+        let Some(rest) = trimmed.strip_prefix("lint:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        let Some(inner) = rest
+            .strip_prefix("allow(")
+            .and_then(|r| r.strip_suffix(')'))
+        else {
+            bad.push(BadAllow {
+                line: comment.line,
+                problem: format!(
+                    "malformed lint directive `{trimmed}`; expected `lint: allow(<rule>, <reason>)`"
+                ),
+            });
+            continue;
+        };
+        let (rule, reason) = match inner.split_once(',') {
+            Some((rule, reason)) => (rule.trim(), Some(reason.trim())),
+            None => (inner.trim(), None),
+        };
+        if rule.is_empty() {
+            bad.push(BadAllow {
+                line: comment.line,
+                problem: "lint allow with an empty rule name".to_string(),
+            });
+            continue;
+        }
+        let reason = reason.filter(|r| !r.is_empty());
+        if reason.is_none() {
+            bad.push(BadAllow {
+                line: comment.line,
+                problem: format!(
+                    "lint allow({rule}) without a reason; every suppression must say why \
+                     the construct is sound"
+                ),
+            });
+        }
+        allows.push(Allow {
+            line: comment.line,
+            rule: rule.to_string(),
+            reason: reason.map(str::to_string),
+            used: Cell::new(false),
+        });
+    }
+    (allows, bad)
+}
+
+/// Finds token spans of items annotated `#[test]` or `#[cfg(test)]` (but
+/// not `#[cfg(not(test))]`): from the attribute to the matching close brace
+/// of the item body. Items without a body (`#[cfg(test)] use …;`) span to
+/// the terminating semicolon.
+fn find_test_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let (attr_idents, attr_end) = read_attribute(tokens, i + 2);
+            let is_test = attr_idents.iter().any(|name| name == "test")
+                && !attr_idents.iter().any(|name| name == "not");
+            if is_test {
+                if let Some(end) = item_body_end(tokens, attr_end) {
+                    spans.push((i, end));
+                    i = end;
+                    continue;
+                }
+            }
+            i = attr_end;
+            continue;
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// Collects the identifiers inside `#[ … ]` starting just past the `[`;
+/// returns them plus the index after the closing `]`.
+fn read_attribute(tokens: &[Token], start: usize) -> (Vec<String>, usize) {
+    let mut idents = Vec::new();
+    let mut depth = 1usize;
+    let mut i = start;
+    while i < tokens.len() && depth > 0 {
+        match &tokens[i].kind {
+            TokenKind::Punct('[') => depth += 1,
+            TokenKind::Punct(']') => depth -= 1,
+            TokenKind::Ident => idents.push(tokens[i].text.clone()),
+            _ => {}
+        }
+        i += 1;
+    }
+    (idents, i)
+}
+
+/// Finds where the item following an attribute ends: the matching `}` of
+/// its first brace, or the first `;` if no brace opens before one.
+fn item_body_end(tokens: &[Token], start: usize) -> Option<usize> {
+    let mut i = start;
+    while i < tokens.len() {
+        match tokens[i].kind {
+            TokenKind::Punct(';') => return Some(i + 1),
+            TokenKind::Punct('{') => return match_brace(tokens, i),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+/// Index just past the `}` matching the `{` at `open`.
+fn match_brace(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, token) in tokens.iter().enumerate().skip(open) {
+        match token.kind {
+            TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i + 1);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Finds every `fn` body span (from its opening `{` to the matching `}`).
+fn find_fn_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_ident("fn") {
+            // Walk the signature to the body brace. Trait methods end at
+            // `;` instead; stop there.
+            let mut j = i + 1;
+            while j < tokens.len() {
+                match tokens[j].kind {
+                    TokenKind::Punct('{') => {
+                        if let Some(end) = match_brace(tokens, j) {
+                            spans.push((j, end));
+                        }
+                        break;
+                    }
+                    TokenKind::Punct(';') => break,
+                    _ => j += 1,
+                }
+            }
+        }
+        i += 1;
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_directives_parse_with_and_without_reason() {
+        let src = "\
+let x = 1; // lint: allow(hash-iter, order-independent sum)
+// lint: allow(wall-clock)
+// lint: bogus
+";
+        let file = SourceFile::parse("x.rs", src);
+        assert_eq!(file.allows.len(), 2);
+        assert_eq!(file.allows[0].rule, "hash-iter");
+        assert_eq!(
+            file.allows[0].reason.as_deref(),
+            Some("order-independent sum")
+        );
+        assert!(file.allows[1].reason.is_none());
+        // The reasonless allow and the unparseable comment both report.
+        assert_eq!(file.bad_allows.len(), 2);
+    }
+
+    #[test]
+    fn suppression_covers_trailing_and_following_lines() {
+        let src = "// lint: allow(no-panic, test helper)\n\n\nx.unwrap();\n\ny.unwrap();\n";
+        let file = SourceFile::parse("x.rs", src);
+        assert!(file.suppressed("no-panic", 4));
+        assert!(!file.suppressed("no-panic", 6));
+        assert!(!file.suppressed("hash-iter", 4));
+    }
+
+    #[test]
+    fn cfg_test_modules_and_test_fns_are_spanned() {
+        let src = "\
+fn live() { body(); }
+#[cfg(test)]
+mod tests {
+    fn helper() {}
+}
+#[test]
+fn case() { check(); }
+fn also_live() {}
+";
+        let file = SourceFile::parse("x.rs", src);
+        let helper = file
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("helper"))
+            .expect("helper");
+        let check = file
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("check"))
+            .expect("check");
+        let live = file
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("body"))
+            .expect("body");
+        let tail = file
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("also_live"))
+            .expect("tail");
+        assert!(file.in_test(helper));
+        assert!(file.in_test(check));
+        assert!(!file.in_test(live));
+        assert!(!file.in_test(tail));
+    }
+
+    #[test]
+    fn cfg_not_test_is_live_code() {
+        let src = "#[cfg(not(test))]\nfn guarded() { body(); }";
+        let file = SourceFile::parse("x.rs", src);
+        let body = file
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("body"))
+            .expect("body");
+        assert!(!file.in_test(body));
+    }
+
+    #[test]
+    fn enclosing_fn_picks_the_innermost_body() {
+        let src = "fn outer() { fn inner() { deep(); } shallow(); }";
+        let file = SourceFile::parse("x.rs", src);
+        let deep = file
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("deep"))
+            .expect("deep");
+        let shallow = file
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("shallow"))
+            .expect("shallow");
+        let inner = file.enclosing_fn(deep).expect("inner span");
+        let outer = file.enclosing_fn(shallow).expect("outer span");
+        assert!(inner.1 - inner.0 < outer.1 - outer.0);
+    }
+}

@@ -1,0 +1,302 @@
+//! Workspace walking, rule scoping and the analysis driver.
+//!
+//! Scopes encode *this repository's* invariants: which crates feed the
+//! configuration digest, which files are connection paths, which crate owns
+//! the wall clock. New rules or scope changes belong here and in
+//! `docs/LINTS.md`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::findings::{Finding, Report};
+use crate::rules::{atomics, determinism, drift, robustness};
+use crate::source::SourceFile;
+
+/// Crates whose behavior feeds the configuration digest: hash-order
+/// nondeterminism in any of them can break the in-process / 1-server /
+/// N-process digest equality the engine guarantees.
+pub const DIGEST_CRATES: [&str; 6] = ["core", "algorithms", "lp", "engine", "cluster", "net"];
+
+/// The crate that owns wall-clock access (its tracer/clock is the sanctioned
+/// way to time things).
+pub const CLOCK_CRATE: &str = "obs";
+
+/// Files whose non-test code must not panic: every connection/IO path in
+/// `crates/net`, plus the engine's request dispatch and payload codec.
+const NO_PANIC_PATHS: [&str; 2] = ["crates/engine/src/engine.rs", "crates/engine/src/codec.rs"];
+
+/// Directories never scanned.
+const EXCLUDED_DIRS: [&str; 4] = ["vendor", "target", ".git", "fixtures"];
+
+/// Where a source file lives, which decides which rules run on it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileClass {
+    /// Crate `src/` (or root `src/`) code.
+    Src,
+    /// Integration tests (`tests/` directories).
+    Test,
+    /// Benchmarks (`benches/` directories).
+    Bench,
+    /// Examples.
+    Example,
+}
+
+/// Scope facts derived from a path.
+#[derive(Clone, Debug)]
+pub struct FileScope {
+    /// Crate name (`engine`, `net`, …; the root package is `svgic`).
+    pub crate_name: String,
+    /// Directory class.
+    pub class: FileClass,
+}
+
+/// Derives crate name and class from a workspace-relative path.
+pub fn classify(path: &str) -> FileScope {
+    let parts: Vec<&str> = path.split('/').collect();
+    let crate_name = if parts.first() == Some(&"crates") && parts.len() > 1 {
+        parts[1].to_string()
+    } else {
+        "svgic".to_string()
+    };
+    let class = if parts.contains(&"tests") {
+        FileClass::Test
+    } else if parts.contains(&"benches") {
+        FileClass::Bench
+    } else if parts.contains(&"examples") {
+        FileClass::Example
+    } else {
+        FileClass::Src
+    };
+    FileScope { crate_name, class }
+}
+
+/// Which per-file rules apply to a file.
+fn applicable_rules(scope: &FileScope, path: &str) -> Vec<&'static str> {
+    let mut rules = Vec::new();
+    // Digest determinism: only library code in digest-affecting crates —
+    // tests and benches cannot leak hash order into served configurations.
+    if scope.class == FileClass::Src && DIGEST_CRATES.contains(&scope.crate_name.as_str()) {
+        rules.push(determinism::HASH_ITER);
+    }
+    // Wall clocks: everywhere except the crate that owns the clock. Tests
+    // may time themselves; everything that ships must annotate.
+    if scope.crate_name != CLOCK_CRATE && scope.class != FileClass::Test {
+        rules.push(determinism::WALL_CLOCK);
+    }
+    // Panic freedom + validate-before-allocate: connection paths and the
+    // payload codec.
+    let in_net_src = path.starts_with("crates/net/src/");
+    if scope.class == FileClass::Src && (in_net_src || NO_PANIC_PATHS.contains(&path)) {
+        rules.push(robustness::NO_PANIC);
+        rules.push(robustness::PREALLOC);
+    }
+    // Relaxed atomic writes: all shipped code.
+    if scope.class == FileClass::Src {
+        rules.push(atomics::RELAXED_STORE);
+    }
+    rules
+}
+
+/// Runs one rule over a parsed file, returning raw `(line, message)` pairs.
+fn run_rule(rule: &str, file: &SourceFile) -> Vec<(u32, String)> {
+    match rule {
+        r if r == determinism::HASH_ITER => determinism::check_hash_iter(file),
+        r if r == determinism::WALL_CLOCK => determinism::check_wall_clock(file),
+        r if r == robustness::NO_PANIC => robustness::check_no_panic(file),
+        r if r == robustness::PREALLOC => robustness::check_prealloc(file),
+        r if r == atomics::RELAXED_STORE => atomics::check_relaxed_store(file),
+        _ => Vec::new(),
+    }
+}
+
+/// Analyzes one already-loaded source file: applicable rules, suppression
+/// matching, allow hygiene. Used by both the workspace driver and the
+/// fixture tests.
+pub fn analyze_file(path: &str, content: &str, report: &mut Report) {
+    let scope = classify(path);
+    let file = SourceFile::parse(path, content);
+    for rule in applicable_rules(&scope, path) {
+        for (line, message) in run_rule(rule, &file) {
+            if file.suppressed(rule, line) {
+                report.suppressions_used += 1;
+            } else {
+                report
+                    .findings
+                    .push(Finding::new(path, line, rule, message));
+            }
+        }
+    }
+    // Allow hygiene: malformed directives and stale (unused) ones are
+    // findings themselves — a suppression that no longer suppresses
+    // anything is doc rot of the most misleading kind.
+    for bad in &file.bad_allows {
+        report
+            .findings
+            .push(Finding::new(path, bad.line, "allow-syntax", &bad.problem));
+    }
+    for allow in &file.allows {
+        if allow.reason.is_some() && !allow.used.get() {
+            report.findings.push(Finding::new(
+                path,
+                allow.line,
+                "unused-allow",
+                format!(
+                    "lint: allow({}) suppresses nothing here; remove it or fix the rule \
+                     name",
+                    allow.rule
+                ),
+            ));
+        }
+    }
+    report.files_scanned += 1;
+}
+
+/// Runs the full analysis over the workspace at `root`.
+pub fn run_workspace(root: &Path) -> Report {
+    let mut report = Report::default();
+    let mut files = Vec::new();
+    collect_rust_files(root, &mut files);
+    files.sort();
+    for path in files {
+        let rel = relative(&path, root);
+        match fs::read_to_string(&path) {
+            Ok(content) => analyze_file(&rel, &content, &mut report),
+            Err(e) => report
+                .findings
+                .push(Finding::new(&rel, 0, "io", format!("unreadable: {e}"))),
+        }
+    }
+    run_drift(root, &mut report);
+    report.findings.sort();
+    report
+}
+
+/// The repo-level drift checks (they read fixed files, not the walk).
+fn run_drift(root: &Path, report: &mut Report) {
+    let api_path = "crates/engine/src/api.rs";
+    let codec_path = "crates/engine/src/codec.rs";
+    let stats_path = "crates/engine/src/stats.rs";
+    let formats_path = "docs/FORMATS.md";
+    let read = |rel: &str| fs::read_to_string(root.join(rel));
+    match (read(api_path), read(codec_path), read(formats_path)) {
+        (Ok(api), Ok(codec), Ok(formats)) => {
+            report.findings.extend(drift::check_wire_drift(
+                &api,
+                &codec,
+                &formats,
+                api_path,
+                codec_path,
+                formats_path,
+            ));
+            if let Ok(stats) = read(stats_path) {
+                report.findings.extend(drift::check_metrics_drift(
+                    &stats,
+                    &formats,
+                    stats_path,
+                    formats_path,
+                ));
+            } else {
+                report.findings.push(Finding::new(
+                    stats_path,
+                    0,
+                    drift::METRICS_DRIFT,
+                    "missing: cannot cross-check the metrics key table",
+                ));
+            }
+        }
+        _ => report.findings.push(Finding::new(
+            formats_path,
+            0,
+            drift::WIRE_DRIFT,
+            "missing api.rs/codec.rs/FORMATS.md: cannot cross-check wire tags",
+        )),
+    }
+}
+
+/// Recursively collects `.rs` files, skipping excluded directories.
+fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if EXCLUDED_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rust_files(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Workspace-relative `/`-separated path.
+fn relative(path: &Path, root: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_reads_crate_and_class() {
+        let s = classify("crates/engine/src/cache.rs");
+        assert_eq!(s.crate_name, "engine");
+        assert_eq!(s.class, FileClass::Src);
+        assert_eq!(
+            classify("crates/bench/benches/x.rs").class,
+            FileClass::Bench
+        );
+        assert_eq!(classify("tests/net_service.rs").class, FileClass::Test);
+        assert_eq!(classify("tests/net_service.rs").crate_name, "svgic");
+        assert_eq!(classify("src/lib.rs").crate_name, "svgic");
+    }
+
+    #[test]
+    fn rule_scoping_follows_the_invariants() {
+        let engine = classify("crates/engine/src/cache.rs");
+        let rules = applicable_rules(&engine, "crates/engine/src/cache.rs");
+        assert!(rules.contains(&determinism::HASH_ITER));
+        assert!(!rules.contains(&robustness::NO_PANIC));
+
+        let net = classify("crates/net/src/frame.rs");
+        let rules = applicable_rules(&net, "crates/net/src/frame.rs");
+        assert!(rules.contains(&robustness::NO_PANIC));
+        assert!(rules.contains(&robustness::PREALLOC));
+
+        let obs = classify("crates/obs/src/tracer.rs");
+        let rules = applicable_rules(&obs, "crates/obs/src/tracer.rs");
+        assert!(!rules.contains(&determinism::WALL_CLOCK));
+        assert!(rules.contains(&atomics::RELAXED_STORE));
+
+        let metrics = classify("crates/metrics/src/lib.rs");
+        let rules = applicable_rules(&metrics, "crates/metrics/src/lib.rs");
+        assert!(!rules.contains(&determinism::HASH_ITER));
+        assert!(rules.contains(&determinism::WALL_CLOCK));
+    }
+
+    #[test]
+    fn suppressed_findings_count_and_stale_allows_report() {
+        let src = "\
+fn f() {
+    let t = Instant::now(); // lint: allow(wall-clock, throughput reporting only)
+}
+// lint: allow(no-panic, nothing here panics)
+fn g() {}
+";
+        let mut report = Report::default();
+        analyze_file("crates/workload/src/driver.rs", src, &mut report);
+        assert_eq!(report.suppressions_used, 1);
+        assert_eq!(report.findings.len(), 1, "{:#?}", report.findings);
+        assert_eq!(report.findings[0].rule, "unused-allow");
+    }
+}

@@ -1,0 +1,85 @@
+//! Conformance tests against the real repository: the `docs/FORMATS.md`
+//! wire-tag tables must exactly match the codec's encode/decode arms and the
+//! `EngineRequest`/`EngineResponse` enums, and the documented metrics key
+//! table must match what `StatsSnapshot::metrics()` emits. These are the
+//! drift checks `svgic-lint --deny` runs in CI, executed here so `cargo
+//! test` alone also catches drift.
+
+use std::path::PathBuf;
+
+use svgic_lint::rules::drift;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+}
+
+fn read(rel: &str) -> String {
+    let path = repo_root().join(rel);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+#[test]
+fn wire_tag_tables_match_the_codec_exactly() {
+    let api = read("crates/engine/src/api.rs");
+    let codec = read("crates/engine/src/codec.rs");
+    let formats = read("docs/FORMATS.md");
+    let findings = drift::check_wire_drift(
+        &api,
+        &codec,
+        &formats,
+        "crates/engine/src/api.rs",
+        "crates/engine/src/codec.rs",
+        "docs/FORMATS.md",
+    );
+    assert!(
+        findings.is_empty(),
+        "wire-tag drift between api.rs, codec.rs and FORMATS.md:\n{}",
+        findings
+            .iter()
+            .map(|f| f.render())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn metrics_key_table_matches_the_registry_exactly() {
+    let stats = read("crates/engine/src/stats.rs");
+    let formats = read("docs/FORMATS.md");
+    let findings = drift::check_metrics_drift(
+        &stats,
+        &formats,
+        "crates/engine/src/stats.rs",
+        "docs/FORMATS.md",
+    );
+    assert!(
+        findings.is_empty(),
+        "metrics-key drift between stats.rs and FORMATS.md §2.4:\n{}",
+        findings
+            .iter()
+            .map(|f| f.render())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    // The acceptance bar for `svgic-lint --deny`, in test form: every
+    // finding in the workspace is either fixed or suppressed with a reason.
+    let report = svgic_lint::run_workspace(&repo_root());
+    assert!(
+        report.findings.is_empty(),
+        "unsuppressed lint findings:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| f.render())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(report.files_scanned > 100, "walk looks truncated");
+    assert!(report.suppressions_used > 50, "suppressions not honored");
+}

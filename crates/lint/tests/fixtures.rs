@@ -1,0 +1,202 @@
+//! Fixture-file tests: every rule has a positive fixture (findings fire), a
+//! suppressed fixture (a reasoned `// lint: allow(...)` silences them) and a
+//! clean fixture (the compliant idiom produces nothing). The fixtures live in
+//! `crates/lint/fixtures/`, which the workspace walker deliberately skips.
+
+use svgic_lint::{analyze_file, Report};
+
+/// Analyzes fixture `src` as if it lived at `path` (the path picks the rule
+/// scope) and returns the report.
+fn run(path: &str, src: &str) -> Report {
+    let mut report = Report::default();
+    analyze_file(path, src, &mut report);
+    report
+}
+
+fn rules_of(report: &Report) -> Vec<&str> {
+    report.findings.iter().map(|f| f.rule.as_str()).collect()
+}
+
+#[test]
+fn hash_iter_fixtures() {
+    let positive = run(
+        "crates/core/src/fixture.rs",
+        include_str!("../fixtures/hash_iter_positive.rs"),
+    );
+    assert_eq!(
+        rules_of(&positive),
+        ["hash-iter", "hash-iter"],
+        "{positive:#?}"
+    );
+
+    let suppressed = run(
+        "crates/core/src/fixture.rs",
+        include_str!("../fixtures/hash_iter_suppressed.rs"),
+    );
+    assert!(suppressed.findings.is_empty(), "{suppressed:#?}");
+    assert_eq!(suppressed.suppressions_used, 1);
+
+    let clean = run(
+        "crates/core/src/fixture.rs",
+        include_str!("../fixtures/hash_iter_clean.rs"),
+    );
+    assert!(clean.findings.is_empty(), "{clean:#?}");
+}
+
+#[test]
+fn hash_iter_scope_is_digest_crates_only() {
+    // The same source in a non-digest crate (workload) is out of scope.
+    let report = run(
+        "crates/workload/src/fixture.rs",
+        include_str!("../fixtures/hash_iter_positive.rs"),
+    );
+    assert!(!rules_of(&report).contains(&"hash-iter"), "{report:#?}");
+}
+
+#[test]
+fn wall_clock_fixtures() {
+    let positive = run(
+        "crates/workload/src/fixture.rs",
+        include_str!("../fixtures/wall_clock_positive.rs"),
+    );
+    // `Instant::now()`, plus every `SystemTime` mention (import, return
+    // type, `::now()`): the rule is deliberately blunt about SystemTime.
+    assert_eq!(
+        rules_of(&positive),
+        ["wall-clock", "wall-clock", "wall-clock", "wall-clock"],
+        "{positive:#?}"
+    );
+
+    let suppressed = run(
+        "crates/workload/src/fixture.rs",
+        include_str!("../fixtures/wall_clock_suppressed.rs"),
+    );
+    assert!(suppressed.findings.is_empty(), "{suppressed:#?}");
+    assert_eq!(suppressed.suppressions_used, 1);
+
+    let clean = run(
+        "crates/workload/src/fixture.rs",
+        include_str!("../fixtures/wall_clock_clean.rs"),
+    );
+    assert!(clean.findings.is_empty(), "{clean:#?}");
+}
+
+#[test]
+fn wall_clock_is_exempt_inside_crates_obs() {
+    let report = run(
+        "crates/obs/src/fixture.rs",
+        include_str!("../fixtures/wall_clock_positive.rs"),
+    );
+    assert!(!rules_of(&report).contains(&"wall-clock"), "{report:#?}");
+}
+
+#[test]
+fn no_panic_fixtures() {
+    let positive = run(
+        "crates/net/src/fixture.rs",
+        include_str!("../fixtures/no_panic_positive.rs"),
+    );
+    assert_eq!(
+        rules_of(&positive),
+        ["no-panic", "no-panic", "no-panic"],
+        "{positive:#?}"
+    );
+
+    let suppressed = run(
+        "crates/net/src/fixture.rs",
+        include_str!("../fixtures/no_panic_suppressed.rs"),
+    );
+    assert!(suppressed.findings.is_empty(), "{suppressed:#?}");
+    assert_eq!(suppressed.suppressions_used, 1);
+
+    let clean = run(
+        "crates/net/src/fixture.rs",
+        include_str!("../fixtures/no_panic_clean.rs"),
+    );
+    assert!(clean.findings.is_empty(), "{clean:#?}");
+}
+
+#[test]
+fn prealloc_fixtures() {
+    let positive = run(
+        "crates/net/src/fixture.rs",
+        include_str!("../fixtures/prealloc_positive.rs"),
+    );
+    assert_eq!(
+        rules_of(&positive),
+        ["prealloc", "prealloc"],
+        "{positive:#?}"
+    );
+
+    let suppressed = run(
+        "crates/net/src/fixture.rs",
+        include_str!("../fixtures/prealloc_suppressed.rs"),
+    );
+    assert!(suppressed.findings.is_empty(), "{suppressed:#?}");
+    assert_eq!(suppressed.suppressions_used, 1);
+
+    let clean = run(
+        "crates/net/src/fixture.rs",
+        include_str!("../fixtures/prealloc_clean.rs"),
+    );
+    assert!(clean.findings.is_empty(), "{clean:#?}");
+}
+
+#[test]
+fn relaxed_store_fixtures() {
+    let positive = run(
+        "crates/obs/src/fixture.rs",
+        include_str!("../fixtures/relaxed_store_positive.rs"),
+    );
+    assert_eq!(
+        rules_of(&positive),
+        ["relaxed-store", "relaxed-store", "relaxed-store"],
+        "{positive:#?}"
+    );
+
+    let suppressed = run(
+        "crates/obs/src/fixture.rs",
+        include_str!("../fixtures/relaxed_store_suppressed.rs"),
+    );
+    assert!(suppressed.findings.is_empty(), "{suppressed:#?}");
+    assert_eq!(suppressed.suppressions_used, 1);
+
+    let clean = run(
+        "crates/obs/src/fixture.rs",
+        include_str!("../fixtures/relaxed_store_clean.rs"),
+    );
+    assert!(clean.findings.is_empty(), "{clean:#?}");
+}
+
+#[test]
+fn allow_hygiene_fixture() {
+    // A reasonless allow is a finding, suppresses nothing (so the wall-clock
+    // read underneath it still fires), and a reasoned allow matching nothing
+    // is reported stale.
+    let report = run(
+        "crates/workload/src/fixture.rs",
+        include_str!("../fixtures/allow_hygiene.rs"),
+    );
+    let mut rules = rules_of(&report);
+    rules.sort_unstable();
+    assert_eq!(
+        rules,
+        ["allow-syntax", "unused-allow", "wall-clock"],
+        "{report:#?}"
+    );
+    assert_eq!(report.suppressions_used, 0);
+}
+
+#[test]
+fn fixtures_are_excluded_from_the_workspace_walk() {
+    // The fixtures deliberately contain violations; the workspace analysis
+    // must never pick them up (EXCLUDED_DIRS covers `fixtures/`).
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let report = svgic_lint::run_workspace(&root);
+    assert!(
+        !report.findings.iter().any(|f| f.file.contains("fixtures/")),
+        "fixture files leaked into the workspace walk"
+    );
+}

@@ -138,6 +138,7 @@ impl Ord for HeapEntry {
 
 /// Solves the mixed-integer program `lp` (maximisation) by branch & bound.
 pub fn solve_milp(lp: &LinearProgram, config: &BranchBoundConfig) -> MilpResult {
+    // lint: allow(wall-clock, drives the opt-in time_limit cutoff only; None by default and never set on serving paths)
     let start = Instant::now();
     let int_vars = lp.integer_variables();
     // Pure LP: a single simplex call suffices.

@@ -121,9 +121,12 @@ impl Tableau {
         }
         let mut raw_rows: Vec<Row> = Vec::new();
         for c in lp.constraints() {
-            // Merge duplicate terms.
-            let mut merged: std::collections::HashMap<usize, f64> =
-                std::collections::HashMap::new();
+            // Merge duplicate terms. BTreeMap, not HashMap: the shift sum
+            // below adds floats in iteration order, and float addition is not
+            // associative — hash order would make the tableau (and the
+            // configuration digest downstream) vary run to run.
+            let mut merged: std::collections::BTreeMap<usize, f64> =
+                std::collections::BTreeMap::new();
             for &(v, a) in &c.terms {
                 *merged.entry(v).or_insert(0.0) += a;
             }

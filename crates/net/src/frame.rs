@@ -166,7 +166,7 @@ pub fn read_frame(reader: &mut impl Read) -> Result<Frame, FrameError> {
     header[0] = first[0];
     header[1..].copy_from_slice(&rest);
 
-    let magic: [u8; 4] = header[0..4].try_into().unwrap();
+    let magic = [header[0], header[1], header[2], header[3]];
     if magic != MAGIC {
         return Err(FrameError::BadMagic(magic));
     }
@@ -174,8 +174,10 @@ pub fn read_frame(reader: &mut impl Read) -> Result<Frame, FrameError> {
         return Err(FrameError::BadVersion(header[4]));
     }
     let kind = FrameKind::from_byte(header[5])?;
-    let request_id = u64::from_le_bytes(header[6..14].try_into().unwrap());
-    let len = u32::from_le_bytes(header[14..18].try_into().unwrap());
+    let request_id = u64::from_le_bytes([
+        header[6], header[7], header[8], header[9], header[10], header[11], header[12], header[13],
+    ]);
+    let len = u32::from_le_bytes([header[14], header[15], header[16], header[17]]);
     if len > MAX_PAYLOAD {
         return Err(FrameError::Oversized(len));
     }

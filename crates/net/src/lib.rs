@@ -26,25 +26,26 @@
 //! `tests/net_service.rs` assert exactly that.
 //!
 //! ```rust
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! use svgic_engine::prelude::*;
 //! use svgic_net::{NetClient, NetServer};
 //!
 //! // Server half: an engine behind an ephemeral loopback port.
 //! let engine = Engine::new(EngineConfig { workers: 2, ..EngineConfig::default() });
-//! let server = NetServer::bind("127.0.0.1:0", engine).unwrap();
+//! let server = NetServer::bind("127.0.0.1:0", engine)?;
 //!
 //! // Client half: the same driver-facing trait as the in-process engine.
-//! let mut client = NetClient::connect(server.local_addr()).unwrap();
-//! let view = client
-//!     .create_session(CreateSession {
-//!         instance: svgic_core::example::running_example(),
-//!         initial_present: vec![],
-//!         seed: 7,
-//!     })
-//!     .unwrap();
+//! let mut client = NetClient::connect(server.local_addr())?;
+//! let view = client.create_session(CreateSession {
+//!     instance: svgic_core::example::running_example(),
+//!     initial_present: vec![],
+//!     seed: 7,
+//! })?;
 //! assert!(view.configuration.is_valid(view.catalog.len()));
-//! client.shutdown_server().unwrap();
+//! client.shutdown_server()?;
 //! server.join();
+//! # Ok(())
+//! # }
 //! ```
 
 #![forbid(unsafe_code)]

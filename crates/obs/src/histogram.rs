@@ -197,14 +197,17 @@ impl AtomicHistogram {
 
     /// Records one sample, in nanoseconds.
     pub fn record_nanos(&self, nanos: u64) {
+        // lint: allow(relaxed-store, bucket counters are independent; a scrape mid-record is off by one sample at worst)
         self.counts[slot_of(nanos)].fetch_add(1, Ordering::Relaxed);
         self.total.fetch_add(1, Ordering::Relaxed);
         // Saturating: 2^64 ns is ~585 years of cumulative latency.
         let _ = self
+            // lint: allow(relaxed-store, cumulative sum; a torn mean is transient and self-corrects)
             .sum_nanos
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |sum| {
                 Some(sum.saturating_add(nanos))
             });
+        // lint: allow(relaxed-store, high-water mark; fetch_max keeps it monotonic regardless of order)
         self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
     }
 
@@ -233,9 +236,11 @@ impl AtomicHistogram {
 
     /// Zeroes every slot and counter.
     pub fn reset(&self) {
+        // lint: allow(relaxed-store, reset is a measurement boundary; writers are quiesced between runs)
         for count in &self.counts {
             count.store(0, Ordering::Relaxed);
         }
+        // lint: allow(relaxed-store, reset is a measurement boundary; writers are quiesced between runs)
         self.total.store(0, Ordering::Relaxed);
         self.sum_nanos.store(0, Ordering::Relaxed);
         self.max_nanos.store(0, Ordering::Relaxed);

@@ -157,6 +157,7 @@ impl FlightRecorder {
 
     /// Stores one span (evicting the oldest in its stripe when full).
     pub fn record(&self, span: SpanRecord) {
+        // lint: allow(relaxed-store, recorded count and stripe rotor are independent; neither guards other state)
         self.recorded.fetch_add(1, Ordering::Relaxed);
         let stripe = self.rotor.fetch_add(1, Ordering::Relaxed) % STRIPES;
         let mut ring = self.stripes[stripe].lock().expect("recorder lock poisoned");

@@ -399,6 +399,7 @@ impl ClusterDriver {
         let mut open_keys: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
         let closed_loop = self.config.mode == DriveMode::ClosedLoop;
 
+        // lint: allow(wall-clock, client-side latency sample for the load report; responses are digested independently of timing)
         let mut started = Instant::now();
         let mut warming = self.config.warmup_ticks > 0;
         for event in &trace.events {
@@ -406,6 +407,7 @@ impl ClusterDriver {
                 TraceEvent::Tick(tick) => {
                     if !closed_loop {
                         for node in cluster.node_ids() {
+                            // lint: allow(wall-clock, client-side latency sample for the load report; responses are digested independently of timing)
                             let t0 = Instant::now();
                             cluster.flush_node(node).expect("alive node flushes");
                             let dt = t0.elapsed();
@@ -421,6 +423,7 @@ impl ClusterDriver {
                         latency = LatencyBreakdown::default();
                         quality = QualityUnderLoad::default();
                         requests = 0;
+                        // lint: allow(wall-clock, client-side latency sample for the load report; responses are digested independently of timing)
                         started = Instant::now();
                     }
                 }
@@ -430,6 +433,7 @@ impl ClusterDriver {
                     seed,
                     present,
                 } => {
+                    // lint: allow(wall-clock, client-side latency sample for the load report; responses are digested independently of timing)
                     let t0 = Instant::now();
                     let (node, view) = cluster
                         .open_session(
@@ -487,6 +491,7 @@ impl ClusterDriver {
                     );
                 }
                 TraceEvent::Query { key } => {
+                    // lint: allow(wall-clock, client-side latency sample for the load report; responses are digested independently of timing)
                     let t0 = Instant::now();
                     let (node, view) = cluster.query_configuration(*key).expect("live session");
                     let dt = t0.elapsed();
@@ -496,6 +501,7 @@ impl ClusterDriver {
                     self.observe(*key, &view, &mut digest, &mut quality);
                 }
                 TraceEvent::Close { key } => {
+                    // lint: allow(wall-clock, client-side latency sample for the load report; responses are digested independently of timing)
                     let t0 = Instant::now();
                     let (node, _) = cluster.close_session(*key).expect("close succeeds");
                     let dt = t0.elapsed();
@@ -510,11 +516,13 @@ impl ClusterDriver {
         // Final sweep: flush leftovers and digest every still-open session,
         // mirroring the single-engine driver so digests are comparable.
         for node in cluster.node_ids() {
+            // lint: allow(wall-clock, client-side latency sample for the load report; responses are digested independently of timing)
             let t0 = Instant::now();
             cluster.flush_node(node).expect("alive node flushes");
             ledger.charge(node, t0.elapsed().as_secs_f64());
         }
         for key in open_keys {
+            // lint: allow(wall-clock, client-side latency sample for the load report; responses are digested independently of timing)
             let t0 = Instant::now();
             let (node, view) = cluster.query_configuration(key).expect("live session");
             self.observe(key, &view, &mut digest, &mut quality);
@@ -581,6 +589,7 @@ impl ClusterDriver {
         ledger: &mut Ledger,
     ) {
         for action in self.config.plan.actions_at(tick) {
+            // lint: allow(wall-clock, client-side latency sample for the load report; responses are digested independently of timing)
             let t0 = Instant::now();
             match action {
                 NodeAction::KillBusiest => {
@@ -638,6 +647,7 @@ impl ClusterDriver {
         latency: &mut LatencyBreakdown,
         requests: &mut u64,
     ) {
+        // lint: allow(wall-clock, client-side latency sample for the load report; responses are digested independently of timing)
         let t0 = Instant::now();
         let (node, _) = cluster
             .submit_event(key, event)
@@ -647,6 +657,7 @@ impl ClusterDriver {
         latency.submit.record(dt);
         *requests += 1;
         if self.config.mode == DriveMode::ClosedLoop {
+            // lint: allow(wall-clock, client-side latency sample for the load report; responses are digested independently of timing)
             let t0 = Instant::now();
             cluster.flush_node(node).expect("alive node flushes");
             let dt = t0.elapsed();

@@ -266,12 +266,14 @@ impl LoadDriver {
         let mut sessions_opened = 0u64;
         let closed_loop = self.config.mode == DriveMode::ClosedLoop;
 
+        // lint: allow(wall-clock, client-side latency sample for the load report; responses are digested independently of timing)
         let mut started = Instant::now();
         let mut warming = self.config.warmup_ticks > 0;
         for event in &trace.events {
             match event {
                 TraceEvent::Tick(tick) => {
                     if !closed_loop {
+                        // lint: allow(wall-clock, client-side latency sample for the load report; responses are digested independently of timing)
                         let t0 = Instant::now();
                         engine.flush().expect("backend flushes");
                         latency.flush.record(t0.elapsed());
@@ -285,6 +287,7 @@ impl LoadDriver {
                         latency = LatencyBreakdown::default();
                         quality = QualityUnderLoad::default();
                         requests = 0;
+                        // lint: allow(wall-clock, client-side latency sample for the load report; responses are digested independently of timing)
                         started = Instant::now();
                     }
                 }
@@ -294,6 +297,7 @@ impl LoadDriver {
                     seed,
                     present,
                 } => {
+                    // lint: allow(wall-clock, client-side latency sample for the load report; responses are digested independently of timing)
                     let t0 = Instant::now();
                     let view = engine
                         .create_session(CreateSession {
@@ -347,6 +351,7 @@ impl LoadDriver {
                 }
                 TraceEvent::Query { key } => {
                     let id = sessions[key];
+                    // lint: allow(wall-clock, client-side latency sample for the load report; responses are digested independently of timing)
                     let t0 = Instant::now();
                     let view = engine.query_configuration(id).expect("live session");
                     latency.query.record(t0.elapsed());
@@ -355,6 +360,7 @@ impl LoadDriver {
                 }
                 TraceEvent::Close { key } => {
                     let id = sessions.remove(key).expect("trace closes a live session");
+                    // lint: allow(wall-clock, client-side latency sample for the load report; responses are digested independently of timing)
                     let t0 = Instant::now();
                     engine.close_session(id).expect("close succeeds");
                     latency.close.record(t0.elapsed());
@@ -399,6 +405,7 @@ impl LoadDriver {
         latency: &mut LatencyBreakdown,
         requests: &mut u64,
     ) {
+        // lint: allow(wall-clock, client-side latency sample for the load report; responses are digested independently of timing)
         let t0 = Instant::now();
         engine
             .submit_event(id, event)
@@ -406,6 +413,7 @@ impl LoadDriver {
         latency.submit.record(t0.elapsed());
         *requests += 1;
         if self.config.mode == DriveMode::ClosedLoop {
+            // lint: allow(wall-clock, client-side latency sample for the load report; responses are digested independently of timing)
             let t0 = Instant::now();
             engine.flush().expect("backend flushes");
             latency.flush.record(t0.elapsed());
