@@ -2,7 +2,7 @@
 //! tracing off (the default) and on, plus the per-call price of a span
 //! site in both states.
 //!
-//! Three gates run **before** any timing:
+//! Four gates run **before** any timing:
 //!
 //! 1. **read-side contract** — the traced run's configuration digest and
 //!    solve count equal the untraced run's (tracing observes the engine,
@@ -17,7 +17,12 @@
 //!    snapshot, multiplied by the number of samples the default run
 //!    pushed, must project to less than 2% of a sampling-disabled run's
 //!    wall time — and sampling must not change the digest or solve count
-//!    either.
+//!    either;
+//! 4. **profiler overhead < 2%** — the solve ledger folds one record per
+//!    solve (on by default at capacity 128). The measured cost of one
+//!    ledger fold, multiplied by the run's solve count, must project to
+//!    less than 2% of a profiler-disabled run's wall time — and the
+//!    profiled run's digest and solve count must equal the baseline's.
 //!
 //! Criterion then times the smallest units: one disabled `begin`/`finish`
 //! pair vs. one enabled pair (clock read + ring insert).
@@ -48,21 +53,28 @@ fn scenario() -> Scenario {
     }
 }
 
-/// Pinned engine shape so solve counters match between the runs.
-fn engine_config(obs: ObsConfig, telemetry_capacity: usize) -> EngineConfig {
+/// Pinned engine shape so solve counters match between the runs. The
+/// baseline runs with everything off (telemetry and profiler capacity 0),
+/// so each gate below toggles exactly one read-side feature.
+fn engine_config(
+    obs: ObsConfig,
+    telemetry_capacity: usize,
+    profile_capacity: usize,
+) -> EngineConfig {
     EngineConfig {
         workers: 2,
         shards: 2,
         auto_flush_pending: 0,
         obs,
         telemetry_capacity,
+        profile_capacity,
         ..EngineConfig::default()
     }
 }
 
 fn driver(obs: ObsConfig) -> LoadDriver {
     LoadDriver::new(DriverConfig {
-        engine: engine_config(obs, 0),
+        engine: engine_config(obs, 0, 0),
         ..DriverConfig::default()
     })
 }
@@ -85,7 +97,7 @@ fn obs_overhead(c: &mut Criterion) {
     let off = driver(ObsConfig::disabled()).run(&trace);
 
     // --- Run 2: tracing on, same trace, spans kept for the projection ---
-    let mut engine = Engine::new(engine_config(ObsConfig::enabled(), 0));
+    let mut engine = Engine::new(engine_config(ObsConfig::enabled(), 0, 0));
     let on = driver(ObsConfig::disabled()).run_on(&mut engine, &trace);
     let spans_recorded = engine.tracer().recorded();
 
@@ -131,7 +143,7 @@ fn obs_overhead(c: &mut Criterion) {
 
     // --- Run 3: telemetry sampling at the default capacity, same trace ---
     let default_capacity = EngineConfig::default().telemetry_capacity;
-    let mut sampled_engine = Engine::new(engine_config(ObsConfig::disabled(), default_capacity));
+    let mut sampled_engine = Engine::new(engine_config(ObsConfig::disabled(), default_capacity, 0));
     let sampled = driver(ObsConfig::disabled()).run_on(&mut sampled_engine, &trace);
     let samples = sampled_engine.telemetry();
 
@@ -179,6 +191,69 @@ fn obs_overhead(c: &mut Criterion) {
         sampler_projected < sampler_budget,
         "telemetry sampling projects to {sampler_projected:.6}s, over the 2% budget \
          ({sampler_budget:.6}s) for this run"
+    );
+
+    // --- Run 4: the solve ledger at the default capacity, same trace ---
+    let default_profile = EngineConfig::default().profile_capacity;
+    let mut profiled_engine = Engine::new(engine_config(ObsConfig::disabled(), 0, default_profile));
+    let profiled = driver(ObsConfig::disabled()).run_on(&mut profiled_engine, &trace);
+    let ledger = profiled_engine.profile();
+
+    // --- Gate 4: profiling is read-side and projects to < 2% of wall time ---
+    assert_eq!(
+        off.config_digest, profiled.config_digest,
+        "the solve ledger must not change the served configurations"
+    );
+    assert_eq!(
+        off.engine.solves(),
+        profiled.engine.solves(),
+        "the solve ledger must add zero solver work"
+    );
+    assert!(
+        !ledger.entries.is_empty(),
+        "the profiled run must actually attribute solves"
+    );
+    let attributed: u64 = ledger
+        .entries
+        .iter()
+        .map(|entry| entry.warm_solves + entry.cold_solves)
+        .sum();
+    assert_eq!(
+        attributed,
+        profiled.engine.solves(),
+        "every solve must land in the ledger"
+    );
+    // One solve costs one ledger fold; measure it on a ledger warmed to the
+    // run's real template population so the BTreeMap depth is realistic.
+    let per_record = {
+        let mut warmed = svgic_engine::SolveLedger::new(default_profile);
+        for entry in &ledger.entries {
+            warmed.record(entry.template_fingerprint, 1, false, 1);
+        }
+        let calls = 1_000_000u32;
+        // lint: allow(wall-clock, benchmark timing is the measurement itself)
+        let started = Instant::now();
+        for i in 0..calls {
+            let fp = ledger.entries[i as usize % ledger.entries.len()].template_fingerprint;
+            warmed.record(fp, u64::from(i), i % 2 == 0, 100);
+        }
+        std::hint::black_box(&warmed);
+        started.elapsed().as_secs_f64() / f64::from(calls)
+    };
+    let profiler_projected = per_record * profiled.engine.solves() as f64;
+    let profiler_budget = off.wall_seconds * 0.02;
+    println!(
+        "ledger fold ≈ {:.2} ns/solve; {} solves project to {:.3} µs \
+         ({:.4}% of the profiler-off run)",
+        per_record * 1e9,
+        profiled.engine.solves(),
+        profiler_projected * 1e6,
+        100.0 * profiler_projected / off.wall_seconds.max(1e-12),
+    );
+    assert!(
+        profiler_projected < profiler_budget,
+        "ledger folding projects to {profiler_projected:.6}s, over the 2% budget \
+         ({profiler_budget:.6}s) for this run"
     );
 
     // --- Criterion: the smallest units ---

@@ -99,6 +99,11 @@ pub enum EngineRequest {
     /// remote nodes' history lands in cluster reports and
     /// `loadgen --trace-out` counter tracks.
     QueryTelemetry,
+    /// Reads the engine's profile — the per-template cost-attribution
+    /// ledger plus the critical path assembled from the flight recorder
+    /// (phase aggregates, top-K-slowest request waterfalls, collapsed-stack
+    /// export) — behind `loadgen profile --connect`.
+    QueryProfile,
 }
 
 /// The engine's shape and current occupancy, as answered to
@@ -181,6 +186,9 @@ pub enum EngineResponse {
     Metrics(Vec<(String, f64)>),
     /// The engine's telemetry ring, oldest sample first.
     Telemetry(Vec<svgic_obs::TelemetrySample>),
+    /// The engine's profile (boxed: carries ledger entries, waterfalls and
+    /// the collapsed-stack text).
+    Profile(Box<crate::profile::EngineProfile>),
 }
 
 /// Why a request was rejected.

@@ -37,12 +37,15 @@ use std::time::Duration;
 use svgic_algorithms::{LpBackend, UtilityFactors};
 use svgic_core::{Configuration, SvgicInstance, SvgicInstanceBuilder};
 use svgic_graph::SocialGraph;
-use svgic_obs::{HistogramSnapshot, TelemetrySample};
+use svgic_obs::{
+    HistogramSnapshot, Phase, PhaseAggregate, RequestWaterfall, TelemetrySample, WaterfallSpan,
+};
 
 use crate::api::{
     ConfigurationView, CreateSession, EngineError, EngineInfo, EngineRequest, EngineResponse,
     SessionEvent, SessionId,
 };
+use crate::profile::{EngineProfile, ProfileEntry};
 use crate::session::{Served, SessionExport};
 use crate::stats::{ShardSnapshot, StatsSnapshot};
 
@@ -719,9 +722,15 @@ fn write_stats(w: &mut Writer, s: &StatsSnapshot) {
     write_histogram(w, &s.warm_solve_latency);
     write_histogram(w, &s.cold_solve_latency);
     write_histogram(w, &s.round_latency);
+    write_histogram(w, &s.queue_wait_latency);
     w.u64(s.mem_session_bytes);
     w.u64(s.mem_pending_bytes);
     w.u64(s.mem_served_bytes);
+    w.len(s.profile.len());
+    for entry in &s.profile {
+        write_profile_entry(w, entry);
+    }
+    w.u64(s.profile_dropped);
 }
 
 fn read_stats(r: &mut Reader) -> Result<StatsSnapshot, CodecError> {
@@ -774,9 +783,134 @@ fn read_stats(r: &mut Reader) -> Result<StatsSnapshot, CodecError> {
         warm_solve_latency: read_histogram(r)?,
         cold_solve_latency: read_histogram(r)?,
         round_latency: read_histogram(r)?,
+        queue_wait_latency: read_histogram(r)?,
         mem_session_bytes: r.u64()?,
         mem_pending_bytes: r.u64()?,
         mem_served_bytes: r.u64()?,
+        profile: {
+            let n = r.len(64)?;
+            (0..n)
+                .map(|_| read_profile_entry(r))
+                .collect::<Result<Vec<_>, CodecError>>()?
+        },
+        profile_dropped: r.u64()?,
+    })
+}
+
+/// One fixed-width (64-byte) ledger entry: eight `u64` fields in declaration
+/// order.
+fn write_profile_entry(w: &mut Writer, e: &ProfileEntry) {
+    w.u64(e.template_fingerprint);
+    w.u64(e.warm_solves);
+    w.u64(e.cold_solves);
+    w.u64(e.warm_nanos);
+    w.u64(e.cold_nanos);
+    w.u64(e.miss_new);
+    w.u64(e.miss_evicted);
+    w.u64(e.miss_component_changed);
+}
+
+fn read_profile_entry(r: &mut Reader) -> Result<ProfileEntry, CodecError> {
+    Ok(ProfileEntry {
+        template_fingerprint: r.u64()?,
+        warm_solves: r.u64()?,
+        cold_solves: r.u64()?,
+        warm_nanos: r.u64()?,
+        cold_nanos: r.u64()?,
+        miss_new: r.u64()?,
+        miss_evicted: r.u64()?,
+        miss_component_changed: r.u64()?,
+    })
+}
+
+/// Phases travel as their index in [`Phase::ALL`] (an append-only contract —
+/// see `svgic_obs::phase`); decode rejects out-of-range indices.
+fn write_phase(w: &mut Writer, phase: Phase) {
+    w.u8(phase.index());
+}
+
+fn read_phase(r: &mut Reader) -> Result<Phase, CodecError> {
+    let index = r.u8()?;
+    Phase::from_index(index).ok_or(CodecError::BadTag {
+        what: "phase",
+        tag: index,
+    })
+}
+
+fn write_profile(w: &mut Writer, p: &EngineProfile) {
+    w.len(p.entries.len());
+    for entry in &p.entries {
+        write_profile_entry(w, entry);
+    }
+    w.u64(p.dropped);
+    w.len(p.phases.len());
+    for agg in &p.phases {
+        write_phase(w, agg.phase);
+        w.u64(agg.count);
+        w.u64(agg.total_nanos);
+        w.u64(agg.max_nanos);
+    }
+    w.len(p.waterfalls.len());
+    for wf in &p.waterfalls {
+        w.u64(wf.request_id);
+        w.u64(wf.total_nanos);
+        w.len(wf.spans.len());
+        for span in &wf.spans {
+            write_phase(w, span.phase);
+            w.u64(span.start_nanos);
+            w.u64(span.duration_nanos);
+            w.u32(span.shard);
+        }
+    }
+    w.str(&p.collapsed);
+}
+
+fn read_profile(r: &mut Reader) -> Result<EngineProfile, CodecError> {
+    let entry_count = r.len(64)?;
+    let entries = (0..entry_count)
+        .map(|_| read_profile_entry(r))
+        .collect::<Result<Vec<_>, CodecError>>()?;
+    let dropped = r.u64()?;
+    let phase_count = r.len(25)?;
+    let phases = (0..phase_count)
+        .map(|_| {
+            Ok(PhaseAggregate {
+                phase: read_phase(r)?,
+                count: r.u64()?,
+                total_nanos: r.u64()?,
+                max_nanos: r.u64()?,
+            })
+        })
+        .collect::<Result<Vec<_>, CodecError>>()?;
+    let waterfall_count = r.len(20)?;
+    let waterfalls = (0..waterfall_count)
+        .map(|_| {
+            let request_id = r.u64()?;
+            let total_nanos = r.u64()?;
+            let span_count = r.len(21)?;
+            let spans = (0..span_count)
+                .map(|_| {
+                    Ok(WaterfallSpan {
+                        phase: read_phase(r)?,
+                        start_nanos: r.u64()?,
+                        duration_nanos: r.u64()?,
+                        shard: r.u32()?,
+                    })
+                })
+                .collect::<Result<Vec<_>, CodecError>>()?;
+            Ok(RequestWaterfall {
+                request_id,
+                total_nanos,
+                spans,
+            })
+        })
+        .collect::<Result<Vec<_>, CodecError>>()?;
+    Ok(EngineProfile {
+        entries,
+        dropped,
+        phases,
+        waterfalls,
+        collapsed: r.str()?,
     })
 }
 
@@ -905,6 +1039,7 @@ pub fn encode_request(request: &EngineRequest) -> Vec<u8> {
         EngineRequest::Describe => w.u8(11),
         EngineRequest::QueryMetrics => w.u8(12),
         EngineRequest::QueryTelemetry => w.u8(13),
+        EngineRequest::QueryProfile => w.u8(14),
     }
     w.buf
 }
@@ -931,6 +1066,7 @@ pub fn decode_request(bytes: &[u8]) -> Result<EngineRequest, CodecError> {
         11 => EngineRequest::Describe,
         12 => EngineRequest::QueryMetrics,
         13 => EngineRequest::QueryTelemetry,
+        14 => EngineRequest::QueryProfile,
         tag => {
             return Err(CodecError::BadTag {
                 what: "request",
@@ -1011,6 +1147,10 @@ pub fn encode_response(response: &Result<EngineResponse, EngineError>) -> Vec<u8
                 write_sample(&mut w, sample);
             }
         }
+        Ok(EngineResponse::Profile(profile)) => {
+            w.u8(14);
+            write_profile(&mut w, profile);
+        }
     }
     w.buf
 }
@@ -1054,6 +1194,7 @@ pub fn decode_response(bytes: &[u8]) -> Result<Result<EngineResponse, EngineErro
                 .collect::<Result<Vec<_>, CodecError>>()?;
             Ok(EngineResponse::Telemetry(samples))
         }
+        14 => Ok(EngineResponse::Profile(Box::new(read_profile(&mut r)?))),
         tag => {
             return Err(CodecError::BadTag {
                 what: "response",
@@ -1105,9 +1246,83 @@ mod tests {
             EngineRequest::Describe,
             EngineRequest::QueryMetrics,
             EngineRequest::QueryTelemetry,
+            EngineRequest::QueryProfile,
         ] {
             assert_request_roundtrip(&request);
         }
+    }
+
+    #[test]
+    fn profile_responses_roundtrip() {
+        let profile = EngineProfile {
+            entries: vec![
+                ProfileEntry {
+                    template_fingerprint: 0x1111,
+                    warm_solves: 3,
+                    cold_solves: 2,
+                    warm_nanos: 9_000,
+                    cold_nanos: 80_000,
+                    miss_new: 1,
+                    miss_evicted: 1,
+                    miss_component_changed: 0,
+                },
+                ProfileEntry {
+                    template_fingerprint: 0x2222,
+                    cold_solves: 1,
+                    cold_nanos: 40_000,
+                    miss_new: 1,
+                    ..ProfileEntry::default()
+                },
+            ],
+            dropped: 4,
+            phases: vec![PhaseAggregate {
+                phase: Phase::QueueWait,
+                count: 7,
+                total_nanos: 70_000,
+                max_nanos: 20_000,
+            }],
+            waterfalls: vec![RequestWaterfall {
+                request_id: 42,
+                total_nanos: 1_000,
+                spans: vec![WaterfallSpan {
+                    phase: Phase::WireWait,
+                    start_nanos: 0,
+                    duration_nanos: 250,
+                    shard: u32::MAX,
+                }],
+            }],
+            collapsed: "Serve 100\nServe;ShardDispatch 40\n".into(),
+        };
+        for value in [EngineProfile::default(), profile] {
+            let response = Ok(EngineResponse::Profile(Box::new(value.clone())));
+            let bytes = encode_response(&response);
+            match decode_response(&bytes).expect("decodes") {
+                Ok(EngineResponse::Profile(decoded)) => assert_eq!(*decoded, value),
+                other => panic!("decoded {other:?}"),
+            }
+            assert_eq!(encode_response(&response), bytes, "canonical re-encode");
+        }
+    }
+
+    #[test]
+    fn profile_phase_indices_reject_unknown_phases() {
+        // A Profile response whose phase index is past `Phase::ALL` must be
+        // rejected as a bad tag, not mapped to some arbitrary phase.
+        let mut w = Writer::new();
+        w.u8(14); // Profile response tag
+        w.len(0); // no ledger entries
+        w.u64(0); // dropped
+        w.len(1); // one phase aggregate
+        w.u8(200); // phase index far outside Phase::ALL
+        w.u64(1);
+        w.u64(1);
+        w.u64(1);
+        w.len(0); // no waterfalls
+        w.str(""); // collapsed
+        assert!(matches!(
+            decode_response(&w.buf),
+            Err(CodecError::BadTag { what: "phase", .. })
+        ));
     }
 
     #[test]

@@ -65,6 +65,7 @@ use crate::cache::FactorCache;
 use crate::fingerprint::instance_fingerprint;
 use crate::policy::{LpStart, PolicyInputs, ResolveKind, ResolvePolicy};
 use crate::pool::WorkerPool;
+use crate::profile::{EngineProfile, SolveLedger};
 use crate::scheduler::coalesce;
 use crate::session::{Served, SessionExport, SessionState};
 use crate::stats::{EngineStats, StatsSnapshot};
@@ -111,6 +112,12 @@ pub struct EngineConfig {
     /// handled [`EngineRequest::Flush`], the driver's deterministic tick).
     /// `0` disables sampling entirely. Like `obs`, strictly read-side.
     pub telemetry_capacity: usize,
+    /// Capacity of the per-template cost-attribution ledger: how many
+    /// distinct template fingerprints [`crate::profile::SolveLedger`]
+    /// attributes solves to (`0` disables the ledger). Folded serially in
+    /// session order, so its counts are deterministic; like `obs`, strictly
+    /// read-side.
+    pub profile_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -127,6 +134,7 @@ impl Default for EngineConfig {
             max_idle_iterations: 10_000,
             obs: ObsConfig::default(),
             telemetry_capacity: 1024,
+            profile_capacity: 128,
         }
     }
 }
@@ -161,6 +169,13 @@ struct SolveOutcome {
     /// Factors the solve used, persisted back onto the session.
     factors: Arc<UtilityFactors>,
     factor_fingerprint: u64,
+    /// The session's base-instance (template) fingerprint — the ledger's
+    /// attribution key.
+    base_fingerprint: u64,
+    /// Whether the factors came from a reuse layer (vs. computed cold).
+    warm_served: bool,
+    /// Whole-solve wall time (factor resolution through rounding).
+    solve_nanos: u64,
 }
 
 /// Caches owned by one shard. Only the shard's own pipeline job touches them
@@ -198,6 +213,13 @@ pub struct Engine {
     /// Ticks elapsed since construction or the last stats reset (the
     /// sample timestamps; monotone within the ring).
     ticks: u64,
+    /// The per-template cost-attribution ledger, folded serially in the
+    /// batch apply loop (disabled at `profile_capacity: 0`).
+    ledger: SolveLedger,
+    /// Per shard: when the shard's *oldest* currently-pending event was
+    /// enqueued (`None` = no pending events since the last dispatch).
+    /// Feeds the queue-wait histogram and `Phase::QueueWait` spans.
+    queue_since: Vec<Option<Instant>>,
 }
 
 impl Engine {
@@ -219,6 +241,7 @@ impl Engine {
             .collect();
         let tracer = Tracer::new(config.obs);
         let telemetry = TelemetryRing::new(config.telemetry_capacity);
+        let ledger = SolveLedger::new(config.profile_capacity);
         Engine {
             config,
             sessions: BTreeMap::new(),
@@ -231,6 +254,9 @@ impl Engine {
             pending_total: 0,
             telemetry,
             ticks: 0,
+            ledger,
+            // lint: allow(prealloc, shard_count is the engine's own resolved shard total, not wire input)
+            queue_since: vec![None; shard_count],
         }
     }
 
@@ -298,7 +324,26 @@ impl Engine {
             drop(shard.lock().expect("shard poisoned"));
         }
         self.refresh_mem_gauges();
-        self.stats.snapshot()
+        let mut snapshot = self.stats.snapshot();
+        snapshot.profile = self.ledger.entries();
+        snapshot.profile_dropped = self.ledger.dropped();
+        snapshot
+    }
+
+    /// The engine's full profile: the per-template ledger plus the critical
+    /// path assembled from the flight recorder (the in-process answer to
+    /// [`EngineRequest::QueryProfile`]). The span-derived sections are empty
+    /// when tracing is off; the ledger sections are empty at
+    /// `profile_capacity: 0`.
+    pub fn profile(&self) -> EngineProfile {
+        let spans = self.spans();
+        EngineProfile {
+            entries: self.ledger.entries(),
+            dropped: self.ledger.dropped(),
+            phases: svgic_obs::aggregate_phases(&spans),
+            waterfalls: svgic_obs::assemble_waterfalls(&spans),
+            collapsed: svgic_obs::collapsed_stacks(&spans),
+        }
     }
 
     /// Recomputes the session/pending/served byte gauges from the live
@@ -325,6 +370,7 @@ impl Engine {
         self.stats.reset();
         self.telemetry.clear();
         self.ticks = 0;
+        self.ledger.clear();
     }
 
     /// The telemetry ring's samples, oldest first (empty when
@@ -404,6 +450,7 @@ impl Engine {
             EngineRequest::Describe => Ok(EngineResponse::Description(self.describe())),
             EngineRequest::QueryMetrics => Ok(EngineResponse::Metrics(self.stats().metrics())),
             EngineRequest::QueryTelemetry => Ok(EngineResponse::Telemetry(self.telemetry())),
+            EngineRequest::QueryProfile => Ok(EngineResponse::Profile(Box::new(self.profile()))),
         }
     }
 
@@ -512,6 +559,10 @@ impl Engine {
         state.pending.push(event);
         self.pending_total += 1;
         let shard = self.shard_of(session.0);
+        if self.queue_since[shard].is_none() {
+            // lint: allow(wall-clock, queue-wait telemetry only; solve results never read it)
+            self.queue_since[shard] = Some(Instant::now());
+        }
         self.stats.shard_queue_add(shard, 1);
         // lint: allow(relaxed-store, independent monotonic counter; nothing else is published with it)
         self.stats
@@ -620,6 +671,10 @@ impl Engine {
         let state = SessionState::from_export(SessionId(id), export);
         let shard = self.shard_of(id);
         self.pending_total += state.pending.len();
+        if !state.pending.is_empty() && self.queue_since[shard].is_none() {
+            // lint: allow(wall-clock, queue-wait telemetry only; solve results never read it)
+            self.queue_since[shard] = Some(Instant::now());
+        }
         self.stats.shard_queue_add(shard, state.pending.len());
         // lint: allow(relaxed-store, independent monotonic counter; nothing else is published with it)
         self.stats
@@ -678,6 +733,8 @@ impl Engine {
         let shard_count = self.shards.len();
         let mut buckets: BTreeMap<usize, Vec<SolvePlan>> = BTreeMap::new();
         let mut planned = 0usize;
+        let mut drained_shards: std::collections::BTreeSet<usize> =
+            std::collections::BTreeSet::new();
 
         let t_coalesce = self.tracer.begin();
         for &id in ids {
@@ -686,6 +743,9 @@ impl Engine {
             };
             let batch = coalesce(&state.present, &state.catalog, state.lambda, &state.pending);
             let needs_initial = state.served.is_none() && state.generation == 0;
+            if !state.pending.is_empty() {
+                drained_shards.insert(shard_index(id, shard_count));
+            }
             self.pending_total = self.pending_total.saturating_sub(state.pending.len());
             self.stats
                 .shard_queue_sub(shard_index(id, shard_count), state.pending.len());
@@ -753,6 +813,19 @@ impl Engine {
             SpanRecord::NO_SHARD,
         );
 
+        // Queue-wait bookkeeping: a shard whose pending events were drained
+        // stops waiting now. Shards that also dispatch a job below record
+        // the oldest event's enqueue→pickup wait; shards whose events
+        // coalesced to nothing just clear (no dispatch to attribute to).
+        let mut queue_waits: BTreeMap<usize, Instant> = BTreeMap::new();
+        for &shard in &drained_shards {
+            if let Some(enqueued_at) = self.queue_since[shard].take() {
+                if buckets.contains_key(&shard) {
+                    queue_waits.insert(shard, enqueued_at);
+                }
+            }
+        }
+
         if planned == 0 {
             return;
         }
@@ -768,6 +841,7 @@ impl Engine {
             let shard_state = Arc::clone(&self.shards[shard]);
             let stats = Arc::clone(&self.stats);
             let tracer = self.tracer.clone();
+            let enqueued_at = queue_waits.get(&shard).copied();
             stats.record_shard_dispatch(shard, plans.len() as u64);
             let options = RelaxationOptions {
                 backend: self.config.backend,
@@ -780,6 +854,18 @@ impl Engine {
                 Box::new(move || {
                     // lint: allow(wall-clock, worker busy-clock telemetry only; solve results never read it)
                     let busy_started = Instant::now();
+                    // Queueing ends where service begins: the shard's oldest
+                    // pending event waited from enqueue to this pickup.
+                    if let Some(enqueued_at) = enqueued_at {
+                        stats.record_queue_wait(enqueued_at.elapsed().as_nanos() as u64);
+                        tracer.finish(
+                            tracer.is_enabled().then_some(enqueued_at),
+                            Phase::QueueWait,
+                            0,
+                            0,
+                            shard as u32,
+                        );
+                    }
                     let t_dispatch = tracer.begin();
                     // lint: allow(no-panic, a poisoned shard lock means a worker panicked mid-batch; engine state is unrecoverable)
                     let mut state = shard_state.lock().expect("shard poisoned");
@@ -836,6 +922,14 @@ impl Engine {
             if outcome.tight {
                 self.stats.record_gap(outcome.utility, outcome.lp_bound);
             }
+            // Ledger fold: serial, in session order — attribution counts are
+            // deterministic; the nanos are wall-clock telemetry only.
+            self.ledger.record(
+                outcome.base_fingerprint,
+                outcome.factor_fingerprint,
+                outcome.warm_served,
+                outcome.solve_nanos,
+            );
             state.last_factors = Some(Arc::clone(&outcome.factors));
             state.last_factor_fingerprint = Some(outcome.factor_fingerprint);
             state.served = Some(Served {
@@ -993,7 +1087,8 @@ fn run_shard_plans(
             round_with_factors(&restricted, effective, None, sampling, max_idle, &mut rng);
         tracer.finish(t_round, Phase::Round, 0, plan.session, shard_lane);
         let utility = total_utility(&restricted, &configuration);
-        stats.record_solve_class(solve_started.elapsed().as_nanos() as u64, warm_served);
+        let solve_nanos = solve_started.elapsed().as_nanos() as u64;
+        stats.record_solve_class(solve_nanos, warm_served);
         let outcome = SolveOutcome {
             session: plan.session,
             kind: plan.kind,
@@ -1006,6 +1101,9 @@ fn run_shard_plans(
             round_nanos: started.elapsed().as_nanos() as u64,
             factors,
             factor_fingerprint,
+            base_fingerprint: plan.base_fingerprint,
+            warm_served,
+            solve_nanos,
         };
         let _ = tx.send(outcome);
     }

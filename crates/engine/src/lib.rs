@@ -35,6 +35,9 @@
 //!   busy shard against shard-owned caches;
 //! * [`stats`] — engine counters: requests, cache hit rate, solve latencies,
 //!   utility-vs-LP-bound gap;
+//! * [`profile`] — the per-template cost-attribution [`SolveLedger`]
+//!   (warm/cold solve accounting with miss causes) and the
+//!   [`EngineProfile`] served by the `QueryProfile` wire request;
 //! * [`transport`] — the [`EngineTransport`] trait the load drivers and the
 //!   cluster router program against, implemented by [`Engine`] (a function
 //!   call) and by `svgic-net`'s TCP client (a wire round trip);
@@ -76,6 +79,7 @@ pub mod fingerprint;
 pub mod mem;
 pub mod policy;
 pub mod pool;
+pub mod profile;
 pub mod scheduler;
 pub mod session;
 pub mod stats;
@@ -91,6 +95,7 @@ pub use codec::{decode_request, decode_response, encode_request, encode_response
 pub use engine::{Engine, EngineConfig};
 pub use mem::{events_bytes, factors_bytes, instance_bytes, session_footprint, SessionFootprint};
 pub use policy::{LpStart, PolicyInputs, ResolveDecision, ResolveKind, ResolvePolicy};
+pub use profile::{EngineProfile, ProfileEntry, SolveLedger};
 pub use session::{Served, SessionExport};
 pub use stats::{EngineStats, ShardSnapshot, StatsSnapshot, DEFAULT_SLO};
 pub use transport::EngineTransport;
@@ -98,8 +103,8 @@ pub use warm::{solve_factors_warm, CacheMode, WarmOutcome};
 // Observability types callers meet through `EngineConfig::obs` and
 // `Engine::tracer()`, re-exported so embedders need not name `svgic-obs`.
 pub use svgic_obs::{
-    Health, HealthPolicy, MemoryFootprint, ObsConfig, Phase, SloObjective, SpanRecord,
-    TelemetryRing, TelemetrySample, Tracer,
+    Health, HealthPolicy, MemoryFootprint, ObsConfig, Phase, PhaseAggregate, RequestWaterfall,
+    SloObjective, SpanRecord, TelemetryRing, TelemetrySample, Tracer, WaterfallSpan,
 };
 
 /// The most common engine imports in one place.
@@ -110,6 +115,7 @@ pub mod prelude {
     };
     pub use crate::engine::{Engine, EngineConfig};
     pub use crate::policy::{LpStart, ResolveKind, ResolvePolicy};
+    pub use crate::profile::{EngineProfile, ProfileEntry};
     pub use crate::stats::StatsSnapshot;
     pub use crate::transport::EngineTransport;
 }

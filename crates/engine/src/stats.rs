@@ -121,6 +121,10 @@ pub struct EngineStats {
     pub cold_solve_latency: AtomicHistogram,
     /// Per-rounding-job latency distribution (one sample per solve).
     pub round_latency: AtomicHistogram,
+    /// Queue-wait distribution: one sample per shard pipeline job with
+    /// pending events, measuring how long the shard's oldest enqueued event
+    /// waited between submit and the job starting.
+    pub queue_wait_latency: AtomicHistogram,
     /// Bytes held by live session state — instances (full + diverged base)
     /// and warm factors (gauge, refreshed by `Engine::stats`).
     pub mem_session_bytes: AtomicU64,
@@ -260,6 +264,13 @@ impl EngineStats {
         }
     }
 
+    /// Records how long a shard's oldest pending event waited between submit
+    /// and its shard pipeline job starting (one sample per dispatched shard
+    /// job that had pending events).
+    pub fn record_queue_wait(&self, nanos: u64) {
+        self.queue_wait_latency.record_nanos(nanos);
+    }
+
     /// Records a utility-vs-bound gap sample (tight bounds only).
     pub fn record_gap(&self, utility: f64, bound: f64) {
         if bound > 0.0 && utility.is_finite() {
@@ -289,6 +300,7 @@ impl EngineStats {
         self.warm_solve_latency.reset();
         self.cold_solve_latency.reset();
         self.round_latency.reset();
+        self.queue_wait_latency.reset();
         clear(&self.requests);
         clear(&self.sessions_created);
         clear(&self.sessions_closed);
@@ -365,6 +377,9 @@ impl EngineStats {
             warm_solve_latency: self.warm_solve_latency.snapshot(),
             cold_solve_latency: self.cold_solve_latency.snapshot(),
             round_latency: self.round_latency.snapshot(),
+            queue_wait_latency: self.queue_wait_latency.snapshot(),
+            profile: Vec::new(),
+            profile_dropped: 0,
             mem_session_bytes: load(&self.mem_session_bytes),
             mem_pending_bytes: load(&self.mem_pending_bytes),
             mem_served_bytes: load(&self.mem_served_bytes),
@@ -452,6 +467,17 @@ pub struct StatsSnapshot {
     pub cold_solve_latency: HistogramSnapshot,
     /// Per-rounding-job latency distribution.
     pub round_latency: HistogramSnapshot,
+    /// Queue-wait distribution (oldest pending event's submit→dispatch wait,
+    /// one sample per dispatched shard job with pending events).
+    pub queue_wait_latency: HistogramSnapshot,
+    /// Per-template solve ledger entries, ascending by template fingerprint
+    /// (populated by `Engine::stats`; empty for a bare `EngineStats`
+    /// snapshot). Counts are deterministic under a fixed seed; nanos are
+    /// wall-clock and never digest-covered.
+    pub profile: Vec<crate::profile::ProfileEntry>,
+    /// Template solves the ledger dropped because its fixed capacity was
+    /// exhausted (attributed to no entry; `0` means full coverage).
+    pub profile_dropped: u64,
     /// Bytes held by live session state (instances + warm factors) right
     /// now (gauge; capacity accounting per `svgic_obs::mem`).
     pub mem_session_bytes: u64,
@@ -521,6 +547,9 @@ impl StatsSnapshot {
         self.warm_solve_latency.merge(&other.warm_solve_latency);
         self.cold_solve_latency.merge(&other.cold_solve_latency);
         self.round_latency.merge(&other.round_latency);
+        self.queue_wait_latency.merge(&other.queue_wait_latency);
+        crate::profile::merge_entries(&mut self.profile, &other.profile);
+        self.profile_dropped += other.profile_dropped;
         self.mem_session_bytes += other.mem_session_bytes;
         self.mem_pending_bytes += other.mem_pending_bytes;
         self.mem_served_bytes += other.mem_served_bytes;
@@ -746,6 +775,7 @@ impl StatsSnapshot {
         registry.latency("warm_solve", &self.warm_solve_latency);
         registry.latency("cold_solve", &self.cold_solve_latency);
         registry.latency("round", &self.round_latency);
+        registry.latency("queue_wait", &self.queue_wait_latency);
         registry.gauge("mean_solve_seconds", self.mean_solve_time().as_secs_f64());
         registry.gauge("max_solve_seconds", self.max_solve_time.as_secs_f64());
         registry.counter("shards", self.shards.len() as u64);
@@ -934,6 +964,7 @@ mod tests {
             stats.record_solve_class(i * 20_000, false);
             stats.record_solve_class(i * 1_000, true);
             stats.record_round(i * 500);
+            stats.record_queue_wait(i * 2_500);
         }
         let snap = stats.snapshot();
         let metrics = snap.metrics();
@@ -944,7 +975,7 @@ mod tests {
                 .unwrap_or_else(|| panic!("metric {name} missing"))
                 .1
         };
-        for base in ["lp", "warm_solve", "cold_solve", "round"] {
+        for base in ["lp", "warm_solve", "cold_solve", "round", "queue_wait"] {
             let (mean, p50, p95, p99) = (
                 get(&format!("mean_{base}_seconds")),
                 get(&format!("p50_{base}_seconds")),
@@ -1139,6 +1170,7 @@ mod tests {
             stats.record_lp_compute(i * 1_000, 0, 1);
             stats.record_round(i * 500);
             stats.record_solve_class(i * 2_000, i % 2 == 0);
+            stats.record_queue_wait(i * 3_000);
         }
         stats.reset();
         let snap = stats.snapshot();
@@ -1146,7 +1178,7 @@ mod tests {
         let metrics = snap.metrics();
         let get = |name: &str| metrics.iter().find(|(n, _)| n == name).unwrap().1;
         assert_eq!(get("shard_imbalance"), 0.0);
-        for base in ["lp", "warm_solve", "cold_solve", "round"] {
+        for base in ["lp", "warm_solve", "cold_solve", "round", "queue_wait"] {
             for prefix in ["mean", "p50", "p95", "p99"] {
                 let name = format!("{prefix}_{base}_seconds");
                 let value = get(&name);

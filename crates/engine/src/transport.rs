@@ -50,6 +50,7 @@ fn mismatch(wanted: &'static str, got: &EngineResponse) -> EngineError {
         EngineResponse::Description(_) => "Description",
         EngineResponse::Metrics(_) => "Metrics",
         EngineResponse::Telemetry(_) => "Telemetry",
+        EngineResponse::Profile(_) => "Profile",
     };
     EngineError::Transport(format!("protocol mismatch: wanted {wanted}, got {got}"))
 }
@@ -187,6 +188,16 @@ pub trait EngineTransport {
             other => Err(mismatch("Telemetry", &other)),
         }
     }
+
+    /// Reads the engine's profile: the per-template solve ledger plus the
+    /// critical-path view assembled from the flight recorder (span sections
+    /// are empty when tracing is off).
+    fn query_profile(&mut self) -> Result<crate::profile::EngineProfile, EngineError> {
+        match self.request(EngineRequest::QueryProfile)? {
+            EngineResponse::Profile(profile) => Ok(*profile),
+            other => Err(mismatch("Profile", &other)),
+        }
+    }
 }
 
 impl EngineTransport for Engine {
@@ -247,6 +258,15 @@ mod tests {
         assert!(
             !telemetry.is_empty(),
             "the default engine samples telemetry on every flush"
+        );
+        let profile = backend.query_profile().expect("profiles");
+        assert!(
+            !profile.entries.is_empty(),
+            "the default engine attributes solves to its template ledger"
+        );
+        assert!(
+            profile.phases.is_empty() && profile.collapsed.is_empty(),
+            "span sections stay empty while tracing is off"
         );
         let stats = backend.stats().expect("stats");
         assert_eq!(stats.sessions_created, 1);

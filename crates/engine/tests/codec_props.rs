@@ -25,7 +25,10 @@ use svgic_core::extensions::DynamicEvent;
 use svgic_core::{Configuration, SvgicInstance, SvgicInstanceBuilder};
 use svgic_engine::codec::{decode_request, decode_response, encode_request, encode_response};
 use svgic_engine::prelude::*;
-use svgic_engine::{Served, SessionExport};
+use svgic_engine::{
+    EngineProfile, Phase, PhaseAggregate, ProfileEntry, RequestWaterfall, Served, SessionExport,
+    SpanRecord, WaterfallSpan,
+};
 use svgic_graph::SocialGraph;
 
 fn random_instance(rng: &mut StdRng) -> SvgicInstance {
@@ -140,7 +143,7 @@ fn random_export(rng: &mut StdRng) -> SessionExport {
 }
 
 fn random_request(rng: &mut StdRng) -> EngineRequest {
-    match rng.gen_range(0..11) {
+    match rng.gen_range(0..14) {
         0 => {
             let instance = random_instance(rng);
             let present: Vec<usize> = (0..instance.num_users())
@@ -161,7 +164,67 @@ fn random_request(rng: &mut StdRng) -> EngineRequest {
         7 => EngineRequest::ResetStats,
         8 => EngineRequest::ExportSession(SessionId(rng.gen())),
         9 => EngineRequest::ImportSession(Box::new(random_export(rng))),
+        10 => EngineRequest::QueryMetrics,
+        11 => EngineRequest::QueryTelemetry,
+        12 => EngineRequest::QueryProfile,
         _ => EngineRequest::Describe,
+    }
+}
+
+/// Any of the thirteen span phases, uniformly.
+fn random_phase(rng: &mut StdRng) -> Phase {
+    Phase::from_index(rng.gen_range(0..Phase::ALL.len()) as u8).expect("index in range")
+}
+
+/// A random profile: ledger entries, phase aggregates, waterfalls and a
+/// collapsed-stack string — the codec does not care that the numbers are
+/// arbitrary, only that they survive the wire bit-exactly.
+fn random_profile(rng: &mut StdRng) -> EngineProfile {
+    EngineProfile {
+        entries: (0..rng.gen_range(0..4))
+            .map(|_| ProfileEntry {
+                template_fingerprint: rng.gen(),
+                warm_solves: rng.gen_range(0..100),
+                cold_solves: rng.gen_range(0..100),
+                warm_nanos: rng.gen(),
+                cold_nanos: rng.gen(),
+                miss_new: rng.gen_range(0..50),
+                miss_evicted: rng.gen_range(0..50),
+                miss_component_changed: rng.gen_range(0..50),
+            })
+            .collect(),
+        dropped: rng.gen_range(0..10),
+        phases: (0..rng.gen_range(0..4))
+            .map(|_| PhaseAggregate {
+                phase: random_phase(rng),
+                count: rng.gen_range(1..1000),
+                total_nanos: rng.gen(),
+                max_nanos: rng.gen(),
+            })
+            .collect(),
+        waterfalls: (0..rng.gen_range(0..3))
+            .map(|_| RequestWaterfall {
+                request_id: rng.gen(),
+                total_nanos: rng.gen(),
+                spans: (0..rng.gen_range(0..4))
+                    .map(|_| WaterfallSpan {
+                        phase: random_phase(rng),
+                        start_nanos: rng.gen(),
+                        duration_nanos: rng.gen(),
+                        shard: if rng.gen::<f64>() < 0.5 {
+                            SpanRecord::NO_SHARD
+                        } else {
+                            rng.gen_range(0..8)
+                        },
+                    })
+                    .collect(),
+            })
+            .collect(),
+        collapsed: if rng.gen::<f64>() < 0.5 {
+            "Serve 100\nServe;ShardDispatch 40\n".to_string()
+        } else {
+            String::new()
+        },
     }
 }
 
@@ -201,7 +264,7 @@ fn random_response(rng: &mut StdRng) -> Result<EngineResponse, EngineError> {
         staleness: 1,
         generation: 4,
     };
-    match rng.gen_range(0..12) {
+    match rng.gen_range(0..13) {
         0 => Ok(EngineResponse::SessionCreated(view())),
         1 => Ok(EngineResponse::EventAccepted {
             session: SessionId(rng.gen()),
@@ -226,6 +289,7 @@ fn random_response(rng: &mut StdRng) -> Result<EngineResponse, EngineError> {
             sessions: rng.gen_range(0..100),
             pending_events: rng.gen_range(0..100),
         })),
+        11 => Ok(EngineResponse::Profile(Box::new(random_profile(rng)))),
         _ => Err(EngineError::InvalidEvent("synthetic".into())),
     }
 }
@@ -275,6 +339,30 @@ proptest! {
         let bytes: Vec<u8> = (0..len).map(|_| rng.gen::<u64>() as u8).collect();
         let _ = decode_request(&bytes);
         let _ = decode_response(&bytes);
+    }
+
+    /// The profile payload specifically: round trip is canonical, and
+    /// corrupting any single byte of the encoding either fails to decode
+    /// (e.g. an out-of-range phase index) or re-encodes to exactly the
+    /// corrupted bytes — garbage never decodes to a "repaired" ledger.
+    #[test]
+    fn profile_roundtrip_is_canonical_and_rejects_garbage(
+        seed in 0u64..1u64 << 48,
+        corrupt in 0usize..1 << 20,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let response = Ok(EngineResponse::Profile(Box::new(random_profile(&mut rng))));
+        let bytes = encode_response(&response);
+        let decoded = decode_response(&bytes);
+        prop_assert!(decoded.is_ok(), "decode failed: {:?}", decoded.err());
+        prop_assert_eq!(encode_response(&decoded.unwrap()), bytes);
+
+        let mut corrupted = bytes.clone();
+        let at = corrupt % corrupted.len();
+        corrupted[at] = corrupted[at].wrapping_add(1 + (corrupt >> 8) as u8 % 255);
+        if let Ok(redecoded) = decode_response(&corrupted) {
+            prop_assert_eq!(encode_response(&redecoded), corrupted);
+        }
     }
 
     /// A single flipped bit either fails to decode or decodes to a value

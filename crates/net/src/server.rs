@@ -35,9 +35,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use svgic_engine::codec::{decode_request, encode_response};
-use svgic_engine::{Engine, EngineError, EngineRequest};
+use svgic_engine::{Engine, EngineError, EngineRequest, Phase, SpanRecord, Tracer};
 
 use crate::frame::{read_frame, write_frame, Frame, FrameKind};
 
@@ -48,6 +49,11 @@ enum Job {
         request_id: u64,
         request: EngineRequest,
         reply: Sender<Frame>,
+        /// When the reader finished decoding the frame (tracing only, `None`
+        /// while tracing is off). The engine thread closes this into a
+        /// [`Phase::WireWait`] span at pickup: the time a decoded request
+        /// spent queued behind other connections' work.
+        decoded_at: Option<Instant>,
     },
     /// Stop the engine thread (sent when a client requests shutdown).
     Shutdown,
@@ -75,31 +81,48 @@ impl NetServer {
         let addr = listener.local_addr()?;
         let (job_tx, job_rx) = channel::<Job>();
         let stopping = Arc::new(AtomicBool::new(false));
+        // The readers need the tracer to stamp decode times, but the engine
+        // itself moves into its thread — clone the (Arc-backed) handle first.
+        let tracer = engine.tracer().clone();
 
-        let engine_thread = std::thread::spawn(move || {
-            let mut engine = engine;
-            while let Ok(job) = job_rx.recv() {
-                match job {
-                    Job::Request {
-                        request_id,
-                        request,
-                        reply,
-                    } => {
-                        // Serve under the frame's request id so the engine's
-                        // Serve span (and everything inside it) correlates
-                        // with the id the client chose and will see echoed.
-                        let result = engine.handle_traced(request_id, request);
-                        // A dead connection just drops its responses.
-                        let _ = reply.send(Frame {
-                            kind: FrameKind::Response,
+        let engine_thread = {
+            let tracer = tracer.clone();
+            std::thread::spawn(move || {
+                let mut engine = engine;
+                while let Ok(job) = job_rx.recv() {
+                    match job {
+                        Job::Request {
                             request_id,
-                            payload: encode_response(&result),
-                        });
+                            request,
+                            reply,
+                            decoded_at,
+                        } => {
+                            // Close the wire-wait span: decode done → engine
+                            // pickup, the queueing delay the mpsc hop added.
+                            tracer.finish(
+                                decoded_at,
+                                Phase::WireWait,
+                                request_id,
+                                0,
+                                SpanRecord::NO_SHARD,
+                            );
+                            // Serve under the frame's request id so the
+                            // engine's Serve span (and everything inside it)
+                            // correlates with the id the client chose and
+                            // will see echoed.
+                            let result = engine.handle_traced(request_id, request);
+                            // A dead connection just drops its responses.
+                            let _ = reply.send(Frame {
+                                kind: FrameKind::Response,
+                                request_id,
+                                payload: encode_response(&result),
+                            });
+                        }
+                        Job::Shutdown => break,
                     }
-                    Job::Shutdown => break,
                 }
-            }
-        });
+            })
+        };
 
         let acceptor = {
             let stopping = Arc::clone(&stopping);
@@ -111,7 +134,10 @@ impl NetServer {
                     let Ok(stream) = stream else { continue };
                     let job_tx = job_tx.clone();
                     let stopping = Arc::clone(&stopping);
-                    std::thread::spawn(move || serve_connection(stream, addr, job_tx, stopping));
+                    let tracer = tracer.clone();
+                    std::thread::spawn(move || {
+                        serve_connection(stream, addr, job_tx, stopping, tracer)
+                    });
                 }
             })
         };
@@ -143,6 +169,7 @@ fn serve_connection(
     server_addr: SocketAddr,
     job_tx: Sender<Job>,
     stopping: Arc<AtomicBool>,
+    tracer: Tracer,
 ) {
     let _ = stream.set_nodelay(true);
     let Ok(write_half) = stream.try_clone() else {
@@ -171,6 +198,7 @@ fn serve_connection(
                             request_id: frame.request_id,
                             request,
                             reply: conn_tx.clone(),
+                            decoded_at: tracer.begin(),
                         })
                         .is_err()
                     {

@@ -21,6 +21,10 @@
 //!   sibling [`AtomicHistogram`] for concurrent recording inside engine
 //!   stats, and the compact mergeable [`HistogramSnapshot`] that crosses the
 //!   wire;
+//! * [`profile`] — critical-path assembly over recorded spans: per-phase
+//!   aggregates ([`aggregate_phases`]), top-K-slowest request waterfalls
+//!   ([`assemble_waterfalls`]) and the flamegraph-compatible collapsed-stack
+//!   export ([`collapsed_stacks`]) behind `loadgen profile`;
 //! * [`registry`] — the [`MetricsRegistry`] builder that renders counters,
 //!   gauges and histograms into the ordered name/value list served by
 //!   `StatsSnapshot::metrics()` and the `QueryMetrics` wire request;
@@ -61,6 +65,7 @@ pub mod chrome;
 pub mod histogram;
 pub mod mem;
 pub mod phase;
+pub mod profile;
 pub mod registry;
 pub mod slo;
 pub mod telemetry;
@@ -70,6 +75,10 @@ pub use chrome::{chrome_trace_json, chrome_trace_json_with_counters};
 pub use histogram::{AtomicHistogram, HistogramSnapshot, LatencyHistogram};
 pub use mem::MemoryFootprint;
 pub use phase::Phase;
+pub use profile::{
+    aggregate_phases, assemble_waterfalls, collapsed_stacks, PhaseAggregate, RequestWaterfall,
+    WaterfallSpan, WATERFALL_TOP_K,
+};
 pub use registry::MetricsRegistry;
 pub use slo::{Health, HealthPolicy, SloObjective};
 pub use telemetry::{TelemetryRing, TelemetrySample};

@@ -18,6 +18,12 @@
 /// rounding). [`Phase::Migrate`] covers session export/import, and
 /// [`Phase::WireEncode`] / [`Phase::WireDecode`] the codec work on either
 /// side of a TCP frame.
+///
+/// Two wait-state phases decompose request lifetime into queueing vs.
+/// service: [`Phase::QueueWait`] measures how long a shard's oldest pending
+/// event sat enqueued before its shard pipeline job picked it up, and
+/// [`Phase::WireWait`] measures the server-side gap between a frame being
+/// decoded off the socket and the engine thread picking the request up.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Phase {
     /// Event admission into a session's pending queue.
@@ -42,11 +48,18 @@ pub enum Phase {
     WireEncode,
     /// Decoding a request/response payload from the wire.
     WireDecode,
+    /// Wait of a shard's oldest enqueued event between submit and its shard
+    /// pipeline job starting (queueing, not service).
+    QueueWait,
+    /// Server-side wait between a frame being decoded and the engine thread
+    /// picking the request up (queueing, not service).
+    WireWait,
 }
 
 impl Phase {
-    /// Every phase, in pipeline order.
-    pub const ALL: [Phase; 11] = [
+    /// Every phase, in pipeline order (append-only — wire payloads encode a
+    /// phase as its index in this array).
+    pub const ALL: [Phase; 13] = [
         Phase::Submit,
         Phase::Coalesce,
         Phase::ShardDispatch,
@@ -58,6 +71,8 @@ impl Phase {
         Phase::Migrate,
         Phase::WireEncode,
         Phase::WireDecode,
+        Phase::QueueWait,
+        Phase::WireWait,
     ];
 
     /// The stable name used in trace exports and docs.
@@ -74,7 +89,22 @@ impl Phase {
             Phase::Migrate => "Migrate",
             Phase::WireEncode => "WireEncode",
             Phase::WireDecode => "WireDecode",
+            Phase::QueueWait => "QueueWait",
+            Phase::WireWait => "WireWait",
         }
+    }
+
+    /// The wire index of this phase: its position in [`Phase::ALL`].
+    pub fn index(self) -> u8 {
+        Phase::ALL
+            .iter()
+            .position(|&p| p == self)
+            .expect("every phase is in ALL") as u8
+    }
+
+    /// The phase with wire index `index`, if in range.
+    pub fn from_index(index: u8) -> Option<Phase> {
+        Phase::ALL.get(index as usize).copied()
     }
 }
 
@@ -95,5 +125,19 @@ mod tests {
         for phase in Phase::ALL {
             assert_eq!(format!("{phase}"), phase.name());
         }
+    }
+
+    #[test]
+    fn wire_indices_round_trip_and_stay_pinned() {
+        for (i, phase) in Phase::ALL.iter().enumerate() {
+            assert_eq!(phase.index() as usize, i);
+            assert_eq!(Phase::from_index(i as u8), Some(*phase));
+        }
+        assert_eq!(Phase::from_index(Phase::ALL.len() as u8), None);
+        // Appended wait-state phases must never renumber the original eleven.
+        assert_eq!(Phase::Submit.index(), 0);
+        assert_eq!(Phase::WireDecode.index(), 10);
+        assert_eq!(Phase::QueueWait.index(), 11);
+        assert_eq!(Phase::WireWait.index(), 12);
     }
 }

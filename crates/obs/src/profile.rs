@@ -1,0 +1,333 @@
+//! Critical-path assembly: phase aggregates, per-request waterfalls and
+//! collapsed-stack export built from flight-recorder spans.
+//!
+//! Everything here is a pure, deterministic fold over a span slice — same
+//! spans in, same profile out, with `BTreeMap` orderings and explicit
+//! tie-breaks throughout — so a profile assembled on the server and shipped
+//! over the wire equals one assembled locally from the same recorder dump.
+
+use std::collections::BTreeMap;
+
+use crate::phase::Phase;
+use crate::tracer::SpanRecord;
+
+/// How many slowest requests a profile keeps full waterfalls for.
+pub const WATERFALL_TOP_K: usize = 8;
+
+/// Aggregate time spent in one phase across every span that named it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseAggregate {
+    /// The phase being aggregated.
+    pub phase: Phase,
+    /// Spans recorded for this phase.
+    pub count: u64,
+    /// Sum of span durations, in nanoseconds.
+    pub total_nanos: u64,
+    /// Longest single span, in nanoseconds.
+    pub max_nanos: u64,
+}
+
+/// One span inside a reconstructed request waterfall, with its start made
+/// relative to the request's first span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WaterfallSpan {
+    /// The pipeline stage the span covers.
+    pub phase: Phase,
+    /// Nanoseconds after the request's first span start.
+    pub start_nanos: u64,
+    /// Span duration in nanoseconds.
+    pub duration_nanos: u64,
+    /// Shard index, or `u32::MAX` when no shard applies.
+    pub shard: u32,
+}
+
+/// The reconstructed critical path of one request: every span that carried
+/// its request id, in start order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RequestWaterfall {
+    /// The request id the spans share.
+    pub request_id: u64,
+    /// Wall span of the request: last span end minus first span start.
+    pub total_nanos: u64,
+    /// The request's spans in `(start, duration, phase)` order, starts
+    /// relative to the first span.
+    pub spans: Vec<WaterfallSpan>,
+}
+
+/// Aggregates `spans` per phase, returned in [`Phase::ALL`] pipeline order
+/// with phases that recorded nothing omitted.
+pub fn aggregate_phases(spans: &[SpanRecord]) -> Vec<PhaseAggregate> {
+    let mut by_phase: BTreeMap<u8, PhaseAggregate> = BTreeMap::new();
+    for span in spans {
+        let entry = by_phase
+            .entry(span.phase.index())
+            .or_insert_with(|| PhaseAggregate {
+                phase: span.phase,
+                count: 0,
+                total_nanos: 0,
+                max_nanos: 0,
+            });
+        entry.count += 1;
+        entry.total_nanos += span.duration_nanos;
+        entry.max_nanos = entry.max_nanos.max(span.duration_nanos);
+    }
+    by_phase.into_values().collect()
+}
+
+/// Reconstructs per-request waterfalls from `spans` and keeps the
+/// [`WATERFALL_TOP_K`] slowest, ordered slowest-first with ascending request
+/// id as the tie-break. Spans with request id `0` (no request attribution —
+/// e.g. queue-wait spans, which straddle requests) are skipped.
+pub fn assemble_waterfalls(spans: &[SpanRecord]) -> Vec<RequestWaterfall> {
+    let mut by_request: BTreeMap<u64, Vec<&SpanRecord>> = BTreeMap::new();
+    for span in spans {
+        if span.request_id != 0 {
+            by_request.entry(span.request_id).or_default().push(span);
+        }
+    }
+    let mut waterfalls: Vec<RequestWaterfall> = by_request
+        .into_iter()
+        .map(|(request_id, mut request_spans)| {
+            request_spans.sort_by_key(|s| (s.start_nanos, s.duration_nanos, s.phase.index()));
+            let first = request_spans[0].start_nanos;
+            let end = request_spans
+                .iter()
+                .map(|s| s.start_nanos + s.duration_nanos)
+                .max()
+                .unwrap_or(first);
+            RequestWaterfall {
+                request_id,
+                total_nanos: end - first,
+                spans: request_spans
+                    .iter()
+                    .map(|s| WaterfallSpan {
+                        phase: s.phase,
+                        start_nanos: s.start_nanos - first,
+                        duration_nanos: s.duration_nanos,
+                        shard: s.shard,
+                    })
+                    .collect(),
+            }
+        })
+        .collect();
+    waterfalls.sort_by(|a, b| {
+        b.total_nanos
+            .cmp(&a.total_nanos)
+            .then(a.request_id.cmp(&b.request_id))
+    });
+    waterfalls.truncate(WATERFALL_TOP_K);
+    waterfalls
+}
+
+/// The stack path of `phase` in the collapsed-stack export, innermost frame
+/// last. `Serve` wraps the engine-side phases and `ShardDispatch` wraps the
+/// per-solve phases; wait states and the wire codec are roots of their own
+/// (they happen outside the engine's service time).
+fn stack_path(phase: Phase) -> &'static [Phase] {
+    match phase {
+        Phase::Submit => &[Phase::Serve, Phase::Submit],
+        Phase::Coalesce => &[Phase::Serve, Phase::Coalesce],
+        Phase::Migrate => &[Phase::Serve, Phase::Migrate],
+        Phase::ShardDispatch => &[Phase::Serve, Phase::ShardDispatch],
+        Phase::LpWarm => &[Phase::Serve, Phase::ShardDispatch, Phase::LpWarm],
+        Phase::LpCold => &[Phase::Serve, Phase::ShardDispatch, Phase::LpCold],
+        Phase::Project => &[Phase::Serve, Phase::ShardDispatch, Phase::Project],
+        Phase::Round => &[Phase::Serve, Phase::ShardDispatch, Phase::Round],
+        Phase::Serve => &[Phase::Serve],
+        Phase::WireEncode => &[Phase::WireEncode],
+        Phase::WireDecode => &[Phase::WireDecode],
+        Phase::QueueWait => &[Phase::QueueWait],
+        Phase::WireWait => &[Phase::WireWait],
+    }
+}
+
+/// Renders `spans` as collapsed stacks — one `frame;frame;... nanos` line
+/// per stack, the format `flamegraph.pl` and Perfetto's "import folded"
+/// accept, with nanoseconds as the sample weight.
+///
+/// Wrapper phases (`Serve`, `ShardDispatch`) report **self time**: their
+/// aggregate minus the aggregate of the phases nested under them, clamped at
+/// zero (concurrency can make nested shard time exceed the serial serve
+/// wall). Lines appear in stack-path lexicographic order; phases with zero
+/// self time after clamping are omitted.
+pub fn collapsed_stacks(spans: &[SpanRecord]) -> String {
+    let aggregates = aggregate_phases(spans);
+    let total = |phase: Phase| {
+        aggregates
+            .iter()
+            .find(|a| a.phase == phase)
+            .map(|a| a.total_nanos)
+            .unwrap_or(0)
+    };
+    let nested_in = |parent: Phase| {
+        Phase::ALL
+            .iter()
+            .filter(|&&p| {
+                p != parent && {
+                    let path = stack_path(p);
+                    path.len() >= 2 && path[path.len() - 2] == parent
+                }
+            })
+            .map(|&p| total(p))
+            .sum::<u64>()
+    };
+    let mut lines: Vec<(String, u64)> = Vec::new();
+    for aggregate in &aggregates {
+        let phase = aggregate.phase;
+        let weight = match phase {
+            Phase::Serve | Phase::ShardDispatch => {
+                aggregate.total_nanos.saturating_sub(nested_in(phase))
+            }
+            _ => aggregate.total_nanos,
+        };
+        if weight == 0 {
+            continue;
+        }
+        let path: Vec<&str> = stack_path(phase).iter().map(|p| p.name()).collect();
+        lines.push((path.join(";"), weight));
+    }
+    lines.sort();
+    let mut out = String::new();
+    for (path, weight) in lines {
+        out.push_str(&path);
+        out.push(' ');
+        out.push_str(&weight.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    const NO_SHARD: u32 = crate::tracer::SpanRecord::NO_SHARD;
+
+    fn span(
+        request_id: u64,
+        phase: Phase,
+        shard: u32,
+        start_nanos: u64,
+        duration_nanos: u64,
+    ) -> SpanRecord {
+        SpanRecord {
+            request_id,
+            session: 1,
+            phase,
+            shard,
+            node: 0,
+            start_nanos,
+            duration_nanos,
+        }
+    }
+
+    #[test]
+    fn aggregates_fold_counts_totals_and_maxima_in_pipeline_order() {
+        let spans = vec![
+            span(1, Phase::Round, 0, 10, 5),
+            span(2, Phase::Round, 1, 20, 9),
+            span(1, Phase::Submit, NO_SHARD, 0, 2),
+        ];
+        let aggregates = aggregate_phases(&spans);
+        assert_eq!(aggregates.len(), 2);
+        assert_eq!(aggregates[0].phase, Phase::Submit, "pipeline order");
+        assert_eq!(aggregates[1].phase, Phase::Round);
+        assert_eq!(aggregates[1].count, 2);
+        assert_eq!(aggregates[1].total_nanos, 14);
+        assert_eq!(aggregates[1].max_nanos, 9);
+    }
+
+    #[test]
+    fn waterfalls_keep_the_top_k_slowest_with_relative_starts() {
+        let mut spans = Vec::new();
+        // 20 requests, request i spans [100*i, 100*i + 10 + i).
+        for i in 1..=20u64 {
+            spans.push(span(i, Phase::Serve, NO_SHARD, 100 * i, 10 + i));
+            spans.push(span(i, Phase::Round, 0, 100 * i + 2, 3));
+        }
+        // Unattributed span: never becomes a waterfall.
+        spans.push(span(0, Phase::QueueWait, 0, 0, 999_999));
+        let waterfalls = assemble_waterfalls(&spans);
+        assert_eq!(waterfalls.len(), WATERFALL_TOP_K);
+        assert_eq!(waterfalls[0].request_id, 20, "slowest first");
+        assert_eq!(waterfalls[0].total_nanos, 30);
+        assert!(waterfalls
+            .windows(2)
+            .all(|w| w[0].total_nanos >= w[1].total_nanos));
+        let spans = &waterfalls[0].spans;
+        assert_eq!(spans[0].start_nanos, 0, "starts are relative");
+        assert_eq!(spans[1].start_nanos, 2);
+    }
+
+    #[test]
+    fn waterfall_ties_break_by_ascending_request_id() {
+        let spans: Vec<SpanRecord> = (1..=12u64)
+            .map(|i| span(i, Phase::Serve, NO_SHARD, 50 * i, 7))
+            .collect();
+        let waterfalls = assemble_waterfalls(&spans);
+        let ids: Vec<u64> = waterfalls.iter().map(|w| w.request_id).collect();
+        assert_eq!(ids, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn collapsed_stacks_report_wrapper_self_time_and_parse_as_folded() {
+        let spans = vec![
+            span(1, Phase::Serve, NO_SHARD, 0, 100),
+            span(1, Phase::Submit, NO_SHARD, 1, 10),
+            span(1, Phase::ShardDispatch, 0, 20, 60),
+            span(1, Phase::LpCold, 0, 25, 30),
+            span(1, Phase::Round, 0, 60, 15),
+            span(0, Phase::QueueWait, 0, 0, 40),
+        ];
+        let folded = collapsed_stacks(&spans);
+        let lines: Vec<&str> = folded.lines().collect();
+        // Every line is `frame(;frame)* weight` with a positive weight.
+        for line in &lines {
+            let (path, weight) = line.rsplit_once(' ').expect("weight separator");
+            assert!(!path.is_empty() && !path.starts_with(';') && !path.ends_with(';'));
+            assert!(weight.parse::<u64>().expect("numeric weight") > 0);
+        }
+        let weight_of = |path: &str| {
+            lines
+                .iter()
+                .find(|l| l.starts_with(path) && l.as_bytes()[path.len()] == b' ')
+                .map(|l| l.rsplit_once(' ').unwrap().1.parse::<u64>().unwrap())
+        };
+        // Serve self = 100 - (10 submit + 60 dispatch); dispatch self =
+        // 60 - (30 lp + 15 round).
+        assert_eq!(weight_of("Serve"), Some(30));
+        assert_eq!(weight_of("Serve;ShardDispatch"), Some(15));
+        assert_eq!(weight_of("Serve;ShardDispatch;LpCold"), Some(30));
+        assert_eq!(weight_of("QueueWait"), Some(40));
+        // Total folded weight equals total span time (self-time is a
+        // partition when nesting is consistent).
+        let folded_total: u64 = lines
+            .iter()
+            .map(|l| l.rsplit_once(' ').unwrap().1.parse::<u64>().unwrap())
+            .sum();
+        let span_roots = 100 + 40; // Serve wall + QueueWait (others nest)
+        assert_eq!(folded_total, span_roots);
+    }
+
+    #[test]
+    fn wrapper_self_time_clamps_at_zero() {
+        // Two shards busy concurrently: nested time exceeds the serve wall.
+        let spans = vec![
+            span(1, Phase::Serve, NO_SHARD, 0, 50),
+            span(1, Phase::ShardDispatch, 0, 5, 40),
+            span(1, Phase::ShardDispatch, 1, 5, 40),
+        ];
+        let folded = collapsed_stacks(&spans);
+        assert!(
+            !folded.contains("Serve \n") && !folded.lines().any(|l| l == "Serve 0"),
+            "clamped zero self-time lines are omitted: {folded:?}"
+        );
+        assert!(folded.contains("Serve;ShardDispatch 80\n"));
+    }
+
+    #[test]
+    fn empty_spans_fold_to_empty_everything() {
+        assert!(aggregate_phases(&[]).is_empty());
+        assert!(assemble_waterfalls(&[]).is_empty());
+        assert_eq!(collapsed_stacks(&[]), "");
+    }
+}

@@ -360,6 +360,55 @@ mod tests {
     }
 
     #[test]
+    fn wrapped_recorder_dumps_spans_start_ordered_across_all_stripes() {
+        // Capacity 64 → 8 slots per stripe; driving 640 spans wraps every
+        // one of the 8 stripes several times over, leaving each ring's
+        // backing buffer physically rotated (write cursor mid-buffer). The
+        // snapshot must still come out globally start-ordered — the sort in
+        // `snapshot` is what callers (waterfall assembly, Chrome export)
+        // rely on, and a regression to "concatenate the stripes raw" would
+        // only show up after a wrap.
+        let recorder = FlightRecorder::new(64);
+        for i in 0..640u64 {
+            recorder.record(span(i));
+        }
+        assert_eq!(recorder.recorded(), 640);
+        let spans = recorder.snapshot();
+        assert_eq!(spans.len(), 64);
+        // The rotor round-robins span i to stripe i % 8 and each stripe
+        // keeps its newest 8, so the retained set is exactly the last 64
+        // spans — and the dump must be them in start order, despite every
+        // stripe's internal rotation.
+        let got: Vec<u64> = spans.iter().map(|s| s.start_nanos).collect();
+        let expected: Vec<u64> = (640 - 64..640).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn snapshot_orders_same_start_spans_by_duration_then_phase() {
+        let recorder = FlightRecorder::new(16);
+        // Same start, descending duration; insertion order must not leak
+        // through — the (start, duration, phase) sort key pins the tie.
+        for duration in [30u64, 10, 20] {
+            recorder.record(SpanRecord {
+                request_id: 1,
+                session: 0,
+                phase: Phase::Round,
+                shard: 0,
+                node: 0,
+                start_nanos: 100,
+                duration_nanos: duration,
+            });
+        }
+        let durations: Vec<u64> = recorder
+            .snapshot()
+            .iter()
+            .map(|s| s.duration_nanos)
+            .collect();
+        assert_eq!(durations, vec![10, 20, 30]);
+    }
+
+    #[test]
     fn concurrent_recording_is_safe_and_counted() {
         let recorder = Arc::new(FlightRecorder::new(1 << 14));
         let handles: Vec<_> = (0..4)

@@ -11,6 +11,8 @@
 //! loadgen --scenario steady-mall --connect 127.0.0.1:7741,127.0.0.1:7742
 //! loadgen metrics --connect 127.0.0.1:7741        # scrape a live server's metrics
 //! loadgen watch --connect 127.0.0.1:7741,127.0.0.1:7742   # live fleet table
+//! loadgen serve --port 7741 --obs                 # serve with the flight recorder on
+//! loadgen profile --connect 127.0.0.1:7741        # ledger + waterfalls + flamegraph
 //! loadgen --scenario churn-heavy --trace-out target/trace.json
 //! loadgen --list-scenarios                        # named scenarios
 //! ```
@@ -42,6 +44,11 @@ fn engine_config(args: &Args) -> svgic_engine::EngineConfig {
         policy: svgic_engine::ResolvePolicy {
             warm_start_lp: !args.cold_lp,
             ..svgic_engine::ResolvePolicy::default()
+        },
+        obs: if args.obs {
+            ObsConfig::enabled()
+        } else {
+            ObsConfig::default()
         },
         ..svgic_engine::EngineConfig::default()
     }
@@ -100,6 +107,160 @@ fn run_metrics(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Formats nanoseconds for the profile report (`1.2µs`, `3.4ms`, `5.6s`).
+fn human_nanos(nanos: u64) -> String {
+    let nanos = nanos as f64;
+    if nanos < 1_000.0 {
+        format!("{nanos:.0}ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.1}µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.1}ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.2}s", nanos / 1_000_000_000.0)
+    }
+}
+
+/// `loadgen profile --connect host:port[,…]`: fetch each node's profile (one
+/// `QueryProfile` frame per node, plus a `QueryStats` frame for the
+/// queue-wait histogram) and print, per node: the per-phase span breakdown,
+/// the queue-wait decomposition, the per-template solve ledger with miss
+/// causes, the top-K-slowest request waterfalls, and a collapsed-stack
+/// (flamegraph folded) export. The span sections need the server to run with
+/// `loadgen serve --obs`; the ledger and queue-wait sections are always on.
+fn run_profile(args: &Args) -> Result<(), String> {
+    use svgic_engine::EngineTransport;
+    let mut out = String::new();
+    for addr in &args.connect {
+        let mut client = NetClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        let profile = client
+            .query_profile()
+            .map_err(|e| format!("query profile from {addr}: {e}"))?;
+        let stats = client
+            .stats()
+            .map_err(|e| format!("query stats from {addr}: {e}"))?;
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&format!("node {addr}\n"));
+
+        let qw = &stats.queue_wait_latency;
+        out.push_str(&format!(
+            "  queue-wait: count {} mean {} p50 {} p99 {} max {}\n",
+            qw.count(),
+            human_nanos(qw.sum_nanos() / qw.count().max(1)),
+            human_nanos(qw.quantile_nanos(0.50)),
+            human_nanos(qw.quantile_nanos(0.99)),
+            human_nanos(qw.max_nanos()),
+        ));
+
+        if profile.phases.is_empty() {
+            out.push_str(
+                "  phases: no spans recorded (serve with `loadgen serve --obs` to trace)\n",
+            );
+        } else {
+            out.push_str("  phases (span aggregates, pipeline order):\n");
+            out.push_str(&format!(
+                "    {:<14} {:>8} {:>10} {:>10} {:>10}\n",
+                "PHASE", "COUNT", "TOTAL", "MEAN", "MAX"
+            ));
+            for agg in &profile.phases {
+                out.push_str(&format!(
+                    "    {:<14} {:>8} {:>10} {:>10} {:>10}\n",
+                    agg.phase.name(),
+                    agg.count,
+                    human_nanos(agg.total_nanos),
+                    human_nanos(agg.total_nanos / agg.count.max(1)),
+                    human_nanos(agg.max_nanos),
+                ));
+            }
+        }
+
+        if profile.entries.is_empty() {
+            out.push_str("  ledger: empty (no solves attributed yet)\n");
+        } else {
+            // Rank by cold nanoseconds — the cost the profile exists to
+            // attribute — with the fingerprint as a deterministic tiebreak.
+            let mut ranked: Vec<_> = profile.entries.iter().collect();
+            ranked.sort_by(|a, b| {
+                b.cold_nanos
+                    .cmp(&a.cold_nanos)
+                    .then(a.template_fingerprint.cmp(&b.template_fingerprint))
+            });
+            out.push_str(&format!(
+                "  ledger ({} templates, {} unattributed):\n",
+                profile.entries.len(),
+                profile.dropped,
+            ));
+            out.push_str(&format!(
+                "    {:<18} {:>7} {:>6} {:>6} {:>10} {:>10} {:>5} {:>8} {:>10}\n",
+                "TEMPLATE",
+                "SOLVES",
+                "WARM",
+                "COLD",
+                "WARM(t)",
+                "COLD(t)",
+                "NEW",
+                "EVICTED",
+                "COMPONENT"
+            ));
+            for entry in &ranked {
+                out.push_str(&format!(
+                    "    0x{:016x} {:>7} {:>6} {:>6} {:>10} {:>10} {:>5} {:>8} {:>10}\n",
+                    entry.template_fingerprint,
+                    entry.solves(),
+                    entry.warm_solves,
+                    entry.cold_solves,
+                    human_nanos(entry.warm_nanos),
+                    human_nanos(entry.cold_nanos),
+                    entry.miss_new,
+                    entry.miss_evicted,
+                    entry.miss_component_changed,
+                ));
+            }
+        }
+
+        if !profile.waterfalls.is_empty() {
+            out.push_str(&format!(
+                "  waterfalls (top {} slowest requests):\n",
+                profile.waterfalls.len()
+            ));
+            for wf in &profile.waterfalls {
+                out.push_str(&format!(
+                    "    request {} — {}\n",
+                    wf.request_id,
+                    human_nanos(wf.total_nanos)
+                ));
+                for span in &wf.spans {
+                    let shard = if span.shard == SpanRecord::NO_SHARD {
+                        String::new()
+                    } else {
+                        format!("  [shard {}]", span.shard)
+                    };
+                    out.push_str(&format!(
+                        "      +{:<10} {:<14} {}{}\n",
+                        human_nanos(span.start_nanos),
+                        span.phase.name(),
+                        human_nanos(span.duration_nanos),
+                        shard,
+                    ));
+                }
+            }
+        }
+
+        if !profile.collapsed.is_empty() {
+            out.push_str("  collapsed stacks (flamegraph folded format):\n");
+            for line in profile.collapsed.lines() {
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+    }
+    write_out(args, &out)?;
+    print!("{out}");
+    Ok(())
+}
+
 /// One node's row in the watch table, decoded from its metrics scrape.
 struct WatchRow {
     health: String,
@@ -107,6 +268,7 @@ struct WatchRow {
     requests: u64,
     rps: Option<f64>,
     queue_depth: u64,
+    p99_queue_us: f64,
     p99_warm_us: f64,
     p99_cold_us: f64,
     mem_bytes: u64,
@@ -138,18 +300,24 @@ fn watch_row(metrics: &[(String, f64)], previous: Option<(u64, std::time::Instan
         requests,
         rps,
         queue_depth: get("queue_depth") as u64,
+        p99_queue_us: get("p99_queue_wait_seconds") * 1e6,
         p99_warm_us: get("p99_warm_solve_seconds") * 1e6,
         p99_cold_us: get("p99_cold_solve_seconds") * 1e6,
         mem_bytes: get("mem_total_bytes") as u64,
     }
 }
 
-/// Human-scaled byte count for the watch table (`0 B` … `12.3 MiB`).
+/// Human-scaled byte count for the watch table (`0 B` … `1.2 GiB`): always
+/// carries a unit, even below 1 KiB.
 fn human_bytes(bytes: u64) -> String {
+    const KIB: u64 = 1024;
+    const MIB: u64 = 1024 * KIB;
+    const GIB: u64 = 1024 * MIB;
     match bytes {
-        0..=1023 => format!("{bytes} B"),
-        1024..=1048575 => format!("{:.1} KiB", bytes as f64 / 1024.0),
-        _ => format!("{:.1} MiB", bytes as f64 / (1024.0 * 1024.0)),
+        0..KIB => format!("{bytes} B"),
+        KIB..MIB => format!("{:.1} KiB", bytes as f64 / KIB as f64),
+        MIB..GIB => format!("{:.1} MiB", bytes as f64 / MIB as f64),
+        _ => format!("{:.1} GiB", bytes as f64 / GIB as f64),
     }
 }
 
@@ -181,17 +349,25 @@ fn run_watch(args: &Args) -> Result<(), String> {
             print!("\x1b[2J\x1b[H");
         }
         println!(
-            "{:<22} {:>10} {:>9} {:>7} {:>13} {:>13} {:>10}  HEALTH",
-            "NODE", "REQ/S", "SESSIONS", "QUEUE", "P99 WARM(µs)", "P99 COLD(µs)", "MEM"
+            "{:<22} {:>10} {:>9} {:>7} {:>14} {:>13} {:>13} {:>10}  HEALTH",
+            "NODE",
+            "REQ/S",
+            "SESSIONS",
+            "QUEUE",
+            "P99 QWAIT(µs)",
+            "P99 WARM(µs)",
+            "P99 COLD(µs)",
+            "MEM"
         );
         for (addr, row) in &rows {
             println!(
-                "{:<22} {:>10} {:>9} {:>7} {:>13.1} {:>13.1} {:>10}  {}",
+                "{:<22} {:>10} {:>9} {:>7} {:>14.1} {:>13.1} {:>13.1} {:>10}  {}",
                 addr,
                 row.rps
                     .map_or_else(|| "-".to_string(), |r| format!("{r:.0}")),
                 row.sessions,
                 row.queue_depth,
+                row.p99_queue_us,
                 row.p99_warm_us,
                 row.p99_cold_us,
                 human_bytes(row.mem_bytes),
@@ -526,6 +702,9 @@ fn run() -> Result<(), String> {
     if args.watch {
         return run_watch(&args);
     }
+    if args.profile {
+        return run_profile(&args);
+    }
     run_drive(&args)
 }
 
@@ -536,5 +715,53 @@ fn main() -> ExitCode {
             eprintln!("loadgen: {message}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Sub-1 KiB values always carry an explicit `B` unit (a bare number in
+    /// the MEM column would read as a corrupt cell), and every power-of-1024
+    /// tier up to GiB scales.
+    #[test]
+    fn human_bytes_scales_every_tier_with_units() {
+        assert_eq!(human_bytes(0), "0 B");
+        assert_eq!(human_bytes(1), "1 B");
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(1023), "1023 B");
+        assert_eq!(human_bytes(1024), "1.0 KiB");
+        assert_eq!(human_bytes(1536), "1.5 KiB");
+        assert_eq!(human_bytes(1024 * 1024), "1.0 MiB");
+        assert_eq!(human_bytes(5 * 1024 * 1024 + 256 * 1024), "5.2 MiB");
+        assert_eq!(human_bytes(1024 * 1024 * 1024), "1.0 GiB");
+        assert_eq!(
+            human_bytes(3 * 1024 * 1024 * 1024 + 512 * 1024 * 1024),
+            "3.5 GiB"
+        );
+    }
+
+    #[test]
+    fn human_nanos_picks_the_natural_unit() {
+        assert_eq!(human_nanos(0), "0ns");
+        assert_eq!(human_nanos(950), "950ns");
+        assert_eq!(human_nanos(1_500), "1.5µs");
+        assert_eq!(human_nanos(2_500_000), "2.5ms");
+        assert_eq!(human_nanos(1_250_000_000), "1.25s");
+    }
+
+    /// The queue-wait column reads straight from the scraped metric.
+    #[test]
+    fn watch_rows_carry_queue_wait_p99() {
+        let metrics = vec![
+            ("requests".to_string(), 10.0),
+            ("p99_queue_wait_seconds".to_string(), 0.000_25),
+            ("p99_warm_solve_seconds".to_string(), 0.000_5),
+            ("mem_total_bytes".to_string(), 900.0),
+        ];
+        let row = watch_row(&metrics, None);
+        assert!((row.p99_queue_us - 250.0).abs() < 1e-9);
+        assert_eq!(human_bytes(row.mem_bytes), "900 B");
     }
 }

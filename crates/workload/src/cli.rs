@@ -30,6 +30,13 @@ pub struct Args {
     /// `loadgen watch --connect host:port[,…]`: poll every node's metrics
     /// into a redrawing terminal table (rps, p99 by phase, memory, health).
     pub watch: bool,
+    /// `loadgen profile --connect host:port[,…]`: fetch each node's profile
+    /// (a `QueryProfile` wire exchange per node) and print the phase
+    /// breakdown, per-template solve ledger and collapsed-stack export.
+    pub profile: bool,
+    /// (serve mode) Enable the engine's flight recorder, so server-side
+    /// spans (queue waits, wire waits, solve phases) feed `loadgen profile`.
+    pub obs: bool,
     /// (watch mode) Print one table and exit instead of redrawing.
     pub once: bool,
     /// (watch mode) Poll interval in milliseconds.
@@ -82,6 +89,8 @@ impl Default for Args {
             serve: false,
             metrics: false,
             watch: false,
+            profile: false,
+            obs: false,
             once: false,
             interval_ms: 1000,
             port: None,
@@ -340,6 +349,23 @@ pub fn flags() -> &'static [FlagSpec] {
             },
         },
         FlagSpec {
+            name: "--obs",
+            value: None,
+            example: "",
+            help: &[
+                "(serve mode) enable the engine's flight recorder so",
+                "server-side spans — queue waits, wire waits, solve",
+                "phases — feed `loadgen profile` waterfalls and collapsed",
+                "stacks (digests are unaffected)",
+            ],
+            generation_only: false,
+            engine_side: true,
+            apply: |args, _| {
+                args.obs = true;
+                Ok(())
+            },
+        },
+        FlagSpec {
             name: "--record",
             value: Some("<path>"),
             example: "target/loadgen/example.trace",
@@ -486,6 +512,7 @@ pub fn usage() -> String {
          \x20   loadgen serve --port <N> [--workers N] [--cold-lp]\n\
          \x20   loadgen metrics --connect host:port[,host:port…]\n\
          \x20   loadgen watch --connect host:port[,host:port…] [--once]\n\
+         \x20   loadgen profile --connect host:port[,host:port…]\n\
          \x20   loadgen --list-scenarios\n\
          \n\
          MODES:\n\
@@ -497,6 +524,11 @@ pub fn usage() -> String {
          \x20   watch               poll every node's metrics into a redrawing fleet\n\
          \x20                       table: rps, p99 by phase, accounted memory, and\n\
          \x20                       SLO health per node (--once prints one table)\n\
+         \x20   profile             fetch every node's profile over the wire\n\
+         \x20                       (QueryProfile): phase breakdown, per-template\n\
+         \x20                       solve ledger with miss causes, and a collapsed-\n\
+         \x20                       stack (flamegraph) export. Serve with --obs for\n\
+         \x20                       span-based waterfalls.\n\
          \n\
          OPTIONS:\n",
     );
@@ -522,8 +554,8 @@ pub fn usage() -> String {
     out.push_str(
         "\nGeneration-only flags (--seed, --ticks, --smoke, --record, --no-record) are\n\
          rejected in --replay mode: a recorded trace is immutable provenance.\n\
-         Engine-side flags (--workers, --cold-lp) are rejected in --connect mode: the\n\
-         remote `loadgen serve` process owns its engine configuration.\n",
+         Engine-side flags (--workers, --cold-lp, --obs) are rejected in --connect mode:\n\
+         the remote `loadgen serve` process owns its engine configuration.\n",
     );
     out
 }
@@ -544,6 +576,10 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
         }
         Some("watch") => {
             parsed.watch = true;
+            it.next();
+        }
+        Some("profile") => {
+            parsed.profile = true;
             it.next();
         }
         _ => {}
@@ -576,8 +612,14 @@ pub fn validate(args: &Args) -> Result<(), String> {
     if args.help || args.list {
         return Ok(());
     }
-    if args.metrics || args.watch {
-        let mode = if args.metrics { "metrics" } else { "watch" };
+    if args.metrics || args.watch || args.profile {
+        let mode = if args.metrics {
+            "metrics"
+        } else if args.watch {
+            "watch"
+        } else {
+            "profile"
+        };
         if args.connect.is_empty() {
             return Err(format!(
                 "{mode} mode needs --connect <host:port[,host:port…]>"
@@ -590,7 +632,8 @@ pub fn validate(args: &Args) -> Result<(), String> {
             (args.nodes > 0, "--nodes"),
             (args.port.is_some(), "--port"),
             (args.trace_out.is_some(), "--trace-out"),
-            (args.metrics && args.once, "--once"),
+            (!args.watch && args.once, "--once"),
+            (args.obs, "--obs"),
         ] {
             if set {
                 return Err(format!("{what} does not apply in {mode} mode"));
@@ -655,6 +698,7 @@ pub fn validate(args: &Args) -> Result<(), String> {
         let set = |flag: &FlagSpec| match flag.name {
             "--workers" => args.workers > 0,
             "--cold-lp" => args.cold_lp,
+            "--obs" => args.obs,
             _ => false,
         };
         if let Some(flag) = flags().iter().find(|f| f.engine_side && set(f)) {
@@ -862,6 +906,51 @@ mod tests {
                 .iter()
                 .map(|t| t.to_string())
         )
+        .is_err());
+    }
+
+    #[test]
+    fn profile_mode_takes_connections_and_rejects_engine_flags() {
+        let args = parse_ok(&["profile", "--connect", "127.0.0.1:7741,127.0.0.1:7742"]);
+        assert!(args.profile);
+        assert_eq!(args.connect.len(), 2);
+        assert!(validate(&args).is_ok());
+        assert!(
+            validate(&parse_ok(&["profile"])).is_err(),
+            "needs --connect"
+        );
+        for extra in [
+            ["--scenario", "steady-mall"].as_slice(),
+            ["--nodes", "2"].as_slice(),
+            ["--port", "1"].as_slice(),
+            ["--trace-out", "t.json"].as_slice(),
+            ["--once"].as_slice(),
+            ["--obs"].as_slice(),
+        ] {
+            let mut tokens = vec!["profile", "--connect", "a:1"];
+            tokens.extend_from_slice(extra);
+            assert!(
+                validate(&parse_ok(&tokens)).is_err(),
+                "profile must reject {extra:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn obs_is_an_engine_side_serve_flag() {
+        let args = parse_ok(&["serve", "--port", "0", "--obs"]);
+        assert!(args.obs);
+        assert!(validate(&args).is_ok());
+        // In-process driving runs may enable the recorder too…
+        assert!(validate(&parse_ok(&["--scenario", "steady-mall", "--obs"])).is_ok());
+        // …but a --connect driver cannot configure the remote engine.
+        assert!(validate(&parse_ok(&[
+            "--scenario",
+            "steady-mall",
+            "--connect",
+            "a:1",
+            "--obs"
+        ]))
         .is_err());
     }
 

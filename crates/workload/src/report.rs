@@ -103,6 +103,12 @@ impl LoadReport {
 
         write_time_series(&mut w, &self.outcome.telemetry);
 
+        write_profile(
+            &mut w,
+            &self.outcome.engine.profile,
+            self.outcome.engine.profile_dropped,
+        );
+
         w.string(
             "config_digest",
             &format!("0x{:016x}", self.outcome.config_digest),
@@ -237,6 +243,8 @@ impl ClusterReport {
             }
         });
 
+        write_profile(&mut w, &o.merged.profile, o.merged.profile_dropped);
+
         w.string("config_digest", &format!("0x{:016x}", o.config_digest));
         w.close();
         w.finish()
@@ -282,6 +290,34 @@ fn write_time_series(w: &mut JsonWriter, samples: &[TelemetrySample]) {
                 w.integer("mem_total_bytes", s.mem_total_bytes);
             });
         }
+    });
+}
+
+/// Emits the per-template solve ledger as the `profile` section: one
+/// all-integer object per template (ascending by fingerprint, exactly the
+/// wire order), plus the count of solves the ledger could not attribute.
+/// Counts are deterministic under a fixed seed; the `*_nanos` fields are
+/// wall-clock (see `docs/FORMATS.md`).
+fn write_profile(w: &mut JsonWriter, entries: &[svgic_engine::ProfileEntry], dropped: u64) {
+    w.nested("profile", |w| {
+        w.integer("dropped", dropped);
+        w.array("templates", |w| {
+            for e in entries {
+                w.item(|w| {
+                    w.string(
+                        "template_fingerprint",
+                        &format!("0x{:016x}", e.template_fingerprint),
+                    );
+                    w.integer("warm_solves", e.warm_solves);
+                    w.integer("cold_solves", e.cold_solves);
+                    w.integer("warm_nanos", e.warm_nanos);
+                    w.integer("cold_nanos", e.cold_nanos);
+                    w.integer("miss_new", e.miss_new);
+                    w.integer("miss_evicted", e.miss_evicted);
+                    w.integer("miss_component_changed", e.miss_component_changed);
+                });
+            }
+        });
     });
 }
 
@@ -461,6 +497,13 @@ mod tests {
             "\"health\":",
             "\"time_series\": [",
             "\"warm_rate_ppm\":",
+            "\"profile\": {",
+            "\"templates\": [",
+            "\"template_fingerprint\": \"0x",
+            "\"miss_new\":",
+            "\"miss_evicted\":",
+            "\"miss_component_changed\":",
+            "\"dropped\": 0",
             "\"config_digest\": \"0x",
             "\"trace_path\": null",
         ] {
@@ -551,6 +594,8 @@ mod tests {
             "\"mem_bytes\":",
             "\"time_series\": [",
             "\"mem_total_bytes\":",
+            "\"profile\": {",
+            "\"templates\": [",
             "\"config_digest\": \"0x",
         ] {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");

@@ -114,6 +114,56 @@ fn assert_time_series_shape(report: &Json, context: &str) {
     }
 }
 
+/// The documented member keys of one `profile.templates` entry (§2.9).
+/// Like `time_series`, the array members are asserted explicitly because
+/// `Json::key_paths` does not descend into arrays.
+const TEMPLATE_KEYS: [&str; 7] = [
+    "warm_solves",
+    "cold_solves",
+    "warm_nanos",
+    "cold_nanos",
+    "miss_new",
+    "miss_evicted",
+    "miss_component_changed",
+];
+
+/// Asserts a report-level `profile` value carries the documented ledger
+/// shape: a `dropped` counter and a non-empty `templates` array whose
+/// members each carry a hex-string fingerprint plus the seven counters.
+fn assert_profile_shape(report: &Json, context: &str) {
+    let profile = report
+        .get("profile")
+        .unwrap_or_else(|| panic!("{context}: report lost its `profile` object"));
+    assert!(
+        profile.get("dropped").and_then(Json::as_f64).is_some(),
+        "{context}: profile must carry the `dropped` counter"
+    );
+    let templates = match profile.get("templates") {
+        Some(Json::Array(templates)) => templates,
+        other => panic!("{context}: profile.templates must be an array, got {other:?}"),
+    };
+    assert!(
+        !templates.is_empty(),
+        "{context}: a solving run must attribute at least one template"
+    );
+    for entry in templates {
+        let fingerprint = entry
+            .get("template_fingerprint")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| panic!("{context}: template entry lost its fingerprint string"));
+        assert!(
+            fingerprint.starts_with("0x") && fingerprint.len() == 18,
+            "{context}: fingerprints are 0x-prefixed 16-hex-digit strings, got `{fingerprint}`"
+        );
+        for key in TEMPLATE_KEYS {
+            assert!(
+                entry.get(key).and_then(Json::as_f64).is_some(),
+                "{context}: template entry lost its `{key}` member"
+            );
+        }
+    }
+}
+
 #[test]
 fn trace_blob_parses_and_rerenders_byte_identically() {
     let blob = blob("trace");
@@ -157,6 +207,8 @@ fn loadgen_report_blob_matches_the_emitter_structurally() {
     );
     assert_time_series_shape(&value, "spec loadgen-report");
     assert_time_series_shape(&fresh, "fresh loadgen-report");
+    assert_profile_shape(&value, "spec loadgen-report");
+    assert_profile_shape(&fresh, "fresh loadgen-report");
 }
 
 #[test]
@@ -186,6 +238,10 @@ fn cluster_report_blob_matches_the_emitter_structurally() {
     // The cluster schema carries the ring per node, not at the top level —
     // tick clocks are per-node, so a merged ring would be meaningless.
     assert!(value.get("time_series").is_none());
+    // The ledger, by contrast, merges cleanly (counters keyed by structural
+    // fingerprint add), so the cluster report carries one merged `profile`.
+    assert_profile_shape(&value, "spec cluster-report");
+    assert_profile_shape(&fresh, "fresh cluster-report");
     // Each surviving node carries its own ring and health verdict (§2.7).
     let per_node = value.get("per_node").expect("per_node object");
     let node0 = per_node.get("node0").expect("node0 survives the plan");
@@ -260,6 +316,22 @@ fn telemetry_frame_hex_decodes_to_a_query_telemetry_request() {
     assert!(
         matches!(request, EngineRequest::QueryTelemetry),
         "spec frame documents QueryTelemetry, decodes {request:?}"
+    );
+    let mut reencoded = Vec::new();
+    write_frame(&mut reencoded, &frame).expect("in-memory write");
+    assert_eq!(reencoded, bytes);
+}
+
+#[test]
+fn profile_frame_hex_decodes_to_a_query_profile_request() {
+    let (frame, bytes) = frame_from_hex(&blob("profile-frame-hex"));
+    assert_eq!(frame.kind, FrameKind::Request);
+    assert_eq!(frame.request_id, 4);
+    let request =
+        svgic::engine::codec::decode_request(&frame.payload).expect("spec payload decodes");
+    assert!(
+        matches!(request, EngineRequest::QueryProfile),
+        "spec frame documents QueryProfile, decodes {request:?}"
     );
     let mut reencoded = Vec::new();
     write_frame(&mut reencoded, &frame).expect("in-memory write");

@@ -5,17 +5,22 @@
 //! random session scripts (joins, leaves, catalogue swaps, forced LP
 //! re-solves, flushes) through four backends built from the same script:
 //!
-//! 1. an in-process engine with obs **off** and the telemetry sampler
-//!    **off** (capacity 0 — the baseline),
-//! 2. an in-process engine with obs **on** and the sampler **on**,
-//! 3. a real `svgic-net` TCP server whose engine has obs and sampler
-//!    **off**,
-//! 4. a TCP server with obs and sampler **on**, scraped by a span-recording
-//!    client that also drains the telemetry ring over the wire.
+//! 1. an in-process engine with obs **off**, the telemetry sampler **off**
+//!    and the solve-ledger profiler **off** (all capacities 0 — the
+//!    baseline),
+//! 2. an in-process engine with obs, sampler and profiler **on**,
+//! 3. a real `svgic-net` TCP server whose engine has obs, sampler and
+//!    profiler **off**,
+//! 4. a TCP server with obs, sampler and profiler **on**, scraped by a
+//!    span-recording client that also drains the telemetry ring and the
+//!    profile ledger over the wire.
 //!
 //! All four must produce the identical FNV-1a configuration digest and the
-//! identical solve count. A divergence means tracing or sampling changed
-//! what was served — the one thing an observability layer must never do.
+//! identical solve count. A divergence means tracing, sampling or
+//! profiling changed what was served — the one thing an observability
+//! layer must never do. The ledger itself is also cross-checked: its
+//! deterministic fields (fingerprints, solve counts, miss causes) must be
+//! identical in-process and over the wire.
 
 use proptest::prelude::*;
 use proptest::TestRng;
@@ -65,15 +70,21 @@ fn random_script(seed: u64, len: usize) -> Vec<(bool, Op)> {
 
 /// Engine shape shared by every backend: fixed workers/shards so counters
 /// are machine-independent, auto-flush off so the script owns the clock.
-/// The obs and telemetry-sampler toggles travel together: the baseline
-/// backends run with both off, the observed backends with both on.
-fn engine_config(obs: ObsConfig, telemetry_capacity: usize) -> EngineConfig {
+/// The obs, telemetry-sampler and profiler toggles travel together: the
+/// baseline backends run with all three off, the observed backends with
+/// all three on.
+fn engine_config(
+    obs: ObsConfig,
+    telemetry_capacity: usize,
+    profile_capacity: usize,
+) -> EngineConfig {
     EngineConfig {
         workers: 2,
         shards: 2,
         auto_flush_pending: 0,
         obs,
         telemetry_capacity,
+        profile_capacity,
         ..EngineConfig::default()
     }
 }
@@ -183,15 +194,18 @@ proptest! {
     #[test]
     fn tracing_never_changes_what_is_served(seed in 0u64..100_000, len in 0usize..24) {
         let script = random_script(seed, len);
-        // 1. In-process, obs and sampler off: the baseline.
-        let mut engine_off = Engine::new(engine_config(ObsConfig::disabled(), 0));
+        // 1. In-process, obs, sampler and profiler off: the baseline.
+        let mut engine_off = Engine::new(engine_config(ObsConfig::disabled(), 0, 0));
         let (digest_off, solves_off) = run_script(&mut engine_off, &script);
         prop_assert_eq!(engine_off.tracer().recorded(), 0);
         prop_assert!(engine_off.telemetry().is_empty(), "capacity 0 disables sampling");
+        let profile_off = engine_off.profile();
+        prop_assert!(profile_off.entries.is_empty(), "capacity 0 disables the ledger");
+        prop_assert_eq!(profile_off.dropped, 0);
 
-        // 2. In-process, obs and sampler on: same service, plus a span
-        // stream and a populated telemetry ring.
-        let mut engine_on = Engine::new(engine_config(ObsConfig::enabled(), 1024));
+        // 2. In-process, obs, sampler and profiler on: same service, plus a
+        // span stream, a populated telemetry ring and a solve ledger.
+        let mut engine_on = Engine::new(engine_config(ObsConfig::enabled(), 1024, 128));
         let (digest_on, solves_on) = run_script(&mut engine_on, &script);
         prop_assert_eq!(digest_on, digest_off);
         prop_assert_eq!(solves_on, solves_off);
@@ -204,9 +218,27 @@ proptest! {
         let ring = engine_on.telemetry();
         prop_assert!(!ring.is_empty(), "every flush sampled the ring");
         prop_assert!(ring.windows(2).all(|w| w[0].tick < w[1].tick));
+        let ledger = engine_on.profile();
+        if solves_off > 0 {
+            prop_assert!(!ledger.entries.is_empty(), "solves must be attributed");
+        }
+        let attributed: u64 = ledger
+            .entries
+            .iter()
+            .map(|e| e.warm_solves + e.cold_solves)
+            .sum();
+        prop_assert!(attributed == solves_off, "every solve lands in the ledger");
+        for entry in &ledger.entries {
+            prop_assert!(
+                entry.miss_new + entry.miss_evicted + entry.miss_component_changed
+                    == entry.cold_solves,
+                "miss causes partition the cold solves"
+            );
+        }
 
-        // 3. Over one TCP server, obs and sampler off on the remote engine.
-        let server = NetServer::bind("127.0.0.1:0", Engine::new(engine_config(ObsConfig::disabled(), 0)))
+        // 3. Over one TCP server, obs, sampler and profiler off on the
+        // remote engine.
+        let server = NetServer::bind("127.0.0.1:0", Engine::new(engine_config(ObsConfig::disabled(), 0, 0)))
             .expect("binds");
         let mut client = NetClient::connect(server.local_addr()).expect("connects");
         let (digest_tcp_off, solves_tcp_off) = run_script(&mut client, &script);
@@ -214,17 +246,24 @@ proptest! {
             client.query_telemetry().expect("telemetry frame").is_empty(),
             "a sampler-off server answers QueryTelemetry with an empty ring"
         );
+        let remote_profile_off = client.query_profile().expect("profile frame");
+        prop_assert!(
+            remote_profile_off.entries.is_empty(),
+            "a profiler-off server answers QueryProfile with an empty ledger"
+        );
         client.shutdown_server().expect("shuts down");
         server.join();
         prop_assert_eq!(digest_tcp_off, digest_off);
         prop_assert_eq!(solves_tcp_off, solves_off);
 
-        // 4. Over one TCP server with obs and sampler on — a span-recording
-        // client that also drains the telemetry ring over the wire. Every
-        // deterministic sample field must match the in-process run's ring
-        // (ticks, counters, byte gauges — everything except the
-        // busy-nanos-derived imbalance, which is wall-clock).
-        let server = NetServer::bind("127.0.0.1:0", Engine::new(engine_config(ObsConfig::enabled(), 1024)))
+        // 4. Over one TCP server with obs, sampler and profiler on — a
+        // span-recording client that also drains the telemetry ring and
+        // the profile ledger over the wire. Every deterministic sample
+        // field must match the in-process run's ring (ticks, counters,
+        // byte gauges — everything except the busy-nanos-derived
+        // imbalance, which is wall-clock), and the remote ledger's
+        // deterministic fields must match the in-process ledger exactly.
+        let server = NetServer::bind("127.0.0.1:0", Engine::new(engine_config(ObsConfig::enabled(), 1024, 128)))
             .expect("binds");
         let tracer = Tracer::new(ObsConfig::enabled());
         let mut client = NetClient::connect(server.local_addr())
@@ -232,8 +271,18 @@ proptest! {
             .with_tracer(tracer.clone());
         let (digest_tcp_on, solves_tcp_on) = run_script(&mut client, &script);
         let remote_ring = client.query_telemetry().expect("telemetry frame");
+        let remote_profile = client.query_profile().expect("profile frame");
         client.shutdown_server().expect("shuts down");
         server.join();
+        prop_assert_eq!(remote_profile.entries.len(), ledger.entries.len());
+        for (remote, local) in remote_profile.entries.iter().zip(&ledger.entries) {
+            prop_assert_eq!(remote.template_fingerprint, local.template_fingerprint);
+            prop_assert_eq!(remote.warm_solves, local.warm_solves);
+            prop_assert_eq!(remote.cold_solves, local.cold_solves);
+            prop_assert_eq!(remote.miss_new, local.miss_new);
+            prop_assert_eq!(remote.miss_evicted, local.miss_evicted);
+            prop_assert_eq!(remote.miss_component_changed, local.miss_component_changed);
+        }
         prop_assert_eq!(digest_tcp_on, digest_off);
         prop_assert_eq!(solves_tcp_on, solves_off);
         prop_assert!(tracer.recorded() > 0, "the client recorded its wire spans");
