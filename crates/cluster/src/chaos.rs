@@ -1,0 +1,438 @@
+//! Deterministic fault injection at the transport seam.
+//!
+//! The chaos engine attacks the one place every cluster interaction passes
+//! through — the [`EngineTransport`] between the router and a node — so the
+//! *same* seeded plan runs identically against in-process engines and
+//! `svgic_net::NetClient` connections to real server processes. A
+//! [`ChaosPlan`] is a list of [`FaultWindow`]s over driver ticks; a
+//! [`ChaosTransport`] consults the shared [`ChaosControl`] before forwarding
+//! each request and injects whatever the active windows prescribe:
+//!
+//! * [`ChaosFault::Partition`] — the request is *absorbed* (never reaches
+//!   the node) up to the window's failure budget; the transport retries
+//!   until the budget is spent and then delivers. This models a transient
+//!   router↔node partition healed by retries: every request is eventually
+//!   delivered **exactly once, in order**, which is the whole determinism
+//!   argument — the node sees the same request sequence a fault-free run
+//!   produces, so served configurations (and the config digest) are
+//!   byte-identical, chaos or no chaos.
+//! * [`ChaosFault::Delay`] — a slow node: each request in the window sleeps
+//!   a fixed few hundred microseconds before it is forwarded. Latency
+//!   changes, request order does not; digests are unaffected because no
+//!   solve path reads the wall clock.
+//!
+//! Time is the *driver's* tick clock ([`ChaosControl::advance_to`] is called
+//! at each trace tick), never wall time, so a replayed run walks the exact
+//! same window schedule. Kill-during-flush (`ChaosPlan::kill_mid_flush`) is
+//! driver-side: the workload driver kills the planned victim *before*
+//! flushing it, pinning the pending-event conservation the staleness
+//! generation guards.
+
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use svgic_engine::transport::EngineTransport;
+use svgic_engine::{EngineError, EngineRequest, EngineResponse};
+
+/// One fault kind, active while its [`FaultWindow`] covers the current tick.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaosFault {
+    /// Router↔node partition: absorb up to `failures` requests (each is
+    /// retried by the transport, so delivery is delayed, never lost).
+    Partition {
+        /// Requests the window may absorb before it is spent.
+        failures: u32,
+    },
+    /// Slow node: every request in the window sleeps `micros` before it is
+    /// forwarded.
+    Delay {
+        /// Injected latency per request, in microseconds.
+        micros: u64,
+    },
+}
+
+/// A fault applied to one node slot over a half-open tick range
+/// `[from_tick, until_tick)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultWindow {
+    /// The target, as the node's *spawn slot*: the 0-based order in which
+    /// the cluster created its backends (= ascending node id for the
+    /// initial fleet). Slot identity survives kill/re-join because a
+    /// resurrected backend keeps its wrapper.
+    pub node_slot: usize,
+    /// First tick (inclusive) the window is active.
+    pub from_tick: usize,
+    /// First tick (exclusive) the window is no longer active.
+    pub until_tick: usize,
+    /// What the window injects.
+    pub fault: ChaosFault,
+}
+
+impl FaultWindow {
+    fn covers(&self, slot: usize, tick: usize) -> bool {
+        self.node_slot == slot && (self.from_tick..self.until_tick).contains(&tick)
+    }
+}
+
+/// A seeded, replayable fault schedule. `ChaosPlan::default()` is inactive
+/// (no faults, no kill-during-flush) — the zero-cost configuration every
+/// existing run keeps.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// The seed the plan was generated from (0 for hand-built plans;
+    /// carried for reports and replay bookkeeping).
+    pub seed: u64,
+    /// The fault windows, in no particular order.
+    pub faults: Vec<FaultWindow>,
+    /// Kill the planned kill-victim *before* flushing it, so its tick's
+    /// pending events die unflushed and recovery must replay them from
+    /// shadow intent exactly once.
+    pub kill_mid_flush: bool,
+}
+
+impl ChaosPlan {
+    /// The inactive plan (same as `default()`, spelled out for call sites).
+    pub fn inactive() -> ChaosPlan {
+        ChaosPlan::default()
+    }
+
+    /// Whether the plan injects anything at all.
+    pub fn is_active(&self) -> bool {
+        !self.faults.is_empty() || self.kill_mid_flush
+    }
+
+    /// Generates a plan for a `nodes`-node, `ticks`-tick run from a seed —
+    /// a pure function of its arguments (ChaCha8, like the engine's
+    /// rounding), so the same seed replays the same schedule anywhere.
+    ///
+    /// The first window is always a partition (the interesting fault class:
+    /// CI's kill+partition smoke relies on one being present); one or two
+    /// more windows of either kind follow. Partition budgets stay small
+    /// (≤ 3 absorbed requests) so the transport's bounded retry always
+    /// out-lasts them.
+    pub fn generate(seed: u64, nodes: usize, ticks: usize) -> ChaosPlan {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xC4A0_5CA0_5E1E_C7ED);
+        let nodes = nodes.max(1);
+        let ticks = ticks.max(2);
+        let windows = rng.gen_range(1..=3usize);
+        let mut faults = Vec::with_capacity(windows);
+        for index in 0..windows {
+            let node_slot = rng.gen_range(0..nodes);
+            let from_tick = rng.gen_range(0..ticks - 1);
+            let until_tick = rng.gen_range(from_tick + 1..=ticks);
+            let fault = if index == 0 || rng.gen_bool(0.5) {
+                ChaosFault::Partition {
+                    failures: rng.gen_range(1..=3),
+                }
+            } else {
+                ChaosFault::Delay {
+                    micros: rng.gen_range(50..=500),
+                }
+            };
+            faults.push(FaultWindow {
+                node_slot,
+                from_tick,
+                until_tick,
+                fault,
+            });
+        }
+        ChaosPlan {
+            seed,
+            faults,
+            kill_mid_flush: rng.gen_bool(0.5),
+        }
+    }
+}
+
+/// What injection actually happened over a run (for reports).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChaosInjection {
+    /// Requests absorbed by partition windows (each was retried and
+    /// eventually delivered).
+    pub failures: u64,
+    /// Requests delayed by slow-node windows.
+    pub delays: u64,
+}
+
+#[derive(Debug)]
+struct ChaosState {
+    tick: usize,
+    /// Absorbed-failure count per plan window (indexed like `plan.faults`).
+    consumed: Vec<u32>,
+    injected: ChaosInjection,
+    next_slot: usize,
+}
+
+/// The shared clock and budget ledger every [`ChaosTransport`] of one run
+/// consults. The driver owns the tick clock ([`ChaosControl::advance_to`]);
+/// the transports own nothing — which is what makes the schedule a pure
+/// function of the plan and the request order.
+#[derive(Debug)]
+pub struct ChaosControl {
+    plan: ChaosPlan,
+    state: Mutex<ChaosState>,
+}
+
+/// One injection decision (internal to the transport loop).
+enum Injection {
+    Absorb,
+    Delay(u64),
+    Pass,
+}
+
+impl ChaosControl {
+    /// Builds the control for a plan.
+    pub fn new(plan: ChaosPlan) -> Arc<ChaosControl> {
+        let consumed = vec![0; plan.faults.len()];
+        Arc::new(ChaosControl {
+            plan,
+            state: Mutex::new(ChaosState {
+                tick: 0,
+                consumed,
+                injected: ChaosInjection::default(),
+                next_slot: 0,
+            }),
+        })
+    }
+
+    /// The plan this control schedules.
+    pub fn plan(&self) -> &ChaosPlan {
+        &self.plan
+    }
+
+    /// Moves the chaos clock to `tick` (the driver calls this at each trace
+    /// tick boundary).
+    pub fn advance_to(&self, tick: usize) {
+        self.lock().tick = tick;
+    }
+
+    /// What was actually injected so far.
+    pub fn injected(&self) -> ChaosInjection {
+        self.lock().injected
+    }
+
+    /// Wraps a backend as the next node slot (call in spawn order).
+    pub fn wrap<B: EngineTransport>(self: &Arc<Self>, inner: B) -> ChaosTransport<B> {
+        let slot = {
+            let mut state = self.lock();
+            let slot = state.next_slot;
+            state.next_slot += 1;
+            slot
+        };
+        ChaosTransport {
+            inner,
+            slot,
+            control: Arc::clone(self),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ChaosState> {
+        self.state.lock().expect("chaos state poisoned")
+    }
+
+    /// One pre-forward decision for `slot`: absorb (a partition window with
+    /// budget left), delay (the summed latency of active delay windows), or
+    /// pass through.
+    fn decide(&self, slot: usize) -> Injection {
+        let mut state = self.lock();
+        let tick = state.tick;
+        for (index, window) in self.plan.faults.iter().enumerate() {
+            if let ChaosFault::Partition { failures } = window.fault {
+                if window.covers(slot, tick) && state.consumed[index] < failures {
+                    state.consumed[index] += 1;
+                    state.injected.failures += 1;
+                    return Injection::Absorb;
+                }
+            }
+        }
+        let micros: u64 = self
+            .plan
+            .faults
+            .iter()
+            .filter(|window| window.covers(slot, tick))
+            .map(|window| match window.fault {
+                ChaosFault::Delay { micros } => micros,
+                ChaosFault::Partition { .. } => 0,
+            })
+            .sum();
+        if micros > 0 {
+            state.injected.delays += 1;
+            Injection::Delay(micros)
+        } else {
+            Injection::Pass
+        }
+    }
+}
+
+/// A fault-injecting [`EngineTransport`] wrapper. Transparent when no
+/// window covers its slot at the current tick; otherwise absorbs or delays
+/// per the plan, then forwards — every request reaches the inner transport
+/// exactly once, in submission order, so the wrapped node's behaviour is
+/// request-for-request identical to an unwrapped one.
+pub struct ChaosTransport<B> {
+    inner: B,
+    slot: usize,
+    control: Arc<ChaosControl>,
+}
+
+impl<B> ChaosTransport<B> {
+    /// The node slot this transport injects for.
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+}
+
+impl<B: EngineTransport> EngineTransport for ChaosTransport<B> {
+    fn request(&mut self, request: EngineRequest) -> Result<EngineResponse, EngineError> {
+        // Absorb-and-retry until the active partition budgets are spent.
+        // Budgets are capped well below this bound, so the loop always
+        // falls through to delivery — faults delay requests, never drop
+        // them.
+        const MAX_ABSORBED: u32 = 16;
+        for _ in 0..MAX_ABSORBED {
+            match self.control.decide(self.slot) {
+                Injection::Absorb => continue,
+                Injection::Delay(micros) => {
+                    std::thread::sleep(Duration::from_micros(micros));
+                    break;
+                }
+                Injection::Pass => break,
+            }
+        }
+        self.inner.request(request)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svgic_core::example::running_example;
+    use svgic_engine::{CreateSession, Engine, EngineConfig};
+
+    fn engine() -> Engine {
+        Engine::new(EngineConfig {
+            workers: 1,
+            shards: 1,
+            auto_flush_pending: 0,
+            ..EngineConfig::default()
+        })
+    }
+
+    #[test]
+    fn generated_plans_are_seed_deterministic_and_partition_first() {
+        for seed in 0..20u64 {
+            let a = ChaosPlan::generate(seed, 3, 8);
+            let b = ChaosPlan::generate(seed, 3, 8);
+            assert_eq!(a, b, "seed {seed}: generation must be pure");
+            assert!(a.is_active());
+            assert!((1..=3).contains(&a.faults.len()));
+            assert!(
+                matches!(a.faults[0].fault, ChaosFault::Partition { .. }),
+                "seed {seed}: the first window is always a partition"
+            );
+            for window in &a.faults {
+                assert!(window.from_tick < window.until_tick);
+                assert!(window.node_slot < 3);
+                if let ChaosFault::Partition { failures } = window.fault {
+                    assert!((1..=3).contains(&failures));
+                }
+            }
+        }
+        assert_ne!(
+            ChaosPlan::generate(1, 3, 8),
+            ChaosPlan::generate(2, 3, 8),
+            "different seeds diverge"
+        );
+        assert!(!ChaosPlan::inactive().is_active());
+    }
+
+    #[test]
+    fn partition_windows_absorb_then_deliver_every_request() {
+        let plan = ChaosPlan {
+            seed: 0,
+            faults: vec![FaultWindow {
+                node_slot: 0,
+                from_tick: 0,
+                until_tick: 10,
+                fault: ChaosFault::Partition { failures: 3 },
+            }],
+            kill_mid_flush: false,
+        };
+        let control = ChaosControl::new(plan);
+        let mut chaotic = control.wrap(engine());
+        let mut calm = engine();
+        // The same request sequence through both: the chaotic transport's
+        // responses (and therefore the engine state) must be identical.
+        let view = chaotic
+            .create_session(CreateSession {
+                instance: running_example(),
+                initial_present: vec![],
+                seed: 7,
+            })
+            .expect("faults delay, never fail");
+        let calm_view = calm
+            .create_session(CreateSession {
+                instance: running_example(),
+                initial_present: vec![],
+                seed: 7,
+            })
+            .expect("creates");
+        assert_eq!(view.configuration, calm_view.configuration);
+        assert_eq!(view.utility.to_bits(), calm_view.utility.to_bits());
+        assert_eq!(control.injected().failures, 3, "budget fully consumed");
+        let before = control.injected().failures;
+        chaotic.flush().expect("spent window passes through");
+        assert_eq!(control.injected().failures, before, "budget is spent");
+    }
+
+    #[test]
+    fn windows_respect_tick_and_slot_boundaries() {
+        let plan = ChaosPlan {
+            seed: 0,
+            faults: vec![
+                FaultWindow {
+                    node_slot: 1,
+                    from_tick: 2,
+                    until_tick: 3,
+                    fault: ChaosFault::Partition { failures: 2 },
+                },
+                FaultWindow {
+                    node_slot: 0,
+                    from_tick: 5,
+                    until_tick: 6,
+                    fault: ChaosFault::Delay { micros: 1 },
+                },
+            ],
+            kill_mid_flush: false,
+        };
+        let control = ChaosControl::new(plan);
+        let mut slot0 = control.wrap(engine());
+        let mut slot1 = control.wrap(engine());
+        assert_eq!(slot0.slot(), 0);
+        assert_eq!(slot1.slot(), 1);
+        // Tick 0: no window active anywhere.
+        slot0.flush().expect("flushes");
+        slot1.flush().expect("flushes");
+        assert_eq!(control.injected(), ChaosInjection::default());
+        // Tick 2: the partition hits slot 1 only.
+        control.advance_to(2);
+        slot0.flush().expect("flushes");
+        assert_eq!(control.injected().failures, 0);
+        slot1.flush().expect("flushes");
+        assert_eq!(control.injected().failures, 2);
+        // Tick 5: the delay hits slot 0 only.
+        control.advance_to(5);
+        slot1.flush().expect("flushes");
+        assert_eq!(control.injected().delays, 0);
+        slot0.flush().expect("flushes");
+        assert_eq!(
+            control.injected(),
+            ChaosInjection {
+                failures: 2,
+                delays: 1
+            }
+        );
+    }
+}

@@ -95,6 +95,17 @@ pub struct ClusterConfig {
     /// auto-flush thresholds would make served configurations depend on the
     /// topology (each node sees only its own share of the pending total).
     pub engine: EngineConfig,
+    /// Warm standby replication (default off). When enabled, every
+    /// [`Cluster::flush_node`] piggybacks a standby copy of each session
+    /// whose replica is missing or stale onto the session's **ring
+    /// successor** (the first other alive node clockwise from its key), and
+    /// [`Cluster::kill_node`] fails over *warm* from the replica whenever it
+    /// is current — preserving the solve generation and the LP factors a
+    /// cold shadow rebuild would lose. Replication never touches live
+    /// sessions (snapshots are non-draining, standbys are passive payload),
+    /// so served configurations — and therefore config digests — are
+    /// identical with replication on or off.
+    pub replicate: bool,
 }
 
 impl Default for ClusterConfig {
@@ -106,6 +117,7 @@ impl Default for ClusterConfig {
                 capacity_factor: 1.25,
             },
             engine: EngineConfig::default(),
+            replicate: false,
         }
     }
 }
@@ -204,6 +216,21 @@ pub struct Cluster<B = Engine> {
     /// Weighted load per node (sum of hosted sessions' weights), maintained
     /// incrementally for bounded-load placement.
     node_weight: BTreeMap<u64, u64>,
+    /// Per-session mutation generation: bumped on every state-changing
+    /// request (open, submit, force-resolve). A standby replica carries the
+    /// generation it was snapshotted at; a kill promotes it only when the
+    /// generations match — the staleness gate that keeps failover honest.
+    mutation_seq: BTreeMap<u64, u64>,
+    /// Where each session's standby replica lives: key → (host node,
+    /// mutation generation at snapshot time). Only populated when
+    /// [`ClusterConfig::replicate`] is on.
+    replicas: BTreeMap<u64, (u64, u64)>,
+    /// Crashed node backends, reused (pristine — [`EngineTransport::crash`]
+    /// wiped them) by the next [`Cluster::add_node`] before the spawner is
+    /// consulted. This is what lets kill/join churn run against *remote*
+    /// server processes the driver cannot actually fork: a killed
+    /// connection's server is wiped and handed back out as the next joiner.
+    graveyard: Vec<B>,
     next_node: u64,
     stats: ClusterStats,
 }
@@ -235,6 +262,9 @@ impl<B: EngineTransport> Cluster<B> {
             shadows: BTreeMap::new(),
             instances: BTreeMap::new(),
             node_weight: BTreeMap::new(),
+            mutation_seq: BTreeMap::new(),
+            replicas: BTreeMap::new(),
+            graveyard: Vec::new(),
             next_node: 0,
             stats: ClusterStats::default(),
         };
@@ -289,10 +319,16 @@ impl<B: EngineTransport> Cluster<B> {
 
     /// Spawns a fresh node and adds it to the ring. Existing sessions stay
     /// where they are — run a [`RebalancePolicy`] to hand the newcomer work.
+    /// A crashed backend waiting in the graveyard is reused (it was wiped to
+    /// pristine state by the crash) before the spawner is asked for a new
+    /// one — in-process and multi-process fleets churn identically.
     pub fn add_node(&mut self) -> NodeId {
         let id = self.next_node;
         self.next_node += 1;
-        let backend = (self.spawner)(&self.config.engine);
+        let backend = match self.graveyard.pop() {
+            Some(backend) => backend,
+            None => (self.spawner)(&self.config.engine),
+        };
         self.engines.insert(id, backend);
         self.ring.add_node(NodeId(id));
         self.node_weight.insert(id, 0);
@@ -415,6 +451,7 @@ impl<B: EngineTransport> Cluster<B> {
         );
         self.charge_weight(node.0, weight as i64);
         self.shadows.insert(key, shadow);
+        self.mutation_seq.insert(key, 1);
         Ok((node, view))
     }
 
@@ -449,6 +486,7 @@ impl<B: EngineTransport> Cluster<B> {
                 SessionEvent::RetuneLambda(lambda) => shadow.lambda = Some(lambda),
             }
         }
+        *self.mutation_seq.entry(key).or_insert(0) += 1;
         Ok((node, pending))
     }
 
@@ -470,6 +508,9 @@ impl<B: EngineTransport> Cluster<B> {
         let placement = self.placement(key)?;
         let node = NodeId(placement.node);
         let view = self.engine_mut(node)?.force_resolve(placement.local)?;
+        // The solve advanced the session's generation: any standby replica
+        // is stale until the next flush re-replicates.
+        *self.mutation_seq.entry(key).or_insert(0) += 1;
         Ok((node, view))
     }
 
@@ -481,20 +522,83 @@ impl<B: EngineTransport> Cluster<B> {
         self.placements.remove(&key);
         self.charge_weight(node.0, -(placement.weight as i64));
         self.release_shadow(key);
+        self.mutation_seq.remove(&key);
+        self.discard_replica(key)?;
         Ok((node, lifetime))
     }
 
-    /// Flushes one node's pending events.
-    pub fn flush_node(&mut self, node: NodeId) -> Result<(), ClusterError> {
-        self.engine_mut(node)?.flush()?;
+    /// Drops a session's standby replica (if one exists and its host is
+    /// still alive) — take-and-discard, so closed sessions leave no orphaned
+    /// payload behind.
+    fn discard_replica(&mut self, key: u64) -> Result<(), ClusterError> {
+        if let Some((host, _)) = self.replicas.remove(&key) {
+            if self.engines.contains_key(&host) {
+                let _ = self.engine_mut(NodeId(host))?.take_standby(key)?;
+            }
+        }
         Ok(())
     }
 
-    /// Flushes every alive node, in ascending node order.
+    /// Flushes one node's pending events, then (with
+    /// [`ClusterConfig::replicate`] on) refreshes the standby replicas of
+    /// every session it hosts — the flush boundary is exactly when sessions
+    /// are quiescent, so a replica snapshotted here is *current* until the
+    /// next mutation.
+    pub fn flush_node(&mut self, node: NodeId) -> Result<(), ClusterError> {
+        self.engine_mut(node)?.flush()?;
+        self.replicate_node(node)?;
+        Ok(())
+    }
+
+    /// Flushes every alive node, in ascending node order (replicating each
+    /// node's sessions afterwards when replication is on).
     pub fn flush_all(&mut self) {
-        for engine in self.engines.values_mut() {
-            engine.flush().expect("node flushes");
+        for node in self.node_ids() {
+            self.flush_node(node).expect("node flushes");
         }
+    }
+
+    /// Refreshes the standby replicas of every session hosted on `node`:
+    /// a session is (re-)shipped when its replica is missing, stale (the
+    /// mutation generation moved), or mis-hosted (not on the session's
+    /// current ring successor — e.g. after the primary migrated onto its
+    /// own standby's host). Current replicas cost nothing. No-op when
+    /// replication is off or the fleet has a single node.
+    fn replicate_node(&mut self, node: NodeId) -> Result<(), ClusterError> {
+        if !self.config.replicate || self.engines.len() < 2 {
+            return Ok(());
+        }
+        let keys: Vec<u64> = self
+            .placements
+            .iter()
+            .filter(|(_, p)| p.node == node.0)
+            .map(|(&key, _)| key)
+            .collect();
+        for key in keys {
+            let seq = self.mutation_seq.get(&key).copied().unwrap_or(0);
+            // The ring holds exactly the alive nodes, so the first
+            // non-primary node clockwise from the key is the standby home.
+            let Some(standby) = self.ring.route_where(key, &|n| n.0 != node.0) else {
+                continue;
+            };
+            if let Some(&(host, replica_seq)) = self.replicas.get(&key) {
+                if host == standby.0 && replica_seq == seq && self.engines.contains_key(&host) {
+                    continue; // current and correctly hosted
+                }
+                if host != standby.0 && self.engines.contains_key(&host) {
+                    // Mis-hosted: pull the old copy before shipping the new
+                    // one (a put under the same key overwrites, so a
+                    // same-host stale replica needs no explicit take).
+                    let _ = self.engine_mut(NodeId(host))?.take_standby(key)?;
+                }
+            }
+            let local = self.placement(key)?.local;
+            let export = self.engine_mut(node)?.snapshot_session(local)?;
+            self.stats.replication_bytes += svgic_engine::codec::session_export_bytes(&export);
+            self.engine_mut(standby)?.put_standby(key, export)?;
+            self.replicas.insert(key, (standby.0, seq));
+        }
+        Ok(())
     }
 
     /// Live-migrates a session to `to`, carrying its full state including
@@ -558,13 +662,23 @@ impl<B: EngineTransport> Cluster<B> {
         moves
     }
 
-    /// Kills a node crash-style: its engine (sessions, caches, factors) is
-    /// dropped wholesale, it leaves the ring, and every lost session is
-    /// rebuilt on its new ring home from the router's shadow state — present
-    /// membership, catalogue and λ overrides are restored, but the solve
-    /// generation restarts and the warm capital is gone (counted in
-    /// [`ClusterStats::warm_capital_lost`]). Receiving nodes are flushed so
-    /// recovered sessions converge before the next tick.
+    /// Kills a node crash-style: its engine is wiped wholesale (sessions,
+    /// caches, factors, standbys — [`EngineTransport::crash`]), it leaves
+    /// the ring, and every lost session is rebuilt on its new ring home.
+    ///
+    /// With replication on, a lost session whose standby replica is
+    /// **current** (same mutation generation, host alive, host not the
+    /// victim) is *promoted*: the replica is imported on the target node,
+    /// preserving the solve generation and the LP warm capital — the session
+    /// serves exactly what it served before the kill, like a migration. A
+    /// missing/stale/co-located replica falls back to the cold shadow-state
+    /// rebuild (generation restarts, warm capital gone — counted in
+    /// [`ClusterStats::warm_capital_lost`]). Each kill is classified whole:
+    /// [`ClusterStats::failover_warm`] when *zero* sessions rebuilt cold,
+    /// [`ClusterStats::failover_cold`] otherwise, so
+    /// `failover_warm + failover_cold == nodes_killed` always holds.
+    /// Receiving nodes are flushed so recovered sessions converge before the
+    /// next tick.
     pub fn kill_node(&mut self, node: NodeId) -> Result<KillReport, ClusterError> {
         if !self.engines.contains_key(&node.0) {
             return Err(ClusterError::UnknownNode(node));
@@ -572,10 +686,19 @@ impl<B: EngineTransport> Cluster<B> {
         if self.engines.len() == 1 {
             return Err(ClusterError::LastNode(node));
         }
-        drop(self.engines.remove(&node.0));
+        let mut backend = self
+            .engines
+            .remove(&node.0)
+            .expect("presence checked above");
+        // Wipe the backend (remote servers forget everything, exactly like a
+        // dropped in-process engine) and keep the husk for the next join.
+        backend.crash()?;
+        self.graveyard.push(backend);
         self.ring.remove_node(node);
         self.node_weight.remove(&node.0);
         self.stats.nodes_killed += 1;
+        // Replicas hosted on the victim died with it.
+        self.replicas.retain(|_, &mut (host, _)| host != node.0);
 
         let lost: Vec<u64> = self
             .placements
@@ -585,9 +708,44 @@ impl<B: EngineTransport> Cluster<B> {
             .collect();
         let mut recovered = Vec::with_capacity(lost.len());
         let mut touched: BTreeSet<u64> = BTreeSet::new();
+        let mut rebuilt_cold = 0u64;
         for &key in &lost {
             let weight = self.placements[&key].weight;
             let target = self.place(key, weight)?;
+
+            // Warm path: promote the standby replica when it is current.
+            let replica = self.replicas.get(&key).copied();
+            if let Some((host, replica_seq)) = replica {
+                let current = replica_seq == self.mutation_seq.get(&key).copied().unwrap_or(0);
+                if current && self.engines.contains_key(&host) {
+                    if let Some(export) = self.engine_mut(NodeId(host))?.take_standby(key)? {
+                        let local = self.engine_mut(target)?.import_session(export)?;
+                        self.placements.insert(
+                            key,
+                            Placement {
+                                node: target.0,
+                                local,
+                                weight,
+                            },
+                        );
+                        self.charge_weight(target.0, weight as i64);
+                        touched.insert(target.0);
+                        // Consumed: the next flush re-replicates from the
+                        // new primary.
+                        self.replicas.remove(&key);
+                        self.stats.sessions_recovered += 1;
+                        self.stats.standby_promotions += 1;
+                        recovered.push((key, target));
+                        continue;
+                    }
+                }
+                // Stale or unusable: discard so it cannot resurrect a
+                // dead generation later (the cold rebuild below restarts
+                // the generation, which would otherwise collide with the
+                // replica's).
+                self.discard_replica(key)?;
+            }
+
             let shadow = self
                 .shadows
                 .get(&key)
@@ -633,7 +791,17 @@ impl<B: EngineTransport> Cluster<B> {
             touched.insert(target.0);
             self.stats.sessions_recovered += 1;
             self.stats.warm_capital_lost += 1;
+            rebuilt_cold += 1;
+            // The rebuild restarted the session's generation: bump the
+            // mutation clock so nothing snapshotted before the kill can
+            // ever look current again.
+            *self.mutation_seq.entry(key).or_insert(0) += 1;
             recovered.push((key, target));
+        }
+        if rebuilt_cold == 0 {
+            self.stats.failover_warm += 1;
+        } else {
+            self.stats.failover_cold += 1;
         }
         for target in touched {
             self.engine_mut(NodeId(target))?.flush()?;
@@ -738,7 +906,10 @@ impl<B: EngineTransport> Cluster<B> {
     /// counters (caches and sessions stay) — the warmup boundary. The
     /// topology counters `nodes_added`/`nodes_killed` are facts about the
     /// fleet's composition, not about measured traffic, and survive the
-    /// reset (like the engines' live queue-depth gauges).
+    /// reset (like the engines' live queue-depth gauges) — as do the
+    /// per-kill failover classifications paired with `nodes_killed`
+    /// (`failover_warm + failover_cold == nodes_killed` must keep holding
+    /// across the boundary).
     pub fn reset_stats(&mut self) {
         for engine in self.engines.values_mut() {
             engine.reset_stats().expect("node resets stats");
@@ -746,6 +917,8 @@ impl<B: EngineTransport> Cluster<B> {
         self.stats = ClusterStats {
             nodes_added: self.stats.nodes_added,
             nodes_killed: self.stats.nodes_killed,
+            failover_warm: self.stats.failover_warm,
+            failover_cold: self.stats.failover_cold,
             ..ClusterStats::default()
         };
     }
@@ -996,6 +1169,141 @@ mod tests {
             Err(ClusterError::LastNode(_))
         ));
         assert_eq!(cluster.session_count(), 9);
+    }
+
+    #[test]
+    fn replicated_kill_fails_over_warm() {
+        let mut cluster = Cluster::new(ClusterConfig {
+            replicate: true,
+            ..config(3)
+        });
+        for key in 0..6 {
+            open(&mut cluster, key);
+        }
+        // The flush boundary ships every session's standby replica.
+        cluster.flush_all();
+        assert!(
+            cluster.stats().replication_bytes > 0,
+            "replication must account shipped bytes"
+        );
+        let before: BTreeMap<u64, _> = (0..6)
+            .map(|key| (key, cluster.query_configuration(key).unwrap().1))
+            .collect();
+
+        let victim = cluster.placement_of(0).unwrap();
+        let report = cluster.kill_node(victim).unwrap();
+        assert!(report.sessions_lost >= 1);
+        assert_eq!(cluster.session_count(), 6, "no session may be lost");
+        assert_eq!(
+            cluster.stats().warm_capital_lost,
+            0,
+            "current replicas must promote, not rebuild cold"
+        );
+        assert_eq!(
+            cluster.stats().standby_promotions,
+            report.sessions_lost as u64
+        );
+        assert_eq!(cluster.stats().failover_warm, 1);
+        assert_eq!(cluster.stats().failover_cold, 0);
+        // Promoted sessions serve exactly what they served before the kill:
+        // same configuration, same solve generation — a warm kill is
+        // digest-invisible, like a migration.
+        for key in 0..6 {
+            let (node, after) = cluster.query_configuration(key).unwrap();
+            assert_ne!(node, victim);
+            assert_eq!(after.configuration, before[&key].configuration);
+            assert_eq!(after.generation, before[&key].generation);
+        }
+        // The promoted warm capital is live: the next incremental re-solve
+        // on the adopting node starts warm (session-affine factor reuse)
+        // even though that node never computed the factors itself.
+        let (key, node) = report.recovered[0];
+        cluster.reset_stats();
+        cluster
+            .submit_event(key, SessionEvent::Membership(DynamicEvent::Leave(0)))
+            .unwrap();
+        cluster.flush_node(node).unwrap();
+        let stats = cluster.node_stats(node).unwrap();
+        assert!(stats.solves() >= 1, "the promoted session re-solved");
+        assert!(
+            stats.warm_start_rate() > 0.0,
+            "promoted session must re-solve warm: {stats}"
+        );
+    }
+
+    #[test]
+    fn stale_replica_rebuilds_cold_and_counts_a_cold_failover() {
+        let mut cluster = Cluster::new(ClusterConfig {
+            replicate: true,
+            ..config(2)
+        });
+        open(&mut cluster, 11);
+        cluster.flush_all();
+        // Mutate after the replica shipped: the standby is now one mutation
+        // generation behind, and the pending event has not been flushed.
+        cluster
+            .submit_event(11, SessionEvent::Membership(DynamicEvent::Leave(0)))
+            .unwrap();
+        let victim = cluster.placement_of(11).unwrap();
+        let report = cluster.kill_node(victim).unwrap();
+        assert_eq!(report.sessions_lost, 1);
+        assert_eq!(
+            cluster.stats().standby_promotions,
+            0,
+            "a stale replica must never promote"
+        );
+        assert_eq!(cluster.stats().warm_capital_lost, 1);
+        assert_eq!(cluster.stats().failover_warm, 0);
+        assert_eq!(cluster.stats().failover_cold, 1);
+        // The cold rebuild replayed the shadow intent exactly once: the
+        // unflushed leave is neither dropped nor double-applied.
+        let (_, view) = cluster.query_configuration(11).unwrap();
+        assert_eq!(view.present, vec![1, 2, 3]);
+        assert_eq!(view.staleness, 0, "recovery flush applied the intent");
+        // The failover classification is paired with the kill counter and
+        // survives a stats reset alongside it.
+        cluster.reset_stats();
+        assert_eq!(
+            cluster.stats().failover_warm + cluster.stats().failover_cold,
+            cluster.stats().nodes_killed
+        );
+        assert_eq!(cluster.stats().warm_capital_lost, 0);
+    }
+
+    #[test]
+    fn graveyard_reuses_crashed_backends_for_joins() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let spawns = std::sync::Arc::new(AtomicUsize::new(0));
+        let counter = std::sync::Arc::clone(&spawns);
+        let mut cluster = Cluster::with_backends(config(2), move |engine: &EngineConfig| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            Engine::new(engine.clone())
+        });
+        assert_eq!(spawns.load(Ordering::Relaxed), 2);
+        for key in 0..4 {
+            open(&mut cluster, key);
+        }
+        let victim = cluster.node_ids()[0];
+        cluster.kill_node(victim).unwrap();
+        // The join reuses the crashed husk instead of spawning: kill/join
+        // churn works even when backends are processes we cannot fork.
+        let joined = cluster.add_node();
+        assert_eq!(
+            spawns.load(Ordering::Relaxed),
+            2,
+            "graveyard must be reused"
+        );
+        assert_eq!(cluster.node_count(), 2);
+        assert_ne!(joined, victim, "a join is a fresh identity");
+        // The reused backend is pristine and serves.
+        let mut probe = cluster.node_stats(joined).unwrap();
+        assert_eq!(probe.requests, 0);
+        cluster.migrate_session(0, joined).unwrap();
+        let (node, view) = cluster.query_configuration(0).unwrap();
+        assert_eq!(node, joined);
+        assert!(view.configuration.is_valid(view.catalog.len()));
+        probe = cluster.node_stats(joined).unwrap();
+        assert!(probe.requests > 0);
     }
 
     #[test]

@@ -69,11 +69,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod cluster;
 pub mod policy;
 pub mod ring;
 pub mod stats;
 
+pub use chaos::{ChaosControl, ChaosFault, ChaosInjection, ChaosPlan, ChaosTransport, FaultWindow};
 pub use cluster::{Cluster, ClusterConfig, ClusterError, KillReport, PlacementMode};
 pub use policy::{
     ClusterView, Migration, NodeLoad, QueueDepthPolicy, RebalancePolicy, RingPolicy,
@@ -84,6 +86,9 @@ pub use stats::{ClusterSnapshot, ClusterStats, NodeSnapshot};
 
 /// The most common cluster imports in one place.
 pub mod prelude {
+    pub use crate::chaos::{
+        ChaosControl, ChaosFault, ChaosInjection, ChaosPlan, ChaosTransport, FaultWindow,
+    };
     pub use crate::cluster::{Cluster, ClusterConfig, ClusterError, KillReport, PlacementMode};
     pub use crate::policy::{Migration, QueueDepthPolicy, RebalancePolicy, RingPolicy};
     pub use crate::ring::{HashRing, NodeId};

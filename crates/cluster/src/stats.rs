@@ -30,6 +30,22 @@ pub struct ClusterStats {
     /// Sessions placed off their ring home by bounded-load placement (the
     /// home node was over capacity and the key spilled clockwise).
     pub spill_placements: u64,
+    /// Canonical payload bytes shipped to standby replicas (each replica
+    /// shipment accounts its export's wire size, whether the transport is
+    /// in-process or TCP).
+    pub replication_bytes: u64,
+    /// Standby replicas promoted to live sessions by `Cluster::kill_node` —
+    /// warm failovers at session granularity.
+    pub standby_promotions: u64,
+    /// Kills that lost *zero* warm capital: every lost session was promoted
+    /// from a current standby (or the victim hosted none). Paired with
+    /// `nodes_killed` — a topology fact that survives `reset_stats`;
+    /// `failover_warm + failover_cold == nodes_killed` always holds.
+    pub failover_warm: u64,
+    /// Kills where at least one session had to be rebuilt cold from shadow
+    /// state (no replica, or a stale one). Survives `reset_stats` like
+    /// `failover_warm`.
+    pub failover_cold: u64,
 }
 
 /// One node's contribution to a cluster snapshot.

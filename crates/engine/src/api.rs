@@ -104,6 +104,28 @@ pub enum EngineRequest {
     /// (phase aggregates, top-K-slowest request waterfalls, collapsed-stack
     /// export) — behind `loadgen profile --connect`.
     QueryProfile,
+    /// Clones a live session into its transferable [`SessionExport`] form
+    /// *without* draining it — the replication half of warm standby: the
+    /// session keeps serving while a copy travels to its ring-successor.
+    /// Answered with [`EngineResponse::SessionExported`], like the
+    /// destructive [`EngineRequest::ExportSession`].
+    SnapshotSession(SessionId),
+    /// Stores a standby replica under a cluster-assigned key. Replicas are
+    /// passive payload — they are not sessions, are never solved, and die
+    /// with the node holding them (which is what makes the failure
+    /// semantics honest). A later put under the same key overwrites.
+    PutStandby(u64, Box<SessionExport>),
+    /// Removes and returns the standby replica stored under a key (`None`
+    /// when absent). Promotion and discard are the same operation: the
+    /// router takes the replica either to import it on a surviving node or
+    /// to drop a stale copy.
+    TakeStandby(u64),
+    /// Simulates a node crash: wipes every session, standby replica, cache
+    /// and counter, returning the engine to its freshly-constructed state
+    /// (worker pool kept). A remote server that handled `Crash` is
+    /// indistinguishable from a newly spawned node, which is what lets the
+    /// cluster kill and re-join *processes* it cannot actually fork.
+    Crash,
 }
 
 /// The engine's shape and current occupancy, as answered to
@@ -189,6 +211,13 @@ pub enum EngineResponse {
     /// The engine's profile (boxed: carries ledger entries, waterfalls and
     /// the collapsed-stack text).
     Profile(Box<crate::profile::EngineProfile>),
+    /// The standby replica was stored.
+    StandbyStored,
+    /// The standby replica under the requested key, removed from the store
+    /// (`None` when no replica was held; boxed: carries a whole instance).
+    StandbyTaken(Option<Box<SessionExport>>),
+    /// The engine wiped itself back to its freshly-constructed state.
+    Crashed,
 }
 
 /// Why a request was rejected.

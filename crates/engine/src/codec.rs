@@ -1040,8 +1040,31 @@ pub fn encode_request(request: &EngineRequest) -> Vec<u8> {
         EngineRequest::QueryMetrics => w.u8(12),
         EngineRequest::QueryTelemetry => w.u8(13),
         EngineRequest::QueryProfile => w.u8(14),
+        EngineRequest::SnapshotSession(session) => {
+            w.u8(15);
+            w.u64(session.0);
+        }
+        EngineRequest::PutStandby(key, export) => {
+            w.u8(16);
+            w.u64(*key);
+            write_export(&mut w, export);
+        }
+        EngineRequest::TakeStandby(key) => {
+            w.u8(17);
+            w.u64(*key);
+        }
+        EngineRequest::Crash => w.u8(18),
     }
     w.buf
+}
+
+/// The canonical wire size of a session export in bytes — what the cluster's
+/// `replication_bytes` counter accounts per standby shipment, identical
+/// in-process and over TCP because it is the export's actual payload length.
+pub fn session_export_bytes(export: &SessionExport) -> u64 {
+    let mut w = Writer::new();
+    write_export(&mut w, export);
+    w.buf.len() as u64
 }
 
 /// Decodes a request from its canonical byte form, rejecting truncated or
@@ -1067,6 +1090,13 @@ pub fn decode_request(bytes: &[u8]) -> Result<EngineRequest, CodecError> {
         12 => EngineRequest::QueryMetrics,
         13 => EngineRequest::QueryTelemetry,
         14 => EngineRequest::QueryProfile,
+        15 => EngineRequest::SnapshotSession(SessionId(r.u64()?)),
+        16 => {
+            let key = r.u64()?;
+            EngineRequest::PutStandby(key, Box::new(read_export(&mut r)?))
+        }
+        17 => EngineRequest::TakeStandby(r.u64()?),
+        18 => EngineRequest::Crash,
         tag => {
             return Err(CodecError::BadTag {
                 what: "request",
@@ -1151,6 +1181,12 @@ pub fn encode_response(response: &Result<EngineResponse, EngineError>) -> Vec<u8
             w.u8(14);
             write_profile(&mut w, profile);
         }
+        Ok(EngineResponse::StandbyStored) => w.u8(15),
+        Ok(EngineResponse::StandbyTaken(export)) => {
+            w.u8(16);
+            write_option(&mut w, export.as_deref(), write_export);
+        }
+        Ok(EngineResponse::Crashed) => w.u8(17),
     }
     w.buf
 }
@@ -1195,6 +1231,11 @@ pub fn decode_response(bytes: &[u8]) -> Result<Result<EngineResponse, EngineErro
             Ok(EngineResponse::Telemetry(samples))
         }
         14 => Ok(EngineResponse::Profile(Box::new(read_profile(&mut r)?))),
+        15 => Ok(EngineResponse::StandbyStored),
+        16 => Ok(EngineResponse::StandbyTaken(
+            read_option(&mut r, read_export)?.map(Box::new),
+        )),
+        17 => Ok(EngineResponse::Crashed),
         tag => {
             return Err(CodecError::BadTag {
                 what: "response",
@@ -1247,9 +1288,67 @@ mod tests {
             EngineRequest::QueryMetrics,
             EngineRequest::QueryTelemetry,
             EngineRequest::QueryProfile,
+            EngineRequest::SnapshotSession(SessionId(5)),
+            EngineRequest::PutStandby(
+                0xC0FFEE,
+                Box::new(crate::session::SessionExport {
+                    full: Arc::new(running_example()),
+                    catalog: vec![0, 1, 2, 3, 4],
+                    lambda: 0.5,
+                    present: vec![0, 1, 2, 3],
+                    pending: vec![SessionEvent::Membership(DynamicEvent::Leave(1))],
+                    served: None,
+                    seed: 9,
+                    generation: 4,
+                    events_since_full: 1,
+                    lifetime_events: 6,
+                    last_factors: None,
+                    last_factor_fingerprint: Some(0xFEED),
+                }),
+            ),
+            EngineRequest::TakeStandby(0xC0FFEE),
+            EngineRequest::Crash,
         ] {
             assert_request_roundtrip(&request);
         }
+    }
+
+    #[test]
+    fn standby_responses_roundtrip() {
+        let export = crate::session::SessionExport {
+            full: Arc::new(running_example()),
+            catalog: vec![0, 1, 2, 3, 4],
+            lambda: 0.5,
+            present: vec![0, 2],
+            pending: Vec::new(),
+            served: None,
+            seed: 3,
+            generation: 1,
+            events_since_full: 0,
+            lifetime_events: 2,
+            last_factors: None,
+            last_factor_fingerprint: None,
+        };
+        let responses = [
+            Ok(EngineResponse::StandbyStored),
+            Ok(EngineResponse::StandbyTaken(None)),
+            Ok(EngineResponse::StandbyTaken(Some(Box::new(export.clone())))),
+            Ok(EngineResponse::Crashed),
+        ];
+        for response in responses {
+            let bytes = encode_response(&response);
+            let decoded = decode_response(&bytes).expect("decodes");
+            assert_eq!(
+                encode_response(&decoded),
+                bytes,
+                "canonical re-encode differs"
+            );
+        }
+        assert_eq!(
+            session_export_bytes(&export),
+            encode_request(&EngineRequest::PutStandby(0, Box::new(export))).len() as u64 - 9,
+            "export size accounts the payload, not the tag/key framing"
+        );
     }
 
     #[test]

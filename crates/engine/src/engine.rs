@@ -196,6 +196,12 @@ struct ShardState {
 pub struct Engine {
     config: EngineConfig,
     sessions: BTreeMap<u64, SessionState>,
+    /// Passive standby replicas, keyed by the *cluster's* session key (the
+    /// router's namespace, not local session ids). Replicas are inert
+    /// payload: never solved, never flushed, invisible to `describe` and the
+    /// memory gauges' session walk — they exist only to be taken back by the
+    /// router when another node dies.
+    standbys: BTreeMap<u64, SessionExport>,
     next_session: u64,
     shards: Vec<Arc<Mutex<ShardState>>>,
     pool: WorkerPool,
@@ -245,6 +251,7 @@ impl Engine {
         Engine {
             config,
             sessions: BTreeMap::new(),
+            standbys: BTreeMap::new(),
             next_session: 1,
             shards,
             pool,
@@ -451,6 +458,20 @@ impl Engine {
             EngineRequest::QueryMetrics => Ok(EngineResponse::Metrics(self.stats().metrics())),
             EngineRequest::QueryTelemetry => Ok(EngineResponse::Telemetry(self.telemetry())),
             EngineRequest::QueryProfile => Ok(EngineResponse::Profile(Box::new(self.profile()))),
+            EngineRequest::SnapshotSession(session) => self
+                .snapshot_session(session)
+                .map(|export| EngineResponse::SessionExported(Box::new(export))),
+            EngineRequest::PutStandby(key, export) => {
+                self.put_standby(key, *export);
+                Ok(EngineResponse::StandbyStored)
+            }
+            EngineRequest::TakeStandby(key) => Ok(EngineResponse::StandbyTaken(
+                self.take_standby(key).map(Box::new),
+            )),
+            EngineRequest::Crash => {
+                self.crash();
+                Ok(EngineResponse::Crashed)
+            }
         }
     }
 
@@ -470,7 +491,8 @@ impl Engine {
             | EngineRequest::QueryConfiguration(session)
             | EngineRequest::ForceResolve(session)
             | EngineRequest::CloseSession(session)
-            | EngineRequest::ExportSession(session) => session.0,
+            | EngineRequest::ExportSession(session)
+            | EngineRequest::SnapshotSession(session) => session.0,
             _ => 0,
         };
         self.current_request = request_id;
@@ -707,6 +729,71 @@ impl Engine {
             SpanRecord::NO_SHARD,
         );
         SessionId(id)
+    }
+
+    /// Clones a session's complete transferable state *without* draining it
+    /// — the replication half of warm standby. The live session is
+    /// untouched; the copy is what travels to the ring-successor. Not
+    /// counted as a request or an export, so replication leaves every
+    /// traffic counter exactly where a replication-free run puts it.
+    pub fn snapshot_session(&mut self, session: SessionId) -> Result<SessionExport, EngineError> {
+        self.sessions
+            .get(&session.0)
+            .map(SessionState::to_export)
+            .ok_or(EngineError::UnknownSession(session))
+    }
+
+    /// Stores a standby replica under a cluster-assigned key, replacing any
+    /// previous replica under that key. The replica is passive payload; it
+    /// participates in nothing until taken back.
+    pub fn put_standby(&mut self, key: u64, export: SessionExport) {
+        self.standbys.insert(key, export);
+    }
+
+    /// Removes and returns the standby replica under `key`, if any. Taking
+    /// is both promotion (the router imports the result elsewhere) and
+    /// discard (the router drops a stale copy) — one operation, no separate
+    /// delete to drift out of sync.
+    pub fn take_standby(&mut self, key: u64) -> Option<SessionExport> {
+        self.standbys.remove(&key)
+    }
+
+    /// Standby replicas currently held (test/inspection surface).
+    pub fn standby_count(&self) -> usize {
+        self.standbys.len()
+    }
+
+    /// Simulates a node crash: drops every session, standby replica, cached
+    /// factor set, telemetry sample and counter, returning the engine to
+    /// its freshly-constructed state. The worker pool survives (threads are
+    /// the *process's* resource; a simulated crash kills the node's state,
+    /// not the host). After `crash`, session ids restart at 1 — a crashed
+    /// server is indistinguishable from a newly spawned one, which is what
+    /// lets the cluster kill and re-join remote processes it cannot fork.
+    pub fn crash(&mut self) {
+        for (&id, state) in &self.sessions {
+            let shard = shard_index(id, self.shards.len());
+            self.stats.shard_queue_sub(shard, state.pending.len());
+        }
+        self.sessions.clear();
+        self.standbys.clear();
+        self.next_session = 1;
+        self.pending_total = 0;
+        self.telemetry.clear();
+        self.ticks = 0;
+        self.ledger.clear();
+        for slot in &mut self.queue_since {
+            *slot = None;
+        }
+        for (shard, state) in self.shards.iter().enumerate() {
+            // lint: allow(no-panic, a poisoned shard lock means a worker panicked mid-batch; engine state is unrecoverable)
+            let mut shard_state = state.lock().expect("shard poisoned");
+            shard_state.factors = FactorCache::new(self.config.cache_capacity);
+            shard_state.components = FactorCache::new(self.config.component_cache_capacity);
+            self.stats.set_shard_cache_gauges(shard, 0, 0);
+        }
+        self.stats.reset();
+        self.stats.set_mem_gauges(0, 0, 0);
     }
 
     /// Applies every session's pending events in one batched dispatch.

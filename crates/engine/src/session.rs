@@ -175,6 +175,28 @@ impl SessionState {
         }
     }
 
+    /// Clones the state into its transferable form without consuming it —
+    /// the replication path ([`crate::api::EngineRequest::SnapshotSession`]):
+    /// the session keeps serving while the copy travels to a standby. Cheap
+    /// relative to a solve: the full instance is `Arc`-shared, so only the
+    /// catalogue/population/pending vectors and the served solution clone.
+    pub fn to_export(&self) -> SessionExport {
+        SessionExport {
+            full: Arc::clone(&self.full),
+            catalog: self.catalog.clone(),
+            lambda: self.lambda,
+            present: self.present.clone(),
+            pending: self.pending.clone(),
+            served: self.served.clone(),
+            seed: self.seed,
+            generation: self.generation,
+            events_since_full: self.events_since_full,
+            lifetime_events: self.lifetime_events,
+            last_factors: self.last_factors.clone(),
+            last_factor_fingerprint: self.last_factor_fingerprint,
+        }
+    }
+
     /// Rebuilds a live state from an export under a new local id. The base
     /// instance and its fingerprint are recomputed from (full, catalogue, λ)
     /// — a pure function of the exported fields, so the fingerprint (and with
@@ -332,6 +354,22 @@ mod tests {
             next_seed,
             "solve seeds are host-independent"
         );
+    }
+
+    #[test]
+    fn snapshot_matches_destructive_export_and_leaves_session_live() {
+        let full = running_example();
+        let mut state = SessionState::new(SessionId(5), full, vec![0, 1], 13);
+        state.generation = 2;
+        state.lifetime_events = 4;
+        let snapshot = state.to_export();
+        assert_eq!(state.id, SessionId(5), "session stays live");
+        let export = state.into_export();
+        assert_eq!(snapshot.present, export.present);
+        assert_eq!(snapshot.catalog, export.catalog);
+        assert_eq!(snapshot.generation, export.generation);
+        assert_eq!(snapshot.lifetime_events, export.lifetime_events);
+        assert_eq!(snapshot.seed, export.seed);
     }
 
     #[test]

@@ -51,6 +51,9 @@ fn mismatch(wanted: &'static str, got: &EngineResponse) -> EngineError {
         EngineResponse::Metrics(_) => "Metrics",
         EngineResponse::Telemetry(_) => "Telemetry",
         EngineResponse::Profile(_) => "Profile",
+        EngineResponse::StandbyStored => "StandbyStored",
+        EngineResponse::StandbyTaken(_) => "StandbyTaken",
+        EngineResponse::Crashed => "Crashed",
     };
     EngineError::Transport(format!("protocol mismatch: wanted {wanted}, got {got}"))
 }
@@ -198,6 +201,41 @@ pub trait EngineTransport {
             other => Err(mismatch("Profile", &other)),
         }
     }
+
+    /// Clones a session into its transferable form without draining it (the
+    /// replication half of warm standby).
+    fn snapshot_session(&mut self, session: SessionId) -> Result<SessionExport, EngineError> {
+        match self.request(EngineRequest::SnapshotSession(session))? {
+            EngineResponse::SessionExported(export) => Ok(*export),
+            other => Err(mismatch("SessionExported", &other)),
+        }
+    }
+
+    /// Stores a standby replica under a cluster-assigned key (overwrites any
+    /// previous replica under the same key).
+    fn put_standby(&mut self, key: u64, export: SessionExport) -> Result<(), EngineError> {
+        match self.request(EngineRequest::PutStandby(key, Box::new(export)))? {
+            EngineResponse::StandbyStored => Ok(()),
+            other => Err(mismatch("StandbyStored", &other)),
+        }
+    }
+
+    /// Removes and returns the standby replica under a key, if any.
+    fn take_standby(&mut self, key: u64) -> Result<Option<SessionExport>, EngineError> {
+        match self.request(EngineRequest::TakeStandby(key))? {
+            EngineResponse::StandbyTaken(export) => Ok(export.map(|b| *b)),
+            other => Err(mismatch("StandbyTaken", &other)),
+        }
+    }
+
+    /// Simulates a node crash: wipes the engine back to its
+    /// freshly-constructed state (sessions, standbys, caches, counters).
+    fn crash(&mut self) -> Result<(), EngineError> {
+        match self.request(EngineRequest::Crash)? {
+            EngineResponse::Crashed => Ok(()),
+            other => Err(mismatch("Crashed", &other)),
+        }
+    }
 }
 
 impl EngineTransport for Engine {
@@ -283,5 +321,66 @@ mod tests {
             backend.query_configuration(id),
             Err(EngineError::UnknownSession(_))
         ));
+    }
+
+    /// The standby/crash wrappers: snapshot leaves the session live, a put
+    /// standby comes back on take, and crash wipes everything.
+    #[test]
+    fn standby_surface_roundtrips_and_crash_wipes() {
+        let mut engine = Engine::new(crate::engine::EngineConfig {
+            workers: 1,
+            shards: 1,
+            auto_flush_pending: 0,
+            ..crate::engine::EngineConfig::default()
+        });
+        let backend: &mut dyn EngineTransport = &mut engine;
+        let view = backend
+            .create_session(CreateSession {
+                instance: running_example(),
+                initial_present: vec![],
+                seed: 21,
+            })
+            .expect("creates");
+        let id = view.session;
+        let snapshot = backend.snapshot_session(id).expect("snapshots");
+        assert!(snapshot.has_warm_capital());
+        backend
+            .query_configuration(id)
+            .expect("session stays live after a snapshot");
+        backend.put_standby(0xBEEF, snapshot).expect("stores");
+        assert!(
+            backend.take_standby(0x5151).expect("takes").is_none(),
+            "unknown key takes nothing"
+        );
+        let taken = backend
+            .take_standby(0xBEEF)
+            .expect("takes")
+            .expect("replica present");
+        assert_eq!(taken.generation, 1);
+        assert!(
+            backend.take_standby(0xBEEF).expect("takes").is_none(),
+            "take removes the replica"
+        );
+        backend.put_standby(0xBEEF, taken).expect("stores again");
+        backend.crash().expect("crashes");
+        let info = backend.describe().expect("describes");
+        assert_eq!(info.sessions, 0, "crash drops sessions");
+        assert!(
+            backend.take_standby(0xBEEF).expect("takes").is_none(),
+            "crash drops standbys"
+        );
+        assert_eq!(
+            backend.stats().expect("stats").sessions_created,
+            0,
+            "crash resets counters"
+        );
+        let view = backend
+            .create_session(CreateSession {
+                instance: running_example(),
+                initial_present: vec![],
+                seed: 21,
+            })
+            .expect("creates after crash");
+        assert_eq!(view.session, SessionId(1), "session ids restart");
     }
 }

@@ -16,6 +16,7 @@
 
 use std::io;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use svgic_engine::codec::{decode_response, encode_request};
 use svgic_engine::transport::EngineTransport;
@@ -24,23 +25,137 @@ use svgic_obs::{Phase, SpanRecord, Tracer};
 
 use crate::frame::{read_frame, write_frame, Frame, FrameError, FrameKind};
 
+/// How a [`NetClient`] behaves when a request fails at the transport level
+/// (connection death, a read timeout, framing desync).
+///
+/// With the default policy ([`RetryPolicy::none`]) a failure surfaces
+/// immediately as [`EngineError::Transport`] — the pre-existing behaviour.
+/// With retries enabled, the client sleeps `base_backoff · 2^attempt`,
+/// reconnects to the address it originally dialled, and resends the request;
+/// after `max_retries` failed retries the *last* error surfaces. Retrying
+/// resends the whole request, so a request that reached the engine before the
+/// connection died may execute twice — callers that enable retries accept
+/// at-least-once semantics in exchange for surviving flaky networks (the
+/// drivers' traffic is replayed deterministically, so CI smoke runs only
+/// enable this against servers that fail *before* serving, never after).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the initial attempt (`0` = fail fast).
+    pub max_retries: u32,
+    /// Backoff before retry `n` is `base_backoff · 2^n`.
+    pub base_backoff: Duration,
+    /// Per-request read timeout on the socket (`None` = block forever). A
+    /// request whose response does not arrive in time fails like any other
+    /// transport error — and is retried under the same policy.
+    pub request_timeout: Option<Duration>,
+}
+
+impl RetryPolicy {
+    /// Fail-fast: no retries, no timeout (the behaviour of a plain
+    /// [`NetClient::connect`]).
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            base_backoff: Duration::ZERO,
+            request_timeout: None,
+        }
+    }
+
+    /// The backoff before retry `attempt` (zero-based): `base_backoff ·
+    /// 2^attempt`, saturating.
+    pub fn backoff_for(&self, attempt: u32) -> Duration {
+        self.base_backoff
+            .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
 /// A connection to a remote engine served by [`crate::NetServer`].
 pub struct NetClient {
     stream: TcpStream,
     next_id: u64,
     tracer: Tracer,
+    /// The address originally dialled — where a retrying client reconnects.
+    addr: Option<SocketAddr>,
+    policy: RetryPolicy,
 }
 
 impl NetClient {
-    /// Connects to a serving engine (e.g. `"127.0.0.1:7741"`).
+    /// Connects to a serving engine (e.g. `"127.0.0.1:7741"`) with the
+    /// fail-fast [`RetryPolicy::none`].
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<NetClient> {
+        NetClient::connect_with_policy(addr, RetryPolicy::none())
+    }
+
+    /// Connects with an explicit retry/timeout policy.
+    pub fn connect_with_policy(
+        addr: impl ToSocketAddrs,
+        policy: RetryPolicy,
+    ) -> io::Result<NetClient> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(policy.request_timeout)?;
+        let addr = stream.peer_addr().ok();
         Ok(NetClient {
             stream,
             next_id: 1,
             tracer: Tracer::default(),
+            addr,
+            policy,
         })
+    }
+
+    /// Dials a fresh connection to the original address, replacing the
+    /// (presumed dead) stream.
+    fn reconnect(&mut self) -> Result<(), FrameError> {
+        let addr = self
+            .addr
+            .ok_or_else(|| FrameError::Io("peer address unknown; cannot reconnect".into()))?;
+        let stream =
+            TcpStream::connect(addr).map_err(|e| FrameError::Io(format!("reconnect: {e}")))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| FrameError::Io(format!("reconnect: {e}")))?;
+        stream
+            .set_read_timeout(self.policy.request_timeout)
+            .map_err(|e| FrameError::Io(format!("reconnect: {e}")))?;
+        self.stream = stream;
+        Ok(())
+    }
+
+    /// One exchange under the retry policy: fail-fast policies call
+    /// [`NetClient::exchange`] directly; retrying policies sleep the
+    /// exponential backoff, reconnect and resend until a response arrives or
+    /// the retry budget is spent (the last error surfaces).
+    fn exchange_resilient(
+        &mut self,
+        kind: FrameKind,
+        payload: Vec<u8>,
+    ) -> Result<Frame, FrameError> {
+        if self.policy.max_retries == 0 {
+            return self.exchange(kind, payload);
+        }
+        let mut last_error = match self.exchange(kind, payload.clone()) {
+            Ok(frame) => return Ok(frame),
+            Err(error) => error,
+        };
+        for attempt in 0..self.policy.max_retries {
+            std::thread::sleep(self.policy.backoff_for(attempt));
+            if let Err(error) = self.reconnect() {
+                last_error = error;
+                continue;
+            }
+            match self.exchange(kind, payload.clone()) {
+                Ok(frame) => return Ok(frame),
+                Err(error) => last_error = error,
+            }
+        }
+        Err(last_error)
     }
 
     /// Attaches a tracer: each request then records client-side
@@ -109,7 +224,7 @@ impl EngineTransport for NetClient {
         );
         let t_serve = self.tracer.begin();
         let frame = self
-            .exchange(FrameKind::Request, payload)
+            .exchange_resilient(FrameKind::Request, payload)
             .map_err(|e| EngineError::Transport(e.to_string()))?;
         self.tracer
             .finish(t_serve, Phase::Serve, request_id, 0, SpanRecord::NO_SHARD);

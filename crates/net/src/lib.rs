@@ -55,6 +55,6 @@ pub mod client;
 pub mod frame;
 pub mod server;
 
-pub use client::NetClient;
+pub use client::{NetClient, RetryPolicy};
 pub use frame::{Frame, FrameError, FrameKind, MAGIC, MAX_PAYLOAD, VERSION};
 pub use server::NetServer;

@@ -7,12 +7,15 @@
 //! for well-behaved clients.
 
 use std::io::Write;
-use std::net::TcpStream;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use svgic_core::example::running_example;
 use svgic_engine::prelude::*;
 use svgic_net::frame::{read_frame, write_frame, Frame, FrameKind};
-use svgic_net::{NetClient, NetServer};
+use svgic_net::{NetClient, NetServer, RetryPolicy};
 
 fn test_engine() -> Engine {
     Engine::new(EngineConfig {
@@ -195,6 +198,166 @@ fn pipelined_requests_are_matched_by_id() {
     let client = NetClient::connect(server.local_addr()).expect("connects");
     client.shutdown_server().expect("shuts down");
     server.join();
+}
+
+/// How a sabotaged connection misbehaves after reading the client's first
+/// request frame (which therefore "arrived" but is never forwarded).
+#[derive(Clone, Copy)]
+enum Sabotage {
+    /// Hang up immediately: the client's response read sees EOF.
+    Drop,
+    /// Go silent: the client's response read must hit its own timeout.
+    Hold(Duration),
+}
+
+/// A TCP saboteur in front of a real server: the first `sabotaged`
+/// connections each have one request frame read and swallowed (the engine
+/// behind never sees a byte of them), then misbehave per `mode`; every
+/// later connection is forwarded verbatim both ways. Returns the proxy
+/// address and the accepted-connection counter. The accept thread is
+/// deliberately leaked — it blocks on `accept` and dies with the process.
+fn sabotage_proxy(
+    upstream: SocketAddr,
+    sabotaged: usize,
+    mode: Sabotage,
+) -> (SocketAddr, Arc<AtomicUsize>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("binds");
+    let addr = listener.local_addr().expect("bound");
+    let connections = Arc::new(AtomicUsize::new(0));
+    let seen = Arc::clone(&connections);
+    std::thread::spawn(move || {
+        for (index, stream) in listener.incoming().enumerate() {
+            let Ok(mut client_side) = stream else { break };
+            seen.fetch_add(1, Ordering::SeqCst);
+            if index < sabotaged {
+                // Sabotage on its own thread, so a held connection never
+                // starves the accept loop the retry will arrive on.
+                std::thread::spawn(move || {
+                    let _ = read_frame(&mut client_side);
+                    if let Sabotage::Hold(pause) = mode {
+                        std::thread::sleep(pause);
+                    }
+                    drop(client_side);
+                });
+                continue;
+            }
+            let Ok(server_side) = TcpStream::connect(upstream) else {
+                break;
+            };
+            let mut c2s_read = client_side.try_clone().expect("clones");
+            let mut c2s_write = server_side.try_clone().expect("clones");
+            std::thread::spawn(move || {
+                let _ = std::io::copy(&mut c2s_read, &mut c2s_write);
+            });
+            let mut s2c_read = server_side;
+            let mut s2c_write = client_side;
+            std::thread::spawn(move || {
+                let _ = std::io::copy(&mut s2c_read, &mut s2c_write);
+            });
+        }
+    });
+    (addr, connections)
+}
+
+/// ISSUE 10's retry satellite, the drop case: the server path swallows the
+/// first request frame and hangs up. A fail-fast client surfaces the
+/// failure; a retrying client reconnects, resends, and succeeds — and the
+/// swallowed attempt mutated **zero** engine state (exactly one session
+/// exists afterwards, created by the retry).
+#[test]
+fn retry_reconnects_and_resends_after_a_dropped_frame() {
+    let server = NetServer::bind("127.0.0.1:0", test_engine()).expect("binds");
+    let (addr, connections) = sabotage_proxy(server.local_addr(), 1, Sabotage::Drop);
+    let mut client = NetClient::connect_with_policy(
+        addr,
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff: Duration::from_millis(1),
+            request_timeout: None,
+        },
+    )
+    .expect("connects");
+    let view = client.create_session(create_spec(21)).expect("retry lands");
+    assert!(view.configuration.is_valid(view.catalog.len()));
+    let info = client.describe().expect("describes");
+    assert_eq!(
+        info.sessions, 1,
+        "the dropped first attempt must not have mutated the engine"
+    );
+    assert_eq!(
+        connections.load(Ordering::SeqCst),
+        2,
+        "one sabotaged connection, one successful reconnect"
+    );
+    client.shutdown_server().expect("shuts down");
+    server.join();
+}
+
+/// The delay case: the server path reads the request and goes silent. The
+/// client's per-request read timeout fires, it reconnects and resends; the
+/// engine ends up with exactly the retried state.
+#[test]
+fn retry_recovers_from_a_silent_server_via_request_timeout() {
+    let server = NetServer::bind("127.0.0.1:0", test_engine()).expect("binds");
+    let (addr, connections) = sabotage_proxy(
+        server.local_addr(),
+        1,
+        Sabotage::Hold(Duration::from_millis(400)),
+    );
+    let mut client = NetClient::connect_with_policy(
+        addr,
+        RetryPolicy {
+            max_retries: 2,
+            base_backoff: Duration::from_millis(1),
+            request_timeout: Some(Duration::from_millis(50)),
+        },
+    )
+    .expect("connects");
+    let started = Instant::now();
+    let view = client.create_session(create_spec(22)).expect("retry lands");
+    assert!(view.configuration.is_valid(view.catalog.len()));
+    assert!(
+        started.elapsed() >= Duration::from_millis(50),
+        "the first attempt must have waited out the request timeout"
+    );
+    let info = client.describe().expect("describes");
+    assert_eq!(info.sessions, 1, "the timed-out attempt mutated nothing");
+    assert!(connections.load(Ordering::SeqCst) >= 2);
+    client.shutdown_server().expect("shuts down");
+    server.join();
+}
+
+/// Exhaustion: every connection is dropped after its first frame. The
+/// retry budget is spent with exponential backoff between attempts, then
+/// the *last* error surfaces as a clean [`EngineError::Transport`] — no
+/// panic, no hang — and the attempt count is exactly `1 + max_retries`.
+#[test]
+fn exhausted_retries_surface_a_clean_transport_error() {
+    // No upstream at all: every connection is sabotaged.
+    let dead_upstream: SocketAddr = "127.0.0.1:1".parse().expect("parses");
+    let (addr, connections) = sabotage_proxy(dead_upstream, usize::MAX, Sabotage::Drop);
+    let policy = RetryPolicy {
+        max_retries: 2,
+        base_backoff: Duration::from_millis(5),
+        request_timeout: None,
+    };
+    assert_eq!(policy.backoff_for(0), Duration::from_millis(5));
+    assert_eq!(policy.backoff_for(1), Duration::from_millis(10));
+    let mut client = NetClient::connect_with_policy(addr, policy).expect("connects");
+    let started = Instant::now();
+    let err = client
+        .create_session(create_spec(23))
+        .expect_err("no attempt can succeed");
+    assert!(matches!(err, EngineError::Transport(_)), "{err:?}");
+    assert!(
+        started.elapsed() >= Duration::from_millis(15),
+        "backoffs 5ms + 10ms must have been slept"
+    );
+    assert_eq!(
+        connections.load(Ordering::SeqCst),
+        3,
+        "initial attempt + exactly max_retries reconnects"
+    );
 }
 
 /// A client that dies mid-run leaves its sessions behind but the server

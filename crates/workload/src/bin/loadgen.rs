@@ -445,6 +445,16 @@ fn obtain_trace(args: &Args) -> Result<(Trace, Option<String>), String> {
     }
 }
 
+/// The chaos plan a cluster run injects: generated from `--chaos <seed>`
+/// over the run's node count and tick span, inactive otherwise. Replays with
+/// the same seed walk the identical fault schedule.
+fn chaos_plan(args: &Args, trace: &Trace, nodes: usize) -> svgic_cluster::ChaosPlan {
+    match args.chaos {
+        Some(seed) => svgic_cluster::ChaosPlan::generate(seed, nodes, trace.ticks),
+        None => svgic_cluster::ChaosPlan::inactive(),
+    }
+}
+
 fn write_out(args: &Args, json: &str) -> Result<(), String> {
     if let Some(path) = &args.out {
         if let Some(parent) = std::path::Path::new(path).parent() {
@@ -548,6 +558,21 @@ fn print_cluster_summary(
         o.cluster.nodes_added.saturating_sub(o.nodes_initial as u64),
         o.cluster.rebalances,
     );
+    if o.cluster.replication_bytes > 0 || o.cluster.nodes_killed > 0 {
+        eprintln!(
+            "  failover: {} standby promotions ({} replica bytes shipped), {} warm / {} cold kills",
+            o.cluster.standby_promotions,
+            o.cluster.replication_bytes,
+            o.cluster.failover_warm,
+            o.cluster.failover_cold,
+        );
+    }
+    if o.chaos_injected_failures > 0 || o.chaos_injected_delays > 0 {
+        eprintln!(
+            "  chaos: {} requests absorbed+retried, {} delayed (digest unaffected)",
+            o.chaos_injected_failures, o.chaos_injected_delays,
+        );
+    }
     eprintln!(
         "  fleet engine: {} solves ({:.0}% incremental, {:.0}% warm-started), cache hit rate {:.1}%",
         o.merged.solves(),
@@ -594,6 +619,8 @@ fn run_drive(args: &Args) -> Result<(), String> {
             nodes: args.connect.len(),
             vnodes: args.vnodes,
             plan: NodePlan::for_trace(&trace, args.connect.len()),
+            replicate: args.replicate,
+            chaos: chaos_plan(args, &trace, args.connect.len()),
             ..ClusterDriverConfig::default()
         });
         let outcome = driver.run_with(&trace, spawner);
@@ -636,6 +663,8 @@ fn run_drive(args: &Args) -> Result<(), String> {
             vnodes: args.vnodes,
             engine: engine_config(args),
             plan: NodePlan::for_trace(&trace, args.nodes),
+            replicate: args.replicate,
+            chaos: chaos_plan(args, &trace, args.nodes),
             ..ClusterDriverConfig::default()
         });
         let outcome = driver.run(&trace);

@@ -63,6 +63,10 @@ pub struct Args {
     pub nodes: usize,
     /// Virtual nodes per cluster node on the hash ring.
     pub vnodes: usize,
+    /// Warm standby replication in cluster runs.
+    pub replicate: bool,
+    /// Chaos plan seed for cluster runs (`None` = no fault injection).
+    pub chaos: Option<u64>,
     /// Trace record path override.
     pub record: Option<String>,
     /// Skip trace recording.
@@ -104,6 +108,8 @@ impl Default for Args {
             workers: 0,
             nodes: 0,
             vnodes: 64,
+            replicate: false,
+            chaos: None,
             record: None,
             no_record: false,
             out: None,
@@ -275,6 +281,41 @@ pub fn flags() -> &'static [FlagSpec] {
                     return Err("--vnodes wants a positive integer".into());
                 }
                 args.vnodes = n;
+                Ok(())
+            },
+        },
+        FlagSpec {
+            name: "--replicate",
+            value: None,
+            example: "",
+            help: &[
+                "(cluster runs) ship warm standby replicas to each",
+                "session's ring successor at every tick flush, so node",
+                "kills fail over warm (solve generation and LP factors",
+                "preserved) instead of rebuilding cold. Digest-neutral.",
+            ],
+            generation_only: false,
+            engine_side: false,
+            apply: |args, _| {
+                args.replicate = true;
+                Ok(())
+            },
+        },
+        FlagSpec {
+            name: "--chaos",
+            value: Some("<seed>"),
+            example: "42",
+            help: &[
+                "(cluster runs) inject a seeded fault plan at the",
+                "transport seam: transient router↔node partitions",
+                "(absorbed + retried, never lost), slow-node delays, and",
+                "kill-during-flush. The same seed replays the identical",
+                "schedule — and the config digest is unchanged by design.",
+            ],
+            generation_only: false,
+            engine_side: false,
+            apply: |args, value| {
+                args.chaos = Some(parse_number(value, "--chaos")?);
                 Ok(())
             },
         },
@@ -707,12 +748,21 @@ pub fn validate(args: &Args) -> Result<(), String> {
                 flag.name
             ));
         }
-        if args.connect.len() > 1 && args.scenario.as_deref() == Some("node-churn") {
-            return Err(
-                "node-churn kills and spawns nodes, which only works with in-process --nodes; \
-                 remote server processes cannot be crashed or spawned by the driver"
-                    .into(),
-            );
+    }
+    if args.replicate || args.chaos.is_some() {
+        // Replication and chaos are cluster-fabric features: they need the
+        // cluster driver (in-process --nodes or a multi-address --connect
+        // fleet; a single bare engine has no ring, no standbys, no
+        // transport seam worth attacking).
+        if args.nodes == 0 && args.connect.len() < 2 {
+            let flag = if args.replicate {
+                "--replicate"
+            } else {
+                "--chaos"
+            };
+            return Err(format!(
+                "{flag} applies to cluster runs only (--nodes N or --connect with several addresses)"
+            ));
         }
     }
     if args.trace_out.is_some() {
@@ -819,15 +869,49 @@ mod tests {
             "4"
         ]))
         .is_err());
+        // node-churn over a remote fleet is supported: kills wipe the
+        // server (Crash over the wire) and joins reuse the crashed husk.
         assert!(validate(&parse_ok(&[
             "--scenario",
             "node-churn",
             "--connect",
             "a:1,b:2"
         ]))
-        .is_err());
+        .is_ok());
         // Single-address node-churn is fine (no fabric plan fires).
         assert!(validate(&parse_ok(&["--scenario", "node-churn", "--connect", "a:1"])).is_ok());
+    }
+
+    #[test]
+    fn replicate_and_chaos_require_a_cluster() {
+        let ok = parse_ok(&["--scenario", "steady-mall", "--nodes", "3", "--replicate"]);
+        assert!(ok.replicate);
+        assert!(validate(&ok).is_ok());
+        let chaos = parse_ok(&[
+            "--scenario",
+            "steady-mall",
+            "--connect",
+            "a:1,b:2",
+            "--chaos",
+            "7",
+        ]);
+        assert_eq!(chaos.chaos, Some(7));
+        assert!(validate(&chaos).is_ok());
+        // A bare engine has no fabric to replicate or attack.
+        assert!(validate(&parse_ok(&["--scenario", "steady-mall", "--replicate"])).is_err());
+        assert!(validate(&parse_ok(&["--scenario", "steady-mall", "--chaos", "7"])).is_err());
+        assert!(
+            validate(&parse_ok(&[
+                "--scenario",
+                "steady-mall",
+                "--connect",
+                "a:1",
+                "--chaos",
+                "7"
+            ]))
+            .is_err(),
+            "one remote engine is not a cluster"
+        );
     }
 
     #[test]

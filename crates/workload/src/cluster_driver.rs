@@ -14,7 +14,13 @@
 //! digest** as the single-engine [`crate::driver::LoadDriver`] — which is
 //! asserted in tests and CI. Node **kills** do change the digest (recovered
 //! sessions restart their solve generation with a fresh rounding stream),
-//! but remain deterministic run-to-run.
+//! but remain deterministic run-to-run — and with
+//! [`ClusterDriverConfig::replicate`] on, a kill whose lost sessions all
+//! promote from current standbys preserves even generations, making a fully
+//! warm kill digest-invisible. A [`ChaosPlan`] is digest-neutral by
+//! construction (faults delay requests, never drop or reorder them), so a
+//! replayed chaos run yields the identical digest, replication on or off,
+//! one node or many.
 //!
 //! ## Timing model
 //!
@@ -187,6 +193,17 @@ pub struct ClusterDriverConfig {
     pub engine: EngineConfig,
     /// Fabric event schedule.
     pub plan: NodePlan,
+    /// Warm standby replication (see [`svgic_cluster::ClusterConfig`]):
+    /// each tick flush piggybacks standby copies onto ring successors, and
+    /// kills fail over warm when the replica is current. Digest-neutral —
+    /// replication never touches live sessions.
+    pub replicate: bool,
+    /// Seeded fault schedule injected at the transport seam (see
+    /// [`svgic_cluster::ChaosPlan`]). Every node backend is wrapped in a
+    /// [`svgic_cluster::ChaosTransport`] consulting one shared clock, so the
+    /// same plan runs identically against in-process engines and TCP
+    /// connections. Digest-neutral: faults delay requests, never drop them.
+    pub chaos: ChaosPlan,
 }
 
 impl Default for ClusterDriverConfig {
@@ -204,6 +221,8 @@ impl Default for ClusterDriverConfig {
                 ..EngineConfig::default()
             },
             plan: NodePlan::none(),
+            replicate: false,
+            chaos: ChaosPlan::inactive(),
         }
     }
 }
@@ -274,6 +293,10 @@ pub struct ClusterLoadOutcome {
     pub merged: StatsSnapshot,
     /// Fabric counters (migrations, warm capital, recoveries, kills).
     pub cluster: ClusterStats,
+    /// Requests the chaos plan absorbed (each retried and delivered).
+    pub chaos_injected_failures: u64,
+    /// Requests the chaos plan delayed.
+    pub chaos_injected_delays: u64,
 }
 
 impl ClusterLoadOutcome {
@@ -376,14 +399,21 @@ impl ClusterDriver {
         let instances: Vec<SvgicInstance> =
             trace.templates.iter().map(|spec| spec.build()).collect();
 
+        // Every backend — initial fleet and later joins, in-process or TCP —
+        // is wrapped in a chaos transport sharing one control; an inactive
+        // plan makes the wrapper transparent.
+        let chaos = ChaosControl::new(self.config.chaos.clone());
+        let mut spawner = spawner;
+        let chaos_for_spawner = chaos.clone();
         let mut cluster = Cluster::with_backends(
             ClusterConfig {
                 nodes: self.config.nodes.max(1),
                 vnodes: self.config.vnodes,
                 placement: self.config.placement,
                 engine: self.config.engine.clone(),
+                replicate: self.config.replicate,
             },
-            spawner,
+            move |engine: &EngineConfig| chaos_for_spawner.wrap(spawner(engine)),
         );
         // Remote node backends may be long-lived server processes with
         // counters from earlier runs; zero them so this run's report covers
@@ -405,8 +435,37 @@ impl ClusterDriver {
         for event in &trace.events {
             match event {
                 TraceEvent::Tick(tick) => {
+                    chaos.advance_to(*tick);
                     if !closed_loop {
+                        // Kill-during-flush: when the chaos plan arms it and
+                        // this tick kills, the victim's tick flush is
+                        // skipped — it dies holding this tick's pending
+                        // events, which recovery must then replay from
+                        // shadow intent exactly once (a replica shipped at
+                        // an earlier flush is stale by now and must not
+                        // promote).
+                        let spare = if self.config.chaos.kill_mid_flush
+                            && cluster.node_count() > 1
+                            && self
+                                .config
+                                .plan
+                                .actions_at(*tick)
+                                .any(|action| action == NodeAction::KillBusiest)
+                        {
+                            cluster
+                                .node_sessions()
+                                .into_iter()
+                                .max_by_key(|&(node, sessions)| {
+                                    (sessions, std::cmp::Reverse(node.0))
+                                })
+                                .map(|(node, _)| node)
+                        } else {
+                            None
+                        };
                         for node in cluster.node_ids() {
+                            if Some(node) == spare {
+                                continue;
+                            }
                             // lint: allow(wall-clock, client-side latency sample for the load report; responses are digested independently of timing)
                             let t0 = Instant::now();
                             cluster.flush_node(node).expect("alive node flushes");
@@ -578,6 +637,8 @@ impl ClusterDriver {
             per_node,
             merged: snapshot.merged,
             cluster: snapshot.stats,
+            chaos_injected_failures: chaos.injected().failures,
+            chaos_injected_delays: chaos.injected().delays,
         }
     }
 
@@ -817,6 +878,82 @@ mod tests {
         assert_eq!(a.per_node.iter().filter(|n| !n.alive).count(), 1);
         let dead = a.per_node.iter().find(|n| !n.alive).unwrap();
         assert!(dead.engine.sessions_created > 0, "killed node had served");
+    }
+
+    #[test]
+    fn chaos_and_replication_are_digest_neutral() {
+        let baseline = cluster_outcome(3, NodePlan::mid_run_rebalance(4));
+        let chaotic = ClusterDriver::new(ClusterDriverConfig {
+            nodes: 3,
+            engine: engine_config(),
+            plan: NodePlan::mid_run_rebalance(4),
+            replicate: true,
+            chaos: ChaosPlan::generate(42, 3, 4),
+            ..ClusterDriverConfig::default()
+        })
+        .run(&smoke_trace());
+        assert_eq!(
+            baseline.config_digest, chaotic.config_digest,
+            "faults delay requests, never change what is served"
+        );
+        assert_eq!(baseline.requests, chaotic.requests);
+        assert!(
+            chaotic.chaos_injected_failures > 0 || chaotic.chaos_injected_delays > 0,
+            "the generated plan must actually inject"
+        );
+        assert!(chaotic.cluster.replication_bytes > 0);
+        assert_eq!(baseline.chaos_injected_failures, 0);
+    }
+
+    #[test]
+    fn replicated_churn_fails_over_warm_and_kill_mid_flush_stays_conserving() {
+        let mut scenario = Scenario::node_churn().smoke();
+        scenario.ticks = 6;
+        let trace = generate(&scenario, 23);
+        let run = |kill_mid_flush: bool| {
+            ClusterDriver::new(ClusterDriverConfig {
+                nodes: 3,
+                engine: engine_config(),
+                plan: NodePlan::for_trace(&trace, 3),
+                replicate: true,
+                chaos: ChaosPlan {
+                    seed: 0,
+                    faults: Vec::new(),
+                    kill_mid_flush,
+                },
+                ..ClusterDriverConfig::default()
+            })
+            .run(&trace)
+        };
+        // Clean kill at the tick boundary: every lost session was flushed
+        // and replicated this very tick, so the failover is fully warm.
+        let clean = run(false);
+        assert_eq!(clean.cluster.nodes_killed, 1);
+        assert_eq!(
+            clean.cluster.warm_capital_lost, 0,
+            "replication must make the boundary kill warm: {:?}",
+            clean.cluster
+        );
+        assert!(clean.cluster.standby_promotions > 0);
+        assert_eq!(clean.cluster.failover_warm, 1);
+        assert_eq!(
+            clean.cluster.failover_warm + clean.cluster.failover_cold,
+            clean.cluster.nodes_killed
+        );
+        // Kill-during-flush: the victim dies holding its tick's pending
+        // events. Sessions mutated that tick rebuild cold (their replicas
+        // are one generation stale — the promotion gate must hold them
+        // back); nothing is lost either way, and the run replays.
+        let dirty = run(true);
+        assert_eq!(dirty.cluster.nodes_killed, 1);
+        assert_eq!(dirty.sessions, clean.sessions);
+        assert_eq!(
+            dirty.cluster.failover_warm + dirty.cluster.failover_cold,
+            dirty.cluster.nodes_killed
+        );
+        let replay = run(true);
+        assert_eq!(dirty.config_digest, replay.config_digest);
+        assert_eq!(dirty.cluster, replay.cluster);
     }
 
     #[test]

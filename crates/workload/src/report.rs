@@ -199,6 +199,12 @@ impl ClusterReport {
             w.integer("sessions_recovered", o.cluster.sessions_recovered);
             w.integer("rebalances", o.cluster.rebalances);
             w.integer("spill_placements", o.cluster.spill_placements);
+            w.integer("replication_bytes", o.cluster.replication_bytes);
+            w.integer("standby_promotions", o.cluster.standby_promotions);
+            w.integer("failover_warm", o.cluster.failover_warm);
+            w.integer("failover_cold", o.cluster.failover_cold);
+            w.integer("chaos_injected_failures", o.chaos_injected_failures);
+            w.integer("chaos_injected_delays", o.chaos_injected_delays);
         });
 
         w.nested("engine", |w| {

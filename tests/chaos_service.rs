@@ -1,0 +1,279 @@
+//! Digest-gated fault-matrix service tier: the acceptance contract of the
+//! warm-standby-replication + chaos-engine tentpole.
+//!
+//! The matrix crosses
+//!
+//! - random workload scripts (seeded `node-churn` traces: joins, leaves,
+//!   catalogue swaps, forced re-solves, a kill and a node join),
+//! - random seeded [`ChaosPlan`]s (partition windows, slow-node delays,
+//!   kill-during-flush),
+//! - both transports (in-process engines vs real TCP servers on loopback),
+//! - replication on and off,
+//!
+//! and gates every cell on the same three invariants:
+//!
+//! 1. **Digest equality** — a chaos run serves the byte-identical FNV-1a
+//!    configuration digest as the same configuration replayed anywhere
+//!    else (faults are absorbed and retried, never dropped, so the engines
+//!    see the same request sequence).
+//! 2. **No session loss** — every session opened by the trace is served and
+//!    closed; kills (even mid-flush) conserve the session population.
+//! 3. **Failover accounting** — `failover_warm + failover_cold ==
+//!    nodes_killed`, and a fully-warm kill (replication on, kill at a flush
+//!    boundary) loses zero warm capital.
+//!
+//! CI's `chaos-smoke` step repeats the replicated-churn cell across actual
+//! `loadgen serve` processes.
+
+use proptest::prelude::*;
+use svgic::cluster::prelude::*;
+use svgic::engine::prelude::*;
+use svgic::net::{NetClient, NetServer};
+use svgic::workload::prelude::*;
+
+fn engine_config() -> EngineConfig {
+    // Fixed shape so counters are machine-independent; auto-flush off — the
+    // cluster driver owns the flush clock.
+    EngineConfig {
+        workers: 2,
+        shards: 2,
+        auto_flush_pending: 0,
+        ..EngineConfig::default()
+    }
+}
+
+/// A seeded node-churn trace: the only scenario whose implied [`NodePlan`]
+/// kills a node, which is what the failover invariants are about.
+fn churn_trace(seed: u64) -> Trace {
+    let mut scenario = Scenario::node_churn().smoke();
+    scenario.ticks = 6;
+    generate(&scenario, seed)
+}
+
+fn steady_trace() -> Trace {
+    let mut scenario = Scenario::steady_mall().smoke();
+    scenario.ticks = 4;
+    generate(&scenario, 29)
+}
+
+fn matrix_config(
+    trace: &Trace,
+    nodes: usize,
+    replicate: bool,
+    chaos: ChaosPlan,
+) -> ClusterDriverConfig {
+    ClusterDriverConfig {
+        nodes,
+        engine: engine_config(),
+        plan: NodePlan::for_trace(trace, nodes),
+        replicate,
+        chaos,
+        ..ClusterDriverConfig::default()
+    }
+}
+
+fn run_in_process(
+    trace: &Trace,
+    nodes: usize,
+    replicate: bool,
+    chaos: ChaosPlan,
+) -> ClusterLoadOutcome {
+    ClusterDriver::new(matrix_config(trace, nodes, replicate, chaos)).run(trace)
+}
+
+/// The same cell over real sockets: one `NetServer` thread per node on an
+/// ephemeral loopback port. Kills travel as `Crash` frames (the server is
+/// wiped, not the process) and the crashed connection is reused for the
+/// join, exactly as `loadgen --connect` does across processes.
+fn run_over_tcp(
+    trace: &Trace,
+    nodes: usize,
+    replicate: bool,
+    chaos: ChaosPlan,
+) -> ClusterLoadOutcome {
+    let servers: Vec<NetServer> = (0..nodes)
+        .map(|_| NetServer::bind("127.0.0.1:0", Engine::new(engine_config())).expect("binds"))
+        .collect();
+    let addresses: Vec<std::net::SocketAddr> =
+        servers.iter().map(|server| server.local_addr()).collect();
+
+    let mut handed_out = 0usize;
+    let spawner = move |_cfg: &EngineConfig| {
+        let addr = addresses[handed_out % addresses.len()];
+        handed_out += 1;
+        NetClient::connect(addr).expect("node reachable")
+    };
+    let outcome =
+        ClusterDriver::new(matrix_config(trace, nodes, replicate, chaos)).run_with(trace, spawner);
+
+    for server in servers {
+        NetClient::connect(server.local_addr())
+            .expect("connects")
+            .shutdown_server()
+            .expect("shuts down");
+        server.join();
+    }
+    outcome
+}
+
+/// Partition and delay faults are digest-neutral by construction: the
+/// transport absorbs a bounded number of sends and then always delivers, so
+/// a chaotic run serves exactly what a calm one serves — across one node or
+/// three, in-process or over TCP, replication on or off.
+#[test]
+fn fault_injection_is_digest_invariant_across_transports_and_topologies() {
+    let trace = steady_trace();
+    let baseline = run_in_process(&trace, 1, false, ChaosPlan::inactive());
+
+    let chaotic_single = run_over_tcp(&trace, 1, false, ChaosPlan::generate(7, 1, trace.ticks));
+    let chaotic_fleet = run_in_process(&trace, 3, true, ChaosPlan::generate(7, 3, trace.ticks));
+    let chaotic_wire = run_over_tcp(&trace, 3, true, ChaosPlan::generate(7, 3, trace.ticks));
+
+    for (label, outcome) in [
+        ("1 TCP server", &chaotic_single),
+        ("3 in-process nodes", &chaotic_fleet),
+        ("3 TCP servers", &chaotic_wire),
+    ] {
+        assert_eq!(
+            outcome.config_digest, baseline.config_digest,
+            "chaos over {label} must not change what is served"
+        );
+        assert_eq!(outcome.requests, baseline.requests, "{label}");
+        assert_eq!(outcome.sessions, baseline.sessions, "{label}");
+    }
+    assert_eq!(baseline.chaos_injected_failures, 0);
+    assert!(
+        chaotic_fleet.chaos_injected_failures > 0,
+        "the generated plan must actually absorb requests"
+    );
+    assert_eq!(
+        chaotic_fleet.chaos_injected_failures, chaotic_wire.chaos_injected_failures,
+        "fault injection is part of the replayable configuration"
+    );
+    assert!(chaotic_fleet.cluster.replication_bytes > 0);
+}
+
+/// The headline acceptance cell: a replicated churn run under partition
+/// faults kills its busiest node at a flush boundary and fails over *warm*
+/// — zero warm capital lost, every lost session promoted from its standby —
+/// with the identical digest in-process and across real sockets, and a
+/// byte-identical replay.
+#[test]
+fn replicated_churn_under_faults_fails_over_warm_on_and_off_the_wire() {
+    let trace = churn_trace(61);
+    // Keep the generated partition/delay windows but pin the flush clock:
+    // this cell is about the *warm* failover path, so the victim must die
+    // flushed (kill-during-flush gets its own cell below).
+    let mut chaos = ChaosPlan::generate(9, 3, trace.ticks);
+    chaos.kill_mid_flush = false;
+
+    let local = run_in_process(&trace, 3, true, chaos.clone());
+    let wire = run_over_tcp(&trace, 3, true, chaos.clone());
+    let replay = run_in_process(&trace, 3, true, chaos);
+
+    for outcome in [&local, &wire] {
+        assert_eq!(outcome.cluster.nodes_killed, 1);
+        assert_eq!(
+            outcome.cluster.failover_warm, 1,
+            "a flush-boundary kill with current standbys is a warm failover"
+        );
+        assert_eq!(outcome.cluster.failover_cold, 0);
+        assert_eq!(
+            outcome.cluster.warm_capital_lost, 0,
+            "warm standby promotion must conserve every factor cache"
+        );
+        assert!(outcome.cluster.standby_promotions > 0);
+        assert_eq!(
+            outcome.cluster.standby_promotions,
+            outcome.cluster.sessions_recovered
+        );
+        assert!(outcome.cluster.replication_bytes > 0);
+    }
+    assert_eq!(
+        local.config_digest, wire.config_digest,
+        "warm failover must serve identically in-process and over TCP"
+    );
+    assert_eq!(local.cluster, wire.cluster);
+    assert_eq!(replay.config_digest, local.config_digest);
+    assert_eq!(replay.cluster, local.cluster);
+}
+
+/// Kill-during-flush: the victim dies holding an unflushed tick of events.
+/// Replicas are one generation stale, so the promotion gate refuses them
+/// and the rebuild is cold — but the pinned events are replayed exactly
+/// once (neither dropped nor double-applied), the session population is
+/// conserved, and the run is still deterministic across transports.
+#[test]
+fn kill_during_flush_conserves_sessions_and_replays_identically() {
+    let trace = churn_trace(23);
+    let chaos = ChaosPlan {
+        seed: 0,
+        faults: Vec::new(),
+        kill_mid_flush: true,
+    };
+
+    let local = run_in_process(&trace, 3, true, chaos.clone());
+    let wire = run_over_tcp(&trace, 3, true, chaos.clone());
+    let replay = run_in_process(&trace, 3, true, chaos);
+
+    for outcome in [&local, &wire] {
+        assert_eq!(outcome.cluster.nodes_killed, 1);
+        assert_eq!(
+            outcome.cluster.failover_warm + outcome.cluster.failover_cold,
+            outcome.cluster.nodes_killed,
+            "every kill is classified exactly once"
+        );
+    }
+    assert_eq!(local.sessions, wire.sessions, "no session may be lost");
+    assert_eq!(
+        local.config_digest, wire.config_digest,
+        "a mid-flush kill is deterministic: in-process and TCP agree"
+    );
+    assert_eq!(local.cluster, wire.cluster);
+    assert_eq!(replay.config_digest, local.config_digest);
+    assert_eq!(replay.cluster, local.cluster);
+}
+
+proptest! {
+    // Each case runs the cell three times (in-process, TCP, replay), so a
+    // handful of cases already covers the matrix axes.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The randomized matrix: any (script, chaos plan, replication) cell
+    /// must serve the identical digest in-process and over TCP, conserve
+    /// its sessions, classify its kill, and replay byte-identically.
+    #[test]
+    fn fault_matrix_gates_digest_sessions_and_failover(
+        trace_seed in 1u64..1_000,
+        chaos_seed in 1u64..1_000,
+        replicate_bit in 0u64..2,
+    ) {
+        let replicate = replicate_bit == 1;
+        let trace = churn_trace(trace_seed);
+        let chaos = ChaosPlan::generate(chaos_seed, 3, trace.ticks);
+
+        let local = run_in_process(&trace, 3, replicate, chaos.clone());
+        let wire = run_over_tcp(&trace, 3, replicate, chaos.clone());
+        let replay = run_in_process(&trace, 3, replicate, chaos);
+
+        prop_assert_eq!(local.config_digest, wire.config_digest);
+        prop_assert_eq!(local.requests, wire.requests);
+        prop_assert_eq!(local.sessions, wire.sessions);
+        prop_assert_eq!(replay.config_digest, local.config_digest);
+
+        for outcome in [&local, &wire] {
+            prop_assert_eq!(outcome.cluster.nodes_killed, 1);
+            prop_assert_eq!(
+                outcome.cluster.failover_warm + outcome.cluster.failover_cold,
+                outcome.cluster.nodes_killed
+            );
+            if replicate {
+                prop_assert!(outcome.cluster.replication_bytes > 0);
+            } else {
+                prop_assert_eq!(outcome.cluster.standby_promotions, 0);
+            }
+        }
+        prop_assert_eq!(&local.cluster, &wire.cluster);
+        prop_assert_eq!(&replay.cluster, &local.cluster);
+    }
+}
